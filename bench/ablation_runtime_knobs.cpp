@@ -1,0 +1,72 @@
+// Ablation: run-time system knobs the paper leaves implicit.
+//
+// 1. Task-queue capacity — how deep push-migration can diffuse a flat
+//    fan-out of tasks through the mesh (pressure must build in queues
+//    before work is forwarded; see DESIGN.md).
+// 2. Occupancy proxies — instant (always-fresh, the default
+//    simplification) vs broadcast-based stale proxies (the paper's
+//    literal SS IV mechanism): effect on probe denials, message count
+//    and virtual time.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "bench/runner.h"
+
+using namespace simany;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::HarnessOptions::parse(argc, argv,
+                                                /*default_factor=*/0.15,
+                                                /*default_datasets=*/1,
+                                                /*default_max_cores=*/64);
+  opt.print_header("Ablation: run-time knobs (queue capacity, "
+                   "occupancy proxies)");
+
+  // ---- Queue capacity vs flat fan-out diffusion ----------------------
+  std::printf("\n-- task-queue capacity vs fan-out diffusion "
+              "(2000 x 2000-cycle tasks from core 0, %u-core mesh) --\n",
+              opt.max_cores);
+  std::printf("%10s %10s %12s %10s\n", "capacity", "busy", "virtual",
+              "migrated");
+  for (std::uint32_t cap : {1u, 2u, 4u, 8u, 16u}) {
+    ArchConfig cfg = ArchConfig::shared_mesh(opt.max_cores);
+    cfg.runtime.task_queue_capacity = cap;
+    Engine sim(std::move(cfg));
+    const auto st = sim.run([](TaskCtx& ctx) {
+      const GroupId g = ctx.make_group();
+      for (int i = 0; i < 2000; ++i) {
+        spawn_or_run(ctx, g, [](TaskCtx& c) { c.compute(2000); });
+      }
+      ctx.join(g);
+    });
+    std::size_t busy = 0;
+    for (Tick b : st.core_busy_ticks) {
+      if (b > 0) ++busy;
+    }
+    std::printf("%10u %10zu %12llu %10llu\n", cap, busy,
+                static_cast<unsigned long long>(st.completion_cycles()),
+                static_cast<unsigned long long>(st.tasks_migrated));
+  }
+
+  // ---- Occupancy proxies ----------------------------------------------
+  std::printf("\n-- occupancy proxies: instant vs broadcast "
+              "(dijkstra, %u cores) --\n", opt.max_cores);
+  std::printf("%-10s %12s %10s %10s %10s %12s\n", "proxies", "virtual",
+              "probes", "denied", "messages", "wall(ms)");
+  for (const bool broadcast : {false, true}) {
+    ArchConfig cfg = ArchConfig::shared_mesh(opt.max_cores);
+    cfg.runtime.broadcast_occupancy = broadcast;
+    Engine sim(std::move(cfg));
+    const auto st = sim.run(
+        dwarfs::dwarf_by_name("dijkstra").make_root(opt.seed, opt.factor));
+    std::printf("%-10s %12llu %10llu %10llu %10llu %12.2f\n",
+                broadcast ? "broadcast" : "instant",
+                static_cast<unsigned long long>(st.completion_cycles()),
+                static_cast<unsigned long long>(st.probes_sent),
+                static_cast<unsigned long long>(st.probes_denied),
+                static_cast<unsigned long long>(st.messages),
+                st.wall_seconds * 1e3);
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation: spatial synchronization vs global-window synchronization,
+// and the T accuracy/speed toggle (DESIGN.md SS5).
+//
+// Spatial synchronization is defined by the *sync topology* = the
+// interconnect graph. On a crossbar every core is everyone's neighbor,
+// so the local drift bound degenerates into SlackSim-style bounded
+// slack against a global window; on a mesh it is the paper's purely
+// local scheme. Comparing the two at equal T isolates what locality
+// buys: longer uninterrupted runs (fewer stalls / fiber switches) at
+// equal or better wall time, with only small virtual-time deviations.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "bench/runner.h"
+
+using namespace simany;
+
+namespace {
+
+struct Row {
+  const char* scheme;
+  Cycles t;
+  Tick vt;
+  double wall;
+  std::uint64_t stalls;
+  std::uint64_t switches;
+  std::uint64_t limit_recomputes;
+};
+
+Row measure(const char* scheme, net::Topology topo, Cycles t,
+            const dwarfs::DwarfSpec& spec, double factor,
+            std::uint64_t seed) {
+  ArchConfig cfg = ArchConfig::shared_mesh(topo.num_cores());
+  cfg.topology = std::move(topo);
+  cfg.drift_t_cycles = t;
+  Engine sim(std::move(cfg));
+  const auto stats = sim.run(spec.make_root(seed, factor));
+  return Row{scheme,
+             t,
+             stats.completion_ticks,
+             stats.wall_seconds,
+             stats.sync_stalls,
+             stats.fiber_switches,
+             stats.limit_recomputes};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::HarnessOptions::parse(argc, argv,
+                                                /*default_factor=*/0.2,
+                                                /*default_datasets=*/1,
+                                                /*default_max_cores=*/64);
+  opt.print_header(
+      "Ablation: spatial (mesh) vs global-window (crossbar) "
+      "synchronization, and the T toggle");
+  const std::uint32_t cores = opt.max_cores;
+  const auto& spec = dwarfs::dwarf_by_name("spmxv");
+
+  std::printf("%-22s %6s %12s %10s %10s %10s %12s\n", "scheme", "T",
+              "virtual", "wall(ms)", "stalls", "switches", "limit-calcs");
+  for (Cycles t : {Cycles{10}, Cycles{100}, Cycles{1000}}) {
+    for (int scheme = 0; scheme < 2; ++scheme) {
+      const bool mesh = scheme == 0;
+      Row r = measure(mesh ? "spatial(mesh)" : "global(crossbar)",
+                      mesh ? net::Topology::mesh2d(cores)
+                           : net::Topology::crossbar(cores),
+                      t, spec, opt.factor, opt.seed);
+      std::printf("%-22s %6llu %12llu %10.2f %10llu %10llu %12llu\n",
+                  r.scheme, static_cast<unsigned long long>(r.t),
+                  static_cast<unsigned long long>(cycles_floor(r.vt)),
+                  r.wall * 1e3,
+                  static_cast<unsigned long long>(r.stalls),
+                  static_cast<unsigned long long>(r.switches),
+                  static_cast<unsigned long long>(r.limit_recomputes));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Speedup curves for the extension dwarfs (matmul, stencil,
+// histogram). NOT a paper figure: these workloads extend the suite to
+// Berkeley-dwarf classes the paper did not port (dense linear algebra,
+// structured grids, MapReduce) — see docs/programming_model.md.
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "bench/runner.h"
+#include "dwarfs/extended.h"
+#include "stats/report.h"
+
+using namespace simany;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::HarnessOptions::parse(argc, argv,
+                                                /*default_factor=*/0.15,
+                                                /*default_datasets=*/2,
+                                                /*default_max_cores=*/256);
+  opt.print_header(
+      "Extension dwarfs: shared- and distributed-memory speedups");
+
+  const auto axis = opt.exploration_axis();
+  std::vector<double> xs(axis.begin(), axis.end());
+  stats::FigureTable table("Virtual-time speedup vs # of cores", "cores",
+                           xs);
+
+  auto shared_cfg = [](std::uint32_t c) {
+    return ArchConfig::shared_mesh(c);
+  };
+  auto dist_cfg = [](std::uint32_t c) {
+    return ArchConfig::distributed_mesh(c);
+  };
+  for (const auto& spec : dwarfs::extended_dwarfs()) {
+    stats::Series sh{spec.name + " shared", {}};
+    stats::Series di{spec.name + " distributed", {}};
+    for (std::uint32_t cores : axis) {
+      sh.y.push_back(bench::mean_speedup(spec, shared_cfg, cores,
+                                         opt.factor, opt.datasets,
+                                         opt.seed));
+      di.y.push_back(bench::mean_speedup(spec, dist_cfg, cores,
+                                         opt.factor, opt.datasets,
+                                         opt.seed));
+    }
+    table.add_series(std::move(sh));
+    table.add_series(std::move(di));
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 5: Regular 2D Mesh Speedups, Cycle-Level Comparison.
+//
+// Speedups of the four validation dwarfs on the shared-memory
+// architecture *with cache coherence*, 1..64 cores, from both the
+// cycle-level reference simulator (CL) and SiMany's virtual-time
+// engine with the abstract coherence-delay model enabled (VT).
+//
+// Also prints the geometric-mean relative error of VT speedups vs CL
+// at 16/32/64 cores — the paper reports 8.8 % / 18.8 % / 22.9 %.
+
+#include <iostream>
+#include <map>
+
+#include "bench/harness.h"
+#include "bench/runner.h"
+#include "cyclesim/cycle_sim.h"
+#include "stats/report.h"
+
+using namespace simany;
+
+namespace {
+
+int run_validation(int argc, char** argv, bool polymorphic) {
+  const auto opt = bench::HarnessOptions::parse(argc, argv,
+                                                /*default_factor=*/0.15,
+                                                /*default_datasets=*/3,
+                                                /*default_max_cores=*/64);
+  opt.print_header(polymorphic
+                       ? "Figure 6: Polymorphic 2D Mesh Speedups, "
+                         "Cycle-Level Comparison"
+                       : "Figure 5: Regular 2D Mesh Speedups, "
+                         "Cycle-Level Comparison");
+
+  const auto axis = opt.validation_axis();
+  std::vector<double> xs(axis.begin(), axis.end());
+  stats::FigureTable table("Speedup vs # of cores (CL = cycle-level, "
+                           "VT = SiMany virtual time)",
+                           "cores", xs);
+
+  auto make_cfg = [polymorphic](std::uint32_t cores) {
+    ArchConfig cfg = ArchConfig::shared_mesh(cores);
+    if (polymorphic) cfg = ArchConfig::polymorphic(std::move(cfg));
+    return cfg;
+  };
+  auto make_vt_cfg = [&](std::uint32_t cores) {
+    return cyclesim::validation_vt_config(make_cfg(cores));
+  };
+
+  // error[cores] collects per-dwarf VT-vs-CL speedup errors.
+  std::map<std::uint32_t, std::vector<double>> errors;
+
+  for (const auto& spec : dwarfs::validation_dwarfs()) {
+    stats::Series cl{spec.name + " CL", {}};
+    stats::Series vt{spec.name + " VT", {}};
+    for (std::uint32_t cores : axis) {
+      const double s_cl =
+          bench::mean_speedup(spec, make_cfg, cores, opt.factor,
+                              opt.datasets, opt.seed,
+                              ExecutionMode::kCycleLevel);
+      const double s_vt =
+          bench::mean_speedup(spec, make_vt_cfg, cores, opt.factor,
+                              opt.datasets, opt.seed,
+                              ExecutionMode::kVirtualTime);
+      cl.y.push_back(s_cl);
+      vt.y.push_back(s_vt);
+      if (cores > 1) errors[cores].push_back(stats::rel_error(s_vt, s_cl));
+    }
+    table.add_series(std::move(cl));
+    table.add_series(std::move(vt));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nGeometric-mean |VT-CL|/CL speedup error (paper: "
+            << (polymorphic ? "22.2% @16, 30.3% @32, 33.4% @64"
+                            : "8.8% @16, 18.8% @32, 22.9% @64")
+            << "):\n";
+  for (const auto& [cores, errs] : errors) {
+    // Geometric mean over (1 + error) avoids zero-error blowups.
+    std::vector<double> shifted;
+    shifted.reserve(errs.size());
+    for (double e : errs) shifted.push_back(1.0 + e);
+    const double gm = stats::geo_mean(shifted) - 1.0;
+    std::cout << "  " << cores << " cores: " << stats::fmt(gm * 100.0)
+              << "%\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+#ifndef SIMANY_FIG06
+int main(int argc, char** argv) { return run_validation(argc, argv, false); }
+#endif
+#ifdef SIMANY_FIG06
+int main(int argc, char** argv) { return run_validation(argc, argv, true); }
+#endif

@@ -1,0 +1,75 @@
+// Figure 7: Average Normalized Simulation Time.
+//
+// Host wall-clock time to simulate each benchmark, normalized to native
+// execution of the same program, versus the number of simulated cores
+// (1..1024). Each point averages the shared-memory and distributed-
+// memory architecture types, like the paper's "all architecture
+// configurations"; the paper reports ~1e4 at 1024 cores and notes that
+// simulation time grows roughly as a square law in the core count, and
+// that Barnes-Hut / Connected Components are the most expensive because
+// of their distributed-memory data traffic.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/harness.h"
+#include "bench/runner.h"
+#include "stats/report.h"
+
+using namespace simany;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::HarnessOptions::parse(argc, argv,
+                                                /*default_factor=*/0.2,
+                                                /*default_datasets=*/2);
+  opt.print_header("Figure 7: Average Normalized Simulation Time");
+
+  const auto axis = opt.exploration_axis();
+  std::vector<double> xs(axis.begin(), axis.end());
+  stats::FigureTable table(
+      "Simulation wall time / native wall time vs # of cores", "cores",
+      xs);
+
+  for (const auto& spec : dwarfs::all_dwarfs()) {
+    // Native baseline per dataset (architecture-independent).
+    std::vector<double> native(opt.datasets);
+    for (int d = 0; d < opt.datasets; ++d) {
+      native[d] =
+          bench::native_seconds(spec, opt.seed + 1000ull * d, opt.factor);
+    }
+    stats::Series s{spec.name, {}};
+    std::vector<double> points;
+    for (std::uint32_t cores : axis) {
+      double sum = 0;
+      int count = 0;
+      for (int d = 0; d < opt.datasets; ++d) {
+        const std::uint64_t seed = opt.seed + 1000ull * d;
+        for (auto model :
+             {mem::MemoryModel::kShared, mem::MemoryModel::kDistributed}) {
+          ArchConfig cfg = model == mem::MemoryModel::kShared
+                               ? ArchConfig::shared_mesh(cores)
+                               : ArchConfig::distributed_mesh(cores);
+          const auto r =
+              bench::run_dwarf(spec, seed, opt.factor, std::move(cfg));
+          sum += r.wall / native[d];
+          ++count;
+        }
+      }
+      s.y.push_back(sum / count);
+    }
+    points = s.y;
+    table.add_series(std::move(s));
+
+    // Log-log growth exponent over the measured range (paper: ~2).
+    if (axis.size() >= 2 && points.front() > 0 && points.back() > 0) {
+      const double slope =
+          std::log(points.back() / points.front()) /
+          std::log(double(axis.back()) / double(axis.front()));
+      std::cout << "# " << spec.name
+                << ": log-log growth exponent = " << stats::fmt(slope)
+                << "\n";
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

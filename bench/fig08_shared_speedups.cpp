@@ -1,0 +1,48 @@
+// Figure 8: Regular 2D Mesh Speedups (Shared-Memory).
+//
+// Virtual-time speedups of the six dwarfs on the optimistic
+// shared-memory architecture (uniform 10-cycle shared memory, no
+// coherence delays), for 1/8/64/256/1024-core meshes, T = 100.
+//
+// Paper shape to reproduce: Dijkstra super-linear; SpMxV scales well to
+// 64 cores then tops out (dataset-bound); Quicksort capped near its
+// theoretical log2(n)/2 bound; 256 -> 1024 cores makes little
+// difference for most benchmarks.
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "bench/runner.h"
+#include "stats/report.h"
+
+using namespace simany;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::HarnessOptions::parse(argc, argv,
+                                                /*default_factor=*/0.25,
+                                                /*default_datasets=*/5);
+  opt.print_header("Figure 8: Regular 2D Mesh Speedups (Shared-Memory)");
+
+  const auto axis = opt.exploration_axis();
+  std::vector<double> xs(axis.begin(), axis.end());
+  stats::FigureTable table("Virtual-time speedup vs # of cores", "cores",
+                           xs);
+
+  auto make_cfg = [](std::uint32_t cores) {
+    return ArchConfig::shared_mesh(cores);
+  };
+
+  // Per-dataset 1-core baselines are recomputed inside mean_speedup;
+  // caching would only matter at paper scale.
+  for (const auto& spec : dwarfs::all_dwarfs()) {
+    stats::Series s;
+    s.name = spec.name;
+    for (std::uint32_t cores : axis) {
+      s.y.push_back(bench::mean_speedup(spec, make_cfg, cores, opt.factor,
+                                        opt.datasets, opt.seed));
+    }
+    table.add_series(std::move(s));
+  }
+  table.print(std::cout);
+  return 0;
+}

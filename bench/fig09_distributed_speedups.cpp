@@ -1,0 +1,42 @@
+// Figure 9: Regular 2D Mesh Speedups (Distributed-Memory).
+//
+// The realistic architecture: per-core L2 (10 cycles), run-time-managed
+// cells, 1-cycle links at 128 B/cycle. Paper shape: Quicksort and SpMxV
+// barely change vs shared memory (little data movement, no cell
+// contention); the data-contended Dijkstra and Connected Components
+// collapse, with Connected Components degrading above 8 cores.
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "bench/runner.h"
+#include "stats/report.h"
+
+using namespace simany;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::HarnessOptions::parse(argc, argv,
+                                                /*default_factor=*/0.25,
+                                                /*default_datasets=*/5);
+  opt.print_header(
+      "Figure 9: Regular 2D Mesh Speedups (Distributed-Memory)");
+
+  const auto axis = opt.exploration_axis();
+  std::vector<double> xs(axis.begin(), axis.end());
+  stats::FigureTable table("Virtual-time speedup vs # of cores", "cores",
+                           xs);
+
+  auto make_cfg = [](std::uint32_t cores) {
+    return ArchConfig::distributed_mesh(cores);
+  };
+  for (const auto& spec : dwarfs::all_dwarfs()) {
+    stats::Series s{spec.name, {}};
+    for (std::uint32_t cores : axis) {
+      s.y.push_back(bench::mean_speedup(spec, make_cfg, cores, opt.factor,
+                                        opt.datasets, opt.seed));
+    }
+    table.add_series(std::move(s));
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figures 10 & 11 (tables): effect of the maximum local drift T.
+//
+// Fig 10: average virtual-time speedup variation per benchmark when T
+// moves from the baseline 100 to 50 / 500 / 1000 (shared-memory
+// architecture, averaged over the 64..1024-core points — the part of
+// the scalability profile the paper considers of interest).
+// Paper: regular benchmarks barely move; Dijkstra and Connected
+// Components degrade at large T (less intermixed simulation explores
+// worse paths); everything stays within a few percent at T = 50.
+//
+// Fig 11: average *simulation time* variation for the same runs.
+// Paper: T=50 costs ~+26.7% on average; T=1000 speeds simulation up by
+// an average factor 2.38.
+
+#include <iostream>
+#include <map>
+
+#include "bench/harness.h"
+#include "bench/runner.h"
+#include "stats/report.h"
+
+using namespace simany;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::HarnessOptions::parse(argc, argv,
+                                                /*default_factor=*/0.15,
+                                                /*default_datasets=*/3);
+  opt.print_header(
+      "Figures 10 & 11: Speedup and Simulation-Time Variations with T "
+      "(baseline T = 100)");
+
+  std::vector<std::uint32_t> core_axis;
+  for (std::uint32_t c : {64u, 256u, 1024u}) {
+    if (c <= opt.max_cores) core_axis.push_back(c);
+  }
+  if (core_axis.empty()) core_axis.push_back(opt.max_cores);
+
+  const std::vector<Cycles> t_values = {50, 500, 1000};
+  const Cycles t_base = 100;
+
+  auto make_cfg = [](std::uint32_t cores, Cycles t) {
+    ArchConfig cfg = ArchConfig::shared_mesh(cores);
+    cfg.drift_t_cycles = t;
+    return cfg;
+  };
+
+  // [dwarf][T] -> (avg speedup variation %, avg sim time variation %)
+  std::vector<std::string> names;
+  std::map<std::string, std::map<Cycles, std::pair<double, double>>> out;
+
+  for (const auto& spec : dwarfs::all_dwarfs()) {
+    names.push_back(spec.name);
+    for (Cycles t : t_values) {
+      double sp_var = 0, wall_var = 0;
+      int n = 0;
+      for (std::uint32_t cores : core_axis) {
+        for (int d = 0; d < opt.datasets; ++d) {
+          const std::uint64_t seed = opt.seed + 1000ull * d;
+          const auto base1 =
+              bench::run_dwarf(spec, seed, opt.factor, make_cfg(1, t_base));
+          const auto base =
+              bench::run_dwarf(spec, seed, opt.factor,
+                               make_cfg(cores, t_base));
+          const auto var =
+              bench::run_dwarf(spec, seed, opt.factor, make_cfg(cores, t));
+          const double sp_base = double(base1.vt) / double(base.vt);
+          const double sp_t = double(base1.vt) / double(var.vt);
+          sp_var += (sp_t - sp_base) / sp_base;
+          wall_var += (var.wall - base.wall) / base.wall;
+          ++n;
+        }
+      }
+      out[spec.name][t] = {100.0 * sp_var / n, 100.0 * wall_var / n};
+    }
+  }
+
+  auto print_table = [&](const char* title, bool simtime) {
+    std::cout << "\n== " << title << " ==\n";
+    std::printf("%8s", "T");
+    for (const auto& name : names) std::printf("  %20s", name.c_str());
+    std::printf("\n");
+    for (Cycles t : t_values) {
+      std::printf("%8llu", static_cast<unsigned long long>(t));
+      for (const auto& name : names) {
+        const auto& [sp, wall] = out[name][t];
+        std::printf("  %19s%%", stats::fmt(simtime ? wall : sp).c_str());
+      }
+      std::printf("\n");
+    }
+  };
+  print_table(
+      "Figure 10: Average Virtual Time Speedup Variations with T", false);
+  print_table(
+      "Figure 11: Average Simulation Time Variations with T", true);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 13: Polymorphic 2D Mesh Speedups (Distributed-Memory).
+//
+// Polymorphic machines: every even core twice slower, every odd core
+// faster by 3/2 — same cumulative computing power as the uniform mesh.
+// Paper shape: Dijkstra and SpMxV decrease slightly; the other dwarfs
+// decline more (-18.8% on average at 256/1024 cores) because the
+// untuned run-time balances load poorly when slow cores cannot spawn
+// tasks as fast as their faster neighbors.
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "bench/runner.h"
+#include "stats/report.h"
+
+using namespace simany;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::HarnessOptions::parse(argc, argv,
+                                                /*default_factor=*/0.25,
+                                                /*default_datasets=*/5);
+  opt.print_header(
+      "Figure 13: Polymorphic 2D Mesh Speedups (Distributed-Memory)");
+
+  const auto axis = opt.exploration_axis();
+  std::vector<double> xs(axis.begin(), axis.end());
+  stats::FigureTable table("Virtual-time speedup vs # of cores", "cores",
+                           xs);
+
+  auto uniform_cfg = [](std::uint32_t cores) {
+    return ArchConfig::distributed_mesh(cores);
+  };
+  auto poly_cfg = [](std::uint32_t cores) {
+    return ArchConfig::polymorphic(ArchConfig::distributed_mesh(cores));
+  };
+
+  // Speedups are measured against the *uniform* 1-core baseline, so
+  // the uniform and polymorphic curves are directly comparable (the
+  // machines have identical total computing power).
+  for (const auto& spec : dwarfs::all_dwarfs()) {
+    stats::Series uni{spec.name + " uniform", {}};
+    stats::Series poly{spec.name + " polymorphic", {}};
+    for (std::uint32_t cores : axis) {
+      double s_uni = 0, s_poly = 0;
+      for (int d = 0; d < opt.datasets; ++d) {
+        const std::uint64_t seed = opt.seed + 1000ull * d;
+        const auto base =
+            bench::run_dwarf(spec, seed, opt.factor, uniform_cfg(1));
+        const auto u =
+            bench::run_dwarf(spec, seed, opt.factor, uniform_cfg(cores));
+        const auto p =
+            bench::run_dwarf(spec, seed, opt.factor, poly_cfg(cores));
+        s_uni += double(base.vt) / double(u.vt);
+        s_poly += double(base.vt) / double(p.vt);
+      }
+      uni.y.push_back(s_uni / opt.datasets);
+      poly.y.push_back(s_poly / opt.datasets);
+    }
+    const double delta =
+        (poly.y.back() / uni.y.back() - 1.0) * 100.0;
+    std::cout << "# " << spec.name << " @" << axis.back()
+              << " cores: polymorphic speedup " << stats::fmt(delta)
+              << "% vs uniform\n";
+    table.add_series(std::move(uni));
+    table.add_series(std::move(poly));
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Shared command-line harness for the figure-reproduction benches.
+//
+// Every bench binary accepts:
+//   --factor <f>     dataset scale relative to the paper (default
+//                    per-binary, recorded in the output header)
+//   --datasets <n>   number of random datasets averaged per point
+//   --seed <s>       base seed
+//   --max-cores <n>  clip the core-count axis
+//   --full           paper-scale datasets (factor 1.0, 50 datasets)
+//
+// and prints FigureTable output matching the paper's rows/series.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace simany::bench {
+
+struct HarnessOptions {
+  double factor = 0.05;
+  int datasets = 3;
+  std::uint64_t seed = 1;
+  std::uint32_t max_cores = 1024;
+  bool full = false;
+
+  static HarnessOptions parse(int argc, char** argv,
+                              double default_factor,
+                              int default_datasets,
+                              std::uint32_t default_max_cores = 1024) {
+    HarnessOptions o;
+    o.factor = default_factor;
+    o.datasets = default_datasets;
+    o.max_cores = default_max_cores;
+    for (int i = 1; i < argc; ++i) {
+      auto need = [&](const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for %s\n", flag);
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (std::strcmp(argv[i], "--factor") == 0) {
+        o.factor = std::atof(need("--factor"));
+      } else if (std::strcmp(argv[i], "--datasets") == 0) {
+        o.datasets = std::atoi(need("--datasets"));
+      } else if (std::strcmp(argv[i], "--seed") == 0) {
+        o.seed = std::strtoull(need("--seed"), nullptr, 10);
+      } else if (std::strcmp(argv[i], "--max-cores") == 0) {
+        o.max_cores = static_cast<std::uint32_t>(
+            std::strtoul(need("--max-cores"), nullptr, 10));
+      } else if (std::strcmp(argv[i], "--full") == 0) {
+        o.full = true;
+        o.factor = 1.0;
+        o.datasets = 50;
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf(
+            "usage: %s [--factor f] [--datasets n] [--seed s] "
+            "[--max-cores n] [--full]\n",
+            argv[0]);
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+        std::exit(2);
+      }
+    }
+    return o;
+  }
+
+  void print_header(const char* what) const {
+    std::printf("# %s\n", what);
+    std::printf(
+        "# factor=%g datasets=%d seed=%llu max_cores=%u%s\n",
+        factor, datasets, static_cast<unsigned long long>(seed), max_cores,
+        full ? " (paper scale)" : " (scaled down; use --full for paper "
+                                  "scale)");
+  }
+
+  /// Core counts up to max_cores from the paper's axis {1,8,64,256,1024}
+  /// (exploration figures) or {1,2,4,8,16,32,64} (validation figures).
+  [[nodiscard]] std::vector<std::uint32_t> exploration_axis() const {
+    std::vector<std::uint32_t> xs;
+    for (std::uint32_t c : {1u, 8u, 64u, 256u, 1024u}) {
+      if (c <= max_cores) xs.push_back(c);
+    }
+    return xs;
+  }
+  [[nodiscard]] std::vector<std::uint32_t> validation_axis() const {
+    std::vector<std::uint32_t> xs;
+    for (std::uint32_t c : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+      if (c <= max_cores) xs.push_back(c);
+    }
+    return xs;
+  }
+};
+
+}  // namespace simany::bench

@@ -1,0 +1,151 @@
+// Engine primitive micro-benchmarks (google-benchmark).
+//
+// Measures the host-side costs that determine SiMany's simulation
+// speed: fiber context switches, annotated compute blocks (which pay
+// the spatial-synchronization check), memory-model accesses, the
+// probe/spawn handshake, network message timing, and the supporting
+// models in isolation.
+
+#include <benchmark/benchmark.h>
+
+#include "config/arch_config.h"
+#include "core/engine.h"
+#include "core/fiber.h"
+#include "mem/pessimistic_l1.h"
+#include "mem/setassoc_cache.h"
+#include "net/network.h"
+#include "timing/cost_model.h"
+
+using namespace simany;
+
+namespace {
+
+void BM_FiberSwitch(benchmark::State& state) {
+  FiberPool pool(64 * 1024);
+  bool stop = false;
+  auto fiber = pool.create([&] {
+    while (!stop) Fiber::yield();
+  });
+  for (auto _ : state) {
+    fiber->resume();  // one switch in + one switch out
+  }
+  stop = true;
+  fiber->resume();
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_ComputeBlock(benchmark::State& state) {
+  // Cost of one annotated compute block on an otherwise idle engine,
+  // including the drift-limit check. Measured in blocks/s by running a
+  // single task that computes `n` blocks.
+  const auto blocks = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Engine sim(ArchConfig::shared_mesh(4));
+    (void)sim.run([blocks](TaskCtx& ctx) {
+      for (std::size_t i = 0; i < blocks; ++i) ctx.compute(10);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(blocks));
+}
+BENCHMARK(BM_ComputeBlock)->Arg(10000);
+
+void BM_MemAccess(benchmark::State& state) {
+  const auto accesses = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Engine sim(ArchConfig::shared_mesh(4));
+    (void)sim.run([accesses](TaskCtx& ctx) {
+      for (std::size_t i = 0; i < accesses; ++i) {
+        ctx.mem_read(i * 8, 8);
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(accesses));
+}
+BENCHMARK(BM_MemAccess)->Arg(10000);
+
+void BM_ProbeSpawnJoin(benchmark::State& state) {
+  // Full conditional-spawn round trip: probe handshake + task spawn +
+  // completion + join notification, on a 16-core mesh.
+  const int tasks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine sim(ArchConfig::shared_mesh(16));
+    (void)sim.run([tasks](TaskCtx& ctx) {
+      const GroupId g = ctx.make_group();
+      for (int i = 0; i < tasks; ++i) {
+        spawn_or_run(ctx, g, [](TaskCtx& c) { c.compute(1); });
+      }
+      ctx.join(g);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          tasks);
+}
+BENCHMARK(BM_ProbeSpawnJoin)->Arg(1000);
+
+void BM_NetworkSend(benchmark::State& state) {
+  const auto topo = net::Topology::mesh2d(1024);
+  net::Network network(topo);
+  Tick t = 0;
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        network.send(i % 1024, (i * 37 + 11) % 1024, 64, t));
+    t += 12;
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkSend);
+
+void BM_RoutingTableBuild(benchmark::State& state) {
+  const auto cores = static_cast<std::uint32_t>(state.range(0));
+  const auto topo = net::Topology::mesh2d(cores);
+  for (auto _ : state) {
+    net::RoutingTable table(topo);
+    benchmark::DoNotOptimize(table.hops(0, cores - 1));
+  }
+}
+BENCHMARK(BM_RoutingTableBuild)->Arg(64)->Arg(1024);
+
+void BM_PessimisticL1(benchmark::State& state) {
+  mem::PessimisticL1 l1(32);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(l1.access(addr, 8));
+    addr += 8;
+    if (addr > 64 * 1024) {
+      l1.flush();
+      addr = 0;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PessimisticL1);
+
+void BM_SetAssocCache(benchmark::State& state) {
+  mem::SetAssocCache cache({16 * 1024, 32, 4});
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addr, false));
+    addr = addr * 1664525 + 1013904223;  // pseudo-random walk
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SetAssocCache);
+
+void BM_CostModelBlock(benchmark::State& state) {
+  timing::CostModel model;
+  Rng rng(7);
+  const timing::InstMix mix{.int_alu = 12, .int_mul = 2, .fp_alu = 4,
+                            .fp_mul_div = 1, .branches = 3,
+                            .branches_static = 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.block_cost(mix, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CostModelBlock);
+
+}  // namespace

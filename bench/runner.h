@@ -1,0 +1,65 @@
+// Shared measurement helpers for the figure benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "config/arch_config.h"
+#include "core/engine.h"
+#include "dwarfs/dwarfs.h"
+#include "runtime/native_sim.h"
+
+namespace simany::bench {
+
+struct RunResult {
+  Tick vt = 0;          // virtual completion time
+  double wall = 0.0;    // host seconds for the simulation
+};
+
+/// One simulated run of a dwarf dataset.
+inline RunResult run_dwarf(const dwarfs::DwarfSpec& spec,
+                           std::uint64_t seed, double factor,
+                           ArchConfig cfg,
+                           ExecutionMode mode = ExecutionMode::kVirtualTime) {
+  Engine sim(std::move(cfg), mode);
+  const auto stats = sim.run(spec.make_root(seed, factor));
+  return RunResult{stats.completion_ticks, stats.wall_seconds};
+}
+
+/// Native execution time of the same dataset, repeated until at least
+/// ~20 ms of wall time has been accumulated so the result is stable.
+inline double native_seconds(const dwarfs::DwarfSpec& spec,
+                             std::uint64_t seed, double factor) {
+  const auto t0 = std::chrono::steady_clock::now();
+  int reps = 0;
+  double elapsed = 0.0;
+  do {
+    runtime::NativeCtx ctx(seed);
+    spec.make_root(seed, factor)(ctx);
+    ++reps;
+    elapsed = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  } while (elapsed < 0.02 && reps < 1000);
+  return elapsed / reps;
+}
+
+/// Mean virtual-time speedup of `cores` relative to 1 core over
+/// `datasets` seeds. `make_cfg(cores)` builds the architecture.
+inline double mean_speedup(
+    const dwarfs::DwarfSpec& spec,
+    const std::function<ArchConfig(std::uint32_t)>& make_cfg,
+    std::uint32_t cores, double factor, int datasets, std::uint64_t seed0,
+    ExecutionMode mode = ExecutionMode::kVirtualTime) {
+  double sum = 0;
+  for (int d = 0; d < datasets; ++d) {
+    const std::uint64_t seed = seed0 + 1000ull * d;
+    const auto base = run_dwarf(spec, seed, factor, make_cfg(1), mode);
+    const auto run = run_dwarf(spec, seed, factor, make_cfg(cores), mode);
+    sum += static_cast<double>(base.vt) / static_cast<double>(run.vt);
+  }
+  return sum / datasets;
+}
+
+}  // namespace simany::bench

@@ -1,0 +1,83 @@
+// Design-space exploration: the use case SiMany was built for
+// (paper SS I, SS VI) — quickly comparing coarse architecture choices
+// for a fixed workload.
+//
+// Sweeps one dwarf benchmark (default: dijkstra) across:
+//   * memory organization  (optimistic shared vs distributed cells)
+//   * interconnect shape   (flat mesh, 4-cluster mesh, torus)
+//   * core mix             (uniform vs polymorphic)
+// at several machine sizes, and prints virtual-time speedups so an
+// architect can see which organization wins where.
+//
+// Usage: design_space_explorer [dwarf-name] [factor]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "config/arch_config.h"
+#include "core/engine.h"
+#include "dwarfs/dwarfs.h"
+
+using namespace simany;
+
+namespace {
+
+Tick run_vt(ArchConfig cfg, const dwarfs::DwarfSpec& spec, double factor) {
+  Engine sim(std::move(cfg));
+  return sim.run(spec.make_root(/*seed=*/7, factor)).completion_ticks;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "dijkstra";
+  const double factor = argc > 2 ? std::atof(argv[2]) : 0.08;
+  const auto& spec = dwarfs::dwarf_by_name(name);
+
+  struct Variant {
+    const char* label;
+    ArchConfig (*make)(std::uint32_t cores);
+  };
+  const Variant variants[] = {
+      {"shared flat mesh",
+       [](std::uint32_t c) { return ArchConfig::shared_mesh(c); }},
+      {"distributed flat mesh",
+       [](std::uint32_t c) { return ArchConfig::distributed_mesh(c); }},
+      {"distributed 4-cluster",
+       [](std::uint32_t c) {
+         return ArchConfig::clustered(ArchConfig::distributed_mesh(c), 4);
+       }},
+      {"distributed torus",
+       [](std::uint32_t c) {
+         ArchConfig cfg = ArchConfig::distributed_mesh(c);
+         cfg.topology = net::Topology::torus2d(c);
+         return cfg;
+       }},
+      {"distributed polymorphic",
+       [](std::uint32_t c) {
+         return ArchConfig::polymorphic(ArchConfig::distributed_mesh(c));
+       }},
+  };
+
+  std::printf("Design-space exploration: %s (factor %.3g)\n\n",
+              name.c_str(), factor);
+  std::printf("%-26s", "architecture");
+  const std::uint32_t sizes[] = {16, 64, 256};
+  for (std::uint32_t c : sizes) std::printf("  %8uc", c);
+  std::printf("   (virtual-time speedup vs 1-core shared)\n");
+
+  const Tick base = run_vt(ArchConfig::shared_mesh(1), spec, factor);
+  for (const auto& v : variants) {
+    std::printf("%-26s", v.label);
+    for (std::uint32_t c : sizes) {
+      const Tick t = run_vt(v.make(c), spec, factor);
+      std::printf("  %9.2f", double(base) / double(t));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nReading: higher is better; compare rows to pick an "
+      "organization for this workload.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Heterogeneity-aware scheduling on polymorphic machines — the paper's
+// future-work suggestion (SS VIII): "the results we obtained for the
+// polymorphic ... architectures could be improved substantially with
+// specific scheduling policies that would take into account the ...
+// computing power disparity among cores."
+//
+// SiMany's run-time implements that policy behind
+// RuntimeCosts::speed_aware_dispatch: probe targets and migration
+// victims are scored by load / speed instead of load alone. This
+// example measures what the policy buys on polymorphic meshes.
+
+#include <cstdio>
+
+#include "config/arch_config.h"
+#include "core/engine.h"
+#include "dwarfs/dwarfs.h"
+
+using namespace simany;
+
+namespace {
+
+Tick run(std::uint32_t cores, bool polymorphic, bool speed_aware,
+         const dwarfs::DwarfSpec& spec, double factor) {
+  ArchConfig cfg = ArchConfig::shared_mesh(cores);
+  if (polymorphic) cfg = ArchConfig::polymorphic(std::move(cfg));
+  cfg.runtime.speed_aware_dispatch = speed_aware;
+  Engine sim(std::move(cfg));
+  return sim.run(spec.make_root(/*seed=*/21, factor)).completion_ticks;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double factor = argc > 1 ? std::atof(argv[1]) : 0.1;
+  std::printf("Polymorphic meshes: naive vs speed-aware dispatch "
+              "(factor %.3g)\n\n", factor);
+  std::printf("%-22s %6s %14s %14s %14s %9s\n", "dwarf", "cores",
+              "uniform", "poly naive", "poly aware", "gain");
+  for (const auto& spec : dwarfs::all_dwarfs()) {
+    for (std::uint32_t cores : {16u, 64u}) {
+      const Tick uni = run(cores, false, false, spec, factor);
+      const Tick naive = run(cores, true, false, spec, factor);
+      const Tick aware = run(cores, true, true, spec, factor);
+      std::printf("%-22s %6u %14llu %14llu %14llu %8.1f%%\n",
+                  spec.name.c_str(), cores,
+                  static_cast<unsigned long long>(cycles_floor(uni)),
+                  static_cast<unsigned long long>(cycles_floor(naive)),
+                  static_cast<unsigned long long>(cycles_floor(aware)),
+                  (double(naive) / double(aware) - 1.0) * 100.0);
+    }
+  }
+  std::printf(
+      "\n'gain' is the execution-time improvement of speed-aware "
+      "dispatch over the naive run-time on the same polymorphic "
+      "machine.\n");
+  return 0;
+}

@@ -1,0 +1,170 @@
+// simany_cli — run any dwarf benchmark on any architecture from the
+// command line, the way an architect would drive the simulator.
+//
+//   simany_cli --dwarf dijkstra --cores 64 --distributed --factor 0.1
+//   simany_cli --config my_arch.cfg --dwarf spmxv --trace events.csv
+//   simany_cli --save-config out.cfg --cores 256 --clusters 4
+//
+// Flags:
+//   --dwarf <name>        benchmark (default spmxv); 'list' to list
+//   --config <file>       load a full ArchConfig (config_io format)
+//   --save-config <file>  write the effective config and exit
+//   --cores <n>           preset mesh size (default 16)
+//   --distributed         distributed-memory architecture
+//   --clusters <n>        clustered mesh preset
+//   --polymorphic         alternating 1/2, 3/2 core speeds
+//   --t <cycles>          drift bound T (default 100)
+//   --factor <f>          dataset scale (default 0.1)
+//   --seed <s>            dataset seed (default 1)
+//   --cycle-level         run the conservative reference simulator
+//   --trace <file>        write a CSV event trace
+//   --messages            print the message-kind histogram
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "config/arch_config.h"
+#include "config/config_io.h"
+#include "core/engine.h"
+#include "dwarfs/dwarfs.h"
+#include "stats/trace_sinks.h"
+
+using namespace simany;
+
+int main(int argc, char** argv) {
+  std::string dwarf_name = "spmxv";
+  std::optional<std::string> config_path;
+  std::optional<std::string> save_config_path;
+  std::optional<std::string> trace_path;
+  std::uint32_t cores = 16;
+  std::uint32_t clusters = 0;
+  bool distributed = false;
+  bool polymorphic = false;
+  bool cycle_level = false;
+  bool show_messages = false;
+  Cycles drift_t = 100;
+  double factor = 0.1;
+  std::uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--dwarf")) {
+      dwarf_name = need("--dwarf");
+    } else if (!std::strcmp(argv[i], "--config")) {
+      config_path = need("--config");
+    } else if (!std::strcmp(argv[i], "--save-config")) {
+      save_config_path = need("--save-config");
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      trace_path = need("--trace");
+    } else if (!std::strcmp(argv[i], "--cores")) {
+      cores = static_cast<std::uint32_t>(std::atoi(need("--cores")));
+    } else if (!std::strcmp(argv[i], "--clusters")) {
+      clusters = static_cast<std::uint32_t>(std::atoi(need("--clusters")));
+    } else if (!std::strcmp(argv[i], "--distributed")) {
+      distributed = true;
+    } else if (!std::strcmp(argv[i], "--polymorphic")) {
+      polymorphic = true;
+    } else if (!std::strcmp(argv[i], "--cycle-level")) {
+      cycle_level = true;
+    } else if (!std::strcmp(argv[i], "--messages")) {
+      show_messages = true;
+    } else if (!std::strcmp(argv[i], "--t")) {
+      drift_t = std::strtoull(need("--t"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--factor")) {
+      factor = std::atof(need("--factor"));
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      seed = std::strtoull(need("--seed"), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag %s (see header comment)\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+
+  if (dwarf_name == "list") {
+    for (const auto& spec : dwarfs::all_dwarfs()) {
+      std::printf("%s\n", spec.name.c_str());
+    }
+    return 0;
+  }
+
+  ArchConfig cfg;
+  if (config_path) {
+    cfg = load_config_file(*config_path);
+  } else {
+    cfg = distributed ? ArchConfig::distributed_mesh(cores)
+                      : ArchConfig::shared_mesh(cores);
+    if (clusters > 0) cfg = ArchConfig::clustered(std::move(cfg), clusters);
+    if (polymorphic) cfg = ArchConfig::polymorphic(std::move(cfg));
+    cfg.drift_t_cycles = drift_t;
+  }
+
+  if (save_config_path) {
+    std::ofstream out(*save_config_path);
+    save_config(cfg, out);
+    std::printf("wrote %s\n", save_config_path->c_str());
+    return 0;
+  }
+
+  const auto& spec = dwarfs::dwarf_by_name(dwarf_name);
+  Engine sim(cfg, cycle_level ? ExecutionMode::kCycleLevel
+                              : ExecutionMode::kVirtualTime);
+
+  std::ofstream trace_file;
+  std::optional<stats::CsvTrace> csv;
+  stats::MessageHistogram histogram;
+  stats::TeeTrace tee;
+  if (trace_path) {
+    trace_file.open(*trace_path);
+    csv.emplace(trace_file);
+    tee.add(&*csv);
+  }
+  if (show_messages) tee.add(&histogram);
+  if (trace_path || show_messages) sim.set_trace(&tee);
+
+  const SimStats st = sim.run(spec.make_root(seed, factor));
+
+  std::printf("dwarf           : %s (seed %llu, factor %g)\n",
+              dwarf_name.c_str(), static_cast<unsigned long long>(seed),
+              factor);
+  std::printf("architecture    : %u cores, %s, T=%llu%s%s\n",
+              cfg.num_cores(),
+              cfg.mem.model == mem::MemoryModel::kShared ? "shared"
+                                                         : "distributed",
+              static_cast<unsigned long long>(cfg.drift_t_cycles),
+              polymorphic ? ", polymorphic" : "",
+              cycle_level ? ", cycle-level" : "");
+  std::printf("virtual time    : %llu cycles\n",
+              static_cast<unsigned long long>(st.completion_cycles()));
+  std::printf("tasks           : %llu spawned, %llu inline, %llu migrated\n",
+              static_cast<unsigned long long>(st.tasks_spawned),
+              static_cast<unsigned long long>(st.tasks_inlined),
+              static_cast<unsigned long long>(st.tasks_migrated));
+  std::printf("messages        : %llu (%llu bytes over %llu hops)\n",
+              static_cast<unsigned long long>(st.messages),
+              static_cast<unsigned long long>(st.network.bytes),
+              static_cast<unsigned long long>(st.network.hops));
+  std::printf("sync stalls     : %llu (avg parallelism %.1f)\n",
+              static_cast<unsigned long long>(st.sync_stalls),
+              st.avg_parallelism());
+  std::printf("host wall time  : %.3f ms\n", st.wall_seconds * 1e3);
+  if (show_messages) {
+    std::printf("-- message kinds --\n");
+    histogram.print(std::cout);
+  }
+  if (trace_path) {
+    std::printf("trace           : %s (%llu rows)\n", trace_path->c_str(),
+                static_cast<unsigned long long>(csv->rows()));
+  }
+  return 0;
+}

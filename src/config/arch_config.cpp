@@ -1,0 +1,69 @@
+#include "config/arch_config.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace simany {
+
+void ArchConfig::validate() const {
+  if (topology.num_cores() == 0) {
+    throw std::invalid_argument("ArchConfig: no cores");
+  }
+  if (!topology.connected()) {
+    throw std::invalid_argument("ArchConfig: topology is not connected");
+  }
+  if (!core_speeds.empty() && core_speeds.size() != topology.num_cores()) {
+    throw std::invalid_argument(
+        "ArchConfig: core_speeds size does not match core count");
+  }
+  for (const Speed& s : core_speeds) {
+    if (s.num == 0 || s.den == 0) {
+      throw std::invalid_argument("ArchConfig: zero speed component");
+    }
+  }
+  if (runtime.task_queue_capacity == 0) {
+    throw std::invalid_argument("ArchConfig: zero task queue capacity");
+  }
+  if (mem.line_bytes == 0) {
+    throw std::invalid_argument("ArchConfig: zero cache line size");
+  }
+}
+
+ArchConfig ArchConfig::shared_mesh(std::uint32_t cores) {
+  ArchConfig cfg;
+  cfg.topology = net::Topology::mesh2d(cores);
+  cfg.mem.model = mem::MemoryModel::kShared;
+  return cfg;
+}
+
+ArchConfig ArchConfig::distributed_mesh(std::uint32_t cores) {
+  ArchConfig cfg;
+  cfg.topology = net::Topology::mesh2d(cores);
+  cfg.mem.model = mem::MemoryModel::kDistributed;
+  return cfg;
+}
+
+ArchConfig ArchConfig::clustered(ArchConfig base, std::uint32_t clusters) {
+  net::LinkProps intra;
+  intra.latency = kTicksPerCycle / 2;  // 0.5 cycles
+  net::LinkProps inter;
+  inter.latency = 4 * kTicksPerCycle;  // 4 cycles
+  base.topology = net::Topology::clustered_mesh2d(
+      base.topology.num_cores(), clusters, intra, inter);
+  return base;
+}
+
+ArchConfig ArchConfig::polymorphic(ArchConfig base) {
+  base.core_speeds.assign(base.topology.num_cores(), Speed{});
+  for (std::uint32_t c = 0; c < base.topology.num_cores(); ++c) {
+    base.core_speeds[c] = (c % 2 == 0) ? Speed{1, 2} : Speed{3, 2};
+  }
+  return base;
+}
+
+ArchConfig ArchConfig::with_coherence(ArchConfig base) {
+  base.mem.coherence_timing = true;
+  return base;
+}
+
+}  // namespace simany

@@ -1,0 +1,129 @@
+// Complete description of a simulated architecture + simulator knobs.
+//
+// Mirrors the paper's experimental setup (SS V): PowerPC-405-like scalar
+// cores over a 2D mesh (uniform / clustered / polymorphic), shared or
+// distributed memory, link latency 1 cycle and bandwidth 128 B/cycle,
+// maximum local drift T = 100 cycles, task-start overhead 10 cycles and
+// join context switch 15 cycles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/vtime.h"
+#include "mem/mem_params.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "timing/cost_model.h"
+
+namespace simany {
+
+/// Costs charged by the simulated run-time system itself (paper SS V,
+/// "Virtual Timing Parameters").
+struct RuntimeCosts {
+  /// Overhead of starting a task on a core, in addition to the time to
+  /// receive the spawn message.
+  Cycles task_start_cycles = 10;
+  /// Context switch to a joining task resuming execution.
+  Cycles join_switch_cycles = 15;
+  /// Run-time processing of a PROBE / task-management message.
+  Cycles msg_handle_cycles = 2;
+  /// Task-queue capacity per core; PROBE reserves one slot.
+  std::uint32_t task_queue_capacity = 2;
+  /// Default wire sizes of run-time messages.
+  std::uint32_t probe_msg_bytes = 8;
+  std::uint32_t spawn_msg_bytes = 64;
+  std::uint32_t ctrl_msg_bytes = 8;
+
+  /// Heterogeneity-aware dispatch (the paper's future-work suggestion,
+  /// SS VIII): probe targets and migration victims are scored by load
+  /// divided by core speed, steering work toward faster cores on
+  /// polymorphic machines. Off by default — the paper's run-time "is
+  /// not particularly tuned for such architectures".
+  bool speed_aware_dispatch = false;
+
+  /// When true, probes consult stale neighbor-occupancy proxies kept
+  /// up to date by architectural broadcast messages, exactly as the
+  /// paper's run-time does (SS IV). When false (default) proxies are
+  /// read instantly — equivalent to always-fresh broadcasts, cheaper
+  /// to simulate; see the ablation bench for the difference.
+  bool broadcast_occupancy = false;
+};
+
+/// Virtual-time synchronization scheme (paper SS II and SS VII).
+enum class SyncScheme : std::uint8_t {
+  /// SiMany's spatial synchronization: a core may lead the anchored
+  /// time reachable through the topology by at most T per hop. Purely
+  /// local and distributed.
+  kSpatial,
+  /// SlackSim-style bounded slack: a core may lead the *global*
+  /// minimum active virtual time by at most T. Kept as an ablation
+  /// baseline; requires global information every check.
+  kBoundedSlack,
+};
+
+struct ArchConfig {
+  net::Topology topology = net::Topology::mesh2d(1);
+  /// Per-core speed factors; empty means every core runs at speed 1.
+  std::vector<Speed> core_speeds;
+  mem::MemParams mem;
+  net::NetworkParams network;
+  timing::CostTable cost_table;
+  timing::BranchModel branch;
+  RuntimeCosts runtime;
+
+  /// Maximum local virtual-time drift T between topological neighbors,
+  /// in cycles (paper reference value: 100).
+  Cycles drift_t_cycles = 100;
+
+  /// How the drift bound is enforced (default: the paper's scheme).
+  SyncScheme sync_scheme = SyncScheme::kSpatial;
+
+  /// Compute-chopping quantum of the cycle-level mode, in cycles.
+  /// Smaller = finer event interleaving (closer to per-cycle
+  /// simulation), slower to run.
+  Cycles cl_quantum_cycles = 16;
+
+  /// Master seed; per-core streams derive from it.
+  std::uint64_t seed = 1;
+
+  /// Stack size for task fibers.
+  std::size_t fiber_stack_bytes = 256 * 1024;
+
+  [[nodiscard]] std::uint32_t num_cores() const noexcept {
+    return topology.num_cores();
+  }
+  [[nodiscard]] Speed speed_of(std::uint32_t core) const noexcept {
+    return core_speeds.empty() ? Speed{} : core_speeds[core];
+  }
+  [[nodiscard]] Tick drift_ticks() const noexcept {
+    return ticks(drift_t_cycles);
+  }
+
+  /// Throws std::invalid_argument when inconsistent (disconnected
+  /// topology, speed vector size mismatch, zero speeds, ...).
+  void validate() const;
+
+  // ---- Paper presets -------------------------------------------------
+
+  /// Optimistic shared-memory architecture: uniform 2D mesh, private L1
+  /// (1 cycle), uniform 10-cycle shared memory, no coherence delays.
+  static ArchConfig shared_mesh(std::uint32_t cores);
+
+  /// Realistic distributed-memory architecture: adds a per-core L2
+  /// (10 cycles); shared data handled by the run-time in cells.
+  static ArchConfig distributed_mesh(std::uint32_t cores);
+
+  /// Replaces the topology with a clustered mesh: inter-cluster links
+  /// 4 cycles, intra-cluster links 0.5 cycles (paper SS V).
+  static ArchConfig clustered(ArchConfig base, std::uint32_t clusters);
+
+  /// Makes the core mix polymorphic: every even core twice slower,
+  /// every odd core faster by 3/2 — same cumulative computing power.
+  static ArchConfig polymorphic(ArchConfig base);
+
+  /// Enables the abstract coherence-delay model (validation mode).
+  static ArchConfig with_coherence(ArchConfig base);
+};
+
+}  // namespace simany

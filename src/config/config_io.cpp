@@ -1,0 +1,270 @@
+#include "config/config_io.h"
+
+#include <fstream>
+#include <istream>
+#include <tuple>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace simany {
+
+namespace {
+
+struct RawConfig {
+  std::uint32_t cores = 0;
+  std::string topology = "mesh";
+  std::uint32_t clusters = 4;
+  std::string topology_file;
+  std::vector<std::tuple<net::CoreId, net::CoreId, net::LinkProps>> links;
+  bool have_links = false;
+  double link_latency_cycles = 1.0;
+  std::uint32_t link_bandwidth = 128;
+  ArchConfig cfg;  // scalar fields accumulate here
+  bool polymorphic = false;
+  std::vector<std::pair<std::uint32_t, Speed>> speeds;
+};
+
+[[noreturn]] void fail(std::size_t lineno, const std::string& what) {
+  throw std::runtime_error("config parse error at line " +
+                           std::to_string(lineno) + ": " + what);
+}
+
+bool parse_bool(const std::string& v, std::size_t lineno) {
+  if (v == "on" || v == "true" || v == "1") return true;
+  if (v == "off" || v == "false" || v == "0") return false;
+  fail(lineno, "expected on/off, got '" + v + "'");
+}
+
+Speed parse_speed(const std::string& v, std::size_t lineno) {
+  const auto slash = v.find('/');
+  if (slash == std::string::npos) {
+    const auto num = static_cast<std::uint32_t>(std::stoul(v));
+    if (num == 0) fail(lineno, "zero speed");
+    return Speed{num, 1};
+  }
+  const auto num =
+      static_cast<std::uint32_t>(std::stoul(v.substr(0, slash)));
+  const auto den =
+      static_cast<std::uint32_t>(std::stoul(v.substr(slash + 1)));
+  if (num == 0 || den == 0) fail(lineno, "zero speed component");
+  return Speed{num, den};
+}
+
+}  // namespace
+
+ArchConfig parse_config(std::istream& in) {
+  RawConfig raw;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;
+    auto next = [&]() -> std::string {
+      std::string v;
+      if (!(ls >> v)) fail(lineno, "missing value for '" + key + "'");
+      return v;
+    };
+    auto next_u32 = [&]() -> std::uint32_t {
+      return static_cast<std::uint32_t>(std::stoul(next()));
+    };
+    auto next_u64 = [&]() -> std::uint64_t { return std::stoull(next()); };
+
+    if (key == "cores") {
+      raw.cores = next_u32();
+    } else if (key == "topology") {
+      raw.topology = next();
+      if (raw.topology == "clustered") raw.clusters = next_u32();
+    } else if (key == "topology_file") {
+      raw.topology_file = next();
+    } else if (key == "link") {
+      const auto a = next_u32();
+      const auto b = next_u32();
+      net::LinkProps props;
+      Tick lat = 0;
+      if (ls >> lat) props.latency = lat;
+      std::uint32_t bw = 0;
+      if (ls >> bw) props.bandwidth_bytes_per_cycle = bw;
+      raw.links.emplace_back(a, b, props);
+      raw.have_links = true;
+    } else if (key == "memory") {
+      const auto v = next();
+      if (v == "shared") {
+        raw.cfg.mem.model = mem::MemoryModel::kShared;
+      } else if (v == "distributed") {
+        raw.cfg.mem.model = mem::MemoryModel::kDistributed;
+      } else {
+        fail(lineno, "unknown memory model '" + v + "'");
+      }
+    } else if (key == "coherence") {
+      raw.cfg.mem.coherence_timing = parse_bool(next(), lineno);
+    } else if (key == "drift_t") {
+      raw.cfg.drift_t_cycles = next_u64();
+    } else if (key == "sync") {
+      const auto v = next();
+      if (v == "spatial") {
+        raw.cfg.sync_scheme = SyncScheme::kSpatial;
+      } else if (v == "bounded-slack") {
+        raw.cfg.sync_scheme = SyncScheme::kBoundedSlack;
+      } else {
+        fail(lineno, "unknown sync scheme '" + v + "'");
+      }
+    } else if (key == "seed") {
+      raw.cfg.seed = next_u64();
+    } else if (key == "link_latency") {
+      raw.link_latency_cycles = std::stod(next());
+    } else if (key == "link_bandwidth") {
+      raw.link_bandwidth = next_u32();
+    } else if (key == "speed") {
+      const auto core = next_u32();
+      raw.speeds.emplace_back(core, parse_speed(next(), lineno));
+    } else if (key == "polymorphic") {
+      raw.polymorphic = true;
+    } else if (key == "l1_latency") {
+      raw.cfg.mem.l1_latency_cycles = next_u64();
+    } else if (key == "shared_latency") {
+      raw.cfg.mem.shared_latency_cycles = next_u64();
+    } else if (key == "l2_latency") {
+      raw.cfg.mem.l2_latency_cycles = next_u64();
+    } else if (key == "line_bytes") {
+      raw.cfg.mem.line_bytes = next_u32();
+    } else if (key == "task_start") {
+      raw.cfg.runtime.task_start_cycles = next_u64();
+    } else if (key == "join_switch") {
+      raw.cfg.runtime.join_switch_cycles = next_u64();
+    } else if (key == "msg_handle") {
+      raw.cfg.runtime.msg_handle_cycles = next_u64();
+    } else if (key == "routing") {
+      const auto v = next();
+      if (v == "hops") {
+        raw.cfg.network.routing = net::RouteWeighting::kHops;
+      } else if (v == "latency") {
+        raw.cfg.network.routing = net::RouteWeighting::kLatency;
+      } else {
+        fail(lineno, "unknown routing weighting '" + v + "'");
+      }
+    } else if (key == "cl_quantum") {
+      raw.cfg.cl_quantum_cycles = next_u64();
+    } else if (key == "task_queue") {
+      raw.cfg.runtime.task_queue_capacity = next_u32();
+    } else if (key == "speed_aware_dispatch") {
+      raw.cfg.runtime.speed_aware_dispatch = parse_bool(next(), lineno);
+    } else if (key == "broadcast_occupancy") {
+      raw.cfg.runtime.broadcast_occupancy = parse_bool(next(), lineno);
+    } else {
+      fail(lineno, "unknown keyword '" + key + "'");
+    }
+  }
+
+  if (raw.cores == 0) {
+    throw std::runtime_error("config parse error: missing 'cores'");
+  }
+
+  // Assemble the topology.
+  ArchConfig cfg = std::move(raw.cfg);
+  net::LinkProps props;
+  props.latency =
+      static_cast<Tick>(raw.link_latency_cycles * kTicksPerCycle + 0.5);
+  props.bandwidth_bytes_per_cycle = raw.link_bandwidth;
+  if (!raw.topology_file.empty()) {
+    cfg.topology = net::Topology::load_file(raw.topology_file);
+  } else if (raw.have_links) {
+    net::Topology t(raw.cores);
+    for (const auto& [a, b, p] : raw.links) t.add_link(a, b, p);
+    cfg.topology = std::move(t);
+  } else if (raw.topology == "mesh") {
+    cfg.topology = net::Topology::mesh2d(raw.cores, props);
+  } else if (raw.topology == "torus") {
+    cfg.topology = net::Topology::torus2d(raw.cores, props);
+  } else if (raw.topology == "ring") {
+    cfg.topology = net::Topology::ring(raw.cores, props);
+  } else if (raw.topology == "crossbar") {
+    cfg.topology = net::Topology::crossbar(raw.cores, props);
+  } else if (raw.topology == "clustered") {
+    net::LinkProps intra = props;
+    intra.latency = kTicksPerCycle / 2;
+    net::LinkProps inter = props;
+    inter.latency = 4 * kTicksPerCycle;
+    cfg.topology = net::Topology::clustered_mesh2d(raw.cores, raw.clusters,
+                                                   intra, inter);
+  } else {
+    throw std::runtime_error("config parse error: unknown topology '" +
+                             raw.topology + "'");
+  }
+
+  if (raw.polymorphic) {
+    cfg = ArchConfig::polymorphic(std::move(cfg));
+  }
+  if (!raw.speeds.empty()) {
+    if (cfg.core_speeds.empty()) {
+      cfg.core_speeds.assign(cfg.num_cores(), Speed{});
+    }
+    for (const auto& [core, speed] : raw.speeds) {
+      if (core >= cfg.num_cores()) {
+        throw std::runtime_error(
+            "config parse error: speed core out of range");
+      }
+      cfg.core_speeds[core] = speed;
+    }
+  }
+  cfg.validate();
+  return cfg;
+}
+
+ArchConfig load_config_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open config file: " + path);
+  return parse_config(in);
+}
+
+void save_config(const ArchConfig& cfg, std::ostream& out) {
+  out << "# simany architecture configuration\n";
+  out << "cores " << cfg.num_cores() << "\n";
+  out << "memory "
+      << (cfg.mem.model == mem::MemoryModel::kShared ? "shared"
+                                                     : "distributed")
+      << "\n";
+  out << "coherence " << (cfg.mem.coherence_timing ? "on" : "off") << "\n";
+  out << "drift_t " << cfg.drift_t_cycles << "\n";
+  out << "sync "
+      << (cfg.sync_scheme == SyncScheme::kSpatial ? "spatial"
+                                                  : "bounded-slack")
+      << "\n";
+  out << "seed " << cfg.seed << "\n";
+  out << "l1_latency " << cfg.mem.l1_latency_cycles << "\n";
+  out << "shared_latency " << cfg.mem.shared_latency_cycles << "\n";
+  out << "l2_latency " << cfg.mem.l2_latency_cycles << "\n";
+  out << "line_bytes " << cfg.mem.line_bytes << "\n";
+  out << "task_start " << cfg.runtime.task_start_cycles << "\n";
+  out << "join_switch " << cfg.runtime.join_switch_cycles << "\n";
+  out << "msg_handle " << cfg.runtime.msg_handle_cycles << "\n";
+  out << "task_queue " << cfg.runtime.task_queue_capacity << "\n";
+  out << "cl_quantum " << cfg.cl_quantum_cycles << "\n";
+  out << "routing "
+      << (cfg.network.routing == net::RouteWeighting::kHops ? "hops"
+                                                            : "latency")
+      << "\n";
+  out << "speed_aware_dispatch "
+      << (cfg.runtime.speed_aware_dispatch ? "on" : "off") << "\n";
+  out << "broadcast_occupancy "
+      << (cfg.runtime.broadcast_occupancy ? "on" : "off") << "\n";
+  for (std::size_t c = 0; c < cfg.core_speeds.size(); ++c) {
+    const Speed s = cfg.core_speeds[c];
+    if (!s.is_unit()) {
+      out << "speed " << c << " " << s.num << "/" << s.den << "\n";
+    }
+  }
+  // Explicit link lines reproduce arbitrary topologies exactly.
+  for (net::LinkId id = 0; id < cfg.topology.num_links(); ++id) {
+    const auto& l = cfg.topology.link(id);
+    out << "link " << l.a << " " << l.b << " " << l.props.latency << " "
+        << l.props.bandwidth_bytes_per_cycle << "\n";
+  }
+}
+
+}  // namespace simany

@@ -1,0 +1,46 @@
+// Text-file round-trip for ArchConfig.
+//
+// The paper drives SiMany from configuration files ("Network topology
+// is specified in a configuration file", SS III); this format covers
+// the whole architecture description. Line-oriented, # comments:
+//
+//   cores 64
+//   topology mesh | torus | ring | crossbar | clustered <n>
+//   memory shared | distributed
+//   coherence on | off
+//   drift_t 100
+//   sync spatial | bounded-slack
+//   seed 1
+//   link_latency <cycles, fractional ok: 0.5>
+//   link_bandwidth <bytes/cycle>
+//   speed <core> <num>/<den>
+//   polymorphic                  # paper's alternating 1/2 and 3/2 mix
+//   l1_latency / shared_latency / l2_latency / line_bytes <v>
+//   task_start / join_switch / msg_handle <cycles>
+//   task_queue <slots>
+//   routing hops | latency
+//   speed_aware_dispatch on|off
+//   broadcast_occupancy on|off
+//   topology_file <path>         # overrides the preset topology
+//
+// Order matters only in that `cores` must precede topology/speed lines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "config/arch_config.h"
+
+namespace simany {
+
+/// Parses a configuration stream; throws std::runtime_error with a
+/// line number on malformed input. The result is validate()d.
+[[nodiscard]] ArchConfig parse_config(std::istream& in);
+
+[[nodiscard]] ArchConfig load_config_file(const std::string& path);
+
+/// Writes `cfg` such that parse_config reproduces it (the topology is
+/// embedded as explicit link lines).
+void save_config(const ArchConfig& cfg, std::ostream& out);
+
+}  // namespace simany

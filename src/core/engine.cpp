@@ -1,0 +1,1176 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace simany {
+
+namespace {
+
+[[nodiscard]] std::uint64_t mix_hash(const timing::InstMix& m) noexcept {
+  // FNV-1a over the mix fields: identical annotated blocks map to the
+  // same synthetic i-cache region, so loops hit after their cold miss.
+  std::uint64_t h = 1469598103934665603ULL;
+  const std::uint32_t fields[] = {m.int_alu,    m.int_mul,  m.fp_alu,
+                                  m.fp_mul_div, m.branches, m.branches_static};
+  for (std::uint32_t f : fields) {
+    h = (h ^ f) * 1099511628211ULL;
+  }
+  return h;
+}
+
+[[nodiscard]] std::uint32_t mix_instructions(const timing::InstMix& m) noexcept {
+  return m.int_alu + m.int_mul + m.fp_alu + m.fp_mul_div + m.branches +
+         m.branches_static;
+}
+
+[[nodiscard]] bool is_reply_kind(MsgKind k) noexcept {
+  return k == MsgKind::kProbeAck || k == MsgKind::kProbeNack ||
+         k == MsgKind::kDataResponse || k == MsgKind::kLockGrant;
+}
+
+/// Run-time message processing: the core jumps to the arrival time if
+/// behind, then spends the handling cost.
+inline void sync_to_arrival(Tick arrival, Tick& now) {
+  if (arrival > now) now = arrival;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// TaskCtx implementation bound to one simulated core.
+// ---------------------------------------------------------------------
+
+class Engine::Ctx final : public TaskCtx {
+ public:
+  Ctx(Engine& e, CoreSim& c) : e_(e), c_(c) {}
+
+  void compute(Cycles cycles) override { e_.ctx_compute_cycles(c_, cycles); }
+  void compute(const timing::InstMix& mix) override {
+    e_.ctx_compute_mix(c_, mix);
+  }
+  void function_boundary() override { e_.ctx_function_boundary(c_); }
+  void mem_read(std::uint64_t addr, std::uint32_t bytes) override {
+    e_.ctx_mem_access(c_, addr, bytes, /*write=*/false);
+  }
+  void mem_write(std::uint64_t addr, std::uint32_t bytes) override {
+    e_.ctx_mem_access(c_, addr, bytes, /*write=*/true);
+  }
+  GroupId make_group() override { return e_.ctx_make_group(); }
+  bool probe() override { return e_.ctx_probe(c_); }
+  void spawn(GroupId group, TaskFn fn, std::uint32_t arg_bytes) override {
+    e_.ctx_spawn(c_, group, std::move(fn), arg_bytes);
+  }
+  void join(GroupId group) override { e_.ctx_join(c_, group); }
+  LockId make_lock() override { return e_.ctx_make_lock(c_); }
+  void lock(LockId id) override { e_.ctx_lock(c_, id); }
+  void unlock(LockId id) override { e_.ctx_unlock(c_, id); }
+  CellId make_cell(std::uint32_t bytes) override {
+    return e_.ctx_make_cell(bytes, c_.id);
+  }
+  CellId make_cell_at(std::uint32_t bytes, CoreId home) override {
+    if (home >= e_.cfg_.num_cores()) {
+      throw std::out_of_range("make_cell_at: home core out of range");
+    }
+    return e_.ctx_make_cell(bytes, home);
+  }
+  void cell_acquire(CellId cell, AccessMode mode) override {
+    e_.ctx_cell_acquire(c_, cell, mode);
+  }
+  void cell_release(CellId cell) override { e_.ctx_cell_release(c_, cell); }
+  CoreId core_id() const override { return c_.id; }
+  std::uint32_t num_cores() const override { return e_.cfg_.num_cores(); }
+  Cycles now_cycles() const override { return cycles_floor(c_.now); }
+  mem::MemoryModel memory_model() const override {
+    return e_.cfg_.mem.model;
+  }
+  Rng& rng() override { return c_.rng; }
+
+ private:
+  Engine& e_;
+  CoreSim& c_;
+};
+
+// ---------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------
+
+Engine::Engine(ArchConfig cfg, ExecutionMode mode)
+    : cfg_(std::move(cfg)),
+      mode_(mode),
+      drift_ticks_(cfg_.drift_ticks()),
+      network_(cfg_.topology, cfg_.network),
+      cost_model_(cfg_.cost_table, cfg_.branch),
+      fiber_pool_(cfg_.fiber_stack_bytes),
+      directory_(cfg_.num_cores()),
+      bfs_epoch_(cfg_.num_cores(), 0) {
+  cfg_.validate();
+  const std::uint32_t n = cfg_.num_cores();
+  cores_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto c = std::make_unique<CoreSim>();
+    c->id = i;
+    c->speed = cfg_.speed_of(i);
+    c->rng = Rng(cfg_.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    c->l1 = mem::PessimisticL1(cfg_.mem.line_bytes);
+    if (mode_ == ExecutionMode::kCycleLevel) {
+      mem::SetAssocCache::Config cache_cfg;
+      cache_cfg.line_bytes = cfg_.mem.line_bytes;
+      c->dcache = std::make_unique<mem::SetAssocCache>(cache_cfg);
+      c->icache = std::make_unique<mem::SetAssocCache>(cache_cfg);
+    }
+    c->occ_proxy.assign(cfg_.topology.neighbors(i).size(),
+                        cfg_.runtime.task_queue_capacity);
+    c->ctx = std::make_unique<Ctx>(*this, *c);
+    cores_.push_back(std::move(c));
+  }
+}
+
+Engine::~Engine() = default;
+
+// ---------------------------------------------------------------------
+// Top-level run
+// ---------------------------------------------------------------------
+
+SimStats Engine::run(TaskFn root) {
+  if (ran_) throw std::logic_error("Engine::run called twice");
+  ran_ = true;
+  live_tasks_ = 1;
+  core(0).task_queue.push_back(PendingTask{std::move(root), kInvalidGroup, 0});
+  mark_ready(core(0));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  main_loop();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  stats_.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  stats_.completion_ticks = max_task_end_;
+  stats_.network = network_.stats();
+  stats_.core_busy_ticks.resize(cores_.size());
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    stats_.core_busy_ticks[i] = cores_[i]->busy;
+  }
+  return stats_;
+}
+
+void Engine::main_loop() {
+  const bool cl = (mode_ == ExecutionMode::kCycleLevel);
+  while (live_tasks_ > 0 || inflight_messages_ > 0) {
+    if (cl) {
+      const CoreId id = pick_min_time_core();
+      if (id == net::kInvalidCore) {
+        throw std::runtime_error(
+            "simulation deadlock (cycle-level): live_tasks=" +
+            std::to_string(live_tasks_));
+      }
+      run_core_cl(core(id));
+      continue;
+    }
+    if (ready_.empty()) {
+      if (!wake_sweep()) {
+        // Defensive rebuild: anything actionable re-enters the queue.
+        bool any = false;
+        for (auto& cptr : cores_) {
+          if (!cptr->in_ready && actionable(*cptr)) {
+            mark_ready(*cptr);
+            any = true;
+          }
+        }
+        if (!any) {
+          throw std::runtime_error(
+              "simulation deadlock: live_tasks=" +
+              std::to_string(live_tasks_) +
+              " inflight=" + std::to_string(inflight_messages_) +
+              " stalled=" + std::to_string(stalled_.size()));
+        }
+      }
+      continue;
+    }
+    const CoreId id = ready_.front();
+    ready_.pop_front();
+    CoreSim& c = core(id);
+    c.in_ready = false;
+    if (!actionable(c)) continue;
+    run_core_vt(c);
+    ++quantum_count_;
+    if (quantum_count_ % 64 == 0) sample_parallelism();
+    if (quantum_count_ % 4096 == 0) refresh_gmin();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------
+
+bool Engine::actionable(const CoreSim& c) const {
+  if (!c.inbox.empty()) return true;
+  if (c.fiber) {
+    if (c.waiting_reply) return c.reply_ready;
+    return !c.sync_stalled;
+  }
+  return !c.resumables.empty() || !c.task_queue.empty();
+}
+
+void Engine::mark_ready(CoreSim& c) {
+  if (!c.in_ready) {
+    c.in_ready = true;
+    ready_.push_back(c.id);
+  }
+}
+
+void Engine::run_core_vt(CoreSim& c) {
+  for (;;) {
+    process_inbox(c);
+    if (c.fiber) {
+      if (c.waiting_reply) {
+        if (!c.reply_ready) return;
+        resume_fiber(c);
+      } else if (c.sync_stalled) {
+        return;
+      } else {
+        resume_fiber(c);
+      }
+    } else if (!start_next_work(c)) {
+      return;
+    }
+  }
+}
+
+void Engine::run_core_cl(CoreSim& c) {
+  process_inbox(c);
+  if (c.fiber) {
+    if (c.waiting_reply && !c.reply_ready) return;
+    resume_fiber(c);
+    return;
+  }
+  if (start_next_work(c)) {
+    resume_fiber(c);
+  }
+}
+
+CoreId Engine::pick_min_time_core() const {
+  CoreId best = net::kInvalidCore;
+  Tick best_key = kTickInfinity;
+  for (const auto& cptr : cores_) {
+    const CoreSim& c = *cptr;
+    if (!actionable(c)) continue;
+    Tick key = c.now;
+    if (!c.fiber && c.resumables.empty() && c.task_queue.empty() &&
+        !c.inbox.empty()) {
+      // Idle core whose only work is a future message: it acts at the
+      // message arrival time.
+      Tick first = kTickInfinity;
+      for (const Message& m : c.inbox) first = std::min(first, m.arrival);
+      key = std::max(key, first);
+    }
+    if (key < best_key) {
+      best_key = key;
+      best = c.id;
+    }
+  }
+  return best;
+}
+
+void Engine::resume_fiber(CoreSim& c) {
+  ++stats_.fiber_switches;
+  c.fiber->resume();
+  if (c.fiber->finished() && c.fiber->exception()) {
+    // A simulated task threw (program bug or failed self-verification):
+    // surface it to the caller of run().
+    std::rethrow_exception(c.fiber->exception());
+  }
+  after_fiber_return(c);
+}
+
+void Engine::after_fiber_return(CoreSim& c) {
+  if (c.fiber->finished()) {
+    task_done(c);
+    return;
+  }
+  if (c.park_pending) {
+    c.park_pending = false;
+    Group& grp = groups_[c.park_group];
+    grp.joiners.push_back(
+        Group::Joiner{c.id, std::move(c.fiber), c.fiber_group, c.now});
+    c.park_group = kInvalidGroup;
+    c.fiber_group = kInvalidGroup;
+  }
+  // Otherwise the fiber yielded for a stall / reply wait and simply
+  // stays installed on the core.
+}
+
+bool Engine::start_next_work(CoreSim& c) {
+  if (!c.resumables.empty()) {
+    ParkedFiber p = std::move(c.resumables.front());
+    c.resumables.pop_front();
+    if (p.parked_at > c.now) c.now = p.parked_at;
+    charge(c, scaled_cost(cfg_.runtime.join_switch_cycles, c.speed));
+    c.fiber = std::move(p.fiber);
+    c.fiber_group = p.task_group;
+    return true;
+  }
+  if (!c.task_queue.empty()) {
+    PendingTask t = std::move(c.task_queue.front());
+    c.task_queue.pop_front();
+    if (t.arrival > c.now) c.now = t.arrival;
+    charge(c, scaled_cost(cfg_.runtime.task_start_cycles, c.speed));
+    broadcast_occupancy_update(c);
+    if (trace_ != nullptr) trace_->on_task_start(c.id, c.now);
+    Ctx* ctx = c.ctx.get();
+    c.fiber =
+        fiber_pool_.create([fn = std::move(t.fn), ctx]() { fn(*ctx); });
+    c.fiber_group = t.group;
+    return true;
+  }
+  return false;
+}
+
+void Engine::task_done(CoreSim& c) {
+  assert(live_tasks_ > 0);
+  --live_tasks_;
+  max_task_end_ = std::max(max_task_end_, c.now);
+  if (trace_ != nullptr) trace_->on_task_end(c.id, c.now);
+  fiber_pool_.recycle(std::move(c.fiber));
+  const GroupId g = c.fiber_group;
+  c.fiber_group = kInvalidGroup;
+  if (g == kInvalidGroup) return;
+  Group& grp = groups_[g];
+  assert(grp.active > 0);
+  --grp.active;
+  if (grp.active == 0 && !grp.joiners.empty()) {
+    for (const auto& joiner : grp.joiners) {
+      post(MsgKind::kJoinerRequest, c, joiner.core,
+           cfg_.runtime.ctrl_msg_bytes, g);
+    }
+    // Fibers stay parked in the group until each JOINER_REQUEST is
+    // processed at its destination core.
+  }
+}
+
+bool Engine::wake_sweep() {
+  refresh_gmin();
+  bool any = false;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < stalled_.size(); ++i) {
+    CoreSim& c = core(stalled_[i]);
+    if (!c.sync_stalled) continue;  // already woken elsewhere
+    const Tick lim = drift_limit(c);
+    if (lim > c.now) {
+      c.sync_stalled = false;
+      c.cached_limit = lim;
+      c.limit_epoch = limit_epoch_;
+      if (trace_ != nullptr) trace_->on_wake(c.id, c.now, lim);
+      mark_ready(c);
+      any = true;
+    } else {
+      stalled_[kept++] = stalled_[i];
+    }
+  }
+  stalled_.resize(kept);
+  return any;
+}
+
+// ---------------------------------------------------------------------
+// Spatial synchronization
+// ---------------------------------------------------------------------
+
+bool Engine::is_anchor(const CoreSim& c) const {
+  return c.fiber != nullptr || !c.task_queue.empty() ||
+         !c.resumables.empty();
+}
+
+void Engine::refresh_gmin() {
+  Tick g = kTickInfinity;
+  for (const auto& cptr : cores_) {
+    const CoreSim& c = *cptr;
+    if (is_anchor(c)) g = std::min(g, c.now);
+    for (Tick b : c.births) g = std::min(g, b + drift_ticks_);
+  }
+  gmin_lb_ = g;
+}
+
+void Engine::sample_parallelism() {
+  std::uint64_t available = 0;
+  for (const auto& cptr : cores_) {
+    if (actionable(*cptr)) ++available;
+  }
+  ++stats_.parallelism_samples;
+  stats_.parallelism_sum += available;
+  stats_.parallelism_max = std::max(stats_.parallelism_max, available);
+}
+
+Tick Engine::bounded_slack_limit() const {
+  // SlackSim-style global window: the slowest active entity (core or
+  // in-flight task birth) plus T.
+  Tick gmin = kTickInfinity;
+  for (const auto& cptr : cores_) {
+    const CoreSim& c = *cptr;
+    if (is_anchor(c)) gmin = std::min(gmin, c.now);
+    for (Tick b : c.births) gmin = std::min(gmin, b);
+  }
+  if (gmin == kTickInfinity) return kTickInfinity;
+  return gmin + drift_ticks_;
+}
+
+std::uint32_t Engine::free_slots(const CoreSim& c) const {
+  const std::uint32_t occupied =
+      static_cast<std::uint32_t>(c.task_queue.size()) + c.reserved;
+  return occupied >= cfg_.runtime.task_queue_capacity
+             ? 0
+             : cfg_.runtime.task_queue_capacity - occupied;
+}
+
+void Engine::broadcast_occupancy_update(CoreSim& c) {
+  if (!cfg_.runtime.broadcast_occupancy) return;
+  const std::uint32_t free = free_slots(c);
+  for (CoreId nb : cfg_.topology.neighbors(c.id)) {
+    post(MsgKind::kOccUpdate, c, nb, cfg_.runtime.ctrl_msg_bytes, free);
+  }
+}
+
+void Engine::on_occ_update(CoreSim& c, const Message& m) {
+  sync_to_arrival(m.arrival, c.now);
+  // Proxy bookkeeping is free: the paper's run-time folds it into
+  // message reception.
+  const auto nbs = cfg_.topology.neighbors(c.id);
+  for (std::size_t i = 0; i < nbs.size(); ++i) {
+    if (nbs[i] == m.src) {
+      c.occ_proxy[i] = static_cast<std::uint32_t>(m.a);
+      return;
+    }
+  }
+}
+
+Tick Engine::drift_limit(const CoreSim& c) {
+  ++stats_.limit_recomputes;
+  if (cfg_.sync_scheme == SyncScheme::kBoundedSlack) {
+    Tick limit = bounded_slack_limit();
+    if (!c.births.empty()) {
+      const Tick mb = *std::min_element(c.births.begin(), c.births.end());
+      limit = std::min(limit, mb + drift_ticks_);
+    }
+    return limit;
+  }
+  const Tick T = drift_ticks_;
+  Tick best = kTickInfinity;
+  if (!c.births.empty()) {
+    const Tick mb = *std::min_element(c.births.begin(), c.births.end());
+    best = mb + T;
+  }
+  // BFS outward from c. Idle cores are transparent: passing through one
+  // adds T per hop, which is exactly the paper's shadow-time fixpoint
+  // (shadow = min over neighbors + T).
+  if (++bfs_epoch_cur_ == 0) {
+    std::fill(bfs_epoch_.begin(), bfs_epoch_.end(), 0u);
+    bfs_epoch_cur_ = 1;
+  }
+  static thread_local std::vector<std::pair<CoreId, std::uint32_t>> queue;
+  queue.clear();
+  queue.emplace_back(c.id, 0);
+  bfs_epoch_[c.id] = bfs_epoch_cur_;
+  std::size_t head = 0;
+  auto deeper_cannot_improve = [&](std::uint32_t next_depth) {
+    if (best == kTickInfinity) return false;
+    if (gmin_lb_ == kTickInfinity) return true;
+    return gmin_lb_ + T * next_depth >= best;
+  };
+  while (head < queue.size()) {
+    const auto [id, d] = queue[head++];
+    if (d > 0) {
+      const CoreSim& n = core(id);
+      if (is_anchor(n)) best = std::min(best, n.now + T * d);
+      if (!n.births.empty()) {
+        const Tick mb = *std::min_element(n.births.begin(), n.births.end());
+        best = std::min(best, mb + T * (d + 1));
+      }
+    }
+    if (deeper_cannot_improve(d + 1)) continue;
+    for (CoreId nb : cfg_.topology.neighbors(id)) {
+      if (bfs_epoch_[nb] != bfs_epoch_cur_) {
+        bfs_epoch_[nb] = bfs_epoch_cur_;
+        queue.emplace_back(nb, d + 1);
+      }
+    }
+  }
+  return best;
+}
+
+void Engine::advance_execution(CoreSim& c, Tick cost) {
+  if (mode_ == ExecutionMode::kCycleLevel) {
+    const Tick quantum = ticks(std::max<Cycles>(1, cfg_.cl_quantum_cycles));
+    while (cost > 0) {
+      const Tick step = std::min(cost, quantum);
+      charge(c, step);
+      cost -= step;
+      if (cost > 0) Fiber::yield();
+    }
+    return;
+  }
+  while (cost > 0) {
+    if (c.hold_depth > 0) {
+      // Lock/cell holder: temporarily exempt from spatial sync so it
+      // can reach its release (paper SS II-B, deadlock avoidance).
+      charge(c, cost);
+      return;
+    }
+    if (c.cached_limit <= c.now || c.limit_epoch != limit_epoch_) {
+      c.cached_limit = drift_limit(c);
+      c.limit_epoch = limit_epoch_;
+    }
+    if (c.cached_limit > c.now) {
+      const Tick step = std::min(cost, c.cached_limit - c.now);
+      charge(c, step);
+      cost -= step;
+      continue;
+    }
+    ++stats_.sync_stalls;
+    c.sync_stalled = true;
+    stalled_.push_back(c.id);
+    if (trace_ != nullptr) trace_->on_stall(c.id, c.now);
+    Fiber::yield();
+    // Woken by wake_sweep with a fresh cached_limit; loop re-checks.
+  }
+}
+
+// ---------------------------------------------------------------------
+// Messaging
+// ---------------------------------------------------------------------
+
+void Engine::post(MsgKind kind, CoreSim& from, CoreId to, std::uint32_t bytes,
+                  std::uint64_t a, std::uint64_t b, TaskFn task,
+                  GroupId group, Tick birth) {
+  Message m;
+  m.kind = kind;
+  m.src = from.id;
+  m.dst = to;
+  m.sent = from.now;
+  m.arrival = network_.send(from.id, to, bytes, from.now);
+  m.bytes = bytes;
+  m.a = a;
+  m.b = b;
+  m.task = std::move(task);
+  m.group = group;
+  m.birth = birth;
+  ++inflight_messages_;
+  ++stats_.messages;
+  if (trace_ != nullptr) trace_->on_message(m);
+  CoreSim& dst = core(to);
+  dst.inbox.push_back(std::move(m));
+  mark_ready(dst);
+}
+
+void Engine::deliver_direct(MsgKind kind, CoreId from, CoreId to,
+                            Tick arrival, std::uint64_t a, std::uint64_t b) {
+  Message m;
+  m.kind = kind;
+  m.src = from;
+  m.dst = to;
+  m.sent = arrival;
+  m.arrival = arrival;
+  m.a = a;
+  m.b = b;
+  ++inflight_messages_;
+  CoreSim& dst = core(to);
+  dst.inbox.push_back(std::move(m));
+  mark_ready(dst);
+}
+
+void Engine::process_inbox(CoreSim& c) {
+  while (!c.inbox.empty()) {
+    Message m = std::move(c.inbox.front());
+    c.inbox.pop_front();
+    assert(inflight_messages_ > 0);
+    --inflight_messages_;
+    handle_message(c, m);
+  }
+}
+
+Message Engine::await_reply(CoreSim& c) {
+  c.waiting_reply = true;
+  c.reply_ready = false;
+  Fiber::yield();
+  if (!c.reply_ready) {
+    throw std::logic_error("await_reply resumed without a reply");
+  }
+  c.waiting_reply = false;
+  c.reply_ready = false;
+  return std::move(c.reply);
+}
+
+void Engine::handle_message(CoreSim& c, Message& m) {
+  if (is_reply_kind(m.kind)) {
+    if (!c.waiting_reply || c.reply_ready) {
+      throw std::logic_error(std::string("unexpected reply message ") +
+                             to_string(m.kind));
+    }
+    c.reply = std::move(m);
+    c.reply_ready = true;
+    return;
+  }
+  switch (m.kind) {
+    case MsgKind::kProbe: on_probe(c, m); break;
+    case MsgKind::kTaskSpawn: on_task_spawn(c, m); break;
+    case MsgKind::kJoinerRequest: on_joiner_request(c, m); break;
+    case MsgKind::kDataRequest: on_data_request(c, m); break;
+    case MsgKind::kCellRelease: on_cell_release(c, m); break;
+    case MsgKind::kLockRequest: on_lock_request(c, m); break;
+    case MsgKind::kLockRelease: on_lock_release(c, m); break;
+    case MsgKind::kOccUpdate: on_occ_update(c, m); break;
+    default:
+      throw std::logic_error("unhandled message kind");
+  }
+}
+
+// ---------------------------------------------------------------------
+// Run-time protocol handlers (engine context, running on core `c`)
+// ---------------------------------------------------------------------
+
+void Engine::on_probe(CoreSim& c, const Message& m) {
+  sync_to_arrival(m.arrival, c.now);
+  charge(c, scaled_cost(cfg_.runtime.msg_handle_cycles, c.speed));
+  const std::uint32_t occupied =
+      static_cast<std::uint32_t>(c.task_queue.size()) + c.reserved;
+  if (occupied < cfg_.runtime.task_queue_capacity) {
+    ++c.reserved;
+    post(MsgKind::kProbeAck, c, m.src, cfg_.runtime.probe_msg_bytes);
+    broadcast_occupancy_update(c);
+  } else {
+    post(MsgKind::kProbeNack, c, m.src, cfg_.runtime.probe_msg_bytes);
+  }
+}
+
+void Engine::on_task_spawn(CoreSim& c, Message& m) {
+  const bool was_anchor = is_anchor(c);
+  sync_to_arrival(m.arrival, c.now);
+  charge(c, scaled_cost(cfg_.runtime.msg_handle_cycles, c.speed));
+  if (c.reserved > 0) --c.reserved;
+  c.task_queue.push_back(PendingTask{std::move(m.task), m.group, c.now});
+  broadcast_occupancy_update(c);
+  if (!was_anchor) {
+    gmin_lb_ = std::min(gmin_lb_, c.now);
+    ++limit_epoch_;
+  }
+  // Control message back to the parent: the task has arrived, discard
+  // its birth date (paper SS II, "Time drift of dynamically created
+  // tasks"). Control messages have no architectural cost.
+  CoreSim& parent = core(m.src);
+  auto it = std::find(parent.births.begin(), parent.births.end(), m.birth);
+  assert(it != parent.births.end());
+  if (it != parent.births.end()) {
+    *it = parent.births.back();
+    parent.births.pop_back();
+  }
+  try_migrate(c);
+}
+
+void Engine::try_migrate(CoreSim& c) {
+  // Keep one task buffered when busy, two when about to become free.
+  const std::size_t keep = c.fiber ? 1 : 2;
+  while (c.task_queue.size() > keep) {
+    const auto nbs = cfg_.topology.neighbors(c.id);
+    CoreId target = net::kInvalidCore;
+    const auto n = static_cast<std::uint32_t>(nbs.size());
+    if (n == 0) return;
+    const std::uint32_t start = c.probe_rr++ % n;
+    const std::uint64_t my_load = c.task_queue.size() + (c.fiber ? 1 : 0);
+    std::uint64_t best_score = ~std::uint64_t{0};
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const CoreId nb = nbs[(start + i) % n];
+      const CoreSim& t = core(nb);
+      // Diffusion rule: forward only down a load gradient of at least
+      // two tasks (prevents ping-pong), preferring the least-loaded —
+      // and with speed-aware dispatch, fastest — neighbor.
+      const std::uint64_t load =
+          t.task_queue.size() + t.reserved +
+          ((t.fiber || !t.resumables.empty()) ? 1 : 0);
+      if (load + 2 > my_load) continue;
+      std::uint64_t score = load * 64;
+      if (cfg_.runtime.speed_aware_dispatch) {
+        score = (load + 1) * 64 * t.speed.den / t.speed.num;
+      }
+      if (score < best_score) {
+        best_score = score;
+        target = nb;
+      }
+    }
+    if (target == net::kInvalidCore) return;
+    PendingTask task = std::move(c.task_queue.back());
+    c.task_queue.pop_back();
+    ++core(target).reserved;
+    const Tick birth = c.now;
+    c.births.push_back(birth);
+    gmin_lb_ = std::min(gmin_lb_, birth + drift_ticks_);
+    ++limit_epoch_;
+    ++stats_.tasks_migrated;
+    post(MsgKind::kTaskSpawn, c, target, cfg_.runtime.spawn_msg_bytes, 0, 0,
+         std::move(task.fn), task.group, birth);
+  }
+}
+
+void Engine::on_joiner_request(CoreSim& c, const Message& m) {
+  const bool was_anchor = is_anchor(c);
+  sync_to_arrival(m.arrival, c.now);
+  charge(c, scaled_cost(cfg_.runtime.msg_handle_cycles, c.speed));
+  Group& grp = groups_[static_cast<GroupId>(m.a)];
+  for (auto it = grp.joiners.begin(); it != grp.joiners.end(); ++it) {
+    if (it->core == c.id) {
+      c.resumables.push_back(ParkedFiber{std::move(it->fiber),
+                                         it->task_group,
+                                         std::max(it->parked_at, c.now)});
+      grp.joiners.erase(it);
+      if (!was_anchor) {
+        gmin_lb_ = std::min(gmin_lb_, c.now);
+        ++limit_epoch_;
+      }
+      return;
+    }
+  }
+  throw std::logic_error("JOINER_REQUEST with no parked joiner");
+}
+
+void Engine::on_data_request(CoreSim& c, const Message& m) {
+  sync_to_arrival(m.arrival, c.now);
+  charge(c, scaled_cost(cfg_.runtime.msg_handle_cycles, c.speed));
+  const auto id = static_cast<CellId>(m.a);
+  Cell& cell = cells_[id];
+  if (!cell.locked) {
+    cell.locked = true;
+    cell.holder = m.src;
+    cell.holder_mode = static_cast<AccessMode>(m.b);
+    post(MsgKind::kDataResponse, c, m.src, cell.bytes, id);
+  } else {
+    cell.waiters.push_back(
+        Cell::Waiter{m.src, static_cast<AccessMode>(m.b)});
+  }
+}
+
+void Engine::on_cell_release(CoreSim& c, const Message& m) {
+  sync_to_arrival(m.arrival, c.now);
+  charge(c, scaled_cost(cfg_.runtime.msg_handle_cycles, c.speed));
+  grant_next_cell_waiter(c, static_cast<CellId>(m.a));
+}
+
+void Engine::on_lock_request(CoreSim& c, const Message& m) {
+  sync_to_arrival(m.arrival, c.now);
+  charge(c, scaled_cost(cfg_.runtime.msg_handle_cycles, c.speed));
+  const auto id = static_cast<LockId>(m.a);
+  Lock& lk = locks_[id];
+  if (!lk.held) {
+    lk.held = true;
+    lk.holder = m.src;
+    post(MsgKind::kLockGrant, c, m.src, cfg_.runtime.ctrl_msg_bytes, id);
+  } else {
+    lk.waiters.push_back(m.src);
+  }
+}
+
+void Engine::on_lock_release(CoreSim& c, const Message& m) {
+  sync_to_arrival(m.arrival, c.now);
+  charge(c, scaled_cost(cfg_.runtime.msg_handle_cycles, c.speed));
+  grant_next_lock_waiter(c, static_cast<LockId>(m.a));
+}
+
+void Engine::grant_next_cell_waiter(CoreSim& actor, CellId id) {
+  Cell& cell = cells_[id];
+  if (cell.waiters.empty()) {
+    cell.locked = false;
+    cell.holder = net::kInvalidCore;
+    return;
+  }
+  const Cell::Waiter w = cell.waiters.front();
+  cell.waiters.pop_front();
+  cell.holder = w.core;
+  cell.holder_mode = w.mode;
+  if (cfg_.mem.model == mem::MemoryModel::kDistributed) {
+    post(MsgKind::kDataResponse, actor, w.core, cell.bytes, id);
+  } else {
+    // Shared memory: the waiter observes the freed flag one shared
+    // access after the release.
+    deliver_direct(MsgKind::kDataResponse, actor.id, w.core,
+                   actor.now + ticks(cfg_.mem.shared_latency_cycles), id);
+  }
+}
+
+void Engine::grant_next_lock_waiter(CoreSim& actor, LockId id) {
+  Lock& lk = locks_[id];
+  if (lk.waiters.empty()) {
+    lk.held = false;
+    lk.holder = net::kInvalidCore;
+    return;
+  }
+  const CoreId w = lk.waiters.front();
+  lk.waiters.pop_front();
+  lk.holder = w;
+  if (cfg_.mem.model == mem::MemoryModel::kDistributed) {
+    post(MsgKind::kLockGrant, actor, w, cfg_.runtime.ctrl_msg_bytes, id);
+  } else {
+    deliver_direct(MsgKind::kLockGrant, actor.id, w,
+                   actor.now + ticks(cfg_.mem.shared_latency_cycles), id);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Ctx operations (fiber context)
+// ---------------------------------------------------------------------
+
+void Engine::ctx_compute_cycles(CoreSim& c, Cycles cycles) {
+  advance_execution(c, scaled_cost(cycles, c.speed));
+}
+
+void Engine::ctx_compute_mix(CoreSim& c, const timing::InstMix& mix) {
+  const Cycles cycles = cost_model_.block_cost(mix, c.rng);
+  Tick cost = scaled_cost(cycles, c.speed);
+  if (mode_ == ExecutionMode::kCycleLevel) {
+    // Explicit instruction-fetch charge through the I-cache: one line
+    // access per 8 instructions, at a synthetic block address.
+    const std::uint32_t instrs = mix_instructions(mix);
+    if (instrs > 0) {
+      const std::uint64_t base = mix_hash(mix);
+      const std::uint32_t lines = (instrs + 7) / 8;
+      for (std::uint32_t i = 0; i < lines; ++i) {
+        const auto res =
+            c.icache->access((base + i) * cfg_.mem.line_bytes, false);
+        cost += ticks(1);
+        if (!res.hit) cost += ticks(cfg_.mem.shared_latency_cycles);
+      }
+    }
+  }
+  advance_execution(c, cost);
+}
+
+void Engine::ctx_function_boundary(CoreSim& c) {
+  if (mode_ == ExecutionMode::kVirtualTime) {
+    c.l1.flush();
+    if (cfg_.mem.coherence_timing) directory_.drop_core(c.id);
+  }
+  // Cycle-level mode models real caches; function boundaries are not
+  // architectural events there.
+}
+
+Tick Engine::mem_cost_l1_hit(const CoreSim& c) const {
+  // SiMany scales L1 speed with core speed (paper SS VI notes this is a
+  // deliberate difference from the UNISIM baseline, visible in Fig 6).
+  if (mode_ == ExecutionMode::kVirtualTime) {
+    return scaled_cost(cfg_.mem.l1_latency_cycles, c.speed);
+  }
+  return ticks(cfg_.mem.l1_latency_cycles);
+}
+
+void Engine::ctx_mem_access(CoreSim& c, std::uint64_t addr,
+                            std::uint32_t bytes, bool write) {
+  if (bytes == 0) bytes = 1;
+  const auto& mp = cfg_.mem;
+  const std::uint64_t first = addr / mp.line_bytes;
+  const std::uint64_t last = (addr + bytes - 1) / mp.line_bytes;
+  const Cycles next_level = (mp.model == mem::MemoryModel::kShared)
+                                ? mp.shared_latency_cycles
+                                : mp.l2_latency_cycles;
+  const Tick l1_hit = mem_cost_l1_hit(c);
+
+  auto coh_action_cost = [&](const mem::CohOutcome& out) -> Tick {
+    switch (out.action) {
+      case mem::CohAction::kRemoteDirty:
+        return ticks(mp.coh_remote_transfer_cycles +
+                     mp.coh_per_hop_cycles *
+                         network_.routing().hops(c.id, out.peer));
+      case mem::CohAction::kInvalidate:
+        return ticks(mp.coh_invalidate_cycles +
+                     mp.coh_per_hop_cycles *
+                         network_.routing().hops(c.id, out.peer));
+      default:
+        return 0;
+    }
+  };
+
+  Tick cost = 0;
+  if (mode_ == ExecutionMode::kCycleLevel) {
+    const bool coh = (mp.model == mem::MemoryModel::kShared);
+    for (std::uint64_t line = first; line <= last; ++line) {
+      const std::uint64_t la = line * mp.line_bytes;
+      const auto res = c.dcache->access(la, write);
+      cost += ticks(mp.l1_latency_cycles);
+      if (!res.hit) {
+        cost += ticks(next_level);
+        if (coh && res.evicted_dirty) {
+          directory_.evict(c.id, res.evicted_line);
+        }
+        if (coh && !write) {
+          cost += coh_action_cost(directory_.on_read(c.id, line));
+        }
+      }
+      if (coh && write) {
+        static thread_local std::vector<net::CoreId> invalidated;
+        invalidated.clear();
+        const auto out = directory_.on_write(c.id, line, &invalidated);
+        cost += coh_action_cost(out);
+        for (net::CoreId s : invalidated) {
+          if (s != c.id) core(s).dcache->invalidate_addr(la);
+        }
+      }
+    }
+  } else {
+    const bool coh =
+        mp.coherence_timing && mp.model == mem::MemoryModel::kShared;
+    for (std::uint64_t line = first; line <= last; ++line) {
+      const bool hit = c.l1.contains_line(line);
+      if (!hit) c.l1.access(line * mp.line_bytes, 1);
+      cost += hit ? l1_hit : l1_hit + ticks(next_level);
+      if (coh) {
+        if (write) {
+          cost += coh_action_cost(directory_.on_write(c.id, line));
+        } else if (!hit) {
+          cost += coh_action_cost(directory_.on_read(c.id, line));
+        }
+      }
+    }
+  }
+  advance_execution(c, cost);
+}
+
+GroupId Engine::ctx_make_group() {
+  groups_.emplace_back();
+  return static_cast<GroupId>(groups_.size() - 1);
+}
+
+bool Engine::ctx_probe(CoreSim& c) {
+  const auto nbs = cfg_.topology.neighbors(c.id);
+  if (nbs.empty()) {
+    ++stats_.tasks_inlined;
+    return false;
+  }
+  const auto n = static_cast<std::uint32_t>(nbs.size());
+  CoreId target = net::kInvalidCore;
+  const std::uint32_t start = c.probe_rr++ % n;
+  // Pick the least-loaded neighbor (counting its running task) that
+  // still has a reservable queue slot; rotate ties so successive
+  // spawns diffuse work outward instead of stacking on one core. With
+  // speed-aware dispatch (paper SS VIII future work) the load is
+  // weighted by inverse core speed, preferring fast cores.
+  const bool stale = cfg_.runtime.broadcast_occupancy;
+  std::uint64_t best_score = ~std::uint64_t{0};
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t idx = (start + i) % n;
+    const CoreId nb = nbs[idx];
+    const CoreSim& t = core(nb);
+    // Occupancy view: live state, or the stale broadcast proxy
+    // (paper SS IV) when enabled.
+    const std::uint32_t queued =
+        stale ? cfg_.runtime.task_queue_capacity - c.occ_proxy[idx]
+              : static_cast<std::uint32_t>(t.task_queue.size()) +
+                    t.reserved;
+    if (queued >= cfg_.runtime.task_queue_capacity) continue;
+    const std::uint64_t load =
+        queued + ((t.fiber || !t.resumables.empty()) ? 1 : 0);
+    std::uint64_t score = load * 64;
+    if (cfg_.runtime.speed_aware_dispatch) {
+      // (load + 1) / speed: even among idle cores, prefer the fastest.
+      score = (load + 1) * 64 * t.speed.den / t.speed.num;
+    }
+    if (score < best_score) {
+      best_score = score;
+      target = nb;
+    }
+  }
+  if (target == net::kInvalidCore) {
+    ++stats_.tasks_inlined;
+#ifdef SIMANY_TRACE_PROBE
+    static int probe_fail_count = 0;
+    if (++probe_fail_count % 5000 == 1) {
+      std::fprintf(stderr, "[probe-fail #%d] core %u now=%llu:",
+                   probe_fail_count, c.id,
+                   (unsigned long long)cycles_floor(c.now));
+      for (CoreId nb : nbs) {
+        const CoreSim& t = core(nb);
+        std::fprintf(stderr,
+                     " [n%u q=%zu res=%u fib=%d wait=%d stall=%d now=%llu]",
+                     nb, t.task_queue.size(), t.reserved,
+                     t.fiber ? 1 : 0, t.waiting_reply ? 1 : 0,
+                     t.sync_stalled ? 1 : 0,
+                     (unsigned long long)cycles_floor(t.now));
+      }
+      std::fprintf(stderr, "\n");
+    }
+#endif
+    return false;
+  }
+  ++stats_.probes_sent;
+  post(MsgKind::kProbe, c, target, cfg_.runtime.probe_msg_bytes);
+  const Message r = await_reply(c);
+  sync_to_arrival(r.arrival, c.now);
+  if (r.kind == MsgKind::kProbeAck) {
+    c.reserved_target = target;
+    return true;
+  }
+  ++stats_.probes_denied;
+  ++stats_.tasks_inlined;
+  return false;
+}
+
+void Engine::ctx_spawn(CoreSim& c, GroupId g, TaskFn fn,
+                       std::uint32_t arg_bytes) {
+  if (c.reserved_target == net::kInvalidCore) {
+    throw std::logic_error(
+        "spawn without a successful probe reservation");
+  }
+  if (g != kInvalidGroup) ++groups_[g].active;
+  const Tick birth = c.now;
+  c.births.push_back(birth);
+  gmin_lb_ = std::min(gmin_lb_, birth + drift_ticks_);
+  ++limit_epoch_;
+  ++live_tasks_;
+  ++stats_.tasks_spawned;
+  const std::uint32_t bytes =
+      arg_bytes != 0 ? arg_bytes : cfg_.runtime.spawn_msg_bytes;
+  const CoreId target = c.reserved_target;
+  c.reserved_target = net::kInvalidCore;
+  post(MsgKind::kTaskSpawn, c, target, bytes, 0, 0, std::move(fn), g, birth);
+}
+
+void Engine::ctx_join(CoreSim& c, GroupId g) {
+  Group& grp = groups_[g];
+  if (grp.active == 0) return;
+  ++stats_.joins_suspended;
+  c.park_pending = true;
+  c.park_group = g;
+  Fiber::yield();
+  // Resumed from the core's resumables queue; the join context-switch
+  // cost was charged by start_next_work.
+}
+
+LockId Engine::ctx_make_lock(CoreSim& c) {
+  locks_.push_back(Lock{c.id, false, net::kInvalidCore, {}});
+  return static_cast<LockId>(locks_.size() - 1);
+}
+
+void Engine::ctx_lock(CoreSim& c, LockId id) {
+  const bool distributed = cfg_.mem.model == mem::MemoryModel::kDistributed;
+  Lock& lk = locks_[id];
+  if (distributed && lk.home != c.id) {
+    if (lk.held && lk.holder == c.id) {
+      throw std::logic_error(
+          "recursive lock acquisition (non-reentrant)");
+    }
+    post(MsgKind::kLockRequest, c, lk.home, cfg_.runtime.ctrl_msg_bytes, id);
+    const Message r = await_reply(c);
+    sync_to_arrival(r.arrival, c.now);
+    ++c.hold_depth;
+    return;
+  }
+  if (lk.held && lk.holder == c.id) {
+    throw std::logic_error("recursive lock acquisition (non-reentrant)");
+  }
+  // Local (or shared-memory) lock: one uncached atomic access.
+  charge(c, ticks(distributed ? cfg_.mem.l2_latency_cycles
+                              : cfg_.mem.shared_latency_cycles));
+  if (lk.held) {
+    lk.waiters.push_back(c.id);
+    const Message r = await_reply(c);
+    sync_to_arrival(r.arrival, c.now);
+  } else {
+    lk.held = true;
+    lk.holder = c.id;
+  }
+  ++c.hold_depth;
+}
+
+void Engine::ctx_unlock(CoreSim& c, LockId id) {
+  const bool distributed = cfg_.mem.model == mem::MemoryModel::kDistributed;
+  Lock& lk = locks_[id];
+  if (!lk.held || lk.holder != c.id) {
+    throw std::logic_error("unlock of a lock this core does not hold");
+  }
+  assert(c.hold_depth > 0);
+  --c.hold_depth;
+  if (distributed && lk.home != c.id) {
+    // The release travels asynchronously; clear the holder now so a
+    // subsequent acquisition by this core is not mistaken for
+    // recursion (per-pair FIFO delivers the release before any later
+    // request from this core).
+    lk.holder = net::kInvalidCore;
+    post(MsgKind::kLockRelease, c, lk.home, cfg_.runtime.ctrl_msg_bytes, id);
+    return;
+  }
+  charge(c, ticks(distributed ? cfg_.mem.l2_latency_cycles
+                              : cfg_.mem.shared_latency_cycles));
+  grant_next_lock_waiter(c, id);
+}
+
+CellId Engine::ctx_make_cell(std::uint32_t bytes, CoreId home) {
+  Cell cell;
+  cell.home = home;
+  cell.bytes = bytes != 0 ? bytes : 8;
+  // Cells live in their own high region of the simulated address
+  // space, disjoint from runtime::synth_alloc ranges.
+  const std::uint64_t span =
+      (cell.bytes + cfg_.mem.line_bytes - 1) / cfg_.mem.line_bytes + 1;
+  cell.synth_addr =
+      (std::uint64_t{1} << 56) + synth_addr_next_ * cfg_.mem.line_bytes;
+  synth_addr_next_ += span;
+  cells_.push_back(std::move(cell));
+  return static_cast<CellId>(cells_.size() - 1);
+}
+
+void Engine::ctx_cell_acquire(CoreSim& c, CellId id, AccessMode mode) {
+  const bool distributed = cfg_.mem.model == mem::MemoryModel::kDistributed;
+  Cell& cell = cells_[id];
+  if (distributed && cell.home != c.id) {
+    post(MsgKind::kDataRequest, c, cell.home, cfg_.runtime.ctrl_msg_bytes,
+         id, static_cast<std::uint64_t>(mode));
+    const Message r = await_reply(c);
+    sync_to_arrival(r.arrival, c.now);
+    ++c.hold_depth;
+    // Data lands in the local L2 and is accessed from there.
+    charge(c, ticks(cfg_.mem.l2_latency_cycles));
+    return;
+  }
+  if (cell.locked) {
+    cell.waiters.push_back(Cell::Waiter{c.id, mode});
+    const Message r = await_reply(c);
+    sync_to_arrival(r.arrival, c.now);
+  } else {
+    cell.locked = true;
+    cell.holder = c.id;
+    cell.holder_mode = mode;
+  }
+  ++c.hold_depth;
+  if (distributed) {
+    charge(c, ticks(cfg_.mem.l2_latency_cycles));
+  } else {
+    ctx_mem_access(c, cell.synth_addr, cell.bytes, /*write=*/false);
+  }
+}
+
+void Engine::ctx_cell_release(CoreSim& c, CellId id) {
+  const bool distributed = cfg_.mem.model == mem::MemoryModel::kDistributed;
+  if (!cells_[id].locked || cells_[id].holder != c.id) {
+    throw std::logic_error("release of a cell this core does not hold");
+  }
+  assert(c.hold_depth > 0);
+  const bool wrote = cells_[id].holder_mode == AccessMode::kWrite;
+  if (distributed && cells_[id].home != c.id) {
+    const std::uint32_t bytes =
+        wrote ? std::max(cells_[id].bytes, cfg_.runtime.ctrl_msg_bytes)
+              : cfg_.runtime.ctrl_msg_bytes;
+    cells_[id].holder = net::kInvalidCore;  // release is in flight
+    post(MsgKind::kCellRelease, c, cells_[id].home, bytes, id,
+         wrote ? 1 : 0);
+    --c.hold_depth;
+    return;
+  }
+  if (!distributed && wrote) {
+    // Write-back of the modified data to shared memory. The holder
+    // exemption must still be in force here: the write-back may stall
+    // on spatial sync, and a waiter behind us could be the very core
+    // we would be waiting for (paper SS II-B).
+    ctx_mem_access(c, cells_[id].synth_addr, cells_[id].bytes,
+                   /*write=*/true);
+  }
+  grant_next_cell_waiter(c, id);
+  --c.hold_depth;
+}
+
+}  // namespace simany

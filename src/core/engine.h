@@ -1,0 +1,306 @@
+// The SiMany discrete-event simulation engine.
+//
+// One Engine instance simulates one program run on one architecture.
+// It is single-threaded and fully deterministic: simulated cores are
+// userland fibers scheduled cooperatively (paper SS III), and all
+// randomness derives from the config seed.
+//
+// The engine supports two execution modes sharing the same programming
+// model, network and run-time protocols:
+//
+//  * kVirtualTime — SiMany proper. Cores run natively for as long as
+//    spatial synchronization allows: a core may be ahead of the
+//    anchored virtual time reachable through the topology by at most
+//    T per hop (paper SS II). Idle cores are handled by the shadow-time
+//    rule, realized here as BFS transparency: an idle core contributes
+//    exactly min(neighbors) + T, which is what continuing the search
+//    through it computes. In-flight spawned tasks constrain their
+//    parent through tracked birth times, and lock/cell holders are
+//    temporarily exempt from stalling (deadlock avoidance).
+//
+//  * kCycleLevel — the conservative reference baseline standing in for
+//    the paper's UNISIM-based simulator. The scheduler always advances
+//    the earliest actionable core, compute blocks are chopped into
+//    small quanta, data goes through real set-associative split L1
+//    caches with a full directory-coherence cost model, and
+//    instruction fetch is charged explicitly.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "config/arch_config.h"
+#include "core/fiber.h"
+#include "core/message.h"
+#include "core/rng.h"
+#include "core/sim_stats.h"
+#include "core/sim_types.h"
+#include "core/task_ctx.h"
+#include "core/trace.h"
+#include "core/vtime.h"
+#include "mem/directory.h"
+#include "mem/pessimistic_l1.h"
+#include "mem/setassoc_cache.h"
+#include "net/network.h"
+
+namespace simany {
+
+enum class ExecutionMode : std::uint8_t {
+  kVirtualTime,  // SiMany: spatial synchronization, abstract models
+  kCycleLevel,   // conservative baseline: global order, detailed caches
+};
+
+class Engine {
+ public:
+  explicit Engine(ArchConfig cfg,
+                  ExecutionMode mode = ExecutionMode::kVirtualTime);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs `root` on core 0 at virtual time 0 until every task has
+  /// completed and all messages are drained. One-shot: a second call
+  /// throws. Throws std::runtime_error on simulated deadlock.
+  SimStats run(TaskFn root);
+
+  [[nodiscard]] const ArchConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] ExecutionMode mode() const noexcept { return mode_; }
+  [[nodiscard]] const SimStats& stats() const noexcept { return stats_; }
+
+  /// Default compute-chopping quantum for kCycleLevel
+  /// (ArchConfig::cl_quantum_cycles overrides).
+  static constexpr Cycles kClQuantumCycles = 16;
+
+  /// Attaches an event observer (or nullptr to detach). The sink must
+  /// outlive run(). See stats/trace_sinks.h for ready-made sinks.
+  void set_trace(TraceSink* sink) noexcept { trace_ = sink; }
+
+ private:
+  // ---- Per-core simulation state ------------------------------------
+
+  struct PendingTask {
+    TaskFn fn;
+    GroupId group = kInvalidGroup;
+    Tick arrival = 0;
+  };
+
+  struct ParkedFiber {
+    std::unique_ptr<Fiber> fiber;
+    GroupId task_group = kInvalidGroup;  // group the task decrements
+    Tick parked_at = 0;
+  };
+
+  class Ctx;  // TaskCtx implementation bound to one core
+
+  struct CoreSim {
+    CoreId id = 0;
+    Speed speed;
+    Tick now = 0;
+    Tick busy = 0;
+
+    std::deque<Message> inbox;
+    std::deque<PendingTask> task_queue;
+    std::uint32_t reserved = 0;  // probe reservations not yet arrived
+    std::vector<Tick> births;    // in-flight spawns from this core
+
+    std::unique_ptr<Fiber> fiber;         // current task
+    GroupId fiber_group = kInvalidGroup;  // group of the current task
+    std::deque<ParkedFiber> resumables;   // woken joiners
+
+    int hold_depth = 0;  // locks/cells held -> spatial-sync exemption
+    bool sync_stalled = false;
+    bool waiting_reply = false;
+    bool park_pending = false;   // fiber asked to be parked on a group
+    GroupId park_group = kInvalidGroup;
+    bool reply_ready = false;
+    Message reply;
+
+    CoreId reserved_target = net::kInvalidCore;  // granted probe target
+    std::uint32_t probe_rr = 0;  // rotating probe start index
+    /// Stale per-neighbor free-slot proxies (broadcast_occupancy mode),
+    /// indexed like topology.neighbors(id).
+    std::vector<std::uint32_t> occ_proxy;
+    Tick cached_limit = 0;
+    std::uint64_t limit_epoch = 0;  // validity tag for cached_limit
+
+    bool in_ready = false;
+    Rng rng;
+    mem::PessimisticL1 l1;
+    // Cycle-level mode only:
+    std::unique_ptr<mem::SetAssocCache> dcache;
+    std::unique_ptr<mem::SetAssocCache> icache;
+
+    std::unique_ptr<Ctx> ctx;
+  };
+
+  // ---- Run-time system tables ----------------------------------------
+
+  struct Group {
+    std::uint32_t active = 0;
+    struct Joiner {
+      CoreId core;
+      std::unique_ptr<Fiber> fiber;
+      GroupId task_group;  // group of the *joining* task itself
+      Tick parked_at;
+    };
+    std::vector<Joiner> joiners;
+  };
+
+  struct Cell {
+    CoreId home = 0;
+    std::uint32_t bytes = 0;
+    std::uint64_t synth_addr = 0;  // synthetic address for cache models
+    bool locked = false;
+    CoreId holder = net::kInvalidCore;
+    AccessMode holder_mode = AccessMode::kRead;
+    struct Waiter {
+      CoreId core;
+      AccessMode mode;
+    };
+    std::deque<Waiter> waiters;
+  };
+
+  struct Lock {
+    CoreId home = 0;
+    bool held = false;
+    CoreId holder = net::kInvalidCore;
+    std::deque<CoreId> waiters;
+  };
+
+  // ---- Scheduling ------------------------------------------------------
+
+  void main_loop();
+  void run_core_vt(CoreSim& c);
+  void run_core_cl(CoreSim& c);
+  /// Index of the earliest actionable core (CL mode), or kInvalidCore.
+  [[nodiscard]] CoreId pick_min_time_core() const;
+  [[nodiscard]] bool actionable(const CoreSim& c) const;
+  void mark_ready(CoreSim& c);
+  void process_inbox(CoreSim& c);
+  void resume_fiber(CoreSim& c);
+  void after_fiber_return(CoreSim& c);
+  bool start_next_work(CoreSim& c);  // resumables / task queue
+  void task_done(CoreSim& c);
+  [[nodiscard]] bool wake_sweep();  // returns true if anything woke
+
+  /// Push-migration (paper SS IV): when this core is overloaded —
+  /// running a task with more queued behind it — forward queued tasks
+  /// to strictly idle neighbors so work diffuses through the mesh.
+  void try_migrate(CoreSim& c);
+
+  // ---- Spatial synchronization ----------------------------------------
+
+  /// Maximum virtual time core `c` may reach right now.
+  [[nodiscard]] Tick drift_limit(const CoreSim& c);
+  [[nodiscard]] Tick bounded_slack_limit() const;
+  void sample_parallelism();
+  [[nodiscard]] bool is_anchor(const CoreSim& c) const;
+  void refresh_gmin();
+
+  /// Advances `c` by `cost` ticks of execution, stalling as spatial
+  /// synchronization requires (VT) or chopping into quanta (CL).
+  /// Must be called from `c`'s fiber.
+  void advance_execution(CoreSim& c, Tick cost);
+
+  // ---- Messaging --------------------------------------------------------
+
+  void post(MsgKind kind, CoreSim& from, CoreId to, std::uint32_t bytes,
+            std::uint64_t a = 0, std::uint64_t b = 0, TaskFn task = {},
+            GroupId group = kInvalidGroup, Tick birth = 0);
+  /// Synthetic local delivery at an explicit arrival time (used for
+  /// shared-memory lock/cell handoff, which involves no real message).
+  void deliver_direct(MsgKind kind, CoreId from, CoreId to, Tick arrival,
+                      std::uint64_t a = 0, std::uint64_t b = 0);
+  void handle_message(CoreSim& c, Message& m);
+
+  /// Blocks the current fiber until a reply message arrives; returns it.
+  Message await_reply(CoreSim& c);
+
+  // ---- Run-time protocol handlers (engine context) -----------------------
+
+  void on_probe(CoreSim& c, const Message& m);
+  void on_occ_update(CoreSim& c, const Message& m);
+  /// Broadcasts this core's queue occupancy to its neighbors
+  /// (architectural messages; only in broadcast_occupancy mode).
+  void broadcast_occupancy_update(CoreSim& c);
+  [[nodiscard]] std::uint32_t free_slots(const CoreSim& c) const;
+  void on_task_spawn(CoreSim& c, Message& m);
+  void on_joiner_request(CoreSim& c, const Message& m);
+  void on_data_request(CoreSim& c, const Message& m);
+  void on_cell_release(CoreSim& c, const Message& m);
+  void on_lock_request(CoreSim& c, const Message& m);
+  void on_lock_release(CoreSim& c, const Message& m);
+  /// Grants the cell/lock to the next waiter (or unlocks). `actor` is
+  /// the core performing the hand-off (home core in distributed mode,
+  /// the releasing core in shared mode).
+  void grant_next_cell_waiter(CoreSim& actor, CellId id);
+  void grant_next_lock_waiter(CoreSim& actor, LockId id);
+
+  // ---- Ctx operation implementations (fiber context) ---------------------
+
+  void ctx_compute_cycles(CoreSim& c, Cycles cycles);
+  void ctx_compute_mix(CoreSim& c, const timing::InstMix& mix);
+  void ctx_function_boundary(CoreSim& c);
+  void ctx_mem_access(CoreSim& c, std::uint64_t addr, std::uint32_t bytes,
+                      bool write);
+  bool ctx_probe(CoreSim& c);
+  void ctx_spawn(CoreSim& c, GroupId g, TaskFn fn, std::uint32_t arg_bytes);
+  void ctx_join(CoreSim& c, GroupId g);
+  GroupId ctx_make_group();
+  LockId ctx_make_lock(CoreSim& c);
+  void ctx_lock(CoreSim& c, LockId id);
+  void ctx_unlock(CoreSim& c, LockId id);
+  CellId ctx_make_cell(std::uint32_t bytes, CoreId home);
+  void ctx_cell_acquire(CoreSim& c, CellId id, AccessMode mode);
+  void ctx_cell_release(CoreSim& c, CellId id);
+
+  [[nodiscard]] Tick mem_cost_l1_hit(const CoreSim& c) const;
+
+  void charge(CoreSim& c, Tick cost) { c.now += cost; c.busy += cost; }
+
+  [[nodiscard]] CoreSim& core(CoreId id) { return *cores_[id]; }
+  [[nodiscard]] const CoreSim& core(CoreId id) const { return *cores_[id]; }
+
+  // ---- Data ---------------------------------------------------------------
+
+  ArchConfig cfg_;
+  ExecutionMode mode_;
+  Tick drift_ticks_ = 0;
+  net::Network network_;
+  timing::CostModel cost_model_;
+  FiberPool fiber_pool_;
+  std::vector<std::unique_ptr<CoreSim>> cores_;
+  // deques: element references must survive growth, because fibers hold
+  // references across yields while other tasks create groups/cells.
+  std::deque<Group> groups_;
+  std::deque<Cell> cells_;
+  std::deque<Lock> locks_;
+  mem::Directory directory_;
+
+  std::deque<CoreId> ready_;
+  std::vector<CoreId> stalled_;
+
+  std::uint64_t live_tasks_ = 0;
+  std::uint64_t inflight_messages_ = 0;
+  Tick gmin_lb_ = 0;        // lower bound on the minimum anchored time
+  /// Bumped whenever a *new* drift constraint appears (a core gains
+  /// work, a task is born): cached drift limits from earlier epochs —
+  /// possibly infinity — are then stale and must be recomputed.
+  std::uint64_t limit_epoch_ = 1;
+  Tick max_task_end_ = 0;
+  std::uint64_t quantum_count_ = 0;
+  std::uint64_t synth_addr_next_ = 1;  // synthetic cell address space
+  TraceSink* trace_ = nullptr;
+  std::vector<std::uint32_t> bfs_epoch_;
+  std::uint32_t bfs_epoch_cur_ = 0;
+  bool ran_ = false;
+
+  SimStats stats_;
+};
+
+/// Convenience alias: a SiMany simulation.
+using Simulation = Engine;
+
+}  // namespace simany

@@ -1,0 +1,95 @@
+#include "core/fiber.h"
+
+#include <cassert>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+
+namespace simany {
+
+namespace {
+// The fiber being executed right now. The engine is single-threaded by
+// design (paper SS III), so a plain static is sufficient and fast.
+Fiber* g_current = nullptr;
+}  // namespace
+
+Fiber* Fiber::current() noexcept { return g_current; }
+
+Fiber::Fiber(Fn fn, std::unique_ptr<std::byte[]> stack,
+             std::size_t stack_bytes)
+    : fn_(std::move(fn)), stack_(std::move(stack)), stack_bytes_(stack_bytes) {}
+
+Fiber::~Fiber() {
+  // Destroying a suspended, unfinished fiber leaks whatever its stack
+  // owned; the engine only destroys fibers after completion or at
+  // simulation teardown where leaked task state is acceptable.
+}
+
+void Fiber::trampoline() {
+  Fiber* self = g_current;
+  assert(self != nullptr);
+  try {
+    self->fn_();
+  } catch (...) {
+    self->exception_ = std::current_exception();
+  }
+  self->finished_ = true;
+  // Fall through: returning from the makecontext entry point resumes
+  // uc_link, which we point at return_ctx_ before every resume.
+}
+
+void Fiber::resume() {
+  assert(g_current == nullptr && "nested fiber resume is not supported");
+  assert(!finished_);
+  if (!started_) {
+    started_ = true;
+    if (getcontext(&ctx_) != 0) {
+      throw std::runtime_error("getcontext failed");
+    }
+    ctx_.uc_stack.ss_sp = stack_.get();
+    ctx_.uc_stack.ss_size = stack_bytes_;
+    ctx_.uc_link = &return_ctx_;
+    makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+  }
+  ctx_.uc_link = &return_ctx_;
+  g_current = this;
+  if (swapcontext(&return_ctx_, &ctx_) != 0) {
+    g_current = nullptr;
+    throw std::runtime_error("swapcontext into fiber failed");
+  }
+  g_current = nullptr;
+}
+
+void Fiber::yield() {
+  Fiber* self = g_current;
+  assert(self != nullptr && "yield outside of fiber context");
+  g_current = nullptr;
+  if (swapcontext(&self->ctx_, &self->return_ctx_) != 0) {
+    throw std::runtime_error("swapcontext out of fiber failed");
+  }
+  // Back inside the fiber: restore the current pointer.
+  g_current = self;
+}
+
+FiberPool::FiberPool(std::size_t stack_bytes) : stack_bytes_(stack_bytes) {}
+
+std::unique_ptr<Fiber> FiberPool::create(Fiber::Fn fn) {
+  std::unique_ptr<std::byte[]> stack;
+  if (!free_stacks_.empty()) {
+    stack = std::move(free_stacks_.back());
+    free_stacks_.pop_back();
+  } else {
+    stack = std::make_unique<std::byte[]>(stack_bytes_);
+  }
+  ++created_;
+  return std::unique_ptr<Fiber>(
+      new Fiber(std::move(fn), std::move(stack), stack_bytes_));
+}
+
+void FiberPool::recycle(std::unique_ptr<Fiber> fiber) {
+  if (fiber && fiber->finished() && fiber->stack_bytes_ == stack_bytes_) {
+    free_stacks_.push_back(std::move(fiber->stack_));
+  }
+}
+
+}  // namespace simany

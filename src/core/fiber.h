@@ -1,0 +1,99 @@
+// Userland cooperative fibers built on POSIX ucontext.
+//
+// SiMany executes sequential code blocks natively inside non-preemptive
+// userland threads (paper SS III): a task must be able to suspend at an
+// arbitrary call depth (probe, data access, lock, spatial-sync stall)
+// while the engine switches to another simulated core. Stackful fibers
+// give exactly that without making benchmark code coroutine-shaped.
+//
+// All switches go through a scheduler context: the engine resumes a
+// fiber with Fiber::resume(), and the fiber returns control with
+// Fiber::yield(). Stacks are recycled through a FiberPool because a
+// 1024-core run creates and destroys tens of thousands of tasks.
+#pragma once
+
+#include <csignal>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <ucontext.h>
+#include <vector>
+
+namespace simany {
+
+class FiberPool;
+
+/// A single suspendable execution context running `fn` on its own stack.
+class Fiber {
+ public:
+  using Fn = std::function<void()>;
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+  ~Fiber();
+
+  /// Switches from the scheduler into this fiber. Must not be called
+  /// from inside a fiber. Returns when the fiber yields or finishes.
+  void resume();
+
+  /// Switches from inside the currently running fiber back to the
+  /// scheduler. Must be called from fiber context.
+  static void yield();
+
+  /// True once `fn` has returned (normally or by throwing).
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+  /// Exception that escaped `fn`, if any. Exceptions cannot propagate
+  /// across a context switch, so the scheduler rethrows them.
+  [[nodiscard]] std::exception_ptr exception() const noexcept {
+    return exception_;
+  }
+
+  /// The fiber currently executing, or nullptr when in scheduler context.
+  [[nodiscard]] static Fiber* current() noexcept;
+
+ private:
+  friend class FiberPool;
+  Fiber(Fn fn, std::unique_ptr<std::byte[]> stack, std::size_t stack_bytes);
+  static void trampoline();
+
+  Fn fn_;
+  ucontext_t ctx_{};
+  ucontext_t return_ctx_{};
+  std::unique_ptr<std::byte[]> stack_;
+  std::size_t stack_bytes_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+  std::exception_ptr exception_;
+};
+
+/// Recycles fiber stacks. Finished fibers handed back to the pool have
+/// their stack reused by the next allocation of the same size.
+class FiberPool {
+ public:
+  explicit FiberPool(std::size_t stack_bytes = kDefaultStackBytes);
+
+  /// Creates (or recycles) a fiber that will run `fn` when resumed.
+  [[nodiscard]] std::unique_ptr<Fiber> create(Fiber::Fn fn);
+
+  /// Returns a finished fiber's stack to the pool.
+  void recycle(std::unique_ptr<Fiber> fiber);
+
+  [[nodiscard]] std::size_t stack_bytes() const noexcept {
+    return stack_bytes_;
+  }
+  [[nodiscard]] std::size_t pooled() const noexcept {
+    return free_stacks_.size();
+  }
+  [[nodiscard]] std::size_t created() const noexcept { return created_; }
+
+  static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
+
+ private:
+  std::size_t stack_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> free_stacks_;
+  std::size_t created_ = 0;
+};
+
+}  // namespace simany

@@ -1,0 +1,69 @@
+// Architectural messages exchanged between simulated cores.
+//
+// These carry both run-time-system traffic (probe handshake, task
+// spawning, join notification — paper SS IV "Semantics and Messages")
+// and distributed-memory data movement (cell requests/responses).
+// Virtual-time *update* messages from the spatial synchronization
+// scheme are NOT represented here: they are control messages with "no
+// architectural existence" (paper SS II) and are realized as direct
+// neighbor-proxy updates inside the engine.
+#pragma once
+
+#include <cstdint>
+
+#include "core/sim_types.h"
+#include "core/vtime.h"
+
+namespace simany {
+
+enum class MsgKind : std::uint8_t {
+  kProbe,          // reservation request for one task-queue slot
+  kProbeAck,       // reservation granted
+  kProbeNack,      // reservation denied
+  kTaskSpawn,      // the new task itself (args payload)
+  kJoinerRequest,  // wake a suspended joining task
+  kDataRequest,    // acquire a remote cell
+  kDataResponse,   // cell content + grant
+  kCellRelease,    // release a cell at its home (with write-back)
+  kLockRequest,    // acquire a remote named lock
+  kLockGrant,      // named lock granted
+  kLockRelease,    // release a named lock at its home
+  kOccUpdate,      // task-queue occupancy broadcast to neighbors
+};
+
+[[nodiscard]] constexpr const char* to_string(MsgKind k) noexcept {
+  switch (k) {
+    case MsgKind::kProbe: return "PROBE";
+    case MsgKind::kProbeAck: return "PROBE_ACK";
+    case MsgKind::kProbeNack: return "PROBE_NACK";
+    case MsgKind::kTaskSpawn: return "TASK_SPAWN";
+    case MsgKind::kJoinerRequest: return "JOINER_REQUEST";
+    case MsgKind::kDataRequest: return "DATA_REQUEST";
+    case MsgKind::kDataResponse: return "DATA_RESPONSE";
+    case MsgKind::kCellRelease: return "CELL_RELEASE";
+    case MsgKind::kLockRequest: return "LOCK_REQUEST";
+    case MsgKind::kLockGrant: return "LOCK_GRANT";
+    case MsgKind::kLockRelease: return "LOCK_RELEASE";
+    case MsgKind::kOccUpdate: return "OCC_UPDATE";
+  }
+  return "?";
+}
+
+struct Message {
+  MsgKind kind = MsgKind::kProbe;
+  CoreId src = net::kInvalidCore;
+  CoreId dst = net::kInvalidCore;
+  Tick sent = 0;     // sender virtual time at departure
+  Tick arrival = 0;  // network-computed arrival at dst
+  std::uint32_t bytes = 0;
+  /// Small scalar payload: cell/lock/group id, write-back flag, ...
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  /// Only for kTaskSpawn: the task body and its group.
+  TaskFn task;
+  GroupId group = kInvalidGroup;
+  /// Birth timestamp carried by a spawn (parent time at spawn).
+  Tick birth = 0;
+};
+
+}  // namespace simany

@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation.
+//
+// Every source of randomness in the simulator (branch-predictor outcomes,
+// workload generators, benchmark pivots) draws from an explicitly seeded
+// xoshiro256** stream, so any run is exactly reproducible from its seed.
+// The engine is single-threaded (paper SS III), which makes this total.
+#pragma once
+
+#include <cstdint>
+
+namespace simany {
+
+/// xoshiro256** 1.0 (Blackman & Vigna, public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift reduction.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  // UniformRandomBitGenerator interface, so <algorithm> shuffles work.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept { return next(); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace simany

@@ -1,0 +1,53 @@
+// Aggregated simulation results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/vtime.h"
+#include "net/network.h"
+
+namespace simany {
+
+struct SimStats {
+  /// Virtual time at which the last task completed.
+  Tick completion_ticks = 0;
+  [[nodiscard]] Cycles completion_cycles() const noexcept {
+    return cycles_floor(completion_ticks);
+  }
+
+  std::uint64_t tasks_spawned = 0;   // dispatched through TASK_SPAWN
+  std::uint64_t tasks_inlined = 0;   // probe failed, ran sequentially
+  std::uint64_t tasks_migrated = 0;  // forwarded off an overloaded core
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probes_denied = 0;
+  std::uint64_t messages = 0;        // architectural messages
+  std::uint64_t sync_stalls = 0;     // spatial-synchronization stalls
+  std::uint64_t fiber_switches = 0;
+  std::uint64_t joins_suspended = 0;
+  std::uint64_t limit_recomputes = 0;
+
+  /// Available host parallelism, sampled periodically during the run:
+  /// the number of simulated cores that could be advanced concurrently
+  /// (actionable and not drift-capped). The paper (SS VIII) reports a
+  /// preliminary study of exactly this quantity.
+  std::uint64_t parallelism_samples = 0;
+  std::uint64_t parallelism_sum = 0;
+  std::uint64_t parallelism_max = 0;
+  [[nodiscard]] double avg_parallelism() const noexcept {
+    return parallelism_samples == 0
+               ? 0.0
+               : static_cast<double>(parallelism_sum) /
+                     static_cast<double>(parallelism_samples);
+  }
+
+  /// Host wall-clock seconds spent inside run().
+  double wall_seconds = 0.0;
+
+  /// Per-core busy virtual time (task execution + runtime handling).
+  std::vector<Tick> core_busy_ticks;
+
+  net::NetworkStats network;
+};
+
+}  // namespace simany

@@ -1,0 +1,28 @@
+// Shared identifier types for the simulation engine and runtime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/topology.h"
+
+namespace simany {
+
+using CoreId = net::CoreId;
+using GroupId = std::uint32_t;
+using LockId = std::uint32_t;
+using CellId = std::uint32_t;
+
+inline constexpr GroupId kInvalidGroup = ~GroupId{0};
+inline constexpr CellId kInvalidCell = ~CellId{0};
+inline constexpr LockId kInvalidLock = ~LockId{0};
+
+enum class AccessMode : std::uint8_t { kRead, kWrite };
+
+class TaskCtx;
+
+/// A task body. Runs natively; all timing comes from explicit
+/// annotations and the simulated-architecture interactions on `ctx`.
+using TaskFn = std::function<void(TaskCtx&)>;
+
+}  // namespace simany

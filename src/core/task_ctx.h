@@ -1,0 +1,154 @@
+// The public programming-model API presented to simulated tasks.
+//
+// This mirrors the paper's modified-program interface (SS III/IV): a
+// program is instrumented with timing annotations (compute / InstMix),
+// uses run-time primitives to spawn tasks conditionally (probe + spawn,
+// join on task groups), and accesses data either through annotated
+// shared-memory loads/stores or through distributed-memory cells
+// acquired via links.
+//
+// TaskCtx is abstract so the same benchmark source runs unchanged on:
+//  * the SiMany virtual-time engine        (core/engine.h)
+//  * the cycle-level reference simulator   (cyclesim/)
+//  * the native pass-through executor      (runtime/native_sim.h)
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.h"
+#include "core/sim_types.h"
+#include "core/vtime.h"
+#include "mem/mem_params.h"
+#include "timing/cost_model.h"
+
+namespace simany {
+
+class TaskCtx {
+ public:
+  virtual ~TaskCtx() = default;
+
+  // ---- Timing annotations -------------------------------------------
+
+  /// Advances this core's virtual time by a raw cycle count (a manually
+  /// timed instruction block).
+  virtual void compute(Cycles cycles) = 0;
+
+  /// Advances virtual time by the cost-model cost of an instruction
+  /// mix; conditional branches go through the probabilistic predictor.
+  virtual void compute(const timing::InstMix& mix) = 0;
+
+  /// Function boundary of the simulated program: the pessimistic L1
+  /// model forgets all cached lines (paper SS V).
+  virtual void function_boundary() = 0;
+
+  // ---- Shared-memory data accesses ----------------------------------
+  // `addr` is any stable byte address identifying the data (benchmarks
+  // pass the native address of their own structures); only timing is
+  // simulated, the data itself lives in normal process memory.
+
+  virtual void mem_read(std::uint64_t addr, std::uint32_t bytes) = 0;
+  virtual void mem_write(std::uint64_t addr, std::uint32_t bytes) = 0;
+
+  // ---- Tasking --------------------------------------------------------
+
+  /// Creates a task group for coarse synchronization.
+  virtual GroupId make_group() = 0;
+
+  /// Resource check preceding a spawn: consults neighbor occupancy
+  /// proxies and, when promising, performs the PROBE handshake.
+  /// On success a slot is reserved and the next spawn() uses it.
+  [[nodiscard]] virtual bool probe() = 0;
+
+  /// Sends a new task to the neighbor reserved by the last successful
+  /// probe(). Precondition: probe() returned true and no spawn happened
+  /// since. `arg_bytes` sizes the TASK_SPAWN message (0 = default).
+  virtual void spawn(GroupId group, TaskFn fn,
+                     std::uint32_t arg_bytes = 0) = 0;
+
+  /// Waits for all tasks in `group` to finish. May suspend this task;
+  /// resumption costs the join context-switch overhead.
+  virtual void join(GroupId group) = 0;
+
+  // ---- Locks ----------------------------------------------------------
+
+  virtual LockId make_lock() = 0;
+  virtual void lock(LockId lock) = 0;
+  virtual void unlock(LockId lock) = 0;
+
+  // ---- Distributed-memory cells ---------------------------------------
+  // Cells are the run-time-managed shared objects of the distributed
+  // architecture (paper SS IV). On the shared-memory architecture the
+  // same calls degrade to annotated memory accesses plus lock
+  // semantics, so one benchmark source serves both modes.
+
+  /// Creates a cell of `bytes` homed on the core executing this call.
+  virtual CellId make_cell(std::uint32_t bytes) = 0;
+
+  /// Creates a cell homed on an explicit core — how a program places
+  /// data across the distributed banks.
+  virtual CellId make_cell_at(std::uint32_t bytes, CoreId home) = 0;
+
+  /// Acquires exclusive access; blocks while another task holds the
+  /// cell. Remote acquisition triggers DATA_REQUEST/DATA_RESPONSE and
+  /// installs the data in this core's L2.
+  virtual void cell_acquire(CellId cell, AccessMode mode) = 0;
+
+  /// Releases the cell (write-back to home when it was acquired for
+  /// writing).
+  virtual void cell_release(CellId cell) = 0;
+
+  // ---- Introspection --------------------------------------------------
+
+  [[nodiscard]] virtual CoreId core_id() const = 0;
+  [[nodiscard]] virtual std::uint32_t num_cores() const = 0;
+  [[nodiscard]] virtual Cycles now_cycles() const = 0;
+  [[nodiscard]] virtual mem::MemoryModel memory_model() const = 0;
+
+  /// Deterministic per-core random stream (branch outcomes, benchmark
+  /// pivot choices, ...).
+  [[nodiscard]] virtual Rng& rng() = 0;
+};
+
+/// Conditional-spawn helper (the paper's programming idiom): spawn when
+/// a probe succeeds, otherwise execute the task inline, sequentially.
+inline void spawn_or_run(TaskCtx& ctx, GroupId group, const TaskFn& fn,
+                         std::uint32_t arg_bytes = 0) {
+  if (ctx.probe()) {
+    ctx.spawn(group, fn, arg_bytes);
+  } else {
+    fn(ctx);
+  }
+}
+
+/// RAII guard for cell access.
+class CellGuard {
+ public:
+  CellGuard(TaskCtx& ctx, CellId cell, AccessMode mode)
+      : ctx_(&ctx), cell_(cell) {
+    ctx_->cell_acquire(cell_, mode);
+  }
+  CellGuard(const CellGuard&) = delete;
+  CellGuard& operator=(const CellGuard&) = delete;
+  ~CellGuard() { ctx_->cell_release(cell_); }
+
+ private:
+  TaskCtx* ctx_;
+  CellId cell_;
+};
+
+/// RAII guard for locks.
+class LockGuard {
+ public:
+  LockGuard(TaskCtx& ctx, LockId lock) : ctx_(&ctx), lock_(lock) {
+    ctx_->lock(lock_);
+  }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+  ~LockGuard() { ctx_->unlock(lock_); }
+
+ private:
+  TaskCtx* ctx_;
+  LockId lock_;
+};
+
+}  // namespace simany

@@ -1,0 +1,33 @@
+// Simulation event tracing.
+//
+// A TraceSink observes engine events as they are simulated (in
+// simulation order, with virtual-time stamps). Sinks pay only a null
+// check when tracing is off. Concrete sinks live in src/stats
+// (CSV export, activity summaries, message histograms).
+#pragma once
+
+#include "core/message.h"
+#include "core/sim_types.h"
+#include "core/vtime.h"
+
+namespace simany {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// A task began executing on `core` at virtual time `at`.
+  virtual void on_task_start(CoreId core, Tick at) { (void)core, (void)at; }
+  /// A task completed on `core` at virtual time `at`.
+  virtual void on_task_end(CoreId core, Tick at) { (void)core, (void)at; }
+  /// An architectural message entered the network.
+  virtual void on_message(const Message& m) { (void)m; }
+  /// `core` stalled on the drift bound at virtual time `at`.
+  virtual void on_stall(CoreId core, Tick at) { (void)core, (void)at; }
+  /// `core` resumed after a stall; its limit rose to `new_limit`.
+  virtual void on_wake(CoreId core, Tick at, Tick new_limit) {
+    (void)core, (void)at, (void)new_limit;
+  }
+};
+
+}  // namespace simany

@@ -1,0 +1,63 @@
+// Virtual-time representation for the SiMany discrete-event engine.
+//
+// The paper expresses all architectural delays in cycles, but needs
+// sub-cycle resolution in two places: clustered meshes use 0.5-cycle
+// intra-cluster link latencies (paper SS V) and polymorphic cores scale
+// instruction-block costs by rational speed factors (x1/2 and x3/2).
+// We therefore keep virtual time as an integer count of *ticks*, with
+// kTicksPerCycle ticks per cycle. 12 divides evenly by 2, 3, 4 and 6,
+// so every delay the paper uses is exact and runs stay deterministic.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace simany {
+
+/// One tick is 1/kTicksPerCycle of a cycle.
+using Tick = std::uint64_t;
+
+/// Whole cycles, the unit used by public APIs and the paper.
+using Cycles = std::uint64_t;
+
+inline constexpr Tick kTicksPerCycle = 12;
+
+inline constexpr Tick kTickInfinity = std::numeric_limits<Tick>::max();
+
+[[nodiscard]] constexpr Tick ticks(Cycles c) noexcept {
+  return static_cast<Tick>(c) * kTicksPerCycle;
+}
+
+/// Converts ticks back to whole cycles, rounding down.
+[[nodiscard]] constexpr Cycles cycles_floor(Tick t) noexcept {
+  return t / kTicksPerCycle;
+}
+
+/// Converts ticks back to cycles as a double, for reporting.
+[[nodiscard]] constexpr double cycles_fp(Tick t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerCycle);
+}
+
+/// Rational core speed factor. A core "twice slower" than base is {1, 2};
+/// one "faster by 3/2" is {3, 2}. Costs are divided by the speed.
+struct Speed {
+  std::uint32_t num = 1;
+  std::uint32_t den = 1;
+
+  [[nodiscard]] constexpr bool is_unit() const noexcept {
+    return num == den;
+  }
+  [[nodiscard]] constexpr double as_double() const noexcept {
+    return static_cast<double>(num) / static_cast<double>(den);
+  }
+  friend constexpr bool operator==(Speed, Speed) = default;
+};
+
+/// Cost in ticks of a block of `c` cycles on a core of speed `s`
+/// (rounded up so a nonzero cost never becomes free).
+[[nodiscard]] constexpr Tick scaled_cost(Cycles c, Speed s) noexcept {
+  const auto raw = static_cast<unsigned __int128>(c) * kTicksPerCycle * s.den;
+  return static_cast<Tick>((raw + s.num - 1) / s.num);
+}
+
+}  // namespace simany

@@ -1,0 +1,17 @@
+#include "cyclesim/cycle_sim.h"
+
+namespace simany::cyclesim {
+
+std::unique_ptr<Engine> make_cycle_sim(ArchConfig cfg) {
+  return std::make_unique<Engine>(std::move(cfg),
+                                  ExecutionMode::kCycleLevel);
+}
+
+ArchConfig validation_vt_config(ArchConfig cfg) {
+  if (cfg.mem.model == mem::MemoryModel::kShared) {
+    cfg.mem.coherence_timing = true;
+  }
+  return cfg;
+}
+
+}  // namespace simany::cyclesim

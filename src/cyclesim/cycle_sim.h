@@ -1,0 +1,34 @@
+// Cycle-level reference simulator (the UNISIM-baseline stand-in).
+//
+// The paper validates SiMany against a hybrid cycle-level/system-level
+// simulator built on UNISIM (SS V). We reproduce that reference with a
+// conservative configuration of the shared engine: the scheduler always
+// advances the earliest actionable core, compute blocks are chopped
+// into 16-cycle quanta, data flows through real set-associative split
+// I/D L1 caches, and cache coherence is fully charged per access via
+// the directory model. The same task programs run unmodified.
+//
+// Differences from the virtual-time engine intentionally mirror the
+// paper's CL-vs-VT modeling gaps:
+//  * strict global event ordering instead of spatial synchronization;
+//  * real LRU caches instead of the pessimistic function-scoped L1;
+//  * explicit instruction-fetch charges;
+//  * on polymorphic meshes the L1 latency stays uniform across cores
+//    (SiMany scales it with core speed), reproducing the Fig 6 offset.
+#pragma once
+
+#include "config/arch_config.h"
+#include "core/engine.h"
+
+namespace simany::cyclesim {
+
+/// A ready-to-run cycle-level simulation of `cfg`.
+/// Shared-memory configs always model coherence (the reference
+/// simulator cannot turn it off, paper SS V).
+[[nodiscard]] std::unique_ptr<Engine> make_cycle_sim(ArchConfig cfg);
+
+/// The matching SiMany configuration for validation runs: same
+/// architecture with the abstract coherence-delay model enabled.
+[[nodiscard]] ArchConfig validation_vt_config(ArchConfig cfg);
+
+}  // namespace simany::cyclesim

@@ -1,0 +1,90 @@
+#include "dwarfs/dwarfs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace simany::dwarfs {
+
+namespace {
+
+[[nodiscard]] std::size_t scaled(double base, double factor,
+                                 std::size_t floor_value) {
+  const double v = base * factor;
+  return std::max(floor_value, static_cast<std::size_t>(std::llround(v)));
+}
+
+std::vector<DwarfSpec> build_all() {
+  std::vector<DwarfSpec> v;
+  // Paper dataset shapes at factor 1.0 (SS V, "Benchmarks").
+  v.push_back(DwarfSpec{
+      "barnes-hut",
+      [](std::uint64_t seed, double f) {
+        return make_barnes_hut(seed, scaled(200, f, 64));
+      }});
+  v.push_back(DwarfSpec{
+      "connected-components",
+      [](std::uint64_t seed, double f) {
+        const auto n =
+            static_cast<std::uint32_t>(scaled(1000, f, 48));
+        return make_connected_components(seed, n, 2 * n);
+      }});
+  v.push_back(DwarfSpec{
+      "dijkstra",
+      [](std::uint64_t seed, double f) {
+        const auto n =
+            static_cast<std::uint32_t>(scaled(2000, f, 48));
+        return make_dijkstra(seed, n, (3 * n) / 2);
+      }});
+  v.push_back(DwarfSpec{
+      "quicksort",
+      [](std::uint64_t seed, double f) {
+        return make_quicksort(seed, scaled(100000, f, 256));
+      }});
+  v.push_back(DwarfSpec{
+      "spmxv",
+      [](std::uint64_t seed, double f) {
+        const auto n =
+            static_cast<std::uint32_t>(scaled(4000, f, 64));
+        return make_spmxv(seed, n, 16);
+      }});
+  v.push_back(DwarfSpec{
+      "octree",
+      [](std::uint64_t seed, double f) {
+        // Depth 6 as in the paper; the branching probability scales
+        // the node count.
+        const double p = 0.3 + 0.25 * std::min(1.0, f);
+        return make_octree_update(seed, 6, p);
+      }});
+  return v;
+}
+
+}  // namespace
+
+const std::vector<DwarfSpec>& all_dwarfs() {
+  static const std::vector<DwarfSpec> specs = build_all();
+  return specs;
+}
+
+const std::vector<DwarfSpec>& validation_dwarfs() {
+  static const std::vector<DwarfSpec> specs = [] {
+    std::vector<DwarfSpec> v;
+    for (const auto& s : all_dwarfs()) {
+      if (s.name == "barnes-hut" || s.name == "connected-components" ||
+          s.name == "quicksort" || s.name == "spmxv") {
+        v.push_back(s);
+      }
+    }
+    return v;
+  }();
+  return specs;
+}
+
+const DwarfSpec& dwarf_by_name(const std::string& name) {
+  for (const auto& s : all_dwarfs()) {
+    if (s.name == name) return s;
+  }
+  throw std::out_of_range("unknown dwarf: " + name);
+}
+
+}  // namespace simany::dwarfs

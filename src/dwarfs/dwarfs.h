@@ -1,0 +1,68 @@
+// The dwarf-like benchmark suite (paper SS V, "Benchmarks").
+//
+// Six task-parallel kernels following the Berkeley dwarf philosophy,
+// each written once against the TaskCtx programming model so it runs
+// on the virtual-time engine, the cycle-level baseline and the native
+// executor unchanged. Every root task verifies its own result against
+// a native reference and throws std::runtime_error on a mismatch.
+//
+// Quicksort adapts per memory model like the paper's two versions:
+// the shared-memory variant partitions an array in place, while the
+// distributed variant works on lists whose elements travel with the
+// spawned tasks (pivot steps build a binary search tree of runs).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/sim_types.h"
+
+namespace simany::dwarfs {
+
+// ---- Individual factories ---------------------------------------------
+// Each returns a self-contained, self-verifying root task. All state is
+// owned by the closure; a TaskFn can be handed to exactly one run.
+
+[[nodiscard]] TaskFn make_quicksort_shared(std::uint64_t seed,
+                                           std::size_t n);
+[[nodiscard]] TaskFn make_quicksort_distributed(std::uint64_t seed,
+                                                std::size_t n);
+/// Picks the right Quicksort variant from ctx.memory_model() at run
+/// time (what the registry uses).
+[[nodiscard]] TaskFn make_quicksort(std::uint64_t seed, std::size_t n);
+
+[[nodiscard]] TaskFn make_connected_components(std::uint64_t seed,
+                                               std::uint32_t nodes,
+                                               std::uint32_t edges);
+[[nodiscard]] TaskFn make_dijkstra(std::uint64_t seed, std::uint32_t nodes,
+                                   std::uint32_t edges);
+[[nodiscard]] TaskFn make_barnes_hut(std::uint64_t seed,
+                                     std::size_t bodies);
+[[nodiscard]] TaskFn make_spmxv(std::uint64_t seed, std::uint32_t n,
+                                std::uint32_t nnz_per_row);
+[[nodiscard]] TaskFn make_octree_update(std::uint64_t seed,
+                                        std::uint32_t depth,
+                                        double branch_p);
+
+// ---- Registry --------------------------------------------------------
+
+struct DwarfSpec {
+  std::string name;
+  /// Builds the root task for one dataset. `factor` scales the paper's
+  /// dataset sizes (1.0 = paper scale); benches default well below 1
+  /// and record the factor used in EXPERIMENTS.md.
+  std::function<TaskFn(std::uint64_t seed, double factor)> make_root;
+};
+
+/// All six dwarfs in the paper's presentation order.
+[[nodiscard]] const std::vector<DwarfSpec>& all_dwarfs();
+
+/// The four dwarfs used in the cycle-level validation figures (Fig 5/6).
+[[nodiscard]] const std::vector<DwarfSpec>& validation_dwarfs();
+
+/// Lookup by name; throws std::out_of_range for unknown names.
+[[nodiscard]] const DwarfSpec& dwarf_by_name(const std::string& name);
+
+}  // namespace simany::dwarfs

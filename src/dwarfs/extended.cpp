@@ -1,0 +1,38 @@
+#include "dwarfs/extended.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simany::dwarfs {
+
+const std::vector<DwarfSpec>& extended_dwarfs() {
+  static const std::vector<DwarfSpec> specs = [] {
+    std::vector<DwarfSpec> v;
+    v.push_back(DwarfSpec{
+        "matmul",
+        [](std::uint64_t seed, double f) {
+          // factor 1.0 -> 192x192 (~14M flops), floor 24.
+          const auto n = static_cast<std::uint32_t>(std::max(
+              24.0, std::round(192.0 * std::sqrt(std::max(f, 1e-6)))));
+          return make_matmul(seed, n);
+        }});
+    v.push_back(DwarfSpec{
+        "stencil",
+        [](std::uint64_t seed, double f) {
+          const auto n = static_cast<std::uint32_t>(std::max(
+              24.0, std::round(256.0 * std::sqrt(std::max(f, 1e-6)))));
+          return make_stencil(seed, n, /*iters=*/4);
+        }});
+    v.push_back(DwarfSpec{
+        "histogram",
+        [](std::uint64_t seed, double f) {
+          const auto n = static_cast<std::size_t>(
+              std::max(2048.0, std::round(200000.0 * f)));
+          return make_histogram(seed, n, /*bins=*/64);
+        }});
+    return v;
+  }();
+  return specs;
+}
+
+}  // namespace simany::dwarfs

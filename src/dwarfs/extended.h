@@ -1,0 +1,32 @@
+// Extension dwarfs beyond the paper's six benchmarks — additional
+// Berkeley-dwarf classes that exercise API corners the originals do
+// not: dense linear algebra (compute-bound regularity), structured
+// grids (iterative bulk-synchronous halo exchange), and MapReduce-style
+// reduction (global lock contention). They appear in their own
+// registry and bench, never in the paper-figure harnesses.
+#pragma once
+
+#include <cstdint>
+
+#include "dwarfs/dwarfs.h"
+
+namespace simany::dwarfs {
+
+/// C = A x B over n x n doubles, recursive row-band tasks.
+[[nodiscard]] TaskFn make_matmul(std::uint64_t seed, std::uint32_t n);
+
+/// Jacobi 4-point stencil on an n x n grid for `iters` sweeps; row
+/// bands synchronize per sweep through a task group, halo rows are
+/// exchanged through cells on the distributed architecture.
+[[nodiscard]] TaskFn make_stencil(std::uint64_t seed, std::uint32_t n,
+                                  std::uint32_t iters);
+
+/// Histogram of `n` samples into `bins` globally shared buckets
+/// guarded by locks — a reduction with tunable contention.
+[[nodiscard]] TaskFn make_histogram(std::uint64_t seed, std::size_t n,
+                                    std::uint32_t bins);
+
+/// Registry of the extension dwarfs (same shape as all_dwarfs()).
+[[nodiscard]] const std::vector<DwarfSpec>& extended_dwarfs();
+
+}  // namespace simany::dwarfs

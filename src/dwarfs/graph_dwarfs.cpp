@@ -1,0 +1,147 @@
+// Connected Components and Dijkstra (paper SS V).
+//
+// Both are speculative graph explorations with contended per-node
+// state: Connected Components launches depth-first label propagation
+// from every node in parallel (min node id wins); Dijkstra propagates
+// tentative distances, re-exploring paths when a shorter distance
+// arrives (the Capsule-style algorithm of [29]). Per-node state lives
+// in run-time cells, so contention surfaces as lock serialization on
+// the shared architecture and as data movement on the distributed one.
+
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "dwarfs/dwarfs.h"
+#include "core/task_ctx.h"
+#include "dwarfs/workloads.h"
+#include "runtime/data.h"
+
+namespace simany::dwarfs {
+
+namespace {
+
+// Tag/distance comparison and update inside the critical section.
+const timing::InstMix kUpdateMix{.int_alu = 4, .branches = 1};
+// Per-edge traversal bookkeeping.
+const timing::InstMix kEdgeMix{.int_alu = 5, .branches = 1};
+
+struct CcState {
+  Graph g;
+  std::vector<std::uint32_t> tag;
+  std::unique_ptr<runtime::CellArray> cells;
+  GroupId group = kInvalidGroup;
+  // Flat adjacency layout in the simulated address space.
+  std::uint64_t adj_base = 0;
+  std::vector<std::uint32_t> eoff;  // per-node first-edge index
+};
+
+/// Builds the simulated-address layout of a graph's adjacency lists.
+template <class State>
+void layout_graph(State& st) {
+  st.eoff.assign(st.g.n + 1, 0);
+  for (std::uint32_t u = 0; u < st.g.n; ++u) {
+    st.eoff[u + 1] = st.eoff[u] +
+                     static_cast<std::uint32_t>(st.g.adj[u].size());
+  }
+  st.adj_base = runtime::synth_alloc(std::uint64_t{st.eoff[st.g.n]} * 8);
+}
+
+void cc_visit(TaskCtx& ctx, const std::shared_ptr<CcState>& st,
+              std::uint32_t node, std::uint32_t label) {
+  ctx.function_boundary();
+  ctx.cell_acquire(st->cells->cell(node), AccessMode::kWrite);
+  ctx.compute(kUpdateMix);
+  const bool improved = label < st->tag[node];
+  if (improved) st->tag[node] = label;
+  ctx.cell_release(st->cells->cell(node));
+  if (!improved) return;
+  const auto& edges = st->g.adj[node];
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    ctx.mem_read(st->adj_base + (st->eoff[node] + k) * 8, 8);
+    ctx.compute(kEdgeMix);
+    const std::uint32_t next = edges[k].first;
+    spawn_or_run(
+        ctx, st->group,
+        [st, next, label](TaskCtx& c) { cc_visit(c, st, next, label); },
+        /*arg_bytes=*/16);
+  }
+}
+
+struct DjState {
+  Graph g;
+  std::vector<std::uint64_t> dist;
+  std::unique_ptr<runtime::CellArray> cells;
+  GroupId group = kInvalidGroup;
+  std::uint64_t adj_base = 0;
+  std::vector<std::uint32_t> eoff;
+};
+
+void dj_visit(TaskCtx& ctx, const std::shared_ptr<DjState>& st,
+              std::uint32_t node, std::uint64_t d) {
+  ctx.function_boundary();
+  ctx.cell_acquire(st->cells->cell(node), AccessMode::kWrite);
+  ctx.compute(kUpdateMix);
+  const bool improved = d < st->dist[node];
+  if (improved) st->dist[node] = d;
+  ctx.cell_release(st->cells->cell(node));
+  if (!improved) return;
+  const auto& edges = st->g.adj[node];
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    ctx.mem_read(st->adj_base + (st->eoff[node] + k) * 8, 8);
+    ctx.compute(kEdgeMix);
+    const std::uint32_t next = edges[k].first;
+    const std::uint64_t nd = d + edges[k].second;
+    spawn_or_run(
+        ctx, st->group,
+        [st, next, nd](TaskCtx& c) { dj_visit(c, st, next, nd); },
+        /*arg_bytes=*/24);
+  }
+}
+
+}  // namespace
+
+TaskFn make_connected_components(std::uint64_t seed, std::uint32_t nodes,
+                                 std::uint32_t edges) {
+  return [seed, nodes, edges](TaskCtx& ctx) {
+    auto st = std::make_shared<CcState>();
+    st->g = gen_graph(seed, nodes, edges);
+    layout_graph(*st);
+    st->tag.assign(nodes, std::numeric_limits<std::uint32_t>::max());
+    st->cells = std::make_unique<runtime::CellArray>(ctx, nodes, 8);
+    st->group = ctx.make_group();
+    // Depth-first searches launched from lots of nodes in parallel.
+    for (std::uint32_t i = 0; i < nodes; ++i) {
+      const std::uint32_t root = i;
+      spawn_or_run(
+          ctx, st->group,
+          [st, root](TaskCtx& c) { cc_visit(c, st, root, root); },
+          /*arg_bytes=*/16);
+    }
+    ctx.join(st->group);
+    const auto expected = ref_components(st->g);
+    if (st->tag != expected) {
+      throw std::runtime_error("connected components: wrong result");
+    }
+  };
+}
+
+TaskFn make_dijkstra(std::uint64_t seed, std::uint32_t nodes,
+                     std::uint32_t edges) {
+  return [seed, nodes, edges](TaskCtx& ctx) {
+    auto st = std::make_shared<DjState>();
+    st->g = gen_graph(seed, nodes, edges);
+    layout_graph(*st);
+    st->dist.assign(nodes, std::numeric_limits<std::uint64_t>::max());
+    st->cells = std::make_unique<runtime::CellArray>(ctx, nodes, 16);
+    st->group = ctx.make_group();
+    dj_visit(ctx, st, 0, 0);
+    ctx.join(st->group);
+    const auto expected = ref_dijkstra(st->g);
+    if (st->dist != expected) {
+      throw std::runtime_error("dijkstra: wrong result");
+    }
+  };
+}
+
+}  // namespace simany::dwarfs

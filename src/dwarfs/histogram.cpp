@@ -1,0 +1,101 @@
+// Histogram reduction (extension dwarf — MapReduce class).
+//
+// Map: range tasks bucket their slice of samples into a private local
+// histogram (pure compute + streaming reads). Reduce: each task merges
+// its local histogram into globally shared per-stripe buckets guarded
+// by locks — contention scales inversely with the stripe count, making
+// this a tunable lock-contention study.
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "dwarfs/extended.h"
+#include "core/task_ctx.h"
+#include "runtime/data.h"
+
+namespace simany::dwarfs {
+
+namespace {
+
+constexpr std::size_t kGrain = 512;
+constexpr std::uint32_t kStripes = 8;  // locks guarding the global bins
+
+const timing::InstMix kBucketMix{.int_alu = 3, .branches = 1};
+const timing::InstMix kMergeMix{.int_alu = 2};
+
+struct HgState {
+  std::vector<std::uint32_t> samples;  // values in [0, bins)
+  std::uint64_t samples_base = 0;
+  std::uint32_t bins = 0;
+  std::vector<std::uint64_t> global;   // shared bins
+  std::uint64_t global_base = 0;
+  std::vector<LockId> stripe_locks;
+  GroupId group = kInvalidGroup;
+};
+
+void hg_range_task(TaskCtx& ctx, const std::shared_ptr<HgState>& st,
+                   std::size_t lo, std::size_t hi) {
+  ctx.function_boundary();
+  while (hi - lo > kGrain) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const std::size_t l = mid;
+    const std::size_t r = hi;
+    spawn_or_run(
+        ctx, st->group,
+        [st, l, r](TaskCtx& c) { hg_range_task(c, st, l, r); },
+        /*arg_bytes=*/16);
+    hi = mid;
+  }
+  // Map: private local histogram.
+  std::vector<std::uint64_t> local(st->bins, 0);
+  ctx.mem_read(st->samples_base + lo * 4,
+               static_cast<std::uint32_t>((hi - lo) * 4));
+  for (std::size_t i = lo; i < hi; ++i) ++local[st->samples[i]];
+  ctx.compute(kBucketMix * static_cast<std::uint32_t>(hi - lo));
+  // Reduce: merge under the stripe locks.
+  const std::uint32_t bins_per_stripe =
+      (st->bins + kStripes - 1) / kStripes;
+  for (std::uint32_t s = 0; s < kStripes; ++s) {
+    const std::uint32_t b0 = s * bins_per_stripe;
+    const std::uint32_t b1 = std::min(st->bins, b0 + bins_per_stripe);
+    if (b0 >= b1) continue;
+    LockGuard guard(ctx, st->stripe_locks[s]);
+    ctx.mem_read(st->global_base + b0 * 8, (b1 - b0) * 8);
+    for (std::uint32_t b = b0; b < b1; ++b) st->global[b] += local[b];
+    ctx.compute(kMergeMix * (b1 - b0));
+    ctx.mem_write(st->global_base + b0 * 8, (b1 - b0) * 8);
+  }
+}
+
+}  // namespace
+
+TaskFn make_histogram(std::uint64_t seed, std::size_t n,
+                      std::uint32_t bins) {
+  return [seed, n, bins](TaskCtx& ctx) {
+    auto st = std::make_shared<HgState>();
+    st->bins = bins;
+    Rng rng(seed);
+    st->samples.resize(n);
+    for (auto& s : st->samples) {
+      s = static_cast<std::uint32_t>(rng.below(bins));
+    }
+    st->samples_base = runtime::synth_alloc(n * 4);
+    st->global.assign(bins, 0);
+    st->global_base = runtime::synth_alloc(std::uint64_t{bins} * 8);
+    for (std::uint32_t s = 0; s < kStripes; ++s) {
+      st->stripe_locks.push_back(ctx.make_lock());
+    }
+    st->group = ctx.make_group();
+    if (n > 0) hg_range_task(ctx, st, 0, n);
+    ctx.join(st->group);
+    // Native reference.
+    std::vector<std::uint64_t> expected(bins, 0);
+    for (std::uint32_t s : st->samples) ++expected[s];
+    if (expected != st->global) {
+      throw std::runtime_error("histogram: wrong result");
+    }
+  };
+}
+
+}  // namespace simany::dwarfs

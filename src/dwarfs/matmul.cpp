@@ -1,0 +1,105 @@
+// Dense matrix multiply (extension dwarf — Berkeley "dense linear
+// algebra" class, not part of the paper's six benchmarks).
+//
+// C = A x B over n x n doubles with recursive row-band splitting.
+// Compute-bound and perfectly regular: the best-case scalability
+// reference for the task runtime. B is treated as broadcast on the
+// distributed architecture (like the SpMxV vector); the bands of A
+// travel with their tasks.
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "dwarfs/extended.h"
+#include "core/task_ctx.h"
+#include "runtime/data.h"
+
+namespace simany::dwarfs {
+
+namespace {
+
+constexpr std::uint32_t kRowGrain = 4;
+
+// Inner-product step: one multiply-add plus index arithmetic.
+const timing::InstMix kMacMix{.int_alu = 1, .fp_alu = 1, .fp_mul_div = 1};
+const timing::InstMix kRowLoopMix{.int_alu = 3, .branches = 1};
+
+struct MmState {
+  std::uint32_t n = 0;
+  std::vector<double> a, b, c;
+  std::uint64_t a_base = 0, b_base = 0, c_base = 0;
+  GroupId group = kInvalidGroup;
+};
+
+void mm_band_task(TaskCtx& ctx, const std::shared_ptr<MmState>& st,
+                  std::uint32_t r0, std::uint32_t r1) {
+  ctx.function_boundary();
+  const bool distributed =
+      ctx.memory_model() == mem::MemoryModel::kDistributed;
+  const std::uint32_t n = st->n;
+  while (r1 - r0 > kRowGrain) {
+    const std::uint32_t mid = r0 + (r1 - r0) / 2;
+    const std::uint32_t lo = mid;
+    const std::uint32_t hi = r1;
+    // Distributed: the spawned band's rows of A ship with the task.
+    const std::uint32_t bytes =
+        distributed ? (hi - lo) * n * 8 + 16 : 16;
+    spawn_or_run(
+        ctx, st->group,
+        [st, lo, hi](TaskCtx& c) { mm_band_task(c, st, lo, hi); }, bytes);
+    r1 = mid;
+  }
+  for (std::uint32_t i = r0; i < r1; ++i) {
+    ctx.compute(kRowLoopMix);
+    // Stream the A row once; B columns stream per output element.
+    ctx.mem_read(st->a_base + std::uint64_t{i} * n * 8, n * 8);
+    for (std::uint32_t j = 0; j < n; ++j) {
+      ctx.mem_read(st->b_base + std::uint64_t{j} * n * 8, n * 8);
+      double acc = 0;
+      for (std::uint32_t k = 0; k < n; ++k) {
+        acc += st->a[std::size_t{i} * n + k] *
+               st->b[std::size_t{j} * n + k];  // B stored transposed
+      }
+      ctx.compute(kMacMix * n);
+      st->c[std::size_t{i} * n + j] = acc;
+    }
+    ctx.mem_write(st->c_base + std::uint64_t{i} * n * 8, n * 8);
+  }
+}
+
+}  // namespace
+
+TaskFn make_matmul(std::uint64_t seed, std::uint32_t n) {
+  return [seed, n](TaskCtx& ctx) {
+    auto st = std::make_shared<MmState>();
+    st->n = n;
+    Rng rng(seed);
+    st->a.resize(std::size_t{n} * n);
+    st->b.resize(std::size_t{n} * n);
+    st->c.assign(std::size_t{n} * n, 0.0);
+    for (auto& v : st->a) v = rng.uniform() - 0.5;
+    for (auto& v : st->b) v = rng.uniform() - 0.5;
+    st->a_base = runtime::synth_alloc(st->a.size() * 8);
+    st->b_base = runtime::synth_alloc(st->b.size() * 8);
+    st->c_base = runtime::synth_alloc(st->c.size() * 8);
+    st->group = ctx.make_group();
+    if (n > 0) mm_band_task(ctx, st, 0, n);
+    ctx.join(st->group);
+    // Native reference with identical accumulation order.
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = 0; j < n; ++j) {
+        double acc = 0;
+        for (std::uint32_t k = 0; k < n; ++k) {
+          acc += st->a[std::size_t{i} * n + k] *
+                 st->b[std::size_t{j} * n + k];
+        }
+        if (acc != st->c[std::size_t{i} * n + j]) {
+          throw std::runtime_error("matmul: wrong result");
+        }
+      }
+    }
+  };
+}
+
+}  // namespace simany::dwarfs

@@ -1,0 +1,76 @@
+// Octree update traversal (paper SS V): updates every object in a
+// depth-6 octree, as in game or graphics scene-graph passes. Almost no
+// data sharing between subtrees, so it exposes pure task-distribution
+// behaviour.
+
+#include <memory>
+#include <stdexcept>
+
+#include "dwarfs/dwarfs.h"
+#include "core/task_ctx.h"
+#include "dwarfs/workloads.h"
+#include "runtime/data.h"
+
+namespace simany::dwarfs {
+
+namespace {
+
+// Per-node object update: a small transform.
+const timing::InstMix kNodeUpdateMix{.int_alu = 4, .fp_alu = 8,
+                                     .fp_mul_div = 2, .branches = 2};
+
+struct OcState {
+  PlainOctree tree;
+  std::uint64_t visited = 0;  // host-side verification counter
+  GroupId group = kInvalidGroup;
+  std::uint64_t tree_base = 0;  // simulated address of nodes[]
+};
+
+void oc_task(TaskCtx& ctx, const std::shared_ptr<OcState>& st,
+             std::int32_t node) {
+  ctx.function_boundary();
+  auto& n = st->tree.nodes[static_cast<std::size_t>(node)];
+  const std::uint64_t node_addr =
+      st->tree_base +
+      static_cast<std::uint64_t>(node) * sizeof(PlainOctree::Node);
+  ctx.mem_read(node_addr, 40);
+  ctx.compute(kNodeUpdateMix);
+  n.payload += 1.0;
+  ++st->visited;
+  ctx.mem_write(node_addr + 32, 8);
+  for (std::int32_t ch : n.child) {
+    if (ch < 0) continue;
+    spawn_or_run(
+        ctx, st->group,
+        [st, ch](TaskCtx& c) { oc_task(c, st, ch); },
+        /*arg_bytes=*/16);
+  }
+}
+
+}  // namespace
+
+TaskFn make_octree_update(std::uint64_t seed, std::uint32_t depth,
+                          double branch_p) {
+  return [seed, depth, branch_p](TaskCtx& ctx) {
+    auto st = std::make_shared<OcState>();
+    st->tree = gen_octree(seed, depth, branch_p);
+    st->tree_base = runtime::synth_alloc(st->tree.nodes.size() *
+                                         sizeof(PlainOctree::Node));
+    std::vector<double> before;
+    before.reserve(st->tree.nodes.size());
+    for (const auto& n : st->tree.nodes) before.push_back(n.payload);
+    st->group = ctx.make_group();
+    oc_task(ctx, st, 0);
+    ctx.join(st->group);
+    if (st->visited != st->tree.nodes.size()) {
+      throw std::runtime_error("octree: node visit count mismatch");
+    }
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      if (st->tree.nodes[i].payload != before[i] + 1.0) {
+        throw std::runtime_error("octree: payload not updated");
+      }
+    }
+  };
+}
+
+}  // namespace simany::dwarfs

@@ -1,0 +1,212 @@
+// Parallel Quicksort, both paper variants (SS V).
+//
+// Shared memory: works on an array in place; after each pivot step a
+// new task is spawned for one sub-array while the current task keeps
+// the other. Distributed memory: works on lists to avoid shipping
+// whole sub-arrays; each pivot step partitions its list into three
+// (less / equal / greater) and sends the "less" list to a spawned
+// task — the pivots implicitly form a binary search tree whose in-order
+// run concatenation is the sorted output.
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "dwarfs/dwarfs.h"
+#include "core/task_ctx.h"
+#include "dwarfs/workloads.h"
+#include "runtime/data.h"
+
+namespace simany::dwarfs {
+
+namespace {
+
+constexpr std::size_t kSeqCutoff = 64;
+
+// Per-element partition work: two compares + index bookkeeping.
+const timing::InstMix kPartitionPerElem{.int_alu = 3, .branches = 1};
+// Per-element x log(cutoff) small-sort work.
+const timing::InstMix kSmallSortPerStep{.int_alu = 4, .branches = 1};
+// Pivot selection (median of three).
+const timing::InstMix kPivotMix{.int_alu = 6, .branches = 3};
+
+[[nodiscard]] std::int64_t median3(std::int64_t a, std::int64_t b,
+                                   std::int64_t c) {
+  return std::max(std::min(a, b), std::min(std::max(a, b), c));
+}
+
+// ---- Shared-memory variant -------------------------------------------
+
+struct QsShared {
+  runtime::OwnedVector<std::int64_t> arr;
+  GroupId group = kInvalidGroup;
+};
+
+void qs_small_sort(TaskCtx& ctx, const std::shared_ptr<QsShared>& st,
+                   std::size_t lo, std::size_t hi) {
+  const std::size_t len = hi - lo;
+  if (len == 0) return;
+  st->arr.read_range(ctx, lo, len);
+  // ~len * log2(len) comparison steps.
+  std::size_t steps = len;
+  for (std::size_t l = len; l > 1; l >>= 1) steps += len;
+  ctx.compute(kSmallSortPerStep * static_cast<std::uint32_t>(steps));
+  auto& v = st->arr.raw();
+  std::sort(v.begin() + static_cast<std::ptrdiff_t>(lo),
+            v.begin() + static_cast<std::ptrdiff_t>(hi));
+  st->arr.write_range(ctx, lo, len);
+}
+
+void qs_task(TaskCtx& ctx, std::shared_ptr<QsShared> st, std::size_t lo,
+             std::size_t hi) {
+  ctx.function_boundary();
+  while (hi - lo > kSeqCutoff) {
+    auto& v = st->arr.raw();
+    const std::size_t len = hi - lo;
+    const std::int64_t pivot =
+        median3(v[lo], v[lo + len / 2], v[hi - 1]);
+    ctx.compute(kPivotMix);
+    st->arr.read_range(ctx, lo, len);
+    ctx.compute(kPartitionPerElem * static_cast<std::uint32_t>(len));
+    // Three-way partition guarantees progress on duplicate keys.
+    const auto base = v.begin();
+    const auto m1 =
+        std::partition(base + static_cast<std::ptrdiff_t>(lo),
+                       base + static_cast<std::ptrdiff_t>(hi),
+                       [pivot](std::int64_t x) { return x < pivot; });
+    const auto m2 = std::partition(
+        m1, base + static_cast<std::ptrdiff_t>(hi),
+        [pivot](std::int64_t x) { return x == pivot; });
+    st->arr.write_range(ctx, lo, len);
+    const auto left_len = static_cast<std::size_t>(m1 - base) - lo;
+    const std::size_t right_lo = static_cast<std::size_t>(m2 - base);
+    if (left_len > 0) {
+      const std::size_t l = lo;
+      const std::size_t r = lo + left_len;
+      spawn_or_run(
+          ctx, st->group,
+          [st, l, r](TaskCtx& c) { qs_task(c, st, l, r); },
+          /*arg_bytes=*/16);
+    }
+    lo = right_lo;
+  }
+  qs_small_sort(ctx, st, lo, hi);
+}
+
+// ---- Distributed-memory (list) variant ----------------------------------
+
+struct QsDist {
+  GroupId group = kInvalidGroup;
+  // Sorted runs produced by leaf tasks. Host-side bookkeeping for
+  // verification only; disjoint value ranges by construction.
+  std::vector<std::vector<std::int64_t>> runs;
+};
+
+void qd_emit_run(const std::shared_ptr<QsDist>& st,
+                 std::vector<std::int64_t> run) {
+  if (!run.empty()) st->runs.push_back(std::move(run));
+}
+
+void qd_task(TaskCtx& ctx, std::shared_ptr<QsDist> st,
+             std::vector<std::int64_t> seg) {
+  ctx.function_boundary();
+  // This task's list segment in the simulated address space.
+  const std::uint64_t seg_base = runtime::synth_alloc(seg.size() * 8);
+  while (seg.size() > kSeqCutoff) {
+    const std::size_t len = seg.size();
+    const std::int64_t pivot =
+        median3(seg[0], seg[len / 2], seg[len - 1]);
+    ctx.compute(kPivotMix);
+    // List traversal: the segment is local to this task (it arrived
+    // with the spawn), so these are core-local reads.
+    ctx.mem_read(seg_base, static_cast<std::uint32_t>(len * 8));
+    ctx.compute(kPartitionPerElem * static_cast<std::uint32_t>(len));
+    std::vector<std::int64_t> less, equal, greater;
+    for (std::int64_t x : seg) {
+      if (x < pivot) {
+        less.push_back(x);
+      } else if (x == pivot) {
+        equal.push_back(x);
+      } else {
+        greater.push_back(x);
+      }
+    }
+    qd_emit_run(st, std::move(equal));
+    if (!less.empty()) {
+      // The "less" list travels with the task: transfer cost is the
+      // actual list size.
+      const auto bytes = static_cast<std::uint32_t>(
+          less.size() * sizeof(std::int64_t) + 16);
+      spawn_or_run(
+          ctx, st->group,
+          [st, sub = std::move(less)](TaskCtx& c) mutable {
+            qd_task(c, st, std::move(sub));
+          },
+          bytes);
+    }
+    seg = std::move(greater);
+  }
+  if (!seg.empty()) {
+    ctx.mem_read(seg_base, static_cast<std::uint32_t>(seg.size() * 8));
+    std::size_t steps = seg.size();
+    for (std::size_t l = seg.size(); l > 1; l >>= 1) steps += seg.size();
+    ctx.compute(kSmallSortPerStep * static_cast<std::uint32_t>(steps));
+    std::sort(seg.begin(), seg.end());
+    qd_emit_run(st, std::move(seg));
+  }
+}
+
+}  // namespace
+
+TaskFn make_quicksort_shared(std::uint64_t seed, std::size_t n) {
+  return [seed, n](TaskCtx& ctx) {
+    auto data = gen_array(seed, n);
+    auto expected = data;
+    std::sort(expected.begin(), expected.end());
+    auto st = std::make_shared<QsShared>();
+    st->arr = runtime::OwnedVector<std::int64_t>(std::move(data));
+    st->group = ctx.make_group();
+    qs_task(ctx, st, 0, n);
+    ctx.join(st->group);
+    if (st->arr.raw() != expected) {
+      throw std::runtime_error("quicksort (shared): wrong result");
+    }
+  };
+}
+
+TaskFn make_quicksort_distributed(std::uint64_t seed, std::size_t n) {
+  return [seed, n](TaskCtx& ctx) {
+    auto data = gen_array(seed, n);
+    auto expected = data;
+    std::sort(expected.begin(), expected.end());
+    auto st = std::make_shared<QsDist>();
+    st->group = ctx.make_group();
+    qd_task(ctx, st, std::move(data));
+    ctx.join(st->group);
+    // In-order BST concatenation: runs have disjoint value ranges, so
+    // ordering them by first element reconstructs the sorted list.
+    std::sort(st->runs.begin(), st->runs.end(),
+              [](const auto& a, const auto& b) { return a[0] < b[0]; });
+    std::vector<std::int64_t> result;
+    result.reserve(n);
+    for (const auto& run : st->runs) {
+      result.insert(result.end(), run.begin(), run.end());
+    }
+    if (result != expected) {
+      throw std::runtime_error("quicksort (distributed): wrong result");
+    }
+  };
+}
+
+TaskFn make_quicksort(std::uint64_t seed, std::size_t n) {
+  return [seed, n](TaskCtx& ctx) {
+    if (ctx.memory_model() == mem::MemoryModel::kDistributed) {
+      make_quicksort_distributed(seed, n)(ctx);
+    } else {
+      make_quicksort_shared(seed, n)(ctx);
+    }
+  };
+}
+
+}  // namespace simany::dwarfs

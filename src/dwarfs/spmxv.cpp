@@ -1,0 +1,108 @@
+// Sparse matrix-vector multiply (paper SS V).
+//
+// Row-oriented (Harwell-Boeing-like CSR) matrix; recursively split
+// row-range tasks. On the distributed architecture the rows a task is
+// responsible for travel with the spawn message (the vector x is
+// assumed broadcast), which matches the paper's observation that
+// SpMxV causes little data movement and no cell contention.
+
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "dwarfs/dwarfs.h"
+#include "core/task_ctx.h"
+#include "dwarfs/workloads.h"
+#include "runtime/data.h"
+
+namespace simany::dwarfs {
+
+namespace {
+
+constexpr std::uint32_t kRowGrain = 8;
+
+// Per-nonzero: one multiply, one add, index arithmetic.
+const timing::InstMix kNnzMix{.int_alu = 2, .fp_alu = 1, .fp_mul_div = 1,
+                              .branches = 1};
+// Per-row loop overhead.
+const timing::InstMix kRowMix{.int_alu = 4, .branches = 1};
+
+struct SpState {
+  Csr a;
+  std::vector<double> x;
+  std::vector<double> y;
+  GroupId group = kInvalidGroup;
+  // Simulated addresses of the CSR arrays and vectors.
+  std::uint64_t col_base = 0, val_base = 0, x_base = 0, y_base = 0;
+};
+
+[[nodiscard]] std::uint32_t range_bytes(const SpState& st, std::uint32_t r0,
+                                        std::uint32_t r1) {
+  const std::uint32_t nnz = st.a.row_ptr[r1] - st.a.row_ptr[r0];
+  return nnz * 12 + (r1 - r0) * 4 + 16;
+}
+
+void sp_range_task(TaskCtx& ctx, const std::shared_ptr<SpState>& st,
+                   std::uint32_t r0, std::uint32_t r1) {
+  ctx.function_boundary();
+  const bool distributed =
+      ctx.memory_model() == mem::MemoryModel::kDistributed;
+  while (r1 - r0 > kRowGrain) {
+    const std::uint32_t mid = r0 + (r1 - r0) / 2;
+    const std::uint32_t l = mid;
+    const std::uint32_t r = r1;
+    // Distributed: the spawned task's rows ship with the message.
+    const std::uint32_t bytes =
+        distributed ? range_bytes(*st, l, r) : 16;
+    spawn_or_run(
+        ctx, st->group,
+        [st, l, r](TaskCtx& c) { sp_range_task(c, st, l, r); }, bytes);
+    r1 = mid;
+  }
+  for (std::uint32_t row = r0; row < r1; ++row) {
+    const std::uint32_t k0 = st->a.row_ptr[row];
+    const std::uint32_t k1 = st->a.row_ptr[row + 1];
+    const std::uint32_t nnz = k1 - k0;
+    ctx.compute(kRowMix);
+    // Stream the row's column indices and values.
+    if (nnz > 0) {
+      ctx.mem_read(st->col_base + k0 * 4, nnz * 4);
+      ctx.mem_read(st->val_base + k0 * 8, nnz * 8);
+    }
+    double acc = 0;
+    for (std::uint32_t k = k0; k < k1; ++k) {
+      // Gather from x: irregular access pattern.
+      ctx.mem_read(st->x_base + st->a.col_idx[k] * 8, 8);
+      acc += st->a.values[k] * st->x[st->a.col_idx[k]];
+    }
+    ctx.compute(kNnzMix * nnz);
+    st->y[row] = acc;
+    ctx.mem_write(st->y_base + row * 8, 8);
+  }
+}
+
+}  // namespace
+
+TaskFn make_spmxv(std::uint64_t seed, std::uint32_t n,
+                  std::uint32_t nnz_per_row) {
+  return [seed, n, nnz_per_row](TaskCtx& ctx) {
+    auto st = std::make_shared<SpState>();
+    st->a = gen_csr(seed, n, nnz_per_row);
+    st->x = gen_dense_vector(seed + 1, n);
+    st->y.assign(n, 0.0);
+    st->col_base = runtime::synth_alloc(st->a.col_idx.size() * 4);
+    st->val_base = runtime::synth_alloc(st->a.values.size() * 8);
+    st->x_base = runtime::synth_alloc(n * 8);
+    st->y_base = runtime::synth_alloc(n * 8);
+    st->group = ctx.make_group();
+    if (n > 0) sp_range_task(ctx, st, 0, n);
+    ctx.join(st->group);
+    const auto expected = ref_spmxv(st->a, st->x);
+    if (st->y != expected) {
+      throw std::runtime_error("spmxv: wrong result");
+    }
+  };
+}
+
+}  // namespace simany::dwarfs

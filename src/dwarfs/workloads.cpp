@@ -1,0 +1,286 @@
+#include "dwarfs/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace simany::dwarfs {
+
+std::vector<std::int64_t> gen_array(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng.next() >> 16);
+  return v;
+}
+
+Graph gen_graph(std::uint64_t seed, std::uint32_t n, std::uint32_t m,
+                std::uint32_t max_weight) {
+  if (n == 0) throw std::invalid_argument("gen_graph: empty graph");
+  Rng rng(seed);
+  Graph g;
+  g.n = n;
+  g.adj.resize(n);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> used;
+  std::uint32_t placed = 0;
+  std::uint32_t attempts = 0;
+  const std::uint32_t max_attempts = m * 20 + 100;
+  while (placed < m && attempts < max_attempts) {
+    ++attempts;
+    auto a = static_cast<std::uint32_t>(rng.below(n));
+    auto b = static_cast<std::uint32_t>(rng.below(n));
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    if (!used.insert({a, b}).second) continue;
+    const auto w =
+        static_cast<std::uint32_t>(1 + rng.below(max_weight));
+    g.adj[a].emplace_back(b, w);
+    g.adj[b].emplace_back(a, w);
+    ++placed;
+  }
+  return g;
+}
+
+std::vector<Body> gen_bodies(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<Body> bodies(n);
+  for (auto& b : bodies) {
+    b.x = rng.uniform() * 2.0 - 1.0;
+    b.y = rng.uniform() * 2.0 - 1.0;
+    b.z = rng.uniform() * 2.0 - 1.0;
+    b.mass = 0.5 + rng.uniform();
+  }
+  return bodies;
+}
+
+namespace {
+
+// Recursive octree insertion used by build_octree.
+struct OctreeBuilder {
+  const std::vector<Body>& bodies;
+  Octree tree;
+
+  std::int32_t make_node(double cx, double cy, double cz, double half) {
+    Octree::Node n;
+    n.cx = cx;
+    n.cy = cy;
+    n.cz = cz;
+    n.half = half;
+    tree.nodes.push_back(n);
+    return static_cast<std::int32_t>(tree.nodes.size() - 1);
+  }
+
+  [[nodiscard]] static int octant(const Octree::Node& n, const Body& b) {
+    return (b.x >= n.cx ? 1 : 0) | (b.y >= n.cy ? 2 : 0) |
+           (b.z >= n.cz ? 4 : 0);
+  }
+
+  void insert(std::int32_t node, std::int32_t body_idx, int depth) {
+    Octree::Node& n0 = tree.nodes[node];
+    const bool is_empty_leaf = n0.body < 0 && n0.child[0] < 0 &&
+                               n0.child[1] < 0 && n0.child[2] < 0 &&
+                               n0.child[3] < 0 && n0.child[4] < 0 &&
+                               n0.child[5] < 0 && n0.child[6] < 0 &&
+                               n0.child[7] < 0;
+    if (is_empty_leaf) {
+      tree.nodes[node].body = body_idx;
+      return;
+    }
+    // Depth guard against coincident points.
+    if (depth > 64) return;
+    if (tree.nodes[node].body >= 0) {
+      const std::int32_t old = tree.nodes[node].body;
+      tree.nodes[node].body = -1;
+      insert_into_child(node, old, depth);
+    }
+    insert_into_child(node, body_idx, depth);
+  }
+
+  void insert_into_child(std::int32_t node, std::int32_t body_idx,
+                         int depth) {
+    const Body& b = bodies[body_idx];
+    const int o = octant(tree.nodes[node], b);
+    if (tree.nodes[node].child[o] < 0) {
+      const Octree::Node n = tree.nodes[node];
+      const double h = n.half / 2;
+      const double cx = n.cx + ((o & 1) ? h : -h);
+      const double cy = n.cy + ((o & 2) ? h : -h);
+      const double cz = n.cz + ((o & 4) ? h : -h);
+      const std::int32_t child = make_node(cx, cy, cz, h);
+      tree.nodes[node].child[o] = child;
+    }
+    insert(tree.nodes[node].child[o], body_idx, depth + 1);
+  }
+
+  void summarize(std::int32_t node) {
+    Octree::Node& n = tree.nodes[node];
+    if (n.body >= 0) {
+      const Body& b = bodies[n.body];
+      n.mass = b.mass;
+      n.cx = b.x;
+      n.cy = b.y;
+      n.cz = b.z;
+      return;
+    }
+    double m = 0, x = 0, y = 0, z = 0;
+    for (std::int32_t ch : n.child) {
+      if (ch < 0) continue;
+      summarize(ch);
+      const Octree::Node& c = tree.nodes[ch];
+      m += c.mass;
+      x += c.cx * c.mass;
+      y += c.cy * c.mass;
+      z += c.cz * c.mass;
+    }
+    n.mass = m;
+    if (m > 0) {
+      n.cx = x / m;
+      n.cy = y / m;
+      n.cz = z / m;
+    }
+  }
+};
+
+}  // namespace
+
+Octree build_octree(const std::vector<Body>& bodies) {
+  OctreeBuilder builder{bodies, {}};
+  if (bodies.empty()) return std::move(builder.tree);
+  double half = 1e-9;
+  for (const Body& b : bodies) {
+    half = std::max({half, std::abs(b.x), std::abs(b.y), std::abs(b.z)});
+  }
+  builder.make_node(0, 0, 0, half * 1.01);
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    builder.insert(0, static_cast<std::int32_t>(i), 0);
+  }
+  builder.summarize(0);
+  return std::move(builder.tree);
+}
+
+namespace {
+void gen_octree_rec(PlainOctree& t, Rng& rng, std::int32_t node,
+                    std::uint32_t depth, double branch_p) {
+  if (depth == 0) return;
+  for (int o = 0; o < 8; ++o) {
+    if (!rng.chance(branch_p)) continue;
+    PlainOctree::Node child;
+    child.payload = rng.uniform();
+    t.nodes.push_back(child);
+    const auto idx = static_cast<std::int32_t>(t.nodes.size() - 1);
+    t.nodes[node].child[o] = idx;
+    gen_octree_rec(t, rng, idx, depth - 1, branch_p);
+  }
+}
+}  // namespace
+
+PlainOctree gen_octree(std::uint64_t seed, std::uint32_t depth,
+                       double branch_p) {
+  Rng rng(seed);
+  PlainOctree t;
+  t.nodes.push_back(PlainOctree::Node{});
+  gen_octree_rec(t, rng, 0, depth, branch_p);
+  return t;
+}
+
+Csr gen_csr(std::uint64_t seed, std::uint32_t n, std::uint32_t nnz_per_row) {
+  Rng rng(seed);
+  Csr a;
+  a.rows = n;
+  a.cols = n;
+  a.row_ptr.reserve(n + 1);
+  a.row_ptr.push_back(0);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    // Half banded structure, half random fill (Matrix-Market-ish).
+    std::set<std::uint32_t> cols;
+    cols.insert(r);  // diagonal
+    const std::uint32_t band = nnz_per_row / 2;
+    for (std::uint32_t k = 0; k < band; ++k) {
+      const std::int64_t off =
+          static_cast<std::int64_t>(rng.below(2 * band + 1)) - band;
+      const std::int64_t cc = static_cast<std::int64_t>(r) + off;
+      if (cc >= 0 && cc < static_cast<std::int64_t>(n)) {
+        cols.insert(static_cast<std::uint32_t>(cc));
+      }
+    }
+    while (cols.size() < nnz_per_row && cols.size() < n) {
+      cols.insert(static_cast<std::uint32_t>(rng.below(n)));
+    }
+    for (std::uint32_t cidx : cols) {
+      a.col_idx.push_back(cidx);
+      a.values.push_back(rng.uniform() * 2.0 - 1.0);
+    }
+    a.row_ptr.push_back(static_cast<std::uint32_t>(a.col_idx.size()));
+  }
+  return a;
+}
+
+std::vector<double> gen_dense_vector(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform() * 2.0 - 1.0;
+  return v;
+}
+
+std::vector<std::uint32_t> ref_components(const Graph& g) {
+  // Union-find with min-id labels.
+  std::vector<std::uint32_t> parent(g.n);
+  for (std::uint32_t i = 0; i < g.n; ++i) parent[i] = i;
+  std::function<std::uint32_t(std::uint32_t)> find =
+      [&](std::uint32_t x) -> std::uint32_t {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (std::uint32_t u = 0; u < g.n; ++u) {
+    for (const auto& [v, w] : g.adj[u]) {
+      const std::uint32_t ru = find(u);
+      const std::uint32_t rv = find(v);
+      if (ru != rv) parent[std::max(ru, rv)] = std::min(ru, rv);
+    }
+  }
+  std::vector<std::uint32_t> label(g.n);
+  for (std::uint32_t i = 0; i < g.n; ++i) label[i] = find(i);
+  return label;
+}
+
+std::vector<std::uint64_t> ref_dijkstra(const Graph& g) {
+  constexpr auto kInf = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::uint64_t> dist(g.n, kInf);
+  using Item = std::pair<std::uint64_t, std::uint32_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[0] = 0;
+  pq.emplace(0, 0);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[u]) continue;
+    for (const auto& [v, w] : g.adj[u]) {
+      const std::uint64_t nd = d + w;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> ref_spmxv(const Csr& a, const std::vector<double>& x) {
+  std::vector<double> y(a.rows, 0.0);
+  for (std::uint32_t r = 0; r < a.rows; ++r) {
+    double acc = 0;
+    for (std::uint32_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      acc += a.values[k] * x[a.col_idx[k]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+}  // namespace simany::dwarfs

@@ -1,0 +1,118 @@
+// Deterministic synthetic workload generators for the dwarf benchmarks.
+//
+// The paper uses 50 random arrays/lists of 100k elements (Quicksort),
+// 50 random graphs of 1000 nodes / 2000 edges (Connected Components),
+// 50 graphs of 2000 nodes / ~3000 edges (Dijkstra), 128/200-body sets
+// (Barnes-Hut), Matrix-Market + random sparse matrices (SpMxV) and 50
+// random depth-6 octrees (Octree). Everything here reproduces those
+// shapes from a seed; the Matrix-Market collection is replaced by
+// synthetic banded+random patterns (see DESIGN.md substitutions).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace simany::dwarfs {
+
+// ---- Arrays / lists --------------------------------------------------
+
+[[nodiscard]] std::vector<std::int64_t> gen_array(std::uint64_t seed,
+                                                  std::size_t n);
+
+// ---- Graphs ------------------------------------------------------------
+
+struct Graph {
+  std::uint32_t n = 0;
+  /// adj[u] = list of (v, weight); undirected edges appear twice.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> adj;
+
+  [[nodiscard]] std::size_t num_edges_directed() const {
+    std::size_t m = 0;
+    for (const auto& a : adj) m += a.size();
+    return m;
+  }
+};
+
+/// Random undirected multigraph-free graph with `n` nodes and about
+/// `m` undirected edges, weights in [1, max_weight].
+[[nodiscard]] Graph gen_graph(std::uint64_t seed, std::uint32_t n,
+                              std::uint32_t m,
+                              std::uint32_t max_weight = 16);
+
+// ---- N-body -------------------------------------------------------------
+
+struct Body {
+  double x = 0, y = 0, z = 0;
+  double mass = 1.0;
+};
+
+[[nodiscard]] std::vector<Body> gen_bodies(std::uint64_t seed,
+                                           std::size_t n);
+
+/// Linearized octree over the bodies' bounding cube. `node[i]` children
+/// are indices into the same vector; leaves reference a body.
+struct Octree {
+  struct Node {
+    double cx = 0, cy = 0, cz = 0;  // center of mass
+    double mass = 0;
+    double half = 0;                // half-width of this cube
+    std::int32_t child[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+    std::int32_t body = -1;         // leaf: index into bodies
+  };
+  std::vector<Node> nodes;
+  [[nodiscard]] bool empty() const noexcept { return nodes.empty(); }
+};
+
+/// Builds the Barnes-Hut octree (this phase is untimed, per paper SS V).
+[[nodiscard]] Octree build_octree(const std::vector<Body>& bodies);
+
+/// A standalone random octree of the given depth for the Octree-update
+/// dwarf: children exist with probability `branch_p` below the root.
+struct PlainOctree {
+  struct Node {
+    std::int32_t child[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+    double payload = 0;
+  };
+  std::vector<Node> nodes;  // node 0 is the root
+};
+
+[[nodiscard]] PlainOctree gen_octree(std::uint64_t seed,
+                                     std::uint32_t depth,
+                                     double branch_p = 0.55);
+
+// ---- Sparse matrices -----------------------------------------------------
+
+/// Compressed sparse row matrix with values.
+struct Csr {
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  std::vector<std::uint32_t> row_ptr;  // rows + 1
+  std::vector<std::uint32_t> col_idx;
+  std::vector<double> values;
+  [[nodiscard]] std::size_t nnz() const noexcept { return col_idx.size(); }
+};
+
+/// Random square CSR matrix with ~`nnz_per_row` nonzeros per row, mixing
+/// a diagonal band (Matrix-Market-like structure) with random fill.
+[[nodiscard]] Csr gen_csr(std::uint64_t seed, std::uint32_t n,
+                          std::uint32_t nnz_per_row);
+
+[[nodiscard]] std::vector<double> gen_dense_vector(std::uint64_t seed,
+                                                   std::size_t n);
+
+// ---- Native reference algorithms (for result verification) --------------
+
+/// Component label (minimum node id in the component) for each node.
+[[nodiscard]] std::vector<std::uint32_t> ref_components(const Graph& g);
+
+/// Single-source shortest distances from node 0 (UINT64_MAX = absent).
+[[nodiscard]] std::vector<std::uint64_t> ref_dijkstra(const Graph& g);
+
+/// y = A * x.
+[[nodiscard]] std::vector<double> ref_spmxv(const Csr& a,
+                                            const std::vector<double>& x);
+
+}  // namespace simany::dwarfs

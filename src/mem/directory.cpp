@@ -1,0 +1,77 @@
+#include "mem/directory.h"
+
+namespace simany::mem {
+
+Directory::LineState& Directory::state(std::uint64_t line) {
+  auto [it, inserted] = lines_.try_emplace(line);
+  if (inserted) it->second.sharers.assign(num_cores_, false);
+  return it->second;
+}
+
+CohOutcome Directory::on_read(net::CoreId core, std::uint64_t line) {
+  LineState& st = state(line);
+  CohOutcome out;
+  if (st.writer != net::kInvalidCore && st.writer != core) {
+    // Fetch the dirty line from the owner; the owner downgrades.
+    out.action = CohAction::kRemoteDirty;
+    out.peer = st.writer;
+    out.sharers = 1;
+    st.writer = net::kInvalidCore;
+  } else if (!st.sharers[core]) {
+    std::uint32_t others = 0;
+    for (std::uint32_t c = 0; c < num_cores_; ++c) {
+      if (c != core && st.sharers[c]) ++others;
+    }
+    out.action = others > 0 ? CohAction::kCleanShared : CohAction::kNone;
+    out.sharers = others;
+  }
+  st.sharers[core] = true;
+  return out;
+}
+
+CohOutcome Directory::on_write(net::CoreId core, std::uint64_t line,
+                               std::vector<net::CoreId>* invalidated) {
+  LineState& st = state(line);
+  CohOutcome out;
+  if (st.writer != net::kInvalidCore && st.writer != core) {
+    out.action = CohAction::kRemoteDirty;
+    out.peer = st.writer;
+    out.sharers = 1;
+    if (invalidated != nullptr) invalidated->push_back(st.writer);
+  } else {
+    std::uint32_t others = 0;
+    net::CoreId last = net::kInvalidCore;
+    for (std::uint32_t c = 0; c < num_cores_; ++c) {
+      if (c != core && st.sharers[c]) {
+        ++others;
+        last = c;
+        if (invalidated != nullptr) invalidated->push_back(c);
+      }
+    }
+    if (others > 0) {
+      out.action = CohAction::kInvalidate;
+      out.peer = last;
+      out.sharers = others;
+    }
+  }
+  // Writer becomes the sole sharer and dirty owner.
+  for (std::uint32_t c = 0; c < num_cores_; ++c) st.sharers[c] = (c == core);
+  st.writer = core;
+  return out;
+}
+
+void Directory::evict(net::CoreId core, std::uint64_t line) {
+  auto it = lines_.find(line);
+  if (it == lines_.end()) return;
+  it->second.sharers[core] = false;
+  if (it->second.writer == core) it->second.writer = net::kInvalidCore;
+}
+
+void Directory::drop_core(net::CoreId core) {
+  for (auto& [line, st] : lines_) {
+    st.sharers[core] = false;
+    if (st.writer == core) st.writer = net::kInvalidCore;
+  }
+}
+
+}  // namespace simany::mem

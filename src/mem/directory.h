@@ -1,0 +1,70 @@
+// Directory-based cache-coherence *timing* model.
+//
+// SiMany normally ignores coherence delays on the optimistic shared-
+// memory architecture, but enables them for the cycle-level validation
+// (paper SS V: "we decided to enable the timings of cache coherence
+// effects in SiMany during the validation"). This model tracks, per
+// cache line, the set of sharer cores and the last writer, and reports
+// what kind of coherence action a read or write triggers. The caller
+// (engine or cyclesim) converts actions into cycle costs using
+// MemParams and topological distances.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace simany::mem {
+
+enum class CohAction : std::uint8_t {
+  kNone,          // private hit / no other copies involved
+  kCleanShared,   // read of a line with only clean copies
+  kRemoteDirty,   // line is dirty in another core's cache
+  kInvalidate,    // write must invalidate other sharers
+};
+
+struct CohOutcome {
+  CohAction action = CohAction::kNone;
+  /// Core that owned the line dirty (for kRemoteDirty) or the farthest
+  /// invalidated sharer (for kInvalidate); kInvalidCore otherwise.
+  net::CoreId peer = net::kInvalidCore;
+  /// Number of other sharers affected.
+  std::uint32_t sharers = 0;
+};
+
+class Directory {
+ public:
+  explicit Directory(std::uint32_t num_cores) : num_cores_(num_cores) {}
+
+  CohOutcome on_read(net::CoreId core, std::uint64_t line);
+
+  /// Write (or upgrade). When `invalidated` is non-null it receives the
+  /// ids of every other sharer whose copy must be invalidated, so a
+  /// detailed simulator can actually drop those cache lines.
+  CohOutcome on_write(net::CoreId core, std::uint64_t line,
+                      std::vector<net::CoreId>* invalidated = nullptr);
+
+  /// The line left `core`'s cache (eviction or explicit flush).
+  void evict(net::CoreId core, std::uint64_t line);
+
+  /// Drops all state for a core (used when its cache flushes).
+  void drop_core(net::CoreId core);
+
+  [[nodiscard]] std::size_t tracked_lines() const { return lines_.size(); }
+  void clear() { lines_.clear(); }
+
+ private:
+  struct LineState {
+    std::vector<bool> sharers;  // indexed by core
+    net::CoreId writer = net::kInvalidCore;  // dirty owner, if any
+  };
+
+  LineState& state(std::uint64_t line);
+
+  std::uint32_t num_cores_;
+  std::unordered_map<std::uint64_t, LineState> lines_;
+};
+
+}  // namespace simany::mem

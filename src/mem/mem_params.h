@@ -1,0 +1,44 @@
+// Memory hierarchy timing parameters (paper SS V defaults).
+#pragma once
+
+#include <cstdint>
+
+#include "core/vtime.h"
+
+namespace simany::mem {
+
+enum class MemoryModel : std::uint8_t {
+  /// Single shared memory, uniform access latency, no coherence delays
+  /// unless `coherence_timing` is set. The paper's "optimistic"
+  /// architecture type for inherent-scalability studies.
+  kShared,
+  /// Fully distributed banks without hardware coherence; the run-time
+  /// system moves data in cells (paper's "realistic" type).
+  kDistributed,
+};
+
+struct MemParams {
+  MemoryModel model = MemoryModel::kShared;
+
+  /// Private L1 hit latency (paper: 1 cycle).
+  Cycles l1_latency_cycles = 1;
+  /// Uniform shared-memory access latency (paper: 10 cycles).
+  Cycles shared_latency_cycles = 10;
+  /// Per-core L2 latency in distributed mode (paper: 10 cycles).
+  Cycles l2_latency_cycles = 10;
+  /// Cache line granularity for the L1 model and coherence directory.
+  std::uint32_t line_bytes = 32;
+
+  /// Enables cache-coherence delay modeling on the shared architecture
+  /// (the paper turns this on in SiMany for the cycle-level validation).
+  bool coherence_timing = false;
+  /// Extra latency to fetch a line dirty in another core's cache,
+  /// in addition to per-hop network distance cost.
+  Cycles coh_remote_transfer_cycles = 10;
+  /// Per-hop cost component of remote transfers / invalidations.
+  Cycles coh_per_hop_cycles = 2;
+  /// Base cost of invalidating sharers on a write.
+  Cycles coh_invalidate_cycles = 8;
+};
+
+}  // namespace simany::mem

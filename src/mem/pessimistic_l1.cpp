@@ -1,0 +1,21 @@
+#include "mem/pessimistic_l1.h"
+
+namespace simany::mem {
+
+PessimisticL1::AccessResult PessimisticL1::access(std::uint64_t addr,
+                                                  std::uint32_t bytes) {
+  AccessResult r;
+  if (bytes == 0) bytes = 1;
+  const std::uint64_t first = addr / line_bytes_;
+  const std::uint64_t last = (addr + bytes - 1) / line_bytes_;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    if (resident_.insert(line).second) {
+      ++r.miss_lines;
+    } else {
+      ++r.hit_lines;
+    }
+  }
+  return r;
+}
+
+}  // namespace simany::mem

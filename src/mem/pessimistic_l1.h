@@ -1,0 +1,53 @@
+// The paper's deliberately simple and pessimistic L1 model (SS V):
+// "Data do not stay in the cache across function boundaries of the
+// executed program." We track the set of lines touched since the last
+// function boundary; a touched line hits (1 cycle), anything else
+// misses to the next level. The benchmark annotates function boundaries
+// explicitly (the instrumented program would do the same).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "core/vtime.h"
+
+namespace simany::mem {
+
+class PessimisticL1 {
+ public:
+  explicit PessimisticL1(std::uint32_t line_bytes = 32)
+      : line_bytes_(line_bytes) {}
+
+  struct AccessResult {
+    std::uint32_t hit_lines = 0;
+    std::uint32_t miss_lines = 0;
+  };
+
+  /// Touches [addr, addr+bytes); every line becomes resident.
+  AccessResult access(std::uint64_t addr, std::uint32_t bytes);
+
+  /// Function boundary: the pessimistic model forgets everything.
+  void flush() { resident_.clear(); }
+
+  /// Drops one line (used by the coherence model on invalidation).
+  void invalidate(std::uint64_t line) { resident_.erase(line); }
+
+  [[nodiscard]] bool contains_line(std::uint64_t line) const {
+    return resident_.contains(line);
+  }
+  [[nodiscard]] std::uint64_t line_of(std::uint64_t addr) const {
+    return addr / line_bytes_;
+  }
+  [[nodiscard]] std::size_t resident_lines() const {
+    return resident_.size();
+  }
+  [[nodiscard]] std::uint32_t line_bytes() const noexcept {
+    return line_bytes_;
+  }
+
+ private:
+  std::uint32_t line_bytes_;
+  std::unordered_set<std::uint64_t> resident_;
+};
+
+}  // namespace simany::mem

@@ -1,0 +1,82 @@
+#include "mem/setassoc_cache.h"
+
+#include <stdexcept>
+
+namespace simany::mem {
+
+SetAssocCache::SetAssocCache(Config cfg) : cfg_(cfg) {
+  if (cfg_.line_bytes == 0 || cfg_.ways == 0 ||
+      cfg_.size_bytes < cfg_.line_bytes * cfg_.ways) {
+    throw std::invalid_argument("SetAssocCache: bad geometry");
+  }
+  num_sets_ = cfg_.size_bytes / (cfg_.line_bytes * cfg_.ways);
+  if (num_sets_ == 0) num_sets_ = 1;
+  ways_.assign(static_cast<std::size_t>(num_sets_) * cfg_.ways, Way{});
+}
+
+SetAssocCache::AccessResult SetAssocCache::access(std::uint64_t addr,
+                                                  bool write) {
+  AccessResult r;
+  const std::uint64_t line = line_of(addr);
+  const std::uint32_t set = set_of(line);
+  Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.ways];
+  ++clock_;
+
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == line) {
+      way.lru = clock_;
+      way.dirty = way.dirty || write;
+      ++hits_;
+      r.hit = true;
+      return r;
+    }
+    if (!way.valid) {
+      victim = &way;
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+  ++misses_;
+  if (victim->valid && victim->dirty) {
+    r.evicted_dirty = true;
+    r.evicted_line = victim->tag;
+  }
+  victim->valid = true;
+  victim->tag = line;
+  victim->lru = clock_;
+  victim->dirty = write;
+  return r;
+}
+
+bool SetAssocCache::invalidate_addr(std::uint64_t addr) {
+  const std::uint64_t line = line_of(addr);
+  const std::uint32_t set = set_of(line);
+  Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.ways];
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == line) {
+      const bool was_dirty = way.dirty;
+      way = Way{};
+      return was_dirty;
+    }
+  }
+  return false;
+}
+
+bool SetAssocCache::contains(std::uint64_t addr) const {
+  const std::uint64_t line = addr / cfg_.line_bytes;
+  const std::uint32_t set = static_cast<std::uint32_t>(line % num_sets_);
+  const Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.ways];
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == line) return true;
+  }
+  return false;
+}
+
+void SetAssocCache::flush() {
+  for (auto& way : ways_) way = Way{};
+}
+
+}  // namespace simany::mem

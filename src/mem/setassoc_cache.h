@@ -1,0 +1,65 @@
+// A real set-associative LRU cache, used by the cycle-level baseline
+// simulator for its split instruction/data L1s (paper SS V: the UNISIM
+// reference models split L1s, unlike SiMany's pessimistic model).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace simany::mem {
+
+class SetAssocCache {
+ public:
+  struct Config {
+    std::uint32_t size_bytes = 16 * 1024;
+    std::uint32_t line_bytes = 32;
+    std::uint32_t ways = 4;
+  };
+
+  explicit SetAssocCache(Config cfg);
+
+  struct AccessResult {
+    bool hit = false;
+    bool evicted_dirty = false;
+    std::uint64_t evicted_line = 0;
+  };
+
+  /// Looks up the line containing `addr`; fills on miss (LRU victim).
+  AccessResult access(std::uint64_t addr, bool write);
+
+  /// Drops the line containing `addr` if present; returns true if it
+  /// was present and dirty.
+  bool invalidate_addr(std::uint64_t addr);
+
+  [[nodiscard]] bool contains(std::uint64_t addr) const;
+
+  void flush();
+
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // larger = more recently used
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  [[nodiscard]] std::uint64_t line_of(std::uint64_t addr) const noexcept {
+    return addr / cfg_.line_bytes;
+  }
+  [[nodiscard]] std::uint32_t set_of(std::uint64_t line) const noexcept {
+    return static_cast<std::uint32_t>(line % num_sets_);
+  }
+
+  Config cfg_;
+  std::uint32_t num_sets_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::vector<Way> ways_;  // num_sets_ * cfg_.ways, row-major by set
+};
+
+}  // namespace simany::mem

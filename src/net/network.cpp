@@ -1,0 +1,79 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace simany::net {
+
+Network::Network(const Topology& topo, NetworkParams params)
+    : topo_(&topo),
+      routing_(topo, params.routing),
+      params_(params),
+      occupancy_(topo.num_links()) {}
+
+Tick Network::transfer_ticks(const LinkProps& props,
+                             std::uint32_t bytes) const {
+  if (bytes == 0) return 0;
+  const std::uint32_t bw = props.bandwidth_bytes_per_cycle;
+  const Cycles serialization = (bytes + bw - 1) / bw;
+  const std::uint32_t chunks =
+      (bytes + params_.chunk_bytes - 1) / params_.chunk_bytes;
+  return ticks(serialization) + ticks(params_.chunk_process_cycles) * chunks;
+}
+
+Tick Network::route(CoreId src, CoreId dst, std::uint32_t bytes, Tick depart,
+                    bool book, NetworkStats* stats,
+                    std::vector<DirectedOccupancy>* occupancy) const {
+  if (src == dst) return depart;
+  Tick t = depart;
+  CoreId cur = src;
+  std::uint64_t hop_count = 0;
+  Tick queued = 0;
+  while (cur != dst) {
+    const CoreId nxt = routing_.next_hop(cur, dst);
+    const auto link_id = topo_->link_between(cur, nxt);
+    if (!link_id) {
+      throw std::logic_error("Network::route: next hop has no link");
+    }
+    const Link& link = topo_->link(*link_id);
+    const Tick xfer = transfer_ticks(link.props, bytes);
+
+    Tick start = t;
+    if (params_.model_contention) {
+      DirectedOccupancy& occ = (*occupancy)[*link_id];
+      Tick& next_free = (link.a == cur) ? occ.next_free_fwd
+                                        : occ.next_free_rev;
+      start = std::max(t, next_free);
+      queued += start - t;
+      if (book) next_free = start + xfer;
+    }
+    t = start + link.props.latency + xfer +
+        ticks(params_.router_penalty_cycles);
+    cur = nxt;
+    ++hop_count;
+  }
+  if (stats != nullptr) {
+    ++stats->messages;
+    stats->bytes += bytes;
+    stats->hops += hop_count;
+    stats->contention_ticks += queued;
+  }
+  return t;
+}
+
+Tick Network::send(CoreId src, CoreId dst, std::uint32_t bytes, Tick depart) {
+  return route(src, dst, bytes, depart, /*book=*/true, &stats_, &occupancy_);
+}
+
+Tick Network::estimate(CoreId src, CoreId dst, std::uint32_t bytes,
+                       Tick depart) const {
+  auto scratch = occupancy_;
+  return route(src, dst, bytes, depart, /*book=*/false, nullptr, &scratch);
+}
+
+void Network::reset() {
+  std::fill(occupancy_.begin(), occupancy_.end(), DirectedOccupancy{});
+  stats_ = NetworkStats{};
+}
+
+}  // namespace simany::net

@@ -1,0 +1,89 @@
+// Message timing over the interconnect, with per-link contention.
+//
+// Every architectural message (task spawn, probe, data request/response,
+// ...) is timed hop by hop along its shortest-path route. Each directed
+// link keeps a next-free tick; a message occupies the link for its
+// serialization time, so concurrent traffic queues up — the paper calls
+// out that, unlike BigSim, SiMany models contention on individual links
+// (SS VII). Chunking and router penalty are tunable per paper SS III.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/vtime.h"
+#include "net/routing.h"
+#include "net/topology.h"
+
+namespace simany::net {
+
+struct NetworkParams {
+  /// Fixed per-hop router processing cost.
+  Cycles router_penalty_cycles = 1;
+  /// Messages are cut into chunks of this many bytes.
+  std::uint32_t chunk_bytes = 64;
+  /// Per-chunk processing cost added at each hop.
+  Cycles chunk_process_cycles = 1;
+  /// When false, links are treated as infinitely wide (no queueing);
+  /// serialization delay still applies.
+  bool model_contention = true;
+  /// Route selection: minimal hops (default, XY-like) or minimal
+  /// accumulated link latency (detours around slow links).
+  RouteWeighting routing = RouteWeighting::kHops;
+};
+
+struct NetworkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t hops = 0;
+  /// Total ticks messages spent queued behind busy links.
+  Tick contention_ticks = 0;
+};
+
+class Network {
+ public:
+  Network(const Topology& topo, NetworkParams params = {});
+
+  /// Timing for a `bytes`-sized message leaving `src` at `depart`
+  /// toward `dst`. Updates link occupancy. Returns the arrival tick at
+  /// `dst`. src == dst is legal and returns `depart` (local delivery).
+  Tick send(CoreId src, CoreId dst, std::uint32_t bytes, Tick depart);
+
+  /// Pure timing query: what would arrival be without booking the links.
+  [[nodiscard]] Tick estimate(CoreId src, CoreId dst, std::uint32_t bytes,
+                              Tick depart) const;
+
+  [[nodiscard]] const RoutingTable& routing() const noexcept {
+    return routing_;
+  }
+  [[nodiscard]] const Topology& topology() const noexcept { return *topo_; }
+  [[nodiscard]] const NetworkParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+
+  /// Clears contention state and statistics (links become free).
+  void reset();
+
+ private:
+  struct DirectedOccupancy {
+    Tick next_free_fwd = 0;  // a -> b
+    Tick next_free_rev = 0;  // b -> a
+  };
+
+  /// Serialization + chunk-processing cost of a message on one link.
+  [[nodiscard]] Tick transfer_ticks(const LinkProps& props,
+                                    std::uint32_t bytes) const;
+
+  Tick route(CoreId src, CoreId dst, std::uint32_t bytes, Tick depart,
+             bool book, NetworkStats* stats,
+             std::vector<DirectedOccupancy>* occupancy) const;
+
+  const Topology* topo_;
+  RoutingTable routing_;
+  NetworkParams params_;
+  mutable std::vector<DirectedOccupancy> occupancy_;
+  NetworkStats stats_;
+};
+
+}  // namespace simany::net

@@ -1,0 +1,97 @@
+#include "net/routing.h"
+
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+namespace simany::net {
+
+RoutingTable::RoutingTable(const Topology& topo, RouteWeighting weighting)
+    : n_(topo.num_cores()),
+      weighting_(weighting),
+      next_(static_cast<std::size_t>(n_) * n_, kInvalidCore),
+      dist_(static_cast<std::size_t>(n_) * n_, ~std::uint32_t{0}) {
+  if (!topo.connected()) {
+    throw std::invalid_argument("RoutingTable: topology is not connected");
+  }
+  if (weighting_ == RouteWeighting::kHops) {
+    // BFS rooted at each destination `to`: for every core we record
+    // the first hop of a shortest path toward `to`. Scanning neighbors
+    // in insertion order with a FIFO queue makes the choice
+    // deterministic.
+    for (CoreId to = 0; to < n_; ++to) {
+      std::deque<CoreId> queue{to};
+      dist_[idx(to, to)] = 0;
+      next_[idx(to, to)] = to;
+      while (!queue.empty()) {
+        const CoreId c = queue.front();
+        queue.pop_front();
+        for (CoreId nb : topo.neighbors(c)) {
+          if (dist_[idx(nb, to)] == ~std::uint32_t{0}) {
+            dist_[idx(nb, to)] = dist_[idx(c, to)] + 1;
+            next_[idx(nb, to)] = c;  // step from nb toward `to` via c
+            queue.push_back(nb);
+          }
+        }
+      }
+    }
+    return;
+  }
+  // Latency weighting: Dijkstra rooted at each destination, with
+  // deterministic (cost, node-id) ordering. dist_ records the hop
+  // count *of the chosen route*.
+  std::vector<Tick> cost(n_);
+  for (CoreId to = 0; to < n_; ++to) {
+    std::fill(cost.begin(), cost.end(), kTickInfinity);
+    using Item = std::pair<Tick, CoreId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    cost[to] = 0;
+    dist_[idx(to, to)] = 0;
+    next_[idx(to, to)] = to;
+    pq.emplace(0, to);
+    while (!pq.empty()) {
+      const auto [c_cost, c] = pq.top();
+      pq.pop();
+      if (c_cost != cost[c]) continue;
+      for (CoreId nb : topo.neighbors(c)) {
+        const auto link = topo.link_between(c, nb);
+        const Tick w = topo.link(*link).props.latency;
+        const Tick nc = c_cost + w;
+        // Strict improvement only: ties resolve by the deterministic
+        // (cost, node-id) pop order and neighbor scan order.
+        if (nc < cost[nb]) {
+          cost[nb] = nc;
+          next_[idx(nb, to)] = c;
+          dist_[idx(nb, to)] = dist_[idx(c, to)] + 1;
+          pq.emplace(nc, nb);
+        }
+      }
+    }
+  }
+}
+
+CoreId RoutingTable::next_hop(CoreId from, CoreId to) const {
+  if (from >= n_ || to >= n_) {
+    throw std::out_of_range("RoutingTable::next_hop: core id out of range");
+  }
+  return next_[idx(from, to)];
+}
+
+std::vector<CoreId> RoutingTable::path(CoreId from, CoreId to) const {
+  std::vector<CoreId> result;
+  CoreId cur = from;
+  while (cur != to) {
+    cur = next_hop(cur, to);
+    result.push_back(cur);
+  }
+  return result;
+}
+
+std::uint32_t RoutingTable::hops(CoreId from, CoreId to) const {
+  if (from >= n_ || to >= n_) {
+    throw std::out_of_range("RoutingTable::hops: core id out of range");
+  }
+  return dist_[idx(from, to)];
+}
+
+}  // namespace simany::net

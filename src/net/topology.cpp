@@ -1,0 +1,244 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace simany::net {
+
+LinkId Topology::add_link(CoreId a, CoreId b, LinkProps props) {
+  if (a >= num_cores() || b >= num_cores()) {
+    throw std::out_of_range("Topology::add_link: core id out of range");
+  }
+  if (a == b) {
+    throw std::invalid_argument("Topology::add_link: self-loop");
+  }
+  if (link_between(a, b).has_value()) {
+    throw std::invalid_argument("Topology::add_link: duplicate link");
+  }
+  if (props.bandwidth_bytes_per_cycle == 0) {
+    throw std::invalid_argument("Topology::add_link: zero bandwidth");
+  }
+  const auto id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{a, b, props});
+  adjacent_links_.resize(adjacency_.size());
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  adjacent_links_[a].push_back(id);
+  adjacent_links_[b].push_back(id);
+  return id;
+}
+
+std::span<const CoreId> Topology::neighbors(CoreId c) const {
+  return adjacency_.at(c);
+}
+
+std::optional<LinkId> Topology::link_between(CoreId a, CoreId b) const {
+  if (a >= num_cores() || b >= num_cores()) return std::nullopt;
+  if (a >= adjacent_links_.size()) return std::nullopt;
+  for (LinkId id : adjacent_links_[a]) {
+    const Link& l = links_[id];
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) return id;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint32_t> Topology::distances_from(CoreId src) const {
+  constexpr auto kUnreached = ~std::uint32_t{0};
+  std::vector<std::uint32_t> dist(num_cores(), kUnreached);
+  if (src >= num_cores()) return dist;
+  std::deque<CoreId> queue{src};
+  dist[src] = 0;
+  while (!queue.empty()) {
+    const CoreId c = queue.front();
+    queue.pop_front();
+    for (CoreId n : neighbors(c)) {
+      if (dist[n] == kUnreached) {
+        dist[n] = dist[c] + 1;
+        queue.push_back(n);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Topology::connected() const {
+  if (num_cores() <= 1) return true;
+  const auto dist = distances_from(0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == ~std::uint32_t{0}; });
+}
+
+std::uint32_t Topology::diameter() const {
+  std::uint32_t best = 0;
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    const auto dist = distances_from(c);
+    for (std::uint32_t d : dist) {
+      if (d == ~std::uint32_t{0}) {
+        throw std::logic_error("Topology::diameter on disconnected graph");
+      }
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+std::pair<std::uint32_t, std::uint32_t> Topology::mesh_dims(
+    std::uint32_t cores) {
+  if (cores == 0) throw std::invalid_argument("mesh_dims: zero cores");
+  auto rows = static_cast<std::uint32_t>(std::sqrt(double(cores)));
+  while (rows > 1 && cores % rows != 0) --rows;
+  return {rows, cores / rows};
+}
+
+Topology Topology::mesh2d(std::uint32_t cores, LinkProps props) {
+  const auto [rows, cols] = mesh_dims(cores);
+  Topology t(cores);
+  auto id = [cols = cols](std::uint32_t r, std::uint32_t c) {
+    return r * cols + c;
+  };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) t.add_link(id(r, c), id(r, c + 1), props);
+      if (r + 1 < rows) t.add_link(id(r, c), id(r + 1, c), props);
+    }
+  }
+  return t;
+}
+
+Topology Topology::clustered_mesh2d(std::uint32_t cores,
+                                    std::uint32_t clusters, LinkProps intra,
+                                    LinkProps inter) {
+  if (clusters == 0) {
+    throw std::invalid_argument("clustered_mesh2d: zero clusters");
+  }
+  const auto [rows, cols] = mesh_dims(cores);
+  // Split the mesh into a grid of cluster tiles.
+  const auto [crows, ccols] = mesh_dims(clusters);
+  const std::uint32_t tile_r = (rows + crows - 1) / crows;
+  const std::uint32_t tile_c = (cols + ccols - 1) / ccols;
+  Topology t(cores);
+  auto id = [cols = cols](std::uint32_t r, std::uint32_t c) {
+    return r * cols + c;
+  };
+  auto cluster_of = [&](std::uint32_t r, std::uint32_t c) {
+    return (r / tile_r) * ccols + (c / tile_c);
+  };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        const bool cross = cluster_of(r, c) != cluster_of(r, c + 1);
+        t.add_link(id(r, c), id(r, c + 1), cross ? inter : intra);
+      }
+      if (r + 1 < rows) {
+        const bool cross = cluster_of(r, c) != cluster_of(r + 1, c);
+        t.add_link(id(r, c), id(r + 1, c), cross ? inter : intra);
+      }
+    }
+  }
+  return t;
+}
+
+Topology Topology::ring(std::uint32_t cores, LinkProps props) {
+  Topology t(cores);
+  if (cores == 1) return t;
+  for (std::uint32_t c = 0; c + 1 < cores; ++c) t.add_link(c, c + 1, props);
+  if (cores > 2) t.add_link(cores - 1, 0, props);
+  return t;
+}
+
+Topology Topology::torus2d(std::uint32_t cores, LinkProps props) {
+  const auto [rows, cols] = mesh_dims(cores);
+  Topology t = mesh2d(cores, props);
+  auto id = [cols = cols](std::uint32_t r, std::uint32_t c) {
+    return r * cols + c;
+  };
+  if (cols > 2) {
+    for (std::uint32_t r = 0; r < rows; ++r) {
+      t.add_link(id(r, cols - 1), id(r, 0), props);
+    }
+  }
+  if (rows > 2) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      t.add_link(id(rows - 1, c), id(0, c), props);
+    }
+  }
+  return t;
+}
+
+Topology Topology::crossbar(std::uint32_t cores, LinkProps props) {
+  Topology t(cores);
+  for (std::uint32_t a = 0; a < cores; ++a) {
+    for (std::uint32_t b = a + 1; b < cores; ++b) t.add_link(a, b, props);
+  }
+  return t;
+}
+
+Topology Topology::parse(std::istream& in) {
+  Topology t;
+  std::string line;
+  std::size_t lineno = 0;
+  bool have_cores = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;  // blank line
+    if (keyword == "cores") {
+      std::uint32_t n = 0;
+      if (!(ls >> n) || n == 0) {
+        throw std::runtime_error("topology parse error at line " +
+                                 std::to_string(lineno) + ": bad core count");
+      }
+      t = Topology(n);
+      have_cores = true;
+    } else if (keyword == "link") {
+      if (!have_cores) {
+        throw std::runtime_error(
+            "topology parse error: 'link' before 'cores'");
+      }
+      CoreId a = 0, b = 0;
+      if (!(ls >> a >> b)) {
+        throw std::runtime_error("topology parse error at line " +
+                                 std::to_string(lineno) + ": bad link");
+      }
+      LinkProps props;
+      Tick lat = 0;
+      if (ls >> lat) props.latency = lat;
+      std::uint32_t bw = 0;
+      if (ls >> bw) props.bandwidth_bytes_per_cycle = bw;
+      t.add_link(a, b, props);
+    } else {
+      throw std::runtime_error("topology parse error at line " +
+                               std::to_string(lineno) + ": unknown keyword '" +
+                               keyword + "'");
+    }
+  }
+  if (!have_cores) {
+    throw std::runtime_error("topology parse error: missing 'cores'");
+  }
+  return t;
+}
+
+Topology Topology::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open topology file: " + path);
+  return parse(in);
+}
+
+void Topology::save(std::ostream& out) const {
+  out << "cores " << num_cores() << "\n";
+  for (const Link& l : links_) {
+    out << "link " << l.a << " " << l.b << " " << l.props.latency << " "
+        << l.props.bandwidth_bytes_per_cycle << "\n";
+  }
+}
+
+}  // namespace simany::net

@@ -1,0 +1,124 @@
+// Interconnect topology: an undirected graph of cores with per-link
+// latency and bandwidth.
+//
+// The paper (SS III, "Architecture Variability") specifies topologies as
+// adjacency matrices in configuration files, with independently tunable
+// per-link latency and bandwidth, and exercises uniform 2D meshes,
+// clustered meshes and polymorphic variants. This module provides the
+// graph representation, those presets, a text-file format, and graph
+// queries the engine needs (neighbor lists, diameter, connectivity).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/vtime.h"
+
+namespace simany::net {
+
+using CoreId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+inline constexpr CoreId kInvalidCore = ~CoreId{0};
+inline constexpr LinkId kInvalidLink = ~LinkId{0};
+
+/// Timing properties of one (undirected) link.
+struct LinkProps {
+  /// Traversal latency in ticks (sub-cycle values are legal: clustered
+  /// meshes use 0.5-cycle intra-cluster links).
+  Tick latency = kTicksPerCycle;
+  /// Bytes transferred per cycle; serialization delay of a message is
+  /// ceil(bytes / bandwidth) cycles. Paper baseline: 128 B/cycle.
+  std::uint32_t bandwidth_bytes_per_cycle = 128;
+};
+
+/// One endpoint pair plus link properties.
+struct Link {
+  CoreId a = kInvalidCore;
+  CoreId b = kInvalidCore;
+  LinkProps props;
+};
+
+class Topology {
+ public:
+  Topology() = default;
+  explicit Topology(std::uint32_t num_cores) : adjacency_(num_cores) {}
+
+  /// Adds an undirected link between `a` and `b`. Duplicate links and
+  /// self-loops are rejected.
+  LinkId add_link(CoreId a, CoreId b, LinkProps props = {});
+
+  [[nodiscard]] std::uint32_t num_cores() const noexcept {
+    return static_cast<std::uint32_t>(adjacency_.size());
+  }
+  [[nodiscard]] std::uint32_t num_links() const noexcept {
+    return static_cast<std::uint32_t>(links_.size());
+  }
+
+  /// Neighbor core ids of `c`, in insertion order (deterministic).
+  [[nodiscard]] std::span<const CoreId> neighbors(CoreId c) const;
+
+  /// Link between `a` and `b`, if any.
+  [[nodiscard]] std::optional<LinkId> link_between(CoreId a, CoreId b) const;
+
+  [[nodiscard]] const Link& link(LinkId id) const { return links_.at(id); }
+  [[nodiscard]] Link& link(LinkId id) { return links_.at(id); }
+
+  /// True if every core can reach every other core.
+  [[nodiscard]] bool connected() const;
+
+  /// Largest topological distance between any two cores (in hops).
+  /// Returns 0 for a single-core topology.
+  [[nodiscard]] std::uint32_t diameter() const;
+
+  /// Hop distances from `src` to every core (BFS).
+  [[nodiscard]] std::vector<std::uint32_t> distances_from(CoreId src) const;
+
+  // ---- Presets ------------------------------------------------------
+
+  /// Uniform 2D mesh. `cores` must be a perfect square or 2*square
+  /// (e.g. 8 = 4x2); otherwise the closest rows x cols factorization
+  /// with rows <= cols is used.
+  static Topology mesh2d(std::uint32_t cores, LinkProps props = {});
+
+  /// 2D mesh split into `clusters` square tiles: links whose endpoints
+  /// lie in different tiles get `inter`, links inside a tile get
+  /// `intra`. Paper SS V: inter-cluster 4 cycles, intra-cluster 0.5.
+  static Topology clustered_mesh2d(std::uint32_t cores,
+                                   std::uint32_t clusters, LinkProps intra,
+                                   LinkProps inter);
+
+  /// Ring of `cores` nodes.
+  static Topology ring(std::uint32_t cores, LinkProps props = {});
+
+  /// 2D torus (mesh with wrap-around links).
+  static Topology torus2d(std::uint32_t cores, LinkProps props = {});
+
+  /// Fully connected crossbar.
+  static Topology crossbar(std::uint32_t cores, LinkProps props = {});
+
+  /// Mesh side lengths used by mesh2d for a given core count.
+  static std::pair<std::uint32_t, std::uint32_t> mesh_dims(
+      std::uint32_t cores);
+
+  // ---- Text format ---------------------------------------------------
+  // Line-oriented:
+  //   cores <N>
+  //   link <a> <b> [latency_ticks [bandwidth]]
+  //   # comments and blank lines ignored
+
+  static Topology parse(std::istream& in);
+  static Topology load_file(const std::string& path);
+  void save(std::ostream& out) const;
+
+ private:
+  std::vector<std::vector<CoreId>> adjacency_;
+  std::vector<std::vector<LinkId>> adjacent_links_;
+  std::vector<Link> links_;
+};
+
+}  // namespace simany::net

@@ -1,0 +1,107 @@
+// Data-structure facades for simulated programs.
+//
+// Benchmarks keep their real data in ordinary C++ containers (the
+// simulator only models time, not values) and funnel every access
+// through these wrappers so the right architectural costs are charged
+// on both memory models with a single benchmark source.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/task_ctx.h"
+
+namespace simany::runtime {
+
+/// Allocates a range in the simulated synthetic address space.
+///
+/// Benchmarks must not feed native pointers to mem_read/mem_write:
+/// heap addresses vary run to run (allocator state, ASLR) and would
+/// make cache-model timing non-reproducible. Synthetic ranges are
+/// 64-byte aligned so the line-straddling behaviour of a structure is
+/// identical no matter how many allocations preceded it.
+[[nodiscard]] std::uint64_t synth_alloc(std::uint64_t bytes);
+
+/// A native vector whose element accesses are annotated as simulated
+/// loads/stores. In shared-memory mode these hit the L1/shared-memory
+/// path; in distributed mode they model core-local data (L1/L2).
+template <class T>
+class OwnedVector {
+ public:
+  OwnedVector() = default;
+  explicit OwnedVector(std::vector<T> data)
+      : data_(std::move(data)),
+        synth_base_(synth_alloc(data_.size() * sizeof(T))) {}
+  explicit OwnedVector(std::size_t n, T init = T{})
+      : data_(n, init), synth_base_(synth_alloc(n * sizeof(T))) {}
+
+  [[nodiscard]] const T& read(TaskCtx& ctx, std::size_t i) const {
+    ctx.mem_read(addr_of(i), sizeof(T));
+    return data_[i];
+  }
+  void write(TaskCtx& ctx, std::size_t i, T value) {
+    ctx.mem_write(addr_of(i), sizeof(T));
+    data_[i] = std::move(value);
+  }
+  /// Annotated read of a contiguous range [i, i+n).
+  void read_range(TaskCtx& ctx, std::size_t i, std::size_t n) const {
+    if (n != 0) ctx.mem_read(addr_of(i), static_cast<std::uint32_t>(n * sizeof(T)));
+  }
+  /// Annotated write of a contiguous range [i, i+n) (values are
+  /// mutated natively by the caller).
+  void write_range(TaskCtx& ctx, std::size_t i, std::size_t n) {
+    if (n != 0) ctx.mem_write(addr_of(i), static_cast<std::uint32_t>(n * sizeof(T)));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::vector<T>& raw() noexcept { return data_; }
+  [[nodiscard]] const std::vector<T>& raw() const noexcept { return data_; }
+  T& raw(std::size_t i) noexcept { return data_[i]; }
+  const T& raw(std::size_t i) const noexcept { return data_[i]; }
+
+  /// Simulated address of element `i`.
+  [[nodiscard]] std::uint64_t addr_of(std::size_t i) const noexcept {
+    return synth_base_ + i * sizeof(T);
+  }
+
+ private:
+  std::vector<T> data_;
+  std::uint64_t synth_base_ = 0;
+};
+
+/// How CellArray spreads cell homes across the machine.
+enum class Placement : std::uint8_t {
+  kRoundRobin,  // cell i homed on core i % num_cores
+  kBlock,       // contiguous blocks of cells per core
+  kLocal,       // everything on the creating core
+};
+
+/// One run-time cell per element, homed across the distributed banks.
+/// Must be constructed inside a task (it calls make_cell_at).
+class CellArray {
+ public:
+  CellArray(TaskCtx& ctx, std::uint32_t count, std::uint32_t bytes_per_cell,
+            Placement placement = Placement::kRoundRobin) {
+    cells_.reserve(count);
+    const std::uint32_t cores = ctx.num_cores();
+    const std::uint32_t block = (count + cores - 1) / cores;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      CoreId home = ctx.core_id();
+      switch (placement) {
+        case Placement::kRoundRobin: home = i % cores; break;
+        case Placement::kBlock: home = std::min(i / block, cores - 1); break;
+        case Placement::kLocal: break;
+      }
+      cells_.push_back(ctx.make_cell_at(bytes_per_cell, home));
+    }
+  }
+
+  [[nodiscard]] CellId cell(std::size_t i) const { return cells_.at(i); }
+  [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+
+ private:
+  std::vector<CellId> cells_;
+};
+
+}  // namespace simany::runtime

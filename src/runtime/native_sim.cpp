@@ -1,0 +1,15 @@
+#include "runtime/native_sim.h"
+
+#include <chrono>
+
+namespace simany::runtime {
+
+double run_native(const TaskFn& root, std::uint64_t seed) {
+  NativeCtx ctx(seed);
+  const auto t0 = std::chrono::steady_clock::now();
+  root(ctx);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace simany::runtime

@@ -1,0 +1,61 @@
+// Native pass-through executor.
+//
+// Runs the same instrumented task code with every simulator interaction
+// reduced to a no-op and every conditional spawn executed inline — i.e.
+// plain sequential native execution. This is the denominator of the
+// paper's "normalized simulation time" metric (Fig 7: simulation time
+// normalized to native execution on a single-core machine).
+#pragma once
+
+#include <cstdint>
+
+#include "core/task_ctx.h"
+
+namespace simany::runtime {
+
+/// TaskCtx whose operations cost nothing and spawn nothing.
+class NativeCtx final : public TaskCtx {
+ public:
+  explicit NativeCtx(std::uint64_t seed = 1) : rng_(seed) {}
+
+  void compute(Cycles) override {}
+  void compute(const timing::InstMix&) override {}
+  void function_boundary() override {}
+  void mem_read(std::uint64_t, std::uint32_t) override {}
+  void mem_write(std::uint64_t, std::uint32_t) override {}
+  GroupId make_group() override { return next_group_++; }
+  bool probe() override { return false; }  // every spawn runs inline
+  void spawn(GroupId, TaskFn fn, std::uint32_t) override {
+    // Defensive: spawn after probe()==false is an API misuse, but a
+    // native inline run is still the correct semantics.
+    fn(*this);
+  }
+  void join(GroupId) override {}
+  LockId make_lock() override { return next_lock_++; }
+  void lock(LockId) override {}
+  void unlock(LockId) override {}
+  CellId make_cell(std::uint32_t) override { return next_cell_++; }
+  CellId make_cell_at(std::uint32_t, CoreId) override {
+    return next_cell_++;
+  }
+  void cell_acquire(CellId, AccessMode) override {}
+  void cell_release(CellId) override {}
+  CoreId core_id() const override { return 0; }
+  std::uint32_t num_cores() const override { return 1; }
+  Cycles now_cycles() const override { return 0; }
+  mem::MemoryModel memory_model() const override {
+    return mem::MemoryModel::kShared;
+  }
+  Rng& rng() override { return rng_; }
+
+ private:
+  Rng rng_;
+  GroupId next_group_ = 0;
+  LockId next_lock_ = 0;
+  CellId next_cell_ = 0;
+};
+
+/// Runs `root` natively and returns the wall-clock seconds it took.
+double run_native(const TaskFn& root, std::uint64_t seed = 1);
+
+}  // namespace simany::runtime

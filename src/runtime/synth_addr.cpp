@@ -1,0 +1,16 @@
+#include "runtime/data.h"
+
+namespace simany::runtime {
+
+std::uint64_t synth_alloc(std::uint64_t bytes) {
+  // Single-threaded simulator; a plain counter is sufficient. Bases are
+  // 64-byte aligned so line-straddle behaviour never depends on how
+  // many allocations happened before (the counter survives across
+  // Engine instances in one process).
+  static std::uint64_t next = 64;
+  const std::uint64_t base = next;
+  next += (bytes + 127) & ~std::uint64_t{63};  // pad one line between
+  return base;
+}
+
+}  // namespace simany::runtime

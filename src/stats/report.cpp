@@ -1,0 +1,104 @@
+#include "stats/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace simany::stats {
+
+double rel_error(double a, double b) {
+  if (b == 0.0) throw std::invalid_argument("rel_error: zero reference");
+  return std::abs(a - b) / std::abs(b);
+}
+
+double geo_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) {
+      throw std::invalid_argument("geo_mean: non-positive value");
+    }
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  const double a = std::abs(v);
+  if (v != 0.0 && (a >= 1e6 || a < 1e-3)) {
+    std::snprintf(buf, sizeof buf, "%.2e", v);
+  } else if (a >= 100.0) {
+    if (v == std::floor(v)) {
+      std::snprintf(buf, sizeof buf, "%.0f", v);
+    } else {
+      std::snprintf(buf, sizeof buf, "%.1f", v);
+    }
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3g", v);
+  }
+  return buf;
+}
+
+FigureTable::FigureTable(std::string title, std::string x_label,
+                         std::vector<double> xs)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      xs_(std::move(xs)) {}
+
+void FigureTable::add_series(Series s) {
+  if (s.y.size() != xs_.size()) {
+    throw std::invalid_argument("FigureTable: series length mismatch");
+  }
+  series_.push_back(std::move(s));
+}
+
+void FigureTable::print(std::ostream& out) const {
+  out << "== " << title_ << " ==\n";
+  // Column widths: max over header cells and values.
+  std::size_t name_w = x_label_.size();
+  for (const Series& s : series_) name_w = std::max(name_w, s.name.size());
+  std::vector<std::size_t> col_w(xs_.size(), 0);
+  std::vector<std::string> headers(xs_.size());
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    headers[i] = fmt(xs_[i]);
+    col_w[i] = headers[i].size();
+  }
+  std::vector<std::vector<std::string>> cells(series_.size());
+  for (std::size_t r = 0; r < series_.size(); ++r) {
+    cells[r].resize(xs_.size());
+    for (std::size_t i = 0; i < xs_.size(); ++i) {
+      cells[r][i] = fmt(series_[r].y[i]);
+      col_w[i] = std::max(col_w[i], cells[r][i].size());
+    }
+  }
+  auto pad = [&out](const std::string& s, std::size_t w) {
+    for (std::size_t k = s.size(); k < w; ++k) out << ' ';
+    out << s;
+  };
+  pad(x_label_, name_w);
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    out << "  ";
+    pad(headers[i], col_w[i]);
+  }
+  out << "\n";
+  for (std::size_t r = 0; r < series_.size(); ++r) {
+    pad(series_[r].name, name_w);
+    for (std::size_t i = 0; i < xs_.size(); ++i) {
+      out << "  ";
+      pad(cells[r][i], col_w[i]);
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace simany::stats

@@ -1,0 +1,56 @@
+// Result aggregation and reporting shared by the benchmark harnesses.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace simany::stats {
+
+/// Relative error |a - b| / b.
+[[nodiscard]] double rel_error(double a, double b);
+
+/// Geometric mean of strictly positive values; returns 0 for empty.
+[[nodiscard]] double geo_mean(const std::vector<double>& values);
+
+/// Arithmetic mean; returns 0 for empty.
+[[nodiscard]] double mean(const std::vector<double>& values);
+
+/// One data series for a figure: y values indexed like the shared
+/// x-axis of the Figure (e.g. core counts).
+struct Series {
+  std::string name;
+  std::vector<double> y;
+};
+
+/// A paper-figure-like table: one column per x value, one row per
+/// series. Prints aligned ASCII suitable for eyeballing against the
+/// paper's log-log plots.
+class FigureTable {
+ public:
+  FigureTable(std::string title, std::string x_label,
+              std::vector<double> xs);
+
+  void add_series(Series s);
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] const std::vector<Series>& series() const noexcept {
+    return series_;
+  }
+  [[nodiscard]] const std::vector<double>& xs() const noexcept {
+    return xs_;
+  }
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::vector<double> xs_;
+  std::vector<Series> series_;
+};
+
+/// Formats a double compactly (3 significant digits, scientific for
+/// very large/small magnitudes).
+[[nodiscard]] std::string fmt(double v);
+
+}  // namespace simany::stats

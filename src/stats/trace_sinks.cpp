@@ -1,0 +1,81 @@
+#include "stats/trace_sinks.h"
+
+#include <ostream>
+
+namespace simany::stats {
+
+CsvTrace::CsvTrace(std::ostream& out) : out_(&out) {
+  *out_ << "event,core,ticks,extra\n";
+}
+
+void CsvTrace::row(const char* event, std::uint64_t core, Tick at,
+                   const char* extra) {
+  *out_ << event << ',' << core << ',' << at << ',' << extra << '\n';
+  ++rows_;
+}
+
+void CsvTrace::on_task_start(CoreId core, Tick at) {
+  row("task_start", core, at);
+}
+void CsvTrace::on_task_end(CoreId core, Tick at) {
+  row("task_end", core, at);
+}
+void CsvTrace::on_message(const Message& m) {
+  row("message", m.src, m.sent, to_string(m.kind));
+}
+void CsvTrace::on_stall(CoreId core, Tick at) { row("stall", core, at); }
+void CsvTrace::on_wake(CoreId core, Tick at, Tick) {
+  row("wake", core, at);
+}
+
+ActivitySummary::ActivitySummary(std::uint32_t num_cores)
+    : per_core_(num_cores) {}
+
+void ActivitySummary::on_task_start(CoreId core, Tick) {
+  ++per_core_[core].tasks_started;
+}
+void ActivitySummary::on_task_end(CoreId core, Tick at) {
+  ++per_core_[core].tasks_ended;
+  per_core_[core].last_task_end = at;
+}
+void ActivitySummary::on_message(const Message& m) {
+  ++per_core_[m.src].messages_sent;
+}
+void ActivitySummary::on_stall(CoreId core, Tick) {
+  ++per_core_[core].stalls;
+}
+
+std::uint64_t ActivitySummary::total_tasks() const {
+  std::uint64_t total = 0;
+  for (const auto& pc : per_core_) total += pc.tasks_ended;
+  return total;
+}
+
+void ActivitySummary::print(std::ostream& out) const {
+  out << "core  tasks  stalls  msgs_sent\n";
+  for (std::size_t c = 0; c < per_core_.size(); ++c) {
+    const PerCore& pc = per_core_[c];
+    out << c << "  " << pc.tasks_ended << "  " << pc.stalls << "  "
+        << pc.messages_sent << "\n";
+  }
+}
+
+void MessageHistogram::on_message(const Message& m) {
+  ++counts_[static_cast<std::size_t>(m.kind)];
+}
+
+std::uint64_t MessageHistogram::total() const {
+  std::uint64_t total = 0;
+  for (auto c : counts_) total += c;
+  return total;
+}
+
+void MessageHistogram::print(std::ostream& out) const {
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    if (counts_[k] == 0) continue;
+    out << to_string(static_cast<MsgKind>(k)) << ": " << counts_[k]
+        << "\n";
+  }
+}
+
+}  // namespace simany::stats

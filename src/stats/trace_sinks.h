@@ -1,0 +1,104 @@
+// Concrete trace sinks: CSV event export, per-core activity summary,
+// per-kind message histogram.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/trace.h"
+
+namespace simany::stats {
+
+/// Streams one CSV row per event: event,core,ticks,extra.
+class CsvTrace final : public TraceSink {
+ public:
+  explicit CsvTrace(std::ostream& out);
+
+  void on_task_start(CoreId core, Tick at) override;
+  void on_task_end(CoreId core, Tick at) override;
+  void on_message(const Message& m) override;
+  void on_stall(CoreId core, Tick at) override;
+  void on_wake(CoreId core, Tick at, Tick new_limit) override;
+
+  [[nodiscard]] std::uint64_t rows() const noexcept { return rows_; }
+
+ private:
+  void row(const char* event, std::uint64_t core, Tick at,
+           const char* extra = "");
+  std::ostream* out_;
+  std::uint64_t rows_ = 0;
+};
+
+/// Per-core counters: tasks run, stalls, messages sent.
+class ActivitySummary final : public TraceSink {
+ public:
+  explicit ActivitySummary(std::uint32_t num_cores);
+
+  void on_task_start(CoreId core, Tick at) override;
+  void on_task_end(CoreId core, Tick at) override;
+  void on_message(const Message& m) override;
+  void on_stall(CoreId core, Tick at) override;
+
+  struct PerCore {
+    std::uint64_t tasks_started = 0;
+    std::uint64_t tasks_ended = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t messages_sent = 0;
+    Tick last_task_end = 0;
+  };
+
+  [[nodiscard]] const PerCore& core(std::uint32_t c) const {
+    return per_core_.at(c);
+  }
+  [[nodiscard]] std::uint64_t total_tasks() const;
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<PerCore> per_core_;
+};
+
+/// Counts architectural messages by kind.
+class MessageHistogram final : public TraceSink {
+ public:
+  void on_message(const Message& m) override;
+
+  [[nodiscard]] std::uint64_t count(MsgKind k) const {
+    return counts_[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::uint64_t total() const;
+  void print(std::ostream& out) const;
+
+ private:
+  static constexpr std::size_t kKinds =
+      static_cast<std::size_t>(MsgKind::kOccUpdate) + 1;
+  std::array<std::uint64_t, kKinds> counts_{};
+};
+
+/// Fans one event stream out to several sinks.
+class TeeTrace final : public TraceSink {
+ public:
+  void add(TraceSink* sink) { sinks_.push_back(sink); }
+
+  void on_task_start(CoreId core, Tick at) override {
+    for (auto* s : sinks_) s->on_task_start(core, at);
+  }
+  void on_task_end(CoreId core, Tick at) override {
+    for (auto* s : sinks_) s->on_task_end(core, at);
+  }
+  void on_message(const Message& m) override {
+    for (auto* s : sinks_) s->on_message(m);
+  }
+  void on_stall(CoreId core, Tick at) override {
+    for (auto* s : sinks_) s->on_stall(core, at);
+  }
+  void on_wake(CoreId core, Tick at, Tick new_limit) override {
+    for (auto* s : sinks_) s->on_wake(core, at, new_limit);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace simany::stats

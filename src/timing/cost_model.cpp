@@ -1,0 +1,51 @@
+#include "timing/cost_model.h"
+
+namespace simany::timing {
+
+Cycles CostModel::block_cost(const InstMix& mix, Rng& rng) const {
+  Cycles total = 0;
+  total += table_.of(InstClass::kIntAlu) * mix.int_alu;
+  total += table_.of(InstClass::kIntMul) * mix.int_mul;
+  total += table_.of(InstClass::kFpAlu) * mix.fp_alu;
+  total += table_.of(InstClass::kFpMulDiv) * mix.fp_mul_div;
+  total += table_.of(InstClass::kBranchUncond) * mix.branches_static;
+  total += table_.of(InstClass::kBranch) * mix.branches;
+
+  // Resolving branches individually keeps the variance of real
+  // predictors; with many branches this converges to the expectation.
+  // For large counts we draw a binomial sample cheaply via the normal
+  // approximation threshold: below it, loop; above it, expectation.
+  constexpr std::uint32_t kExactThreshold = 64;
+  if (mix.branches > 0) {
+    std::uint32_t missed = 0;
+    if (mix.branches <= kExactThreshold) {
+      for (std::uint32_t i = 0; i < mix.branches; ++i) {
+        if (!rng.chance(branches_.predict_rate)) ++missed;
+      }
+    } else {
+      const double expected =
+          (1.0 - branches_.predict_rate) * mix.branches;
+      // Deterministic rounding with a random dither keeps the long-run
+      // average exact without per-branch draws.
+      missed = static_cast<std::uint32_t>(expected);
+      if (rng.uniform() < expected - missed) ++missed;
+    }
+    total += branches_.mispredict_penalty * missed;
+  }
+  return total;
+}
+
+double CostModel::expected_block_cost(const InstMix& mix) const {
+  double total = 0;
+  total += double(table_.of(InstClass::kIntAlu)) * mix.int_alu;
+  total += double(table_.of(InstClass::kIntMul)) * mix.int_mul;
+  total += double(table_.of(InstClass::kFpAlu)) * mix.fp_alu;
+  total += double(table_.of(InstClass::kFpMulDiv)) * mix.fp_mul_div;
+  total += double(table_.of(InstClass::kBranchUncond)) * mix.branches_static;
+  total += double(table_.of(InstClass::kBranch)) * mix.branches;
+  total += (1.0 - branches_.predict_rate) *
+           double(branches_.mispredict_penalty) * mix.branches;
+  return total;
+}
+
+}  // namespace simany::timing

@@ -1,0 +1,119 @@
+// Instruction-class cost model used for timing annotations.
+//
+// SiMany does not emulate the ISA: sequential blocks run natively and
+// their virtual-time cost comes from annotations. The paper (SS III/V)
+// groups instructions into classes — unconditional branches, conditional
+// branches, common integer arithmetic, integer multiply, simple FP
+// arithmetic, and FP multiply/divide — each with a single fixed cost,
+// on a scalar 5-stage PowerPC-405-like pipeline. Conditional branches go
+// through a probabilistic predictor (90 % success, 5-cycle penalty on a
+// 5-deep pipeline); statically predictable branches instead fold a fixed
+// penalty into the annotation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/rng.h"
+#include "core/vtime.h"
+
+namespace simany::timing {
+
+enum class InstClass : std::uint8_t {
+  kIntAlu = 0,    // common integer arithmetic / logic
+  kIntMul,        // integer multiply (and divide)
+  kFpAlu,         // simple floating-point arithmetic (add/sub/cmp)
+  kFpMulDiv,      // floating-point multiply and divide
+  kBranch,        // conditional branch (predictor applies)
+  kBranchUncond,  // unconditional branch / statically known
+  kCount
+};
+
+inline constexpr std::size_t kNumInstClasses =
+    static_cast<std::size_t>(InstClass::kCount);
+
+/// Per-class base costs in cycles. Defaults follow a scalar in-order
+/// 5-stage pipeline with multi-cycle multiply and (soft-)FP units.
+struct CostTable {
+  std::array<Cycles, kNumInstClasses> cost{
+      /*kIntAlu=*/1,
+      /*kIntMul=*/4,
+      /*kFpAlu=*/6,
+      /*kFpMulDiv=*/18,
+      /*kBranch=*/1,
+      /*kBranchUncond=*/1,
+  };
+
+  [[nodiscard]] Cycles of(InstClass c) const noexcept {
+    return cost[static_cast<std::size_t>(c)];
+  }
+  Cycles& of(InstClass c) noexcept {
+    return cost[static_cast<std::size_t>(c)];
+  }
+};
+
+/// Instruction counts for one annotated block. Benchmarks build these
+/// where a profile run would have placed static annotations.
+struct InstMix {
+  std::uint32_t int_alu = 0;
+  std::uint32_t int_mul = 0;
+  std::uint32_t fp_alu = 0;
+  std::uint32_t fp_mul_div = 0;
+  std::uint32_t branches = 0;         // dynamically predicted
+  std::uint32_t branches_static = 0;  // outcome known at compile time
+
+  [[nodiscard]] InstMix operator*(std::uint32_t n) const noexcept {
+    return InstMix{int_alu * n,  int_mul * n,  fp_alu * n,
+                   fp_mul_div * n, branches * n, branches_static * n};
+  }
+  InstMix& operator+=(const InstMix& o) noexcept {
+    int_alu += o.int_alu;
+    int_mul += o.int_mul;
+    fp_alu += o.fp_alu;
+    fp_mul_div += o.fp_mul_div;
+    branches += o.branches;
+    branches_static += o.branches_static;
+    return *this;
+  }
+};
+
+struct BranchModel {
+  /// Probability a dynamically predicted branch is correct.
+  double predict_rate = 0.9;
+  /// Pipeline flush cost on a misprediction (5-deep pipeline).
+  Cycles mispredict_penalty = 5;
+  /// Penalty folded in for statically mispredicted constructs
+  /// (paper: "a 5-cycle penalty is applied to the mispredicted branch").
+  Cycles static_mispredict_penalty = 5;
+};
+
+/// Full cost model: class table + branch behaviour. Branch outcomes draw
+/// from the caller-supplied per-core RNG stream, keeping runs
+/// reproducible per core.
+class CostModel {
+ public:
+  CostModel() = default;
+  CostModel(CostTable table, BranchModel branches) noexcept
+      : table_(table), branches_(branches) {}
+
+  /// Cycle cost of a block. Dynamically predicted branches are resolved
+  /// one by one against `rng` (expected penalty = (1-p) * flush).
+  [[nodiscard]] Cycles block_cost(const InstMix& mix, Rng& rng) const;
+
+  /// Deterministic expected-value cost (no RNG), used by the
+  /// cycle-level baseline and by tests.
+  [[nodiscard]] double expected_block_cost(const InstMix& mix) const;
+
+  [[nodiscard]] const CostTable& table() const noexcept { return table_; }
+  [[nodiscard]] const BranchModel& branch_model() const noexcept {
+    return branches_;
+  }
+  CostTable& table() noexcept { return table_; }
+  BranchModel& branch_model() noexcept { return branches_; }
+
+ private:
+  CostTable table_;
+  BranchModel branches_;
+};
+
+}  // namespace simany::timing

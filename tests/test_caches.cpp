@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "mem/pessimistic_l1.h"
+#include "mem/setassoc_cache.h"
+
+namespace simany::mem {
+namespace {
+
+// ---- PessimisticL1 ----------------------------------------------------
+
+TEST(PessimisticL1, FirstAccessMissesThenHits) {
+  PessimisticL1 l1(32);
+  auto r1 = l1.access(100, 8);
+  EXPECT_EQ(r1.miss_lines, 1u);
+  EXPECT_EQ(r1.hit_lines, 0u);
+  auto r2 = l1.access(100, 8);
+  EXPECT_EQ(r2.miss_lines, 0u);
+  EXPECT_EQ(r2.hit_lines, 1u);
+}
+
+TEST(PessimisticL1, SameLineDifferentOffsetHits) {
+  PessimisticL1 l1(32);
+  (void)l1.access(0, 4);
+  auto r = l1.access(28, 4);
+  EXPECT_EQ(r.hit_lines, 1u);
+}
+
+TEST(PessimisticL1, MultiLineAccessCountsEachLine) {
+  PessimisticL1 l1(32);
+  // 100 bytes from offset 0 spans lines 0..3 (4 lines).
+  auto r = l1.access(0, 100);
+  EXPECT_EQ(r.miss_lines, 4u);
+  auto r2 = l1.access(0, 100);
+  EXPECT_EQ(r2.hit_lines, 4u);
+}
+
+TEST(PessimisticL1, StraddlingAccessSplitsLines) {
+  PessimisticL1 l1(32);
+  // 8 bytes starting at 28 touches lines 0 and 1.
+  auto r = l1.access(28, 8);
+  EXPECT_EQ(r.miss_lines, 2u);
+}
+
+TEST(PessimisticL1, FlushForgetsEverything) {
+  PessimisticL1 l1(32);
+  (void)l1.access(0, 64);
+  EXPECT_GT(l1.resident_lines(), 0u);
+  l1.flush();
+  EXPECT_EQ(l1.resident_lines(), 0u);
+  auto r = l1.access(0, 8);
+  EXPECT_EQ(r.miss_lines, 1u);
+}
+
+TEST(PessimisticL1, InvalidateDropsOneLine) {
+  PessimisticL1 l1(32);
+  (void)l1.access(0, 64);  // lines 0 and 1
+  l1.invalidate(0);
+  EXPECT_FALSE(l1.contains_line(0));
+  EXPECT_TRUE(l1.contains_line(1));
+}
+
+TEST(PessimisticL1, ZeroByteAccessTouchesOneLine) {
+  PessimisticL1 l1(32);
+  auto r = l1.access(10, 0);
+  EXPECT_EQ(r.miss_lines + r.hit_lines, 1u);
+}
+
+// ---- SetAssocCache -----------------------------------------------------
+
+TEST(SetAssoc, HitAfterFill) {
+  SetAssocCache c({1024, 32, 2});
+  EXPECT_FALSE(c.access(64, false).hit);
+  EXPECT_TRUE(c.access(64, false).hit);
+  EXPECT_TRUE(c.contains(64));
+}
+
+TEST(SetAssoc, LruEvictionOrder) {
+  // 2-way, line 32, 2 sets: set = line % 2.
+  SetAssocCache c({128, 32, 2});
+  // Three lines mapping to set 0: lines 0, 2, 4 (addresses 0, 64, 128).
+  (void)c.access(0, false);
+  (void)c.access(64, false);
+  (void)c.access(0, false);    // line 0 now MRU
+  (void)c.access(128, false);  // evicts line 2 (LRU)
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(64));
+  EXPECT_TRUE(c.contains(128));
+}
+
+TEST(SetAssoc, DirtyEvictionReported) {
+  SetAssocCache c({128, 32, 2});
+  (void)c.access(0, true);  // dirty line 0 in set 0
+  (void)c.access(64, false);
+  const auto r = c.access(128, false);  // evicts dirty line 0
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.evicted_dirty);
+  EXPECT_EQ(r.evicted_line, 0u);
+}
+
+TEST(SetAssoc, WriteOnHitSetsDirty) {
+  SetAssocCache c({128, 32, 2});
+  (void)c.access(0, false);
+  (void)c.access(0, true);  // hit-write marks dirty
+  (void)c.access(64, false);
+  const auto r = c.access(128, false);
+  EXPECT_TRUE(r.evicted_dirty);
+}
+
+TEST(SetAssoc, InvalidateReturnsDirtiness) {
+  SetAssocCache c({1024, 32, 2});
+  (void)c.access(32, true);
+  EXPECT_TRUE(c.invalidate_addr(32));
+  EXPECT_FALSE(c.contains(32));
+  (void)c.access(32, false);
+  EXPECT_FALSE(c.invalidate_addr(32));
+  EXPECT_FALSE(c.invalidate_addr(9999));
+}
+
+TEST(SetAssoc, FlushClearsAll) {
+  SetAssocCache c({1024, 32, 2});
+  (void)c.access(0, true);
+  (void)c.access(640, false);
+  c.flush();
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_FALSE(c.contains(640));
+}
+
+TEST(SetAssoc, HitAndMissCounters) {
+  SetAssocCache c({1024, 32, 2});
+  (void)c.access(0, false);
+  (void)c.access(0, false);
+  (void)c.access(32, false);
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_EQ(c.hits(), 1u);
+}
+
+TEST(SetAssoc, RejectsBadGeometry) {
+  EXPECT_THROW(SetAssocCache({0, 32, 2}), std::invalid_argument);
+  EXPECT_THROW(SetAssocCache({1024, 0, 2}), std::invalid_argument);
+  EXPECT_THROW(SetAssocCache({1024, 32, 0}), std::invalid_argument);
+  EXPECT_THROW(SetAssocCache({32, 32, 4}), std::invalid_argument);
+}
+
+TEST(SetAssoc, FullyAssociativeWorks) {
+  // One set: size == line * ways.
+  SetAssocCache c({128, 32, 4});
+  for (std::uint64_t a = 0; a < 4 * 32; a += 32) (void)c.access(a, false);
+  for (std::uint64_t a = 0; a < 4 * 32; a += 32) {
+    EXPECT_TRUE(c.access(a, false).hit);
+  }
+  (void)c.access(999, false);  // evicts exactly one LRU way
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_TRUE(c.contains(32));
+}
+
+TEST(SetAssoc, WorkingSetLargerThanCacheThrashes) {
+  SetAssocCache c({1024, 32, 2});
+  const std::uint64_t span = 4 * 1024;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t a = 0; a < span; a += 32) (void)c.access(a, false);
+  }
+  // Second pass should also miss everywhere (LRU + sequential sweep).
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+}  // namespace
+}  // namespace simany::mem

@@ -1,0 +1,134 @@
+// Run-time protocols under the cycle-level mode: the conservative
+// scheduler must preserve the same semantics (exclusion, ordering,
+// group completion) the virtual-time mode guarantees.
+#include <gtest/gtest.h>
+
+#include "config/arch_config.h"
+#include "core/engine.h"
+
+namespace simany {
+namespace {
+
+TEST(ClProtocols, LockExclusionHolds) {
+  Engine sim(ArchConfig::shared_mesh(4), ExecutionMode::kCycleLevel);
+  int in_cs = 0;
+  bool overlap = false;
+  (void)sim.run([&](TaskCtx& ctx) {
+    const GroupId g = ctx.make_group();
+    const LockId lk = ctx.make_lock();
+    for (int i = 0; i < 6; ++i) {
+      spawn_or_run(ctx, g, [&, lk](TaskCtx& c) {
+        c.lock(lk);
+        if (++in_cs != 1) overlap = true;
+        c.compute(100);
+        --in_cs;
+        c.unlock(lk);
+      });
+    }
+    ctx.join(g);
+  });
+  EXPECT_FALSE(overlap);
+}
+
+TEST(ClProtocols, DistributedCellsExclusive) {
+  Engine sim(ArchConfig::distributed_mesh(4), ExecutionMode::kCycleLevel);
+  int holders = 0;
+  bool overlap = false;
+  (void)sim.run([&](TaskCtx& ctx) {
+    const GroupId g = ctx.make_group();
+    const CellId cell = ctx.make_cell_at(64, 3);
+    for (int i = 0; i < 6; ++i) {
+      spawn_or_run(ctx, g, [&, cell](TaskCtx& c) {
+        c.cell_acquire(cell, AccessMode::kWrite);
+        if (++holders != 1) overlap = true;
+        c.compute(50);
+        --holders;
+        c.cell_release(cell);
+      });
+    }
+    ctx.join(g);
+  });
+  EXPECT_FALSE(overlap);
+}
+
+TEST(ClProtocols, SameSenderTaskOrderPreserved) {
+  ArchConfig cfg = ArchConfig::shared_mesh(2);
+  cfg.runtime.task_queue_capacity = 8;
+  Engine sim(cfg, ExecutionMode::kCycleLevel);
+  std::vector<int> order;
+  (void)sim.run([&](TaskCtx& ctx) {
+    const GroupId g = ctx.make_group();
+    for (int i = 0; i < 5; ++i) {
+      if (ctx.probe()) {
+        ctx.spawn(g, [&order, i](TaskCtx&) { order.push_back(i); });
+      }
+    }
+    ctx.join(g);
+  });
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    EXPECT_LT(order[k - 1], order[k]);
+  }
+}
+
+TEST(ClProtocols, JoinSuspendAndMigrationWork) {
+  Engine sim(ArchConfig::shared_mesh(16), ExecutionMode::kCycleLevel);
+  int done = 0;
+  const auto stats = sim.run([&](TaskCtx& ctx) {
+    const GroupId g = ctx.make_group();
+    for (int i = 0; i < 64; ++i) {
+      spawn_or_run(ctx, g, [&done](TaskCtx& c) {
+        c.compute(300);
+        ++done;
+      });
+    }
+    ctx.join(g);
+  });
+  EXPECT_EQ(done, 64);
+  EXPECT_GE(stats.joins_suspended, 1u);
+}
+
+TEST(ClProtocols, RecursiveLockRejectedInClModeToo) {
+  Engine sim(ArchConfig::shared_mesh(4), ExecutionMode::kCycleLevel);
+  EXPECT_THROW((void)sim.run([](TaskCtx& ctx) {
+                 const LockId a = ctx.make_lock();
+                 ctx.lock(a);
+                 ctx.lock(a);
+               }),
+               std::logic_error);
+}
+
+TEST(ClProtocols, DeadlockDetectedInClMode) {
+  Engine sim(ArchConfig::shared_mesh(4), ExecutionMode::kCycleLevel);
+  EXPECT_THROW((void)sim.run([](TaskCtx& ctx) {
+                 const GroupId g = ctx.make_group();
+                 const LockId a = ctx.make_lock();
+                 ctx.lock(a);
+                 ASSERT_TRUE(ctx.probe());
+                 ctx.spawn(g, [a](TaskCtx& c) {
+                   c.lock(a);  // never granted
+                   c.unlock(a);
+                 });
+                 ctx.join(g);
+               }),
+               std::runtime_error);
+}
+
+TEST(ClProtocols, StrictOrderMeansEarliestCoreRuns) {
+  // The CL scheduler's min-time policy keeps cores closely coupled:
+  // with two equal workloads the per-core completion times match.
+  Engine sim(ArchConfig::shared_mesh(2), ExecutionMode::kCycleLevel);
+  const auto stats = sim.run([](TaskCtx& ctx) {
+    const GroupId g = ctx.make_group();
+    ASSERT_TRUE(ctx.probe());
+    ctx.spawn(g, [](TaskCtx& c) { c.compute(5000); });
+    ctx.compute(5000);
+    ctx.join(g);
+  });
+  ASSERT_EQ(stats.core_busy_ticks.size(), 2u);
+  const double a = double(stats.core_busy_ticks[0]);
+  const double b = double(stats.core_busy_ticks[1]);
+  EXPECT_NEAR(a / b, 1.0, 0.2);
+}
+
+}  // namespace
+}  // namespace simany

@@ -1,0 +1,113 @@
+#include "config/arch_config.h"
+
+#include <gtest/gtest.h>
+
+namespace simany {
+namespace {
+
+TEST(ArchConfig, SharedMeshDefaultsMatchPaper) {
+  const auto cfg = ArchConfig::shared_mesh(64);
+  EXPECT_EQ(cfg.num_cores(), 64u);
+  EXPECT_EQ(cfg.mem.model, mem::MemoryModel::kShared);
+  EXPECT_EQ(cfg.mem.l1_latency_cycles, 1u);
+  EXPECT_EQ(cfg.mem.shared_latency_cycles, 10u);
+  EXPECT_FALSE(cfg.mem.coherence_timing);
+  EXPECT_EQ(cfg.drift_t_cycles, 100u);
+  EXPECT_EQ(cfg.runtime.task_start_cycles, 10u);
+  EXPECT_EQ(cfg.runtime.join_switch_cycles, 15u);
+  cfg.validate();
+}
+
+TEST(ArchConfig, DistributedMeshDefaults) {
+  const auto cfg = ArchConfig::distributed_mesh(16);
+  EXPECT_EQ(cfg.mem.model, mem::MemoryModel::kDistributed);
+  EXPECT_EQ(cfg.mem.l2_latency_cycles, 10u);
+  // Base link: 1 cycle, 128 B/cycle (paper SS V).
+  EXPECT_EQ(cfg.topology.link(0).props.latency, kTicksPerCycle);
+  EXPECT_EQ(cfg.topology.link(0).props.bandwidth_bytes_per_cycle, 128u);
+  cfg.validate();
+}
+
+TEST(ArchConfig, PolymorphicAlternatesSpeeds) {
+  const auto cfg = ArchConfig::polymorphic(ArchConfig::shared_mesh(8));
+  ASSERT_EQ(cfg.core_speeds.size(), 8u);
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    if (c % 2 == 0) {
+      EXPECT_EQ(cfg.speed_of(c), (Speed{1, 2}));
+    } else {
+      EXPECT_EQ(cfg.speed_of(c), (Speed{3, 2}));
+    }
+  }
+  cfg.validate();
+}
+
+TEST(ArchConfig, PolymorphicPreservesTotalComputePower) {
+  const auto cfg = ArchConfig::polymorphic(ArchConfig::shared_mesh(8));
+  double total = 0;
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    total += cfg.speed_of(c).as_double();
+  }
+  EXPECT_DOUBLE_EQ(total, 8.0);
+}
+
+TEST(ArchConfig, ClusteredLinkLatencies) {
+  const auto cfg =
+      ArchConfig::clustered(ArchConfig::distributed_mesh(16), 4);
+  bool saw_intra = false, saw_inter = false;
+  for (net::LinkId id = 0; id < cfg.topology.num_links(); ++id) {
+    const Tick lat = cfg.topology.link(id).props.latency;
+    if (lat == kTicksPerCycle / 2) saw_intra = true;
+    if (lat == 4 * kTicksPerCycle) saw_inter = true;
+  }
+  EXPECT_TRUE(saw_intra);
+  EXPECT_TRUE(saw_inter);
+  cfg.validate();
+}
+
+TEST(ArchConfig, WithCoherenceOnlyTogglesTiming) {
+  const auto base = ArchConfig::shared_mesh(4);
+  const auto coh = ArchConfig::with_coherence(base);
+  EXPECT_FALSE(base.mem.coherence_timing);
+  EXPECT_TRUE(coh.mem.coherence_timing);
+  EXPECT_EQ(coh.mem.model, base.mem.model);
+}
+
+TEST(ArchConfig, SpeedOfDefaultsToUnit) {
+  const auto cfg = ArchConfig::shared_mesh(4);
+  EXPECT_TRUE(cfg.speed_of(2).is_unit());
+}
+
+TEST(ArchConfig, ValidateRejectsSpeedSizeMismatch) {
+  auto cfg = ArchConfig::shared_mesh(4);
+  cfg.core_speeds = {Speed{1, 1}, Speed{1, 1}};
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ArchConfig, ValidateRejectsZeroSpeed) {
+  auto cfg = ArchConfig::shared_mesh(2);
+  cfg.core_speeds = {Speed{0, 1}, Speed{1, 1}};
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ArchConfig, ValidateRejectsDisconnectedTopology) {
+  auto cfg = ArchConfig::shared_mesh(4);
+  net::Topology t(4);
+  t.add_link(0, 1);
+  cfg.topology = std::move(t);
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ArchConfig, ValidateRejectsZeroQueueCapacity) {
+  auto cfg = ArchConfig::shared_mesh(4);
+  cfg.runtime.task_queue_capacity = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ArchConfig, DriftTicksConversion) {
+  auto cfg = ArchConfig::shared_mesh(1);
+  cfg.drift_t_cycles = 50;
+  EXPECT_EQ(cfg.drift_ticks(), ticks(50));
+}
+
+}  // namespace
+}  // namespace simany

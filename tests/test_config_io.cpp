@@ -1,0 +1,178 @@
+#include "config/config_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace simany {
+namespace {
+
+TEST(ConfigIo, MinimalConfig) {
+  std::stringstream in("cores 16\n");
+  const auto cfg = parse_config(in);
+  EXPECT_EQ(cfg.num_cores(), 16u);
+  EXPECT_EQ(cfg.mem.model, mem::MemoryModel::kShared);
+  EXPECT_EQ(cfg.drift_t_cycles, 100u);
+}
+
+TEST(ConfigIo, FullScalarSettings) {
+  std::stringstream in(
+      "cores 8\n"
+      "memory distributed\n"
+      "coherence on\n"
+      "drift_t 250\n"
+      "sync bounded-slack\n"
+      "seed 77\n"
+      "l1_latency 2\n"
+      "shared_latency 20\n"
+      "l2_latency 12\n"
+      "line_bytes 64\n"
+      "task_start 5\n"
+      "join_switch 7\n"
+      "msg_handle 3\n"
+      "task_queue 4\n"
+      "cl_quantum 8\n"
+      "routing latency\n"
+      "speed_aware_dispatch on\n"
+      "broadcast_occupancy on\n");
+  const auto cfg = parse_config(in);
+  EXPECT_EQ(cfg.mem.model, mem::MemoryModel::kDistributed);
+  EXPECT_TRUE(cfg.mem.coherence_timing);
+  EXPECT_EQ(cfg.drift_t_cycles, 250u);
+  EXPECT_EQ(cfg.sync_scheme, SyncScheme::kBoundedSlack);
+  EXPECT_EQ(cfg.seed, 77u);
+  EXPECT_EQ(cfg.mem.l1_latency_cycles, 2u);
+  EXPECT_EQ(cfg.mem.shared_latency_cycles, 20u);
+  EXPECT_EQ(cfg.mem.l2_latency_cycles, 12u);
+  EXPECT_EQ(cfg.mem.line_bytes, 64u);
+  EXPECT_EQ(cfg.runtime.task_start_cycles, 5u);
+  EXPECT_EQ(cfg.runtime.join_switch_cycles, 7u);
+  EXPECT_EQ(cfg.runtime.msg_handle_cycles, 3u);
+  EXPECT_EQ(cfg.runtime.task_queue_capacity, 4u);
+  EXPECT_EQ(cfg.cl_quantum_cycles, 8u);
+  EXPECT_EQ(cfg.network.routing, net::RouteWeighting::kLatency);
+  EXPECT_TRUE(cfg.runtime.speed_aware_dispatch);
+  EXPECT_TRUE(cfg.runtime.broadcast_occupancy);
+}
+
+TEST(ConfigIo, TopologyPresets) {
+  for (const char* topo : {"mesh", "torus", "ring", "crossbar"}) {
+    std::stringstream in(std::string("cores 16\ntopology ") + topo + "\n");
+    const auto cfg = parse_config(in);
+    EXPECT_TRUE(cfg.topology.connected()) << topo;
+    EXPECT_EQ(cfg.num_cores(), 16u) << topo;
+  }
+}
+
+TEST(ConfigIo, ClusteredPreset) {
+  std::stringstream in("cores 16\ntopology clustered 4\n");
+  const auto cfg = parse_config(in);
+  bool saw_inter = false;
+  for (net::LinkId id = 0; id < cfg.topology.num_links(); ++id) {
+    if (cfg.topology.link(id).props.latency == 4 * kTicksPerCycle) {
+      saw_inter = true;
+    }
+  }
+  EXPECT_TRUE(saw_inter);
+}
+
+TEST(ConfigIo, FractionalLinkLatency) {
+  std::stringstream in("cores 4\nlink_latency 0.5\n");
+  const auto cfg = parse_config(in);
+  EXPECT_EQ(cfg.topology.link(0).props.latency, kTicksPerCycle / 2);
+}
+
+TEST(ConfigIo, PolymorphicAndExplicitSpeeds) {
+  std::stringstream in(
+      "cores 4\n"
+      "polymorphic\n"
+      "speed 3 2/1\n");
+  const auto cfg = parse_config(in);
+  EXPECT_EQ(cfg.speed_of(0), (Speed{1, 2}));
+  EXPECT_EQ(cfg.speed_of(1), (Speed{3, 2}));
+  EXPECT_EQ(cfg.speed_of(3), (Speed{2, 1}));  // override wins
+}
+
+TEST(ConfigIo, ExplicitLinksOverridePreset) {
+  std::stringstream in(
+      "cores 3\n"
+      "link 0 1 24 64\n"
+      "link 1 2 12 128\n");
+  const auto cfg = parse_config(in);
+  EXPECT_EQ(cfg.topology.num_links(), 2u);
+  EXPECT_EQ(cfg.topology.link(0).props.latency, 24u);
+  EXPECT_EQ(cfg.topology.link(0).props.bandwidth_bytes_per_cycle, 64u);
+}
+
+TEST(ConfigIo, SaveParseRoundTrip) {
+  ArchConfig original =
+      ArchConfig::polymorphic(ArchConfig::distributed_mesh(16));
+  original.drift_t_cycles = 500;
+  original.seed = 9;
+  original.runtime.speed_aware_dispatch = true;
+  original.mem.coherence_timing = true;
+
+  std::stringstream ss;
+  save_config(original, ss);
+  const auto parsed = parse_config(ss);
+
+  EXPECT_EQ(parsed.num_cores(), original.num_cores());
+  EXPECT_EQ(parsed.mem.model, original.mem.model);
+  EXPECT_EQ(parsed.mem.coherence_timing, original.mem.coherence_timing);
+  EXPECT_EQ(parsed.drift_t_cycles, original.drift_t_cycles);
+  EXPECT_EQ(parsed.seed, original.seed);
+  EXPECT_EQ(parsed.runtime.speed_aware_dispatch,
+            original.runtime.speed_aware_dispatch);
+  EXPECT_EQ(parsed.topology.num_links(), original.topology.num_links());
+  for (std::uint32_t c = 0; c < 16; ++c) {
+    EXPECT_EQ(parsed.speed_of(c), original.speed_of(c));
+  }
+  for (net::LinkId id = 0; id < original.topology.num_links(); ++id) {
+    EXPECT_EQ(parsed.topology.link(id).props.latency,
+              original.topology.link(id).props.latency);
+  }
+}
+
+TEST(ConfigIo, Errors) {
+  std::stringstream no_cores("memory shared\n");
+  EXPECT_THROW((void)parse_config(no_cores), std::runtime_error);
+  std::stringstream bad_key("cores 4\nwibble 3\n");
+  EXPECT_THROW((void)parse_config(bad_key), std::runtime_error);
+  std::stringstream bad_mem("cores 4\nmemory sideways\n");
+  EXPECT_THROW((void)parse_config(bad_mem), std::runtime_error);
+  std::stringstream bad_speed("cores 4\nspeed 9 1/1\n");
+  EXPECT_THROW((void)parse_config(bad_speed), std::runtime_error);
+  std::stringstream zero_speed("cores 4\nspeed 0 0/1\n");
+  EXPECT_THROW((void)parse_config(zero_speed), std::runtime_error);
+  EXPECT_THROW((void)load_config_file("/nonexistent/x.cfg"),
+               std::runtime_error);
+}
+
+TEST(ConfigIo, TopologyFileKeyword) {
+  const char* path = "config_io_test.topo";
+  {
+    std::ofstream out(path);
+    net::Topology::ring(6).save(out);
+  }
+  std::stringstream in(std::string("cores 6\ntopology_file ") + path +
+                       "\n");
+  const auto cfg = parse_config(in);
+  EXPECT_EQ(cfg.topology.num_cores(), 6u);
+  EXPECT_EQ(cfg.topology.num_links(), 6u);  // ring
+  std::remove(path);
+}
+
+TEST(ConfigIo, CommentsIgnored) {
+  std::stringstream in(
+      "# header\n"
+      "cores 4   # four cores\n"
+      "\n"
+      "drift_t 42\n");
+  const auto cfg = parse_config(in);
+  EXPECT_EQ(cfg.drift_t_cycles, 42u);
+}
+
+}  // namespace
+}  // namespace simany

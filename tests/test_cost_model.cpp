@@ -1,0 +1,144 @@
+#include "timing/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace simany::timing {
+namespace {
+
+TEST(CostModel, PureIntBlockIsExact) {
+  CostModel model;
+  Rng rng(1);
+  InstMix mix;
+  mix.int_alu = 10;
+  EXPECT_EQ(model.block_cost(mix, rng),
+            10 * model.table().of(InstClass::kIntAlu));
+}
+
+TEST(CostModel, ClassCostsAreApplied) {
+  CostModel model;
+  Rng rng(1);
+  InstMix mix;
+  mix.int_mul = 2;
+  mix.fp_alu = 3;
+  mix.fp_mul_div = 1;
+  mix.branches_static = 4;
+  const Cycles expected = 2 * model.table().of(InstClass::kIntMul) +
+                          3 * model.table().of(InstClass::kFpAlu) +
+                          1 * model.table().of(InstClass::kFpMulDiv) +
+                          4 * model.table().of(InstClass::kBranchUncond);
+  EXPECT_EQ(model.block_cost(mix, rng), expected);
+}
+
+TEST(CostModel, CustomTableRespected) {
+  CostTable table;
+  table.of(InstClass::kIntAlu) = 7;
+  CostModel model(table, BranchModel{});
+  Rng rng(1);
+  InstMix mix;
+  mix.int_alu = 3;
+  EXPECT_EQ(model.block_cost(mix, rng), 21u);
+}
+
+TEST(CostModel, BranchCostIsBounded) {
+  CostModel model;
+  const auto& bm = model.branch_model();
+  Rng rng(42);
+  InstMix mix;
+  mix.branches = 10;
+  const Cycles base = 10 * model.table().of(InstClass::kBranch);
+  for (int i = 0; i < 200; ++i) {
+    const Cycles c = model.block_cost(mix, rng);
+    EXPECT_GE(c, base);
+    EXPECT_LE(c, base + 10 * bm.mispredict_penalty);
+  }
+}
+
+TEST(CostModel, BranchPenaltyConvergesToMissRate) {
+  // Paper model: 90 % prediction success, 5-cycle flush on a miss.
+  CostModel model;
+  Rng rng(7);
+  InstMix mix;
+  mix.branches = 1;
+  const Cycles per_branch = model.table().of(InstClass::kBranch);
+  double total_extra = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    total_extra += double(model.block_cost(mix, rng) - per_branch);
+  }
+  const double expected =
+      (1.0 - model.branch_model().predict_rate) *
+      model.branch_model().mispredict_penalty;
+  EXPECT_NEAR(total_extra / n, expected, 0.05);
+}
+
+TEST(CostModel, LargeBranchCountUsesExpectation) {
+  // Above the exact-resolution threshold, the cost stays within one
+  // penalty of the analytic expectation.
+  CostModel model;
+  Rng rng(3);
+  InstMix mix;
+  mix.branches = 10000;
+  const double expected = model.expected_block_cost(mix);
+  for (int i = 0; i < 20; ++i) {
+    const double c = double(model.block_cost(mix, rng));
+    EXPECT_NEAR(c, expected, model.branch_model().mispredict_penalty + 1);
+  }
+}
+
+TEST(CostModel, ExpectedBlockCostFormula) {
+  CostModel model;
+  InstMix mix;
+  mix.int_alu = 4;
+  mix.branches = 10;
+  const double expected =
+      4.0 * model.table().of(InstClass::kIntAlu) +
+      10.0 * model.table().of(InstClass::kBranch) +
+      10.0 * (1.0 - model.branch_model().predict_rate) *
+          model.branch_model().mispredict_penalty;
+  EXPECT_DOUBLE_EQ(model.expected_block_cost(mix), expected);
+}
+
+TEST(CostModel, DeterministicGivenSameRngState) {
+  CostModel model;
+  InstMix mix;
+  mix.int_alu = 5;
+  mix.branches = 20;
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(model.block_cost(mix, a), model.block_cost(mix, b));
+  }
+}
+
+TEST(InstMix, ScalesByCount) {
+  InstMix mix;
+  mix.int_alu = 2;
+  mix.fp_alu = 1;
+  mix.branches = 1;
+  const InstMix scaled = mix * 5;
+  EXPECT_EQ(scaled.int_alu, 10u);
+  EXPECT_EQ(scaled.fp_alu, 5u);
+  EXPECT_EQ(scaled.branches, 5u);
+}
+
+TEST(InstMix, Accumulates) {
+  InstMix a;
+  a.int_alu = 1;
+  a.int_mul = 2;
+  InstMix b;
+  b.int_alu = 3;
+  b.branches_static = 4;
+  a += b;
+  EXPECT_EQ(a.int_alu, 4u);
+  EXPECT_EQ(a.int_mul, 2u);
+  EXPECT_EQ(a.branches_static, 4u);
+}
+
+TEST(CostModel, EmptyMixCostsNothing) {
+  CostModel model;
+  Rng rng(1);
+  EXPECT_EQ(model.block_cost(InstMix{}, rng), 0u);
+  EXPECT_DOUBLE_EQ(model.expected_block_cost(InstMix{}), 0.0);
+}
+
+}  // namespace
+}  // namespace simany::timing

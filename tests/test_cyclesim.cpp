@@ -1,0 +1,96 @@
+// Cycle-level baseline behaviour and CL-vs-VT validation properties.
+#include <gtest/gtest.h>
+
+#include "cyclesim/cycle_sim.h"
+#include "dwarfs/dwarfs.h"
+
+namespace simany {
+namespace {
+
+constexpr double kTiny = 0.04;
+
+TEST(CycleSim, FactoryProducesCycleLevelEngine) {
+  auto sim = cyclesim::make_cycle_sim(ArchConfig::shared_mesh(4));
+  EXPECT_EQ(sim->mode(), ExecutionMode::kCycleLevel);
+}
+
+TEST(CycleSim, ValidationConfigEnablesCoherenceOnShared) {
+  const auto cfg =
+      cyclesim::validation_vt_config(ArchConfig::shared_mesh(4));
+  EXPECT_TRUE(cfg.mem.coherence_timing);
+}
+
+TEST(CycleSim, ValidationConfigLeavesDistributedAlone) {
+  const auto cfg =
+      cyclesim::validation_vt_config(ArchConfig::distributed_mesh(4));
+  EXPECT_FALSE(cfg.mem.coherence_timing);
+}
+
+TEST(CycleSim, RunsEveryDwarf) {
+  for (const auto& spec : dwarfs::validation_dwarfs()) {
+    auto sim = cyclesim::make_cycle_sim(ArchConfig::shared_mesh(4));
+    const auto stats = sim->run(spec.make_root(3, kTiny));
+    EXPECT_GT(stats.completion_cycles(), 0u) << spec.name;
+  }
+}
+
+TEST(CycleSim, DeterministicAcrossRuns) {
+  auto once = [] {
+    auto sim = cyclesim::make_cycle_sim(ArchConfig::shared_mesh(8));
+    return sim->run(dwarfs::dwarf_by_name("spmxv").make_root(5, kTiny))
+        .completion_ticks;
+  };
+  EXPECT_EQ(once(), once());
+}
+
+TEST(CycleSim, NeverStallsOnSpatialSync) {
+  auto sim = cyclesim::make_cycle_sim(ArchConfig::shared_mesh(8));
+  const auto stats =
+      sim->run(dwarfs::dwarf_by_name("octree").make_root(5, kTiny));
+  EXPECT_EQ(stats.sync_stalls, 0u);
+}
+
+TEST(CycleSim, ChopsComputeIntoQuanta) {
+  // One long block must produce many fiber switches in CL mode.
+  auto sim = cyclesim::make_cycle_sim(ArchConfig::shared_mesh(2));
+  const auto stats = sim->run([](TaskCtx& ctx) { ctx.compute(16000); });
+  EXPECT_GE(stats.fiber_switches, 16000u / Engine::kClQuantumCycles);
+}
+
+TEST(CycleSim, QuantumIsConfigurable) {
+  auto switches = [](Cycles quantum) {
+    ArchConfig cfg = ArchConfig::shared_mesh(2);
+    cfg.cl_quantum_cycles = quantum;
+    Engine sim(std::move(cfg), ExecutionMode::kCycleLevel);
+    return sim.run([](TaskCtx& ctx) { ctx.compute(4000); })
+        .fiber_switches;
+  };
+  EXPECT_GT(switches(4), 3 * switches(64));
+}
+
+TEST(CycleSim, SpeedupsTrackVtWithinFactor) {
+  // The headline validation property at test scale: CL and VT speedups
+  // for a regular dwarf must agree within a factor of two at 16 cores.
+  const auto& spec = dwarfs::dwarf_by_name("spmxv");
+  auto speedup = [&](ExecutionMode mode, ArchConfig (*mk)(std::uint32_t)) {
+    Engine base(mk(1), mode);
+    const auto t1 = base.run(spec.make_root(9, kTiny)).completion_ticks;
+    Engine par(mk(16), mode);
+    const auto tn = par.run(spec.make_root(9, kTiny)).completion_ticks;
+    return double(t1) / double(tn);
+  };
+  const double cl =
+      speedup(ExecutionMode::kCycleLevel, [](std::uint32_t c) {
+        return ArchConfig::shared_mesh(c);
+      });
+  const double vt =
+      speedup(ExecutionMode::kVirtualTime, [](std::uint32_t c) {
+        return cyclesim::validation_vt_config(ArchConfig::shared_mesh(c));
+      });
+  EXPECT_GT(cl, 1.0);
+  EXPECT_GT(vt, 1.0);
+  EXPECT_LT(std::max(cl, vt) / std::min(cl, vt), 2.0);
+}
+
+}  // namespace
+}  // namespace simany

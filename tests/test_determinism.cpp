@@ -1,0 +1,86 @@
+// Full-suite determinism: identical (seed, config) runs must produce
+// bit-identical statistics, for every dwarf, memory model and mode.
+#include <gtest/gtest.h>
+
+#include "config/arch_config.h"
+#include "core/engine.h"
+#include "dwarfs/dwarfs.h"
+
+namespace simany {
+namespace {
+
+constexpr double kTiny = 0.04;
+
+struct Fingerprint {
+  Tick completion;
+  std::uint64_t spawned, inlined, migrated, messages, stalls, switches;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+Fingerprint fingerprint(const SimStats& s) {
+  return Fingerprint{s.completion_ticks, s.tasks_spawned, s.tasks_inlined,
+                     s.tasks_migrated,  s.messages,      s.sync_stalls,
+                     s.fiber_switches};
+}
+
+class Determinism
+    : public ::testing::TestWithParam<std::tuple<const char*, bool>> {};
+
+TEST_P(Determinism, IdenticalStatsAcrossRepeatedRuns) {
+  const auto [name, distributed] = GetParam();
+  auto once = [&, nm = name, dist = distributed] {
+    ArchConfig cfg = dist ? ArchConfig::distributed_mesh(16)
+                          : ArchConfig::shared_mesh(16);
+    Engine sim(cfg);
+    return fingerprint(
+        sim.run(dwarfs::dwarf_by_name(nm).make_root(17, kTiny)));
+  };
+  const auto a = once();
+  const auto b = once();
+  EXPECT_TRUE(a == b) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDwarfs, Determinism,
+    ::testing::Combine(
+        ::testing::Values("barnes-hut", "connected-components", "dijkstra",
+                          "quicksort", "spmxv", "octree"),
+        ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, bool>>& info) {
+      std::string n = std::get<0>(info.param);
+      for (auto& ch : n) {
+        if (ch == '-') ch = '_';
+      }
+      return n + (std::get<1>(info.param) ? "_dist" : "_shared");
+    });
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  auto run = [](std::uint64_t seed) {
+    Engine sim(ArchConfig::shared_mesh(8));
+    return sim.run(dwarfs::dwarf_by_name("quicksort").make_root(seed, kTiny))
+        .completion_ticks;
+  };
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST(Determinism, ConfigSeedChangesBranchOutcomes) {
+  // The config seed drives the probabilistic branch predictor.
+  auto run = [](std::uint64_t seed) {
+    ArchConfig cfg = ArchConfig::shared_mesh(1);
+    cfg.seed = seed;
+    Engine sim(cfg);
+    timing::InstMix mix;
+    mix.branches = 40;
+    return sim
+        .run([mix](TaskCtx& ctx) {
+          for (int i = 0; i < 50; ++i) ctx.compute(mix);
+        })
+        .completion_ticks;
+  };
+  EXPECT_NE(run(1), run(99));
+  EXPECT_EQ(run(1), run(1));
+}
+
+}  // namespace
+}  // namespace simany

@@ -1,0 +1,125 @@
+#include "mem/directory.h"
+
+#include <gtest/gtest.h>
+
+namespace simany::mem {
+namespace {
+
+TEST(Directory, FirstReadIsPlainMiss) {
+  Directory dir(4);
+  const auto out = dir.on_read(0, 100);
+  EXPECT_EQ(out.action, CohAction::kNone);
+  EXPECT_EQ(out.sharers, 0u);
+}
+
+TEST(Directory, SecondReaderSeesCleanShared) {
+  Directory dir(4);
+  (void)dir.on_read(0, 100);
+  const auto out = dir.on_read(1, 100);
+  EXPECT_EQ(out.action, CohAction::kCleanShared);
+  EXPECT_EQ(out.sharers, 1u);
+}
+
+TEST(Directory, RereadByLocalSharerIsSilent) {
+  Directory dir(4);
+  (void)dir.on_read(0, 100);
+  const auto out = dir.on_read(0, 100);
+  EXPECT_EQ(out.action, CohAction::kNone);
+}
+
+TEST(Directory, WriteInvalidatesSharers) {
+  Directory dir(4);
+  (void)dir.on_read(0, 100);
+  (void)dir.on_read(1, 100);
+  (void)dir.on_read(3, 100);
+  std::vector<net::CoreId> inv;
+  const auto out = dir.on_write(2, 100, &inv);
+  EXPECT_EQ(out.action, CohAction::kInvalidate);
+  EXPECT_EQ(out.sharers, 3u);
+  EXPECT_EQ(inv.size(), 3u);
+}
+
+TEST(Directory, ReadAfterRemoteWriteFetchesDirty) {
+  Directory dir(4);
+  (void)dir.on_write(2, 100);
+  const auto out = dir.on_read(0, 100);
+  EXPECT_EQ(out.action, CohAction::kRemoteDirty);
+  EXPECT_EQ(out.peer, 2u);
+}
+
+TEST(Directory, WriteAfterRemoteWriteFetchesDirty) {
+  Directory dir(4);
+  (void)dir.on_write(2, 100);
+  std::vector<net::CoreId> inv;
+  const auto out = dir.on_write(1, 100, &inv);
+  EXPECT_EQ(out.action, CohAction::kRemoteDirty);
+  EXPECT_EQ(out.peer, 2u);
+  ASSERT_EQ(inv.size(), 1u);
+  EXPECT_EQ(inv[0], 2u);
+}
+
+TEST(Directory, WriterRewriteIsSilent) {
+  Directory dir(4);
+  (void)dir.on_write(2, 100);
+  const auto out = dir.on_write(2, 100);
+  EXPECT_EQ(out.action, CohAction::kNone);
+}
+
+TEST(Directory, ReadDowngradesWriter) {
+  Directory dir(4);
+  (void)dir.on_write(2, 100);
+  (void)dir.on_read(0, 100);  // downgrade
+  // Now both are clean sharers; a re-read by another core is clean.
+  const auto out = dir.on_read(1, 100);
+  EXPECT_EQ(out.action, CohAction::kCleanShared);
+  EXPECT_EQ(out.sharers, 2u);
+}
+
+TEST(Directory, WriterReadingOwnDirtyLineIsSilent) {
+  Directory dir(4);
+  (void)dir.on_write(2, 100);
+  const auto out = dir.on_read(2, 100);
+  EXPECT_EQ(out.action, CohAction::kNone);
+}
+
+TEST(Directory, EvictClearsSharerAndOwner) {
+  Directory dir(4);
+  (void)dir.on_write(2, 100);
+  dir.evict(2, 100);
+  const auto out = dir.on_read(0, 100);
+  EXPECT_EQ(out.action, CohAction::kNone);
+}
+
+TEST(Directory, EvictUnknownLineIsNoop) {
+  Directory dir(4);
+  dir.evict(0, 12345);  // must not throw
+  EXPECT_EQ(dir.tracked_lines(), 0u);
+}
+
+TEST(Directory, DropCoreClearsAllItsState) {
+  Directory dir(4);
+  (void)dir.on_write(1, 10);
+  (void)dir.on_read(1, 20);
+  dir.drop_core(1);
+  EXPECT_EQ(dir.on_read(0, 10).action, CohAction::kNone);
+  EXPECT_EQ(dir.on_read(0, 20).action, CohAction::kNone);
+}
+
+TEST(Directory, LinesAreIndependent) {
+  Directory dir(4);
+  (void)dir.on_write(0, 1);
+  const auto out = dir.on_write(1, 2);
+  EXPECT_EQ(out.action, CohAction::kNone);
+  EXPECT_EQ(dir.tracked_lines(), 2u);
+}
+
+TEST(Directory, ClearResets) {
+  Directory dir(4);
+  (void)dir.on_write(0, 1);
+  dir.clear();
+  EXPECT_EQ(dir.tracked_lines(), 0u);
+  EXPECT_EQ(dir.on_read(1, 1).action, CohAction::kNone);
+}
+
+}  // namespace
+}  // namespace simany::mem

@@ -1,0 +1,99 @@
+// Integration: every dwarf runs to completion — and self-verifies its
+// result — on both memory models and on several mesh sizes. These are
+// the paper's programs end-to-end through the full engine.
+#include <gtest/gtest.h>
+
+#include "config/arch_config.h"
+#include "core/engine.h"
+#include "dwarfs/dwarfs.h"
+#include "runtime/native_sim.h"
+
+namespace simany {
+namespace {
+
+constexpr double kTinyFactor = 0.04;  // scaled-down datasets for CI speed
+
+struct Case {
+  const char* dwarf;
+  std::uint32_t cores;
+  mem::MemoryModel model;
+};
+
+class DwarfIntegration : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DwarfIntegration, RunsAndVerifies) {
+  const Case& p = GetParam();
+  ArchConfig cfg = p.model == mem::MemoryModel::kShared
+                       ? ArchConfig::shared_mesh(p.cores)
+                       : ArchConfig::distributed_mesh(p.cores);
+  Engine sim(cfg);
+  const auto& spec = dwarfs::dwarf_by_name(p.dwarf);
+  // Self-verification inside the root task throws on a wrong result.
+  const auto stats = sim.run(spec.make_root(/*seed=*/42, kTinyFactor));
+  EXPECT_GT(stats.completion_cycles(), 0u);
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (const auto& spec : dwarfs::all_dwarfs()) {
+    for (std::uint32_t cores : {1u, 4u, 16u}) {
+      cases.push_back({spec.name.c_str(), cores, mem::MemoryModel::kShared});
+      cases.push_back(
+          {spec.name.c_str(), cores, mem::MemoryModel::kDistributed});
+    }
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string n = info.param.dwarf;
+  for (auto& ch : n) {
+    if (ch == '-') ch = '_';
+  }
+  n += "_" + std::to_string(info.param.cores) + "c";
+  n += info.param.model == mem::MemoryModel::kShared ? "_shared" : "_dist";
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDwarfs, DwarfIntegration,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+// Each dwarf also runs natively (no-op context): same code path used
+// for the Fig 7 normalization baseline.
+class DwarfNative : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DwarfNative, RunsNatively) {
+  const auto& spec = dwarfs::dwarf_by_name(GetParam());
+  const double secs =
+      runtime::run_native(spec.make_root(/*seed=*/7, kTinyFactor));
+  EXPECT_GE(secs, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDwarfs, DwarfNative,
+    ::testing::Values("barnes-hut", "connected-components", "dijkstra",
+                      "quicksort", "spmxv", "octree"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string n = info.param;
+      for (auto& ch : n) {
+        if (ch == '-') ch = '_';
+      }
+      return n;
+    });
+
+// Parallelism sanity: on the optimistic shared architecture a 16-core
+// run must beat the 1-core run in virtual time for the regular dwarfs.
+TEST(DwarfSpeedup, RegularDwarfsSpeedUp) {
+  for (const char* name : {"spmxv", "octree", "barnes-hut"}) {
+    const auto& spec = dwarfs::dwarf_by_name(name);
+    Engine s1(ArchConfig::shared_mesh(1));
+    const auto t1 = s1.run(spec.make_root(11, kTinyFactor));
+    Engine s16(ArchConfig::shared_mesh(16));
+    const auto t16 = s16.run(spec.make_root(11, kTinyFactor));
+    EXPECT_LT(t16.completion_ticks, t1.completion_ticks)
+        << name << ": no virtual-time speedup on 16 cores";
+  }
+}
+
+}  // namespace
+}  // namespace simany

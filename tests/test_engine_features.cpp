@@ -1,0 +1,127 @@
+// Optional engine features: bounded-slack sync, broadcast occupancy
+// proxies, speed-aware dispatch, host-parallelism sampling.
+#include <gtest/gtest.h>
+
+#include "config/arch_config.h"
+#include "core/engine.h"
+#include "dwarfs/dwarfs.h"
+
+namespace simany {
+namespace {
+
+constexpr double kTiny = 0.04;
+
+TEST(BoundedSlack, RunsDwarfsCorrectly) {
+  for (const char* name : {"spmxv", "dijkstra"}) {
+    ArchConfig cfg = ArchConfig::shared_mesh(16);
+    cfg.sync_scheme = SyncScheme::kBoundedSlack;
+    Engine sim(cfg);
+    const auto stats =
+        sim.run(dwarfs::dwarf_by_name(name).make_root(3, kTiny));
+    EXPECT_GT(stats.completion_cycles(), 0u) << name;
+  }
+}
+
+TEST(BoundedSlack, Deterministic) {
+  auto once = [] {
+    ArchConfig cfg = ArchConfig::shared_mesh(16);
+    cfg.sync_scheme = SyncScheme::kBoundedSlack;
+    Engine sim(cfg);
+    return sim.run(dwarfs::dwarf_by_name("octree").make_root(5, kTiny))
+        .completion_ticks;
+  };
+  EXPECT_EQ(once(), once());
+}
+
+TEST(BoundedSlack, IsStricterThanSpatialOnAMesh) {
+  // On a mesh the global window is tighter than the per-hop bound, so
+  // bounded slack can only stall as much or more.
+  auto stalls = [](SyncScheme scheme) {
+    ArchConfig cfg = ArchConfig::shared_mesh(16);
+    cfg.sync_scheme = scheme;
+    cfg.drift_t_cycles = 20;
+    Engine sim(cfg);
+    return sim.run(dwarfs::dwarf_by_name("octree").make_root(5, 0.08))
+        .sync_stalls;
+  };
+  EXPECT_GE(stalls(SyncScheme::kBoundedSlack),
+            stalls(SyncScheme::kSpatial));
+}
+
+TEST(BroadcastOccupancy, RunsAndSendsUpdates) {
+  ArchConfig cfg = ArchConfig::shared_mesh(16);
+  cfg.runtime.broadcast_occupancy = true;
+  Engine sim(cfg);
+  const auto stats = sim.run([](TaskCtx& ctx) {
+    const GroupId g = ctx.make_group();
+    for (int i = 0; i < 32; ++i) {
+      spawn_or_run(ctx, g, [](TaskCtx& c) { c.compute(200); });
+    }
+    ctx.join(g);
+  });
+  // Every spawn arrival broadcasts to the receiving core's neighbors:
+  // far more messages than the instant-proxy run.
+  ArchConfig base_cfg = ArchConfig::shared_mesh(16);
+  Engine base(base_cfg);
+  const auto base_stats = base.run([](TaskCtx& ctx) {
+    const GroupId g = ctx.make_group();
+    for (int i = 0; i < 32; ++i) {
+      spawn_or_run(ctx, g, [](TaskCtx& c) { c.compute(200); });
+    }
+    ctx.join(g);
+  });
+  EXPECT_GT(stats.messages, base_stats.messages);
+}
+
+TEST(BroadcastOccupancy, DwarfsStillVerify) {
+  for (const char* name : {"dijkstra", "quicksort"}) {
+    ArchConfig cfg = ArchConfig::shared_mesh(16);
+    cfg.runtime.broadcast_occupancy = true;
+    Engine sim(cfg);
+    // Self-verification inside the dwarf throws on a wrong result.
+    (void)sim.run(dwarfs::dwarf_by_name(name).make_root(11, kTiny));
+  }
+}
+
+TEST(SpeedAwareDispatch, DwarfsVerifyOnPolymorphicMesh) {
+  for (const auto& spec : dwarfs::all_dwarfs()) {
+    ArchConfig cfg = ArchConfig::polymorphic(ArchConfig::shared_mesh(16));
+    cfg.runtime.speed_aware_dispatch = true;
+    Engine sim(cfg);
+    (void)sim.run(spec.make_root(13, kTiny));
+  }
+}
+
+TEST(SpeedAwareDispatch, NoEffectOnUniformMachines) {
+  auto run = [](bool aware) {
+    ArchConfig cfg = ArchConfig::shared_mesh(16);
+    cfg.runtime.speed_aware_dispatch = aware;
+    Engine sim(cfg);
+    return sim.run(dwarfs::dwarf_by_name("spmxv").make_root(3, kTiny))
+        .completion_ticks;
+  };
+  // All speeds equal: the weighted score induces the same choices.
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Parallelism, SampledAndBounded) {
+  Engine sim(ArchConfig::shared_mesh(64));
+  const auto stats =
+      sim.run(dwarfs::dwarf_by_name("octree").make_root(3, 0.3));
+  EXPECT_GT(stats.parallelism_samples, 0u);
+  EXPECT_LE(stats.parallelism_max, 64u);
+  EXPECT_GT(stats.avg_parallelism(), 0.0);
+  EXPECT_LE(stats.avg_parallelism(), 64.0);
+}
+
+TEST(Parallelism, GrowsWithMachineSize) {
+  auto avg = [](std::uint32_t cores) {
+    Engine sim(ArchConfig::shared_mesh(cores));
+    return sim.run(dwarfs::dwarf_by_name("octree").make_root(3, 0.3))
+        .avg_parallelism();
+  };
+  EXPECT_GT(avg(64), avg(4));
+}
+
+}  // namespace
+}  // namespace simany

@@ -1,0 +1,256 @@
+// Run-time protocol behaviour: probe/reservation, join, locks, cells,
+// migration.
+#include <gtest/gtest.h>
+
+#include "config/arch_config.h"
+#include "core/engine.h"
+
+namespace simany {
+namespace {
+
+TEST(Protocols, ProbeReservationFillsQueue) {
+  // With queue capacity 2 and a 2-core line, at most 2 reservations can
+  // be outstanding on the neighbor; further probes return false
+  // without sending (occupancy proxy) or with a NACK.
+  ArchConfig cfg = ArchConfig::shared_mesh(2);
+  cfg.runtime.task_queue_capacity = 2;
+  Engine sim(cfg);
+  int granted = 0;
+  (void)sim.run([&](TaskCtx& ctx) {
+    const GroupId g = ctx.make_group();
+    // Burst 6 probes/spawns without giving the neighbor time to drain.
+    for (int i = 0; i < 6; ++i) {
+      if (ctx.probe()) {
+        ++granted;
+        ctx.spawn(g, [](TaskCtx& c) { c.compute(100000); });
+      }
+    }
+    ctx.join(g);
+  });
+  // First fills the slot + the running task; not all 6 can be granted.
+  EXPECT_GE(granted, 1);
+  EXPECT_LT(granted, 6);
+}
+
+TEST(Protocols, JoinWithoutSpawnsReturnsImmediately) {
+  Engine sim(ArchConfig::shared_mesh(4));
+  const auto stats = sim.run([](TaskCtx& ctx) {
+    const GroupId g = ctx.make_group();
+    ctx.join(g);
+    ctx.compute(10);
+  });
+  EXPECT_EQ(stats.joins_suspended, 0u);
+}
+
+TEST(Protocols, JoinSuspendsAndResumes) {
+  Engine sim(ArchConfig::shared_mesh(2));
+  const auto stats = sim.run([](TaskCtx& ctx) {
+    const GroupId g = ctx.make_group();
+    ASSERT_TRUE(ctx.probe());
+    ctx.spawn(g, [](TaskCtx& c) { c.compute(5000); });
+    ctx.join(g);  // must suspend: the child is still running
+  });
+  EXPECT_EQ(stats.joins_suspended, 1u);
+  // Join context switch (15 cycles) charged on resume (paper SS V).
+  EXPECT_GT(stats.completion_cycles(), 5000u);
+}
+
+TEST(Protocols, MultipleGroupsAreIndependent) {
+  Engine sim(ArchConfig::shared_mesh(8));
+  std::vector<int> done(2, 0);
+  (void)sim.run([&](TaskCtx& ctx) {
+    const GroupId g1 = ctx.make_group();
+    const GroupId g2 = ctx.make_group();
+    spawn_or_run(ctx, g1, [&](TaskCtx& c) {
+      c.compute(100);
+      done[0] = 1;
+    });
+    spawn_or_run(ctx, g2, [&](TaskCtx& c) {
+      c.compute(200);
+      done[1] = 1;
+    });
+    ctx.join(g1);
+    ctx.join(g2);
+  });
+  EXPECT_EQ(done, (std::vector<int>{1, 1}));
+}
+
+TEST(Protocols, NestedSpawnsIntoSameGroup) {
+  Engine sim(ArchConfig::shared_mesh(16));
+  int leaves = 0;
+  (void)sim.run([&](TaskCtx& ctx) {
+    const GroupId g = ctx.make_group();
+    // Tree of tasks all joined by the root through one group.
+    std::function<void(TaskCtx&, int)> node = [&](TaskCtx& c, int depth) {
+      if (depth == 0) {
+        ++leaves;
+        c.compute(50);
+        return;
+      }
+      for (int i = 0; i < 2; ++i) {
+        spawn_or_run(c, g, [&node, depth](TaskCtx& cc) {
+          node(cc, depth - 1);
+        });
+      }
+    };
+    node(ctx, 4);
+    ctx.join(g);
+  });
+  EXPECT_EQ(leaves, 16);
+}
+
+TEST(Protocols, MigrationSpreadsFlatFanout) {
+  // A flat loop of spawns from one core can only reach its direct
+  // neighbors by itself; progressive migration must spread the work
+  // beyond them (paper SS IV).
+  Engine sim(ArchConfig::shared_mesh(16));
+  const auto stats = sim.run([](TaskCtx& ctx) {
+    const GroupId g = ctx.make_group();
+    for (int i = 0; i < 200; ++i) {
+      spawn_or_run(ctx, g, [](TaskCtx& c) { c.compute(500); });
+    }
+    ctx.join(g);
+  });
+  EXPECT_GT(stats.tasks_migrated, 0u);
+  std::size_t busy_cores = 0;
+  for (Tick b : stats.core_busy_ticks) {
+    if (b > 0) ++busy_cores;
+  }
+  // Core 0 has only 2 mesh neighbors; diffusion must beat 3 busy cores.
+  EXPECT_GT(busy_cores, 3u);
+}
+
+TEST(Protocols, DistributedLockRoundTrip) {
+  // Lock homed on core 0; a task on another core must acquire it via
+  // LOCK_REQUEST/LOCK_GRANT messages.
+  Engine sim(ArchConfig::distributed_mesh(4));
+  int in_cs = 0;
+  bool overlap = false;
+  (void)sim.run([&](TaskCtx& ctx) {
+    const GroupId g = ctx.make_group();
+    const LockId lk = ctx.make_lock();  // home = core 0
+    for (int i = 0; i < 6; ++i) {
+      spawn_or_run(ctx, g, [&, lk](TaskCtx& c) {
+        c.lock(lk);
+        if (++in_cs != 1) overlap = true;
+        c.compute(300);
+        --in_cs;
+        c.unlock(lk);
+      });
+    }
+    ctx.join(g);
+  });
+  EXPECT_FALSE(overlap);
+}
+
+TEST(Protocols, CellExclusionAcrossCores) {
+  Engine sim(ArchConfig::distributed_mesh(4));
+  int holders = 0;
+  bool overlap = false;
+  (void)sim.run([&](TaskCtx& ctx) {
+    const GroupId g = ctx.make_group();
+    const CellId cell = ctx.make_cell_at(128, 2);
+    for (int i = 0; i < 8; ++i) {
+      spawn_or_run(ctx, g, [&, cell](TaskCtx& c) {
+        c.cell_acquire(cell, AccessMode::kWrite);
+        if (++holders != 1) overlap = true;
+        c.compute(100);
+        --holders;
+        c.cell_release(cell);
+      });
+    }
+    ctx.join(g);
+  });
+  EXPECT_FALSE(overlap);
+}
+
+TEST(Protocols, RemoteCellCostsMoreThanLocal) {
+  // Acquiring a far-away cell must cost more virtual time than a local
+  // one (DATA_REQUEST/DATA_RESPONSE round trip over the mesh).
+  auto run = [](CoreId home) {
+    Engine sim(ArchConfig::distributed_mesh(16));
+    return sim
+        .run([home](TaskCtx& ctx) {
+          const CellId cell = ctx.make_cell_at(256, home);
+          for (int i = 0; i < 20; ++i) {
+            ctx.cell_acquire(cell, AccessMode::kRead);
+            ctx.cell_release(cell);
+          }
+        })
+        .completion_ticks;
+  };
+  EXPECT_GT(run(15), run(0));  // 0 = local to the root core
+}
+
+TEST(Protocols, BiggerCellTransfersCostMore) {
+  auto run = [](std::uint32_t bytes) {
+    Engine sim(ArchConfig::distributed_mesh(16));
+    return sim
+        .run([bytes](TaskCtx& ctx) {
+          const CellId cell = ctx.make_cell_at(bytes, 15);
+          for (int i = 0; i < 10; ++i) {
+            ctx.cell_acquire(cell, AccessMode::kWrite);
+            ctx.cell_release(cell);
+          }
+        })
+        .completion_ticks;
+  };
+  EXPECT_GT(run(8192), run(8));
+}
+
+TEST(Protocols, CellWaitersServedInOrder) {
+  Engine sim(ArchConfig::distributed_mesh(4));
+  std::vector<int> order;
+  (void)sim.run([&](TaskCtx& ctx) {
+    const GroupId g = ctx.make_group();
+    const CellId cell = ctx.make_cell(64);
+    ctx.cell_acquire(cell, AccessMode::kWrite);
+    // Launch contenders while the root still holds the cell.
+    for (int i = 0; i < 4; ++i) {
+      spawn_or_run(ctx, g, [&, cell, i](TaskCtx& c) {
+        c.cell_acquire(cell, AccessMode::kRead);
+        order.push_back(i);
+        c.cell_release(cell);
+      });
+    }
+    ctx.compute(20000);
+    ctx.cell_release(cell);
+    ctx.join(g);
+  });
+  EXPECT_EQ(order.size(), 4u);
+}
+
+TEST(Protocols, SpawnArgBytesAffectTransferTime) {
+  auto run = [](std::uint32_t arg_bytes) {
+    Engine sim(ArchConfig::distributed_mesh(4));
+    return sim
+        .run([arg_bytes](TaskCtx& ctx) {
+          const GroupId g = ctx.make_group();
+          for (int i = 0; i < 10; ++i) {
+            if (ctx.probe()) {
+              ctx.spawn(g, [](TaskCtx& c) { c.compute(10); }, arg_bytes);
+            }
+          }
+          ctx.join(g);
+        })
+        .completion_ticks;
+  };
+  EXPECT_GT(run(100000), run(8));
+}
+
+TEST(Protocols, MessageStatsCount) {
+  Engine sim(ArchConfig::shared_mesh(2));
+  const auto stats = sim.run([](TaskCtx& ctx) {
+    const GroupId g = ctx.make_group();
+    ASSERT_TRUE(ctx.probe());
+    ctx.spawn(g, [](TaskCtx& c) { c.compute(10); });
+    ctx.join(g);
+  });
+  // PROBE + PROBE_ACK + TASK_SPAWN + JOINER_REQUEST at minimum.
+  EXPECT_GE(stats.messages, 4u);
+  EXPECT_EQ(stats.probes_sent, 1u);
+  EXPECT_EQ(stats.tasks_spawned, 1u);
+}
+
+}  // namespace
+}  // namespace simany

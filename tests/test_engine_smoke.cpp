@@ -1,0 +1,136 @@
+// End-to-end smoke tests for the engine: tiny programs on small meshes.
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "config/arch_config.h"
+
+namespace simany {
+namespace {
+
+TEST(EngineSmoke, SingleCoreComputeAdvancesTime) {
+  Engine sim(ArchConfig::shared_mesh(1));
+  const auto stats = sim.run([](TaskCtx& ctx) { ctx.compute(1000); });
+  // Task start overhead (10) + the block itself.
+  EXPECT_EQ(stats.completion_cycles(), 1010u);
+}
+
+TEST(EngineSmoke, RunTwiceThrows) {
+  Engine sim(ArchConfig::shared_mesh(1));
+  (void)sim.run([](TaskCtx&) {});
+  EXPECT_THROW((void)sim.run([](TaskCtx&) {}), std::logic_error);
+}
+
+TEST(EngineSmoke, SpawnAndJoinOnTwoCores) {
+  ArchConfig cfg = ArchConfig::shared_mesh(2);
+  Engine sim(cfg);
+  bool child_ran = false;
+  const auto stats = sim.run([&](TaskCtx& ctx) {
+    const GroupId g = ctx.make_group();
+    ASSERT_TRUE(ctx.probe());  // neighbor must have room
+    ctx.spawn(g, [&](TaskCtx& child) {
+      child_ran = true;
+      child.compute(500);
+    });
+    ctx.compute(100);
+    ctx.join(g);
+  });
+  EXPECT_TRUE(child_ran);
+  EXPECT_EQ(stats.tasks_spawned, 1u);
+  EXPECT_GT(stats.completion_cycles(), 500u);
+}
+
+TEST(EngineSmoke, ProbeFailsOnSingleCore) {
+  Engine sim(ArchConfig::shared_mesh(1));
+  (void)sim.run([](TaskCtx& ctx) { EXPECT_FALSE(ctx.probe()); });
+}
+
+TEST(EngineSmoke, SpawnWithoutProbeThrows) {
+  Engine sim(ArchConfig::shared_mesh(4));
+  EXPECT_THROW((void)sim.run([](TaskCtx& ctx) {
+                 ctx.spawn(ctx.make_group(), [](TaskCtx&) {});
+               }),
+               std::logic_error);
+}
+
+TEST(EngineSmoke, ManySpawnsAllExecute) {
+  Engine sim(ArchConfig::shared_mesh(16));
+  int count = 0;
+  (void)sim.run([&](TaskCtx& ctx) {
+    const GroupId g = ctx.make_group();
+    for (int i = 0; i < 64; ++i) {
+      spawn_or_run(ctx, g, [&count](TaskCtx& c) {
+        c.compute(50);
+        ++count;
+      });
+    }
+    ctx.join(g);
+  });
+  EXPECT_EQ(count, 64);
+}
+
+TEST(EngineSmoke, LockMutualExclusionSerializes) {
+  Engine sim(ArchConfig::shared_mesh(4));
+  int in_critical = 0;
+  bool overlap = false;
+  (void)sim.run([&](TaskCtx& ctx) {
+    const GroupId g = ctx.make_group();
+    const LockId lk = ctx.make_lock();
+    for (int i = 0; i < 8; ++i) {
+      spawn_or_run(ctx, g, [&, lk](TaskCtx& c) {
+        c.lock(lk);
+        if (++in_critical != 1) overlap = true;
+        c.compute(200);
+        --in_critical;
+        c.unlock(lk);
+      });
+    }
+    ctx.join(g);
+  });
+  EXPECT_FALSE(overlap);
+}
+
+TEST(EngineSmoke, DistributedCellRoundTrip) {
+  Engine sim(ArchConfig::distributed_mesh(4));
+  (void)sim.run([](TaskCtx& ctx) {
+    const CellId cell = ctx.make_cell_at(64, 3);
+    ctx.cell_acquire(cell, AccessMode::kWrite);
+    ctx.compute(10);
+    ctx.cell_release(cell);
+  });
+}
+
+TEST(EngineSmoke, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine sim(ArchConfig::shared_mesh(8));
+    return sim
+        .run([](TaskCtx& ctx) {
+          const GroupId g = ctx.make_group();
+          for (int i = 0; i < 32; ++i) {
+            spawn_or_run(ctx, g, [](TaskCtx& c) { c.compute(100); });
+          }
+          ctx.join(g);
+        })
+        .completion_ticks;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(EngineSmoke, CycleLevelModeRuns) {
+  Engine sim(ArchConfig::shared_mesh(4), ExecutionMode::kCycleLevel);
+  int count = 0;
+  (void)sim.run([&](TaskCtx& ctx) {
+    const GroupId g = ctx.make_group();
+    for (int i = 0; i < 8; ++i) {
+      spawn_or_run(ctx, g, [&count](TaskCtx& c) {
+        c.compute(100);
+        ++count;
+      });
+    }
+    ctx.join(g);
+  });
+  EXPECT_EQ(count, 8);
+}
+
+}  // namespace
+}  // namespace simany

@@ -1,0 +1,87 @@
+// Extension dwarfs: correctness on both memory models, determinism,
+// and their characteristic scaling behaviours.
+#include <gtest/gtest.h>
+
+#include "config/arch_config.h"
+#include "core/engine.h"
+#include "dwarfs/extended.h"
+
+namespace simany {
+namespace {
+
+constexpr double kTiny = 0.04;
+
+class ExtendedDwarfs
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t, bool>> {
+};
+
+TEST_P(ExtendedDwarfs, RunsAndVerifies) {
+  const auto [idx, cores, distributed] = GetParam();
+  const auto& spec = dwarfs::extended_dwarfs()[idx];
+  ArchConfig cfg = distributed ? ArchConfig::distributed_mesh(cores)
+                               : ArchConfig::shared_mesh(cores);
+  Engine sim(std::move(cfg));
+  // Self-verification throws on a wrong result.
+  const auto stats = sim.run(spec.make_root(7, kTiny));
+  EXPECT_GT(stats.completion_cycles(), 0u) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExtendedDwarfs,
+    ::testing::Combine(::testing::Range(0, 3),
+                       ::testing::Values(1u, 4u, 16u), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<int, std::uint32_t, bool>>&
+           info) {
+      return dwarfs::extended_dwarfs()[std::get<0>(info.param)].name +
+             "_" + std::to_string(std::get<1>(info.param)) + "c" +
+             (std::get<2>(info.param) ? "_dist" : "_shared");
+    });
+
+TEST(ExtendedDwarfs2, Deterministic) {
+  for (const auto& spec : dwarfs::extended_dwarfs()) {
+    auto once = [&] {
+      Engine sim(ArchConfig::shared_mesh(16));
+      return sim.run(spec.make_root(11, kTiny)).completion_ticks;
+    };
+    EXPECT_EQ(once(), once()) << spec.name;
+  }
+}
+
+TEST(ExtendedDwarfs2, MatmulScalesNearlyLinearlyToModestCores) {
+  // Compute-bound regularity: the best-scaling workload in the suite.
+  const auto& spec = dwarfs::extended_dwarfs()[0];
+  auto vt = [&](std::uint32_t cores) {
+    Engine sim(ArchConfig::shared_mesh(cores));
+    return double(sim.run(spec.make_root(3, 0.15)).completion_ticks);
+  };
+  const double s16 = vt(1) / vt(16);
+  EXPECT_GT(s16, 6.0);
+}
+
+TEST(ExtendedDwarfs2, StencilPaysForBulkSynchronization) {
+  // Per-sweep joins serialize through the root: speedup must be
+  // positive but clearly sublinear (the cost the paper's dwarfs avoid
+  // by construction).
+  const auto& spec = dwarfs::extended_dwarfs()[1];
+  auto vt = [&](std::uint32_t cores) {
+    Engine sim(ArchConfig::shared_mesh(cores));
+    return double(sim.run(spec.make_root(3, 0.15)).completion_ticks);
+  };
+  const double s16 = vt(1) / vt(16);
+  EXPECT_GT(s16, 1.5);
+  EXPECT_LT(s16, 14.0);
+}
+
+TEST(ExtendedDwarfs2, HistogramSpeedupRisesWithStripedLocks) {
+  // Reduction under locks still scales thanks to striping + the local
+  // map phase dominating.
+  const auto& spec = dwarfs::extended_dwarfs()[2];
+  auto vt = [&](std::uint32_t cores) {
+    Engine sim(ArchConfig::shared_mesh(cores));
+    return double(sim.run(spec.make_root(3, 0.1)).completion_ticks);
+  };
+  EXPECT_GT(vt(1) / vt(16), 2.0);
+}
+
+}  // namespace
+}  // namespace simany

@@ -1,0 +1,116 @@
+#include "core/fiber.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace simany {
+namespace {
+
+TEST(Fiber, RunsToCompletion) {
+  FiberPool pool;
+  bool ran = false;
+  auto f = pool.create([&] { ran = true; });
+  EXPECT_FALSE(f->finished());
+  f->resume();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(f->finished());
+}
+
+TEST(Fiber, YieldSuspendsAndResumes) {
+  FiberPool pool;
+  std::vector<int> order;
+  auto f = pool.create([&] {
+    order.push_back(1);
+    Fiber::yield();
+    order.push_back(3);
+    Fiber::yield();
+    order.push_back(5);
+  });
+  f->resume();
+  order.push_back(2);
+  f->resume();
+  order.push_back(4);
+  f->resume();
+  EXPECT_TRUE(f->finished());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Fiber, CurrentTracksExecution) {
+  FiberPool pool;
+  EXPECT_EQ(Fiber::current(), nullptr);
+  Fiber* seen = nullptr;
+  auto f = pool.create([&] { seen = Fiber::current(); });
+  f->resume();
+  EXPECT_EQ(seen, f.get());
+  EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(Fiber, InterleavesTwoFibers) {
+  FiberPool pool;
+  std::vector<int> order;
+  auto a = pool.create([&] {
+    order.push_back(10);
+    Fiber::yield();
+    order.push_back(12);
+  });
+  auto b = pool.create([&] {
+    order.push_back(11);
+    Fiber::yield();
+    order.push_back(13);
+  });
+  a->resume();
+  b->resume();
+  a->resume();
+  b->resume();
+  EXPECT_EQ(order, (std::vector<int>{10, 11, 12, 13}));
+}
+
+TEST(Fiber, DeepCallStackSurvives) {
+  FiberPool pool;
+  // Recursion with a yield at the bottom: the whole stack must persist
+  // across the suspension.
+  int leaf_depth = 0;
+  std::function<void(int)> rec = [&](int d) {
+    if (d == 0) {
+      leaf_depth = 64;
+      Fiber::yield();
+      return;
+    }
+    rec(d - 1);
+  };
+  auto f = pool.create([&] { rec(64); });
+  f->resume();
+  EXPECT_EQ(leaf_depth, 64);
+  EXPECT_FALSE(f->finished());
+  f->resume();
+  EXPECT_TRUE(f->finished());
+}
+
+TEST(FiberPool, RecyclesStacks) {
+  FiberPool pool(64 * 1024);
+  auto f1 = pool.create([] {});
+  f1->resume();
+  pool.recycle(std::move(f1));
+  EXPECT_EQ(pool.pooled(), 1u);
+  auto f2 = pool.create([] {});
+  EXPECT_EQ(pool.pooled(), 0u);  // stack was reused
+  f2->resume();
+  EXPECT_TRUE(f2->finished());
+}
+
+TEST(FiberPool, ManySequentialFibers) {
+  FiberPool pool(64 * 1024);
+  int sum = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto f = pool.create([&, i] { sum += i; });
+    f->resume();
+    pool.recycle(std::move(f));
+  }
+  EXPECT_EQ(sum, 4950);
+  EXPECT_EQ(pool.created(), 100u);
+  EXPECT_LE(pool.pooled(), 1u);
+}
+
+}  // namespace
+}  // namespace simany

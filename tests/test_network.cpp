@@ -1,0 +1,155 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace simany::net {
+namespace {
+
+NetworkParams plain() {
+  NetworkParams p;
+  p.router_penalty_cycles = 0;
+  p.chunk_process_cycles = 0;
+  p.chunk_bytes = 64;
+  return p;
+}
+
+TEST(Network, LocalDeliveryIsFree) {
+  const auto topo = Topology::mesh2d(4);
+  Network net(topo, plain());
+  EXPECT_EQ(net.send(2, 2, 1000, 77), 77u);
+}
+
+TEST(Network, SingleHopLatencyPlusSerialization) {
+  const auto topo = Topology::mesh2d(4);  // 1-cycle links, 128 B/c
+  Network net(topo, plain());
+  // 128 bytes: 1 cycle serialization + 1 cycle latency.
+  EXPECT_EQ(net.send(0, 1, 128, 0), ticks(2));
+  // 256 bytes: 2 cycles serialization.
+  net.reset();
+  EXPECT_EQ(net.send(0, 1, 256, 0), ticks(3));
+}
+
+TEST(Network, ZeroByteMessageOnlyLatency) {
+  const auto topo = Topology::mesh2d(4);
+  Network net(topo, plain());
+  EXPECT_EQ(net.send(0, 1, 0, 0), ticks(1));
+}
+
+TEST(Network, MultiHopAccumulates) {
+  const auto topo = Topology::mesh2d(4);  // 2x2: 0->3 takes 2 hops
+  Network net(topo, plain());
+  const Tick one_hop = net.estimate(0, 1, 128, 0);
+  net.reset();
+  EXPECT_EQ(net.send(0, 3, 128, 0), 2 * one_hop);
+}
+
+TEST(Network, RouterPenaltyPerHop) {
+  const auto topo = Topology::mesh2d(4);
+  NetworkParams p = plain();
+  p.router_penalty_cycles = 3;
+  Network net(topo, p);
+  EXPECT_EQ(net.send(0, 3, 128, 0), 2 * ticks(2 + 3));
+}
+
+TEST(Network, ChunkProcessingCost) {
+  const auto topo = Topology::mesh2d(4);
+  NetworkParams p = plain();
+  p.chunk_bytes = 64;
+  p.chunk_process_cycles = 1;
+  Network net(topo, p);
+  // 128 bytes = 2 chunks -> +2 cycles on the single hop.
+  EXPECT_EQ(net.send(0, 1, 128, 0), ticks(2 + 2));
+}
+
+TEST(Network, ContentionQueuesSecondMessage) {
+  const auto topo = Topology::mesh2d(4);
+  Network net(topo, plain());
+  const Tick a = net.send(0, 1, 1280, 0);  // occupies link for 10 cycles
+  const Tick b = net.send(0, 1, 1280, 0);  // queued behind a
+  EXPECT_EQ(a, ticks(11));
+  EXPECT_EQ(b, ticks(21));
+  EXPECT_EQ(net.stats().contention_ticks, ticks(10));
+}
+
+TEST(Network, ContentionDirectionsAreIndependent) {
+  const auto topo = Topology::mesh2d(4);
+  Network net(topo, plain());
+  const Tick fwd = net.send(0, 1, 1280, 0);
+  const Tick rev = net.send(1, 0, 1280, 0);  // full duplex: no queueing
+  EXPECT_EQ(fwd, rev);
+  EXPECT_EQ(net.stats().contention_ticks, 0u);
+}
+
+TEST(Network, ContentionCanBeDisabled) {
+  const auto topo = Topology::mesh2d(4);
+  NetworkParams p = plain();
+  p.model_contention = false;
+  Network net(topo, p);
+  const Tick a = net.send(0, 1, 1280, 0);
+  const Tick b = net.send(0, 1, 1280, 0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Network, EstimateDoesNotBook) {
+  const auto topo = Topology::mesh2d(4);
+  Network net(topo, plain());
+  const Tick e1 = net.estimate(0, 1, 1280, 0);
+  const Tick e2 = net.estimate(0, 1, 1280, 0);
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(net.stats().messages, 0u);
+}
+
+TEST(Network, PerPairArrivalMonotonicity) {
+  // FIFO property the engine relies on (paper SS II-B): messages from
+  // one core to another arrive in send order, under arbitrary cross
+  // traffic.
+  const auto topo = Topology::mesh2d(16);
+  Network net(topo);
+  Rng rng(3);
+  Tick depart = 0;
+  Tick last_arrival = 0;
+  for (int i = 0; i < 500; ++i) {
+    // Cross traffic on random pairs.
+    (void)net.send(static_cast<CoreId>(rng.below(16)),
+                   static_cast<CoreId>(rng.below(16)),
+                   static_cast<std::uint32_t>(rng.below(4096)), depart);
+    // Monitored pair 0 -> 15.
+    const Tick arrival = net.send(
+        0, 15, static_cast<std::uint32_t>(rng.below(4096)), depart);
+    EXPECT_GE(arrival, last_arrival);
+    last_arrival = arrival;
+    depart += rng.below(50);
+  }
+}
+
+TEST(Network, StatsAccumulate) {
+  const auto topo = Topology::mesh2d(4);
+  Network net(topo, plain());
+  (void)net.send(0, 3, 100, 0);
+  (void)net.send(1, 2, 50, 0);
+  EXPECT_EQ(net.stats().messages, 2u);
+  EXPECT_EQ(net.stats().bytes, 150u);
+  EXPECT_GE(net.stats().hops, 3u);
+  net.reset();
+  EXPECT_EQ(net.stats().messages, 0u);
+}
+
+TEST(Network, SlowLinkDominatesPath) {
+  Topology t(3);
+  t.add_link(0, 1, LinkProps{ticks(1), 128});
+  t.add_link(1, 2, LinkProps{ticks(10), 128});
+  Network net(t, plain());
+  EXPECT_EQ(net.send(0, 2, 128, 0), ticks(1 + 1) + ticks(10 + 1));
+}
+
+TEST(Network, HalfCycleLatencySupported) {
+  Topology t(2);
+  t.add_link(0, 1, LinkProps{kTicksPerCycle / 2, 128});
+  Network net(t, plain());
+  EXPECT_EQ(net.send(0, 1, 128, 0), kTicksPerCycle / 2 + ticks(1));
+}
+
+}  // namespace
+}  // namespace simany::net

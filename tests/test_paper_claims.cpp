@@ -1,0 +1,195 @@
+// Regression tests for the paper's headline evaluation claims
+// (SS VI), asserted at reduced dataset scale with comfortable margins.
+// If an engine change breaks one of these, the reproduction no longer
+// tells the paper's story — treat failures here as fidelity bugs even
+// when all functional tests pass.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "config/arch_config.h"
+#include "core/engine.h"
+#include "dwarfs/dwarfs.h"
+
+namespace simany {
+namespace {
+
+constexpr double kFactor = 0.15;
+constexpr std::uint64_t kSeed = 1;
+
+Tick vt(const char* dwarf, ArchConfig cfg) {
+  Engine sim(std::move(cfg));
+  return sim.run(dwarfs::dwarf_by_name(dwarf).make_root(kSeed, kFactor))
+      .completion_ticks;
+}
+
+double speedup(const char* dwarf, ArchConfig (*mk)(std::uint32_t),
+               std::uint32_t cores) {
+  return double(vt(dwarf, mk(1))) / double(vt(dwarf, mk(cores)));
+}
+
+ArchConfig shared_cfg(std::uint32_t c) { return ArchConfig::shared_mesh(c); }
+ArchConfig dist_cfg(std::uint32_t c) {
+  return ArchConfig::distributed_mesh(c);
+}
+
+TEST(PaperClaims, DijkstraIsSuperLinearOnSharedMemory) {
+  // Fig 8: "Dijkstra performs best and exhibits super-linear speedups"
+  // — parallel exploration prunes redundant path relaxations.
+  EXPECT_GT(speedup("dijkstra", shared_cfg, 64), 64.0);
+}
+
+TEST(PaperClaims, QuicksortStaysUnderItsTheoreticalBound) {
+  // Fig 8: max speedup ~ log2(n)/2 because each pivot step is a
+  // sequential scan of its sub-array.
+  const std::size_t n = 15000;  // 100000 * kFactor
+  const double bound = std::log2(double(n)) / 2.0;
+  const double s = speedup("quicksort", shared_cfg, 64);
+  EXPECT_GT(s, 2.0);
+  EXPECT_LT(s, bound + 1.0);
+}
+
+TEST(PaperClaims, GoingFrom256To1024CoresChangesLittle) {
+  // Fig 8: "for most benchmarks, going from 256 to 1024 cores does not
+  // make a significant difference".
+  for (const char* dwarf : {"quicksort", "spmxv", "barnes-hut"}) {
+    const double s256 = speedup(dwarf, shared_cfg, 256);
+    const double s1024 = speedup(dwarf, shared_cfg, 1024);
+    EXPECT_NEAR(s1024 / s256, 1.0, 0.15) << dwarf;
+  }
+}
+
+TEST(PaperClaims, DataContendedDwarfsCollapseOnDistributedMemory) {
+  // Fig 9: Dijkstra and Connected Components collapse when every tag /
+  // distance access moves a cell; Quicksort and SpMxV barely change.
+  const double dj_shared = speedup("dijkstra", shared_cfg, 64);
+  const double dj_dist = speedup("dijkstra", dist_cfg, 64);
+  EXPECT_LT(dj_dist, dj_shared / 3.0);
+
+  const double qs_shared = speedup("quicksort", shared_cfg, 64);
+  const double qs_dist = speedup("quicksort", dist_cfg, 64);
+  EXPECT_NEAR(qs_dist / qs_shared, 1.0, 0.3);
+
+  const double sp_shared = speedup("spmxv", shared_cfg, 64);
+  const double sp_dist = speedup("spmxv", dist_cfg, 64);
+  EXPECT_NEAR(sp_dist / sp_shared, 1.0, 0.35);
+}
+
+TEST(PaperClaims, ConnectedComponentsDegradesAboveEightCoresDistributed) {
+  // Fig 9: "Connected Components's performance actually degrades above
+  // 8 cores, despite the run-time system's load-balancing property."
+  const double s8 = speedup("connected-components", dist_cfg, 8);
+  const double s256 = speedup("connected-components", dist_cfg, 256);
+  EXPECT_LT(s256, s8 * 1.1);
+}
+
+TEST(PaperClaims, LargerTSpeedsUpSimulation) {
+  // Fig 11: T = 1000 cuts simulation time vs T = 100 (paper: ~2.4x on
+  // average). Wall-clock-based: assert via the cheap deterministic
+  // proxies instead — stalls and fiber switches must drop sharply.
+  auto run = [](Cycles t) {
+    ArchConfig cfg = ArchConfig::shared_mesh(256);
+    cfg.drift_t_cycles = t;
+    Engine sim(cfg);
+    return sim.run(
+        dwarfs::dwarf_by_name("octree").make_root(kSeed, kFactor));
+  };
+  const auto tight = run(100);
+  const auto loose = run(1000);
+  EXPECT_LT(loose.fiber_switches, tight.fiber_switches);
+  EXPECT_LT(loose.sync_stalls, tight.sync_stalls);
+}
+
+TEST(PaperClaims, RegularDwarfsInsensitiveToT) {
+  // Fig 10: regular benchmarks "practically do not exhibit any
+  // variation" as T changes.
+  for (const char* dwarf : {"barnes-hut", "quicksort"}) {
+    auto with_t = [dwarf](Cycles t) {
+      ArchConfig cfg = ArchConfig::shared_mesh(64);
+      cfg.drift_t_cycles = t;
+      return double(vt(dwarf, std::move(cfg)));
+    };
+    // Tolerance 12%: at reduced dataset scale the lax schedule shifts
+    // task-placement decisions more than at paper scale (paper: <2%).
+    EXPECT_NEAR(with_t(1000) / with_t(100), 1.0, 0.12) << dwarf;
+  }
+}
+
+TEST(PaperClaims, ClusteringHelpsDataContendedDwarfsAtScale) {
+  // Fig 12: at large core counts the clustered mesh (fast local links)
+  // benefits the communication-heavy dwarfs most; SpMxV is unmoved.
+  auto clustered = [](std::uint32_t c) {
+    return ArchConfig::clustered(ArchConfig::distributed_mesh(c), 4);
+  };
+  const double dj_flat = speedup("dijkstra", dist_cfg, 256);
+  const double dj_clus = speedup("dijkstra", clustered, 256);
+  EXPECT_GT(dj_clus, dj_flat * 0.95);  // at least roughly as good
+
+  const double sp_flat = speedup("spmxv", dist_cfg, 256);
+  const double sp_clus = speedup("spmxv", clustered, 256);
+  EXPECT_NEAR(sp_clus / sp_flat, 1.0, 0.1);
+}
+
+TEST(PaperClaims, PolymorphicMachinesLoseWithNaiveRuntime) {
+  // Fig 13: same cumulative compute power, worse results — "the
+  // run-time system ... has a harder time at balancing the load".
+  // Same cumulative compute power at the same machine size: compare
+  // execution times directly (the paper's Fig 13 uses equal-power
+  // machines for exactly this reason).
+  int worse = 0;
+  for (const char* dwarf :
+       {"quicksort", "octree", "barnes-hut", "spmxv",
+        "connected-components"}) {
+    const Tick uni = vt(dwarf, ArchConfig::distributed_mesh(64));
+    const Tick pol = vt(
+        dwarf, ArchConfig::polymorphic(ArchConfig::distributed_mesh(64)));
+    if (pol > uni) ++worse;
+  }
+  EXPECT_GE(worse, 3) << "polymorphic should lose on most dwarfs";
+}
+
+TEST(PaperClaims, SpatialSyncBeatsGlobalWindowOnHostCost) {
+  // SS VII: purely local synchronization keeps simulation cheap —
+  // fewer context switches than a global bounded-slack window at the
+  // same T on the same machine.
+  auto run = [](SyncScheme scheme) {
+    ArchConfig cfg = ArchConfig::shared_mesh(64);
+    cfg.sync_scheme = scheme;
+    Engine sim(cfg);
+    return sim.run(
+        dwarfs::dwarf_by_name("spmxv").make_root(kSeed, kFactor));
+  };
+  const auto spatial = run(SyncScheme::kSpatial);
+  const auto global = run(SyncScheme::kBoundedSlack);
+  EXPECT_LE(spatial.fiber_switches, global.fiber_switches);
+}
+
+TEST(PaperClaims, ValidationErrorStaysBoundedAt64Cores) {
+  // Figs 5/6 headline: SiMany's speedups stay within a modest factor
+  // of the cycle-level reference (paper: 22.9 % geometric-mean error at
+  // 64 cores; we allow 2x at reduced scale for any single dwarf).
+  for (const char* dwarf : {"barnes-hut", "quicksort", "spmxv"}) {
+    auto sp = [dwarf](ExecutionMode mode, bool coherence) {
+      auto mk = [coherence](std::uint32_t c) {
+        ArchConfig cfg = ArchConfig::shared_mesh(c);
+        cfg.mem.coherence_timing = coherence;
+        return cfg;
+      };
+      Engine base(mk(1), mode);
+      const Tick t1 =
+          base.run(dwarfs::dwarf_by_name(dwarf).make_root(kSeed, kFactor))
+              .completion_ticks;
+      Engine par(mk(64), mode);
+      const Tick tn =
+          par.run(dwarfs::dwarf_by_name(dwarf).make_root(kSeed, kFactor))
+              .completion_ticks;
+      return double(t1) / double(tn);
+    };
+    const double cl = sp(ExecutionMode::kCycleLevel, true);
+    const double vt_s = sp(ExecutionMode::kVirtualTime, true);
+    EXPECT_LT(std::max(cl, vt_s) / std::min(cl, vt_s), 2.0) << dwarf;
+  }
+}
+
+}  // namespace
+}  // namespace simany

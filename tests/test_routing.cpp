@@ -1,0 +1,158 @@
+#include "net/network.h"
+#include "net/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace simany::net {
+namespace {
+
+// Property sweep: shortest-path invariants must hold on every preset
+// topology shape.
+struct TopoCase {
+  std::string name;
+  Topology topo;
+};
+
+class RoutingProperties : public ::testing::TestWithParam<int> {
+ public:
+  static const std::vector<TopoCase>& cases() {
+    static const std::vector<TopoCase> cs = [] {
+      std::vector<TopoCase> v;
+      v.push_back({"mesh16", Topology::mesh2d(16)});
+      v.push_back({"mesh8_rect", Topology::mesh2d(8)});
+      v.push_back({"ring9", Topology::ring(9)});
+      v.push_back({"torus16", Topology::torus2d(16)});
+      v.push_back({"crossbar6", Topology::crossbar(6)});
+      v.push_back({"clustered16",
+                   Topology::clustered_mesh2d(
+                       16, 4, LinkProps{6, 128}, LinkProps{48, 128})});
+      v.push_back({"single", Topology(1)});
+      return v;
+    }();
+    return cs;
+  }
+};
+
+TEST_P(RoutingProperties, HopsMatchBfsDistances) {
+  const auto& tc = cases()[GetParam()];
+  const RoutingTable rt(tc.topo);
+  for (CoreId s = 0; s < tc.topo.num_cores(); ++s) {
+    const auto dist = tc.topo.distances_from(s);
+    for (CoreId d = 0; d < tc.topo.num_cores(); ++d) {
+      EXPECT_EQ(rt.hops(s, d), dist[d]) << tc.name;
+    }
+  }
+}
+
+TEST_P(RoutingProperties, NextHopStrictlyApproaches) {
+  const auto& tc = cases()[GetParam()];
+  const RoutingTable rt(tc.topo);
+  for (CoreId s = 0; s < tc.topo.num_cores(); ++s) {
+    for (CoreId d = 0; d < tc.topo.num_cores(); ++d) {
+      if (s == d) {
+        EXPECT_EQ(rt.next_hop(s, d), d);
+        continue;
+      }
+      const CoreId n = rt.next_hop(s, d);
+      EXPECT_TRUE(tc.topo.link_between(s, n).has_value()) << tc.name;
+      EXPECT_EQ(rt.hops(n, d) + 1, rt.hops(s, d)) << tc.name;
+    }
+  }
+}
+
+TEST_P(RoutingProperties, PathEndsAtDestinationWithHopsLength) {
+  const auto& tc = cases()[GetParam()];
+  const RoutingTable rt(tc.topo);
+  for (CoreId s = 0; s < tc.topo.num_cores(); ++s) {
+    for (CoreId d = 0; d < tc.topo.num_cores(); ++d) {
+      const auto path = rt.path(s, d);
+      EXPECT_EQ(path.size(), rt.hops(s, d)) << tc.name;
+      if (s != d) {
+        EXPECT_EQ(path.back(), d) << tc.name;
+      } else {
+        EXPECT_TRUE(path.empty());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, RoutingProperties,
+    ::testing::Range(0, static_cast<int>(RoutingProperties::cases().size())),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return RoutingProperties::cases()[info.param].name;
+    });
+
+TEST(Routing, DeterministicTieBreaks) {
+  const auto topo = Topology::mesh2d(16);
+  const RoutingTable a(topo);
+  const RoutingTable b(topo);
+  for (CoreId s = 0; s < 16; ++s) {
+    for (CoreId d = 0; d < 16; ++d) {
+      EXPECT_EQ(a.next_hop(s, d), b.next_hop(s, d));
+    }
+  }
+}
+
+TEST(Routing, DisconnectedThrows) {
+  Topology t(4);
+  t.add_link(0, 1);
+  t.add_link(2, 3);
+  EXPECT_THROW(RoutingTable{t}, std::invalid_argument);
+}
+
+TEST(Routing, LatencyWeightedPrefersFastDetour) {
+  // Triangle-ish graph: direct slow link 0-2 (latency 100) vs a fast
+  // two-hop path 0-1-2 (latency 1 each). Hop routing takes the direct
+  // link; latency routing detours.
+  Topology t(3);
+  t.add_link(0, 1, LinkProps{ticks(1), 128});
+  t.add_link(1, 2, LinkProps{ticks(1), 128});
+  t.add_link(0, 2, LinkProps{ticks(100), 128});
+  const RoutingTable by_hops(t, RouteWeighting::kHops);
+  const RoutingTable by_latency(t, RouteWeighting::kLatency);
+  EXPECT_EQ(by_hops.next_hop(0, 2), 2u);
+  EXPECT_EQ(by_hops.hops(0, 2), 1u);
+  EXPECT_EQ(by_latency.next_hop(0, 2), 1u);
+  EXPECT_EQ(by_latency.hops(0, 2), 2u);
+  EXPECT_EQ(by_latency.path(0, 2), (std::vector<CoreId>{1, 2}));
+}
+
+TEST(Routing, LatencyWeightingMatchesHopsOnUniformLinks) {
+  const auto topo = Topology::mesh2d(16);
+  const RoutingTable hops(topo, RouteWeighting::kHops);
+  const RoutingTable lat(topo, RouteWeighting::kLatency);
+  for (CoreId s = 0; s < 16; ++s) {
+    for (CoreId d = 0; d < 16; ++d) {
+      EXPECT_EQ(hops.hops(s, d), lat.hops(s, d));
+    }
+  }
+}
+
+TEST(Routing, LatencyWeightedNetworkDeliversFaster) {
+  // End-to-end: on the detour topology the latency-routed network
+  // beats the hop-routed one.
+  Topology t(3);
+  t.add_link(0, 1, LinkProps{ticks(1), 128});
+  t.add_link(1, 2, LinkProps{ticks(1), 128});
+  t.add_link(0, 2, LinkProps{ticks(100), 128});
+  NetworkParams hop_params;
+  NetworkParams lat_params;
+  lat_params.routing = RouteWeighting::kLatency;
+  Network by_hops(t, hop_params);
+  Network by_latency(t, lat_params);
+  EXPECT_LT(by_latency.send(0, 2, 64, 0), by_hops.send(0, 2, 64, 0));
+}
+
+TEST(Routing, OutOfRangeThrows) {
+  const auto topo = Topology::mesh2d(4);
+  const RoutingTable rt(topo);
+  EXPECT_THROW((void)rt.next_hop(0, 4), std::out_of_range);
+  EXPECT_THROW((void)rt.hops(4, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace simany::net

@@ -1,0 +1,123 @@
+// Native executor and data facades.
+#include <gtest/gtest.h>
+
+#include "config/arch_config.h"
+#include "core/engine.h"
+#include "runtime/data.h"
+#include "runtime/native_sim.h"
+
+namespace simany::runtime {
+namespace {
+
+TEST(NativeCtx, SpawnRunsInline) {
+  NativeCtx ctx;
+  int order = 0;
+  int child_at = -1;
+  const GroupId g = ctx.make_group();
+  EXPECT_FALSE(ctx.probe());
+  spawn_or_run(ctx, g, [&](TaskCtx&) { child_at = order++; });
+  const int after = order++;
+  ctx.join(g);
+  EXPECT_EQ(child_at, 0);
+  EXPECT_EQ(after, 1);
+}
+
+TEST(NativeCtx, AllOperationsAreNoopsButIdsFlow) {
+  NativeCtx ctx;
+  const CellId c1 = ctx.make_cell(64);
+  const CellId c2 = ctx.make_cell_at(64, 0);
+  EXPECT_NE(c1, c2);
+  ctx.cell_acquire(c1, AccessMode::kWrite);
+  ctx.cell_release(c1);
+  const LockId l = ctx.make_lock();
+  ctx.lock(l);
+  ctx.unlock(l);
+  ctx.compute(1000);
+  ctx.mem_read(0, 8);
+  EXPECT_EQ(ctx.now_cycles(), 0u);
+  EXPECT_EQ(ctx.num_cores(), 1u);
+}
+
+TEST(NativeCtx, RngIsDeterministicPerSeed) {
+  NativeCtx a(5), b(5);
+  EXPECT_EQ(a.rng().next(), b.rng().next());
+}
+
+TEST(RunNative, MeasuresNonNegativeTime) {
+  const double secs = run_native([](TaskCtx& ctx) {
+    volatile int x = 0;
+    for (int i = 0; i < 1000; ++i) x = x + i;
+    ctx.compute(10);
+  });
+  EXPECT_GE(secs, 0.0);
+}
+
+TEST(SynthAlloc, AlignedAndDisjoint) {
+  const auto a = synth_alloc(100);
+  const auto b = synth_alloc(10);
+  const auto c = synth_alloc(1);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(b, a + 100);
+  EXPECT_GE(c, b + 10);
+}
+
+TEST(OwnedVector, ReadsAndWritesValues) {
+  NativeCtx ctx;
+  OwnedVector<int> v(4, 7);
+  EXPECT_EQ(v.read(ctx, 2), 7);
+  v.write(ctx, 2, 42);
+  EXPECT_EQ(v.read(ctx, 2), 42);
+  EXPECT_EQ(v.raw(2), 42);
+}
+
+TEST(OwnedVector, AddressesAreContiguousAndAligned) {
+  OwnedVector<std::int64_t> v(10);
+  EXPECT_EQ(v.addr_of(0) % 64, 0u);
+  EXPECT_EQ(v.addr_of(3), v.addr_of(0) + 24);
+}
+
+TEST(OwnedVector, FromExistingVector) {
+  NativeCtx ctx;
+  OwnedVector<int> v(std::vector<int>{1, 2, 3});
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.read(ctx, 1), 2);
+}
+
+TEST(CellArray, RoundRobinCreatesOnePerElement) {
+  Engine sim(ArchConfig::distributed_mesh(4));
+  (void)sim.run([](TaskCtx& ctx) {
+    CellArray cells(ctx, 10, 16, Placement::kRoundRobin);
+    EXPECT_EQ(cells.size(), 10u);
+    // All ids distinct.
+    for (std::size_t i = 0; i < 10; ++i) {
+      for (std::size_t j = i + 1; j < 10; ++j) {
+        EXPECT_NE(cells.cell(i), cells.cell(j));
+      }
+    }
+  });
+}
+
+TEST(CellArray, BlockAndLocalPlacementsWork) {
+  Engine sim(ArchConfig::distributed_mesh(4));
+  (void)sim.run([](TaskCtx& ctx) {
+    CellArray block(ctx, 8, 8, Placement::kBlock);
+    CellArray local(ctx, 8, 8, Placement::kLocal);
+    // Local cells are free to acquire repeatedly (all on this core).
+    for (std::size_t i = 0; i < 8; ++i) {
+      ctx.cell_acquire(local.cell(i), AccessMode::kRead);
+      ctx.cell_release(local.cell(i));
+    }
+    (void)block;
+  });
+}
+
+TEST(MakeCellAt, RejectsBadHome) {
+  Engine sim(ArchConfig::distributed_mesh(4));
+  EXPECT_THROW(
+      (void)sim.run([](TaskCtx& ctx) { (void)ctx.make_cell_at(8, 99); }),
+      std::out_of_range);
+}
+
+}  // namespace
+}  // namespace simany::runtime

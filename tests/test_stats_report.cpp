@@ -1,0 +1,69 @@
+#include "stats/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace simany::stats {
+namespace {
+
+TEST(Report, RelError) {
+  EXPECT_DOUBLE_EQ(rel_error(11, 10), 0.1);
+  EXPECT_DOUBLE_EQ(rel_error(9, 10), 0.1);
+  EXPECT_DOUBLE_EQ(rel_error(10, 10), 0.0);
+  EXPECT_THROW((void)rel_error(1, 0), std::invalid_argument);
+}
+
+TEST(Report, GeoMean) {
+  EXPECT_DOUBLE_EQ(geo_mean({4, 9}), 6.0);
+  EXPECT_DOUBLE_EQ(geo_mean({5}), 5.0);
+  EXPECT_DOUBLE_EQ(geo_mean({}), 0.0);
+  EXPECT_THROW((void)geo_mean({1, 0}), std::invalid_argument);
+  EXPECT_THROW((void)geo_mean({-1}), std::invalid_argument);
+}
+
+TEST(Report, Mean) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Report, FmtRanges) {
+  EXPECT_EQ(fmt(0.0), "0");
+  EXPECT_EQ(fmt(1.5), "1.5");
+  EXPECT_EQ(fmt(123.4), "123.4");
+  // Very large/small use scientific notation.
+  EXPECT_NE(fmt(1e9).find('e'), std::string::npos);
+  EXPECT_NE(fmt(1e-6).find('e'), std::string::npos);
+}
+
+TEST(Report, FigureTableRejectsLengthMismatch) {
+  FigureTable t("t", "x", {1, 2, 3});
+  EXPECT_THROW(t.add_series({"s", {1, 2}}), std::invalid_argument);
+}
+
+TEST(Report, FigureTablePrintsAllCells) {
+  FigureTable t("My Figure", "cores", {1, 8, 64});
+  t.add_series({"alpha", {1.0, 3.5, 7.25}});
+  t.add_series({"beta", {1.0, 2.0, 4.0}});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("My Figure"), std::string::npos);
+  EXPECT_NE(s.find("cores"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+  EXPECT_NE(s.find("7.25"), std::string::npos);
+  EXPECT_NE(s.find("64"), std::string::npos);
+}
+
+TEST(Report, FigureTableKeepsSeriesOrder) {
+  FigureTable t("t", "x", {1});
+  t.add_series({"first", {1}});
+  t.add_series({"second", {2}});
+  ASSERT_EQ(t.series().size(), 2u);
+  EXPECT_EQ(t.series()[0].name, "first");
+  EXPECT_EQ(t.series()[1].name, "second");
+}
+
+}  // namespace
+}  // namespace simany::stats

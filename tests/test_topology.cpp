@@ -1,0 +1,183 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace simany::net {
+namespace {
+
+TEST(Topology, MeshDimsFactorizations) {
+  EXPECT_EQ(Topology::mesh_dims(1), (std::pair<std::uint32_t, std::uint32_t>{1, 1}));
+  EXPECT_EQ(Topology::mesh_dims(8), (std::pair<std::uint32_t, std::uint32_t>{2, 4}));
+  EXPECT_EQ(Topology::mesh_dims(64), (std::pair<std::uint32_t, std::uint32_t>{8, 8}));
+  EXPECT_EQ(Topology::mesh_dims(256), (std::pair<std::uint32_t, std::uint32_t>{16, 16}));
+  EXPECT_EQ(Topology::mesh_dims(1024), (std::pair<std::uint32_t, std::uint32_t>{32, 32}));
+}
+
+TEST(Topology, Mesh2dLinkCount) {
+  // rows*(cols-1) + cols*(rows-1) links for an R x C mesh.
+  const auto t = Topology::mesh2d(64);
+  EXPECT_EQ(t.num_cores(), 64u);
+  EXPECT_EQ(t.num_links(), 8u * 7 * 2);
+}
+
+TEST(Topology, Mesh2dInteriorDegreeIsFour) {
+  const auto t = Topology::mesh2d(16);  // 4x4
+  EXPECT_EQ(t.neighbors(5).size(), 4u);   // interior
+  EXPECT_EQ(t.neighbors(0).size(), 2u);   // corner
+  EXPECT_EQ(t.neighbors(1).size(), 3u);   // edge
+}
+
+TEST(Topology, MeshConnectivityAndDiameter) {
+  const auto t = Topology::mesh2d(16);  // 4x4
+  EXPECT_TRUE(t.connected());
+  EXPECT_EQ(t.diameter(), 6u);  // (4-1)+(4-1)
+}
+
+TEST(Topology, SingleCore) {
+  const Topology t(1);
+  EXPECT_TRUE(t.connected());
+  EXPECT_EQ(t.diameter(), 0u);
+  EXPECT_TRUE(t.neighbors(0).empty());
+}
+
+TEST(Topology, RingDiameter) {
+  const auto t = Topology::ring(10);
+  EXPECT_TRUE(t.connected());
+  EXPECT_EQ(t.diameter(), 5u);
+  for (CoreId c = 0; c < 10; ++c) EXPECT_EQ(t.neighbors(c).size(), 2u);
+}
+
+TEST(Topology, TorusShrinkDiameter) {
+  const auto mesh = Topology::mesh2d(16);
+  const auto torus = Topology::torus2d(16);
+  EXPECT_LT(torus.diameter(), mesh.diameter());
+  for (CoreId c = 0; c < 16; ++c) {
+    EXPECT_EQ(torus.neighbors(c).size(), 4u);
+  }
+}
+
+TEST(Topology, CrossbarDiameterOne) {
+  const auto t = Topology::crossbar(8);
+  EXPECT_EQ(t.diameter(), 1u);
+  EXPECT_EQ(t.num_links(), 8u * 7 / 2);
+}
+
+TEST(Topology, ClusteredMeshLatencies) {
+  LinkProps intra{kTicksPerCycle / 2, 128};
+  LinkProps inter{4 * kTicksPerCycle, 128};
+  const auto t = Topology::clustered_mesh2d(16, 4, intra, inter);
+  EXPECT_EQ(t.num_cores(), 16u);
+  // Both latencies must be present.
+  bool has_intra = false, has_inter = false;
+  for (LinkId id = 0; id < t.num_links(); ++id) {
+    const Tick lat = t.link(id).props.latency;
+    if (lat == intra.latency) has_intra = true;
+    if (lat == inter.latency) has_inter = true;
+  }
+  EXPECT_TRUE(has_intra);
+  EXPECT_TRUE(has_inter);
+  // 4x4 mesh in 2x2 clusters of 2x2: cut links = 8.
+  std::uint32_t inter_count = 0;
+  for (LinkId id = 0; id < t.num_links(); ++id) {
+    if (t.link(id).props.latency == inter.latency) ++inter_count;
+  }
+  EXPECT_EQ(inter_count, 8u);
+}
+
+TEST(Topology, LinkBetweenLookup) {
+  const auto t = Topology::mesh2d(4);  // 2x2
+  EXPECT_TRUE(t.link_between(0, 1).has_value());
+  EXPECT_TRUE(t.link_between(1, 0).has_value());
+  EXPECT_FALSE(t.link_between(0, 3).has_value());  // diagonal
+  EXPECT_FALSE(t.link_between(0, 0).has_value());
+}
+
+TEST(Topology, RejectsSelfLoop) {
+  Topology t(4);
+  EXPECT_THROW(t.add_link(1, 1), std::invalid_argument);
+}
+
+TEST(Topology, RejectsDuplicateLink) {
+  Topology t(4);
+  t.add_link(0, 1);
+  EXPECT_THROW(t.add_link(0, 1), std::invalid_argument);
+  EXPECT_THROW(t.add_link(1, 0), std::invalid_argument);
+}
+
+TEST(Topology, RejectsOutOfRange) {
+  Topology t(4);
+  EXPECT_THROW(t.add_link(0, 4), std::out_of_range);
+}
+
+TEST(Topology, RejectsZeroBandwidth) {
+  Topology t(4);
+  EXPECT_THROW(t.add_link(0, 1, LinkProps{12, 0}), std::invalid_argument);
+}
+
+TEST(Topology, DisconnectedDetected) {
+  Topology t(4);
+  t.add_link(0, 1);
+  t.add_link(2, 3);
+  EXPECT_FALSE(t.connected());
+  EXPECT_THROW((void)t.diameter(), std::logic_error);
+}
+
+TEST(Topology, SaveParseRoundTrip) {
+  LinkProps intra{kTicksPerCycle / 2, 64};
+  LinkProps inter{4 * kTicksPerCycle, 256};
+  const auto original = Topology::clustered_mesh2d(16, 4, intra, inter);
+  std::stringstream ss;
+  original.save(ss);
+  const auto parsed = Topology::parse(ss);
+  ASSERT_EQ(parsed.num_cores(), original.num_cores());
+  ASSERT_EQ(parsed.num_links(), original.num_links());
+  for (LinkId id = 0; id < original.num_links(); ++id) {
+    EXPECT_EQ(parsed.link(id).a, original.link(id).a);
+    EXPECT_EQ(parsed.link(id).b, original.link(id).b);
+    EXPECT_EQ(parsed.link(id).props.latency,
+              original.link(id).props.latency);
+    EXPECT_EQ(parsed.link(id).props.bandwidth_bytes_per_cycle,
+              original.link(id).props.bandwidth_bytes_per_cycle);
+  }
+}
+
+TEST(Topology, ParseHandlesCommentsAndDefaults) {
+  std::stringstream ss(
+      "# a comment\n"
+      "cores 3\n"
+      "\n"
+      "link 0 1   # default props\n"
+      "link 1 2 24 256\n");
+  const auto t = Topology::parse(ss);
+  EXPECT_EQ(t.num_cores(), 3u);
+  EXPECT_EQ(t.num_links(), 2u);
+  EXPECT_EQ(t.link(0).props.latency, kTicksPerCycle);
+  EXPECT_EQ(t.link(1).props.latency, 24u);
+  EXPECT_EQ(t.link(1).props.bandwidth_bytes_per_cycle, 256u);
+}
+
+TEST(Topology, ParseErrors) {
+  std::stringstream no_cores("link 0 1\n");
+  EXPECT_THROW((void)Topology::parse(no_cores), std::runtime_error);
+  std::stringstream bad_keyword("cores 2\nfrobnicate 0 1\n");
+  EXPECT_THROW((void)Topology::parse(bad_keyword), std::runtime_error);
+  std::stringstream empty("");
+  EXPECT_THROW((void)Topology::parse(empty), std::runtime_error);
+  std::stringstream zero("cores 0\n");
+  EXPECT_THROW((void)Topology::parse(zero), std::runtime_error);
+}
+
+TEST(Topology, DistancesFromBfs) {
+  const auto t = Topology::mesh2d(16);  // 4x4, node ids row-major
+  const auto d = t.distances_from(0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[4], 1u);
+  EXPECT_EQ(d[5], 2u);
+  EXPECT_EQ(d[15], 6u);
+}
+
+}  // namespace
+}  // namespace simany::net

@@ -1,0 +1,104 @@
+#include "stats/trace_sinks.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "config/arch_config.h"
+#include "core/engine.h"
+
+namespace simany {
+namespace {
+
+TaskFn small_program() {
+  return [](TaskCtx& ctx) {
+    const GroupId g = ctx.make_group();
+    for (int i = 0; i < 8; ++i) {
+      spawn_or_run(ctx, g, [](TaskCtx& c) { c.compute(500); });
+    }
+    ctx.join(g);
+  };
+}
+
+TEST(Trace, ActivitySummaryCountsTasks) {
+  stats::ActivitySummary summary(16);
+  Engine sim(ArchConfig::shared_mesh(16));
+  sim.set_trace(&summary);
+  const auto st = sim.run(small_program());
+  // Root + every spawned (not inlined) task starts and ends.
+  EXPECT_EQ(summary.total_tasks(),
+            1 + st.tasks_spawned + st.tasks_migrated * 0);
+  std::ostringstream out;
+  summary.print(out);
+  EXPECT_FALSE(out.str().empty());
+}
+
+TEST(Trace, MessageHistogramMatchesStats) {
+  stats::MessageHistogram histogram;
+  Engine sim(ArchConfig::shared_mesh(16));
+  sim.set_trace(&histogram);
+  const auto st = sim.run(small_program());
+  EXPECT_EQ(histogram.total(), st.messages);
+  EXPECT_EQ(histogram.count(MsgKind::kProbe), st.probes_sent);
+  EXPECT_EQ(histogram.count(MsgKind::kTaskSpawn),
+            st.tasks_spawned + st.tasks_migrated);
+}
+
+TEST(Trace, CsvTraceEmitsHeaderAndRows) {
+  std::ostringstream out;
+  stats::CsvTrace csv(out);
+  Engine sim(ArchConfig::shared_mesh(4));
+  sim.set_trace(&csv);
+  (void)sim.run(small_program());
+  EXPECT_GT(csv.rows(), 0u);
+  const std::string s = out.str();
+  EXPECT_EQ(s.rfind("event,core,ticks,extra", 0), 0u);
+  EXPECT_NE(s.find("task_start"), std::string::npos);
+  EXPECT_NE(s.find("task_end"), std::string::npos);
+  EXPECT_NE(s.find("message"), std::string::npos);
+}
+
+TEST(Trace, StallEventsAppearUnderTightT) {
+  std::ostringstream out;
+  stats::CsvTrace csv(out);
+  ArchConfig cfg = ArchConfig::shared_mesh(2);
+  cfg.drift_t_cycles = 5;
+  Engine sim(cfg);
+  sim.set_trace(&csv);
+  const auto st = sim.run([](TaskCtx& ctx) {
+    const GroupId g = ctx.make_group();
+    ASSERT_TRUE(ctx.probe());
+    ctx.spawn(g, [](TaskCtx& c) {
+      for (int i = 0; i < 500; ++i) c.compute(1);
+    });
+    for (int i = 0; i < 5; ++i) ctx.compute(1000);
+    ctx.join(g);
+  });
+  ASSERT_GT(st.sync_stalls, 0u);
+  EXPECT_NE(out.str().find("stall"), std::string::npos);
+  EXPECT_NE(out.str().find("wake"), std::string::npos);
+}
+
+TEST(Trace, TeeFansOut) {
+  stats::MessageHistogram h1, h2;
+  stats::TeeTrace tee;
+  tee.add(&h1);
+  tee.add(&h2);
+  Engine sim(ArchConfig::shared_mesh(4));
+  sim.set_trace(&tee);
+  (void)sim.run(small_program());
+  EXPECT_EQ(h1.total(), h2.total());
+  EXPECT_GT(h1.total(), 0u);
+}
+
+TEST(Trace, DetachWorks) {
+  stats::MessageHistogram histogram;
+  Engine sim(ArchConfig::shared_mesh(4));
+  sim.set_trace(&histogram);
+  sim.set_trace(nullptr);
+  (void)sim.run(small_program());
+  EXPECT_EQ(histogram.total(), 0u);
+}
+
+}  // namespace
+}  // namespace simany

@@ -1,0 +1,55 @@
+#include "core/vtime.h"
+
+#include <gtest/gtest.h>
+
+namespace simany {
+namespace {
+
+TEST(VTime, TickConversionRoundTrips) {
+  EXPECT_EQ(ticks(0), 0u);
+  EXPECT_EQ(ticks(1), kTicksPerCycle);
+  EXPECT_EQ(cycles_floor(ticks(123)), 123u);
+  EXPECT_EQ(cycles_floor(ticks(123) + kTicksPerCycle - 1), 123u);
+}
+
+TEST(VTime, TicksPerCycleSupportsPaperFractions) {
+  // 0.5-cycle link latency and 1/2, 3/2 core speeds must be exact.
+  EXPECT_EQ(kTicksPerCycle % 2, 0u);
+  EXPECT_EQ(kTicksPerCycle % 3, 0u);
+  EXPECT_EQ(kTicksPerCycle % 4, 0u);
+}
+
+TEST(VTime, ScaledCostUnitSpeed) {
+  EXPECT_EQ(scaled_cost(10, Speed{1, 1}), ticks(10));
+}
+
+TEST(VTime, ScaledCostSlowCoreDoubles) {
+  // Speed 1/2: twice slower, so twice the ticks.
+  EXPECT_EQ(scaled_cost(10, Speed{1, 2}), 2 * ticks(10));
+}
+
+TEST(VTime, ScaledCostFastCoreShrinks) {
+  // Speed 3/2: cost shrinks to 2/3, exactly representable.
+  EXPECT_EQ(scaled_cost(9, Speed{3, 2}), ticks(6));
+}
+
+TEST(VTime, ScaledCostRoundsUpNeverFree) {
+  const Tick t = scaled_cost(1, Speed{3, 1});
+  EXPECT_GE(t, 1u);
+  EXPECT_EQ(t, (ticks(1) + 2) / 3);
+}
+
+TEST(VTime, CyclesFpMatchesFloor) {
+  EXPECT_DOUBLE_EQ(cycles_fp(ticks(7)), 7.0);
+  EXPECT_DOUBLE_EQ(cycles_fp(kTicksPerCycle / 2), 0.5);
+}
+
+TEST(VTime, SpeedComparisons) {
+  EXPECT_TRUE((Speed{1, 1}).is_unit());
+  EXPECT_TRUE((Speed{2, 2}).is_unit());
+  EXPECT_FALSE((Speed{1, 2}).is_unit());
+  EXPECT_DOUBLE_EQ((Speed{3, 2}).as_double(), 1.5);
+}
+
+}  // namespace
+}  // namespace simany

@@ -1,0 +1,177 @@
+#include "dwarfs/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <set>
+
+namespace simany::dwarfs {
+namespace {
+
+TEST(Workloads, ArrayDeterministicAndSized) {
+  const auto a = gen_array(42, 1000);
+  const auto b = gen_array(42, 1000);
+  const auto c = gen_array(43, 1000);
+  EXPECT_EQ(a.size(), 1000u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Workloads, GraphShapeAndSymmetry) {
+  const auto g = gen_graph(7, 100, 200);
+  EXPECT_EQ(g.n, 100u);
+  // Undirected: each edge appears in both adjacency lists.
+  std::size_t directed = 0;
+  for (std::uint32_t u = 0; u < g.n; ++u) {
+    for (const auto& [v, w] : g.adj[u]) {
+      EXPECT_NE(u, v) << "self loop";
+      EXPECT_GE(w, 1u);
+      bool back = false;
+      for (const auto& [x, w2] : g.adj[v]) {
+        if (x == u && w2 == w) back = true;
+      }
+      EXPECT_TRUE(back) << "missing reverse edge";
+      ++directed;
+    }
+  }
+  EXPECT_EQ(directed, g.num_edges_directed());
+  EXPECT_EQ(directed % 2, 0u);
+  EXPECT_LE(directed / 2, 200u);
+  EXPECT_GE(directed / 2, 150u);  // most requested edges placed
+}
+
+TEST(Workloads, GraphHasNoDuplicateEdges) {
+  const auto g = gen_graph(11, 50, 100);
+  for (std::uint32_t u = 0; u < g.n; ++u) {
+    std::set<std::uint32_t> seen;
+    for (const auto& [v, w] : g.adj[u]) {
+      EXPECT_TRUE(seen.insert(v).second) << "duplicate edge";
+    }
+  }
+}
+
+TEST(Workloads, BodiesInUnitCube) {
+  const auto bodies = gen_bodies(5, 200);
+  EXPECT_EQ(bodies.size(), 200u);
+  for (const auto& b : bodies) {
+    EXPECT_GE(b.x, -1.0);
+    EXPECT_LE(b.x, 1.0);
+    EXPECT_GT(b.mass, 0.0);
+  }
+}
+
+TEST(Workloads, OctreeMassConservation) {
+  const auto bodies = gen_bodies(9, 128);
+  const auto tree = build_octree(bodies);
+  ASSERT_FALSE(tree.empty());
+  double total = 0;
+  for (const auto& b : bodies) total += b.mass;
+  EXPECT_NEAR(tree.nodes[0].mass, total, 1e-9);
+}
+
+TEST(Workloads, OctreeLeavesCoverAllBodies) {
+  const auto bodies = gen_bodies(13, 64);
+  const auto tree = build_octree(bodies);
+  std::set<std::int32_t> leaf_bodies;
+  for (const auto& n : tree.nodes) {
+    if (n.body >= 0) leaf_bodies.insert(n.body);
+  }
+  EXPECT_EQ(leaf_bodies.size(), bodies.size());
+}
+
+TEST(Workloads, PlainOctreeDepthBounded) {
+  const auto t = gen_octree(3, 6, 0.5);
+  EXPECT_GE(t.nodes.size(), 1u);
+  // Depth bound: walk from root and measure.
+  std::function<std::uint32_t(std::int32_t)> depth =
+      [&](std::int32_t n) -> std::uint32_t {
+    std::uint32_t best = 0;
+    for (std::int32_t ch : t.nodes[n].child) {
+      if (ch >= 0) best = std::max(best, 1 + depth(ch));
+    }
+    return best;
+  };
+  EXPECT_LE(depth(0), 6u);
+}
+
+TEST(Workloads, PlainOctreeBranchProbabilityScalesSize) {
+  const auto small = gen_octree(3, 5, 0.2);
+  const auto big = gen_octree(3, 5, 0.7);
+  EXPECT_LT(small.nodes.size(), big.nodes.size());
+}
+
+TEST(Workloads, CsrWellFormed) {
+  const auto a = gen_csr(17, 200, 12);
+  EXPECT_EQ(a.rows, 200u);
+  EXPECT_EQ(a.row_ptr.size(), 201u);
+  EXPECT_EQ(a.row_ptr.front(), 0u);
+  EXPECT_EQ(a.row_ptr.back(), a.nnz());
+  for (std::uint32_t r = 0; r < a.rows; ++r) {
+    EXPECT_LE(a.row_ptr[r], a.row_ptr[r + 1]);
+    for (std::uint32_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      EXPECT_LT(a.col_idx[k], a.cols);
+    }
+  }
+}
+
+TEST(Workloads, CsrHasDiagonal) {
+  const auto a = gen_csr(17, 100, 8);
+  for (std::uint32_t r = 0; r < a.rows; ++r) {
+    bool diag = false;
+    for (std::uint32_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      if (a.col_idx[k] == r) diag = true;
+    }
+    EXPECT_TRUE(diag) << "row " << r;
+  }
+}
+
+TEST(Workloads, RefComponentsOnKnownGraph) {
+  Graph g;
+  g.n = 6;
+  g.adj.resize(6);
+  auto link = [&](std::uint32_t a, std::uint32_t b) {
+    g.adj[a].emplace_back(b, 1);
+    g.adj[b].emplace_back(a, 1);
+  };
+  link(0, 1);
+  link(1, 2);
+  link(4, 5);
+  const auto labels = ref_components(g);
+  EXPECT_EQ(labels, (std::vector<std::uint32_t>{0, 0, 0, 3, 4, 4}));
+}
+
+TEST(Workloads, RefDijkstraOnKnownGraph) {
+  Graph g;
+  g.n = 4;
+  g.adj.resize(4);
+  auto link = [&](std::uint32_t a, std::uint32_t b, std::uint32_t w) {
+    g.adj[a].emplace_back(b, w);
+    g.adj[b].emplace_back(a, w);
+  };
+  link(0, 1, 1);
+  link(1, 2, 2);
+  link(0, 2, 10);
+  const auto dist = ref_dijkstra(g);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 3u);
+  EXPECT_EQ(dist[3], std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Workloads, RefSpmxvMatchesManual) {
+  Csr a;
+  a.rows = 2;
+  a.cols = 2;
+  a.row_ptr = {0, 2, 3};
+  a.col_idx = {0, 1, 1};
+  a.values = {2.0, 3.0, 4.0};
+  const std::vector<double> x = {1.0, 10.0};
+  const auto y = ref_spmxv(a, x);
+  EXPECT_DOUBLE_EQ(y[0], 32.0);
+  EXPECT_DOUBLE_EQ(y[1], 40.0);
+}
+
+}  // namespace
+}  // namespace simany::dwarfs
