@@ -19,6 +19,10 @@
 //   --cycle-level         run the conservative reference simulator
 //   --trace <file>        write a CSV event trace
 //   --messages            print the message-kind histogram
+//   --lint                lint the configuration and exit (nonzero on
+//                         errors)
+//   --checked             run with the invariant checker attached
+//                         (aborts with a diagnostic on any violation)
 
 #include <cstdio>
 #include <cstring>
@@ -27,6 +31,8 @@
 #include <optional>
 #include <string>
 
+#include "check/config_lint.h"
+#include "check/invariant_checker.h"
 #include "config/arch_config.h"
 #include "config/config_io.h"
 #include "core/engine.h"
@@ -46,6 +52,8 @@ int main(int argc, char** argv) {
   bool polymorphic = false;
   bool cycle_level = false;
   bool show_messages = false;
+  bool lint_only = false;
+  bool checked = false;
   Cycles drift_t = 100;
   double factor = 0.1;
   std::uint64_t seed = 1;
@@ -78,6 +86,10 @@ int main(int argc, char** argv) {
       cycle_level = true;
     } else if (!std::strcmp(argv[i], "--messages")) {
       show_messages = true;
+    } else if (!std::strcmp(argv[i], "--lint")) {
+      lint_only = true;
+    } else if (!std::strcmp(argv[i], "--checked")) {
+      checked = true;
     } else if (!std::strcmp(argv[i], "--t")) {
       drift_t = std::strtoull(need("--t"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--factor")) {
@@ -109,6 +121,16 @@ int main(int argc, char** argv) {
     cfg.drift_t_cycles = drift_t;
   }
 
+  if (lint_only) {
+    const auto diags = check::lint_config(cfg);
+    if (diags.empty()) {
+      std::printf("configuration is clean (%u cores)\n", cfg.num_cores());
+      return 0;
+    }
+    std::fputs(check::format_diags(diags).c_str(), stdout);
+    return check::has_errors(diags) ? 1 : 0;
+  }
+
   if (save_config_path) {
     std::ofstream out(*save_config_path);
     save_config(cfg, out);
@@ -131,6 +153,9 @@ int main(int argc, char** argv) {
   }
   if (show_messages) tee.add(&histogram);
   if (trace_path || show_messages) sim.set_trace(&tee);
+
+  check::InvariantChecker invariants;
+  if (checked) invariants.attach(sim);
 
   const SimStats st = sim.run(spec.make_root(seed, factor));
 
@@ -158,6 +183,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(st.sync_stalls),
               st.avg_parallelism());
   std::printf("host wall time  : %.3f ms\n", st.wall_seconds * 1e3);
+  if (checked) {
+    std::printf("invariants      : %llu checks, no violations\n",
+                static_cast<unsigned long long>(
+                    invariants.checks_performed()));
+  }
   if (show_messages) {
     std::printf("-- message kinds --\n");
     histogram.print(std::cout);

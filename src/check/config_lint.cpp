@@ -1,0 +1,219 @@
+#include "check/config_lint.h"
+
+#include <numeric>
+#include <sstream>
+
+namespace simany::check {
+
+namespace {
+
+/// Union-find over core ids, for zero-latency-cycle detection.
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::uint32_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  /// Returns false when a and b were already connected (union closes a
+  /// cycle).
+  bool unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+class Linter {
+ public:
+  explicit Linter(const ArchConfig& cfg) : cfg_(cfg) {}
+
+  std::vector<LintDiag> run() {
+    const net::Topology& topo = cfg_.topology;
+    const std::uint32_t n = topo.num_cores();
+
+    // -- Topology shape ------------------------------------------------
+    if (n == 0) {
+      error("SC001", "topology has no cores",
+            "construct the topology with at least one core");
+      return std::move(diags_);  // nothing else is checkable
+    }
+    if (!topo.connected()) {
+      error("SC002",
+            "topology is disconnected: some cores cannot reach others",
+            "add links until every core is reachable; disconnected "
+            "cores can never receive spawns and spatial sync degenerates");
+    }
+    for (net::CoreId c = 0; c < n; ++c) {
+      if (n > 1 && topo.neighbors(c).empty()) {
+        std::ostringstream os;
+        os << "core " << c << " has no links";
+        error("SC003", os.str(),
+              "isolated cores silently contribute nothing to the "
+              "simulated machine");
+        break;  // SC002 already covers the rest; one example suffices
+      }
+    }
+
+    // -- Link properties ----------------------------------------------
+    DisjointSet zero_links(n);
+    bool zero_cycle = false;
+    for (net::LinkId l = 0; l < topo.num_links(); ++l) {
+      const net::Link& link = topo.link(l);
+      if (link.props.bandwidth_bytes_per_cycle == 0) {
+        std::ostringstream os;
+        os << "link " << link.a << "-" << link.b << " has zero bandwidth";
+        error("SC004", os.str(),
+              "serialization delay divides by bandwidth; use >= 1 "
+              "byte/cycle");
+      }
+      if (link.props.latency == 0 &&
+          !zero_links.unite(link.a, link.b)) {
+        zero_cycle = true;
+      }
+    }
+    if (zero_cycle) {
+      error("SC005", "zero-latency links form a cycle",
+            "messages could circulate without virtual time passing; "
+            "give at least one link in every cycle a nonzero latency");
+    }
+
+    // -- Spatial synchronization --------------------------------------
+    if (cfg_.drift_t_cycles == 0 && topo.diameter() >= 1) {
+      error("SC006",
+            "drift bound T is 0 on a multi-hop topology",
+            "with T=0 no core may ever lead a neighbor, so any compute "
+            "annotation stalls forever; the paper's reference value is "
+            "T=100 cycles");
+    }
+    if (ticks(cfg_.drift_t_cycles) == kTickInfinity) {
+      error("SC007", "drift bound T saturates the tick range",
+            "T*kTicksPerCycle must stay below 2^64-1 ticks for drift "
+            "windows to be meaningful");
+    }
+
+    // -- Core speeds ---------------------------------------------------
+    if (!cfg_.core_speeds.empty() && cfg_.core_speeds.size() != n) {
+      std::ostringstream os;
+      os << "core_speeds has " << cfg_.core_speeds.size()
+         << " entries for " << n << " cores";
+      error("SC008", os.str(),
+            "leave core_speeds empty for uniform speed or provide one "
+            "rational per core");
+    }
+    for (std::size_t i = 0; i < cfg_.core_speeds.size(); ++i) {
+      const Speed s = cfg_.core_speeds[i];
+      if (s.num == 0 || s.den == 0) {
+        std::ostringstream os;
+        os << "core " << i << " has speed " << s.num << "/" << s.den;
+        error("SC009", os.str(),
+              "speed numerator and denominator must both be nonzero");
+        continue;
+      }
+      // A one-cycle cost on this core is kTicksPerCycle * den / num
+      // ticks; when num does not divide that, costs round up per block
+      // and accumulated virtual time depends on annotation granularity.
+      if ((kTicksPerCycle * s.den) % s.num != 0) {
+        std::ostringstream os;
+        os << "core " << i << " speed " << s.num << "/" << s.den
+           << " is not exactly representable on the " << kTicksPerCycle
+           << "-ticks-per-cycle grid";
+        warn("SC010", os.str(),
+             "per-block round-up makes timing depend on annotation "
+             "granularity; prefer speeds whose numerator divides "
+             "kTicksPerCycle*den (2, 3, 4, 6, 12, ...)");
+      }
+    }
+
+    // -- Run-time system ----------------------------------------------
+    if (cfg_.runtime.task_queue_capacity == 0) {
+      error("SC011", "task_queue_capacity is 0",
+            "probes can never reserve a slot, so no task can ever be "
+            "spawned remotely");
+    }
+
+    // -- Memory & network ---------------------------------------------
+    if (cfg_.mem.line_bytes == 0) {
+      error("SC012", "cache line_bytes is 0",
+            "line-granularity math divides by line_bytes");
+    } else if ((cfg_.mem.line_bytes & (cfg_.mem.line_bytes - 1)) != 0) {
+      std::ostringstream os;
+      os << "cache line_bytes " << cfg_.mem.line_bytes
+         << " is not a power of two";
+      warn("SC013", os.str(),
+           "set-associative index/tag splitting assumes power-of-two "
+           "lines");
+    }
+    if (cfg_.network.chunk_bytes == 0) {
+      error("SC014", "network chunk_bytes is 0",
+            "messages are cut into chunks; chunking divides by "
+            "chunk_bytes");
+    }
+
+    // -- Simulator knobs ----------------------------------------------
+    if (cfg_.cl_quantum_cycles == 0) {
+      warn("SC015", "cl_quantum_cycles is 0",
+           "the cycle-level scheduler clamps it to 1; set it explicitly "
+           "to the intended chopping quantum");
+    }
+    if (cfg_.fiber_stack_bytes < 64 * 1024) {
+      std::ostringstream os;
+      os << "fiber_stack_bytes " << cfg_.fiber_stack_bytes
+         << " is below 64 KiB";
+      warn("SC016", os.str(),
+           "task bodies run natively on these stacks; deep call chains "
+           "will overflow silently");
+    }
+
+    return std::move(diags_);
+  }
+
+ private:
+  void error(const char* code, std::string message, std::string hint) {
+    diags_.push_back({LintSeverity::kError, code, std::move(message),
+                      std::move(hint)});
+  }
+  void warn(const char* code, std::string message, std::string hint) {
+    diags_.push_back({LintSeverity::kWarning, code, std::move(message),
+                      std::move(hint)});
+  }
+
+  const ArchConfig& cfg_;
+  std::vector<LintDiag> diags_;
+};
+
+}  // namespace
+
+std::vector<LintDiag> lint_config(const ArchConfig& cfg) {
+  return Linter(cfg).run();
+}
+
+bool has_errors(const std::vector<LintDiag>& diags) noexcept {
+  for (const LintDiag& d : diags) {
+    if (d.severity == LintSeverity::kError) return true;
+  }
+  return false;
+}
+
+std::string format_diags(const std::vector<LintDiag>& diags) {
+  std::ostringstream os;
+  for (const LintDiag& d : diags) {
+    os << (d.severity == LintSeverity::kError ? "error " : "warning ")
+       << d.code << ": " << d.message;
+    if (!d.hint.empty()) os << " (" << d.hint << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace simany::check

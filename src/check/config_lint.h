@@ -1,0 +1,43 @@
+// Static configuration lint for ArchConfig / topology.
+//
+// ArchConfig::validate() rejects configurations the engine cannot run
+// at all; lint_config goes further and flags configurations that run
+// but simulate something degenerate or subtly wrong: disconnected or
+// isolated cores, zero-latency link cycles, a zero drift bound on a
+// multi-hop mesh (guaranteed spatial-sync deadlock pressure), speed
+// rationals the tick grid cannot represent exactly (nondeterministic
+// rounding across configs), saturating drift windows, and similar.
+//
+// Each diagnostic carries a stable SCxxx code (useful in CI logs and
+// tests), a severity, a message and a remediation hint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/arch_config.h"
+
+namespace simany::check {
+
+enum class LintSeverity : std::uint8_t {
+  kWarning,  // legal but probably not what was intended
+  kError,    // will misbehave: refuse to run this configuration
+};
+
+struct LintDiag {
+  LintSeverity severity = LintSeverity::kWarning;
+  /// Stable diagnostic code, "SC001"... — grep-able and test-able.
+  const char* code = "";
+  std::string message;
+  std::string hint;
+};
+
+/// Runs every lint rule; diagnostics are ordered by rule code.
+[[nodiscard]] std::vector<LintDiag> lint_config(const ArchConfig& cfg);
+
+[[nodiscard]] bool has_errors(const std::vector<LintDiag>& diags) noexcept;
+
+/// One line per diagnostic: "error SC003: <message> (<hint>)".
+[[nodiscard]] std::string format_diags(const std::vector<LintDiag>& diags);
+
+}  // namespace simany::check

@@ -1,0 +1,61 @@
+// Stall/deadlock analysis: wait-for graph construction and cycle
+// detection over a frozen engine snapshot.
+//
+// When no core can make progress the engine throws a terse error;
+// analyze_deadlock turns the frozen state into a structured diagnosis:
+// who waits on whom (lock/cell waiters, group joiners, spatial-sync
+// stalls, outstanding replies), whether the waits form a cycle, and a
+// human-readable summary naming every participant. InvariantChecker
+// throws DeadlockError with this report from its on_deadlock hook.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/inspect.h"
+#include "core/sim_types.h"
+#include "net/topology.h"
+
+namespace simany::check {
+
+/// One wait-for relation. `to == net::kInvalidCore` means the waited-on
+/// party cannot be resolved to a core (e.g. a group with no runnable
+/// member task); `reason` always explains the wait.
+struct WaitEdge {
+  CoreId from = net::kInvalidCore;
+  CoreId to = net::kInvalidCore;
+  std::string reason;
+};
+
+struct DeadlockReport {
+  std::vector<WaitEdge> edges;
+  /// A wait-for cycle if one exists: c0 -> c1 -> ... -> c0 (first core
+  /// repeated at the end). Empty when the stall is acyclic (resource
+  /// starvation / lost wake rather than circular wait).
+  std::vector<CoreId> cycle;
+  std::string summary;
+
+  [[nodiscard]] bool has_cycle() const noexcept { return !cycle.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Builds the wait-for graph from a frozen snapshot and looks for a
+/// cycle. Pure function of the snapshot; usable on fabricated states.
+[[nodiscard]] DeadlockReport analyze_deadlock(const EngineInspect& state,
+                                              const net::Topology& topo);
+
+/// Thrown by InvariantChecker::on_deadlock in place of the engine's
+/// plain runtime_error. what() carries the full report text.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(DeadlockReport report);
+  [[nodiscard]] const DeadlockReport& report() const noexcept {
+    return report_;
+  }
+
+ private:
+  DeadlockReport report_;
+};
+
+}  // namespace simany::check

@@ -1,0 +1,504 @@
+#include "check/invariant_checker.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "check/deadlock.h"
+#include "core/engine.h"
+
+namespace simany::check {
+
+namespace {
+
+/// Minimum over a core's in-flight birth timestamps, or infinity.
+Tick min_birth(const CoreInspect& c) {
+  if (c.births.empty()) return kTickInfinity;
+  return *std::min_element(c.births.begin(), c.births.end());
+}
+
+/// Shortest-path relaxation of per-core seed values with edge weight T,
+/// run to fixpoint (Bellman-Ford; converges in <= num_cores rounds).
+/// This is the literal shadow-time semantics from the paper: an idle
+/// core's proxy is min over its neighbors + T, applied everywhere until
+/// nothing changes.
+std::vector<Tick> relax_to_fixpoint(std::vector<Tick> val,
+                                    const net::Topology& topo, Tick t) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (CoreId v = 0; v < topo.num_cores(); ++v) {
+      for (CoreId nb : topo.neighbors(v)) {
+        const Tick cand = sat_add(val[nb], t);
+        if (cand < val[v]) {
+          val[v] = cand;
+          changed = true;
+        }
+      }
+    }
+  }
+  return val;
+}
+
+/// SlackSim-style global window: min over anchors and births, plus T.
+Tick bounded_slack_limit_of(const EngineInspect& state) {
+  Tick gmin = kTickInfinity;
+  for (const CoreInspect& c : state.cores) {
+    if (c.anchor) gmin = std::min(gmin, c.now);
+    gmin = std::min(gmin, min_birth(c));
+  }
+  return sat_add(gmin, state.drift_ticks);
+}
+
+Tick min_link_latency_of(const net::Topology& topo) {
+  Tick lat = kTickInfinity;
+  for (net::LinkId l = 0; l < topo.num_links(); ++l) {
+    lat = std::min(lat, topo.link(l).props.latency);
+  }
+  return lat == kTickInfinity ? 0 : lat;
+}
+
+std::string fmt_violation(Invariant inv, const std::string& what) {
+  std::ostringstream os;
+  os << "[" << to_string(inv) << "] " << what;
+  return os.str();
+}
+
+}  // namespace
+
+const char* to_string(Invariant inv) noexcept {
+  switch (inv) {
+    case Invariant::kNeighborDrift: return "neighbor-drift";
+    case Invariant::kShadowDrift: return "shadow-drift";
+    case Invariant::kBirthDrift: return "birth-drift";
+    case Invariant::kMonotonicTime: return "monotonic-time";
+    case Invariant::kCausalDelivery: return "causal-delivery";
+    case Invariant::kHoldDepth: return "hold-depth";
+    case Invariant::kConservation: return "conservation";
+    case Invariant::kWakeValidity: return "wake-validity";
+  }
+  return "?";
+}
+
+CheckError::CheckError(Violation v)
+    : std::runtime_error(fmt_violation(v.invariant, v.detail)),
+      v_(std::move(v)) {}
+
+InvariantChecker::InvariantChecker(CheckOptions opts) : opts_(opts) {
+  if (opts_.advance_sample == 0) opts_.advance_sample = 1;
+  if (opts_.audit_interval == 0) opts_.audit_interval = 1;
+}
+
+void InvariantChecker::attach(Engine& engine) {
+  topo_ = &engine.config().topology;
+  virtual_time_mode_ = (engine.mode() == ExecutionMode::kVirtualTime);
+  spatial_sync_ = (engine.config().sync_scheme == SyncScheme::kSpatial);
+  min_link_latency_ = min_link_latency_of(*topo_);
+  const std::uint32_t n = topo_->num_cores();
+  last_now_.assign(n, 0);
+  tracked_holds_.assign(n, 0);
+  tracked_births_.assign(n, {});
+  hop_cache_.assign(n, {});
+  engine.set_observer(this);
+}
+
+void InvariantChecker::report(Violation v) {
+  if (opts_.throw_on_violation) throw CheckError(std::move(v));
+  violations_.push_back(std::move(v));
+}
+
+std::uint32_t InvariantChecker::hops(CoreId src, CoreId dst) {
+  auto& row = hop_cache_[src];
+  if (row.empty()) row = topo_->distances_from(src);
+  return row[dst];
+}
+
+// ---------------------------------------------------------------------
+// Stateless checking core
+// ---------------------------------------------------------------------
+
+Tick InvariantChecker::drift_limit_of(const EngineInspect& state,
+                                      const net::Topology& topo, CoreId c) {
+  const Tick t = state.drift_ticks;
+  std::vector<Tick> seed(topo.num_cores(), kTickInfinity);
+  for (CoreId v = 0; v < topo.num_cores(); ++v) {
+    const CoreInspect& ci = state.cores[v];
+    // A core's own anchored time never constrains itself, but its own
+    // in-flight births do (birth + T, one conceptual hop to the child).
+    if (v != c && ci.anchor) seed[v] = ci.now;
+    seed[v] = std::min(seed[v], sat_add(min_birth(ci), t));
+  }
+  return relax_to_fixpoint(std::move(seed), topo, t)[c];
+}
+
+std::vector<Violation> InvariantChecker::check_state(
+    const EngineInspect& state, const net::Topology& topo) {
+  std::vector<Violation> out;
+  const Tick t = state.drift_ticks;
+  const std::uint32_t n = topo.num_cores();
+
+  // Anchor-only and birth-only shadow fixpoints, shared across cores so
+  // violation classification can tell which constraint family failed.
+  // (The per-core exclusion of a core's own anchor means the shared
+  // fixpoint is a lower bound on each core's true limit; a shared-value
+  // "violation" where the core itself is the binding anchor is refined
+  // below with an exact per-core recomputation.)
+  std::vector<Tick> anchor_seed(n, kTickInfinity);
+  std::vector<Tick> birth_seed(n, kTickInfinity);
+  for (CoreId v = 0; v < n; ++v) {
+    if (state.cores[v].anchor) anchor_seed[v] = state.cores[v].now;
+    birth_seed[v] = sat_add(min_birth(state.cores[v]), t);
+  }
+  const std::vector<Tick> anchor_fix =
+      relax_to_fixpoint(anchor_seed, topo, t);
+  const std::vector<Tick> birth_fix = relax_to_fixpoint(birth_seed, topo, t);
+
+  for (CoreId c = 0; c < n; ++c) {
+    const CoreInspect& ci = state.cores[c];
+
+    // Hold-depth sanity. The converse (hold_depth < resources whose
+    // holder field names c) can transiently occur while a grant message
+    // is in flight, so only the sound direction is checked.
+    if (ci.hold_depth < 0) {
+      std::ostringstream os;
+      os << "core " << c << " has negative hold_depth " << ci.hold_depth;
+      out.push_back({Invariant::kHoldDepth, c, os.str()});
+    }
+    std::size_t held = 0;
+    for (const LockInspect& lk : state.locks) {
+      if (lk.held && lk.holder == c) ++held;
+    }
+    for (const CellInspect& cell : state.cells) {
+      if (cell.locked && cell.holder == c) ++held;
+    }
+    if (held > static_cast<std::size_t>(std::max(0, ci.hold_depth))) {
+      std::ostringstream os;
+      os << "core " << c << " holds " << held
+         << " locks/cells but hold_depth is " << ci.hold_depth
+         << " (holder not exempt from spatial sync)";
+      out.push_back({Invariant::kHoldDepth, c, os.str()});
+    }
+
+    // Drift-bound family. Holders are exempt (paper SS II-B).
+    if (ci.hold_depth > 0) continue;
+    const Tick limit = drift_limit_of(state, topo, c);
+    if (ci.now <= limit) continue;
+
+    // Classify: direct neighbor anchor beats shadow path beats births.
+    Tick neighbor_bound = kTickInfinity;
+    for (CoreId nb : topo.neighbors(c)) {
+      if (state.cores[nb].anchor) {
+        neighbor_bound =
+            std::min(neighbor_bound, sat_add(state.cores[nb].now, t));
+      }
+    }
+    Invariant inv;
+    Tick bound;
+    if (ci.now > neighbor_bound) {
+      inv = Invariant::kNeighborDrift;
+      bound = neighbor_bound;
+    } else if (ci.now > anchor_fix[c]) {
+      inv = Invariant::kShadowDrift;
+      bound = anchor_fix[c];
+    } else {
+      inv = Invariant::kBirthDrift;
+      bound = std::min(birth_fix[c], sat_add(min_birth(ci), t));
+    }
+    std::ostringstream os;
+    os << "core " << c << " at vt=" << ci.now << " exceeds its drift limit "
+       << bound << " (T=" << t << " ticks); "
+       << (inv == Invariant::kNeighborDrift
+               ? "a direct neighbor anchor binds it"
+               : inv == Invariant::kShadowDrift
+                     ? "an anchor reached through idle (shadow) cores "
+                       "binds it"
+                     : "an in-flight spawned task's birth time binds it");
+    out.push_back({inv, c, os.str()});
+  }
+
+  // Conservation. Every live task is running, queued, resumable, parked
+  // on a group, or riding a TASK_SPAWN message; every in-flight message
+  // sits in exactly one inbox. Only meaningful at engine safe points.
+  std::uint64_t inbox_total = 0;
+  std::uint64_t carried = state.inflight_spawns;
+  for (const CoreInspect& ci : state.cores) {
+    inbox_total += ci.inbox_len;
+    carried += (ci.has_fiber ? 1 : 0) + ci.queue_len + ci.resumables;
+  }
+  for (const GroupInspect& g : state.groups) {
+    carried += g.joiner_cores.size();
+  }
+  if (inbox_total != state.inflight_messages) {
+    std::ostringstream os;
+    os << "messages in inboxes (" << inbox_total
+       << ") != inflight_messages counter (" << state.inflight_messages
+       << ")";
+    out.push_back({Invariant::kConservation, net::kInvalidCore, os.str()});
+  }
+  if (carried != state.live_tasks) {
+    std::ostringstream os;
+    os << "tasks accounted for (" << carried << ": fibers+queued+resumable"
+       << "+joiners+inflight spawns) != live_tasks counter ("
+       << state.live_tasks << ")";
+    out.push_back({Invariant::kConservation, net::kInvalidCore, os.str()});
+  }
+  return out;
+}
+
+std::vector<Violation> InvariantChecker::check_message(
+    const Message& m, const net::Topology& topo, bool direct) {
+  std::vector<Violation> out;
+  if (m.arrival < m.sent) {
+    std::ostringstream os;
+    os << to_string(m.kind) << " " << m.src << "->" << m.dst
+       << " arrives at " << m.arrival << " before it was sent at " << m.sent;
+    out.push_back({Invariant::kCausalDelivery, m.dst, os.str()});
+    return out;
+  }
+  if (direct || m.src == m.dst || m.src >= topo.num_cores() ||
+      m.dst >= topo.num_cores()) {
+    return out;
+  }
+  const Tick floor_lat = sat_mul(topo.distances_from(m.src)[m.dst],
+                                 min_link_latency_of(topo));
+  if (m.arrival < sat_add(m.sent, floor_lat)) {
+    std::ostringstream os;
+    os << to_string(m.kind) << " " << m.src << "->" << m.dst << " sent at "
+       << m.sent << " arrives at " << m.arrival
+       << ", faster than the minimal path latency " << floor_lat
+       << " ticks allows";
+    out.push_back({Invariant::kCausalDelivery, m.dst, os.str()});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Live observer
+// ---------------------------------------------------------------------
+
+void InvariantChecker::on_run_begin(const Engine& e) {
+  // attach() normally ran already; tolerate set_observer() direct use.
+  if (topo_ == nullptr) {
+    topo_ = &e.config().topology;
+    virtual_time_mode_ = (e.mode() == ExecutionMode::kVirtualTime);
+    spatial_sync_ = (e.config().sync_scheme == SyncScheme::kSpatial);
+    min_link_latency_ = min_link_latency_of(*topo_);
+    const std::uint32_t n = topo_->num_cores();
+    last_now_.assign(n, 0);
+    tracked_holds_.assign(n, 0);
+    tracked_births_.assign(n, {});
+    hop_cache_.assign(n, {});
+  }
+}
+
+void InvariantChecker::on_run_end(const Engine& e) { audit(e); }
+
+void InvariantChecker::on_advance(const Engine& e, CoreId c, Tick from,
+                                  Tick to, AdvanceKind kind, bool exempt) {
+  ++checks_;
+  if (to < from) {
+    std::ostringstream os;
+    os << "core " << c << " moved backwards from vt=" << from
+       << " to vt=" << to;
+    report({Invariant::kMonotonicTime, c, os.str()});
+  }
+  if (to < last_now_[c]) {
+    std::ostringstream os;
+    os << "core " << c << " advance to vt=" << to
+       << " is behind its previously observed time " << last_now_[c];
+    report({Invariant::kMonotonicTime, c, os.str()});
+  }
+  last_now_[c] = to;
+
+  // The drift bound constrains annotated compute only; runtime charges
+  // and arrival-time jumps follow message causality instead, and
+  // lock/cell holders are exempt. Compute steps are clamped to the
+  // engine's cached limit, which never exceeds the true current limit
+  // (anchors only move forward; new constraints invalidate the cache),
+  // so checking at the post-advance state is exact: no false positives.
+  if (!virtual_time_mode_ || kind != AdvanceKind::kCompute || exempt) {
+    return;
+  }
+  if (++compute_advances_ % opts_.advance_sample != 0) return;
+  const EngineInspect state = e.inspect();
+  const Tick limit = spatial_sync_
+                         ? drift_limit_of(state, *topo_, c)
+                         : std::min(bounded_slack_limit_of(state),
+                                    sat_add(min_birth(state.cores[c]),
+                                            state.drift_ticks));
+  if (to > limit) {
+    std::ostringstream os;
+    os << "core " << c << " compute-advanced from vt=" << from
+       << " to vt=" << to << " past its independently recomputed drift "
+       << "limit " << limit << " (T=" << state.drift_ticks << " ticks)";
+    report({spatial_sync_ ? Invariant::kShadowDrift
+                          : Invariant::kNeighborDrift,
+            c, os.str()});
+  }
+}
+
+void InvariantChecker::on_message_posted(const Engine& e, const Message& m,
+                                         bool direct) {
+  (void)e;
+  ++checks_;
+  if (m.arrival < m.sent) {
+    std::ostringstream os;
+    os << to_string(m.kind) << " " << m.src << "->" << m.dst
+       << " arrives at " << m.arrival << " before it was sent at " << m.sent;
+    report({Invariant::kCausalDelivery, m.dst, os.str()});
+    return;
+  }
+  if (direct || m.src == m.dst) return;
+  const Tick floor_lat =
+      sat_mul(hops(m.src, m.dst), min_link_latency_);
+  if (m.arrival < sat_add(m.sent, floor_lat)) {
+    std::ostringstream os;
+    os << to_string(m.kind) << " " << m.src << "->" << m.dst << " sent at "
+       << m.sent << " arrives at " << m.arrival
+       << ", faster than the minimal path latency " << floor_lat
+       << " ticks allows";
+    report({Invariant::kCausalDelivery, m.dst, os.str()});
+  }
+}
+
+void InvariantChecker::on_task_birth(const Engine& e, CoreId parent,
+                                     Tick birth) {
+  (void)e;
+  tracked_births_[parent].push_back(birth);
+}
+
+void InvariantChecker::on_task_arrival(const Engine& e, CoreId parent,
+                                       CoreId dst, Tick birth) {
+  (void)e;
+  ++checks_;
+  auto& births = tracked_births_[parent];
+  const auto it = std::find(births.begin(), births.end(), birth);
+  if (it == births.end()) {
+    std::ostringstream os;
+    os << "core " << parent << " retired a spawn birth " << birth
+       << " (arrived at core " << dst << ") that was never recorded";
+    report({Invariant::kConservation, parent, os.str()});
+    return;
+  }
+  births.erase(it);
+}
+
+void InvariantChecker::on_wake(const Engine& e, CoreId c, Tick at,
+                               Tick new_limit) {
+  (void)e;
+  ++checks_;
+  if (new_limit <= at) {
+    std::ostringstream os;
+    os << "core " << c << " woke from a sync stall at vt=" << at
+       << " but its new drift limit " << new_limit
+       << " does not allow progress";
+    report({Invariant::kWakeValidity, c, os.str()});
+  }
+}
+
+void InvariantChecker::on_lock_acquired(const Engine& e, CoreId c,
+                                        LockId id) {
+  (void)e;
+  (void)id;
+  ++tracked_holds_[c];
+}
+
+void InvariantChecker::on_lock_released(const Engine& e, CoreId c,
+                                        LockId id) {
+  (void)e;
+  ++checks_;
+  if (--tracked_holds_[c] < 0) {
+    std::ostringstream os;
+    os << "core " << c << " released lock " << id
+       << " it did not hold (tracked hold count went negative)";
+    report({Invariant::kHoldDepth, c, os.str()});
+  }
+}
+
+void InvariantChecker::on_cell_acquired(const Engine& e, CoreId c,
+                                        CellId id) {
+  (void)e;
+  (void)id;
+  ++tracked_holds_[c];
+}
+
+void InvariantChecker::on_cell_released(const Engine& e, CoreId c,
+                                        CellId id) {
+  (void)e;
+  ++checks_;
+  if (--tracked_holds_[c] < 0) {
+    std::ostringstream os;
+    os << "core " << c << " released cell " << id
+       << " it did not hold (tracked hold count went negative)";
+    report({Invariant::kHoldDepth, c, os.str()});
+  }
+}
+
+void InvariantChecker::on_quantum_end(const Engine& e) {
+  if (++quanta_ % opts_.audit_interval != 0) return;
+  audit(e);
+}
+
+void InvariantChecker::on_deadlock(const Engine& e) {
+  // Replace the engine's terse deadlock error with a structured
+  // wait-for analysis of the full frozen state.
+  throw DeadlockError(analyze_deadlock(e.inspect(), *topo_));
+}
+
+void InvariantChecker::audit(const Engine& e) {
+  ++checks_;
+  const EngineInspect state = e.inspect();
+
+  // Conservation counters (same accounting as Engine::audit_counters,
+  // recomputed here from the snapshot rather than trusted).
+  std::uint64_t inbox_total = 0;
+  std::uint64_t carried = state.inflight_spawns;
+  for (const CoreInspect& ci : state.cores) {
+    inbox_total += ci.inbox_len;
+    carried += (ci.has_fiber ? 1 : 0) + ci.queue_len + ci.resumables;
+  }
+  for (const GroupInspect& g : state.groups) carried += g.joiner_cores.size();
+  if (inbox_total != state.inflight_messages) {
+    std::ostringstream os;
+    os << "messages in inboxes (" << inbox_total
+       << ") != inflight_messages counter (" << state.inflight_messages
+       << ")";
+    report({Invariant::kConservation, net::kInvalidCore, os.str()});
+  }
+  if (carried != state.live_tasks) {
+    std::ostringstream os;
+    os << "tasks accounted for (" << carried
+       << ") != live_tasks counter (" << state.live_tasks << ")";
+    report({Invariant::kConservation, net::kInvalidCore, os.str()});
+  }
+
+  // Event-tracked mirrors vs engine state.
+  for (const CoreInspect& ci : state.cores) {
+    if (ci.hold_depth != tracked_holds_[ci.id]) {
+      std::ostringstream os;
+      os << "core " << ci.id << " hold_depth " << ci.hold_depth
+         << " disagrees with " << tracked_holds_[ci.id]
+         << " lock/cell acquisitions observed";
+      report({Invariant::kHoldDepth, ci.id, os.str()});
+    }
+    if (ci.now < last_now_[ci.id]) {
+      std::ostringstream os;
+      os << "core " << ci.id << " is at vt=" << ci.now
+         << ", behind its previously observed time " << last_now_[ci.id];
+      report({Invariant::kMonotonicTime, ci.id, os.str()});
+    }
+    last_now_[ci.id] = ci.now;
+    auto tracked = tracked_births_[ci.id];
+    auto actual = ci.births;
+    std::sort(tracked.begin(), tracked.end());
+    std::sort(actual.begin(), actual.end());
+    if (tracked != actual) {
+      std::ostringstream os;
+      os << "core " << ci.id << " birth records (" << actual.size()
+         << ") disagree with the " << tracked.size()
+         << " in-flight spawns observed";
+      report({Invariant::kConservation, ci.id, os.str()});
+    }
+  }
+}
+
+}  // namespace simany::check

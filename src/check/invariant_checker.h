@@ -1,0 +1,167 @@
+// Runtime invariant checking for the SiMany engine ("simcheck").
+//
+// The paper's correctness argument rests on a handful of distributed
+// invariants (SS II): neighbor drift <= T, global drift <= diameter x T,
+// idle-core shadow times = min(neighbor) + T, birth-time throttling of
+// spawning parents, lock/cell-holder exemption, and causal message
+// delivery. The engine enforces them implicitly through its scheduling
+// logic; InvariantChecker re-verifies them *independently* from the
+// observer hooks, using the literal shadow-time fixpoint semantics
+// rather than the engine's pruned BFS, so a bug in either formulation
+// is caught by their disagreement.
+//
+// Usage:
+//   check::InvariantChecker checker;
+//   checker.attach(engine);          // engine.set_observer(&checker)
+//   engine.run(...);                 // throws check::CheckError on the
+//                                    // first violated invariant
+//
+// Checks run only while attached: a detached engine pays one pointer
+// null-check per event. The static entry points (check_state,
+// check_message, drift_limit_of) operate on plain EngineInspect data,
+// so tests can fabricate states with injected violations and verify
+// each one is caught and correctly named.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/engine_observer.h"
+#include "core/inspect.h"
+#include "core/sim_types.h"
+#include "core/vtime.h"
+#include "net/topology.h"
+
+namespace simany {
+class Engine;
+}
+
+namespace simany::check {
+
+/// The machine-checkable engine invariants (PAPER.md SS II).
+enum class Invariant : std::uint8_t {
+  kNeighborDrift,   // core ran past a direct neighbor anchor's time + T
+  kShadowDrift,     // bound through idle cores (shadow times) violated
+  kBirthDrift,      // parent ran past an in-flight child's birth + T
+  kMonotonicTime,   // a core's virtual time moved backwards
+  kCausalDelivery,  // arrival before send time + minimal path latency
+  kHoldDepth,       // hold_depth disagrees with held locks/cells
+  kConservation,    // live-task / in-flight-message accounting broken
+  kWakeValidity,    // a core woke from a stall without its limit rising
+};
+
+[[nodiscard]] const char* to_string(Invariant inv) noexcept;
+
+struct Violation {
+  Invariant invariant = Invariant::kConservation;
+  CoreId core = net::kInvalidCore;
+  std::string detail;  // names the invariant and the offending values
+};
+
+/// Thrown on the first violation when CheckOptions::throw_on_violation
+/// is set (the default). what() names the invariant.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(Violation v);
+  [[nodiscard]] const Violation& violation() const noexcept { return v_; }
+
+ private:
+  Violation v_;
+};
+
+struct CheckOptions {
+  /// Verify the drift bound on every Nth compute advance (1 = all).
+  /// Each verification recomputes the limit from scratch; raise this
+  /// for long checked runs.
+  std::uint64_t advance_sample = 1;
+  /// Full-state audit (conservation, hold depths, birth tracking)
+  /// every N scheduling quanta.
+  std::uint64_t audit_interval = 64;
+  /// Throw CheckError at the first violation. When false, violations
+  /// accumulate in violations() instead.
+  bool throw_on_violation = true;
+};
+
+class InvariantChecker final : public EngineObserver {
+ public:
+  explicit InvariantChecker(CheckOptions opts = {});
+
+  /// Registers this checker as `engine`'s observer and captures the
+  /// topology. The checker must outlive the engine's run().
+  void attach(Engine& engine);
+
+  [[nodiscard]] const std::vector<Violation>& violations() const noexcept {
+    return violations_;
+  }
+  /// Number of individual invariant verifications performed.
+  [[nodiscard]] std::uint64_t checks_performed() const noexcept {
+    return checks_;
+  }
+
+  // ---- Stateless checking core (used directly by negative tests) ----
+
+  /// The checker's own drift limit for core `c`: the shadow-time
+  /// fixpoint over `topo` (iterative relaxation to convergence),
+  /// deliberately a different algorithm from the engine's pruned BFS.
+  /// Includes other cores' anchors and births, and `c`'s own births.
+  [[nodiscard]] static Tick drift_limit_of(const EngineInspect& state,
+                                           const net::Topology& topo,
+                                           CoreId c);
+
+  /// Verifies the drift-bound family (neighbor / shadow / birth, with
+  /// holder exemption), hold-depth sanity and conservation accounting
+  /// on a snapshot. Returns every violation found.
+  [[nodiscard]] static std::vector<Violation> check_state(
+      const EngineInspect& state, const net::Topology& topo);
+
+  /// Verifies causal delivery of one message: arrival >= sent, and for
+  /// networked messages arrival >= sent + hops x min_link_latency.
+  /// `direct` marks synthetic local deliveries (no network traversal).
+  [[nodiscard]] static std::vector<Violation> check_message(
+      const Message& m, const net::Topology& topo, bool direct);
+
+  // ---- EngineObserver ----
+
+  void on_run_begin(const Engine& e) override;
+  void on_run_end(const Engine& e) override;
+  void on_advance(const Engine& e, CoreId c, Tick from, Tick to,
+                  AdvanceKind kind, bool exempt) override;
+  void on_message_posted(const Engine& e, const Message& m,
+                         bool direct) override;
+  void on_task_birth(const Engine& e, CoreId parent, Tick birth) override;
+  void on_task_arrival(const Engine& e, CoreId parent, CoreId dst,
+                       Tick birth) override;
+  void on_wake(const Engine& e, CoreId c, Tick at, Tick new_limit) override;
+  void on_lock_acquired(const Engine& e, CoreId c, LockId id) override;
+  void on_lock_released(const Engine& e, CoreId c, LockId id) override;
+  void on_cell_acquired(const Engine& e, CoreId c, CellId id) override;
+  void on_cell_released(const Engine& e, CoreId c, CellId id) override;
+  void on_quantum_end(const Engine& e) override;
+  void on_deadlock(const Engine& e) override;
+
+ private:
+  void report(Violation v);
+  void audit(const Engine& e);
+  [[nodiscard]] std::uint32_t hops(CoreId src, CoreId dst);
+
+  CheckOptions opts_;
+  const net::Topology* topo_ = nullptr;
+  bool virtual_time_mode_ = true;
+  bool spatial_sync_ = true;
+  Tick min_link_latency_ = 0;
+
+  std::vector<Violation> violations_;
+  std::uint64_t checks_ = 0;
+  std::uint64_t compute_advances_ = 0;
+  std::uint64_t quanta_ = 0;
+
+  // Event-tracked mirrors of engine state, compared during audits.
+  std::vector<Tick> last_now_;                  // per-core monotonicity
+  std::vector<int> tracked_holds_;              // locks + cells held
+  std::vector<std::vector<Tick>> tracked_births_;
+  std::vector<std::vector<std::uint32_t>> hop_cache_;  // per-src BFS
+};
+
+}  // namespace simany::check

@@ -1,11 +1,12 @@
 #include "core/engine.h"
 
 #include <algorithm>
-#include <cassert>
 #include <chrono>
 #include <stdexcept>
 #include <string>
 #include <utility>
+
+#include "core/simany_assert.h"
 
 namespace simany {
 
@@ -142,10 +143,13 @@ SimStats Engine::run(TaskFn root) {
   live_tasks_ = 1;
   core(0).task_queue.push_back(PendingTask{std::move(root), kInvalidGroup, 0});
   mark_ready(core(0));
+  if (obs_ != nullptr) obs_->on_run_begin(*this);
 
   const auto t0 = std::chrono::steady_clock::now();
   main_loop();
   const auto t1 = std::chrono::steady_clock::now();
+  audit_counters();
+  if (obs_ != nullptr) obs_->on_run_end(*this);
 
   stats_.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   stats_.completion_ticks = max_task_end_;
@@ -163,11 +167,13 @@ void Engine::main_loop() {
     if (cl) {
       const CoreId id = pick_min_time_core();
       if (id == net::kInvalidCore) {
+        if (obs_ != nullptr) obs_->on_deadlock(*this);
         throw std::runtime_error(
             "simulation deadlock (cycle-level): live_tasks=" +
             std::to_string(live_tasks_));
       }
       run_core_cl(core(id));
+      if (obs_ != nullptr) obs_->on_quantum_end(*this);
       continue;
     }
     if (ready_.empty()) {
@@ -181,6 +187,7 @@ void Engine::main_loop() {
           }
         }
         if (!any) {
+          if (obs_ != nullptr) obs_->on_deadlock(*this);
           throw std::runtime_error(
               "simulation deadlock: live_tasks=" +
               std::to_string(live_tasks_) +
@@ -197,9 +204,103 @@ void Engine::main_loop() {
     if (!actionable(c)) continue;
     run_core_vt(c);
     ++quantum_count_;
+    if (obs_ != nullptr) obs_->on_quantum_end(*this);
     if (quantum_count_ % 64 == 0) sample_parallelism();
-    if (quantum_count_ % 4096 == 0) refresh_gmin();
+    if (quantum_count_ % 4096 == 0) {
+      refresh_gmin();
+#if SIMANY_ASSERT_ACTIVE
+      audit_counters();
+#endif
+    }
   }
+}
+
+// ---------------------------------------------------------------------
+// Introspection & self-audit
+// ---------------------------------------------------------------------
+
+EngineInspect Engine::inspect() const {
+  EngineInspect s;
+  s.drift_ticks = drift_ticks_;
+  s.live_tasks = live_tasks_;
+  s.inflight_messages = inflight_messages_;
+  s.cores.reserve(cores_.size());
+  for (const auto& cptr : cores_) {
+    const CoreSim& c = *cptr;
+    CoreInspect ci;
+    ci.id = c.id;
+    ci.now = c.now;
+    ci.anchor = is_anchor(c);
+    ci.has_fiber = (c.fiber != nullptr);
+    ci.sync_stalled = c.sync_stalled;
+    ci.waiting_reply = c.waiting_reply;
+    ci.hold_depth = c.hold_depth;
+    ci.inbox_len = c.inbox.size();
+    ci.queue_len = c.task_queue.size();
+    ci.resumables = c.resumables.size();
+    ci.reserved = c.reserved;
+    ci.births.assign(c.births.begin(), c.births.end());
+    for (const Message& m : c.inbox) {
+      if (m.kind == MsgKind::kTaskSpawn) ++s.inflight_spawns;
+    }
+    s.cores.push_back(std::move(ci));
+  }
+  for (std::size_t i = 0; i < locks_.size(); ++i) {
+    const Lock& lk = locks_[i];
+    LockInspect li;
+    li.id = static_cast<LockId>(i);
+    li.home = lk.home;
+    li.held = lk.held;
+    li.holder = lk.holder;
+    li.waiters.assign(lk.waiters.begin(), lk.waiters.end());
+    s.locks.push_back(std::move(li));
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const Cell& cell = cells_[i];
+    CellInspect ci;
+    ci.id = static_cast<CellId>(i);
+    ci.home = cell.home;
+    ci.locked = cell.locked;
+    ci.holder = cell.holder;
+    for (const Cell::Waiter& w : cell.waiters) ci.waiters.push_back(w.core);
+    s.cells.push_back(std::move(ci));
+  }
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    const Group& g = groups_[i];
+    GroupInspect gi;
+    gi.id = static_cast<GroupId>(i);
+    gi.active = g.active;
+    for (const Group::Joiner& j : g.joiners) gi.joiner_cores.push_back(j.core);
+    s.groups.push_back(std::move(gi));
+  }
+  return s;
+}
+
+void Engine::audit_counters() const {
+#if SIMANY_ASSERT_ACTIVE
+  // Conservation audit, called only from safe points (between quanta):
+  // every live task is either running, queued, parked on a group,
+  // resumable, or riding a TASK_SPAWN message; every in-flight message
+  // sits in exactly one inbox.
+  std::uint64_t inbox_total = 0;
+  std::uint64_t carried_tasks = 0;
+  for (const auto& cptr : cores_) {
+    const CoreSim& c = *cptr;
+    SIMANY_ASSERT(c.hold_depth >= 0, "core ", c.id, " at vt=", c.now,
+                  " has negative hold_depth ", c.hold_depth);
+    inbox_total += c.inbox.size();
+    carried_tasks += (c.fiber ? 1 : 0) + c.task_queue.size() +
+                     c.resumables.size();
+    for (const Message& m : c.inbox) {
+      if (m.kind == MsgKind::kTaskSpawn) ++carried_tasks;
+    }
+  }
+  for (const Group& g : groups_) carried_tasks += g.joiners.size();
+  SIMANY_ASSERT(inbox_total == inflight_messages_, "inbox total ",
+                inbox_total, " != inflight_messages_ ", inflight_messages_);
+  SIMANY_ASSERT(carried_tasks == live_tasks_, "carried tasks ",
+                carried_tasks, " != live_tasks_ ", live_tasks_);
+#endif
 }
 
 // ---------------------------------------------------------------------
@@ -320,6 +421,7 @@ bool Engine::start_next_work(CoreSim& c) {
     charge(c, scaled_cost(cfg_.runtime.task_start_cycles, c.speed));
     broadcast_occupancy_update(c);
     if (trace_ != nullptr) trace_->on_task_start(c.id, c.now);
+    if (obs_ != nullptr) obs_->on_task_start(*this, c.id, c.now);
     Ctx* ctx = c.ctx.get();
     c.fiber =
         fiber_pool_.create([fn = std::move(t.fn), ctx]() { fn(*ctx); });
@@ -330,16 +432,19 @@ bool Engine::start_next_work(CoreSim& c) {
 }
 
 void Engine::task_done(CoreSim& c) {
-  assert(live_tasks_ > 0);
+  SIMANY_ASSERT(live_tasks_ > 0, "task_done on core ", c.id,
+                " at vt=", c.now, " with zero live tasks");
   --live_tasks_;
   max_task_end_ = std::max(max_task_end_, c.now);
   if (trace_ != nullptr) trace_->on_task_end(c.id, c.now);
+  if (obs_ != nullptr) obs_->on_task_end(*this, c.id, c.now);
   fiber_pool_.recycle(std::move(c.fiber));
   const GroupId g = c.fiber_group;
   c.fiber_group = kInvalidGroup;
   if (g == kInvalidGroup) return;
   Group& grp = groups_[g];
-  assert(grp.active > 0);
+  SIMANY_ASSERT(grp.active > 0, "group ", g, " underflow: task on core ",
+                c.id, " at vt=", c.now, " completed into an empty group");
   --grp.active;
   if (grp.active == 0 && !grp.joiners.empty()) {
     for (const auto& joiner : grp.joiners) {
@@ -364,6 +469,7 @@ bool Engine::wake_sweep() {
       c.cached_limit = lim;
       c.limit_epoch = limit_epoch_;
       if (trace_ != nullptr) trace_->on_wake(c.id, c.now, lim);
+      if (obs_ != nullptr) obs_->on_wake(*this, c.id, c.now, lim);
       mark_ready(c);
       any = true;
     } else {
@@ -388,7 +494,7 @@ void Engine::refresh_gmin() {
   for (const auto& cptr : cores_) {
     const CoreSim& c = *cptr;
     if (is_anchor(c)) g = std::min(g, c.now);
-    for (Tick b : c.births) g = std::min(g, b + drift_ticks_);
+    for (Tick b : c.births) g = std::min(g, sat_add(b, drift_ticks_));
   }
   gmin_lb_ = g;
 }
@@ -413,7 +519,7 @@ Tick Engine::bounded_slack_limit() const {
     for (Tick b : c.births) gmin = std::min(gmin, b);
   }
   if (gmin == kTickInfinity) return kTickInfinity;
-  return gmin + drift_ticks_;
+  return sat_add(gmin, drift_ticks_);
 }
 
 std::uint32_t Engine::free_slots(const CoreSim& c) const {
@@ -451,7 +557,7 @@ Tick Engine::drift_limit(const CoreSim& c) {
     Tick limit = bounded_slack_limit();
     if (!c.births.empty()) {
       const Tick mb = *std::min_element(c.births.begin(), c.births.end());
-      limit = std::min(limit, mb + drift_ticks_);
+      limit = std::min(limit, sat_add(mb, drift_ticks_));
     }
     return limit;
   }
@@ -459,7 +565,7 @@ Tick Engine::drift_limit(const CoreSim& c) {
   Tick best = kTickInfinity;
   if (!c.births.empty()) {
     const Tick mb = *std::min_element(c.births.begin(), c.births.end());
-    best = mb + T;
+    best = sat_add(mb, T);
   }
   // BFS outward from c. Idle cores are transparent: passing through one
   // adds T per hop, which is exactly the paper's shadow-time fixpoint
@@ -476,16 +582,16 @@ Tick Engine::drift_limit(const CoreSim& c) {
   auto deeper_cannot_improve = [&](std::uint32_t next_depth) {
     if (best == kTickInfinity) return false;
     if (gmin_lb_ == kTickInfinity) return true;
-    return gmin_lb_ + T * next_depth >= best;
+    return sat_add(gmin_lb_, sat_mul(T, next_depth)) >= best;
   };
   while (head < queue.size()) {
     const auto [id, d] = queue[head++];
     if (d > 0) {
       const CoreSim& n = core(id);
-      if (is_anchor(n)) best = std::min(best, n.now + T * d);
+      if (is_anchor(n)) best = std::min(best, sat_add(n.now, sat_mul(T, d)));
       if (!n.births.empty()) {
         const Tick mb = *std::min_element(n.births.begin(), n.births.end());
-        best = std::min(best, mb + T * (d + 1));
+        best = std::min(best, sat_add(mb, sat_mul(T, d + 1)));
       }
     }
     if (deeper_cannot_improve(d + 1)) continue;
@@ -504,7 +610,7 @@ void Engine::advance_execution(CoreSim& c, Tick cost) {
     const Tick quantum = ticks(std::max<Cycles>(1, cfg_.cl_quantum_cycles));
     while (cost > 0) {
       const Tick step = std::min(cost, quantum);
-      charge(c, step);
+      charge(c, step, AdvanceKind::kCompute);
       cost -= step;
       if (cost > 0) Fiber::yield();
     }
@@ -514,7 +620,7 @@ void Engine::advance_execution(CoreSim& c, Tick cost) {
     if (c.hold_depth > 0) {
       // Lock/cell holder: temporarily exempt from spatial sync so it
       // can reach its release (paper SS II-B, deadlock avoidance).
-      charge(c, cost);
+      charge(c, cost, AdvanceKind::kCompute);
       return;
     }
     if (c.cached_limit <= c.now || c.limit_epoch != limit_epoch_) {
@@ -523,7 +629,7 @@ void Engine::advance_execution(CoreSim& c, Tick cost) {
     }
     if (c.cached_limit > c.now) {
       const Tick step = std::min(cost, c.cached_limit - c.now);
-      charge(c, step);
+      charge(c, step, AdvanceKind::kCompute);
       cost -= step;
       continue;
     }
@@ -531,6 +637,7 @@ void Engine::advance_execution(CoreSim& c, Tick cost) {
     c.sync_stalled = true;
     stalled_.push_back(c.id);
     if (trace_ != nullptr) trace_->on_stall(c.id, c.now);
+    if (obs_ != nullptr) obs_->on_stall(*this, c.id, c.now);
     Fiber::yield();
     // Woken by wake_sweep with a fresh cached_limit; loop re-checks.
   }
@@ -558,6 +665,7 @@ void Engine::post(MsgKind kind, CoreSim& from, CoreId to, std::uint32_t bytes,
   ++inflight_messages_;
   ++stats_.messages;
   if (trace_ != nullptr) trace_->on_message(m);
+  if (obs_ != nullptr) obs_->on_message_posted(*this, m, /*direct=*/false);
   CoreSim& dst = core(to);
   dst.inbox.push_back(std::move(m));
   mark_ready(dst);
@@ -574,6 +682,7 @@ void Engine::deliver_direct(MsgKind kind, CoreId from, CoreId to,
   m.a = a;
   m.b = b;
   ++inflight_messages_;
+  if (obs_ != nullptr) obs_->on_message_posted(*this, m, /*direct=*/true);
   CoreSim& dst = core(to);
   dst.inbox.push_back(std::move(m));
   mark_ready(dst);
@@ -583,8 +692,11 @@ void Engine::process_inbox(CoreSim& c) {
   while (!c.inbox.empty()) {
     Message m = std::move(c.inbox.front());
     c.inbox.pop_front();
-    assert(inflight_messages_ > 0);
+    SIMANY_ASSERT(inflight_messages_ > 0, "core ", c.id, " at vt=", c.now,
+                  " popped ", to_string(m.kind),
+                  " with zero in-flight messages");
     --inflight_messages_;
+    if (obs_ != nullptr) obs_->on_message_handled(*this, c.id, m);
     handle_message(c, m);
   }
 }
@@ -659,11 +771,14 @@ void Engine::on_task_spawn(CoreSim& c, Message& m) {
   // tasks"). Control messages have no architectural cost.
   CoreSim& parent = core(m.src);
   auto it = std::find(parent.births.begin(), parent.births.end(), m.birth);
-  assert(it != parent.births.end());
+  SIMANY_ASSERT(it != parent.births.end(), "TASK_SPAWN at core ", c.id,
+                " vt=", c.now, ": parent core ", m.src,
+                " has no birth record for vt=", m.birth);
   if (it != parent.births.end()) {
     *it = parent.births.back();
     parent.births.pop_back();
   }
+  if (obs_ != nullptr) obs_->on_task_arrival(*this, m.src, c.id, m.birth);
   try_migrate(c);
 }
 
@@ -703,9 +818,10 @@ void Engine::try_migrate(CoreSim& c) {
     ++core(target).reserved;
     const Tick birth = c.now;
     c.births.push_back(birth);
-    gmin_lb_ = std::min(gmin_lb_, birth + drift_ticks_);
+    gmin_lb_ = std::min(gmin_lb_, sat_add(birth, drift_ticks_));
     ++limit_epoch_;
     ++stats_.tasks_migrated;
+    if (obs_ != nullptr) obs_->on_task_birth(*this, c.id, birth);
     post(MsgKind::kTaskSpawn, c, target, cfg_.runtime.spawn_msg_bytes, 0, 0,
          std::move(task.fn), task.group, birth);
   }
@@ -1019,10 +1135,11 @@ void Engine::ctx_spawn(CoreSim& c, GroupId g, TaskFn fn,
   if (g != kInvalidGroup) ++groups_[g].active;
   const Tick birth = c.now;
   c.births.push_back(birth);
-  gmin_lb_ = std::min(gmin_lb_, birth + drift_ticks_);
+  gmin_lb_ = std::min(gmin_lb_, sat_add(birth, drift_ticks_));
   ++limit_epoch_;
   ++live_tasks_;
   ++stats_.tasks_spawned;
+  if (obs_ != nullptr) obs_->on_task_birth(*this, c.id, birth);
   const std::uint32_t bytes =
       arg_bytes != 0 ? arg_bytes : cfg_.runtime.spawn_msg_bytes;
   const CoreId target = c.reserved_target;
@@ -1058,6 +1175,7 @@ void Engine::ctx_lock(CoreSim& c, LockId id) {
     const Message r = await_reply(c);
     sync_to_arrival(r.arrival, c.now);
     ++c.hold_depth;
+    if (obs_ != nullptr) obs_->on_lock_acquired(*this, c.id, id);
     return;
   }
   if (lk.held && lk.holder == c.id) {
@@ -1075,6 +1193,7 @@ void Engine::ctx_lock(CoreSim& c, LockId id) {
     lk.holder = c.id;
   }
   ++c.hold_depth;
+  if (obs_ != nullptr) obs_->on_lock_acquired(*this, c.id, id);
 }
 
 void Engine::ctx_unlock(CoreSim& c, LockId id) {
@@ -1083,8 +1202,10 @@ void Engine::ctx_unlock(CoreSim& c, LockId id) {
   if (!lk.held || lk.holder != c.id) {
     throw std::logic_error("unlock of a lock this core does not hold");
   }
-  assert(c.hold_depth > 0);
+  SIMANY_ASSERT(c.hold_depth > 0, "core ", c.id, " at vt=", c.now,
+                " unlocking lock ", id, " with hold_depth 0");
   --c.hold_depth;
+  if (obs_ != nullptr) obs_->on_lock_released(*this, c.id, id);
   if (distributed && lk.home != c.id) {
     // The release travels asynchronously; clear the holder now so a
     // subsequent acquisition by this core is not mistaken for
@@ -1123,6 +1244,7 @@ void Engine::ctx_cell_acquire(CoreSim& c, CellId id, AccessMode mode) {
     const Message r = await_reply(c);
     sync_to_arrival(r.arrival, c.now);
     ++c.hold_depth;
+    if (obs_ != nullptr) obs_->on_cell_acquired(*this, c.id, id);
     // Data lands in the local L2 and is accessed from there.
     charge(c, ticks(cfg_.mem.l2_latency_cycles));
     return;
@@ -1137,6 +1259,7 @@ void Engine::ctx_cell_acquire(CoreSim& c, CellId id, AccessMode mode) {
     cell.holder_mode = mode;
   }
   ++c.hold_depth;
+  if (obs_ != nullptr) obs_->on_cell_acquired(*this, c.id, id);
   if (distributed) {
     charge(c, ticks(cfg_.mem.l2_latency_cycles));
   } else {
@@ -1149,7 +1272,8 @@ void Engine::ctx_cell_release(CoreSim& c, CellId id) {
   if (!cells_[id].locked || cells_[id].holder != c.id) {
     throw std::logic_error("release of a cell this core does not hold");
   }
-  assert(c.hold_depth > 0);
+  SIMANY_ASSERT(c.hold_depth > 0, "core ", c.id, " at vt=", c.now,
+                " releasing cell ", id, " with hold_depth 0");
   const bool wrote = cells_[id].holder_mode == AccessMode::kWrite;
   if (distributed && cells_[id].home != c.id) {
     const std::uint32_t bytes =
@@ -1159,6 +1283,7 @@ void Engine::ctx_cell_release(CoreSim& c, CellId id) {
     post(MsgKind::kCellRelease, c, cells_[id].home, bytes, id,
          wrote ? 1 : 0);
     --c.hold_depth;
+    if (obs_ != nullptr) obs_->on_cell_released(*this, c.id, id);
     return;
   }
   if (!distributed && wrote) {
@@ -1171,6 +1296,7 @@ void Engine::ctx_cell_release(CoreSim& c, CellId id) {
   }
   grant_next_cell_waiter(c, id);
   --c.hold_depth;
+  if (obs_ != nullptr) obs_->on_cell_released(*this, c.id, id);
 }
 
 }  // namespace simany

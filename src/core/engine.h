@@ -32,7 +32,9 @@
 #include <vector>
 
 #include "config/arch_config.h"
+#include "core/engine_observer.h"
 #include "core/fiber.h"
+#include "core/inspect.h"
 #include "core/message.h"
 #include "core/rng.h"
 #include "core/sim_stats.h"
@@ -76,6 +78,18 @@ class Engine {
   /// Attaches an event observer (or nullptr to detach). The sink must
   /// outlive run(). See stats/trace_sinks.h for ready-made sinks.
   void set_trace(TraceSink* sink) noexcept { trace_ = sink; }
+
+  /// Attaches a validation/instrumentation observer (or nullptr to
+  /// detach). Observers see every engine transition — see
+  /// core/engine_observer.h and the checkers in src/check. The
+  /// observer must outlive run(). Costs one null-check per event when
+  /// detached.
+  void set_observer(EngineObserver* obs) noexcept { obs_ = obs; }
+
+  /// Builds a structured snapshot of the complete simulation state
+  /// (core clocks, births, lock/cell/group tables, counters). Slow;
+  /// meant for validators and deadlock diagnostics.
+  [[nodiscard]] EngineInspect inspect() const;
 
  private:
   // ---- Per-core simulation state ------------------------------------
@@ -258,7 +272,20 @@ class Engine {
 
   [[nodiscard]] Tick mem_cost_l1_hit(const CoreSim& c) const;
 
-  void charge(CoreSim& c, Tick cost) { c.now += cost; c.busy += cost; }
+  void charge(CoreSim& c, Tick cost,
+              AdvanceKind kind = AdvanceKind::kRuntime) {
+    const Tick from = c.now;
+    c.now = sat_add(from, cost);
+    c.busy += cost;
+    if (obs_ != nullptr) {
+      obs_->on_advance(*this, c.id, from, c.now, kind, c.hold_depth > 0);
+    }
+  }
+
+  /// Internal self-audit of conservation counters (live tasks,
+  /// in-flight messages, hold depths). Active only in SIMANY_CHECKED /
+  /// Debug builds; called periodically from the main loop.
+  void audit_counters() const;
 
   [[nodiscard]] CoreSim& core(CoreId id) { return *cores_[id]; }
   [[nodiscard]] const CoreSim& core(CoreId id) const { return *cores_[id]; }
@@ -293,6 +320,7 @@ class Engine {
   std::uint64_t quantum_count_ = 0;
   std::uint64_t synth_addr_next_ = 1;  // synthetic cell address space
   TraceSink* trace_ = nullptr;
+  EngineObserver* obs_ = nullptr;
   std::vector<std::uint32_t> bfs_epoch_;
   std::uint32_t bfs_epoch_cur_ = 0;
   bool ran_ = false;

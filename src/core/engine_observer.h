@@ -1,0 +1,81 @@
+// Engine observation hooks for validators and instrumentation.
+//
+// EngineObserver is the wide sibling of TraceSink: it sees every
+// semantically relevant engine transition — virtual-time advances,
+// message life-cycle, task life-cycle, lock/cell ownership, stalls —
+// and receives the Engine itself, so an observer can cross-examine
+// global state (Engine::inspect()) at any event. The engine pays one
+// pointer null-check per event when no observer is attached, so
+// observation costs nothing unless explicitly enabled. The
+// invariant-checking subsystem (src/check) is built on this interface.
+#pragma once
+
+#include "core/message.h"
+#include "core/sim_types.h"
+#include "core/vtime.h"
+
+namespace simany {
+
+class Engine;
+
+/// Why a core's virtual time moved forward.
+enum class AdvanceKind : std::uint8_t {
+  /// Annotated program execution going through the spatial-sync check
+  /// (advance_execution). The drift bound applies here.
+  kCompute,
+  /// Run-time bookkeeping charges and arrival-time jumps; these follow
+  /// message causality, not the drift bound.
+  kRuntime,
+};
+
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+
+  virtual void on_run_begin(const Engine&) {}
+  virtual void on_run_end(const Engine&) {}
+
+  /// Core `c` moved from `from` to `to` ticks (monotone per core).
+  /// `exempt` is true while the core holds locks/cells and is thus
+  /// excused from the drift bound (paper SS II-B).
+  virtual void on_advance(const Engine&, CoreId /*c*/, Tick /*from*/,
+                          Tick /*to*/, AdvanceKind, bool /*exempt*/) {}
+
+  /// A message entered the network (post), or — when `direct` — was
+  /// delivered without one (shared-memory lock/cell hand-off).
+  virtual void on_message_posted(const Engine&, const Message&,
+                                 bool /*direct*/) {}
+
+  /// A message is about to be handled at its destination core.
+  virtual void on_message_handled(const Engine&, CoreId /*c*/,
+                                  const Message&) {}
+
+  virtual void on_task_start(const Engine&, CoreId /*c*/, Tick /*at*/) {}
+  virtual void on_task_end(const Engine&, CoreId /*c*/, Tick /*at*/) {}
+  /// Core `parent` recorded birth time `birth` for an in-flight spawn.
+  virtual void on_task_birth(const Engine&, CoreId /*parent*/,
+                             Tick /*birth*/) {}
+  /// The spawn born at `birth` reached `dst`; `parent` retired it.
+  virtual void on_task_arrival(const Engine&, CoreId /*parent*/,
+                               CoreId /*dst*/, Tick /*birth*/) {}
+
+  virtual void on_stall(const Engine&, CoreId /*c*/, Tick /*at*/) {}
+  virtual void on_wake(const Engine&, CoreId /*c*/, Tick /*at*/,
+                       Tick /*new_limit*/) {}
+
+  virtual void on_lock_acquired(const Engine&, CoreId /*c*/, LockId) {}
+  virtual void on_lock_released(const Engine&, CoreId /*c*/, LockId) {}
+  virtual void on_cell_acquired(const Engine&, CoreId /*c*/, CellId) {}
+  virtual void on_cell_released(const Engine&, CoreId /*c*/, CellId) {}
+
+  /// End of one scheduling quantum in the main loop — a safe point at
+  /// which no core is mid-transition; full-state audits belong here.
+  virtual void on_quantum_end(const Engine&) {}
+
+  /// No core can advance. Called once, with full state still intact,
+  /// before the engine throws its deadlock error; an observer may
+  /// throw a richer diagnostic instead (see check/deadlock.h).
+  virtual void on_deadlock(const Engine&) {}
+};
+
+}  // namespace simany

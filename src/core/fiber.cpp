@@ -1,9 +1,14 @@
 #include "core/fiber.h"
 
-#include <cassert>
 #include <cstdint>
 #include <stdexcept>
 #include <utility>
+
+#include "core/simany_assert.h"
+
+#if SIMANY_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
 
 namespace simany {
 
@@ -27,20 +32,37 @@ Fiber::~Fiber() {
 
 void Fiber::trampoline() {
   Fiber* self = g_current;
-  assert(self != nullptr);
+#if SIMANY_ASAN_FIBERS
+  // First instruction on this stack: tell ASan the switch completed and
+  // learn the scheduler stack's bounds for the switches back.
+  __sanitizer_finish_switch_fiber(nullptr, &self->asan_sched_stack_,
+                                  &self->asan_sched_size_);
+#endif
+  SIMANY_ASSERT(self != nullptr,
+                "fiber trampoline entered with no current fiber");
   try {
     self->fn_();
   } catch (...) {
     self->exception_ = std::current_exception();
   }
   self->finished_ = true;
+#if SIMANY_ASAN_FIBERS
+  // Null fake-stack pointer = this fiber is terminating; ASan releases
+  // its fake frames instead of keeping them for a return that never
+  // happens.
+  __sanitizer_start_switch_fiber(nullptr, self->asan_sched_stack_,
+                                 self->asan_sched_size_);
+#endif
   // Fall through: returning from the makecontext entry point resumes
   // uc_link, which we point at return_ctx_ before every resume.
 }
 
 void Fiber::resume() {
-  assert(g_current == nullptr && "nested fiber resume is not supported");
-  assert(!finished_);
+  SIMANY_ASSERT(g_current == nullptr,
+                "nested fiber resume is not supported (resume from inside "
+                "fiber ", static_cast<const void*>(g_current), ")");
+  SIMANY_ASSERT(!finished_, "resume of a finished fiber ",
+                static_cast<const void*>(this));
   if (!started_) {
     started_ = true;
     if (getcontext(&ctx_) != 0) {
@@ -53,7 +75,16 @@ void Fiber::resume() {
   }
   ctx_.uc_link = &return_ctx_;
   g_current = this;
-  if (swapcontext(&return_ctx_, &ctx_) != 0) {
+#if SIMANY_ASAN_FIBERS
+  void* sched_fake_stack = nullptr;
+  __sanitizer_start_switch_fiber(&sched_fake_stack, stack_.get(),
+                                 stack_bytes_);
+#endif
+  const int rc = swapcontext(&return_ctx_, &ctx_);
+#if SIMANY_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(sched_fake_stack, nullptr, nullptr);
+#endif
+  if (rc != 0) {
     g_current = nullptr;
     throw std::runtime_error("swapcontext into fiber failed");
   }
@@ -62,9 +93,20 @@ void Fiber::resume() {
 
 void Fiber::yield() {
   Fiber* self = g_current;
-  assert(self != nullptr && "yield outside of fiber context");
+  SIMANY_ASSERT(self != nullptr, "Fiber::yield outside of fiber context");
   g_current = nullptr;
-  if (swapcontext(&self->ctx_, &self->return_ctx_) != 0) {
+#if SIMANY_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&self->asan_fiber_fake_stack_,
+                                 self->asan_sched_stack_,
+                                 self->asan_sched_size_);
+#endif
+  const int rc = swapcontext(&self->ctx_, &self->return_ctx_);
+#if SIMANY_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(self->asan_fiber_fake_stack_,
+                                  &self->asan_sched_stack_,
+                                  &self->asan_sched_size_);
+#endif
+  if (rc != 0) {
     throw std::runtime_error("swapcontext out of fiber failed");
   }
   // Back inside the fiber: restore the current pointer.

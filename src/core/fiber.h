@@ -20,6 +20,21 @@
 #include <ucontext.h>
 #include <vector>
 
+// AddressSanitizer must be told about every stack switch, or its
+// fake-stack bookkeeping (and __asan_handle_no_return, hit whenever an
+// exception unwinds across a fiber) corrupts the shadow for our
+// heap-allocated stacks.
+#if defined(__SANITIZE_ADDRESS__)
+#define SIMANY_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SIMANY_ASAN_FIBERS 1
+#endif
+#endif
+#ifndef SIMANY_ASAN_FIBERS
+#define SIMANY_ASAN_FIBERS 0
+#endif
+
 namespace simany {
 
 class FiberPool;
@@ -66,6 +81,11 @@ class Fiber {
   bool started_ = false;
   bool finished_ = false;
   std::exception_ptr exception_;
+#if SIMANY_ASAN_FIBERS
+  void* asan_fiber_fake_stack_ = nullptr;  // fiber's fake stack while parked
+  const void* asan_sched_stack_ = nullptr;  // scheduler stack bounds, learned
+  std::size_t asan_sched_size_ = 0;         // on first entry into the fiber
+#endif
 };
 
 /// Recycles fiber stacks. Finished fibers handed back to the pool have

@@ -1,0 +1,74 @@
+// Structured snapshot of complete engine state, for validators,
+// deadlock diagnostics and debugging dumps.
+//
+// Engine::inspect() is deliberately allocation-heavy and slow — it is
+// meant for on-demand use (periodic audits, deadlock reports), never
+// for the hot path. The structs are plain data so external checkers
+// and unit tests can fabricate states without a live engine (this is
+// how the negative invariant-injection tests work).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sim_types.h"
+#include "core/vtime.h"
+
+namespace simany {
+
+struct CoreInspect {
+  CoreId id = 0;
+  Tick now = 0;
+  /// Anchored: a running fiber, queued task or resumable joiner pins
+  /// this core's virtual time (idle cores are shadow-transparent).
+  bool anchor = false;
+  /// A task fiber is installed (running, stalled or blocked).
+  bool has_fiber = false;
+  bool sync_stalled = false;
+  bool waiting_reply = false;
+  int hold_depth = 0;
+  std::size_t inbox_len = 0;
+  std::size_t queue_len = 0;
+  std::size_t resumables = 0;
+  std::uint32_t reserved = 0;
+  /// Birth times of in-flight spawns sent from this core.
+  std::vector<Tick> births;
+};
+
+struct LockInspect {
+  LockId id = 0;
+  CoreId home = 0;
+  bool held = false;
+  CoreId holder = net::kInvalidCore;
+  std::vector<CoreId> waiters;
+};
+
+struct CellInspect {
+  CellId id = 0;
+  CoreId home = 0;
+  bool locked = false;
+  CoreId holder = net::kInvalidCore;
+  std::vector<CoreId> waiters;
+};
+
+struct GroupInspect {
+  GroupId id = 0;
+  std::uint32_t active = 0;
+  std::vector<CoreId> joiner_cores;
+};
+
+struct EngineInspect {
+  /// Drift bound T in ticks.
+  Tick drift_ticks = 0;
+  std::uint64_t live_tasks = 0;
+  std::uint64_t inflight_messages = 0;
+  /// TASK_SPAWN messages currently in flight; they carry live tasks,
+  /// which conservation accounting must include.
+  std::uint64_t inflight_spawns = 0;
+  std::vector<CoreInspect> cores;
+  std::vector<LockInspect> locks;
+  std::vector<CellInspect> cells;
+  std::vector<GroupInspect> groups;
+};
+
+}  // namespace simany

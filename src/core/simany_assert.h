@@ -1,0 +1,58 @@
+// Checked-build assertions with simulation context.
+//
+// SIMANY_ASSERT behaves like assert() but (a) stays active in Release
+// builds configured with -DSIMANY_CHECKED=ON and (b) prints a stream
+// of context values (core id, virtual time, event) before aborting, so
+// a violated engine invariant deep into a long run is diagnosable from
+// the message alone:
+//
+//   SIMANY_ASSERT(live_tasks_ > 0, "task_done on core ", c.id,
+//                 " at vt=", c.now, " with zero live tasks");
+//
+// When inactive the macro compiles to nothing (the condition is not
+// evaluated), so hot-path checks are free in plain Release builds.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#if !defined(NDEBUG) || defined(SIMANY_CHECKED)
+#define SIMANY_ASSERT_ACTIVE 1
+#else
+#define SIMANY_ASSERT_ACTIVE 0
+#endif
+
+namespace simany::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& context) {
+  std::cerr << file << ":" << line << ": SIMANY_ASSERT(" << expr
+            << ") failed";
+  if (!context.empty()) std::cerr << ": " << context;
+  std::cerr << std::endl;
+  std::abort();
+}
+
+template <typename... Ts>
+[[nodiscard]] std::string assert_context(const Ts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+
+}  // namespace simany::detail
+
+#if SIMANY_ASSERT_ACTIVE
+#define SIMANY_ASSERT(cond, ...)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::simany::detail::assert_fail(                                      \
+          #cond, __FILE__, __LINE__,                                      \
+          ::simany::detail::assert_context(__VA_ARGS__));                 \
+    }                                                                     \
+  } while (0)
+#else
+#define SIMANY_ASSERT(cond, ...) ((void)0)
+#endif

@@ -24,8 +24,22 @@ inline constexpr Tick kTicksPerCycle = 12;
 
 inline constexpr Tick kTickInfinity = std::numeric_limits<Tick>::max();
 
+/// Saturating tick addition. kTickInfinity means "unconstrained", and
+/// drift-limit arithmetic routinely adds offsets to times that may be
+/// infinite — wrapping there would turn "no constraint" into a tiny
+/// (maximally binding) limit, so sums pin at infinity instead.
+[[nodiscard]] constexpr Tick sat_add(Tick a, Tick b) noexcept {
+  return a > kTickInfinity - b ? kTickInfinity : a + b;
+}
+
+/// Saturating tick multiplication (see sat_add).
+[[nodiscard]] constexpr Tick sat_mul(Tick a, Tick b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  return a > kTickInfinity / b ? kTickInfinity : a * b;
+}
+
 [[nodiscard]] constexpr Tick ticks(Cycles c) noexcept {
-  return static_cast<Tick>(c) * kTicksPerCycle;
+  return sat_mul(static_cast<Tick>(c), kTicksPerCycle);
 }
 
 /// Converts ticks back to whole cycles, rounding down.
@@ -54,10 +68,15 @@ struct Speed {
 };
 
 /// Cost in ticks of a block of `c` cycles on a core of speed `s`
-/// (rounded up so a nonzero cost never becomes free).
+/// (rounded up so a nonzero cost never becomes free; saturating at
+/// kTickInfinity so absurd annotations near the representable maximum
+/// clamp instead of wrapping).
 [[nodiscard]] constexpr Tick scaled_cost(Cycles c, Speed s) noexcept {
   const auto raw = static_cast<unsigned __int128>(c) * kTicksPerCycle * s.den;
-  return static_cast<Tick>((raw + s.num - 1) / s.num);
+  const auto scaled = (raw + s.num - 1) / s.num;
+  return scaled >= static_cast<unsigned __int128>(kTickInfinity)
+             ? kTickInfinity
+             : static_cast<Tick>(scaled);
 }
 
 }  // namespace simany

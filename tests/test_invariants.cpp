@@ -1,0 +1,556 @@
+// The simcheck subsystem, both directions:
+//
+//  * positive — randomly generated well-formed programs run to
+//    completion on several topologies with InvariantChecker attached
+//    and every-advance verification, without a single violation, and
+//    without perturbing simulated time;
+//  * negative — states and messages with injected violations (drift
+//    past the bound, acausal delivery, broken conservation, bad hold
+//    depths) are each caught with a diagnostic naming the invariant;
+//  * deadlock — the wait-for analyzer finds circular waits on
+//    fabricated states and a really deadlocking program produces a
+//    structured DeadlockError instead of the engine's terse throw;
+//  * lint — degenerate configurations get stable SCxxx diagnostics.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "check/config_lint.h"
+#include "check/deadlock.h"
+#include "check/invariant_checker.h"
+#include "config/arch_config.h"
+#include "core/engine.h"
+
+namespace simany {
+namespace {
+
+using check::CheckError;
+using check::DeadlockError;
+using check::Invariant;
+using check::InvariantChecker;
+using check::Violation;
+
+// ---------------------------------------------------------------------
+// Shared random-program generator (same shape as test_random_programs)
+// ---------------------------------------------------------------------
+
+struct ProgramState {
+  std::vector<LockId> locks;
+  std::vector<CellId> cells;
+  GroupId group = kInvalidGroup;
+  std::uint64_t work_done = 0;
+};
+
+void random_task(TaskCtx& ctx, const std::shared_ptr<ProgramState>& st,
+                 std::uint64_t seed, std::uint64_t tag, int depth) {
+  ctx.function_boundary();
+  Rng rng(seed ^ (tag * 0x9e3779b97f4a7c15ULL));
+  ctx.compute(static_cast<Cycles>(1 + rng.below(200)));
+  st->work_done += tag;
+  if (rng.chance(0.4) && !st->locks.empty()) {
+    LockGuard guard(ctx, st->locks[rng.below(st->locks.size())]);
+    ctx.compute(1 + rng.below(50));
+  }
+  if (rng.chance(0.4) && !st->cells.empty()) {
+    CellGuard guard(ctx, st->cells[rng.below(st->cells.size())],
+                    rng.chance(0.5) ? AccessMode::kRead
+                                    : AccessMode::kWrite);
+    ctx.compute(1 + rng.below(50));
+  }
+  if (depth >= 3) return;
+  const auto children = rng.below(4);
+  for (std::uint64_t i = 0; i < children; ++i) {
+    const std::uint64_t child_tag = tag * 31 + i + 1;
+    spawn_or_run(ctx, st->group, [st, seed, child_tag, depth](TaskCtx& c) {
+      random_task(c, st, seed, child_tag, depth + 1);
+    });
+  }
+}
+
+Tick run_checked(ArchConfig cfg, std::uint64_t seed,
+                 InvariantChecker* checker,
+                 ExecutionMode mode = ExecutionMode::kVirtualTime) {
+  Engine sim(std::move(cfg), mode);
+  if (checker != nullptr) checker->attach(sim);
+  auto st = std::make_shared<ProgramState>();
+  const auto stats = sim.run([&](TaskCtx& ctx) {
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      st->locks.push_back(ctx.make_lock());
+    }
+    for (std::uint32_t i = 0; i < 5; ++i) {
+      st->cells.push_back(ctx.make_cell_at(64, i % ctx.num_cores()));
+    }
+    st->group = ctx.make_group();
+    random_task(ctx, st, seed, 1, 0);
+    ctx.join(st->group);
+  });
+  EXPECT_GT(st->work_done, 0u);
+  return stats.completion_ticks;
+}
+
+// ---------------------------------------------------------------------
+// Positive: checked runs are violation-free and timing-transparent
+// ---------------------------------------------------------------------
+
+class CheckedPrograms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CheckedPrograms, SharedMeshRunsClean) {
+  InvariantChecker checker;
+  run_checked(ArchConfig::shared_mesh(16), GetParam(), &checker);
+  EXPECT_TRUE(checker.violations().empty());
+  EXPECT_GT(checker.checks_performed(), 0u);
+}
+
+TEST_P(CheckedPrograms, DistributedMeshRunsClean) {
+  InvariantChecker checker;
+  run_checked(ArchConfig::distributed_mesh(16), GetParam(), &checker);
+  EXPECT_TRUE(checker.violations().empty());
+}
+
+TEST_P(CheckedPrograms, RingRunsClean) {
+  ArchConfig cfg = ArchConfig::shared_mesh(8);
+  cfg.topology = net::Topology::ring(8);
+  InvariantChecker checker;
+  run_checked(std::move(cfg), GetParam(), &checker);
+  EXPECT_TRUE(checker.violations().empty());
+}
+
+TEST_P(CheckedPrograms, ClusteredMeshRunsClean) {
+  InvariantChecker checker;
+  run_checked(ArchConfig::clustered(ArchConfig::distributed_mesh(16), 4),
+              GetParam(), &checker);
+  EXPECT_TRUE(checker.violations().empty());
+}
+
+TEST_P(CheckedPrograms, TightDriftRunsClean) {
+  ArchConfig cfg = ArchConfig::shared_mesh(16);
+  cfg.drift_t_cycles = 5;  // maximum stalling pressure
+  InvariantChecker checker;
+  run_checked(std::move(cfg), GetParam(), &checker);
+  EXPECT_TRUE(checker.violations().empty());
+}
+
+TEST_P(CheckedPrograms, BoundedSlackRunsClean) {
+  ArchConfig cfg = ArchConfig::shared_mesh(16);
+  cfg.sync_scheme = SyncScheme::kBoundedSlack;
+  InvariantChecker checker;
+  run_checked(std::move(cfg), GetParam(), &checker);
+  EXPECT_TRUE(checker.violations().empty());
+}
+
+TEST_P(CheckedPrograms, CycleLevelRunsClean) {
+  // Drift bounds do not apply in cycle-level mode; monotonicity,
+  // causality and conservation still do.
+  InvariantChecker checker;
+  run_checked(ArchConfig::shared_mesh(8), GetParam(), &checker,
+              ExecutionMode::kCycleLevel);
+  EXPECT_TRUE(checker.violations().empty());
+}
+
+TEST_P(CheckedPrograms, CheckerDoesNotPerturbTiming) {
+  InvariantChecker checker;
+  const Tick with =
+      run_checked(ArchConfig::distributed_mesh(16), GetParam(), &checker);
+  const Tick without =
+      run_checked(ArchConfig::distributed_mesh(16), GetParam(), nullptr);
+  EXPECT_EQ(with, without);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckedPrograms,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+// ---------------------------------------------------------------------
+// Negative: injected violations are caught and correctly named
+// ---------------------------------------------------------------------
+
+/// A consistent baseline snapshot over `topo`: all cores idle at 0,
+/// counters zeroed — check_state finds nothing on it.
+EngineInspect clean_state(const net::Topology& topo, Cycles drift_cycles) {
+  EngineInspect s;
+  s.drift_ticks = ticks(drift_cycles);
+  s.cores.resize(topo.num_cores());
+  for (CoreId c = 0; c < topo.num_cores(); ++c) s.cores[c].id = c;
+  return s;
+}
+
+net::Topology line3() {
+  net::Topology t(3);
+  t.add_link(0, 1);
+  t.add_link(1, 2);
+  return t;
+}
+
+bool has_violation(const std::vector<Violation>& vs, Invariant inv) {
+  for (const Violation& v : vs) {
+    if (v.invariant == inv) return true;
+  }
+  return false;
+}
+
+TEST(NegativeStates, CleanStatePasses) {
+  const net::Topology topo = line3();
+  const auto vs = InvariantChecker::check_state(clean_state(topo, 100), topo);
+  EXPECT_TRUE(vs.empty());
+}
+
+TEST(NegativeStates, NeighborDriftIsCaught) {
+  const net::Topology topo = line3();
+  EngineInspect s = clean_state(topo, 100);
+  const Tick t = s.drift_ticks;
+  s.cores[0].anchor = true;  // anchored at vt=0
+  s.cores[1].anchor = true;
+  s.cores[1].now = sat_add(t, 1);  // one tick past its neighbor's window
+  const auto vs = InvariantChecker::check_state(s, topo);
+  ASSERT_TRUE(has_violation(vs, Invariant::kNeighborDrift));
+  EXPECT_STREQ(check::to_string(Invariant::kNeighborDrift),
+               "neighbor-drift");
+}
+
+TEST(NegativeStates, ShadowDriftThroughIdleCoreIsCaught) {
+  // Core 1 is idle (shadow-transparent); core 2's limit is core 0's
+  // anchor plus 2 T. No *direct* neighbor anchors core 2, so the
+  // violation must be classified as shadow drift, not neighbor drift.
+  const net::Topology topo = line3();
+  EngineInspect s = clean_state(topo, 100);
+  const Tick t = s.drift_ticks;
+  s.cores[0].anchor = true;
+  s.cores[2].anchor = true;
+  s.cores[2].now = sat_add(sat_mul(t, 2), 1);
+  const auto vs = InvariantChecker::check_state(s, topo);
+  ASSERT_TRUE(has_violation(vs, Invariant::kShadowDrift));
+  EXPECT_FALSE(has_violation(vs, Invariant::kNeighborDrift));
+}
+
+TEST(NegativeStates, BirthDriftIsCaught) {
+  // A parent that recorded a birth at vt=100 may not run past
+  // birth + T, even with no other anchor in sight.
+  const net::Topology topo = line3();
+  EngineInspect s = clean_state(topo, 100);
+  const Tick t = s.drift_ticks;
+  s.cores[0].anchor = true;
+  s.cores[0].births = {100};
+  s.cores[0].now = sat_add(100 + t, 1);
+  s.inflight_spawns = 1;  // keep conservation consistent
+  s.live_tasks = 1;
+  const auto vs = InvariantChecker::check_state(s, topo);
+  ASSERT_TRUE(has_violation(vs, Invariant::kBirthDrift));
+  EXPECT_NE(vs.front().detail.find("birth"), std::string::npos);
+}
+
+TEST(NegativeStates, LockHolderIsExemptFromDrift) {
+  // Same state as NeighborDriftIsCaught, but the runaway core holds a
+  // lock: the paper exempts holders, so no drift violation.
+  const net::Topology topo = line3();
+  EngineInspect s = clean_state(topo, 100);
+  s.cores[0].anchor = true;
+  s.cores[1].anchor = true;
+  s.cores[1].now = sat_mul(s.drift_ticks, 10);
+  s.cores[1].hold_depth = 1;
+  s.locks.push_back({0, 0, true, 1, {}});
+  const auto vs = InvariantChecker::check_state(s, topo);
+  EXPECT_TRUE(vs.empty());
+}
+
+TEST(NegativeStates, UnexemptHolderIsCaught) {
+  const net::Topology topo = line3();
+  EngineInspect s = clean_state(topo, 100);
+  // Lock 0 names core 1 as holder, but core 1's hold_depth is 0: it
+  // would stall under spatial sync while holding — the bug class the
+  // exemption exists to prevent.
+  s.locks.push_back({0, 0, true, 1, {}});
+  const auto vs = InvariantChecker::check_state(s, topo);
+  ASSERT_TRUE(has_violation(vs, Invariant::kHoldDepth));
+  EXPECT_NE(vs.front().detail.find("not exempt"), std::string::npos);
+}
+
+TEST(NegativeStates, NegativeHoldDepthIsCaught) {
+  const net::Topology topo = line3();
+  EngineInspect s = clean_state(topo, 100);
+  s.cores[2].hold_depth = -1;
+  const auto vs = InvariantChecker::check_state(s, topo);
+  EXPECT_TRUE(has_violation(vs, Invariant::kHoldDepth));
+}
+
+TEST(NegativeStates, TaskConservationBreakIsCaught) {
+  const net::Topology topo = line3();
+  EngineInspect s = clean_state(topo, 100);
+  s.cores[0].has_fiber = true;  // one task visibly running...
+  s.live_tasks = 0;             // ...but the counter says none
+  const auto vs = InvariantChecker::check_state(s, topo);
+  ASSERT_TRUE(has_violation(vs, Invariant::kConservation));
+  EXPECT_NE(vs.front().detail.find("live_tasks"), std::string::npos);
+}
+
+TEST(NegativeStates, MessageConservationBreakIsCaught) {
+  const net::Topology topo = line3();
+  EngineInspect s = clean_state(topo, 100);
+  s.inflight_messages = 3;  // counter claims messages nobody holds
+  const auto vs = InvariantChecker::check_state(s, topo);
+  ASSERT_TRUE(has_violation(vs, Invariant::kConservation));
+  EXPECT_NE(vs.front().detail.find("inflight_messages"),
+            std::string::npos);
+}
+
+TEST(NegativeMessages, ArrivalBeforeSendIsCaught) {
+  Message m;
+  m.kind = MsgKind::kTaskSpawn;
+  m.src = 0;
+  m.dst = 2;
+  m.sent = 500;
+  m.arrival = 499;
+  const auto vs = InvariantChecker::check_message(m, line3(), false);
+  ASSERT_TRUE(has_violation(vs, Invariant::kCausalDelivery));
+  EXPECT_NE(vs.front().detail.find("before it was sent"),
+            std::string::npos);
+}
+
+TEST(NegativeMessages, FasterThanLightDeliveryIsCaught) {
+  // 0 -> 2 crosses two links of default latency; arriving after only
+  // one tick is acausal even though arrival > sent.
+  Message m;
+  m.kind = MsgKind::kDataRequest;
+  m.src = 0;
+  m.dst = 2;
+  m.sent = 500;
+  m.arrival = 501;
+  const auto vs = InvariantChecker::check_message(m, line3(), false);
+  ASSERT_TRUE(has_violation(vs, Invariant::kCausalDelivery));
+  EXPECT_NE(vs.front().detail.find("minimal path latency"),
+            std::string::npos);
+}
+
+TEST(NegativeMessages, DirectDeliveryIsExemptFromPathLatency) {
+  // Direct deliveries model shared-memory hand-off without a network
+  // message; only send-before-arrival ordering applies to them.
+  Message m;
+  m.src = 0;
+  m.dst = 2;
+  m.sent = 500;
+  m.arrival = 500;
+  EXPECT_TRUE(InvariantChecker::check_message(m, line3(), true).empty());
+}
+
+TEST(NegativeLive, BackwardsAdvanceIsCaught) {
+  Engine sim(ArchConfig::shared_mesh(4));
+  InvariantChecker checker;
+  checker.attach(sim);
+  checker.on_advance(sim, 0, 50, 200, AdvanceKind::kRuntime, false);
+  try {
+    checker.on_advance(sim, 0, 200, 100, AdvanceKind::kRuntime, false);
+    FAIL() << "backwards advance not caught";
+  } catch (const CheckError& e) {
+    EXPECT_EQ(e.violation().invariant, Invariant::kMonotonicTime);
+    EXPECT_NE(std::string(e.what()).find("monotonic-time"),
+              std::string::npos);
+  }
+}
+
+TEST(NegativeLive, UnproductiveWakeIsCaught) {
+  Engine sim(ArchConfig::shared_mesh(4));
+  InvariantChecker checker;
+  checker.attach(sim);
+  try {
+    checker.on_wake(sim, 1, 100, 100);  // limit does not allow progress
+    FAIL() << "unproductive wake not caught";
+  } catch (const CheckError& e) {
+    EXPECT_EQ(e.violation().invariant, Invariant::kWakeValidity);
+    EXPECT_NE(std::string(e.what()).find("wake-validity"),
+              std::string::npos);
+  }
+}
+
+TEST(NegativeLive, UnbalancedReleaseIsCaught) {
+  Engine sim(ArchConfig::shared_mesh(4));
+  InvariantChecker checker;
+  checker.attach(sim);
+  try {
+    checker.on_lock_released(sim, 2, 0);  // never acquired
+    FAIL() << "unbalanced release not caught";
+  } catch (const CheckError& e) {
+    EXPECT_EQ(e.violation().invariant, Invariant::kHoldDepth);
+  }
+}
+
+TEST(NegativeLive, AccumulateModeCollectsInsteadOfThrowing) {
+  check::CheckOptions opts;
+  opts.throw_on_violation = false;
+  Engine sim(ArchConfig::shared_mesh(4));
+  InvariantChecker checker(opts);
+  checker.attach(sim);
+  checker.on_advance(sim, 0, 200, 100, AdvanceKind::kRuntime, false);
+  checker.on_wake(sim, 1, 100, 100);
+  ASSERT_EQ(checker.violations().size(), 2u);
+  EXPECT_EQ(checker.violations()[0].invariant, Invariant::kMonotonicTime);
+  EXPECT_EQ(checker.violations()[1].invariant, Invariant::kWakeValidity);
+}
+
+// ---------------------------------------------------------------------
+// Deadlock analysis
+// ---------------------------------------------------------------------
+
+TEST(Deadlock, FabricatedAbBaCycleIsFound) {
+  net::Topology topo(2);
+  topo.add_link(0, 1);
+  EngineInspect s;
+  s.drift_ticks = ticks(100);
+  s.cores.resize(2);
+  s.live_tasks = 2;
+  s.cores[0].has_fiber = true;
+  s.cores[0].hold_depth = 1;
+  s.cores[0].waiting_reply = true;
+  s.cores[1].has_fiber = true;
+  s.cores[1].hold_depth = 1;
+  s.cores[1].waiting_reply = true;
+  s.locks.push_back({0, 0, true, 0, {1}});  // core 1 waits for core 0
+  s.locks.push_back({1, 1, true, 1, {0}});  // core 0 waits for core 1
+  const auto rep = check::analyze_deadlock(s, topo);
+  ASSERT_TRUE(rep.has_cycle());
+  EXPECT_EQ(rep.cycle.size(), 3u);  // a -> b -> a
+  EXPECT_EQ(rep.cycle.front(), rep.cycle.back());
+  EXPECT_NE(rep.summary.find("circular wait"), std::string::npos);
+  EXPECT_NE(rep.to_string().find("waits for lock"), std::string::npos);
+}
+
+TEST(Deadlock, AcyclicStallIsReportedWithoutCycle) {
+  net::Topology topo(2);
+  topo.add_link(0, 1);
+  EngineInspect s;
+  s.drift_ticks = ticks(100);
+  s.cores.resize(2);
+  s.live_tasks = 1;
+  s.cores[0].has_fiber = true;
+  s.cores[0].waiting_reply = true;  // lost reply, no one to blame
+  const auto rep = check::analyze_deadlock(s, topo);
+  EXPECT_FALSE(rep.has_cycle());
+  EXPECT_NE(rep.summary.find("no circular wait"), std::string::npos);
+  EXPECT_NE(rep.to_string().find("reply"), std::string::npos);
+}
+
+TEST(Deadlock, DeadlockingProgramThrowsStructuredError) {
+  // The parent joins a group while holding a lock its (remotely
+  // spawned) child needs: the child waits for the lock, the parent
+  // waits for the child. With the checker attached the engine's terse
+  // deadlock throw is replaced by a DeadlockError naming the waits.
+  Engine sim(ArchConfig::shared_mesh(4));
+  InvariantChecker checker;
+  checker.attach(sim);
+  bool spawned = false;
+  try {
+    sim.run([&spawned](TaskCtx& ctx) {
+      const LockId lk = ctx.make_lock();
+      const GroupId g = ctx.make_group();
+      ctx.lock(lk);
+      if (ctx.probe()) {  // idle neighbors: succeeds on the first try
+        spawned = true;
+        ctx.spawn(g, [lk](TaskCtx& c) {
+          c.lock(lk);
+          c.unlock(lk);
+        });
+        ctx.join(g);
+      }
+      ctx.unlock(lk);
+    });
+    FAIL() << "deadlock not detected";
+  } catch (const DeadlockError& e) {
+    EXPECT_TRUE(spawned);
+    EXPECT_FALSE(e.report().edges.empty());
+    const std::string what = e.what();
+    EXPECT_NE(what.find("waits for lock"), std::string::npos);
+    EXPECT_NE(what.find("joining group"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Config lint
+// ---------------------------------------------------------------------
+
+bool has_code(const std::vector<check::LintDiag>& ds, const char* code) {
+  for (const auto& d : ds) {
+    if (std::string(d.code) == code) return true;
+  }
+  return false;
+}
+
+TEST(ConfigLint, PaperPresetsAreClean) {
+  EXPECT_TRUE(check::lint_config(ArchConfig::shared_mesh(16)).empty());
+  EXPECT_TRUE(check::lint_config(ArchConfig::distributed_mesh(64)).empty());
+  EXPECT_TRUE(
+      check::lint_config(
+          ArchConfig::polymorphic(ArchConfig::distributed_mesh(16)))
+          .empty());
+}
+
+TEST(ConfigLint, EmptyTopology) {
+  ArchConfig cfg;
+  cfg.topology = net::Topology(0);
+  const auto ds = check::lint_config(cfg);
+  EXPECT_TRUE(has_code(ds, "SC001"));
+  EXPECT_TRUE(check::has_errors(ds));
+}
+
+TEST(ConfigLint, DisconnectedTopology) {
+  ArchConfig cfg = ArchConfig::shared_mesh(4);
+  net::Topology t(4);
+  t.add_link(0, 1);  // cores 2, 3 unreachable
+  cfg.topology = std::move(t);
+  const auto ds = check::lint_config(cfg);
+  EXPECT_TRUE(has_code(ds, "SC002"));
+  EXPECT_TRUE(has_code(ds, "SC003"));  // isolated core example named
+}
+
+TEST(ConfigLint, ZeroLatencyCycle) {
+  ArchConfig cfg = ArchConfig::shared_mesh(4);
+  net::Topology t(3);
+  t.add_link(0, 1, {0, 128});
+  t.add_link(1, 2, {0, 128});
+  t.add_link(2, 0, {0, 128});
+  cfg.topology = std::move(t);
+  EXPECT_TRUE(has_code(check::lint_config(cfg), "SC005"));
+}
+
+TEST(ConfigLint, ZeroDriftOnMultiHopMesh) {
+  ArchConfig cfg = ArchConfig::shared_mesh(16);
+  cfg.drift_t_cycles = 0;
+  const auto ds = check::lint_config(cfg);
+  ASSERT_TRUE(has_code(ds, "SC006"));
+  EXPECT_TRUE(check::has_errors(ds));
+}
+
+TEST(ConfigLint, SpeedVectorProblems) {
+  ArchConfig cfg = ArchConfig::shared_mesh(4);
+  cfg.core_speeds = {{1, 1}, {0, 2}};  // wrong size and a zero speed
+  const auto ds = check::lint_config(cfg);
+  EXPECT_TRUE(has_code(ds, "SC008"));
+  EXPECT_TRUE(has_code(ds, "SC009"));
+}
+
+TEST(ConfigLint, InexactSpeedIsWarnedNotRejected) {
+  ArchConfig cfg = ArchConfig::shared_mesh(4);
+  cfg.core_speeds = {{5, 7}, {1, 1}, {1, 1}, {1, 1}};
+  const auto ds = check::lint_config(cfg);
+  EXPECT_TRUE(has_code(ds, "SC010"));
+  EXPECT_FALSE(check::has_errors(ds));
+}
+
+TEST(ConfigLint, RuntimeAndMemoryKnobs) {
+  ArchConfig cfg = ArchConfig::shared_mesh(4);
+  cfg.runtime.task_queue_capacity = 0;
+  cfg.mem.line_bytes = 48;  // not a power of two
+  cfg.network.chunk_bytes = 0;
+  const auto ds = check::lint_config(cfg);
+  EXPECT_TRUE(has_code(ds, "SC011"));
+  EXPECT_TRUE(has_code(ds, "SC013"));
+  EXPECT_TRUE(has_code(ds, "SC014"));
+}
+
+TEST(ConfigLint, FormatNamesSeverityAndCode) {
+  ArchConfig cfg = ArchConfig::shared_mesh(16);
+  cfg.drift_t_cycles = 0;
+  const std::string text = check::format_diags(check::lint_config(cfg));
+  EXPECT_NE(text.find("error SC006"), std::string::npos);
+  EXPECT_NE(text.find("drift bound"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace simany

@@ -44,6 +44,46 @@ TEST(VTime, CyclesFpMatchesFloor) {
   EXPECT_DOUBLE_EQ(cycles_fp(kTicksPerCycle / 2), 0.5);
 }
 
+TEST(VTime, SatAddSaturatesAtInfinity) {
+  EXPECT_EQ(sat_add(1, 2), 3u);
+  EXPECT_EQ(sat_add(kTickInfinity, 0), kTickInfinity);
+  EXPECT_EQ(sat_add(kTickInfinity, 1), kTickInfinity);
+  EXPECT_EQ(sat_add(kTickInfinity, kTickInfinity), kTickInfinity);
+  // One below the boundary still adds exactly; at it, pins.
+  EXPECT_EQ(sat_add(kTickInfinity - 1, 1), kTickInfinity);
+  EXPECT_EQ(sat_add(kTickInfinity - 2, 1), kTickInfinity - 1);
+}
+
+TEST(VTime, SatMulSaturatesAtInfinity) {
+  EXPECT_EQ(sat_mul(3, 4), 12u);
+  EXPECT_EQ(sat_mul(0, kTickInfinity), 0u);
+  EXPECT_EQ(sat_mul(kTickInfinity, 0), 0u);
+  EXPECT_EQ(sat_mul(kTickInfinity, 1), kTickInfinity);
+  EXPECT_EQ(sat_mul(kTickInfinity, 2), kTickInfinity);
+  EXPECT_EQ(sat_mul(kTickInfinity / 2, 3), kTickInfinity);
+}
+
+TEST(VTime, TicksSaturatesNearInfinity) {
+  // A drift bound of "infinite cycles" must not wrap into a tiny,
+  // maximally binding tick window.
+  EXPECT_EQ(ticks(kTickInfinity), kTickInfinity);
+  EXPECT_EQ(ticks(kTickInfinity / kTicksPerCycle + 1), kTickInfinity);
+  // The largest exactly representable cycle count still converts.
+  const Cycles max_exact = kTickInfinity / kTicksPerCycle;
+  EXPECT_EQ(ticks(max_exact), max_exact * kTicksPerCycle);
+}
+
+TEST(VTime, ScaledCostClampsInsteadOfWrapping) {
+  // A slow core doubles the tick cost; near the representable maximum
+  // that must clamp to infinity, not wrap to a small number.
+  EXPECT_EQ(scaled_cost(kTickInfinity / kTicksPerCycle, Speed{1, 2}),
+            kTickInfinity);
+  EXPECT_EQ(scaled_cost(kTickInfinity, Speed{1, 1}), kTickInfinity);
+  EXPECT_EQ(scaled_cost(kTickInfinity, Speed{3, 2}), kTickInfinity);
+  // Ordinary costs are unaffected by the clamp.
+  EXPECT_EQ(scaled_cost(10, Speed{1, 2}), 2 * ticks(10));
+}
+
 TEST(VTime, SpeedComparisons) {
   EXPECT_TRUE((Speed{1, 1}).is_unit());
   EXPECT_TRUE((Speed{2, 2}).is_unit());
