@@ -10,6 +10,7 @@
 // of their distributed-memory data traffic.
 
 #include <cmath>
+#include <fstream>
 #include <iostream>
 
 #include "bench/harness.h"
@@ -49,6 +50,8 @@ int main(int argc, char** argv) {
           ArchConfig cfg = model == mem::MemoryModel::kShared
                                ? ArchConfig::shared_mesh(cores)
                                : ArchConfig::distributed_mesh(cores);
+          cfg = bench::apply_host_threads(std::move(cfg),
+                                          opt.host_threads);
           const auto r =
               bench::run_dwarf(spec, seed, opt.factor, std::move(cfg));
           sum += r.wall / native[d];
@@ -71,5 +74,17 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  if (!opt.json_path.empty()) {
+    // BENCH_fig07.json for the CI perf gate. The y values are wall
+    // time over native time on the same host, so they compare across
+    // machines of different speeds.
+    std::ofstream js(opt.json_path);
+    js << "{\"bench\":\"fig07_simtime\",\"metric\":"
+          "\"sim_wall_over_native\",\"host_threads\":"
+       << opt.host_threads << ",\"factor\":" << opt.factor
+       << ",\"datasets\":" << opt.datasets << ",\"table\":";
+    table.print_json(js);
+    js << "}\n";
+  }
   return 0;
 }

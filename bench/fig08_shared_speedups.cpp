@@ -28,8 +28,9 @@ int main(int argc, char** argv) {
   stats::FigureTable table("Virtual-time speedup vs # of cores", "cores",
                            xs);
 
-  auto make_cfg = [](std::uint32_t cores) {
-    return ArchConfig::shared_mesh(cores);
+  auto make_cfg = [&opt](std::uint32_t cores) {
+    return bench::apply_host_threads(ArchConfig::shared_mesh(cores),
+                                     opt.host_threads);
   };
 
   // Per-dataset 1-core baselines are recomputed inside mean_speedup;

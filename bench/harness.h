@@ -6,6 +6,9 @@
 //   --datasets <n>   number of random datasets averaged per point
 //   --seed <s>       base seed
 //   --max-cores <n>  clip the core-count axis
+//   --host-threads <n>  run simulations on the parallel host backend
+//   --json <path>    also write machine-readable results (benches that
+//                    support it; used by the CI perf gate)
 //   --full           paper-scale datasets (factor 1.0, 50 datasets)
 //
 // and prints FigureTable output matching the paper's rows/series.
@@ -25,6 +28,8 @@ struct HarnessOptions {
   int datasets = 3;
   std::uint64_t seed = 1;
   std::uint32_t max_cores = 1024;
+  std::uint32_t host_threads = 0;  // 0 = sequential host
+  std::string json_path;
   bool full = false;
 
   static HarnessOptions parse(int argc, char** argv,
@@ -52,6 +57,11 @@ struct HarnessOptions {
       } else if (std::strcmp(argv[i], "--max-cores") == 0) {
         o.max_cores = static_cast<std::uint32_t>(
             std::strtoul(need("--max-cores"), nullptr, 10));
+      } else if (std::strcmp(argv[i], "--host-threads") == 0) {
+        o.host_threads = static_cast<std::uint32_t>(
+            std::strtoul(need("--host-threads"), nullptr, 10));
+      } else if (std::strcmp(argv[i], "--json") == 0) {
+        o.json_path = need("--json");
       } else if (std::strcmp(argv[i], "--full") == 0) {
         o.full = true;
         o.factor = 1.0;
@@ -59,7 +69,7 @@ struct HarnessOptions {
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::printf(
             "usage: %s [--factor f] [--datasets n] [--seed s] "
-            "[--max-cores n] [--full]\n",
+            "[--max-cores n] [--host-threads n] [--json path] [--full]\n",
             argv[0]);
         std::exit(0);
       } else {
@@ -73,8 +83,9 @@ struct HarnessOptions {
   void print_header(const char* what) const {
     std::printf("# %s\n", what);
     std::printf(
-        "# factor=%g datasets=%d seed=%llu max_cores=%u%s\n",
+        "# factor=%g datasets=%d seed=%llu max_cores=%u host_threads=%u%s\n",
         factor, datasets, static_cast<unsigned long long>(seed), max_cores,
+        host_threads,
         full ? " (paper scale)" : " (scaled down; use --full for paper "
                                   "scale)");
   }

@@ -84,6 +84,63 @@ void BM_ProbeSpawnJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_ProbeSpawnJoin)->Arg(1000);
 
+void BM_MessageChurn(benchmark::State& state) {
+  // Message-heavy fan-out on a distributed-memory mesh: per-message
+  // host cost, plus how often a core inbox outgrew its inline ring
+  // (`inbox_heap_allocs_per_run`). Steady-state traffic should be
+  // allocation-free; the counter existing in the JSON output lets the
+  // regression gate catch an inbox-depth regression directly.
+  const int tasks = static_cast<int>(state.range(0));
+  std::uint64_t messages = 0;
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    Engine sim(ArchConfig::distributed_mesh(16));
+    const SimStats st = sim.run([tasks](TaskCtx& ctx) {
+      const GroupId g = ctx.make_group();
+      for (int i = 0; i < tasks; ++i) {
+        spawn_or_run(ctx, g, [](TaskCtx& c) { c.compute(1); });
+      }
+      ctx.join(g);
+    });
+    messages += st.messages;
+    allocs += st.inbox_heap_allocs;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(messages));
+  state.counters["inbox_heap_allocs_per_run"] = benchmark::Counter(
+      static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_MessageChurn)->Arg(1000);
+
+void BM_HostRound(benchmark::State& state) {
+  // Overhead of the parallel backend's round machinery itself. Arg 0 is
+  // the sequential baseline; otherwise the same workload runs under the
+  // parallel host with that many shards on one worker thread, so the
+  // difference is pure drain/publish/barrier cost with no thread
+  // scheduling noise (rounds advance one drift window at a time).
+  const auto shards = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    ArchConfig cfg = ArchConfig::shared_mesh(64);
+    if (shards > 0) {
+      cfg.host.mode = HostMode::kParallel;
+      cfg.host.threads = 1;
+      cfg.host.shards = shards;
+    }
+    Engine sim(cfg);
+    const SimStats st = sim.run([](TaskCtx& ctx) {
+      const GroupId g = ctx.make_group();
+      for (int i = 0; i < 512; ++i) {
+        spawn_or_run(ctx, g, [](TaskCtx& c) { c.compute(20); });
+      }
+      ctx.join(g);
+    });
+    rounds += st.host_rounds;
+  }
+  state.counters["host_rounds_per_run"] = benchmark::Counter(
+      static_cast<double>(rounds) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_HostRound)->Arg(0)->Arg(4)->Arg(8);
+
 void BM_NetworkSend(benchmark::State& state) {
   const auto topo = net::Topology::mesh2d(1024);
   net::Network network(topo);

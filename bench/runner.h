@@ -17,6 +17,17 @@ struct RunResult {
   double wall = 0.0;    // host seconds for the simulation
 };
 
+/// Applies the harness --host-threads request: N > 1 selects the
+/// parallel backend with N worker threads (shards default to N).
+inline ArchConfig apply_host_threads(ArchConfig cfg,
+                                     std::uint32_t threads) {
+  if (threads > 1) {
+    cfg.host.mode = HostMode::kParallel;
+    cfg.host.threads = threads;
+  }
+  return cfg;
+}
+
 /// One simulated run of a dwarf dataset.
 inline RunResult run_dwarf(const dwarfs::DwarfSpec& spec,
                            std::uint64_t seed, double factor,

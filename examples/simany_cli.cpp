@@ -22,6 +22,10 @@
 //   --lint                lint the configuration and exit (nonzero on
 //                         errors)
 //   --checked             run with the invariant checker attached
+//   --host-threads <n>    host worker threads (n>1 selects the parallel
+//                         backend; simulated timing depends only on the
+//                         shard count, not the thread count)
+//   --host-shards <n>     shard count override (default: one per thread)
 //                         (aborts with a diagnostic on any violation)
 
 #include <cstdio>
@@ -56,6 +60,8 @@ int main(int argc, char** argv) {
   bool checked = false;
   Cycles drift_t = 100;
   double factor = 0.1;
+  std::uint32_t host_threads = 0;
+  std::uint32_t host_shards = 0;
   std::uint64_t seed = 1;
 
   for (int i = 1; i < argc; ++i) {
@@ -90,6 +96,12 @@ int main(int argc, char** argv) {
       lint_only = true;
     } else if (!std::strcmp(argv[i], "--checked")) {
       checked = true;
+    } else if (!std::strcmp(argv[i], "--host-threads")) {
+      host_threads =
+          static_cast<std::uint32_t>(std::atoi(need("--host-threads")));
+    } else if (!std::strcmp(argv[i], "--host-shards")) {
+      host_shards =
+          static_cast<std::uint32_t>(std::atoi(need("--host-shards")));
     } else if (!std::strcmp(argv[i], "--t")) {
       drift_t = std::strtoull(need("--t"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--factor")) {
@@ -119,6 +131,14 @@ int main(int argc, char** argv) {
     if (clusters > 0) cfg = ArchConfig::clustered(std::move(cfg), clusters);
     if (polymorphic) cfg = ArchConfig::polymorphic(std::move(cfg));
     cfg.drift_t_cycles = drift_t;
+  }
+  if (host_threads > 0) {
+    cfg.host.threads = host_threads;
+    if (host_threads > 1) cfg.host.mode = HostMode::kParallel;
+  }
+  if (host_shards > 0) {
+    cfg.host.shards = host_shards;
+    cfg.host.mode = HostMode::kParallel;
   }
 
   if (lint_only) {
@@ -182,7 +202,10 @@ int main(int argc, char** argv) {
   std::printf("sync stalls     : %llu (avg parallelism %.1f)\n",
               static_cast<unsigned long long>(st.sync_stalls),
               st.avg_parallelism());
-  std::printf("host wall time  : %.3f ms\n", st.wall_seconds * 1e3);
+  std::printf("host wall time  : %.3f ms (%llu threads, %llu rounds)\n",
+              st.wall_seconds * 1e3,
+              static_cast<unsigned long long>(st.host_threads_used),
+              static_cast<unsigned long long>(st.host_rounds));
   if (checked) {
     std::printf("invariants      : %llu checks, no violations\n",
                 static_cast<unsigned long long>(

@@ -50,6 +50,32 @@ struct RuntimeCosts {
   bool broadcast_occupancy = false;
 };
 
+/// Host execution backend (how the simulator itself runs, not what it
+/// simulates).
+enum class HostMode : std::uint8_t {
+  /// Classic single-threaded event loop. Always used for cycle-level
+  /// mode and whenever an observer/trace sink is attached.
+  kSequential,
+  /// Shard the simulated cores across host worker threads; each shard
+  /// advances independently within the spatial-sync drift window and
+  /// cross-shard traffic rides per-shard-pair mailboxes (paper SS VIII:
+  /// spatial synchronization exposes abundant host parallelism).
+  kParallel,
+};
+
+struct HostConfig {
+  HostMode mode = HostMode::kSequential;
+  /// Worker threads for kParallel (clamped to the shard count).
+  std::uint32_t threads = 1;
+  /// Shard count; 0 means one shard per worker thread. The simulated
+  /// timing of a parallel run depends (deterministically) on the shard
+  /// count, never on the thread count.
+  std::uint32_t shards = 0;
+  /// Scheduling quanta each shard may execute per round before the
+  /// epoch barrier exchanges cross-shard messages and proxy snapshots.
+  std::uint32_t round_quanta = 512;
+};
+
 /// Virtual-time synchronization scheme (paper SS II and SS VII).
 enum class SyncScheme : std::uint8_t {
   /// SiMany's spatial synchronization: a core may lead the anchored
@@ -71,6 +97,7 @@ struct ArchConfig {
   timing::CostTable cost_table;
   timing::BranchModel branch;
   RuntimeCosts runtime;
+  HostConfig host;
 
   /// Maximum local virtual-time drift T between topological neighbors,
   /// in cycles (paper reference value: 100).

@@ -156,6 +156,21 @@ ArchConfig parse_config(std::istream& in) {
       raw.cfg.runtime.speed_aware_dispatch = parse_bool(next(), lineno);
     } else if (key == "broadcast_occupancy") {
       raw.cfg.runtime.broadcast_occupancy = parse_bool(next(), lineno);
+    } else if (key == "host_mode") {
+      const auto v = next();
+      if (v == "sequential") {
+        raw.cfg.host.mode = HostMode::kSequential;
+      } else if (v == "parallel") {
+        raw.cfg.host.mode = HostMode::kParallel;
+      } else {
+        fail(lineno, "unknown host mode '" + v + "'");
+      }
+    } else if (key == "host_threads") {
+      raw.cfg.host.threads = next_u32();
+    } else if (key == "host_shards") {
+      raw.cfg.host.shards = next_u32();
+    } else if (key == "host_round_quanta") {
+      raw.cfg.host.round_quanta = next_u32();
     } else {
       fail(lineno, "unknown keyword '" + key + "'");
     }
@@ -253,6 +268,12 @@ void save_config(const ArchConfig& cfg, std::ostream& out) {
       << (cfg.runtime.speed_aware_dispatch ? "on" : "off") << "\n";
   out << "broadcast_occupancy "
       << (cfg.runtime.broadcast_occupancy ? "on" : "off") << "\n";
+  out << "host_mode "
+      << (cfg.host.mode == HostMode::kParallel ? "parallel" : "sequential")
+      << "\n";
+  out << "host_threads " << cfg.host.threads << "\n";
+  out << "host_shards " << cfg.host.shards << "\n";
+  out << "host_round_quanta " << cfg.host.round_quanta << "\n";
   for (std::size_t c = 0; c < cfg.core_speeds.size(); ++c) {
     const Speed s = cfg.core_speeds[c];
     if (!s.is_unit()) {

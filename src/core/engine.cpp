@@ -1,12 +1,15 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "core/simany_assert.h"
+#include "host/parallel_engine.h"
+#include "host/partition.h"
 
 namespace simany {
 
@@ -61,7 +64,7 @@ class Engine::Ctx final : public TaskCtx {
   void mem_write(std::uint64_t addr, std::uint32_t bytes) override {
     e_.ctx_mem_access(c_, addr, bytes, /*write=*/true);
   }
-  GroupId make_group() override { return e_.ctx_make_group(); }
+  GroupId make_group() override { return e_.ctx_make_group(c_); }
   bool probe() override { return e_.ctx_probe(c_); }
   void spawn(GroupId group, TaskFn fn, std::uint32_t arg_bytes) override {
     e_.ctx_spawn(c_, group, std::move(fn), arg_bytes);
@@ -71,13 +74,13 @@ class Engine::Ctx final : public TaskCtx {
   void lock(LockId id) override { e_.ctx_lock(c_, id); }
   void unlock(LockId id) override { e_.ctx_unlock(c_, id); }
   CellId make_cell(std::uint32_t bytes) override {
-    return e_.ctx_make_cell(bytes, c_.id);
+    return e_.ctx_make_cell(c_, bytes, c_.id);
   }
   CellId make_cell_at(std::uint32_t bytes, CoreId home) override {
     if (home >= e_.cfg_.num_cores()) {
       throw std::out_of_range("make_cell_at: home core out of range");
     }
-    return e_.ctx_make_cell(bytes, home);
+    return e_.ctx_make_cell(c_, bytes, home);
   }
   void cell_acquire(CellId cell, AccessMode mode) override {
     e_.ctx_cell_acquire(c_, cell, mode);
@@ -106,9 +109,7 @@ Engine::Engine(ArchConfig cfg, ExecutionMode mode)
       drift_ticks_(cfg_.drift_ticks()),
       network_(cfg_.topology, cfg_.network),
       cost_model_(cfg_.cost_table, cfg_.branch),
-      fiber_pool_(cfg_.fiber_stack_bytes),
-      directory_(cfg_.num_cores()),
-      bfs_epoch_(cfg_.num_cores(), 0) {
+      directory_(cfg_.num_cores()) {
   cfg_.validate();
   const std::uint32_t n = cfg_.num_cores();
   cores_.reserve(n);
@@ -140,79 +141,321 @@ Engine::~Engine() = default;
 SimStats Engine::run(TaskFn root) {
   if (ran_) throw std::logic_error("Engine::run called twice");
   ran_ = true;
-  live_tasks_ = 1;
+  // The parallel backend is a pure host-side optimization; anything
+  // that assumes one global event order (observers, traces, the
+  // cycle-level scheduler, live shared-directory timing) pins the run
+  // to a single shard, which executes the classic sequential loop.
+  const bool force_seq =
+      mode_ == ExecutionMode::kCycleLevel || obs_ != nullptr ||
+      trace_ != nullptr || cfg_.mem.coherence_timing ||
+      cfg_.host.mode == HostMode::kSequential;
+  std::uint32_t shards = 1;
+  std::uint32_t workers = 1;
+  if (!force_seq) {
+    const std::uint32_t want =
+        cfg_.host.shards != 0 ? cfg_.host.shards
+                              : std::max<std::uint32_t>(1, cfg_.host.threads);
+    shards = std::clamp<std::uint32_t>(want, 1, cfg_.num_cores());
+    workers = std::clamp<std::uint32_t>(cfg_.host.threads, 1, shards);
+  }
+  host_setup(shards);
+  stats_.host_threads_used = workers;
+
+  shards_[0]->live_tasks = 1;
   core(0).task_queue.push_back(PendingTask{std::move(root), kInvalidGroup, 0});
   mark_ready(core(0));
   if (obs_ != nullptr) obs_->on_run_begin(*this);
 
   const auto t0 = std::chrono::steady_clock::now();
-  main_loop();
+  if (mode_ == ExecutionMode::kCycleLevel) {
+    main_loop_cl();
+  } else if (num_shards_ == 1) {
+    // Sequential host: one shard, unbounded round budget. host_loop
+    // only returns when the shard is blocked, so each serial-phase
+    // visit is a termination / deadlock decision.
+    host::ShardState& sh = *shards_[0];
+    for (;;) {
+      host_loop(sh, ~std::uint64_t{0});
+      if (host_serial_phase()) break;
+    }
+  } else {
+    host::ParallelHost ph(*this, workers);
+    ph.run();
+  }
   const auto t1 = std::chrono::steady_clock::now();
   audit_counters();
   if (obs_ != nullptr) obs_->on_run_end(*this);
 
+  finalize_stats();
   stats_.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
-  stats_.completion_ticks = max_task_end_;
-  stats_.network = network_.stats();
-  stats_.core_busy_ticks.resize(cores_.size());
-  for (std::size_t i = 0; i < cores_.size(); ++i) {
-    stats_.core_busy_ticks[i] = cores_[i]->busy;
-  }
   return stats_;
 }
 
-void Engine::main_loop() {
-  const bool cl = (mode_ == ExecutionMode::kCycleLevel);
-  while (live_tasks_ > 0 || inflight_messages_ > 0) {
-    if (cl) {
-      const CoreId id = pick_min_time_core();
-      if (id == net::kInvalidCore) {
-        if (obs_ != nullptr) obs_->on_deadlock(*this);
-        throw std::runtime_error(
-            "simulation deadlock (cycle-level): live_tasks=" +
-            std::to_string(live_tasks_));
-      }
-      run_core_cl(core(id));
-      if (obs_ != nullptr) obs_->on_quantum_end(*this);
+void Engine::host_setup(std::uint32_t shards) {
+  const host::PartitionPlan plan =
+      host::make_partition(cfg_.num_cores(), shards);
+  num_shards_ = plan.num_shards();
+  shard_id_ = plan.shard_of;
+  proxy_.assign(cfg_.num_cores(), host::VtProxy{});
+  proxy_next_.assign(cfg_.num_cores(), host::VtProxy{});
+  shards_.clear();
+  shards_.reserve(num_shards_);
+  for (std::uint32_t i = 0; i < num_shards_; ++i) {
+    auto sh = std::make_unique<host::ShardState>(
+        i, plan.ranges[i].first, plan.ranges[i].second,
+        cfg_.fiber_stack_bytes);
+    sh->lane = network_.make_lane();
+    sh->bfs_epoch.assign(cfg_.num_cores(), 0);
+    shards_.push_back(std::move(sh));
+  }
+  mail_.clear();
+  if (num_shards_ > 1) {
+    const std::size_t pairs = std::size_t{num_shards_} * num_shards_;
+    mail_.reserve(pairs);
+    for (std::size_t i = 0; i < pairs; ++i) {
+      mail_.push_back(std::make_unique<host::SpscMailbox<host::Routed>>());
+    }
+  }
+}
+
+void Engine::finalize_stats() {
+  for (const auto& shp : shards_) {
+    stats_.merge_counters(shp->stats);
+    stats_.completion_ticks =
+        std::max(stats_.completion_ticks, shp->max_task_end);
+    stats_.network.merge(shp->lane.stats);
+  }
+  stats_.host_rounds = host_rounds_;
+  stats_.core_busy_ticks.resize(cores_.size());
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    stats_.core_busy_ticks[i] = cores_[i]->busy;
+    stats_.inbox_heap_allocs += cores_[i]->inbox.heap_allocs();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Host rounds (the per-shard event loop and the serial barrier phase)
+// ---------------------------------------------------------------------
+
+void Engine::host_round(host::ShardState& sh, std::uint64_t budget) {
+  host_drain(sh);
+  host_loop(sh, budget);
+  host_publish(sh);
+}
+
+void Engine::host_drain(host::ShardState& sh) {
+  if (num_shards_ == 1) return;
+  // Ascending source order: deterministic for a fixed shard count, and
+  // FIFO within each pair (the mailbox guarantees it).
+  for (std::uint32_t src = 0; src < num_shards_; ++src) {
+    if (src == sh.id) continue;
+    auto& mb = mailbox(src, sh.id);
+    host::Routed r;
+    while (mb.pop(r)) {
+      ++sh.mail_in;
+      sh.progressed = true;
+      apply_host_op(sh, std::move(r));
+    }
+  }
+}
+
+void Engine::host_loop(host::ShardState& sh, std::uint64_t budget) {
+  while (budget > 0) {
+    if (sh.ready.empty()) {
+      if (!wake_sweep(sh)) return;
       continue;
     }
-    if (ready_.empty()) {
-      if (!wake_sweep()) {
-        // Defensive rebuild: anything actionable re-enters the queue.
-        bool any = false;
-        for (auto& cptr : cores_) {
-          if (!cptr->in_ready && actionable(*cptr)) {
-            mark_ready(*cptr);
-            any = true;
-          }
-        }
-        if (!any) {
-          if (obs_ != nullptr) obs_->on_deadlock(*this);
-          throw std::runtime_error(
-              "simulation deadlock: live_tasks=" +
-              std::to_string(live_tasks_) +
-              " inflight=" + std::to_string(inflight_messages_) +
-              " stalled=" + std::to_string(stalled_.size()));
-        }
-      }
-      continue;
-    }
-    const CoreId id = ready_.front();
-    ready_.pop_front();
+    const CoreId id = sh.ready.front();
+    sh.ready.pop_front();
     CoreSim& c = core(id);
     c.in_ready = false;
     if (!actionable(c)) continue;
     run_core_vt(c);
-    ++quantum_count_;
+    ++sh.quantum_count;
+    sh.progressed = true;
+    --budget;
     if (obs_ != nullptr) obs_->on_quantum_end(*this);
-    if (quantum_count_ % 64 == 0) sample_parallelism();
-    if (quantum_count_ % 4096 == 0) {
-      refresh_gmin();
+    if (sh.quantum_count % 64 == 0) sample_parallelism(sh);
+    if (sh.quantum_count % 4096 == 0) {
+      refresh_gmin(sh);
 #if SIMANY_ASSERT_ACTIVE
-      audit_counters();
+      if (num_shards_ == 1) audit_counters();
 #endif
     }
   }
+}
+
+void Engine::host_publish(host::ShardState& sh) {
+  if (num_shards_ == 1) return;
+  for (CoreId i = sh.core_begin; i < sh.core_end; ++i) {
+    const CoreSim& c = *cores_[i];
+    host::VtProxy p;
+    p.now = c.now;
+    p.births_min = c.births_min;
+    p.anchor = is_anchor(c);
+    p.occupied = static_cast<std::uint32_t>(c.task_queue.size()) + c.reserved;
+    p.busy = (c.fiber != nullptr) || !c.resumables.empty();
+    proxy_next_[i] = p;
+  }
+}
+
+bool Engine::host_serial_phase() {
+  ++host_rounds_;
+  if (num_shards_ > 1) {
+    // Commit this round's proxy snapshots and make this round's
+    // cross-shard messages drainable. Both happen only here, so what a
+    // shard observes in round k is a pure function of round k-1 state —
+    // independent of how rounds interleave across worker threads.
+    proxy_ = proxy_next_;
+    for (auto& mb : mail_) mb->seal();
+  }
+  std::int64_t live = 0;
+  std::uint64_t inflight = 0;
+  std::uint64_t mail_out = 0;
+  std::uint64_t mail_in = 0;
+  std::size_t stalled = 0;
+  bool progressed = false;
+  for (const auto& shp : shards_) {
+    if (shp->error) std::rethrow_exception(shp->error);
+    live += shp->live_tasks;
+    inflight += shp->inflight_messages;
+    mail_out += shp->mail_out;
+    mail_in += shp->mail_in;
+    stalled += shp->stalled.size();
+    progressed = progressed || shp->progressed;
+    shp->progressed = false;
+  }
+  SIMANY_ASSERT(live >= 0, "negative global live-task count ", live);
+  SIMANY_ASSERT(mail_out >= mail_in, "mailbox accounting underflow: out=",
+                mail_out, " in=", mail_in);
+  const std::uint64_t pending = mail_out - mail_in;
+  if (live == 0 && inflight == 0 && pending == 0) return true;
+  if (pending > 0 || progressed) return false;
+  // Nothing ran, nothing is in transit: defensively rebuild the ready
+  // queues; if no core is actionable anywhere, the simulation is stuck.
+  bool any = false;
+  for (auto& cptr : cores_) {
+    if (!cptr->in_ready && actionable(*cptr)) {
+      mark_ready(*cptr);
+      any = true;
+    }
+  }
+  if (any) return false;
+  if (obs_ != nullptr) obs_->on_deadlock(*this);
+  throw std::runtime_error(
+      "simulation deadlock: live_tasks=" + std::to_string(live) +
+      " inflight=" + std::to_string(inflight) +
+      " stalled=" + std::to_string(stalled));
+}
+
+void Engine::apply_host_op(host::ShardState& sh, host::Routed r) {
+  Message& m = r.msg;
+  switch (r.op) {
+    case host::HostOp::kDeliver: {
+      ++sh.inflight_messages;
+      CoreSim& dst = core(m.dst);
+      dst.inbox.push_back(std::move(m));
+      mark_ready(dst);
+      break;
+    }
+    case host::HostOp::kBirthRetire:
+      retire_birth(core(m.dst), m.birth);
+      break;
+    case host::HostOp::kGroupInc:
+      ++group_at(m.a).active;
+      break;
+    case host::HostOp::kGroupDec: {
+      Group& grp = group_at(m.a);
+      SIMANY_ASSERT(grp.active > 0, "group ", m.a,
+                    " underflow: remote completion from core ", m.src);
+      --grp.active;
+      if (grp.active == 0 && !grp.joiners.empty()) {
+        group_complete(grp, m.a, m.src, m.sent);
+      }
+      break;
+    }
+    case host::HostOp::kJoinQuery: {
+      Group& grp = group_at(m.a);
+      if (grp.active == 0) {
+        // The group was already empty: bounce the fiber straight back,
+        // waking the joiner at its own parking time (the sequential
+        // fast path, modulo the parking round-trip).
+        Message w;
+        w.kind = MsgKind::kJoinerRequest;
+        w.src = object_home(m.a);
+        w.dst = m.src;
+        w.sent = m.parked_at;
+        w.arrival = m.parked_at;
+        w.a = m.a;
+        w.fiber = std::move(m.fiber);
+        w.fiber_group = m.fiber_group;
+        w.parked_at = m.parked_at;
+        enqueue_message(sh, std::move(w));
+      } else {
+        grp.joiners.push_back(Group::Joiner{m.src, std::move(m.fiber),
+                                            m.fiber_group, m.parked_at});
+      }
+      break;
+    }
+    case host::HostOp::kLockAttempt: {
+      Lock& lk = lock_at(m.a);
+      if (lk.held && lk.holder == m.src) {
+        throw std::logic_error("recursive lock acquisition (non-reentrant)");
+      }
+      if (!lk.held) {
+        lk.held = true;
+        lk.holder = m.src;
+        // Requester already charged the shared access; the grant lands
+        // at its send time.
+        deliver_direct(MsgKind::kLockGrant, object_home(m.a), m.src, m.sent,
+                       sh, m.a);
+      } else {
+        lk.waiters.push_back(m.src);
+      }
+      break;
+    }
+    case host::HostOp::kLockFree: {
+      SIMANY_ASSERT(lock_at(m.a).held && lock_at(m.a).holder == m.src,
+                    "LOCK_FREE for lock ", m.a, " not held by core ", m.src);
+      grant_next_lock_waiter(m.src, m.sent, sh, m.a);
+      break;
+    }
+    case host::HostOp::kCellCreate: {
+      Cell cell;
+      cell.home = object_home(m.a);
+      cell.bytes = m.bytes;
+      cell.synth_addr = m.b;
+      core(cell.home).cells.emplace(m.a, std::move(cell));
+      break;
+    }
+    case host::HostOp::kCellAttempt: {
+      Cell& cell = cell_at(m.a);
+      const auto mode = static_cast<AccessMode>(m.b);
+      if (!cell.locked) {
+        cell.locked = true;
+        cell.holder = m.src;
+        cell.holder_mode = mode;
+        deliver_direct(MsgKind::kDataResponse, cell.home, m.src, m.sent, sh,
+                       m.a, cell.synth_addr, cell.bytes);
+      } else {
+        cell.waiters.push_back(Cell::Waiter{m.src, mode});
+      }
+      break;
+    }
+    case host::HostOp::kCellFree: {
+      SIMANY_ASSERT(cell_at(m.a).locked && cell_at(m.a).holder == m.src,
+                    "CELL_FREE for cell ", m.a, " not held by core ", m.src);
+      grant_next_cell_waiter(m.src, m.sent, sh, m.a);
+      break;
+    }
+  }
+}
+
+void Engine::send_op(host::ShardState& ctx, host::HostOp op,
+                     std::uint32_t dst_shard, Message m) {
+  SIMANY_ASSERT(dst_shard != ctx.id, "send_op to own shard");
+  ++ctx.mail_out;
+  mailbox(ctx.id, dst_shard).push(host::Routed{op, std::move(m)});
 }
 
 // ---------------------------------------------------------------------
@@ -222,8 +465,12 @@ void Engine::main_loop() {
 EngineInspect Engine::inspect() const {
   EngineInspect s;
   s.drift_ticks = drift_ticks_;
-  s.live_tasks = live_tasks_;
-  s.inflight_messages = inflight_messages_;
+  std::int64_t live = 0;
+  for (const auto& shp : shards_) {
+    live += shp->live_tasks;
+    s.inflight_messages += shp->inflight_messages;
+  }
+  s.live_tasks = live > 0 ? static_cast<std::uint64_t>(live) : 0;
   s.cores.reserve(cores_.size());
   for (const auto& cptr : cores_) {
     const CoreSim& c = *cptr;
@@ -240,48 +487,58 @@ EngineInspect Engine::inspect() const {
     ci.resumables = c.resumables.size();
     ci.reserved = c.reserved;
     ci.births.assign(c.births.begin(), c.births.end());
-    for (const Message& m : c.inbox) {
-      if (m.kind == MsgKind::kTaskSpawn) ++s.inflight_spawns;
-    }
+    c.inbox.for_each([&s](const Message& m) {
+      if (m.carries_task()) ++s.inflight_spawns;
+    });
     s.cores.push_back(std::move(ci));
   }
-  for (std::size_t i = 0; i < locks_.size(); ++i) {
-    const Lock& lk = locks_[i];
-    LockInspect li;
-    li.id = static_cast<LockId>(i);
-    li.home = lk.home;
-    li.held = lk.held;
-    li.holder = lk.holder;
-    li.waiters.assign(lk.waiters.begin(), lk.waiters.end());
-    s.locks.push_back(std::move(li));
-  }
-  for (std::size_t i = 0; i < cells_.size(); ++i) {
-    const Cell& cell = cells_[i];
-    CellInspect ci;
-    ci.id = static_cast<CellId>(i);
-    ci.home = cell.home;
-    ci.locked = cell.locked;
-    ci.holder = cell.holder;
-    for (const Cell::Waiter& w : cell.waiters) ci.waiters.push_back(w.core);
-    s.cells.push_back(std::move(ci));
-  }
-  for (std::size_t i = 0; i < groups_.size(); ++i) {
-    const Group& g = groups_[i];
-    GroupInspect gi;
-    gi.id = static_cast<GroupId>(i);
-    gi.active = g.active;
-    for (const Group::Joiner& j : g.joiners) gi.joiner_cores.push_back(j.core);
-    s.groups.push_back(std::move(gi));
+  // Homed tables, reported in (home, local index) order so snapshots
+  // are deterministic (cells live in a hash map).
+  for (const auto& cptr : cores_) {
+    const CoreSim& h = *cptr;
+    for (std::size_t i = 0; i < h.locks.size(); ++i) {
+      const Lock& lk = h.locks[i];
+      LockInspect li;
+      li.id = make_object_id(h.id, static_cast<std::uint32_t>(i));
+      li.home = lk.home;
+      li.held = lk.held;
+      li.holder = lk.holder;
+      li.waiters.assign(lk.waiters.begin(), lk.waiters.end());
+      s.locks.push_back(std::move(li));
+    }
+    std::vector<CellId> cell_ids;
+    cell_ids.reserve(h.cells.size());
+    for (const auto& [id, cell] : h.cells) cell_ids.push_back(id);
+    std::sort(cell_ids.begin(), cell_ids.end());
+    for (CellId id : cell_ids) {
+      const Cell& cell = h.cells.at(id);
+      CellInspect ci;
+      ci.id = id;
+      ci.home = cell.home;
+      ci.locked = cell.locked;
+      ci.holder = cell.holder;
+      for (const Cell::Waiter& w : cell.waiters) ci.waiters.push_back(w.core);
+      s.cells.push_back(std::move(ci));
+    }
+    for (std::size_t i = 0; i < h.groups.size(); ++i) {
+      const Group& g = h.groups[i];
+      GroupInspect gi;
+      gi.id = make_object_id(h.id, static_cast<std::uint32_t>(i));
+      gi.active = g.active;
+      for (const Group::Joiner& j : g.joiners) gi.joiner_cores.push_back(j.core);
+      s.groups.push_back(std::move(gi));
+    }
   }
   return s;
 }
 
 void Engine::audit_counters() const {
 #if SIMANY_ASSERT_ACTIVE
-  // Conservation audit, called only from safe points (between quanta):
-  // every live task is either running, queued, parked on a group,
-  // resumable, or riding a TASK_SPAWN message; every in-flight message
-  // sits in exactly one inbox.
+  // Conservation audit, called only from quiescent points (between
+  // quanta in a single-shard run, end of run otherwise): every live
+  // task is either running, queued, parked on a group, resumable, or
+  // riding a TASK_SPAWN / carried-joiner message; every in-flight
+  // message sits in exactly one inbox; no mail is in transit.
   std::uint64_t inbox_total = 0;
   std::uint64_t carried_tasks = 0;
   for (const auto& cptr : cores_) {
@@ -291,15 +548,28 @@ void Engine::audit_counters() const {
     inbox_total += c.inbox.size();
     carried_tasks += (c.fiber ? 1 : 0) + c.task_queue.size() +
                      c.resumables.size();
-    for (const Message& m : c.inbox) {
-      if (m.kind == MsgKind::kTaskSpawn) ++carried_tasks;
-    }
+    c.inbox.for_each([&carried_tasks](const Message& m) {
+      if (m.carries_task()) ++carried_tasks;
+    });
+    for (const Group& g : c.groups) carried_tasks += g.joiners.size();
   }
-  for (const Group& g : groups_) carried_tasks += g.joiners.size();
-  SIMANY_ASSERT(inbox_total == inflight_messages_, "inbox total ",
-                inbox_total, " != inflight_messages_ ", inflight_messages_);
-  SIMANY_ASSERT(carried_tasks == live_tasks_, "carried tasks ",
-                carried_tasks, " != live_tasks_ ", live_tasks_);
+  std::int64_t live = 0;
+  std::uint64_t inflight = 0;
+  std::uint64_t mail_out = 0;
+  std::uint64_t mail_in = 0;
+  for (const auto& shp : shards_) {
+    live += shp->live_tasks;
+    inflight += shp->inflight_messages;
+    mail_out += shp->mail_out;
+    mail_in += shp->mail_in;
+  }
+  SIMANY_ASSERT(mail_out == mail_in, "mail in transit at a quiescent point: ",
+                mail_out, " out vs ", mail_in, " in");
+  SIMANY_ASSERT(inbox_total == inflight, "inbox total ", inbox_total,
+                " != inflight_messages ", inflight);
+  SIMANY_ASSERT(live >= 0 &&
+                    carried_tasks == static_cast<std::uint64_t>(live),
+                "carried tasks ", carried_tasks, " != live_tasks ", live);
 #endif
 }
 
@@ -317,9 +587,13 @@ bool Engine::actionable(const CoreSim& c) const {
 }
 
 void Engine::mark_ready(CoreSim& c) {
+  if (mode_ == ExecutionMode::kCycleLevel) {
+    cl_push(c);
+    return;
+  }
   if (!c.in_ready) {
     c.in_ready = true;
-    ready_.push_back(c.id);
+    shard_of(c).ready.push_back(c.id);
   }
 }
 
@@ -353,21 +627,41 @@ void Engine::run_core_cl(CoreSim& c) {
   }
 }
 
+void Engine::main_loop_cl() {
+  host::ShardState& sh = *shards_[0];
+  while (sh.live_tasks > 0 || sh.inflight_messages > 0) {
+    const CoreId id = cl_pick();
+    if (id == net::kInvalidCore) {
+      if (obs_ != nullptr) obs_->on_deadlock(*this);
+      throw std::runtime_error(
+          "simulation deadlock (cycle-level): live_tasks=" +
+          std::to_string(sh.live_tasks));
+    }
+    CoreSim& c = core(id);
+    run_core_cl(c);
+    if (actionable(c)) cl_push(c);
+    if (obs_ != nullptr) obs_->on_quantum_end(*this);
+  }
+}
+
+Tick Engine::cl_key(const CoreSim& c) const {
+  Tick key = c.now;
+  if (!c.fiber && c.resumables.empty() && c.task_queue.empty() &&
+      !c.inbox.empty()) {
+    // Idle core whose only work is a future message: it acts at the
+    // message arrival time.
+    key = std::max(key, c.inbox.min_arrival());
+  }
+  return key;
+}
+
 CoreId Engine::pick_min_time_core() const {
   CoreId best = net::kInvalidCore;
   Tick best_key = kTickInfinity;
   for (const auto& cptr : cores_) {
     const CoreSim& c = *cptr;
     if (!actionable(c)) continue;
-    Tick key = c.now;
-    if (!c.fiber && c.resumables.empty() && c.task_queue.empty() &&
-        !c.inbox.empty()) {
-      // Idle core whose only work is a future message: it acts at the
-      // message arrival time.
-      Tick first = kTickInfinity;
-      for (const Message& m : c.inbox) first = std::min(first, m.arrival);
-      key = std::max(key, first);
-    }
+    const Tick key = cl_key(c);
     if (key < best_key) {
       best_key = key;
       best = c.id;
@@ -376,8 +670,45 @@ CoreId Engine::pick_min_time_core() const {
   return best;
 }
 
+// Min-heap on (key, id): std::push_heap et al. build max-heaps, so the
+// comparators below order by "greater".
+void Engine::cl_push(CoreSim& c) {
+  ++c.cl_stamp;
+  cl_heap_.push_back(ClEntry{cl_key(c), c.id, c.cl_stamp});
+  std::push_heap(cl_heap_.begin(), cl_heap_.end(),
+                 [](const ClEntry& x, const ClEntry& y) {
+                   return x.key > y.key || (x.key == y.key && x.id > y.id);
+                 });
+}
+
+CoreId Engine::cl_pick() {
+  const auto after = [](const ClEntry& x, const ClEntry& y) {
+    return x.key > y.key || (x.key == y.key && x.id > y.id);
+  };
+  while (!cl_heap_.empty()) {
+    std::pop_heap(cl_heap_.begin(), cl_heap_.end(), after);
+    const ClEntry e = cl_heap_.back();
+    cl_heap_.pop_back();
+    CoreSim& c = core(e.id);
+    if (e.stamp != c.cl_stamp) continue;  // superseded entry
+    if (!actionable(c)) continue;
+#if SIMANY_ASSERT_ACTIVE
+    SIMANY_ASSERT(e.id == pick_min_time_core(), "cycle-level heap picked ",
+                  e.id, " but the reference scan picked ",
+                  pick_min_time_core());
+#endif
+    return e.id;
+  }
+#if SIMANY_ASSERT_ACTIVE
+  SIMANY_ASSERT(pick_min_time_core() == net::kInvalidCore,
+                "cycle-level heap empty but the reference scan found core ",
+                pick_min_time_core());
+#endif
+  return net::kInvalidCore;
+}
+
 void Engine::resume_fiber(CoreSim& c) {
-  ++stats_.fiber_switches;
+  ++stats_of(c).fiber_switches;
   c.fiber->resume();
   if (c.fiber->finished() && c.fiber->exception()) {
     // A simulated task threw (program bug or failed self-verification):
@@ -394,9 +725,25 @@ void Engine::after_fiber_return(CoreSim& c) {
   }
   if (c.park_pending) {
     c.park_pending = false;
-    Group& grp = groups_[c.park_group];
-    grp.joiners.push_back(
-        Group::Joiner{c.id, std::move(c.fiber), c.fiber_group, c.now});
+    const GroupId g = c.park_group;
+    const CoreId home = object_home(g);
+    if (same_shard(c.id, home)) {
+      group_at(g).joiners.push_back(
+          Group::Joiner{c.id, std::move(c.fiber), c.fiber_group, c.now});
+    } else {
+      // The fiber itself travels to the group's home shard inside the
+      // query; it comes back in a JOINER_REQUEST once the group drains
+      // (or immediately, if it is already empty).
+      Message q;
+      q.src = c.id;
+      q.sent = c.now;
+      q.a = g;
+      q.fiber = std::move(c.fiber);
+      q.fiber_group = c.fiber_group;
+      q.parked_at = c.now;
+      send_op(shard_of(c), host::HostOp::kJoinQuery, shard_id_[home],
+              std::move(q));
+    }
     c.park_group = kInvalidGroup;
     c.fiber_group = kInvalidGroup;
   }
@@ -424,7 +771,7 @@ bool Engine::start_next_work(CoreSim& c) {
     if (obs_ != nullptr) obs_->on_task_start(*this, c.id, c.now);
     Ctx* ctx = c.ctx.get();
     c.fiber =
-        fiber_pool_.create([fn = std::move(t.fn), ctx]() { fn(*ctx); });
+        shard_of(c).pool.create([fn = std::move(t.fn), ctx]() { fn(*ctx); });
     c.fiber_group = t.group;
     return true;
   }
@@ -432,51 +779,78 @@ bool Engine::start_next_work(CoreSim& c) {
 }
 
 void Engine::task_done(CoreSim& c) {
-  SIMANY_ASSERT(live_tasks_ > 0, "task_done on core ", c.id,
-                " at vt=", c.now, " with zero live tasks");
-  --live_tasks_;
-  max_task_end_ = std::max(max_task_end_, c.now);
+  host::ShardState& sh = shard_of(c);
+  SIMANY_ASSERT(num_shards_ > 1 || sh.live_tasks > 0, "task_done on core ",
+                c.id, " at vt=", c.now, " with zero live tasks");
+  --sh.live_tasks;
+  sh.max_task_end = std::max(sh.max_task_end, c.now);
   if (trace_ != nullptr) trace_->on_task_end(c.id, c.now);
   if (obs_ != nullptr) obs_->on_task_end(*this, c.id, c.now);
-  fiber_pool_.recycle(std::move(c.fiber));
+  sh.pool.recycle(std::move(c.fiber));
   const GroupId g = c.fiber_group;
   c.fiber_group = kInvalidGroup;
   if (g == kInvalidGroup) return;
-  Group& grp = groups_[g];
-  SIMANY_ASSERT(grp.active > 0, "group ", g, " underflow: task on core ",
-                c.id, " at vt=", c.now, " completed into an empty group");
-  --grp.active;
-  if (grp.active == 0 && !grp.joiners.empty()) {
-    for (const auto& joiner : grp.joiners) {
-      post(MsgKind::kJoinerRequest, c, joiner.core,
-           cfg_.runtime.ctrl_msg_bytes, g);
+  const CoreId home = object_home(g);
+  if (same_shard(c.id, home)) {
+    Group& grp = group_at(g);
+    SIMANY_ASSERT(grp.active > 0, "group ", g, " underflow: task on core ",
+                  c.id, " at vt=", c.now, " completed into an empty group");
+    --grp.active;
+    if (grp.active == 0 && !grp.joiners.empty()) {
+      group_complete(grp, g, c.id, c.now);
     }
-    // Fibers stay parked in the group until each JOINER_REQUEST is
-    // processed at its destination core.
+  } else {
+    Message d;
+    d.src = c.id;
+    d.sent = c.now;
+    d.a = g;
+    send_op(sh, host::HostOp::kGroupDec, shard_id_[home], std::move(d));
   }
 }
 
-bool Engine::wake_sweep() {
-  refresh_gmin();
+void Engine::group_complete(Group& grp, GroupId g, CoreId completer,
+                            Tick at) {
+  host::ShardState& hctx = *shards_[shard_id_[object_home(g)]];
+  for (auto& joiner : grp.joiners) {
+    if (shard_id_[joiner.core] == hctx.id) {
+      // Same-shard joiner: the fiber stays parked in the group table
+      // until the JOINER_REQUEST is processed at its core (the
+      // sequential engine's behavior).
+      post_from(MsgKind::kJoinerRequest, completer, at, hctx, joiner.core,
+                cfg_.runtime.ctrl_msg_bytes, g, 0, {}, kInvalidGroup, 0,
+                nullptr, kInvalidGroup, 0);
+    } else {
+      // Cross-shard joiner: the fiber rides inside the wake message.
+      post_from(MsgKind::kJoinerRequest, completer, at, hctx, joiner.core,
+                cfg_.runtime.ctrl_msg_bytes, g, 0, {}, kInvalidGroup, 0,
+                std::move(joiner.fiber), joiner.task_group, joiner.parked_at);
+    }
+  }
+  std::erase_if(grp.joiners,
+                [](const Group::Joiner& j) { return j.fiber == nullptr; });
+}
+
+bool Engine::wake_sweep(host::ShardState& sh) {
+  refresh_gmin(sh);
   bool any = false;
   std::size_t kept = 0;
-  for (std::size_t i = 0; i < stalled_.size(); ++i) {
-    CoreSim& c = core(stalled_[i]);
+  for (std::size_t i = 0; i < sh.stalled.size(); ++i) {
+    CoreSim& c = core(sh.stalled[i]);
     if (!c.sync_stalled) continue;  // already woken elsewhere
     const Tick lim = drift_limit(c);
     if (lim > c.now) {
       c.sync_stalled = false;
       c.cached_limit = lim;
-      c.limit_epoch = limit_epoch_;
+      c.limit_epoch = sh.limit_epoch;
       if (trace_ != nullptr) trace_->on_wake(c.id, c.now, lim);
       if (obs_ != nullptr) obs_->on_wake(*this, c.id, c.now, lim);
       mark_ready(c);
       any = true;
     } else {
-      stalled_[kept++] = stalled_[i];
+      sh.stalled[kept++] = sh.stalled[i];
     }
   }
-  stalled_.resize(kept);
+  sh.stalled.resize(kept);
   return any;
 }
 
@@ -489,34 +863,94 @@ bool Engine::is_anchor(const CoreSim& c) const {
          !c.resumables.empty();
 }
 
-void Engine::refresh_gmin() {
+void Engine::drift_view(const CoreSim& viewer, CoreId id, bool& anchor,
+                        Tick& now, Tick& births_min) const {
+  if (num_shards_ == 1 || shard_id_[id] == shard_id_[viewer.id]) {
+    const CoreSim& n = core(id);
+    anchor = is_anchor(n);
+    now = n.now;
+    births_min = n.births_min;
+    return;
+  }
+  // Frozen snapshot, at most one round stale. Staleness only lowers
+  // the resulting limits (conservative).
+  const host::VtProxy& p = proxy_[id];
+  anchor = p.anchor;
+  now = p.now;
+  births_min = p.births_min;
+}
+
+void Engine::record_birth(CoreSim& c, Tick birth) {
+  c.births.push_back(birth);
+  if (birth < c.births_min) c.births_min = birth;
+}
+
+void Engine::retire_birth(CoreSim& c, Tick birth) {
+  auto it = std::find(c.births.begin(), c.births.end(), birth);
+  SIMANY_ASSERT(it != c.births.end(), "no birth record for vt=", birth,
+                " on core ", c.id);
+  if (it != c.births.end()) {
+    *it = c.births.back();
+    c.births.pop_back();
+  }
+  if (birth <= c.births_min) {
+    Tick lo = kTickInfinity;
+    for (Tick b : c.births) lo = std::min(lo, b);
+    c.births_min = lo;
+  }
+}
+
+void Engine::refresh_gmin(host::ShardState& sh) {
   Tick g = kTickInfinity;
-  for (const auto& cptr : cores_) {
-    const CoreSim& c = *cptr;
-    if (is_anchor(c)) g = std::min(g, c.now);
-    for (Tick b : c.births) g = std::min(g, sat_add(b, drift_ticks_));
+  const std::uint32_t n = cfg_.num_cores();
+  for (CoreId i = 0; i < n; ++i) {
+    if (num_shards_ == 1 || shard_id_[i] == sh.id) {
+      const CoreSim& c = core(i);
+      if (is_anchor(c)) g = std::min(g, c.now);
+      if (c.births_min != kTickInfinity) {
+        g = std::min(g, sat_add(c.births_min, drift_ticks_));
+      }
+    } else {
+      const host::VtProxy& p = proxy_[i];
+      if (p.anchor) g = std::min(g, p.now);
+      if (p.births_min != kTickInfinity) {
+        g = std::min(g, sat_add(p.births_min, drift_ticks_));
+      }
+    }
   }
-  gmin_lb_ = g;
+  sh.gmin_lb = g;
 }
 
-void Engine::sample_parallelism() {
+void Engine::sample_parallelism(host::ShardState& sh) {
+  // Each shard samples over its own cores; the per-shard counts merge
+  // into the same global average a single-shard run reports.
   std::uint64_t available = 0;
-  for (const auto& cptr : cores_) {
-    if (actionable(*cptr)) ++available;
+  if (num_shards_ == 1) {
+    for (const auto& cptr : cores_) {
+      if (actionable(*cptr)) ++available;
+    }
+  } else {
+    for (CoreId i = sh.core_begin; i < sh.core_end; ++i) {
+      if (actionable(*cores_[i])) ++available;
+    }
   }
-  ++stats_.parallelism_samples;
-  stats_.parallelism_sum += available;
-  stats_.parallelism_max = std::max(stats_.parallelism_max, available);
+  ++sh.stats.parallelism_samples;
+  sh.stats.parallelism_sum += available;
+  sh.stats.parallelism_max = std::max(sh.stats.parallelism_max, available);
 }
 
-Tick Engine::bounded_slack_limit() const {
+Tick Engine::bounded_slack_limit(const CoreSim& viewer) const {
   // SlackSim-style global window: the slowest active entity (core or
   // in-flight task birth) plus T.
   Tick gmin = kTickInfinity;
-  for (const auto& cptr : cores_) {
-    const CoreSim& c = *cptr;
-    if (is_anchor(c)) gmin = std::min(gmin, c.now);
-    for (Tick b : c.births) gmin = std::min(gmin, b);
+  const std::uint32_t n = cfg_.num_cores();
+  for (CoreId i = 0; i < n; ++i) {
+    bool anchor = false;
+    Tick now = 0;
+    Tick births_min = kTickInfinity;
+    drift_view(viewer, i, anchor, now, births_min);
+    if (anchor) gmin = std::min(gmin, now);
+    gmin = std::min(gmin, births_min);
   }
   if (gmin == kTickInfinity) return kTickInfinity;
   return sat_add(gmin, drift_ticks_);
@@ -552,52 +986,54 @@ void Engine::on_occ_update(CoreSim& c, const Message& m) {
 }
 
 Tick Engine::drift_limit(const CoreSim& c) {
-  ++stats_.limit_recomputes;
+  host::ShardState& sh = shard_of(c);
+  ++sh.stats.limit_recomputes;
   if (cfg_.sync_scheme == SyncScheme::kBoundedSlack) {
-    Tick limit = bounded_slack_limit();
-    if (!c.births.empty()) {
-      const Tick mb = *std::min_element(c.births.begin(), c.births.end());
-      limit = std::min(limit, sat_add(mb, drift_ticks_));
+    Tick limit = bounded_slack_limit(c);
+    if (c.births_min != kTickInfinity) {
+      limit = std::min(limit, sat_add(c.births_min, drift_ticks_));
     }
     return limit;
   }
   const Tick T = drift_ticks_;
   Tick best = kTickInfinity;
-  if (!c.births.empty()) {
-    const Tick mb = *std::min_element(c.births.begin(), c.births.end());
-    best = sat_add(mb, T);
+  if (c.births_min != kTickInfinity) {
+    best = sat_add(c.births_min, T);
   }
   // BFS outward from c. Idle cores are transparent: passing through one
   // adds T per hop, which is exactly the paper's shadow-time fixpoint
-  // (shadow = min over neighbors + T).
-  if (++bfs_epoch_cur_ == 0) {
-    std::fill(bfs_epoch_.begin(), bfs_epoch_.end(), 0u);
-    bfs_epoch_cur_ = 1;
+  // (shadow = min over neighbors + T). Remote cores are seen through
+  // their VtProxy snapshots (drift_view).
+  if (++sh.bfs_epoch_cur == 0) {
+    std::fill(sh.bfs_epoch.begin(), sh.bfs_epoch.end(), 0u);
+    sh.bfs_epoch_cur = 1;
   }
   static thread_local std::vector<std::pair<CoreId, std::uint32_t>> queue;
   queue.clear();
   queue.emplace_back(c.id, 0);
-  bfs_epoch_[c.id] = bfs_epoch_cur_;
+  sh.bfs_epoch[c.id] = sh.bfs_epoch_cur;
   std::size_t head = 0;
   auto deeper_cannot_improve = [&](std::uint32_t next_depth) {
     if (best == kTickInfinity) return false;
-    if (gmin_lb_ == kTickInfinity) return true;
-    return sat_add(gmin_lb_, sat_mul(T, next_depth)) >= best;
+    if (sh.gmin_lb == kTickInfinity) return true;
+    return sat_add(sh.gmin_lb, sat_mul(T, next_depth)) >= best;
   };
   while (head < queue.size()) {
     const auto [id, d] = queue[head++];
     if (d > 0) {
-      const CoreSim& n = core(id);
-      if (is_anchor(n)) best = std::min(best, sat_add(n.now, sat_mul(T, d)));
-      if (!n.births.empty()) {
-        const Tick mb = *std::min_element(n.births.begin(), n.births.end());
-        best = std::min(best, sat_add(mb, sat_mul(T, d + 1)));
+      bool anchor = false;
+      Tick now = 0;
+      Tick births_min = kTickInfinity;
+      drift_view(c, id, anchor, now, births_min);
+      if (anchor) best = std::min(best, sat_add(now, sat_mul(T, d)));
+      if (births_min != kTickInfinity) {
+        best = std::min(best, sat_add(births_min, sat_mul(T, d + 1)));
       }
     }
     if (deeper_cannot_improve(d + 1)) continue;
     for (CoreId nb : cfg_.topology.neighbors(id)) {
-      if (bfs_epoch_[nb] != bfs_epoch_cur_) {
-        bfs_epoch_[nb] = bfs_epoch_cur_;
+      if (sh.bfs_epoch[nb] != sh.bfs_epoch_cur) {
+        sh.bfs_epoch[nb] = sh.bfs_epoch_cur;
         queue.emplace_back(nb, d + 1);
       }
     }
@@ -616,6 +1052,7 @@ void Engine::advance_execution(CoreSim& c, Tick cost) {
     }
     return;
   }
+  host::ShardState& sh = shard_of(c);
   while (cost > 0) {
     if (c.hold_depth > 0) {
       // Lock/cell holder: temporarily exempt from spatial sync so it
@@ -623,9 +1060,9 @@ void Engine::advance_execution(CoreSim& c, Tick cost) {
       charge(c, cost, AdvanceKind::kCompute);
       return;
     }
-    if (c.cached_limit <= c.now || c.limit_epoch != limit_epoch_) {
+    if (c.cached_limit <= c.now || c.limit_epoch != sh.limit_epoch) {
       c.cached_limit = drift_limit(c);
-      c.limit_epoch = limit_epoch_;
+      c.limit_epoch = sh.limit_epoch;
     }
     if (c.cached_limit > c.now) {
       const Tick step = std::min(cost, c.cached_limit - c.now);
@@ -633,9 +1070,9 @@ void Engine::advance_execution(CoreSim& c, Tick cost) {
       cost -= step;
       continue;
     }
-    ++stats_.sync_stalls;
+    ++sh.stats.sync_stalls;
     c.sync_stalled = true;
-    stalled_.push_back(c.id);
+    sh.stalled.push_back(c.id);
     if (trace_ != nullptr) trace_->on_stall(c.id, c.now);
     if (obs_ != nullptr) obs_->on_stall(*this, c.id, c.now);
     Fiber::yield();
@@ -649,53 +1086,81 @@ void Engine::advance_execution(CoreSim& c, Tick cost) {
 
 void Engine::post(MsgKind kind, CoreSim& from, CoreId to, std::uint32_t bytes,
                   std::uint64_t a, std::uint64_t b, TaskFn task,
-                  GroupId group, Tick birth) {
+                  GroupId group, Tick birth, std::unique_ptr<Fiber> fiber,
+                  GroupId fiber_group, Tick parked_at) {
+  post_from(kind, from.id, from.now, shard_of(from), to, bytes, a, b,
+            std::move(task), group, birth, std::move(fiber), fiber_group,
+            parked_at);
+}
+
+void Engine::post_from(MsgKind kind, CoreId from, Tick from_now,
+                       host::ShardState& ctx, CoreId to, std::uint32_t bytes,
+                       std::uint64_t a, std::uint64_t b, TaskFn task,
+                       GroupId group, Tick birth,
+                       std::unique_ptr<Fiber> fiber, GroupId fiber_group,
+                       Tick parked_at) {
   Message m;
   m.kind = kind;
-  m.src = from.id;
+  m.src = from;
   m.dst = to;
-  m.sent = from.now;
-  m.arrival = network_.send(from.id, to, bytes, from.now);
+  m.sent = from_now;
+  m.arrival = network_.send_on(ctx.lane, from, to, bytes, from_now);
   m.bytes = bytes;
   m.a = a;
   m.b = b;
   m.task = std::move(task);
   m.group = group;
   m.birth = birth;
-  ++inflight_messages_;
-  ++stats_.messages;
+  m.fiber = std::move(fiber);
+  m.fiber_group = fiber_group;
+  m.parked_at = parked_at;
+  ++ctx.stats.messages;
   if (trace_ != nullptr) trace_->on_message(m);
   if (obs_ != nullptr) obs_->on_message_posted(*this, m, /*direct=*/false);
-  CoreSim& dst = core(to);
-  dst.inbox.push_back(std::move(m));
-  mark_ready(dst);
+  enqueue_message(ctx, std::move(m));
 }
 
 void Engine::deliver_direct(MsgKind kind, CoreId from, CoreId to,
-                            Tick arrival, std::uint64_t a, std::uint64_t b) {
+                            Tick arrival, host::ShardState& ctx,
+                            std::uint64_t a, std::uint64_t b,
+                            std::uint32_t bytes) {
   Message m;
   m.kind = kind;
   m.src = from;
   m.dst = to;
   m.sent = arrival;
   m.arrival = arrival;
+  m.bytes = bytes;
   m.a = a;
   m.b = b;
-  ++inflight_messages_;
   if (obs_ != nullptr) obs_->on_message_posted(*this, m, /*direct=*/true);
-  CoreSim& dst = core(to);
-  dst.inbox.push_back(std::move(m));
-  mark_ready(dst);
+  enqueue_message(ctx, std::move(m));
+}
+
+void Engine::enqueue_message(host::ShardState& ctx, Message m) {
+  const std::uint32_t dsh = shard_id_[m.dst];
+  if (dsh == ctx.id) {
+    ++ctx.inflight_messages;
+    CoreSim& dst = core(m.dst);
+    dst.inbox.push_back(std::move(m));
+    mark_ready(dst);
+  } else {
+    // In-flight accounting transfers to the destination shard when the
+    // kDeliver op is applied there.
+    ++ctx.mail_out;
+    mailbox(ctx.id, dsh).push(
+        host::Routed{host::HostOp::kDeliver, std::move(m)});
+  }
 }
 
 void Engine::process_inbox(CoreSim& c) {
+  host::ShardState& sh = shard_of(c);
   while (!c.inbox.empty()) {
-    Message m = std::move(c.inbox.front());
-    c.inbox.pop_front();
-    SIMANY_ASSERT(inflight_messages_ > 0, "core ", c.id, " at vt=", c.now,
+    Message m = c.inbox.pop_front();
+    SIMANY_ASSERT(sh.inflight_messages > 0, "core ", c.id, " at vt=", c.now,
                   " popped ", to_string(m.kind),
                   " with zero in-flight messages");
-    --inflight_messages_;
+    --sh.inflight_messages;
     if (obs_ != nullptr) obs_->on_message_handled(*this, c.id, m);
     handle_message(c, m);
   }
@@ -759,26 +1224,29 @@ void Engine::on_task_spawn(CoreSim& c, Message& m) {
   const bool was_anchor = is_anchor(c);
   sync_to_arrival(m.arrival, c.now);
   charge(c, scaled_cost(cfg_.runtime.msg_handle_cycles, c.speed));
-  if (c.reserved > 0) --c.reserved;
+  // m.a == 1 marks a cross-shard migration, which skips the remote
+  // reservation (ordinary spawns and same-shard migrations hold one).
+  if (m.a == 0 && c.reserved > 0) --c.reserved;
   c.task_queue.push_back(PendingTask{std::move(m.task), m.group, c.now});
   broadcast_occupancy_update(c);
+  host::ShardState& sh = shard_of(c);
   if (!was_anchor) {
-    gmin_lb_ = std::min(gmin_lb_, c.now);
-    ++limit_epoch_;
+    sh.gmin_lb = std::min(sh.gmin_lb, c.now);
+    ++sh.limit_epoch;
   }
   // Control message back to the parent: the task has arrived, discard
   // its birth date (paper SS II, "Time drift of dynamically created
   // tasks"). Control messages have no architectural cost.
-  CoreSim& parent = core(m.src);
-  auto it = std::find(parent.births.begin(), parent.births.end(), m.birth);
-  SIMANY_ASSERT(it != parent.births.end(), "TASK_SPAWN at core ", c.id,
-                " vt=", c.now, ": parent core ", m.src,
-                " has no birth record for vt=", m.birth);
-  if (it != parent.births.end()) {
-    *it = parent.births.back();
-    parent.births.pop_back();
+  if (same_shard(c.id, m.src)) {
+    retire_birth(core(m.src), m.birth);
+    if (obs_ != nullptr) obs_->on_task_arrival(*this, m.src, c.id, m.birth);
+  } else {
+    Message r;
+    r.src = c.id;
+    r.dst = m.src;
+    r.birth = m.birth;
+    send_op(sh, host::HostOp::kBirthRetire, shard_id_[m.src], std::move(r));
   }
-  if (obs_ != nullptr) obs_->on_task_arrival(*this, m.src, c.id, m.birth);
   try_migrate(c);
 }
 
@@ -795,17 +1263,24 @@ void Engine::try_migrate(CoreSim& c) {
     std::uint64_t best_score = ~std::uint64_t{0};
     for (std::uint32_t i = 0; i < n; ++i) {
       const CoreId nb = nbs[(start + i) % n];
-      const CoreSim& t = core(nb);
       // Diffusion rule: forward only down a load gradient of at least
       // two tasks (prevents ping-pong), preferring the least-loaded —
-      // and with speed-aware dispatch, fastest — neighbor.
-      const std::uint64_t load =
-          t.task_queue.size() + t.reserved +
-          ((t.fiber || !t.resumables.empty()) ? 1 : 0);
+      // and with speed-aware dispatch, fastest — neighbor. Cross-shard
+      // neighbors are judged by their frozen proxies.
+      std::uint64_t load;
+      if (same_shard(c.id, nb)) {
+        const CoreSim& t = core(nb);
+        load = t.task_queue.size() + t.reserved +
+               ((t.fiber || !t.resumables.empty()) ? 1 : 0);
+      } else {
+        const host::VtProxy& p = proxy_[nb];
+        load = p.occupied + (p.busy ? 1 : 0);
+      }
       if (load + 2 > my_load) continue;
       std::uint64_t score = load * 64;
       if (cfg_.runtime.speed_aware_dispatch) {
-        score = (load + 1) * 64 * t.speed.den / t.speed.num;
+        const Speed sp = cfg_.speed_of(nb);
+        score = (load + 1) * 64 * sp.den / sp.num;
       }
       if (score < best_score) {
         best_score = score;
@@ -815,23 +1290,39 @@ void Engine::try_migrate(CoreSim& c) {
     if (target == net::kInvalidCore) return;
     PendingTask task = std::move(c.task_queue.back());
     c.task_queue.pop_back();
-    ++core(target).reserved;
+    const bool local = same_shard(c.id, target);
+    if (local) ++core(target).reserved;
     const Tick birth = c.now;
-    c.births.push_back(birth);
-    gmin_lb_ = std::min(gmin_lb_, sat_add(birth, drift_ticks_));
-    ++limit_epoch_;
-    ++stats_.tasks_migrated;
+    record_birth(c, birth);
+    host::ShardState& sh = shard_of(c);
+    sh.gmin_lb = std::min(sh.gmin_lb, sat_add(birth, drift_ticks_));
+    ++sh.limit_epoch;
+    ++sh.stats.tasks_migrated;
     if (obs_ != nullptr) obs_->on_task_birth(*this, c.id, birth);
-    post(MsgKind::kTaskSpawn, c, target, cfg_.runtime.spawn_msg_bytes, 0, 0,
-         std::move(task.fn), task.group, birth);
+    post(MsgKind::kTaskSpawn, c, target, cfg_.runtime.spawn_msg_bytes,
+         local ? 0 : 1, 0, std::move(task.fn), task.group, birth);
   }
 }
 
-void Engine::on_joiner_request(CoreSim& c, const Message& m) {
+void Engine::on_joiner_request(CoreSim& c, Message& m) {
   const bool was_anchor = is_anchor(c);
   sync_to_arrival(m.arrival, c.now);
   charge(c, scaled_cost(cfg_.runtime.msg_handle_cycles, c.speed));
-  Group& grp = groups_[static_cast<GroupId>(m.a)];
+  host::ShardState& sh = shard_of(c);
+  if (m.fiber != nullptr) {
+    // Cross-shard wake: the fiber traveled inside the message.
+    c.resumables.push_back(ParkedFiber{std::move(m.fiber), m.fiber_group,
+                                       std::max(m.parked_at, c.now)});
+    if (!was_anchor) {
+      sh.gmin_lb = std::min(sh.gmin_lb, c.now);
+      ++sh.limit_epoch;
+    }
+    return;
+  }
+  // Same-shard wake: extract the fiber from the (local) group table.
+  SIMANY_ASSERT(same_shard(c.id, object_home(m.a)),
+                "fiberless JOINER_REQUEST for a remote-homed group ", m.a);
+  Group& grp = group_at(m.a);
   for (auto it = grp.joiners.begin(); it != grp.joiners.end(); ++it) {
     if (it->core == c.id) {
       c.resumables.push_back(ParkedFiber{std::move(it->fiber),
@@ -839,8 +1330,8 @@ void Engine::on_joiner_request(CoreSim& c, const Message& m) {
                                          std::max(it->parked_at, c.now)});
       grp.joiners.erase(it);
       if (!was_anchor) {
-        gmin_lb_ = std::min(gmin_lb_, c.now);
-        ++limit_epoch_;
+        sh.gmin_lb = std::min(sh.gmin_lb, c.now);
+        ++sh.limit_epoch;
       }
       return;
     }
@@ -852,7 +1343,7 @@ void Engine::on_data_request(CoreSim& c, const Message& m) {
   sync_to_arrival(m.arrival, c.now);
   charge(c, scaled_cost(cfg_.runtime.msg_handle_cycles, c.speed));
   const auto id = static_cast<CellId>(m.a);
-  Cell& cell = cells_[id];
+  Cell& cell = cell_at(id);
   if (!cell.locked) {
     cell.locked = true;
     cell.holder = m.src;
@@ -867,14 +1358,14 @@ void Engine::on_data_request(CoreSim& c, const Message& m) {
 void Engine::on_cell_release(CoreSim& c, const Message& m) {
   sync_to_arrival(m.arrival, c.now);
   charge(c, scaled_cost(cfg_.runtime.msg_handle_cycles, c.speed));
-  grant_next_cell_waiter(c, static_cast<CellId>(m.a));
+  grant_next_cell_waiter(c.id, c.now, shard_of(c), static_cast<CellId>(m.a));
 }
 
 void Engine::on_lock_request(CoreSim& c, const Message& m) {
   sync_to_arrival(m.arrival, c.now);
   charge(c, scaled_cost(cfg_.runtime.msg_handle_cycles, c.speed));
   const auto id = static_cast<LockId>(m.a);
-  Lock& lk = locks_[id];
+  Lock& lk = lock_at(id);
   if (!lk.held) {
     lk.held = true;
     lk.holder = m.src;
@@ -887,11 +1378,12 @@ void Engine::on_lock_request(CoreSim& c, const Message& m) {
 void Engine::on_lock_release(CoreSim& c, const Message& m) {
   sync_to_arrival(m.arrival, c.now);
   charge(c, scaled_cost(cfg_.runtime.msg_handle_cycles, c.speed));
-  grant_next_lock_waiter(c, static_cast<LockId>(m.a));
+  grant_next_lock_waiter(c.id, c.now, shard_of(c), static_cast<LockId>(m.a));
 }
 
-void Engine::grant_next_cell_waiter(CoreSim& actor, CellId id) {
-  Cell& cell = cells_[id];
+void Engine::grant_next_cell_waiter(CoreId actor, Tick actor_now,
+                                    host::ShardState& ctx, CellId id) {
+  Cell& cell = cell_at(id);
   if (cell.waiters.empty()) {
     cell.locked = false;
     cell.holder = net::kInvalidCore;
@@ -902,17 +1394,22 @@ void Engine::grant_next_cell_waiter(CoreSim& actor, CellId id) {
   cell.holder = w.core;
   cell.holder_mode = w.mode;
   if (cfg_.mem.model == mem::MemoryModel::kDistributed) {
-    post(MsgKind::kDataResponse, actor, w.core, cell.bytes, id);
+    post_from(MsgKind::kDataResponse, actor, actor_now, ctx, w.core,
+              cell.bytes, id, 0, {}, kInvalidGroup, 0, nullptr,
+              kInvalidGroup, 0);
   } else {
     // Shared memory: the waiter observes the freed flag one shared
-    // access after the release.
-    deliver_direct(MsgKind::kDataResponse, actor.id, w.core,
-                   actor.now + ticks(cfg_.mem.shared_latency_cycles), id);
+    // access after the release. The grant carries the cell's address
+    // and size for waiters on other shards.
+    deliver_direct(MsgKind::kDataResponse, actor, w.core,
+                   actor_now + ticks(cfg_.mem.shared_latency_cycles), ctx,
+                   id, cell.synth_addr, cell.bytes);
   }
 }
 
-void Engine::grant_next_lock_waiter(CoreSim& actor, LockId id) {
-  Lock& lk = locks_[id];
+void Engine::grant_next_lock_waiter(CoreId actor, Tick actor_now,
+                                    host::ShardState& ctx, LockId id) {
+  Lock& lk = lock_at(id);
   if (lk.waiters.empty()) {
     lk.held = false;
     lk.holder = net::kInvalidCore;
@@ -922,10 +1419,13 @@ void Engine::grant_next_lock_waiter(CoreSim& actor, LockId id) {
   lk.waiters.pop_front();
   lk.holder = w;
   if (cfg_.mem.model == mem::MemoryModel::kDistributed) {
-    post(MsgKind::kLockGrant, actor, w, cfg_.runtime.ctrl_msg_bytes, id);
+    post_from(MsgKind::kLockGrant, actor, actor_now, ctx, w,
+              cfg_.runtime.ctrl_msg_bytes, id, 0, {}, kInvalidGroup, 0,
+              nullptr, kInvalidGroup, 0);
   } else {
-    deliver_direct(MsgKind::kLockGrant, actor.id, w,
-                   actor.now + ticks(cfg_.mem.shared_latency_cycles), id);
+    deliver_direct(MsgKind::kLockGrant, actor, w,
+                   actor_now + ticks(cfg_.mem.shared_latency_cycles), ctx,
+                   id);
   }
 }
 
@@ -1029,6 +1529,8 @@ void Engine::ctx_mem_access(CoreSim& c, std::uint64_t addr,
       }
     }
   } else {
+    // coherence_timing pins the run to a single shard (run()), so the
+    // shared directory_ is never touched concurrently.
     const bool coh =
         mp.coherence_timing && mp.model == mem::MemoryModel::kShared;
     for (std::uint64_t line = first; line <= last; ++line) {
@@ -1047,15 +1549,15 @@ void Engine::ctx_mem_access(CoreSim& c, std::uint64_t addr,
   advance_execution(c, cost);
 }
 
-GroupId Engine::ctx_make_group() {
-  groups_.emplace_back();
-  return static_cast<GroupId>(groups_.size() - 1);
+GroupId Engine::ctx_make_group(CoreSim& c) {
+  c.groups.emplace_back();
+  return make_object_id(c.id, static_cast<std::uint32_t>(c.groups.size() - 1));
 }
 
 bool Engine::ctx_probe(CoreSim& c) {
   const auto nbs = cfg_.topology.neighbors(c.id);
   if (nbs.empty()) {
-    ++stats_.tasks_inlined;
+    ++stats_of(c).tasks_inlined;
     return false;
   }
   const auto n = static_cast<std::uint32_t>(nbs.size());
@@ -1071,20 +1573,31 @@ bool Engine::ctx_probe(CoreSim& c) {
   for (std::uint32_t i = 0; i < n; ++i) {
     const std::uint32_t idx = (start + i) % n;
     const CoreId nb = nbs[idx];
-    const CoreSim& t = core(nb);
-    // Occupancy view: live state, or the stale broadcast proxy
+    // Occupancy view: live state for same-shard neighbors, the frozen
+    // VtProxy for cross-shard ones, or the stale broadcast proxy
     // (paper SS IV) when enabled.
-    const std::uint32_t queued =
-        stale ? cfg_.runtime.task_queue_capacity - c.occ_proxy[idx]
-              : static_cast<std::uint32_t>(t.task_queue.size()) +
-                    t.reserved;
+    std::uint32_t queued;
+    bool busy;
+    if (stale) {
+      queued = cfg_.runtime.task_queue_capacity - c.occ_proxy[idx];
+      busy = same_shard(c.id, nb)
+                 ? (core(nb).fiber || !core(nb).resumables.empty())
+                 : proxy_[nb].busy;
+    } else if (same_shard(c.id, nb)) {
+      const CoreSim& t = core(nb);
+      queued = static_cast<std::uint32_t>(t.task_queue.size()) + t.reserved;
+      busy = (t.fiber || !t.resumables.empty());
+    } else {
+      queued = proxy_[nb].occupied;
+      busy = proxy_[nb].busy;
+    }
     if (queued >= cfg_.runtime.task_queue_capacity) continue;
-    const std::uint64_t load =
-        queued + ((t.fiber || !t.resumables.empty()) ? 1 : 0);
+    const std::uint64_t load = queued + (busy ? 1 : 0);
     std::uint64_t score = load * 64;
     if (cfg_.runtime.speed_aware_dispatch) {
       // (load + 1) / speed: even among idle cores, prefer the fastest.
-      score = (load + 1) * 64 * t.speed.den / t.speed.num;
+      const Speed sp = cfg_.speed_of(nb);
+      score = (load + 1) * 64 * sp.den / sp.num;
     }
     if (score < best_score) {
       best_score = score;
@@ -1092,7 +1605,7 @@ bool Engine::ctx_probe(CoreSim& c) {
     }
   }
   if (target == net::kInvalidCore) {
-    ++stats_.tasks_inlined;
+    ++stats_of(c).tasks_inlined;
 #ifdef SIMANY_TRACE_PROBE
     static int probe_fail_count = 0;
     if (++probe_fail_count % 5000 == 1) {
@@ -1113,7 +1626,7 @@ bool Engine::ctx_probe(CoreSim& c) {
 #endif
     return false;
   }
-  ++stats_.probes_sent;
+  ++stats_of(c).probes_sent;
   post(MsgKind::kProbe, c, target, cfg_.runtime.probe_msg_bytes);
   const Message r = await_reply(c);
   sync_to_arrival(r.arrival, c.now);
@@ -1121,8 +1634,8 @@ bool Engine::ctx_probe(CoreSim& c) {
     c.reserved_target = target;
     return true;
   }
-  ++stats_.probes_denied;
-  ++stats_.tasks_inlined;
+  ++stats_of(c).probes_denied;
+  ++stats_of(c).tasks_inlined;
   return false;
 }
 
@@ -1132,13 +1645,28 @@ void Engine::ctx_spawn(CoreSim& c, GroupId g, TaskFn fn,
     throw std::logic_error(
         "spawn without a successful probe reservation");
   }
-  if (g != kInvalidGroup) ++groups_[g].active;
+  host::ShardState& sh = shard_of(c);
+  if (g != kInvalidGroup) {
+    const CoreId home = object_home(g);
+    if (same_shard(c.id, home)) {
+      ++group_at(g).active;
+    } else {
+      // The increment is enqueued before the spawn message below rides
+      // the same FIFO (or any later completion), so the group can
+      // never be observed empty while this task is in flight.
+      Message inc;
+      inc.src = c.id;
+      inc.sent = c.now;
+      inc.a = g;
+      send_op(sh, host::HostOp::kGroupInc, shard_id_[home], std::move(inc));
+    }
+  }
   const Tick birth = c.now;
-  c.births.push_back(birth);
-  gmin_lb_ = std::min(gmin_lb_, sat_add(birth, drift_ticks_));
-  ++limit_epoch_;
-  ++live_tasks_;
-  ++stats_.tasks_spawned;
+  record_birth(c, birth);
+  sh.gmin_lb = std::min(sh.gmin_lb, sat_add(birth, drift_ticks_));
+  ++sh.limit_epoch;
+  ++sh.live_tasks;
+  ++sh.stats.tasks_spawned;
   if (obs_ != nullptr) obs_->on_task_birth(*this, c.id, birth);
   const std::uint32_t bytes =
       arg_bytes != 0 ? arg_bytes : cfg_.runtime.spawn_msg_bytes;
@@ -1148,9 +1676,15 @@ void Engine::ctx_spawn(CoreSim& c, GroupId g, TaskFn fn,
 }
 
 void Engine::ctx_join(CoreSim& c, GroupId g) {
-  Group& grp = groups_[g];
-  if (grp.active == 0) return;
-  ++stats_.joins_suspended;
+  const CoreId home = object_home(g);
+  if (same_shard(c.id, home)) {
+    Group& grp = group_at(g);
+    if (grp.active == 0) return;
+  }
+  // Cross-shard joins always park: only the home shard knows whether
+  // the group is empty (the kJoinQuery sent by after_fiber_return
+  // bounces straight back if it is).
+  ++stats_of(c).joins_suspended;
   c.park_pending = true;
   c.park_group = g;
   Fiber::yield();
@@ -1159,68 +1693,119 @@ void Engine::ctx_join(CoreSim& c, GroupId g) {
 }
 
 LockId Engine::ctx_make_lock(CoreSim& c) {
-  locks_.push_back(Lock{c.id, false, net::kInvalidCore, {}});
-  return static_cast<LockId>(locks_.size() - 1);
+  c.locks.push_back(Lock{c.id, false, net::kInvalidCore, {}});
+  return make_object_id(c.id, static_cast<std::uint32_t>(c.locks.size() - 1));
 }
 
 void Engine::ctx_lock(CoreSim& c, LockId id) {
   const bool distributed = cfg_.mem.model == mem::MemoryModel::kDistributed;
-  Lock& lk = locks_[id];
-  if (distributed && lk.home != c.id) {
+  const CoreId home = object_home(id);
+  if (same_shard(c.id, home)) {
+    Lock& lk = lock_at(id);
     if (lk.held && lk.holder == c.id) {
       throw std::logic_error(
           "recursive lock acquisition (non-reentrant)");
     }
-    post(MsgKind::kLockRequest, c, lk.home, cfg_.runtime.ctrl_msg_bytes, id);
+    if (distributed && lk.home != c.id) {
+      post(MsgKind::kLockRequest, c, lk.home, cfg_.runtime.ctrl_msg_bytes,
+           id);
+      const Message r = await_reply(c);
+      sync_to_arrival(r.arrival, c.now);
+      ++c.hold_depth;
+      if (obs_ != nullptr) obs_->on_lock_acquired(*this, c.id, id);
+      return;
+    }
+    // Local (or shared-memory) lock: one uncached atomic access.
+    charge(c, ticks(distributed ? cfg_.mem.l2_latency_cycles
+                                : cfg_.mem.shared_latency_cycles));
+    if (lk.held) {
+      lk.waiters.push_back(c.id);
+      const Message r = await_reply(c);
+      sync_to_arrival(r.arrival, c.now);
+    } else {
+      lk.held = true;
+      lk.holder = c.id;
+    }
+    ++c.hold_depth;
+    if (obs_ != nullptr) obs_->on_lock_acquired(*this, c.id, id);
+    return;
+  }
+  // Cross-shard: the home table is not readable here. Recursion is
+  // detected by the home shard when it applies the attempt.
+  if (distributed) {
+    post(MsgKind::kLockRequest, c, home, cfg_.runtime.ctrl_msg_bytes, id);
     const Message r = await_reply(c);
     sync_to_arrival(r.arrival, c.now);
     ++c.hold_depth;
     if (obs_ != nullptr) obs_->on_lock_acquired(*this, c.id, id);
     return;
   }
-  if (lk.held && lk.holder == c.id) {
-    throw std::logic_error("recursive lock acquisition (non-reentrant)");
-  }
-  // Local (or shared-memory) lock: one uncached atomic access.
-  charge(c, ticks(distributed ? cfg_.mem.l2_latency_cycles
-                              : cfg_.mem.shared_latency_cycles));
-  if (lk.held) {
-    lk.waiters.push_back(c.id);
-    const Message r = await_reply(c);
-    sync_to_arrival(r.arrival, c.now);
-  } else {
-    lk.held = true;
-    lk.holder = c.id;
-  }
+  // Shared memory: charge the atomic access locally (as the seed does
+  // before touching the table), then let the home shard arbitrate.
+  charge(c, ticks(cfg_.mem.shared_latency_cycles));
+  Message at;
+  at.src = c.id;
+  at.dst = home;
+  at.sent = c.now;
+  at.a = id;
+  send_op(shard_of(c), host::HostOp::kLockAttempt, shard_id_[home],
+          std::move(at));
+  const Message r = await_reply(c);
+  sync_to_arrival(r.arrival, c.now);
   ++c.hold_depth;
   if (obs_ != nullptr) obs_->on_lock_acquired(*this, c.id, id);
 }
 
 void Engine::ctx_unlock(CoreSim& c, LockId id) {
   const bool distributed = cfg_.mem.model == mem::MemoryModel::kDistributed;
-  Lock& lk = locks_[id];
-  if (!lk.held || lk.holder != c.id) {
-    throw std::logic_error("unlock of a lock this core does not hold");
-  }
-  SIMANY_ASSERT(c.hold_depth > 0, "core ", c.id, " at vt=", c.now,
-                " unlocking lock ", id, " with hold_depth 0");
-  --c.hold_depth;
-  if (obs_ != nullptr) obs_->on_lock_released(*this, c.id, id);
-  if (distributed && lk.home != c.id) {
-    // The release travels asynchronously; clear the holder now so a
-    // subsequent acquisition by this core is not mistaken for
-    // recursion (per-pair FIFO delivers the release before any later
-    // request from this core).
-    lk.holder = net::kInvalidCore;
-    post(MsgKind::kLockRelease, c, lk.home, cfg_.runtime.ctrl_msg_bytes, id);
+  const CoreId home = object_home(id);
+  if (same_shard(c.id, home)) {
+    Lock& lk = lock_at(id);
+    if (!lk.held || lk.holder != c.id) {
+      throw std::logic_error("unlock of a lock this core does not hold");
+    }
+    SIMANY_ASSERT(c.hold_depth > 0, "core ", c.id, " at vt=", c.now,
+                  " unlocking lock ", id, " with hold_depth 0");
+    --c.hold_depth;
+    if (obs_ != nullptr) obs_->on_lock_released(*this, c.id, id);
+    if (distributed && lk.home != c.id) {
+      // The release travels asynchronously; clear the holder now so a
+      // subsequent acquisition by this core is not mistaken for
+      // recursion (per-pair FIFO delivers the release before any later
+      // request from this core).
+      lk.holder = net::kInvalidCore;
+      post(MsgKind::kLockRelease, c, lk.home, cfg_.runtime.ctrl_msg_bytes,
+           id);
+      return;
+    }
+    charge(c, ticks(distributed ? cfg_.mem.l2_latency_cycles
+                                : cfg_.mem.shared_latency_cycles));
+    grant_next_lock_waiter(c.id, c.now, shard_of(c), id);
     return;
   }
-  charge(c, ticks(distributed ? cfg_.mem.l2_latency_cycles
-                              : cfg_.mem.shared_latency_cycles));
-  grant_next_lock_waiter(c, id);
+  // Cross-shard: the table lives on the home shard, which asserts that
+  // this core is the holder when the release lands. hold_depth is the
+  // only holder-side evidence available for the early error.
+  if (c.hold_depth == 0) {
+    throw std::logic_error("unlock of a lock this core does not hold");
+  }
+  --c.hold_depth;
+  if (obs_ != nullptr) obs_->on_lock_released(*this, c.id, id);
+  if (distributed) {
+    post(MsgKind::kLockRelease, c, home, cfg_.runtime.ctrl_msg_bytes, id);
+    return;
+  }
+  charge(c, ticks(cfg_.mem.shared_latency_cycles));
+  Message f;
+  f.src = c.id;
+  f.dst = home;
+  f.sent = c.now;
+  f.a = id;
+  send_op(shard_of(c), host::HostOp::kLockFree, shard_id_[home],
+          std::move(f));
 }
 
-CellId Engine::ctx_make_cell(std::uint32_t bytes, CoreId home) {
+CellId Engine::ctx_make_cell(CoreSim& c, std::uint32_t bytes, CoreId home) {
   Cell cell;
   cell.home = home;
   cell.bytes = bytes != 0 ? bytes : 8;
@@ -1228,60 +1813,151 @@ CellId Engine::ctx_make_cell(std::uint32_t bytes, CoreId home) {
   // space, disjoint from runtime::synth_alloc ranges.
   const std::uint64_t span =
       (cell.bytes + cfg_.mem.line_bytes - 1) / cfg_.mem.line_bytes + 1;
-  cell.synth_addr =
-      (std::uint64_t{1} << 56) + synth_addr_next_ * cfg_.mem.line_bytes;
-  synth_addr_next_ += span;
-  cells_.push_back(std::move(cell));
-  return static_cast<CellId>(cells_.size() - 1);
+  if (num_shards_ == 1) {
+    // Single shard: keep the seed's global allocation sequence so
+    // cycle-level cache set indices are bit-identical to it.
+    cell.synth_addr =
+        (std::uint64_t{1} << 56) + synth_addr_next_ * cfg_.mem.line_bytes;
+    synth_addr_next_ += span;
+  } else {
+    // Parallel: per-creator regions keep allocation race-free and
+    // independent of cross-shard interleaving.
+    SIMANY_ASSERT(c.id < (1u << 12),
+                  "parallel cell allocation supports < 4096 cores");
+    cell.synth_addr = (std::uint64_t{1} << 56) +
+                      (static_cast<std::uint64_t>(c.id) << 44) +
+                      c.synth_addr_next * cfg_.mem.line_bytes;
+    c.synth_addr_next += span;
+  }
+  SIMANY_ASSERT(c.cell_seq < (1u << 20),
+                "per-core cell id space exhausted");
+  const CellId id = make_object_id(home, (c.id << 20) | c.cell_seq);
+  ++c.cell_seq;
+  if (same_shard(c.id, home)) {
+    core(home).cells.emplace(id, std::move(cell));
+  } else {
+    // Per-pair FIFO: the create lands before any kDataRequest or
+    // kCellAttempt this core sends for the new cell.
+    Message m;
+    m.src = c.id;
+    m.dst = home;
+    m.sent = c.now;
+    m.a = id;
+    m.b = cell.synth_addr;
+    m.bytes = cell.bytes;
+    send_op(shard_of(c), host::HostOp::kCellCreate, shard_id_[home],
+            std::move(m));
+  }
+  return id;
 }
 
 void Engine::ctx_cell_acquire(CoreSim& c, CellId id, AccessMode mode) {
   const bool distributed = cfg_.mem.model == mem::MemoryModel::kDistributed;
-  Cell& cell = cells_[id];
-  if (distributed && cell.home != c.id) {
-    post(MsgKind::kDataRequest, c, cell.home, cfg_.runtime.ctrl_msg_bytes,
-         id, static_cast<std::uint64_t>(mode));
+  const CoreId home = object_home(id);
+  if (distributed && home != c.id) {
+    post(MsgKind::kDataRequest, c, home, cfg_.runtime.ctrl_msg_bytes, id,
+         static_cast<std::uint64_t>(mode));
     const Message r = await_reply(c);
     sync_to_arrival(r.arrival, c.now);
     ++c.hold_depth;
     if (obs_ != nullptr) obs_->on_cell_acquired(*this, c.id, id);
+    if (!same_shard(c.id, home)) {
+      c.held_cells[id] = CoreSim::HeldCell{mode, r.bytes, r.b};
+    }
     // Data lands in the local L2 and is accessed from there.
     charge(c, ticks(cfg_.mem.l2_latency_cycles));
     return;
   }
-  if (cell.locked) {
-    cell.waiters.push_back(Cell::Waiter{c.id, mode});
-    const Message r = await_reply(c);
-    sync_to_arrival(r.arrival, c.now);
-  } else {
-    cell.locked = true;
-    cell.holder = c.id;
-    cell.holder_mode = mode;
+  if (same_shard(c.id, home)) {
+    Cell& cell = cell_at(id);
+    if (cell.locked) {
+      cell.waiters.push_back(Cell::Waiter{c.id, mode});
+      const Message r = await_reply(c);
+      sync_to_arrival(r.arrival, c.now);
+    } else {
+      cell.locked = true;
+      cell.holder = c.id;
+      cell.holder_mode = mode;
+    }
+    ++c.hold_depth;
+    if (obs_ != nullptr) obs_->on_cell_acquired(*this, c.id, id);
+    if (distributed) {
+      charge(c, ticks(cfg_.mem.l2_latency_cycles));
+    } else {
+      ctx_mem_access(c, cell.synth_addr, cell.bytes, /*write=*/false);
+    }
+    return;
   }
+  // Shared memory, cross-shard home: arbitration happens at the home
+  // shard; the grant carries the cell's address and size so the data
+  // access (and a later write-back) need no remote table read.
+  Message at;
+  at.src = c.id;
+  at.dst = home;
+  at.sent = c.now;
+  at.a = id;
+  at.b = static_cast<std::uint64_t>(mode);
+  send_op(shard_of(c), host::HostOp::kCellAttempt, shard_id_[home],
+          std::move(at));
+  const Message r = await_reply(c);
+  sync_to_arrival(r.arrival, c.now);
   ++c.hold_depth;
   if (obs_ != nullptr) obs_->on_cell_acquired(*this, c.id, id);
-  if (distributed) {
-    charge(c, ticks(cfg_.mem.l2_latency_cycles));
-  } else {
-    ctx_mem_access(c, cell.synth_addr, cell.bytes, /*write=*/false);
-  }
+  c.held_cells[id] = CoreSim::HeldCell{mode, r.bytes, r.b};
+  ctx_mem_access(c, r.b, r.bytes, /*write=*/false);
 }
 
 void Engine::ctx_cell_release(CoreSim& c, CellId id) {
   const bool distributed = cfg_.mem.model == mem::MemoryModel::kDistributed;
-  if (!cells_[id].locked || cells_[id].holder != c.id) {
+  const CoreId home = object_home(id);
+  if (!same_shard(c.id, home)) {
+    const auto it = c.held_cells.find(id);
+    if (it == c.held_cells.end()) {
+      throw std::logic_error("release of a cell this core does not hold");
+    }
+    SIMANY_ASSERT(c.hold_depth > 0, "core ", c.id, " at vt=", c.now,
+                  " releasing cell ", id, " with hold_depth 0");
+    const CoreSim::HeldCell held = it->second;
+    c.held_cells.erase(it);
+    const bool wrote = held.mode == AccessMode::kWrite;
+    if (distributed) {
+      const std::uint32_t bytes =
+          wrote ? std::max(held.bytes, cfg_.runtime.ctrl_msg_bytes)
+                : cfg_.runtime.ctrl_msg_bytes;
+      post(MsgKind::kCellRelease, c, home, bytes, id, wrote ? 1 : 0);
+      --c.hold_depth;
+      if (obs_ != nullptr) obs_->on_cell_released(*this, c.id, id);
+      return;
+    }
+    if (wrote) {
+      // Write-back of the modified data to shared memory while the
+      // holder exemption is still in force (paper SS II-B).
+      ctx_mem_access(c, held.synth_addr, held.bytes, /*write=*/true);
+    }
+    --c.hold_depth;
+    if (obs_ != nullptr) obs_->on_cell_released(*this, c.id, id);
+    Message f;
+    f.src = c.id;
+    f.dst = home;
+    f.sent = c.now;
+    f.a = id;
+    send_op(shard_of(c), host::HostOp::kCellFree, shard_id_[home],
+            std::move(f));
+    return;
+  }
+  Cell& cell = cell_at(id);
+  if (!cell.locked || cell.holder != c.id) {
     throw std::logic_error("release of a cell this core does not hold");
   }
   SIMANY_ASSERT(c.hold_depth > 0, "core ", c.id, " at vt=", c.now,
                 " releasing cell ", id, " with hold_depth 0");
-  const bool wrote = cells_[id].holder_mode == AccessMode::kWrite;
-  if (distributed && cells_[id].home != c.id) {
+  const bool wrote = cell.holder_mode == AccessMode::kWrite;
+  if (distributed && cell.home != c.id) {
     const std::uint32_t bytes =
-        wrote ? std::max(cells_[id].bytes, cfg_.runtime.ctrl_msg_bytes)
+        wrote ? std::max(cell.bytes, cfg_.runtime.ctrl_msg_bytes)
               : cfg_.runtime.ctrl_msg_bytes;
-    cells_[id].holder = net::kInvalidCore;  // release is in flight
-    post(MsgKind::kCellRelease, c, cells_[id].home, bytes, id,
-         wrote ? 1 : 0);
+    cell.holder = net::kInvalidCore;  // release is in flight
+    post(MsgKind::kCellRelease, c, cell.home, bytes, id, wrote ? 1 : 0);
     --c.hold_depth;
     if (obs_ != nullptr) obs_->on_cell_released(*this, c.id, id);
     return;
@@ -1291,10 +1967,9 @@ void Engine::ctx_cell_release(CoreSim& c, CellId id) {
     // exemption must still be in force here: the write-back may stall
     // on spatial sync, and a waiter behind us could be the very core
     // we would be waiting for (paper SS II-B).
-    ctx_mem_access(c, cells_[id].synth_addr, cells_[id].bytes,
-                   /*write=*/true);
+    ctx_mem_access(c, cell.synth_addr, cell.bytes, /*write=*/true);
   }
-  grant_next_cell_waiter(c, id);
+  grant_next_cell_waiter(c.id, c.now, shard_of(c), id);
   --c.hold_depth;
   if (obs_ != nullptr) obs_->on_cell_released(*this, c.id, id);
 }

@@ -1,9 +1,8 @@
 // The SiMany discrete-event simulation engine.
 //
 // One Engine instance simulates one program run on one architecture.
-// It is single-threaded and fully deterministic: simulated cores are
-// userland fibers scheduled cooperatively (paper SS III), and all
-// randomness derives from the config seed.
+// Simulated cores are userland fibers scheduled cooperatively (paper
+// SS III), and all randomness derives from the config seed.
 //
 // The engine supports two execution modes sharing the same programming
 // model, network and run-time protocols:
@@ -24,16 +23,30 @@
 //    small quanta, data goes through real set-associative split L1
 //    caches with a full directory-coherence cost model, and
 //    instruction fetch is charged explicitly.
+//
+// Host execution (src/host) is layered on top: cores are partitioned
+// into shards, and each shard runs the event loop below over its own
+// cores in bulk-synchronous rounds. With one shard this degenerates to
+// exactly the classic sequential engine (HostMode::kSequential); with
+// several, worker threads run rounds concurrently, exchanging
+// cross-shard effects through SPSC mailboxes drained at round
+// boundaries and reading remote synchronization state from frozen
+// VtProxy snapshots. Every cross-core interaction keeps its direct
+// code path when the peer core belongs to the same shard and takes the
+// mailbox variant only across shards, so a 1-shard parallel run is
+// bit-identical to the sequential engine by construction.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "config/arch_config.h"
 #include "core/engine_observer.h"
 #include "core/fiber.h"
+#include "core/inbox.h"
 #include "core/inspect.h"
 #include "core/message.h"
 #include "core/rng.h"
@@ -42,12 +55,18 @@
 #include "core/task_ctx.h"
 #include "core/trace.h"
 #include "core/vtime.h"
+#include "host/shard.h"
+#include "host/spsc_mailbox.h"
 #include "mem/directory.h"
 #include "mem/pessimistic_l1.h"
 #include "mem/setassoc_cache.h"
 #include "net/network.h"
 
 namespace simany {
+
+namespace host {
+class ParallelHost;
+}
 
 enum class ExecutionMode : std::uint8_t {
   kVirtualTime,  // SiMany: spatial synchronization, abstract models
@@ -77,13 +96,15 @@ class Engine {
 
   /// Attaches an event observer (or nullptr to detach). The sink must
   /// outlive run(). See stats/trace_sinks.h for ready-made sinks.
+  /// Attaching a trace sink pins the run to sequential host execution.
   void set_trace(TraceSink* sink) noexcept { trace_ = sink; }
 
   /// Attaches a validation/instrumentation observer (or nullptr to
   /// detach). Observers see every engine transition — see
   /// core/engine_observer.h and the checkers in src/check. The
   /// observer must outlive run(). Costs one null-check per event when
-  /// detached.
+  /// detached. Attaching an observer pins the run to sequential host
+  /// execution (the checkers assume a single global event order).
   void set_observer(EngineObserver* obs) noexcept { obs_ = obs; }
 
   /// Builds a structured snapshot of the complete simulation state
@@ -92,6 +113,8 @@ class Engine {
   [[nodiscard]] EngineInspect inspect() const;
 
  private:
+  friend class host::ParallelHost;
+
   // ---- Per-core simulation state ------------------------------------
 
   struct PendingTask {
@@ -108,48 +131,9 @@ class Engine {
 
   class Ctx;  // TaskCtx implementation bound to one core
 
-  struct CoreSim {
-    CoreId id = 0;
-    Speed speed;
-    Tick now = 0;
-    Tick busy = 0;
-
-    std::deque<Message> inbox;
-    std::deque<PendingTask> task_queue;
-    std::uint32_t reserved = 0;  // probe reservations not yet arrived
-    std::vector<Tick> births;    // in-flight spawns from this core
-
-    std::unique_ptr<Fiber> fiber;         // current task
-    GroupId fiber_group = kInvalidGroup;  // group of the current task
-    std::deque<ParkedFiber> resumables;   // woken joiners
-
-    int hold_depth = 0;  // locks/cells held -> spatial-sync exemption
-    bool sync_stalled = false;
-    bool waiting_reply = false;
-    bool park_pending = false;   // fiber asked to be parked on a group
-    GroupId park_group = kInvalidGroup;
-    bool reply_ready = false;
-    Message reply;
-
-    CoreId reserved_target = net::kInvalidCore;  // granted probe target
-    std::uint32_t probe_rr = 0;  // rotating probe start index
-    /// Stale per-neighbor free-slot proxies (broadcast_occupancy mode),
-    /// indexed like topology.neighbors(id).
-    std::vector<std::uint32_t> occ_proxy;
-    Tick cached_limit = 0;
-    std::uint64_t limit_epoch = 0;  // validity tag for cached_limit
-
-    bool in_ready = false;
-    Rng rng;
-    mem::PessimisticL1 l1;
-    // Cycle-level mode only:
-    std::unique_ptr<mem::SetAssocCache> dcache;
-    std::unique_ptr<mem::SetAssocCache> icache;
-
-    std::unique_ptr<Ctx> ctx;
-  };
-
-  // ---- Run-time system tables ----------------------------------------
+  // ---- Run-time system tables (homed: each object lives in the table
+  // of its home core; ids encode home + per-core sequence, see
+  // sim_types.h) --------------------------------------------------------
 
   struct Group {
     std::uint32_t active = 0;
@@ -183,13 +167,82 @@ class Engine {
     std::deque<CoreId> waiters;
   };
 
+  struct CoreSim {
+    CoreId id = 0;
+    Speed speed;
+    Tick now = 0;
+    Tick busy = 0;
+
+    InboxQueue inbox;
+    std::deque<PendingTask> task_queue;
+    std::uint32_t reserved = 0;  // probe reservations not yet arrived
+    std::vector<Tick> births;    // in-flight spawns from this core
+    /// Incrementally maintained min of `births` (kTickInfinity when
+    /// empty) — the drift check consults this on every BFS visit.
+    Tick births_min = kTickInfinity;
+
+    std::unique_ptr<Fiber> fiber;         // current task
+    GroupId fiber_group = kInvalidGroup;  // group of the current task
+    std::deque<ParkedFiber> resumables;   // woken joiners
+
+    int hold_depth = 0;  // locks/cells held -> spatial-sync exemption
+    bool sync_stalled = false;
+    bool waiting_reply = false;
+    bool park_pending = false;   // fiber asked to be parked on a group
+    GroupId park_group = kInvalidGroup;
+    bool reply_ready = false;
+    Message reply;
+
+    CoreId reserved_target = net::kInvalidCore;  // granted probe target
+    std::uint32_t probe_rr = 0;  // rotating probe start index
+    /// Stale per-neighbor free-slot proxies (broadcast_occupancy mode),
+    /// indexed like topology.neighbors(id).
+    std::vector<std::uint32_t> occ_proxy;
+    Tick cached_limit = 0;
+    std::uint64_t limit_epoch = 0;  // validity tag for cached_limit
+
+    bool in_ready = false;
+    std::uint64_t cl_stamp = 0;  // validity tag for cycle-level heap
+    Rng rng;
+    mem::PessimisticL1 l1;
+    // Cycle-level mode only:
+    std::unique_ptr<mem::SetAssocCache> dcache;
+    std::unique_ptr<mem::SetAssocCache> icache;
+
+    // Homed run-time tables owned by this core (deques: element
+    // references must survive growth, because fibers hold references
+    // across yields while other tasks create groups/locks).
+    std::deque<Group> groups;
+    std::deque<Lock> locks;
+    std::unordered_map<CellId, Cell> cells;
+    std::uint32_t cell_seq = 0;         // this core's cell creations
+    std::uint64_t synth_addr_next = 1;  // per-creator synthetic space
+
+    /// Cells this core holds whose home lives in another shard: the
+    /// release path needs the access mode / payload size / synthetic
+    /// address without reading the remote home table.
+    struct HeldCell {
+      AccessMode mode;
+      std::uint32_t bytes;
+      std::uint64_t synth_addr;
+    };
+    std::unordered_map<CellId, HeldCell> held_cells;
+
+    std::unique_ptr<Ctx> ctx;
+  };
+
   // ---- Scheduling ------------------------------------------------------
 
-  void main_loop();
+  void main_loop_cl();
   void run_core_vt(CoreSim& c);
   void run_core_cl(CoreSim& c);
   /// Index of the earliest actionable core (CL mode), or kInvalidCore.
+  /// Reference O(n) scan, kept as the SIMANY_CHECKED oracle for the
+  /// incremental heap (cl_pick).
   [[nodiscard]] CoreId pick_min_time_core() const;
+  [[nodiscard]] CoreId cl_pick();
+  void cl_push(CoreSim& c);
+  [[nodiscard]] Tick cl_key(const CoreSim& c) const;
   [[nodiscard]] bool actionable(const CoreSim& c) const;
   void mark_ready(CoreSim& c);
   void process_inbox(CoreSim& c);
@@ -197,21 +250,72 @@ class Engine {
   void after_fiber_return(CoreSim& c);
   bool start_next_work(CoreSim& c);  // resumables / task queue
   void task_done(CoreSim& c);
-  [[nodiscard]] bool wake_sweep();  // returns true if anything woke
+  /// Group emptied at its home: wake every joiner. `completer`/`at`
+  /// identify the finishing task (message timing source).
+  void group_complete(Group& grp, GroupId g, CoreId completer, Tick at);
+  bool wake_sweep(host::ShardState& sh);  // true if anything woke
 
   /// Push-migration (paper SS IV): when this core is overloaded —
   /// running a task with more queued behind it — forward queued tasks
   /// to strictly idle neighbors so work diffuses through the mesh.
   void try_migrate(CoreSim& c);
 
+  // ---- Host-parallel execution (src/host layer) ------------------------
+
+  void host_setup(std::uint32_t shards);
+  /// One shard round: drain incoming mailboxes, run the event loop for
+  /// up to `budget` quanta (or until the shard has nothing runnable),
+  /// publish fresh VtProxy snapshots.
+  void host_round(host::ShardState& sh, std::uint64_t budget);
+  void host_drain(host::ShardState& sh);
+  void host_loop(host::ShardState& sh, std::uint64_t budget);
+  void host_publish(host::ShardState& sh);
+  /// Serial barrier phase (single-threaded): termination / deadlock
+  /// resolution. Returns true when the simulation is finished.
+  bool host_serial_phase();
+  void apply_host_op(host::ShardState& sh, host::Routed r);
+  void send_op(host::ShardState& ctx, host::HostOp op, std::uint32_t dst_shard,
+               Message m);
+  void finalize_stats();
+
+  [[nodiscard]] host::ShardState& shard_of(const CoreSim& c) {
+    return *shards_[shard_id_[c.id]];
+  }
+  [[nodiscard]] bool same_shard(CoreId a, CoreId b) const {
+    return shard_id_[a] == shard_id_[b];
+  }
+  [[nodiscard]] SimStats& stats_of(const CoreSim& c) {
+    return shards_[shard_id_[c.id]]->stats;
+  }
+  [[nodiscard]] host::SpscMailbox<host::Routed>& mailbox(std::uint32_t src,
+                                                         std::uint32_t dst) {
+    return *mail_[src * num_shards_ + dst];
+  }
+
+  // ---- Homed-table access (home must be shard-local or at a barrier) --
+
+  [[nodiscard]] Group& group_at(GroupId id) {
+    return core(object_home(id)).groups[object_index(id)];
+  }
+  [[nodiscard]] Lock& lock_at(LockId id) {
+    return core(object_home(id)).locks[object_index(id)];
+  }
+  [[nodiscard]] Cell& cell_at(CellId id) {
+    return core(object_home(id)).cells.at(id);
+  }
+
   // ---- Spatial synchronization ----------------------------------------
 
   /// Maximum virtual time core `c` may reach right now.
   [[nodiscard]] Tick drift_limit(const CoreSim& c);
-  [[nodiscard]] Tick bounded_slack_limit() const;
-  void sample_parallelism();
+  [[nodiscard]] Tick bounded_slack_limit(const CoreSim& viewer) const;
+  void sample_parallelism(host::ShardState& sh);
   [[nodiscard]] bool is_anchor(const CoreSim& c) const;
-  void refresh_gmin();
+  void refresh_gmin(host::ShardState& sh);
+  /// Anchor/births view of a core for drift computations: live state
+  /// for same-shard cores, the frozen VtProxy snapshot otherwise.
+  void drift_view(const CoreSim& viewer, CoreId id, bool& anchor,
+                  Tick& now, Tick& births_min) const;
 
   /// Advances `c` by `cost` ticks of execution, stalling as spatial
   /// synchronization requires (VT) or chopping into quanta (CL).
@@ -222,11 +326,26 @@ class Engine {
 
   void post(MsgKind kind, CoreSim& from, CoreId to, std::uint32_t bytes,
             std::uint64_t a = 0, std::uint64_t b = 0, TaskFn task = {},
-            GroupId group = kInvalidGroup, Tick birth = 0);
+            GroupId group = kInvalidGroup, Tick birth = 0,
+            std::unique_ptr<Fiber> fiber = nullptr,
+            GroupId fiber_group = kInvalidGroup, Tick parked_at = 0);
+  /// post() with an explicit source clock and lane context (used when
+  /// the sending core is remote, e.g. a group completion applied at the
+  /// group's home shard on behalf of the finishing core).
+  void post_from(MsgKind kind, CoreId from, Tick from_now,
+                 host::ShardState& ctx, CoreId to, std::uint32_t bytes,
+                 std::uint64_t a, std::uint64_t b, TaskFn task,
+                 GroupId group, Tick birth, std::unique_ptr<Fiber> fiber,
+                 GroupId fiber_group, Tick parked_at);
   /// Synthetic local delivery at an explicit arrival time (used for
   /// shared-memory lock/cell handoff, which involves no real message).
   void deliver_direct(MsgKind kind, CoreId from, CoreId to, Tick arrival,
-                      std::uint64_t a = 0, std::uint64_t b = 0);
+                      host::ShardState& ctx, std::uint64_t a = 0,
+                      std::uint64_t b = 0, std::uint32_t bytes = 0);
+  /// Hands a finished Message to its destination: a destination inside
+  /// `ctx` (the executing shard) goes straight into the inbox, anything
+  /// else rides the mailbox.
+  void enqueue_message(host::ShardState& ctx, Message m);
   void handle_message(CoreSim& c, Message& m);
 
   /// Blocks the current fiber until a reply message arrives; returns it.
@@ -241,16 +360,24 @@ class Engine {
   void broadcast_occupancy_update(CoreSim& c);
   [[nodiscard]] std::uint32_t free_slots(const CoreSim& c) const;
   void on_task_spawn(CoreSim& c, Message& m);
-  void on_joiner_request(CoreSim& c, const Message& m);
+  void on_joiner_request(CoreSim& c, Message& m);
   void on_data_request(CoreSim& c, const Message& m);
   void on_cell_release(CoreSim& c, const Message& m);
   void on_lock_request(CoreSim& c, const Message& m);
   void on_lock_release(CoreSim& c, const Message& m);
-  /// Grants the cell/lock to the next waiter (or unlocks). `actor` is
-  /// the core performing the hand-off (home core in distributed mode,
-  /// the releasing core in shared mode).
-  void grant_next_cell_waiter(CoreSim& actor, CellId id);
-  void grant_next_lock_waiter(CoreSim& actor, LockId id);
+  /// Grants the cell/lock to the next waiter (or unlocks). `actor`/
+  /// `actor_now` identify the core performing the hand-off (home core
+  /// in distributed mode, the releasing core in shared mode); `ctx` is
+  /// the shard whose lane times any resulting message.
+  void grant_next_cell_waiter(CoreId actor, Tick actor_now,
+                              host::ShardState& ctx, CellId id);
+  void grant_next_lock_waiter(CoreId actor, Tick actor_now,
+                              host::ShardState& ctx, LockId id);
+
+  // ---- Birth bookkeeping (satellite: incremental min cache) -------------
+
+  void record_birth(CoreSim& c, Tick birth);
+  void retire_birth(CoreSim& c, Tick birth);
 
   // ---- Ctx operation implementations (fiber context) ---------------------
 
@@ -262,11 +389,11 @@ class Engine {
   bool ctx_probe(CoreSim& c);
   void ctx_spawn(CoreSim& c, GroupId g, TaskFn fn, std::uint32_t arg_bytes);
   void ctx_join(CoreSim& c, GroupId g);
-  GroupId ctx_make_group();
+  GroupId ctx_make_group(CoreSim& c);
   LockId ctx_make_lock(CoreSim& c);
   void ctx_lock(CoreSim& c, LockId id);
   void ctx_unlock(CoreSim& c, LockId id);
-  CellId ctx_make_cell(std::uint32_t bytes, CoreId home);
+  CellId ctx_make_cell(CoreSim& c, std::uint32_t bytes, CoreId home);
   void ctx_cell_acquire(CoreSim& c, CellId id, AccessMode mode);
   void ctx_cell_release(CoreSim& c, CellId id);
 
@@ -284,7 +411,8 @@ class Engine {
 
   /// Internal self-audit of conservation counters (live tasks,
   /// in-flight messages, hold depths). Active only in SIMANY_CHECKED /
-  /// Debug builds; called periodically from the main loop.
+  /// Debug builds; called from quiescent points (single-shard loop,
+  /// end of run).
   void audit_counters() const;
 
   [[nodiscard]] CoreSim& core(CoreId id) { return *cores_[id]; }
@@ -297,32 +425,36 @@ class Engine {
   Tick drift_ticks_ = 0;
   net::Network network_;
   timing::CostModel cost_model_;
-  FiberPool fiber_pool_;
   std::vector<std::unique_ptr<CoreSim>> cores_;
-  // deques: element references must survive growth, because fibers hold
-  // references across yields while other tasks create groups/cells.
-  std::deque<Group> groups_;
-  std::deque<Cell> cells_;
-  std::deque<Lock> locks_;
   mem::Directory directory_;
 
-  std::deque<CoreId> ready_;
-  std::vector<CoreId> stalled_;
+  // Host layer: shards, core->shard map, proxy snapshots, mailboxes.
+  std::vector<std::unique_ptr<host::ShardState>> shards_;
+  std::vector<std::uint32_t> shard_id_;
+  /// Read side of the proxy snapshots: stable for the whole round,
+  /// refreshed from proxy_next_ by the serial barrier phase.
+  std::vector<host::VtProxy> proxy_;
+  /// Write side: each shard publishes its own cores here at round end.
+  std::vector<host::VtProxy> proxy_next_;
+  std::vector<std::unique_ptr<host::SpscMailbox<host::Routed>>> mail_;
+  std::uint32_t num_shards_ = 1;
+  std::uint64_t host_rounds_ = 0;
+  /// Global synthetic-address allocator used by single-shard runs (the
+  /// seed engine's exact address sequence, which cycle-level set-index
+  /// behavior depends on). Multi-shard runs carve per-creator regions
+  /// instead — see ctx_make_cell.
+  std::uint64_t synth_addr_next_ = 1;
 
-  std::uint64_t live_tasks_ = 0;
-  std::uint64_t inflight_messages_ = 0;
-  Tick gmin_lb_ = 0;        // lower bound on the minimum anchored time
-  /// Bumped whenever a *new* drift constraint appears (a core gains
-  /// work, a task is born): cached drift limits from earlier epochs —
-  /// possibly infinity — are then stale and must be recomputed.
-  std::uint64_t limit_epoch_ = 1;
-  Tick max_task_end_ = 0;
-  std::uint64_t quantum_count_ = 0;
-  std::uint64_t synth_addr_next_ = 1;  // synthetic cell address space
+  // Cycle-level min-core heap (lazy deletion via cl_stamp).
+  struct ClEntry {
+    Tick key;
+    CoreId id;
+    std::uint64_t stamp;
+  };
+  std::vector<ClEntry> cl_heap_;
+
   TraceSink* trace_ = nullptr;
   EngineObserver* obs_ = nullptr;
-  std::vector<std::uint32_t> bfs_epoch_;
-  std::uint32_t bfs_epoch_cur_ = 0;
   bool ran_ = false;
 
   SimStats stats_;

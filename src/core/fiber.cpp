@@ -9,13 +9,18 @@
 #if SIMANY_ASAN_FIBERS
 #include <sanitizer/common_interface_defs.h>
 #endif
+#if SIMANY_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
 
 namespace simany {
 
 namespace {
-// The fiber being executed right now. The engine is single-threaded by
-// design (paper SS III), so a plain static is sufficient and fast.
-Fiber* g_current = nullptr;
+// The fiber being executed right now, per host thread. Each parallel
+// host worker runs its own scheduler loop and resumes fibers for its
+// shard only, so a thread_local keeps the fast single-threaded lookup
+// while making concurrent shard loops safe.
+thread_local Fiber* g_current = nullptr;
 }  // namespace
 
 Fiber* Fiber::current() noexcept { return g_current; }
@@ -28,6 +33,9 @@ Fiber::~Fiber() {
   // Destroying a suspended, unfinished fiber leaks whatever its stack
   // owned; the engine only destroys fibers after completion or at
   // simulation teardown where leaked task state is acceptable.
+#if SIMANY_TSAN_FIBERS
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
 }
 
 void Fiber::trampoline() {
@@ -46,6 +54,12 @@ void Fiber::trampoline() {
     self->exception_ = std::current_exception();
   }
   self->finished_ = true;
+  // TSan note: no __tsan_switch_to_fiber here. The compiler-inserted
+  // func-exit of this very function still runs on the fiber stack after
+  // any code written here, so switching TSan's shadow state now would
+  // pop a frame the scheduler's shadow stack never pushed (and corrupt
+  // it — observed as a TSan-internal SEGV). The scheduler side switches
+  // back right after swapcontext returns; see resume().
 #if SIMANY_ASAN_FIBERS
   // Null fake-stack pointer = this fiber is terminating; ASan releases
   // its fake frames instead of keeping them for a return that never
@@ -80,7 +94,20 @@ void Fiber::resume() {
   __sanitizer_start_switch_fiber(&sched_fake_stack, stack_.get(),
                                  stack_bytes_);
 #endif
+#if SIMANY_TSAN_FIBERS
+  if (tsan_fiber_ == nullptr) tsan_fiber_ = __tsan_create_fiber(0);
+  // Re-learned on every resume: a parked joiner may migrate and be
+  // resumed by a different host thread than the one that created it.
+  tsan_sched_fiber_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
   const int rc = swapcontext(&return_ctx_, &ctx_);
+#if SIMANY_TSAN_FIBERS
+  // A yield already switched TSan back before its swapcontext; the
+  // uc_link fall-through of a finishing fiber could not (see
+  // trampoline()), so the scheduler restores its own shadow state here.
+  if (finished_) __tsan_switch_to_fiber(tsan_sched_fiber_, 0);
+#endif
 #if SIMANY_ASAN_FIBERS
   __sanitizer_finish_switch_fiber(sched_fake_stack, nullptr, nullptr);
 #endif
@@ -99,6 +126,9 @@ void Fiber::yield() {
   __sanitizer_start_switch_fiber(&self->asan_fiber_fake_stack_,
                                  self->asan_sched_stack_,
                                  self->asan_sched_size_);
+#endif
+#if SIMANY_TSAN_FIBERS
+  __tsan_switch_to_fiber(self->tsan_sched_fiber_, 0);
 #endif
   const int rc = swapcontext(&self->ctx_, &self->return_ctx_);
 #if SIMANY_ASAN_FIBERS

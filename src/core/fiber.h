@@ -35,6 +35,20 @@
 #define SIMANY_ASAN_FIBERS 0
 #endif
 
+// ThreadSanitizer likewise needs explicit fiber-switch annotations, or
+// it attributes one host thread's fiber stacks to another and reports
+// false races when the parallel host migrates a parked joiner.
+#if defined(__SANITIZE_THREAD__)
+#define SIMANY_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SIMANY_TSAN_FIBERS 1
+#endif
+#endif
+#ifndef SIMANY_TSAN_FIBERS
+#define SIMANY_TSAN_FIBERS 0
+#endif
+
 namespace simany {
 
 class FiberPool;
@@ -85,6 +99,10 @@ class Fiber {
   void* asan_fiber_fake_stack_ = nullptr;  // fiber's fake stack while parked
   const void* asan_sched_stack_ = nullptr;  // scheduler stack bounds, learned
   std::size_t asan_sched_size_ = 0;         // on first entry into the fiber
+#endif
+#if SIMANY_TSAN_FIBERS
+  void* tsan_fiber_ = nullptr;       // TSan's shadow state for this fiber
+  void* tsan_sched_fiber_ = nullptr;  // resuming thread's shadow, per switch
 #endif
 };
 

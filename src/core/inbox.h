@@ -1,0 +1,113 @@
+// Per-core message inbox with inline storage.
+//
+// The previous std::deque<Message> paid a heap allocation for its first
+// chunk on practically every core and churned chunks under load. Inbox
+// depth is tiny in steady state (the paper's task queues hold ~2 slots;
+// control traffic adds a few more), so a ring buffer whose first
+// kInlineCapacity slots live inside the CoreSim itself makes the common
+// path allocation-free. The ring only touches the heap when a burst
+// exceeds the inline capacity, and every such growth is counted so
+// bench/micro_engine can report allocation behaviour.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "core/message.h"
+#include "core/simany_assert.h"
+#include "core/vtime.h"
+
+namespace simany {
+
+class InboxQueue {
+ public:
+  static constexpr std::size_t kInlineCapacity = 8;
+
+  InboxQueue() = default;
+  InboxQueue(const InboxQueue&) = delete;
+  InboxQueue& operator=(const InboxQueue&) = delete;
+  InboxQueue(InboxQueue&&) = delete;
+  InboxQueue& operator=(InboxQueue&&) = delete;
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  void push_back(Message&& m) {
+    if (size_ == cap_) grow();
+    slot(size_) = std::move(m);
+    ++size_;
+    min_dirty_ = true;
+  }
+
+  [[nodiscard]] Message& front() noexcept {
+    SIMANY_ASSERT(size_ > 0, "front() on empty inbox");
+    return slot(0);
+  }
+
+  [[nodiscard]] Message pop_front() {
+    SIMANY_ASSERT(size_ > 0, "pop_front() on empty inbox");
+    Message m = std::move(slot(0));
+    head_ = (head_ + 1) % cap_;
+    --size_;
+    min_dirty_ = true;
+    return m;
+  }
+
+  /// Earliest arrival tick of any queued message; kTickInfinity when
+  /// empty. Cached between mutations (satellite hot-path: the drift
+  /// check consults this every scheduling decision).
+  [[nodiscard]] Tick min_arrival() const noexcept {
+    if (min_dirty_) {
+      Tick lo = kTickInfinity;
+      for (std::size_t i = 0; i < size_; ++i) {
+        const Tick a = slot(i).arrival;
+        if (a < lo) lo = a;
+      }
+      min_arrival_ = lo;
+      min_dirty_ = false;
+    }
+    return min_arrival_;
+  }
+
+  /// Visits every queued message in FIFO order (inspect/audit paths).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < size_; ++i) fn(slot(i));
+  }
+
+  /// Number of times this inbox had to grow onto the heap.
+  [[nodiscard]] std::uint64_t heap_allocs() const noexcept { return allocs_; }
+
+ private:
+  [[nodiscard]] Message& slot(std::size_t i) noexcept {
+    return buf_[(head_ + i) % cap_];
+  }
+  [[nodiscard]] const Message& slot(std::size_t i) const noexcept {
+    return buf_[(head_ + i) % cap_];
+  }
+
+  void grow() {
+    const std::size_t new_cap = cap_ * 2;
+    auto fresh = std::make_unique<Message[]>(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) fresh[i] = std::move(slot(i));
+    heap_ = std::move(fresh);
+    buf_ = heap_.get();
+    cap_ = new_cap;
+    head_ = 0;
+    ++allocs_;
+  }
+
+  Message inline_[kInlineCapacity];
+  std::unique_ptr<Message[]> heap_;
+  Message* buf_ = inline_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t cap_ = kInlineCapacity;
+  std::uint64_t allocs_ = 0;
+  mutable Tick min_arrival_ = kTickInfinity;
+  mutable bool min_dirty_ = false;
+};
+
+}  // namespace simany

@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "core/fiber.h"
 #include "core/sim_types.h"
 #include "core/vtime.h"
 
@@ -64,6 +66,18 @@ struct Message {
   GroupId group = kInvalidGroup;
   /// Birth timestamp carried by a spawn (parent time at spawn).
   Tick birth = 0;
+  /// Only for kJoinerRequest: the parked joiner travels inside its wake
+  /// message, so the destination core resumes it without touching the
+  /// group table (which may live on another host shard).
+  std::unique_ptr<Fiber> fiber;
+  GroupId fiber_group = kInvalidGroup;
+  Tick parked_at = 0;
+
+  /// True when the message carries a live task (a spawned body or a
+  /// parked joiner) — conservation accounting must include it.
+  [[nodiscard]] bool carries_task() const noexcept {
+    return static_cast<bool>(task) || fiber != nullptr;
+  }
 };
 
 }  // namespace simany

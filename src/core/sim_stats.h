@@ -44,10 +44,39 @@ struct SimStats {
   /// Host wall-clock seconds spent inside run().
   double wall_seconds = 0.0;
 
+  // Host-execution backend accounting (parallel backend; a sequential
+  // run reports 1 thread and one "round" per serial-phase check).
+  std::uint64_t host_rounds = 0;
+  std::uint64_t host_threads_used = 1;
+  /// Times any core inbox outgrew its inline buffer onto the heap.
+  std::uint64_t inbox_heap_allocs = 0;
+
   /// Per-core busy virtual time (task execution + runtime handling).
   std::vector<Tick> core_busy_ticks;
 
   net::NetworkStats network;
+
+  /// Accumulates another shard's counter block into this one (used when
+  /// merging per-shard stats at the end of a parallel run). Only the
+  /// additive counters; completion/wall/network/core fields are
+  /// assembled separately by the engine.
+  void merge_counters(const SimStats& o) noexcept {
+    tasks_spawned += o.tasks_spawned;
+    tasks_inlined += o.tasks_inlined;
+    tasks_migrated += o.tasks_migrated;
+    probes_sent += o.probes_sent;
+    probes_denied += o.probes_denied;
+    messages += o.messages;
+    sync_stalls += o.sync_stalls;
+    fiber_switches += o.fiber_switches;
+    joins_suspended += o.joins_suspended;
+    limit_recomputes += o.limit_recomputes;
+    parallelism_samples += o.parallelism_samples;
+    parallelism_sum += o.parallelism_sum;
+    parallelism_max = parallelism_max > o.parallelism_max
+                          ? parallelism_max
+                          : o.parallelism_max;
+  }
 };
 
 }  // namespace simany

@@ -1,4 +1,10 @@
 // Shared identifier types for the simulation engine and runtime.
+//
+// Group/lock/cell identifiers are *homed*: the high half names the core
+// whose tables own the object, the low half is that core's private
+// sequence number. Allocation therefore never needs global coordination
+// — any core (on any host shard) can mint ids deterministically — and
+// every operation on an object can be routed to its home core.
 #pragma once
 
 #include <cstdint>
@@ -9,13 +15,29 @@
 namespace simany {
 
 using CoreId = net::CoreId;
-using GroupId = std::uint32_t;
-using LockId = std::uint32_t;
-using CellId = std::uint32_t;
+using GroupId = std::uint64_t;
+using LockId = std::uint64_t;
+using CellId = std::uint64_t;
 
 inline constexpr GroupId kInvalidGroup = ~GroupId{0};
 inline constexpr CellId kInvalidCell = ~CellId{0};
 inline constexpr LockId kInvalidLock = ~LockId{0};
+
+/// Builds a homed object id from the owning core and its local sequence.
+[[nodiscard]] constexpr std::uint64_t make_object_id(
+    CoreId home, std::uint32_t index) noexcept {
+  return (static_cast<std::uint64_t>(home) << 32) | index;
+}
+
+/// Core whose tables own the object.
+[[nodiscard]] constexpr CoreId object_home(std::uint64_t id) noexcept {
+  return static_cast<CoreId>(id >> 32);
+}
+
+/// Home-local sequence number of the object.
+[[nodiscard]] constexpr std::uint32_t object_index(std::uint64_t id) noexcept {
+  return static_cast<std::uint32_t>(id);
+}
 
 enum class AccessMode : std::uint8_t { kRead, kWrite };
 

@@ -3,6 +3,7 @@
 // data sharing between subtrees, so it exposes pure task-distribution
 // behaviour.
 
+#include <atomic>
 #include <memory>
 #include <stdexcept>
 
@@ -21,7 +22,9 @@ const timing::InstMix kNodeUpdateMix{.int_alu = 4, .fp_alu = 8,
 
 struct OcState {
   PlainOctree tree;
-  std::uint64_t visited = 0;  // host-side verification counter
+  // Host-side verification counter; atomic because tasks on different
+  // shards finish concurrently under the parallel host.
+  std::atomic<std::uint64_t> visited{0};
   GroupId group = kInvalidGroup;
   std::uint64_t tree_base = 0;  // simulated address of nodes[]
 };
@@ -36,7 +39,7 @@ void oc_task(TaskCtx& ctx, const std::shared_ptr<OcState>& st,
   ctx.mem_read(node_addr, 40);
   ctx.compute(kNodeUpdateMix);
   n.payload += 1.0;
-  ++st->visited;
+  st->visited.fetch_add(1, std::memory_order_relaxed);
   ctx.mem_write(node_addr + 32, 8);
   for (std::int32_t ch : n.child) {
     if (ch < 0) continue;
@@ -62,7 +65,7 @@ TaskFn make_octree_update(std::uint64_t seed, std::uint32_t depth,
     st->group = ctx.make_group();
     oc_task(ctx, st, 0);
     ctx.join(st->group);
-    if (st->visited != st->tree.nodes.size()) {
+    if (st->visited.load() != st->tree.nodes.size()) {
       throw std::runtime_error("octree: node visit count mismatch");
     }
     for (std::size_t i = 0; i < before.size(); ++i) {

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -99,13 +100,18 @@ void qs_task(TaskCtx& ctx, std::shared_ptr<QsShared> st, std::size_t lo,
 struct QsDist {
   GroupId group = kInvalidGroup;
   // Sorted runs produced by leaf tasks. Host-side bookkeeping for
-  // verification only; disjoint value ranges by construction.
+  // verification only; disjoint value ranges by construction. Leaf
+  // tasks on different shards finish concurrently under the parallel
+  // host, hence the mutex (never touched by the cost model).
+  std::mutex mu;
   std::vector<std::vector<std::int64_t>> runs;
 };
 
 void qd_emit_run(const std::shared_ptr<QsDist>& st,
                  std::vector<std::int64_t> run) {
-  if (!run.empty()) st->runs.push_back(std::move(run));
+  if (run.empty()) return;
+  std::lock_guard<std::mutex> lk(st->mu);
+  st->runs.push_back(std::move(run));
 }
 
 void qd_task(TaskCtx& ctx, std::shared_ptr<QsDist> st,

@@ -1,0 +1,105 @@
+#include "host/parallel_engine.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "host/shard.h"
+
+namespace simany::host {
+
+ParallelHost::ParallelHost(Engine& engine, std::uint32_t workers)
+    : engine_(engine), workers_(workers) {}
+
+void ParallelHost::run() {
+  Engine& e = engine_;
+  const auto num_shards = static_cast<std::uint32_t>(e.shards_.size());
+  const std::uint32_t width =
+      std::min(std::max(workers_, 1u), num_shards);
+  std::uint64_t budget = e.cfg_.host.round_quanta;
+  if (budget == 0) budget = 512;
+
+  if (width == 1) {
+    // One worker would only ping-pong with the coordinator through the
+    // condition variable (two context switches per round, and rounds
+    // are numerous: each advances roughly one drift window). Running
+    // the rounds inline visits the shards in the exact order worker 0
+    // would, so the simulation is bit-identical to the threaded run.
+    for (;;) {
+      for (std::uint32_t s = 0; s < num_shards; ++s) {
+        e.host_round(*e.shards_[s], budget);
+      }
+      if (e.host_serial_phase()) return;
+    }
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::uint64_t round = 0;      // bumped by main to release workers
+  std::uint32_t remaining = 0;  // workers still inside this round
+  bool stop = false;
+
+  auto worker = [&](std::uint32_t w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] { return stop || round > seen; });
+        if (stop) return;
+        seen = round;
+      }
+      for (std::uint32_t s = w; s < num_shards; s += width) {
+        ShardState& sh = *e.shards_[s];
+        if (sh.error) continue;  // keep barriers aligned, skip work
+        try {
+          e.host_round(sh, budget);
+        } catch (...) {
+          sh.error = std::current_exception();
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        if (--remaining == 0) cv.notify_all();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(width);
+  for (std::uint32_t w = 0; w < width; ++w) pool.emplace_back(worker, w);
+
+  std::exception_ptr err;
+  bool done = false;
+  while (!done) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      remaining = width;
+      ++round;
+    }
+    cv.notify_all();
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] { return remaining == 0; });
+    }
+    // Workers are parked: the serial phase owns all shard state.
+    try {
+      done = e.host_serial_phase();
+    } catch (...) {
+      err = std::current_exception();
+      done = true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    stop = true;
+  }
+  cv.notify_all();
+  for (auto& t : pool) t.join();
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace simany::host

@@ -1,0 +1,42 @@
+// Worker-thread pool driving the sharded engine in bulk-synchronous
+// rounds.
+//
+// Shard ownership is static: worker w owns shards w, w+W, w+2W, ...
+// This is load-balanced by construction (shards are near-equal core
+// ranges) and, more importantly, it guarantees every fiber is always
+// resumed by the same host thread — the fiber implementation learns
+// the scheduler stack on first entry, so migrating a shard between
+// threads mid-run would corrupt fiber switching (and trip ASan's
+// fiber-switch annotations).
+//
+// Round protocol (one mutex, one condition variable):
+//   main: ++round, remaining = W, notify  -> workers run their shards
+//   workers: host_round() per owned shard -> --remaining, last notifies
+//   main: host_serial_phase() alone       -> repeat or stop
+#pragma once
+
+#include <cstdint>
+
+namespace simany {
+class Engine;
+}
+
+namespace simany::host {
+
+class ParallelHost {
+ public:
+  ParallelHost(Engine& engine, std::uint32_t workers);
+  ParallelHost(const ParallelHost&) = delete;
+  ParallelHost& operator=(const ParallelHost&) = delete;
+
+  /// Runs rounds until the serial phase reports completion, then joins
+  /// the workers. Rethrows the first shard error or serial-phase
+  /// exception after the pool is shut down.
+  void run();
+
+ private:
+  Engine& engine_;
+  std::uint32_t workers_;
+};
+
+}  // namespace simany::host

@@ -1,0 +1,28 @@
+#include "host/partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace simany::host {
+
+PartitionPlan make_partition(std::uint32_t num_cores, std::uint32_t shards) {
+  if (num_cores == 0) {
+    throw std::invalid_argument("make_partition: zero cores");
+  }
+  const std::uint32_t s = std::clamp<std::uint32_t>(shards, 1, num_cores);
+  PartitionPlan plan;
+  plan.ranges.reserve(s);
+  plan.shard_of.resize(num_cores);
+  const std::uint32_t base = num_cores / s;
+  const std::uint32_t extra = num_cores % s;
+  net::CoreId begin = 0;
+  for (std::uint32_t i = 0; i < s; ++i) {
+    const net::CoreId end = begin + base + (i < extra ? 1 : 0);
+    plan.ranges.emplace_back(begin, end);
+    for (net::CoreId c = begin; c < end; ++c) plan.shard_of[c] = i;
+    begin = end;
+  }
+  return plan;
+}
+
+}  // namespace simany::host

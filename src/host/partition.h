@@ -1,0 +1,35 @@
+// Core-to-shard partitioning for the parallel host backend.
+//
+// Shards are contiguous, balanced ranges of core ids. All topology
+// constructors in net/topology.h number cores row-major (meshes) or
+// along the ring, so contiguous id ranges are contiguous tiles of the
+// physical layout: most links stay inside a shard and cross-shard
+// traffic is confined to tile borders, which is what makes the spatial
+// drift window an effective per-shard lookahead.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace simany::host {
+
+struct PartitionPlan {
+  /// Half-open [begin, end) core ranges, one per shard, ascending.
+  std::vector<std::pair<net::CoreId, net::CoreId>> ranges;
+  /// Owning shard of every core.
+  std::vector<std::uint32_t> shard_of;
+
+  [[nodiscard]] std::uint32_t num_shards() const noexcept {
+    return static_cast<std::uint32_t>(ranges.size());
+  }
+};
+
+/// Splits `num_cores` cores into `shards` contiguous ranges whose sizes
+/// differ by at most one. `shards` is clamped to [1, num_cores].
+[[nodiscard]] PartitionPlan make_partition(std::uint32_t num_cores,
+                                           std::uint32_t shards);
+
+}  // namespace simany::host

@@ -1,0 +1,115 @@
+// Per-shard host state for parallel execution.
+//
+// The parallel backend partitions simulated cores into shards and runs
+// each shard's event loop on its own host thread in bulk-synchronous
+// rounds. Everything a shard mutates while its round is running lives
+// here (or in the CoreSim structures of its own cores): the ready/
+// stalled scheduling queues, conservation counters, the fiber pool, a
+// private network lane, and a private SimStats accumulator merged at
+// the end of the run. Cross-shard effects travel as HostOp records
+// through SPSC mailboxes and are applied by the destination shard at
+// the start of its next round, after the epoch barrier.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <vector>
+
+#include "core/fiber.h"
+#include "core/message.h"
+#include "core/sim_stats.h"
+#include "core/vtime.h"
+#include "net/network.h"
+
+namespace simany::host {
+
+/// Cross-shard operation kinds. kDeliver carries an ordinary simulated
+/// message into a remote inbox; the rest are the paper's control
+/// messages with "no architectural existence" (SS II) — they re-home
+/// table mutations that the sequential engine performs as direct
+/// cross-core writes, at zero virtual-time cost.
+enum class HostOp : std::uint8_t {
+  kDeliver,      // msg -> dst core's inbox (counts as in-flight)
+  kBirthRetire,  // spawn arrived: erase msg.birth from core msg.dst
+  kGroupInc,     // ++active of group msg.a (spawner side)
+  kGroupDec,     // --active of group msg.a; completer msg.src at msg.sent
+  kJoinQuery,    // park carried fiber on group msg.a (joiner msg.src)
+  kLockAttempt,  // shared-memory lock msg.a wanted by msg.src at msg.sent
+  kLockFree,     // shared-memory lock msg.a released by msg.src at msg.sent
+  kCellCreate,   // insert cell msg.a (bytes msg.bytes, addr msg.b)
+  kCellAttempt,  // shared-memory cell msg.a wanted (mode msg.b)
+  kCellFree,     // shared-memory cell msg.a released by msg.src at msg.sent
+};
+
+/// A mailbox record: the operation plus its payload, reusing Message
+/// fields (src, sent, a, b, fiber, ...) so task bodies and parked
+/// joiner fibers can ride along. Move-only, like Message.
+struct Routed {
+  HostOp op = HostOp::kDeliver;
+  Message msg;
+};
+
+/// Published snapshot of one core's synchronization-relevant state,
+/// refreshed by its owning shard at the end of every round. Other
+/// shards read these instead of live CoreSim fields: a frozen snapshot
+/// is at most one round stale, which only makes drift limits more
+/// conservative and keeps every cross-shard read race-free and
+/// deterministic for a fixed shard count.
+struct VtProxy {
+  Tick now = 0;
+  Tick births_min = kTickInfinity;
+  bool anchor = false;
+  /// Task-queue slots occupied (queued + reserved), for probe and
+  /// migration scoring against remote neighbors.
+  std::uint32_t occupied = 0;
+  /// A fiber is installed or a joiner is resumable (counts as load).
+  bool busy = false;
+};
+
+struct ShardState {
+  explicit ShardState(std::uint32_t shard_id, net::CoreId begin,
+                      net::CoreId end, std::size_t fiber_stack_bytes)
+      : id(shard_id), core_begin(begin), core_end(end),
+        pool(fiber_stack_bytes) {}
+  ShardState(const ShardState&) = delete;
+  ShardState& operator=(const ShardState&) = delete;
+
+  std::uint32_t id = 0;
+  net::CoreId core_begin = 0;
+  net::CoreId core_end = 0;  // half-open
+
+  // Scheduling state (mirrors the former engine-global queues).
+  std::deque<net::CoreId> ready;
+  std::vector<net::CoreId> stalled;
+
+  // Conservation counters, valid shard-locally at all times and
+  // globally at barriers (mailbox transit tracked by mail_out/mail_in).
+  // live_tasks is signed: a task spawned by shard A onto shard B
+  // increments A's counter but decrements B's on completion, so only
+  // the sum across shards is non-negative.
+  std::int64_t live_tasks = 0;
+  std::uint64_t inflight_messages = 0;
+  std::uint64_t mail_out = 0;  // ops enqueued to other shards
+  std::uint64_t mail_in = 0;   // ops applied from other shards
+
+  Tick gmin_lb = 0;
+  std::uint64_t limit_epoch = 1;
+  Tick max_task_end = 0;
+  std::uint64_t quantum_count = 0;
+
+  FiberPool pool;
+  net::Network::Lane lane;
+  SimStats stats;
+
+  // Scratch for the drift-limit BFS (sized num_cores).
+  std::vector<std::uint32_t> bfs_epoch;
+  std::uint32_t bfs_epoch_cur = 0;
+
+  /// Round bookkeeping: set when the shard executed a quantum or
+  /// applied mail this round; cleared by the serial barrier phase.
+  bool progressed = false;
+  std::exception_ptr error;
+};
+
+}  // namespace simany::host

@@ -1,0 +1,111 @@
+// Unbounded single-producer/single-consumer mailbox.
+//
+// One mailbox exists per ordered shard pair (src, dst). The src shard's
+// worker thread is the only producer; the dst shard's worker is the
+// only consumer (it drains at the start of each round, after the epoch
+// barrier has made everything the producer enqueued last round
+// visible). A segmented ring keeps pushes allocation-free except once
+// per kSegmentCapacity messages, and FIFO order per pair is exactly
+// what the cross-shard protocol ordering arguments rely on (e.g. a
+// group-increment is enqueued before the spawn that could decrement
+// it).
+//
+// Visibility is round-aligned: pop() only yields messages enqueued
+// before the last seal() call. The engine seals every mailbox in the
+// serial barrier phase, so a drain in round k consumes exactly the
+// messages pushed in rounds < k — never a message the producer happened
+// to push earlier in the same round. Without the seal, the drained set
+// would depend on wall-clock interleaving and the simulated timing
+// would vary with the host thread count.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace simany::host {
+
+template <typename T>
+class SpscMailbox {
+ public:
+  static constexpr std::size_t kSegmentCapacity = 64;
+
+  SpscMailbox() {
+    auto* s = new Segment();
+    head_seg_ = s;
+    tail_seg_ = s;
+  }
+  SpscMailbox(const SpscMailbox&) = delete;
+  SpscMailbox& operator=(const SpscMailbox&) = delete;
+  ~SpscMailbox() {
+    Segment* s = head_seg_;
+    while (s != nullptr) {
+      Segment* next = s->next.load(std::memory_order_relaxed);
+      delete s;
+      s = next;
+    }
+  }
+
+  /// Producer side. Safe concurrently with pop() from one consumer.
+  void push(T&& v) {
+    Segment* s = tail_seg_;
+    const std::size_t n = s->count.load(std::memory_order_relaxed);
+    if (n == kSegmentCapacity) {
+      auto* fresh = new Segment();
+      fresh->items[0] = std::move(v);
+      fresh->count.store(1, std::memory_order_release);
+      s->next.store(fresh, std::memory_order_release);
+      tail_seg_ = fresh;
+    } else {
+      s->items[n] = std::move(v);
+      s->count.store(n + 1, std::memory_order_release);
+    }
+    pushed_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Barrier side: makes everything pushed so far visible to pop().
+  /// Must be called from a point where the producer is quiescent and
+  /// ordered before the consumer's next pop (the engine's serial phase
+  /// runs under the round mutex, which provides both).
+  void seal() { sealed_ = pushed_.load(std::memory_order_acquire); }
+
+  /// Consumer side. Returns false once the sealed prefix is drained.
+  bool pop(T& out) {
+    if (popped_ >= sealed_) return false;
+    Segment* s = head_seg_;
+    if (head_idx_ == kSegmentCapacity) {
+      Segment* next = s->next.load(std::memory_order_acquire);
+      if (next == nullptr) return false;
+      delete s;
+      head_seg_ = next;
+      head_idx_ = 0;
+      s = next;
+    }
+    if (head_idx_ >= s->count.load(std::memory_order_acquire)) return false;
+    out = std::move(s->items[head_idx_++]);
+    ++popped_;
+    return true;
+  }
+
+ private:
+  struct Segment {
+    std::array<T, kSegmentCapacity> items;
+    std::atomic<std::size_t> count{0};
+    std::atomic<Segment*> next{nullptr};
+  };
+
+  // Consumer-owned cursor.
+  Segment* head_seg_ = nullptr;
+  std::size_t head_idx_ = 0;
+  std::uint64_t popped_ = 0;
+  // Written at the barrier, read by the consumer (ordered by the round
+  // protocol's mutex, so a plain field is fine).
+  std::uint64_t sealed_ = 0;
+  // Producer-owned cursor.
+  Segment* tail_seg_ = nullptr;
+  std::atomic<std::uint64_t> pushed_{0};
+};
+
+}  // namespace simany::host

@@ -6,10 +6,9 @@
 namespace simany::net {
 
 Network::Network(const Topology& topo, NetworkParams params)
-    : topo_(&topo),
-      routing_(topo, params.routing),
-      params_(params),
-      occupancy_(topo.num_links()) {}
+    : topo_(&topo), routing_(topo, params.routing), params_(params) {
+  lane_ = make_lane();
+}
 
 Tick Network::transfer_ticks(const LinkProps& props,
                              std::uint32_t bytes) const {
@@ -61,19 +60,22 @@ Tick Network::route(CoreId src, CoreId dst, std::uint32_t bytes, Tick depart,
   return t;
 }
 
-Tick Network::send(CoreId src, CoreId dst, std::uint32_t bytes, Tick depart) {
-  return route(src, dst, bytes, depart, /*book=*/true, &stats_, &occupancy_);
+Tick Network::send_on(Lane& lane, CoreId src, CoreId dst, std::uint32_t bytes,
+                      Tick depart) const {
+  return route(src, dst, bytes, depart, /*book=*/true, &lane.stats,
+               &lane.occupancy);
 }
 
-Tick Network::estimate(CoreId src, CoreId dst, std::uint32_t bytes,
-                       Tick depart) const {
-  auto scratch = occupancy_;
+Tick Network::estimate_on(const Lane& lane, CoreId src, CoreId dst,
+                          std::uint32_t bytes, Tick depart) const {
+  auto scratch = lane.occupancy;
   return route(src, dst, bytes, depart, /*book=*/false, nullptr, &scratch);
 }
 
 void Network::reset() {
-  std::fill(occupancy_.begin(), occupancy_.end(), DirectedOccupancy{});
-  stats_ = NetworkStats{};
+  std::fill(lane_.occupancy.begin(), lane_.occupancy.end(),
+            DirectedOccupancy{});
+  lane_.stats = NetworkStats{};
 }
 
 }  // namespace simany::net

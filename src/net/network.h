@@ -6,6 +6,13 @@
 // serialization time, so concurrent traffic queues up — the paper calls
 // out that, unlike BigSim, SiMany models contention on individual links
 // (SS VII). Chunking and router penalty are tunable per paper SS III.
+//
+// Contention state lives in a Lane: a private copy of every directed
+// link's next-free tick plus the traffic statistics accumulated through
+// it. The sequential engine uses the network's built-in default lane;
+// the parallel host gives each shard its own lane so booking links never
+// shares mutable state across host threads, and merges the per-lane
+// statistics at the end of the run.
 #pragma once
 
 #include <cstdint>
@@ -38,20 +45,55 @@ struct NetworkStats {
   std::uint64_t hops = 0;
   /// Total ticks messages spent queued behind busy links.
   Tick contention_ticks = 0;
+
+  void merge(const NetworkStats& o) noexcept {
+    messages += o.messages;
+    bytes += o.bytes;
+    hops += o.hops;
+    contention_ticks = sat_add(contention_ticks, o.contention_ticks);
+  }
 };
 
 class Network {
  public:
+  struct DirectedOccupancy {
+    Tick next_free_fwd = 0;  // a -> b
+    Tick next_free_rev = 0;  // b -> a
+  };
+
+  /// Independent contention state + statistics. Lanes never alias, so
+  /// concurrent host threads may each book links on their own lane.
+  struct Lane {
+    std::vector<DirectedOccupancy> occupancy;
+    NetworkStats stats;
+  };
+
   Network(const Topology& topo, NetworkParams params = {});
 
-  /// Timing for a `bytes`-sized message leaving `src` at `depart`
-  /// toward `dst`. Updates link occupancy. Returns the arrival tick at
-  /// `dst`. src == dst is legal and returns `depart` (local delivery).
-  Tick send(CoreId src, CoreId dst, std::uint32_t bytes, Tick depart);
+  /// A fresh lane (all links free) sized for this topology.
+  [[nodiscard]] Lane make_lane() const {
+    return Lane{std::vector<DirectedOccupancy>(topo_->num_links()), {}};
+  }
 
-  /// Pure timing query: what would arrival be without booking the links.
+  /// Timing for a `bytes`-sized message leaving `src` at `depart`
+  /// toward `dst`, booking links on `lane`. Returns the arrival tick at
+  /// `dst`. src == dst is legal and returns `depart` (local delivery).
+  Tick send_on(Lane& lane, CoreId src, CoreId dst, std::uint32_t bytes,
+               Tick depart) const;
+
+  /// Pure timing query against `lane` without booking the links.
+  [[nodiscard]] Tick estimate_on(const Lane& lane, CoreId src, CoreId dst,
+                                 std::uint32_t bytes, Tick depart) const;
+
+  /// Convenience wrappers over the built-in default lane (sequential
+  /// engine path).
+  Tick send(CoreId src, CoreId dst, std::uint32_t bytes, Tick depart) {
+    return send_on(lane_, src, dst, bytes, depart);
+  }
   [[nodiscard]] Tick estimate(CoreId src, CoreId dst, std::uint32_t bytes,
-                              Tick depart) const;
+                              Tick depart) const {
+    return estimate_on(lane_, src, dst, bytes, depart);
+  }
 
   [[nodiscard]] const RoutingTable& routing() const noexcept {
     return routing_;
@@ -60,17 +102,15 @@ class Network {
   [[nodiscard]] const NetworkParams& params() const noexcept {
     return params_;
   }
-  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const NetworkStats& stats() const noexcept {
+    return lane_.stats;
+  }
+  [[nodiscard]] Lane& default_lane() noexcept { return lane_; }
 
-  /// Clears contention state and statistics (links become free).
+  /// Clears the default lane's contention state and statistics.
   void reset();
 
  private:
-  struct DirectedOccupancy {
-    Tick next_free_fwd = 0;  // a -> b
-    Tick next_free_rev = 0;  // b -> a
-  };
-
   /// Serialization + chunk-processing cost of a message on one link.
   [[nodiscard]] Tick transfer_ticks(const LinkProps& props,
                                     std::uint32_t bytes) const;
@@ -82,8 +122,7 @@ class Network {
   const Topology* topo_;
   RoutingTable routing_;
   NetworkParams params_;
-  mutable std::vector<DirectedOccupancy> occupancy_;
-  NetworkStats stats_;
+  Lane lane_;
 };
 
 }  // namespace simany::net

@@ -1,16 +1,19 @@
 #include "runtime/data.h"
 
+#include <atomic>
+
 namespace simany::runtime {
 
 std::uint64_t synth_alloc(std::uint64_t bytes) {
-  // Single-threaded simulator; a plain counter is sufficient. Bases are
-  // 64-byte aligned so line-straddle behaviour never depends on how
-  // many allocations happened before (the counter survives across
-  // Engine instances in one process).
-  static std::uint64_t next = 64;
-  const std::uint64_t base = next;
-  next += (bytes + 127) & ~std::uint64_t{63};  // pad one line between
-  return base;
+  // Task bodies on different shards may allocate concurrently under the
+  // parallel host, so the counter is atomic. Bases stay 64-byte aligned
+  // so line-straddle behaviour never depends on how many allocations
+  // happened before (the counter survives across Engine instances in
+  // one process, and allocation order across shards does not affect
+  // simulated cost — only the span in lines does).
+  static std::atomic<std::uint64_t> next{64};
+  const std::uint64_t pad = (bytes + 127) & ~std::uint64_t{63};
+  return next.fetch_add(pad, std::memory_order_relaxed);
 }
 
 }  // namespace simany::runtime

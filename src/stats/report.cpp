@@ -62,6 +62,50 @@ void FigureTable::add_series(Series s) {
   series_.push_back(std::move(s));
 }
 
+namespace {
+
+// JSON string escaping for the small character set table titles use.
+void json_string(std::ostream& out, const std::string& v) {
+  out << '"';
+  for (char ch : v) {
+    if (ch == '"' || ch == '\\') out << '\\';
+    out << ch;
+  }
+  out << '"';
+}
+
+void json_doubles(std::ostream& out, const std::vector<double>& vs) {
+  out << '[';
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    if (i > 0) out << ',';
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.12g", vs[i]);
+    out << buf;
+  }
+  out << ']';
+}
+
+}  // namespace
+
+void FigureTable::print_json(std::ostream& out) const {
+  out << "{\"title\":";
+  json_string(out, title_);
+  out << ",\"x_label\":";
+  json_string(out, x_label_);
+  out << ",\"xs\":";
+  json_doubles(out, xs_);
+  out << ",\"series\":[";
+  for (std::size_t r = 0; r < series_.size(); ++r) {
+    if (r > 0) out << ',';
+    out << "{\"name\":";
+    json_string(out, series_[r].name);
+    out << ",\"y\":";
+    json_doubles(out, series_[r].y);
+    out << '}';
+  }
+  out << "]}";
+}
+
 void FigureTable::print(std::ostream& out) const {
   out << "== " << title_ << " ==\n";
   // Column widths: max over header cells and values.

@@ -34,6 +34,10 @@ class FigureTable {
 
   void add_series(Series s);
   void print(std::ostream& out) const;
+  /// Machine-readable form of the same table, as one JSON object
+  /// ({"title", "x_label", "xs", "series": [{"name", "y"}]}); consumed
+  /// by tools/bench_gate.py.
+  void print_json(std::ostream& out) const;
 
   [[nodiscard]] const std::vector<Series>& series() const noexcept {
     return series_;

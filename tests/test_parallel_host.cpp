@@ -1,0 +1,144 @@
+// Determinism contract of the parallel host backend.
+//
+// Two guarantees are tested, on several topologies and dwarfs:
+//   1. A parallel run with a single shard is bit-identical to the
+//      sequential backend, for any worker-thread count: with nothing
+//      cross-shard, every code path degenerates to the seed engine.
+//   2. For a fixed shard count, results are bit-identical across
+//      worker-thread counts: simulated timing may depend
+//      (deterministically) on the shard count, never on host threads
+//      or their wall-clock interleaving.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "config/arch_config.h"
+#include "core/engine.h"
+#include "dwarfs/dwarfs.h"
+#include "net/topology.h"
+
+namespace simany {
+namespace {
+
+constexpr double kTiny = 0.05;
+
+/// Everything the engine reports that should be reproducible, including
+/// per-core busy time (a much stricter probe than the aggregates: any
+/// reordering anywhere shows up in some core's busy ticks).
+struct Fingerprint {
+  Tick completion;
+  std::uint64_t spawned, inlined, migrated, messages, stalls, switches;
+  std::uint64_t probes, denied, joins;
+  std::uint64_t net_bytes, net_hops;
+  std::vector<Tick> core_busy;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+Fingerprint fingerprint(const SimStats& s) {
+  return Fingerprint{s.completion_ticks, s.tasks_spawned,
+                     s.tasks_inlined,    s.tasks_migrated,
+                     s.messages,         s.sync_stalls,
+                     s.fiber_switches,   s.probes_sent,
+                     s.probes_denied,    s.joins_suspended,
+                     s.network.bytes,    s.network.hops,
+                     s.core_busy_ticks};
+}
+
+ArchConfig topo_config(const std::string& topo) {
+  if (topo == "shared_mesh") return ArchConfig::shared_mesh(16);
+  if (topo == "distributed_mesh") return ArchConfig::distributed_mesh(16);
+  if (topo == "clustered") {
+    return ArchConfig::clustered(ArchConfig::shared_mesh(16), 4);
+  }
+  ArchConfig cfg = ArchConfig::shared_mesh(8);
+  cfg.topology = net::Topology::ring(8);
+  return cfg;  // "ring"
+}
+
+Fingerprint run_once(const std::string& topo, const char* dwarf,
+                     HostMode mode, std::uint32_t threads,
+                     std::uint32_t shards) {
+  ArchConfig cfg = topo_config(topo);
+  cfg.host.mode = mode;
+  cfg.host.threads = threads;
+  cfg.host.shards = shards;
+  Engine sim(cfg);
+  return fingerprint(
+      sim.run(dwarfs::dwarf_by_name(dwarf).make_root(17, kTiny)));
+}
+
+class ParallelHost
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+};
+
+TEST_P(ParallelHost, OneShardMatchesSequentialForAnyThreadCount) {
+  const auto [topo, dwarf] = GetParam();
+  const Fingerprint seq =
+      run_once(topo, dwarf, HostMode::kSequential, 1, 1);
+  for (std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    const Fingerprint par =
+        run_once(topo, dwarf, HostMode::kParallel, threads, 1);
+    EXPECT_TRUE(seq == par)
+        << topo << "/" << dwarf << " with " << threads << " threads";
+  }
+}
+
+TEST_P(ParallelHost, FixedShardCountIsThreadCountInvariant) {
+  const auto [topo, dwarf] = GetParam();
+  const Fingerprint base =
+      run_once(topo, dwarf, HostMode::kParallel, 1, 4);
+  for (std::uint32_t threads : {2u, 4u, 8u}) {
+    const Fingerprint par =
+        run_once(topo, dwarf, HostMode::kParallel, threads, 4);
+    EXPECT_TRUE(base == par)
+        << topo << "/" << dwarf << " with " << threads << " threads";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, ParallelHost,
+    ::testing::Combine(::testing::Values("shared_mesh", "distributed_mesh",
+                                         "ring", "clustered"),
+                       ::testing::Values("spmxv", "quicksort")),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, const char*>>&
+           info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             std::get<1>(info.param);
+    });
+
+TEST(ParallelHostMisc, ShardCountDefaultsToThreadCount) {
+  ArchConfig cfg = ArchConfig::shared_mesh(16);
+  cfg.host.mode = HostMode::kParallel;
+  cfg.host.threads = 4;
+  Engine sim(cfg);
+  const SimStats st =
+      sim.run(dwarfs::dwarf_by_name("spmxv").make_root(17, kTiny));
+  EXPECT_EQ(st.host_threads_used, 4u);
+  EXPECT_GT(st.host_rounds, 1u);
+}
+
+TEST(ParallelHostMisc, ShardsClampToCoreCount) {
+  ArchConfig cfg = ArchConfig::shared_mesh(4);
+  cfg.host.mode = HostMode::kParallel;
+  cfg.host.threads = 16;  // more threads than cores
+  Engine sim(cfg);
+  const SimStats st =
+      sim.run(dwarfs::dwarf_by_name("spmxv").make_root(17, kTiny));
+  EXPECT_LE(st.host_threads_used, 4u);
+  EXPECT_EQ(st.core_busy_ticks.size(), 4u);
+}
+
+TEST(ParallelHostMisc, SequentialReportsOneThread) {
+  ArchConfig cfg = ArchConfig::shared_mesh(16);
+  Engine sim(cfg);
+  const SimStats st =
+      sim.run(dwarfs::dwarf_by_name("spmxv").make_root(17, kTiny));
+  EXPECT_EQ(st.host_threads_used, 1u);
+}
+
+}  // namespace
+}  // namespace simany

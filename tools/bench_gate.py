@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Fail when a benchmark run regresses versus a committed baseline.
+
+Two input formats:
+
+  --mode micro   google-benchmark JSON (BENCH_micro.json). Per-benchmark
+                 real_time is normalized by a reference benchmark from
+                 the same file (default BM_CostModelBlock) so the
+                 comparison is insensitive to absolute machine speed;
+                 counters (e.g. inbox_heap_allocs_per_run) are compared
+                 directly because they are machine-independent.
+  --mode fig07   fig07_simtime --json output (BENCH_fig07.json). The
+                 metric is simulation wall time over native wall time on
+                 the same host, which already cancels machine speed; the
+                 gate compares each series' geometric mean.
+
+Exit status 1 when any metric is more than --threshold (default 15%)
+worse than the baseline. New benchmarks (absent from the baseline) pass;
+benchmarks that disappeared fail, so a rename forces a baseline update.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+class Gate:
+    def __init__(self, threshold):
+        self.threshold = threshold
+        self.failures = []
+        self.lines = []
+
+    def check(self, name, base, cur):
+        """Higher is worse; both must be >= 0."""
+        if base <= 0.0:
+            worse = cur > 0.0
+            ratio = math.inf if worse else 1.0
+        else:
+            ratio = cur / base
+            worse = ratio > 1.0 + self.threshold
+        flag = "FAIL" if worse else "ok"
+        delta = f" ({ratio - 1.0:+.1%} vs baseline)" if ratio != math.inf else ""
+        self.lines.append(
+            f"  {flag:4s} {name}: baseline {base:.4g}, current {cur:.4g}"
+            + delta)
+        if worse:
+            self.failures.append(name)
+
+    def report(self, label):
+        print(f"bench gate [{label}] (threshold +{self.threshold:.0%}):")
+        for line in self.lines:
+            print(line)
+        if self.failures:
+            print(f"REGRESSION: {len(self.failures)} metric(s) regressed: "
+                  + ", ".join(self.failures))
+            return 1
+        print("all metrics within threshold")
+        return 0
+
+
+def micro_metrics(doc, reference):
+    """{name: normalized_time} and {name/counter: value} maps."""
+    times = {}
+    counters = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        times[b["name"]] = float(b["real_time"])
+        for key, val in b.items():
+            if key in ("inbox_heap_allocs_per_run", "host_rounds_per_run"):
+                counters[f"{b['name']}/{key}"] = float(val)
+    ref = times.get(reference)
+    if ref is None or ref <= 0.0:
+        sys.exit(f"reference benchmark '{reference}' missing from run")
+    normalized = {n: t / ref for n, t in times.items() if n != reference}
+    return normalized, counters
+
+
+def gate_micro(args):
+    base_norm, base_ctr = micro_metrics(load(args.baseline), args.reference)
+    cur_norm, cur_ctr = micro_metrics(load(args.current), args.reference)
+    gate = Gate(args.threshold)
+    for name, base in sorted(base_norm.items()):
+        if name not in cur_norm:
+            gate.failures.append(name)
+            gate.lines.append(f"  FAIL {name}: missing from current run")
+            continue
+        gate.check(name, base, cur_norm[name])
+    for name, base in sorted(base_ctr.items()):
+        if name in cur_ctr:
+            gate.check(name, base, cur_ctr[name])
+    return gate.report("micro")
+
+
+def fig07_series(doc):
+    out = {}
+    for s in doc["table"]["series"]:
+        ys = [y for y in s["y"] if y > 0.0]
+        if ys:
+            out[s["name"]] = math.exp(sum(math.log(y) for y in ys) / len(ys))
+    return out
+
+
+def gate_fig07(args):
+    base = fig07_series(load(args.baseline))
+    cur = fig07_series(load(args.current))
+    gate = Gate(args.threshold)
+    for name, b in sorted(base.items()):
+        if name not in cur:
+            gate.failures.append(name)
+            gate.lines.append(f"  FAIL {name}: missing from current run")
+            continue
+        gate.check(name, b, cur[name])
+    return gate.report("fig07")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--mode", choices=["micro", "fig07"], required=True)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--threshold", type=float, default=0.15)
+    ap.add_argument("--reference", default="BM_CostModelBlock",
+                    help="micro mode: benchmark used as the machine-speed "
+                         "yardstick")
+    args = ap.parse_args()
+    if args.mode == "micro":
+        sys.exit(gate_micro(args))
+    sys.exit(gate_fig07(args))
+
+
+if __name__ == "__main__":
+    main()
