@@ -27,6 +27,15 @@
 //                         shard count, not the thread count)
 //   --host-shards <n>     shard count override (default: one per thread)
 //                         (aborts with a diagnostic on any violation)
+//   --fault-seed <s>      fault-plan seed (default 0; faults fire only
+//                         when a probability below is nonzero)
+//   --fault-drop <p>      message-drop probability (masked by retries)
+//   --fault-delay <p>     message-delay probability
+//   --fault-dup <p>       message-duplication probability
+//   --fault-stall <p>     transient core-stall probability per task
+//   --fault-spawn-fail <p> spawn-probe denial probability
+//   --fault-mem-spike <p> memory-latency spike probability
+//   --fault-dead <n>      permanently disable n seed-chosen cores
 
 #include <cstdio>
 #include <cstring>
@@ -40,6 +49,7 @@
 #include "config/arch_config.h"
 #include "config/config_io.h"
 #include "core/engine.h"
+#include "core/sim_error.h"
 #include "dwarfs/dwarfs.h"
 #include "stats/trace_sinks.h"
 
@@ -63,6 +73,14 @@ int main(int argc, char** argv) {
   std::uint32_t host_threads = 0;
   std::uint32_t host_shards = 0;
   std::uint64_t seed = 1;
+  std::uint64_t fault_seed = 0;
+  double fault_drop = 0.0;
+  double fault_delay = 0.0;
+  double fault_dup = 0.0;
+  double fault_stall = 0.0;
+  double fault_spawn_fail = 0.0;
+  double fault_mem_spike = 0.0;
+  std::uint32_t fault_dead = 0;
 
   for (int i = 1; i < argc; ++i) {
     auto need = [&](const char* flag) -> const char* {
@@ -102,6 +120,23 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--host-shards")) {
       host_shards =
           static_cast<std::uint32_t>(std::atoi(need("--host-shards")));
+    } else if (!std::strcmp(argv[i], "--fault-seed")) {
+      fault_seed = std::strtoull(need("--fault-seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--fault-drop")) {
+      fault_drop = std::atof(need("--fault-drop"));
+    } else if (!std::strcmp(argv[i], "--fault-delay")) {
+      fault_delay = std::atof(need("--fault-delay"));
+    } else if (!std::strcmp(argv[i], "--fault-dup")) {
+      fault_dup = std::atof(need("--fault-dup"));
+    } else if (!std::strcmp(argv[i], "--fault-stall")) {
+      fault_stall = std::atof(need("--fault-stall"));
+    } else if (!std::strcmp(argv[i], "--fault-spawn-fail")) {
+      fault_spawn_fail = std::atof(need("--fault-spawn-fail"));
+    } else if (!std::strcmp(argv[i], "--fault-mem-spike")) {
+      fault_mem_spike = std::atof(need("--fault-mem-spike"));
+    } else if (!std::strcmp(argv[i], "--fault-dead")) {
+      fault_dead =
+          static_cast<std::uint32_t>(std::atoi(need("--fault-dead")));
     } else if (!std::strcmp(argv[i], "--t")) {
       drift_t = std::strtoull(need("--t"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--factor")) {
@@ -141,6 +176,17 @@ int main(int argc, char** argv) {
     cfg.host.mode = HostMode::kParallel;
   }
 
+  // Flags layer on top of a loaded config; untouched flags (still at
+  // their zero defaults) leave the config's own fault plan alone.
+  if (fault_seed != 0) cfg.fault.seed = fault_seed;
+  if (fault_drop > 0.0) cfg.fault.msg_drop_prob = fault_drop;
+  if (fault_delay > 0.0) cfg.fault.msg_delay_prob = fault_delay;
+  if (fault_dup > 0.0) cfg.fault.msg_dup_prob = fault_dup;
+  if (fault_stall > 0.0) cfg.fault.stall_prob = fault_stall;
+  if (fault_spawn_fail > 0.0) cfg.fault.spawn_fail_prob = fault_spawn_fail;
+  if (fault_mem_spike > 0.0) cfg.fault.mem_spike_prob = fault_mem_spike;
+  if (fault_dead > 0) cfg.fault.dead_cores = fault_dead;
+
   if (lint_only) {
     const auto diags = check::lint_config(cfg);
     if (diags.empty()) {
@@ -177,7 +223,20 @@ int main(int argc, char** argv) {
   check::InvariantChecker invariants;
   if (checked) invariants.attach(sim);
 
-  const SimStats st = sim.run(spec.make_root(seed, factor));
+  SimStats st;
+  try {
+    st = sim.run(spec.make_root(seed, factor));
+  } catch (const SimError& e) {
+    const SimError::Context& c = e.context();
+    std::fprintf(stderr,
+                 "simulated machine failed: %s\n  cause      : %s\n"
+                 "  cores      : %u -> %u\n  at tick    : %llu\n"
+                 "  fault seed : %llu\n",
+                 e.what(), c.cause.c_str(), c.core, c.peer,
+                 static_cast<unsigned long long>(c.at_tick),
+                 static_cast<unsigned long long>(c.fault_seed));
+    return 1;
+  }
 
   std::printf("dwarf           : %s (seed %llu, factor %g)\n",
               dwarf_name.c_str(), static_cast<unsigned long long>(seed),
@@ -206,6 +265,20 @@ int main(int argc, char** argv) {
               st.wall_seconds * 1e3,
               static_cast<unsigned long long>(st.host_threads_used),
               static_cast<unsigned long long>(st.host_rounds));
+  if (cfg.fault.enabled()) {
+    std::printf("faults          : %llu injected (seed %llu; %llu msg "
+                "delayed, %llu dup, %llu dropped, %llu stalls, %llu spawn "
+                "denials, %llu mem spikes, %u dead cores)\n",
+                static_cast<unsigned long long>(st.faults_injected),
+                static_cast<unsigned long long>(cfg.fault.seed),
+                static_cast<unsigned long long>(st.fault_msgs_delayed),
+                static_cast<unsigned long long>(st.fault_msgs_duplicated),
+                static_cast<unsigned long long>(st.fault_msgs_dropped),
+                static_cast<unsigned long long>(st.fault_core_stalls),
+                static_cast<unsigned long long>(st.fault_spawn_denials),
+                static_cast<unsigned long long>(st.fault_mem_spikes),
+                st.fault_dead_cores);
+  }
   if (checked) {
     std::printf("invariants      : %llu checks, no violations\n",
                 static_cast<unsigned long long>(

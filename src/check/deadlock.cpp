@@ -150,14 +150,46 @@ DeadlockReport analyze_deadlock(const EngineInspect& state,
 
   rep.cycle = find_cycle(rep.edges, topo.num_cores());
 
+  // Distinguish an injected failure mode from a protocol bug: when the
+  // only cores still holding work (running, queued, resumable or
+  // undelivered inbox traffic) are ones the fault plan permanently
+  // disabled, the machine did not deadlock — it was partitioned dead.
+  std::uint32_t dead_count = 0;
+  std::uint32_t dead_with_work = 0;
+  bool any_work = false;
+  bool live_has_work = false;
+  for (const CoreInspect& ci : state.cores) {
+    if (ci.dead) ++dead_count;
+    const bool work = ci.has_fiber || ci.queue_len > 0 ||
+                      ci.resumables > 0 || ci.inbox_len > 0;
+    if (!work) continue;
+    any_work = true;
+    if (ci.dead) {
+      ++dead_with_work;
+    } else {
+      live_has_work = true;
+    }
+  }
+  rep.all_dead_partition = dead_count > 0 && any_work && !live_has_work;
+
   std::ostringstream os;
-  os << "simulated deadlock: no core can advance (live_tasks="
-     << state.live_tasks << ", inflight_messages=" << state.inflight_messages
-     << ", " << rep.edges.size() << " wait-for edges)";
-  if (rep.has_cycle()) {
-    os << "; circular wait among " << (rep.cycle.size() - 1) << " cores";
+  if (rep.all_dead_partition) {
+    os << "all-dead partition: the " << dead_with_work
+       << " core(s) still holding work are permanently disabled by the "
+       << "fault plan (" << dead_count
+       << " dead total) — not a protocol deadlock (live_tasks="
+       << state.live_tasks << ", inflight_messages="
+       << state.inflight_messages << ")";
   } else {
-    os << "; no circular wait found (lost wake or resource starvation)";
+    os << "simulated deadlock: no core can advance (live_tasks="
+       << state.live_tasks << ", inflight_messages="
+       << state.inflight_messages << ", " << rep.edges.size()
+       << " wait-for edges)";
+    if (rep.has_cycle()) {
+      os << "; circular wait among " << (rep.cycle.size() - 1) << " cores";
+    } else {
+      os << "; no circular wait found (lost wake or resource starvation)";
+    }
   }
   rep.summary = os.str();
   return rep;

@@ -34,6 +34,10 @@ struct DeadlockReport {
   /// repeated at the end). Empty when the stall is acyclic (resource
   /// starvation / lost wake rather than circular wait).
   std::vector<CoreId> cycle;
+  /// Every core still holding pending work is permanently disabled by
+  /// the run's fault plan: the stall is an injected failure mode, not
+  /// a protocol deadlock.
+  bool all_dead_partition = false;
   std::string summary;
 
   [[nodiscard]] bool has_cycle() const noexcept { return !cycle.empty(); }

@@ -75,6 +75,7 @@ const char* to_string(Invariant inv) noexcept {
     case Invariant::kHoldDepth: return "hold-depth";
     case Invariant::kConservation: return "conservation";
     case Invariant::kWakeValidity: return "wake-validity";
+    case Invariant::kDeadCoreActivity: return "dead-core-activity";
   }
   return "?";
 }
@@ -98,6 +99,8 @@ void InvariantChecker::attach(Engine& engine) {
   tracked_holds_.assign(n, 0);
   tracked_births_.assign(n, {});
   hop_cache_.assign(n, {});
+  dead_.assign(n, 0);
+  for (const net::CoreId c : engine.config().fault.dead_set(n)) dead_[c] = 1;
   engine.set_observer(this);
 }
 
@@ -287,6 +290,8 @@ void InvariantChecker::on_run_begin(const Engine& e) {
     tracked_holds_.assign(n, 0);
     tracked_births_.assign(n, {});
     hop_cache_.assign(n, {});
+    dead_.assign(n, 0);
+    for (const net::CoreId c : e.config().fault.dead_set(n)) dead_[c] = 1;
   }
 }
 
@@ -357,6 +362,38 @@ void InvariantChecker::on_message_posted(const Engine& e, const Message& m,
        << ", faster than the minimal path latency " << floor_lat
        << " ticks allows";
     report({Invariant::kCausalDelivery, m.dst, os.str()});
+  }
+}
+
+void InvariantChecker::on_task_start(const Engine& e, CoreId c, Tick at) {
+  (void)e;
+  ++checks_;
+  if (c < dead_.size() && dead_[c]) {
+    std::ostringstream os;
+    os << "core " << c << " started a task at vt=" << at
+       << " but is permanently disabled by the fault plan";
+    report({Invariant::kDeadCoreActivity, c, os.str()});
+  }
+}
+
+void InvariantChecker::on_fault(const Engine& e, fault::FaultKind kind,
+                                CoreId core, Tick at,
+                                std::uint64_t magnitude) {
+  (void)e;
+  (void)at;
+  ++checks_;
+  ++faults_observed_;
+  if (topo_ != nullptr && core >= topo_->num_cores()) {
+    std::ostringstream os;
+    os << "fault event " << fault::to_string(kind) << " names core " << core
+       << ", which does not exist";
+    report({Invariant::kConservation, core, os.str()});
+  }
+  if (magnitude == 0) {
+    std::ostringstream os;
+    os << "fault event " << fault::to_string(kind) << " at core " << core
+       << " reports zero magnitude";
+    report({Invariant::kConservation, core, os.str()});
   }
 }
 
@@ -473,6 +510,13 @@ void InvariantChecker::audit(const Engine& e) {
 
   // Event-tracked mirrors vs engine state.
   for (const CoreInspect& ci : state.cores) {
+    if (ci.dead && (ci.has_fiber || ci.queue_len > 0 || ci.resumables > 0)) {
+      std::ostringstream os;
+      os << "dead core " << ci.id << " holds task state (fiber="
+         << ci.has_fiber << ", queued=" << ci.queue_len
+         << ", resumables=" << ci.resumables << ")";
+      report({Invariant::kDeadCoreActivity, ci.id, os.str()});
+    }
     if (ci.hold_depth != tracked_holds_[ci.id]) {
       std::ostringstream os;
       os << "core " << ci.id << " hold_depth " << ci.hold_depth

@@ -50,6 +50,7 @@ enum class Invariant : std::uint8_t {
   kHoldDepth,       // hold_depth disagrees with held locks/cells
   kConservation,    // live-task / in-flight-message accounting broken
   kWakeValidity,    // a core woke from a stall without its limit rising
+  kDeadCoreActivity,  // a fault-plan-disabled core executed task work
 };
 
 [[nodiscard]] const char* to_string(Invariant inv) noexcept;
@@ -99,6 +100,11 @@ class InvariantChecker final : public EngineObserver {
   [[nodiscard]] std::uint64_t checks_performed() const noexcept {
     return checks_;
   }
+  /// Injected-fault events observed through on_fault. Lets tests
+  /// assert the invariants above were exercised *under* faults.
+  [[nodiscard]] std::uint64_t faults_observed() const noexcept {
+    return faults_observed_;
+  }
 
   // ---- Stateless checking core (used directly by negative tests) ----
 
@@ -130,6 +136,7 @@ class InvariantChecker final : public EngineObserver {
                   AdvanceKind kind, bool exempt) override;
   void on_message_posted(const Engine& e, const Message& m,
                          bool direct) override;
+  void on_task_start(const Engine& e, CoreId c, Tick at) override;
   void on_task_birth(const Engine& e, CoreId parent, Tick birth) override;
   void on_task_arrival(const Engine& e, CoreId parent, CoreId dst,
                        Tick birth) override;
@@ -138,6 +145,8 @@ class InvariantChecker final : public EngineObserver {
   void on_lock_released(const Engine& e, CoreId c, LockId id) override;
   void on_cell_acquired(const Engine& e, CoreId c, CellId id) override;
   void on_cell_released(const Engine& e, CoreId c, CellId id) override;
+  void on_fault(const Engine& e, fault::FaultKind kind, CoreId core, Tick at,
+                std::uint64_t magnitude) override;
   void on_quantum_end(const Engine& e) override;
   void on_deadlock(const Engine& e) override;
 
@@ -154,8 +163,13 @@ class InvariantChecker final : public EngineObserver {
 
   std::vector<Violation> violations_;
   std::uint64_t checks_ = 0;
+  std::uint64_t faults_observed_ = 0;
   std::uint64_t compute_advances_ = 0;
   std::uint64_t quanta_ = 0;
+
+  /// Cores the attached engine's fault plan disabled; they must never
+  /// start tasks or appear with task state in audits.
+  std::vector<std::uint8_t> dead_;
 
   // Event-tracked mirrors of engine state, compared during audits.
   std::vector<Tick> last_now_;                  // per-core monotonicity

@@ -27,6 +27,7 @@ void ArchConfig::validate() const {
   if (mem.line_bytes == 0) {
     throw std::invalid_argument("ArchConfig: zero cache line size");
   }
+  fault.validate(topology.num_cores());
 }
 
 ArchConfig ArchConfig::shared_mesh(std::uint32_t cores) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/vtime.h"
+#include "fault/fault_plan.h"
 #include "mem/mem_params.h"
 #include "net/network.h"
 #include "net/topology.h"
@@ -98,6 +99,9 @@ struct ArchConfig {
   timing::BranchModel branch;
   RuntimeCosts runtime;
   HostConfig host;
+  /// Deterministic fault-injection plan (disabled by default); see
+  /// fault/fault_plan.h and docs/fault_injection.md.
+  fault::FaultPlan fault;
 
   /// Maximum local virtual-time drift T between topological neighbors,
   /// in cycles (paper reference value: 100).

@@ -74,6 +74,11 @@ ArchConfig parse_config(std::istream& in) {
       return static_cast<std::uint32_t>(std::stoul(next()));
     };
     auto next_u64 = [&]() -> std::uint64_t { return std::stoull(next()); };
+    auto next_prob = [&]() -> double {
+      const double p = std::stod(next());
+      if (p < 0.0 || p > 1.0) fail(lineno, "probability outside [0, 1]");
+      return p;
+    };
 
     if (key == "cores") {
       raw.cores = next_u32();
@@ -171,6 +176,30 @@ ArchConfig parse_config(std::istream& in) {
       raw.cfg.host.shards = next_u32();
     } else if (key == "host_round_quanta") {
       raw.cfg.host.round_quanta = next_u32();
+    } else if (key == "fault_seed") {
+      raw.cfg.fault.seed = next_u64();
+    } else if (key == "fault_msg_delay") {
+      raw.cfg.fault.msg_delay_prob = next_prob();
+      raw.cfg.fault.msg_delay_cycles = next_u64();
+    } else if (key == "fault_msg_dup") {
+      raw.cfg.fault.msg_dup_prob = next_prob();
+    } else if (key == "fault_msg_drop") {
+      raw.cfg.fault.msg_drop_prob = next_prob();
+    } else if (key == "fault_retry") {
+      raw.cfg.fault.retry_limit = next_u32();
+      raw.cfg.fault.retry_timeout_cycles = next_u64();
+    } else if (key == "fault_stall") {
+      raw.cfg.fault.stall_prob = next_prob();
+      raw.cfg.fault.stall_cycles = next_u64();
+    } else if (key == "fault_spawn_fail") {
+      raw.cfg.fault.spawn_fail_prob = next_prob();
+    } else if (key == "fault_mem_spike") {
+      raw.cfg.fault.mem_spike_prob = next_prob();
+      raw.cfg.fault.mem_spike_cycles = next_u64();
+    } else if (key == "fault_dead_cores") {
+      raw.cfg.fault.dead_cores = next_u32();
+    } else if (key == "fault_dead") {
+      raw.cfg.fault.dead_core_list.push_back(next_u32());
     } else {
       fail(lineno, "unknown keyword '" + key + "'");
     }
@@ -274,6 +303,40 @@ void save_config(const ArchConfig& cfg, std::ostream& out) {
   out << "host_threads " << cfg.host.threads << "\n";
   out << "host_shards " << cfg.host.shards << "\n";
   out << "host_round_quanta " << cfg.host.round_quanta << "\n";
+  // The fault block is emitted only when something can fire, so
+  // fault-free configs round-trip byte-identically with older files.
+  if (cfg.fault.enabled()) {
+    const auto& f = cfg.fault;
+    out << "fault_seed " << f.seed << "\n";
+    if (f.msg_delay_prob > 0.0) {
+      out << "fault_msg_delay " << f.msg_delay_prob << " "
+          << f.msg_delay_cycles << "\n";
+    }
+    if (f.msg_dup_prob > 0.0) {
+      out << "fault_msg_dup " << f.msg_dup_prob << "\n";
+    }
+    if (f.msg_drop_prob > 0.0) {
+      out << "fault_msg_drop " << f.msg_drop_prob << "\n";
+      out << "fault_retry " << f.retry_limit << " "
+          << f.retry_timeout_cycles << "\n";
+    }
+    if (f.stall_prob > 0.0) {
+      out << "fault_stall " << f.stall_prob << " " << f.stall_cycles << "\n";
+    }
+    if (f.spawn_fail_prob > 0.0) {
+      out << "fault_spawn_fail " << f.spawn_fail_prob << "\n";
+    }
+    if (f.mem_spike_prob > 0.0) {
+      out << "fault_mem_spike " << f.mem_spike_prob << " "
+          << f.mem_spike_cycles << "\n";
+    }
+    if (f.dead_cores > 0) {
+      out << "fault_dead_cores " << f.dead_cores << "\n";
+    }
+    for (const net::CoreId c : f.dead_core_list) {
+      out << "fault_dead " << c << "\n";
+    }
+  }
   for (std::size_t c = 0; c < cfg.core_speeds.size(); ++c) {
     const Speed s = cfg.core_speeds[c];
     if (!s.is_unit()) {

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/simany_assert.h"
+#include "fault/fault_injector.h"
 #include "host/parallel_engine.h"
 #include "host/partition.h"
 
@@ -130,6 +131,10 @@ Engine::Engine(ArchConfig cfg, ExecutionMode mode)
     c->ctx = std::make_unique<Ctx>(*this, *c);
     cores_.push_back(std::move(c));
   }
+  if (cfg_.fault.enabled()) {
+    fault_ = std::make_unique<fault::FaultInjector>(cfg_.fault, n);
+    for (const net::CoreId d : fault_->dead()) cores_[d]->dead = true;
+  }
 }
 
 Engine::~Engine() = default;
@@ -208,6 +213,7 @@ void Engine::host_setup(std::uint32_t shards) {
     sh->bfs_epoch.assign(cfg_.num_cores(), 0);
     shards_.push_back(std::move(sh));
   }
+  if (fault_ != nullptr) fault_->bind_shards(num_shards_);
   mail_.clear();
   if (num_shards_ > 1) {
     const std::size_t pairs = std::size_t{num_shards_} * num_shards_;
@@ -226,6 +232,10 @@ void Engine::finalize_stats() {
     stats_.network.merge(shp->lane.stats);
   }
   stats_.host_rounds = host_rounds_;
+  if (fault_ != nullptr) {
+    stats_.fault_dead_cores =
+        static_cast<std::uint32_t>(fault_->dead().size());
+  }
   stats_.core_busy_ticks.resize(cores_.size());
   for (std::size_t i = 0; i < cores_.size(); ++i) {
     stats_.core_busy_ticks[i] = cores_[i]->busy;
@@ -481,6 +491,7 @@ EngineInspect Engine::inspect() const {
     ci.has_fiber = (c.fiber != nullptr);
     ci.sync_stalled = c.sync_stalled;
     ci.waiting_reply = c.waiting_reply;
+    ci.dead = c.dead;
     ci.hold_depth = c.hold_depth;
     ci.inbox_len = c.inbox.size();
     ci.queue_len = c.task_queue.size();
@@ -769,9 +780,29 @@ bool Engine::start_next_work(CoreSim& c) {
     broadcast_occupancy_update(c);
     if (trace_ != nullptr) trace_->on_task_start(c.id, c.now);
     if (obs_ != nullptr) obs_->on_task_start(*this, c.id, c.now);
+    // Injected transient stall: the core spends `stall` ticks of
+    // virtual time making no progress before the task body runs. It
+    // goes through advance_execution (inside the fiber), so spatial
+    // sync throttles neighbors exactly as for real work.
+    Tick stall = 0;
+    if (fault_ != nullptr) {
+      stall = fault_->draw_task_stall(c.id);
+      if (stall > 0) {
+        SimStats& st = shard_of(c).stats;
+        ++st.fault_core_stalls;
+        ++st.faults_injected;
+        if (obs_ != nullptr) {
+          obs_->on_fault(*this, fault::FaultKind::kCoreStall, c.id, c.now,
+                         stall);
+        }
+      }
+    }
     Ctx* ctx = c.ctx.get();
-    c.fiber =
-        shard_of(c).pool.create([fn = std::move(t.fn), ctx]() { fn(*ctx); });
+    c.fiber = shard_of(c).pool.create([this, &c, fn = std::move(t.fn), ctx,
+                                       stall]() {
+      if (stall > 0) advance_execution(c, stall);
+      fn(*ctx);
+    });
     c.fiber_group = t.group;
     return true;
   }
@@ -1104,7 +1135,17 @@ void Engine::post_from(MsgKind kind, CoreId from, Tick from_now,
   m.src = from;
   m.dst = to;
   m.sent = from_now;
-  m.arrival = network_.send_on(ctx.lane, from, to, bytes, from_now);
+  if (fault_ == nullptr) {
+    m.arrival = network_.send_on(ctx.lane, from, to, bytes, from_now);
+  } else {
+    // The injector books lost attempts and duplicates on this shard's
+    // lane and returns the perturbed arrival of the surviving
+    // transmission (throws SimError when the retry budget runs out).
+    const fault::MsgFaults f = fault_->on_message(
+        network_, ctx.lane, ctx.id, from, to, bytes, from_now);
+    m.arrival = f.arrival;
+    record_msg_faults(f, from, from_now, ctx.stats);
+  }
   m.bytes = bytes;
   m.a = a;
   m.b = b;
@@ -1118,6 +1159,34 @@ void Engine::post_from(MsgKind kind, CoreId from, Tick from_now,
   if (trace_ != nullptr) trace_->on_message(m);
   if (obs_ != nullptr) obs_->on_message_posted(*this, m, /*direct=*/false);
   enqueue_message(ctx, std::move(m));
+}
+
+void Engine::record_msg_faults(const fault::MsgFaults& f, CoreId src,
+                               Tick sent, SimStats& st) {
+  if (f.retries > 0) {
+    ++st.fault_msgs_dropped;
+    st.fault_msg_retries += f.retries;
+    ++st.faults_injected;
+    if (obs_ != nullptr) {
+      obs_->on_fault(*this, fault::FaultKind::kMsgDrop, src, sent, f.retries);
+    }
+  }
+  if (f.duplicates > 0) {
+    st.fault_msgs_duplicated += f.duplicates;
+    ++st.faults_injected;
+    if (obs_ != nullptr) {
+      obs_->on_fault(*this, fault::FaultKind::kMsgDuplicate, src, sent,
+                     f.duplicates);
+    }
+  }
+  if (f.delay > 0) {
+    ++st.fault_msgs_delayed;
+    ++st.faults_injected;
+    if (obs_ != nullptr) {
+      obs_->on_fault(*this, fault::FaultKind::kMsgDelay, src, sent, f.delay);
+    }
+  }
+  if (f.reordered) ++st.fault_msgs_reordered;
 }
 
 void Engine::deliver_direct(MsgKind kind, CoreId from, CoreId to,
@@ -1209,9 +1278,21 @@ void Engine::handle_message(CoreSim& c, Message& m) {
 void Engine::on_probe(CoreSim& c, const Message& m) {
   sync_to_arrival(m.arrival, c.now);
   charge(c, scaled_cost(cfg_.runtime.msg_handle_cycles, c.speed));
+  // Dead cores always answer "busy"; an enabled plan may additionally
+  // deny at random, exercising the inline-fallback and migration paths.
+  bool denied = c.dead;
+  if (!denied && fault_ != nullptr && fault_->draw_spawn_denial(c.id)) {
+    denied = true;
+    SimStats& st = shard_of(c).stats;
+    ++st.fault_spawn_denials;
+    ++st.faults_injected;
+    if (obs_ != nullptr) {
+      obs_->on_fault(*this, fault::FaultKind::kSpawnDenied, c.id, c.now, 1);
+    }
+  }
   const std::uint32_t occupied =
       static_cast<std::uint32_t>(c.task_queue.size()) + c.reserved;
-  if (occupied < cfg_.runtime.task_queue_capacity) {
+  if (!denied && occupied < cfg_.runtime.task_queue_capacity) {
     ++c.reserved;
     post(MsgKind::kProbeAck, c, m.src, cfg_.runtime.probe_msg_bytes);
     broadcast_occupancy_update(c);
@@ -1263,6 +1344,7 @@ void Engine::try_migrate(CoreSim& c) {
     std::uint64_t best_score = ~std::uint64_t{0};
     for (std::uint32_t i = 0; i < n; ++i) {
       const CoreId nb = nbs[(start + i) % n];
+      if (core(nb).dead) continue;  // fault plan: never a migration target
       // Diffusion rule: forward only down a load gradient of at least
       // two tasks (prevents ping-pong), preferring the least-loaded —
       // and with speed-aware dispatch, fastest — neighbor. Cross-shard
@@ -1546,6 +1628,19 @@ void Engine::ctx_mem_access(CoreSim& c, std::uint64_t addr,
       }
     }
   }
+  if (fault_ != nullptr) {
+    const Tick spike = fault_->draw_mem_spike(c.id);
+    if (spike > 0) {
+      SimStats& st = stats_of(c);
+      ++st.fault_mem_spikes;
+      ++st.faults_injected;
+      if (obs_ != nullptr) {
+        obs_->on_fault(*this, fault::FaultKind::kMemSpike, c.id, c.now,
+                       spike);
+      }
+      cost = sat_add(cost, spike);
+    }
+  }
   advance_execution(c, cost);
 }
 
@@ -1573,6 +1668,7 @@ bool Engine::ctx_probe(CoreSim& c) {
   for (std::uint32_t i = 0; i < n; ++i) {
     const std::uint32_t idx = (start + i) % n;
     const CoreId nb = nbs[idx];
+    if (core(nb).dead) continue;  // fault plan: never a spawn target
     // Occupancy view: live state for same-shard neighbors, the frozen
     // VtProxy for cross-shard ones, or the stale broadcast proxy
     // (paper SS IV) when enabled.

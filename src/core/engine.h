@@ -67,6 +67,10 @@ namespace simany {
 namespace host {
 class ParallelHost;
 }
+namespace fault {
+class FaultInjector;
+struct MsgFaults;
+}
 
 enum class ExecutionMode : std::uint8_t {
   kVirtualTime,  // SiMany: spatial synchronization, abstract models
@@ -186,6 +190,10 @@ class Engine {
     std::deque<ParkedFiber> resumables;   // woken joiners
 
     int hold_depth = 0;  // locks/cells held -> spatial-sync exemption
+    /// Permanently disabled by the fault plan: never a probe/migration
+    /// target, never executes tasks; the NoC interface stays alive.
+    /// Immutable after construction, so cross-shard reads are safe.
+    bool dead = false;
     bool sync_stalled = false;
     bool waiting_reply = false;
     bool park_pending = false;   // fiber asked to be parked on a group
@@ -399,6 +407,13 @@ class Engine {
 
   [[nodiscard]] Tick mem_cost_l1_hit(const CoreSim& c) const;
 
+  // ---- Fault injection (src/fault; null when the plan is disabled) ------
+
+  /// Accounts one or more injected message faults in shard-local stats
+  /// and forwards them to the observer.
+  void record_msg_faults(const fault::MsgFaults& f, CoreId src, Tick sent,
+                         SimStats& st);
+
   void charge(CoreSim& c, Tick cost,
               AdvanceKind kind = AdvanceKind::kRuntime) {
     const Tick from = c.now;
@@ -427,6 +442,8 @@ class Engine {
   timing::CostModel cost_model_;
   std::vector<std::unique_ptr<CoreSim>> cores_;
   mem::Directory directory_;
+  /// Fault injector, constructed only when cfg_.fault is enabled.
+  std::unique_ptr<fault::FaultInjector> fault_;
 
   // Host layer: shards, core->shard map, proxy snapshots, mailboxes.
   std::vector<std::unique_ptr<host::ShardState>> shards_;

@@ -13,6 +13,7 @@
 #include "core/message.h"
 #include "core/sim_types.h"
 #include "core/vtime.h"
+#include "fault/fault_plan.h"
 
 namespace simany {
 
@@ -67,6 +68,16 @@ class EngineObserver {
   virtual void on_lock_released(const Engine&, CoreId /*c*/, LockId) {}
   virtual void on_cell_acquired(const Engine&, CoreId /*c*/, CellId) {}
   virtual void on_cell_released(const Engine&, CoreId /*c*/, CellId) {}
+
+  /// The fault injector (src/fault) fired: a fault of kind `kind` was
+  /// injected at core `core` at virtual time `at`. `magnitude` is
+  /// kind-specific — extra ticks for delays/stalls/spikes, lost
+  /// attempts for drops, copies for duplicates, 1 otherwise. Checkers
+  /// use this to verify that every invariant still holds downstream of
+  /// the perturbation.
+  virtual void on_fault(const Engine&, fault::FaultKind /*kind*/,
+                        CoreId /*core*/, Tick /*at*/,
+                        std::uint64_t /*magnitude*/) {}
 
   /// End of one scheduling quantum in the main loop — a safe point at
   /// which no core is mid-transition; full-state audits belong here.

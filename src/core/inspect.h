@@ -26,6 +26,10 @@ struct CoreInspect {
   bool has_fiber = false;
   bool sync_stalled = false;
   bool waiting_reply = false;
+  /// Permanently disabled by the run's fault plan ("core-dead,
+  /// NoC-alive": it executes no tasks but its network interface and
+  /// homed tables stay serviced).
+  bool dead = false;
   int hold_depth = 0;
   std::size_t inbox_len = 0;
   std::size_t queue_len = 0;

@@ -1,0 +1,39 @@
+// Structured error for simulations aborted by a simulated condition.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace simany {
+
+/// Thrown when the *simulated* machine fails in a way the run-time
+/// cannot mask — e.g. a message whose retransmission budget is
+/// exhausted under an injected-fault plan — as opposed to a host-side
+/// logic error. Carries structured context so harnesses can report
+/// what failed (and reproduce it) without parsing what().
+class SimError : public std::runtime_error {
+ public:
+  struct Context {
+    /// Short machine-readable cause, e.g. "msg-retry-exhausted".
+    std::string cause;
+    std::uint32_t core = ~0u;  // primary core involved
+    std::uint32_t peer = ~0u;  // counterpart core, if any
+    std::uint64_t at_tick = 0;
+    /// Cause-specific magnitude (e.g. transmission attempts made).
+    std::uint64_t detail = 0;
+    /// Seed of the fault plan that produced the condition (0 if none).
+    std::uint64_t fault_seed = 0;
+  };
+
+  SimError(const std::string& msg, Context ctx)
+      : std::runtime_error(msg), ctx_(std::move(ctx)) {}
+
+  [[nodiscard]] const Context& context() const noexcept { return ctx_; }
+
+ private:
+  Context ctx_;
+};
+
+}  // namespace simany

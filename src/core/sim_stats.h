@@ -27,6 +27,21 @@ struct SimStats {
   std::uint64_t joins_suspended = 0;
   std::uint64_t limit_recomputes = 0;
 
+  // Fault-injection accounting (src/fault). All zero unless the run's
+  // ArchConfig carried an enabled FaultPlan; deterministic for a fixed
+  // (config, fault plan, shard count).
+  std::uint64_t faults_injected = 0;       // total events, all kinds
+  std::uint64_t fault_msgs_delayed = 0;
+  std::uint64_t fault_msgs_duplicated = 0;
+  std::uint64_t fault_msgs_dropped = 0;    // messages with >= 1 lost attempt
+  std::uint64_t fault_msg_retries = 0;     // lost attempts retransmitted
+  std::uint64_t fault_msgs_reordered = 0;  // sends overtaking delayed ones
+  std::uint64_t fault_core_stalls = 0;
+  std::uint64_t fault_spawn_denials = 0;
+  std::uint64_t fault_mem_spikes = 0;
+  /// Cores permanently disabled by the plan (set at run end, per run).
+  std::uint32_t fault_dead_cores = 0;
+
   /// Available host parallelism, sampled periodically during the run:
   /// the number of simulated cores that could be advanced concurrently
   /// (actionable and not drift-capped). The paper (SS VIII) reports a
@@ -71,6 +86,15 @@ struct SimStats {
     fiber_switches += o.fiber_switches;
     joins_suspended += o.joins_suspended;
     limit_recomputes += o.limit_recomputes;
+    faults_injected += o.faults_injected;
+    fault_msgs_delayed += o.fault_msgs_delayed;
+    fault_msgs_duplicated += o.fault_msgs_duplicated;
+    fault_msgs_dropped += o.fault_msgs_dropped;
+    fault_msg_retries += o.fault_msg_retries;
+    fault_msgs_reordered += o.fault_msgs_reordered;
+    fault_core_stalls += o.fault_core_stalls;
+    fault_spawn_denials += o.fault_spawn_denials;
+    fault_mem_spikes += o.fault_mem_spikes;
     parallelism_samples += o.parallelism_samples;
     parallelism_sum += o.parallelism_sum;
     parallelism_max = parallelism_max > o.parallelism_max

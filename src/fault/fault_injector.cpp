@@ -1,0 +1,142 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/sim_error.h"
+
+namespace simany::fault {
+
+namespace {
+
+/// SplitMix64 finalizer: full-avalanche mixing of a 64-bit key.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint32_t num_cores)
+    : plan_(plan),
+      dead_flags_(num_cores, 0),
+      dead_(plan.dead_set(num_cores)),
+      lanes_(1),
+      cores_(num_cores) {
+  for (const net::CoreId c : dead_) dead_flags_[c] = 1;
+}
+
+void FaultInjector::bind_shards(std::uint32_t num_shards) {
+  lanes_.assign(std::max<std::uint32_t>(num_shards, 1), LaneState{});
+}
+
+std::uint64_t FaultInjector::draw(FaultKind kind, std::uint64_t stream,
+                                  std::uint64_t counter,
+                                  std::uint64_t salt) const noexcept {
+  // Chained finalizers keep every key component at full avalanche; a
+  // plain xor of the raw components would correlate nearby counters.
+  std::uint64_t h = mix64(plan_.seed ^ (static_cast<std::uint64_t>(kind) + 1) *
+                                           0xd6e8feb86659fd93ULL);
+  h = mix64(h ^ stream);
+  h = mix64(h ^ counter);
+  return mix64(h ^ salt);
+}
+
+double FaultInjector::unit(FaultKind kind, std::uint64_t stream,
+                           std::uint64_t counter,
+                           std::uint64_t salt) const noexcept {
+  return static_cast<double>(draw(kind, stream, counter, salt) >> 11) *
+         0x1.0p-53;
+}
+
+MsgFaults FaultInjector::on_message(const net::Network& net,
+                                    net::Network::Lane& lane,
+                                    std::uint32_t lane_id, net::CoreId src,
+                                    net::CoreId dst, std::uint32_t bytes,
+                                    Tick sent) {
+  MsgFaults out;
+  if (src == dst) {  // local delivery: no interconnect to fault
+    out.arrival = net.send_on(lane, src, dst, bytes, sent);
+    return out;
+  }
+  LaneState& ls = lanes_[lane_id];
+  const std::uint64_t seq = ls.msg_seq++;
+
+  // Drop/retransmit: each lost attempt occupies its links before
+  // vanishing, then the sender backs off (doubling, capped at 64x) and
+  // retries. Exhausting the budget is unmaskable: the simulated
+  // machine has failed, and the run aborts with structured context.
+  Tick depart = sent;
+  if (plan_.msg_drop_prob > 0.0) {
+    std::uint32_t attempt = 0;
+    while (unit(FaultKind::kMsgDrop, lane_id, seq, attempt) <
+           plan_.msg_drop_prob) {
+      if (attempt == plan_.retry_limit) {
+        std::ostringstream os;
+        os << "message " << src << "->" << dst << " sent at tick " << sent
+           << ": retry budget exhausted, all " << (attempt + 1)
+           << " transmission attempts lost (fault plan seed " << plan_.seed
+           << ", drop probability " << plan_.msg_drop_prob << ")";
+        throw SimError(os.str(),
+                       SimError::Context{"msg-retry-exhausted", src, dst,
+                                         sent, attempt + 1, plan_.seed});
+      }
+      (void)net.send_on(lane, src, dst, bytes, depart);
+      const Tick backoff = ticks(plan_.retry_timeout_cycles)
+                           << std::min<std::uint32_t>(attempt, 6);
+      depart = sat_add(depart, backoff);
+      ++attempt;
+    }
+    out.retries = attempt;
+  }
+
+  out.arrival = net.send_on(lane, src, dst, bytes, depart);
+
+  if (plan_.msg_dup_prob > 0.0 &&
+      unit(FaultKind::kMsgDuplicate, lane_id, seq, 0) < plan_.msg_dup_prob) {
+    // The spurious copy consumes bandwidth; the receiver's sequence
+    // numbers discard it, so only the primary delivery is modeled.
+    (void)net.send_on(lane, src, dst, bytes, depart);
+    out.duplicates = 1;
+  }
+
+  if (plan_.msg_delay_prob > 0.0 &&
+      unit(FaultKind::kMsgDelay, lane_id, seq, 0) < plan_.msg_delay_prob) {
+    const Cycles span = std::max<Cycles>(plan_.msg_delay_cycles, 1);
+    out.delay = ticks(1 + draw(FaultKind::kMsgDelay, lane_id, seq, 1) % span);
+    out.arrival = sat_add(out.arrival, out.delay);
+  }
+
+  // Reorder bookkeeping: an unperturbed send that lands before an
+  // earlier perturbed one has observably overtaken it on this lane.
+  if (out.delay > 0 || out.retries > 0) {
+    ls.max_faulted_arrival = std::max(ls.max_faulted_arrival, out.arrival);
+  } else if (out.arrival < ls.max_faulted_arrival) {
+    out.reordered = true;
+  }
+  return out;
+}
+
+Tick FaultInjector::draw_task_stall(net::CoreId c) {
+  if (plan_.stall_prob <= 0.0) return 0;
+  const std::uint64_t seq = cores_[c].task_seq++;
+  if (unit(FaultKind::kCoreStall, c, seq, 0) >= plan_.stall_prob) return 0;
+  return ticks(plan_.stall_cycles);
+}
+
+bool FaultInjector::draw_spawn_denial(net::CoreId c) {
+  if (plan_.spawn_fail_prob <= 0.0) return false;
+  const std::uint64_t seq = cores_[c].probe_seq++;
+  return unit(FaultKind::kSpawnDenied, c, seq, 0) < plan_.spawn_fail_prob;
+}
+
+Tick FaultInjector::draw_mem_spike(net::CoreId c) {
+  if (plan_.mem_spike_prob <= 0.0) return 0;
+  const std::uint64_t seq = cores_[c].mem_seq++;
+  if (unit(FaultKind::kMemSpike, c, seq, 0) >= plan_.mem_spike_prob) return 0;
+  return ticks(plan_.mem_spike_cycles);
+}
+
+}  // namespace simany::fault

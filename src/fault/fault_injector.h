@@ -1,0 +1,112 @@
+// Executable half of a FaultPlan: per-event fault decisions + effects.
+//
+// The injector is owned by the Engine (only when the plan is enabled)
+// and consulted at four points: message posting, task start, probe
+// handling, and annotated memory accesses. It makes every decision
+// with a stateless SplitMix64-style hash over (plan seed, fault kind,
+// stream id, stream counter) — no shared RNG stream — so outcomes are
+// a pure function of the deterministic event sequence each stream
+// sees:
+//
+//  * message draws are keyed per *shard lane* (the sending shard's
+//    post order is deterministic for a fixed shard count, and a lane
+//    is only ever touched by its owning host thread);
+//  * task-start / probe / memory draws are keyed per *core* (those
+//    events always execute on the core's owning shard).
+//
+// This matches the engine's host-parallel determinism contract: fault
+// outcomes depend on the config and the shard count, never on host
+// threads, and a 1-shard parallel run draws bit-identically to the
+// sequential engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/vtime.h"
+#include "fault/fault_plan.h"
+#include "net/network.h"
+
+namespace simany::fault {
+
+/// Outcome of the interconnect fault pass over one posted message.
+struct MsgFaults {
+  Tick arrival = 0;              // final (post-fault) arrival tick
+  std::uint32_t retries = 0;     // lost attempts masked by retransmission
+  std::uint32_t duplicates = 0;  // spurious copies booked on the wire
+  Tick delay = 0;                // injected jitter beyond modeled timing
+  bool reordered = false;        // arrival overtook a delayed message
+};
+
+class FaultInjector {
+ public:
+  /// Resolves the dead-core set. `num_cores` must match the engine's
+  /// topology; the plan must already be validated.
+  FaultInjector(const FaultPlan& plan, std::uint32_t num_cores);
+
+  /// Sizes per-lane message-draw streams; called once per run from
+  /// Engine::host_setup after the shard count is known.
+  void bind_shards(std::uint32_t num_shards);
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] bool core_dead(net::CoreId c) const noexcept {
+    return dead_flags_[c] != 0;
+  }
+  [[nodiscard]] const std::vector<net::CoreId>& dead() const noexcept {
+    return dead_;
+  }
+
+  /// Applies message faults for one send: books every lost attempt and
+  /// duplicate on `lane` (they occupy real links), then books the
+  /// surviving transmission and returns its perturbed arrival. Local
+  /// sends (src == dst) are never faulted. Throws SimError with fault
+  /// context when retry_limit attempts were all lost.
+  MsgFaults on_message(const net::Network& net, net::Network::Lane& lane,
+                       std::uint32_t lane_id, net::CoreId src,
+                       net::CoreId dst, std::uint32_t bytes, Tick sent);
+
+  /// Transient-stall draw at a task start on core `c`: the stall
+  /// length in ticks, or 0.
+  [[nodiscard]] Tick draw_task_stall(net::CoreId c);
+
+  /// Spawn-failure draw when core `c` handles a probe: true => deny.
+  [[nodiscard]] bool draw_spawn_denial(net::CoreId c);
+
+  /// Memory-latency-spike draw for one access on core `c`: the extra
+  /// cost in ticks, or 0.
+  [[nodiscard]] Tick draw_mem_spike(net::CoreId c);
+
+ private:
+  /// Stateless draw: uniform u64 from (seed, kind, stream, counter).
+  [[nodiscard]] std::uint64_t draw(FaultKind kind, std::uint64_t stream,
+                                   std::uint64_t counter,
+                                   std::uint64_t salt) const noexcept;
+  /// The draw as a uniform double in [0, 1).
+  [[nodiscard]] double unit(FaultKind kind, std::uint64_t stream,
+                            std::uint64_t counter,
+                            std::uint64_t salt) const noexcept;
+
+  FaultPlan plan_;
+  std::vector<std::uint8_t> dead_flags_;
+  std::vector<net::CoreId> dead_;
+
+  /// Per-shard-lane message stream; touched only by the owning host
+  /// thread (same ownership discipline as net::Network::Lane).
+  struct LaneState {
+    std::uint64_t msg_seq = 0;
+    /// Latest arrival among *faulted* sends; an unfaulted send landing
+    /// before it has provably overtaken a perturbed message.
+    Tick max_faulted_arrival = 0;
+  };
+  std::vector<LaneState> lanes_;
+
+  /// Per-core streams for events that always run on the owning shard.
+  struct CoreState {
+    std::uint64_t task_seq = 0;
+    std::uint64_t probe_seq = 0;
+    std::uint64_t mem_seq = 0;
+  };
+  std::vector<CoreState> cores_;
+};
+
+}  // namespace simany::fault

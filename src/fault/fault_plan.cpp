@@ -1,0 +1,105 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "core/rng.h"
+
+namespace simany::fault {
+
+const char* to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kMsgDelay: return "msg-delay";
+    case FaultKind::kMsgDuplicate: return "msg-duplicate";
+    case FaultKind::kMsgDrop: return "msg-drop";
+    case FaultKind::kCoreStall: return "core-stall";
+    case FaultKind::kSpawnDenied: return "spawn-denied";
+    case FaultKind::kMemSpike: return "mem-spike";
+    case FaultKind::kCoreDead: return "core-dead";
+  }
+  return "?";
+}
+
+bool FaultPlan::enabled() const noexcept {
+  return msg_delay_prob > 0.0 || msg_dup_prob > 0.0 ||
+         msg_drop_prob > 0.0 || stall_prob > 0.0 || spawn_fail_prob > 0.0 ||
+         mem_spike_prob > 0.0 || dead_cores > 0 || !dead_core_list.empty();
+}
+
+namespace {
+
+void check_prob(double p, const char* name) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument(std::string("FaultPlan::") + name +
+                                " must be within [0, 1]");
+  }
+}
+
+}  // namespace
+
+void FaultPlan::validate(std::uint32_t num_cores) const {
+  check_prob(msg_delay_prob, "msg_delay_prob");
+  check_prob(msg_dup_prob, "msg_dup_prob");
+  check_prob(msg_drop_prob, "msg_drop_prob");
+  check_prob(stall_prob, "stall_prob");
+  check_prob(spawn_fail_prob, "spawn_fail_prob");
+  check_prob(mem_spike_prob, "mem_spike_prob");
+  if (msg_delay_prob > 0.0 && msg_delay_cycles == 0) {
+    throw std::invalid_argument(
+        "FaultPlan::msg_delay_cycles must be nonzero when delays can fire");
+  }
+  if (stall_prob > 0.0 && stall_cycles == 0) {
+    throw std::invalid_argument(
+        "FaultPlan::stall_cycles must be nonzero when stalls can fire");
+  }
+  if (mem_spike_prob > 0.0 && mem_spike_cycles == 0) {
+    throw std::invalid_argument(
+        "FaultPlan::mem_spike_cycles must be nonzero when spikes can fire");
+  }
+  for (const net::CoreId c : dead_core_list) {
+    if (c == 0) {
+      throw std::invalid_argument(
+          "FaultPlan::dead_core_list must not contain core 0 (it runs the "
+          "root task)");
+    }
+    if (c >= num_cores) {
+      throw std::invalid_argument("FaultPlan::dead_core_list entry " +
+                                  std::to_string(c) + " is out of range");
+    }
+  }
+  if (dead_cores >= num_cores) {
+    throw std::invalid_argument(
+        "FaultPlan::dead_cores must leave at least core 0 alive");
+  }
+}
+
+std::vector<net::CoreId> FaultPlan::dead_set(std::uint32_t num_cores) const {
+  std::vector<std::uint8_t> dead(num_cores, 0);
+  std::uint32_t count = 0;
+  for (const net::CoreId c : dead_core_list) {
+    if (c == 0 || c >= num_cores || dead[c]) continue;
+    dead[c] = 1;
+    ++count;
+  }
+  // Seeded picks on top of the explicit kills. One dedicated stream,
+  // domain-separated from every per-decision hash draw.
+  const std::uint32_t cap = num_cores > 0 ? num_cores - 1 : 0;
+  const std::uint32_t want =
+      std::min<std::uint32_t>(count + std::min(dead_cores, cap), cap);
+  Rng rng(seed ^ 0xdead10ccULL * 0x9e3779b97f4a7c15ULL);
+  while (count < want) {
+    const auto c = static_cast<net::CoreId>(1 + rng.below(num_cores - 1));
+    if (dead[c]) continue;
+    dead[c] = 1;
+    ++count;
+  }
+  std::vector<net::CoreId> out;
+  out.reserve(count);
+  for (net::CoreId c = 0; c < num_cores; ++c) {
+    if (dead[c]) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace simany::fault

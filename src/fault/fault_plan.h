@@ -1,0 +1,120 @@
+// Deterministic fault-injection plan ("what can go wrong, and how
+// often").
+//
+// A FaultPlan is part of the ArchConfig: it describes a reproducible
+// adversarial environment for one simulation run — message delays,
+// duplications and drops on the interconnect, transient core stalls,
+// spawn-probe denials, memory-latency spikes, and permanently disabled
+// cores. All of it derives from the plan seed alone: every individual
+// fault decision is a stateless hash draw keyed on (seed, fault kind,
+// stable per-stream counter), never a shared RNG stream, so decisions
+// are identical regardless of host thread interleaving and the
+// engine's determinism contract (timing is a function of the config
+// and the shard count only) extends to faulty runs unchanged.
+//
+// Semantics of each knob are documented field by field; the executable
+// half lives in fault/fault_injector.h. docs/fault_injection.md has
+// the config-file schema and the reproduction workflow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/vtime.h"
+#include "net/topology.h"
+
+namespace simany::fault {
+
+/// One category of injected fault, as reported through SimStats and
+/// EngineObserver::on_fault.
+enum class FaultKind : std::uint8_t {
+  kMsgDelay,     // extra interconnect latency on one message
+  kMsgDuplicate, // a spurious copy occupied the wire (single delivery)
+  kMsgDrop,      // an attempt was lost; masked by retransmission
+  kCoreStall,    // a core froze for a fixed number of cycles
+  kSpawnDenied,  // a probe was answered "busy" regardless of load
+  kMemSpike,     // one memory access paid an extra latency spike
+  kCoreDead,     // a core is permanently disabled for the whole run
+};
+
+[[nodiscard]] const char* to_string(FaultKind k) noexcept;
+
+struct FaultPlan {
+  /// Seed of the fault universe. Independent from ArchConfig::seed so
+  /// the same workload can be replayed under different fault draws.
+  std::uint64_t seed = 0;
+
+  // ---- Interconnect faults (applied per architectural message) ------
+
+  /// Probability a message is delayed by extra switch-level jitter of
+  /// uniformly 1..msg_delay_cycles cycles beyond its modeled timing.
+  /// Delays induce arrival-order inversions between messages of one
+  /// sender, which is how reordering is exercised.
+  double msg_delay_prob = 0.0;
+  Cycles msg_delay_cycles = 200;
+
+  /// Probability a spurious duplicate copy of a message is put on the
+  /// wire. The copy books real link occupancy (bandwidth is consumed)
+  /// but is deduplicated at the receiver: exactly one logical delivery
+  /// ever happens, so protocol state is never double-applied.
+  double msg_dup_prob = 0.0;
+
+  /// Probability one transmission *attempt* is lost. Drops are masked
+  /// by the retry path: each lost attempt still occupies its links,
+  /// then the sender waits a timeout (doubling per attempt, capped)
+  /// and retransmits. After retry_limit lost attempts the simulation
+  /// aborts with a SimError carrying the fault context.
+  double msg_drop_prob = 0.0;
+  std::uint32_t retry_limit = 8;
+  Cycles retry_timeout_cycles = 50;
+
+  // ---- Core faults ---------------------------------------------------
+
+  /// Probability a task start is preceded by a transient stall: the
+  /// core spends stall_cycles of virtual time making no progress. The
+  /// stall advances through the regular spatial-sync path, so
+  /// neighbors are throttled by the drift bound exactly as for real
+  /// work.
+  double stall_prob = 0.0;
+  Cycles stall_cycles = 500;
+
+  /// Probability a spawn probe is denied ("busy") at the receiver even
+  /// when a queue slot is free, exercising the conditional-spawn
+  /// inline fallback and migration paths.
+  double spawn_fail_prob = 0.0;
+
+  /// Probability one annotated memory access pays an extra
+  /// mem_spike_cycles of latency.
+  double mem_spike_prob = 0.0;
+  Cycles mem_spike_cycles = 100;
+
+  // ---- Permanent core failures --------------------------------------
+
+  /// Number of cores (picked deterministically from the seed; never
+  /// core 0) that are dead for the whole run: they never execute
+  /// tasks, are never probe or migration targets, and always deny
+  /// probes. Their network interface stays alive — routers route
+  /// through them and homed lock/cell/group tables they host are still
+  /// serviced ("core-dead, NoC-alive").
+  std::uint32_t dead_cores = 0;
+  /// Explicitly disabled cores, unioned with the random picks. Core 0
+  /// (which runs the root task) is rejected by validate().
+  std::vector<net::CoreId> dead_core_list;
+
+  /// True when any fault can actually fire; a disabled plan costs the
+  /// engine nothing (the injector is not even constructed).
+  [[nodiscard]] bool enabled() const noexcept;
+
+  /// Throws std::invalid_argument on out-of-range probabilities, dead
+  /// core 0, dead cores out of range, or a plan that disables every
+  /// core but core 0's neighborsless island (num_cores - 1 cap).
+  void validate(std::uint32_t num_cores) const;
+
+  /// The resolved set of dead cores for an n-core machine: explicit
+  /// kills plus `dead_cores` deterministic seed-driven picks, sorted,
+  /// unique, never containing core 0, capped at n - 1 entries.
+  [[nodiscard]] std::vector<net::CoreId> dead_set(
+      std::uint32_t num_cores) const;
+};
+
+}  // namespace simany::fault

@@ -135,6 +135,79 @@ TEST(ConfigIo, SaveParseRoundTrip) {
   }
 }
 
+TEST(ConfigIo, FaultPlanKeys) {
+  std::stringstream in(
+      "cores 16\n"
+      "fault_seed 42\n"
+      "fault_msg_delay 0.1 300\n"
+      "fault_msg_dup 0.05\n"
+      "fault_msg_drop 0.02\n"
+      "fault_retry 6 80\n"
+      "fault_stall 0.2 700\n"
+      "fault_spawn_fail 0.15\n"
+      "fault_mem_spike 0.1 150\n"
+      "fault_dead_cores 2\n"
+      "fault_dead 7\n"
+      "fault_dead 11\n");
+  const auto cfg = parse_config(in);
+  EXPECT_EQ(cfg.fault.seed, 42u);
+  EXPECT_DOUBLE_EQ(cfg.fault.msg_delay_prob, 0.1);
+  EXPECT_EQ(cfg.fault.msg_delay_cycles, 300u);
+  EXPECT_DOUBLE_EQ(cfg.fault.msg_dup_prob, 0.05);
+  EXPECT_DOUBLE_EQ(cfg.fault.msg_drop_prob, 0.02);
+  EXPECT_EQ(cfg.fault.retry_limit, 6u);
+  EXPECT_EQ(cfg.fault.retry_timeout_cycles, 80u);
+  EXPECT_DOUBLE_EQ(cfg.fault.stall_prob, 0.2);
+  EXPECT_EQ(cfg.fault.stall_cycles, 700u);
+  EXPECT_DOUBLE_EQ(cfg.fault.spawn_fail_prob, 0.15);
+  EXPECT_DOUBLE_EQ(cfg.fault.mem_spike_prob, 0.1);
+  EXPECT_EQ(cfg.fault.mem_spike_cycles, 150u);
+  EXPECT_EQ(cfg.fault.dead_cores, 2u);
+  ASSERT_EQ(cfg.fault.dead_core_list.size(), 2u);
+  EXPECT_EQ(cfg.fault.dead_core_list[0], 7u);
+  EXPECT_EQ(cfg.fault.dead_core_list[1], 11u);
+  EXPECT_TRUE(cfg.fault.enabled());
+}
+
+TEST(ConfigIo, FaultPlanRoundTrip) {
+  ArchConfig original = ArchConfig::shared_mesh(16);
+  original.fault.seed = 7;
+  original.fault.msg_delay_prob = 0.25;
+  original.fault.msg_delay_cycles = 120;
+  original.fault.msg_drop_prob = 0.05;
+  original.fault.retry_limit = 4;
+  original.fault.retry_timeout_cycles = 60;
+  original.fault.stall_prob = 0.5;
+  original.fault.stall_cycles = 900;
+  original.fault.dead_cores = 3;
+  original.fault.dead_core_list = {2, 9};
+
+  std::stringstream ss;
+  save_config(original, ss);
+  const auto parsed = parse_config(ss);
+  EXPECT_EQ(parsed.fault.seed, original.fault.seed);
+  EXPECT_DOUBLE_EQ(parsed.fault.msg_delay_prob,
+                   original.fault.msg_delay_prob);
+  EXPECT_EQ(parsed.fault.msg_delay_cycles, original.fault.msg_delay_cycles);
+  EXPECT_DOUBLE_EQ(parsed.fault.msg_drop_prob,
+                   original.fault.msg_drop_prob);
+  EXPECT_EQ(parsed.fault.retry_limit, original.fault.retry_limit);
+  EXPECT_EQ(parsed.fault.retry_timeout_cycles,
+            original.fault.retry_timeout_cycles);
+  EXPECT_DOUBLE_EQ(parsed.fault.stall_prob, original.fault.stall_prob);
+  EXPECT_EQ(parsed.fault.stall_cycles, original.fault.stall_cycles);
+  EXPECT_EQ(parsed.fault.dead_cores, original.fault.dead_cores);
+  EXPECT_EQ(parsed.fault.dead_core_list, original.fault.dead_core_list);
+  // Identical dead sets => identical simulated machines.
+  EXPECT_EQ(parsed.fault.dead_set(16), original.fault.dead_set(16));
+}
+
+TEST(ConfigIo, FaultFreeConfigEmitsNoFaultBlock) {
+  std::stringstream ss;
+  save_config(ArchConfig::shared_mesh(4), ss);
+  EXPECT_EQ(ss.str().find("fault_"), std::string::npos);
+}
+
 TEST(ConfigIo, Errors) {
   std::stringstream no_cores("memory shared\n");
   EXPECT_THROW((void)parse_config(no_cores), std::runtime_error);
@@ -146,6 +219,8 @@ TEST(ConfigIo, Errors) {
   EXPECT_THROW((void)parse_config(bad_speed), std::runtime_error);
   std::stringstream zero_speed("cores 4\nspeed 0 0/1\n");
   EXPECT_THROW((void)parse_config(zero_speed), std::runtime_error);
+  std::stringstream bad_prob("cores 4\nfault_msg_drop 1.5\n");
+  EXPECT_THROW((void)parse_config(bad_prob), std::runtime_error);
   EXPECT_THROW((void)load_config_file("/nonexistent/x.cfg"),
                std::runtime_error);
 }

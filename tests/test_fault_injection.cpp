@@ -1,0 +1,424 @@
+// Deterministic fault injection (src/fault).
+//
+// Covers the full contract of the fault subsystem:
+//   * determinism — same (seed, fault plan) gives bit-identical results
+//     on the sequential and parallel hosts (1-shard parallel ==
+//     sequential; fixed shard count is thread-count invariant), across
+//     all four standard topologies, with fault counters in the
+//     fingerprint;
+//   * masking — drops are absorbed by retry/backoff and runs complete;
+//   * unmaskable faults — a 100%-drop plan exhausts the retry budget
+//     and surfaces a clean SimError with structured fault context,
+//     never a hang;
+//   * graceful degradation — permanently dead cores do no task work,
+//     deny every probe, and the remaining cores still finish the dwarf;
+//   * the deadlock analyzer distinguishes an all-dead partition from a
+//     protocol deadlock;
+//   * all simcheck invariants hold while faults fire;
+//   * the injector itself draws reproducibly and per-stream.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "check/deadlock.h"
+#include "check/invariant_checker.h"
+#include "config/arch_config.h"
+#include "core/engine.h"
+#include "core/sim_error.h"
+#include "dwarfs/dwarfs.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "net/topology.h"
+
+namespace simany {
+namespace {
+
+constexpr double kTiny = 0.05;
+
+/// A mixed plan with every fault class armed at rates a small dwarf
+/// can absorb. Drops stay maskable: retry_limit 8 at p=0.05 makes an
+/// exhausted budget astronomically unlikely.
+fault::FaultPlan mixed_plan(std::uint64_t seed) {
+  fault::FaultPlan p;
+  p.seed = seed;
+  p.msg_delay_prob = 0.10;
+  p.msg_dup_prob = 0.05;
+  p.msg_drop_prob = 0.05;
+  p.stall_prob = 0.10;
+  p.spawn_fail_prob = 0.05;
+  p.mem_spike_prob = 0.05;
+  return p;
+}
+
+/// Reproducible results, fault telemetry included: any divergence in
+/// fault draws shows up directly in the counters, and any knock-on
+/// timing divergence in per-core busy ticks.
+struct Fingerprint {
+  Tick completion;
+  std::uint64_t spawned, migrated, messages, stalls;
+  std::uint64_t faults, delayed, duplicated, dropped, retries;
+  std::uint64_t core_stalls, spawn_denials, mem_spikes;
+  std::vector<Tick> core_busy;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+Fingerprint fingerprint(const SimStats& s) {
+  return Fingerprint{s.completion_ticks,    s.tasks_spawned,
+                     s.tasks_migrated,      s.messages,
+                     s.sync_stalls,         s.faults_injected,
+                     s.fault_msgs_delayed,  s.fault_msgs_duplicated,
+                     s.fault_msgs_dropped,  s.fault_msg_retries,
+                     s.fault_core_stalls,   s.fault_spawn_denials,
+                     s.fault_mem_spikes,    s.core_busy_ticks};
+}
+
+ArchConfig topo_config(const std::string& topo) {
+  if (topo == "shared_mesh") return ArchConfig::shared_mesh(16);
+  if (topo == "distributed_mesh") return ArchConfig::distributed_mesh(16);
+  if (topo == "clustered") {
+    return ArchConfig::clustered(ArchConfig::shared_mesh(16), 4);
+  }
+  ArchConfig cfg = ArchConfig::shared_mesh(8);
+  cfg.topology = net::Topology::ring(8);
+  return cfg;  // "ring"
+}
+
+Fingerprint run_once(const std::string& topo, const char* dwarf,
+                     const fault::FaultPlan& plan, HostMode mode,
+                     std::uint32_t threads, std::uint32_t shards) {
+  ArchConfig cfg = topo_config(topo);
+  cfg.fault = plan;
+  cfg.host.mode = mode;
+  cfg.host.threads = threads;
+  cfg.host.shards = shards;
+  Engine sim(cfg);
+  return fingerprint(
+      sim.run(dwarfs::dwarf_by_name(dwarf).make_root(17, kTiny)));
+}
+
+// ---------------------------------------------------------------------
+// Chaos suite: cross-host bit-identity under faults, all topologies.
+// ---------------------------------------------------------------------
+
+class FaultChaos
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+};
+
+TEST_P(FaultChaos, OneShardParallelMatchesSequentialUnderFaults) {
+  const auto [topo, dwarf] = GetParam();
+  const fault::FaultPlan plan = mixed_plan(23);
+  const Fingerprint seq =
+      run_once(topo, dwarf, plan, HostMode::kSequential, 1, 1);
+  EXPECT_GT(seq.faults, 0u) << topo << "/" << dwarf
+                            << ": plan never fired; test is vacuous";
+  for (std::uint32_t threads : {1u, 2u, 4u}) {
+    const Fingerprint par =
+        run_once(topo, dwarf, plan, HostMode::kParallel, threads, 1);
+    EXPECT_TRUE(seq == par)
+        << topo << "/" << dwarf << " with " << threads << " threads";
+  }
+}
+
+TEST_P(FaultChaos, FixedShardCountIsThreadInvariantUnderFaults) {
+  const auto [topo, dwarf] = GetParam();
+  const fault::FaultPlan plan = mixed_plan(23);
+  const Fingerprint base =
+      run_once(topo, dwarf, plan, HostMode::kParallel, 1, 4);
+  for (std::uint32_t threads : {2u, 4u}) {
+    const Fingerprint par =
+        run_once(topo, dwarf, plan, HostMode::kParallel, threads, 4);
+    EXPECT_TRUE(base == par)
+        << topo << "/" << dwarf << " with " << threads << " threads";
+  }
+}
+
+TEST_P(FaultChaos, RunToRunReproducible) {
+  const auto [topo, dwarf] = GetParam();
+  const fault::FaultPlan plan = mixed_plan(29);
+  const Fingerprint a =
+      run_once(topo, dwarf, plan, HostMode::kSequential, 1, 1);
+  const Fingerprint b =
+      run_once(topo, dwarf, plan, HostMode::kSequential, 1, 1);
+  EXPECT_TRUE(a == b) << topo << "/" << dwarf;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, FaultChaos,
+    ::testing::Combine(::testing::Values("shared_mesh", "distributed_mesh",
+                                         "ring", "clustered"),
+                       ::testing::Values("spmxv", "quicksort")),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, const char*>>&
+           info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             std::get<1>(info.param);
+    });
+
+// ---------------------------------------------------------------------
+// Masking and unmaskable failures.
+// ---------------------------------------------------------------------
+
+TEST(FaultMasking, HeavyDropPlanStillCompletes) {
+  fault::FaultPlan plan;
+  plan.seed = 5;
+  plan.msg_drop_prob = 0.25;  // every 4th attempt lost, masked by retry
+  ArchConfig cfg = ArchConfig::distributed_mesh(16);
+  cfg.fault = plan;
+  Engine sim(cfg);
+  const SimStats st =
+      sim.run(dwarfs::dwarf_by_name("spmxv").make_root(17, kTiny));
+  EXPECT_GT(st.completion_ticks, 0u);
+  EXPECT_GT(st.fault_msgs_dropped, 0u);
+  EXPECT_GE(st.fault_msg_retries, st.fault_msgs_dropped);
+}
+
+TEST(FaultMasking, DifferentSeedsGiveDifferentOutcomes) {
+  const Fingerprint a = run_once("distributed_mesh", "spmxv", mixed_plan(1),
+                                 HostMode::kSequential, 1, 1);
+  const Fingerprint b = run_once("distributed_mesh", "spmxv", mixed_plan(2),
+                                 HostMode::kSequential, 1, 1);
+  EXPECT_FALSE(a == b) << "independent fault seeds produced identical runs";
+}
+
+TEST(FaultMasking, UnmaskablePlanRaisesSimErrorWithContext) {
+  fault::FaultPlan plan;
+  plan.seed = 9;
+  plan.msg_drop_prob = 1.0;  // every attempt lost: retries cannot mask
+  plan.retry_limit = 3;
+  ArchConfig cfg = ArchConfig::distributed_mesh(16);
+  cfg.fault = plan;
+  Engine sim(cfg);
+  try {
+    (void)sim.run(dwarfs::dwarf_by_name("spmxv").make_root(17, kTiny));
+    FAIL() << "100% drop plan completed instead of raising SimError";
+  } catch (const SimError& e) {
+    const SimError::Context& ctx = e.context();
+    EXPECT_EQ(ctx.cause, "msg-retry-exhausted");
+    EXPECT_EQ(ctx.detail, plan.retry_limit + 1u);  // attempts made
+    EXPECT_EQ(ctx.fault_seed, plan.seed);
+    EXPECT_NE(ctx.core, ~0u);
+    EXPECT_NE(ctx.peer, ~0u);
+    EXPECT_NE(std::string(e.what()).find("retry"), std::string::npos);
+  }
+}
+
+TEST(FaultMasking, UnmaskableFailureIsIdenticalOnParallelHost) {
+  fault::FaultPlan plan;
+  plan.seed = 9;
+  plan.msg_drop_prob = 1.0;
+  plan.retry_limit = 3;
+  ArchConfig cfg = ArchConfig::distributed_mesh(16);
+  cfg.fault = plan;
+  cfg.host.mode = HostMode::kParallel;
+  cfg.host.threads = 2;
+  cfg.host.shards = 1;
+  Engine sim(cfg);
+  EXPECT_THROW(
+      (void)sim.run(dwarfs::dwarf_by_name("spmxv").make_root(17, kTiny)),
+      SimError);
+}
+
+// ---------------------------------------------------------------------
+// Dead cores: graceful degradation & diagnosis.
+// ---------------------------------------------------------------------
+
+TEST(FaultDeadCores, DwarfCompletesWithDeadCores) {
+  fault::FaultPlan plan;
+  plan.seed = 41;
+  plan.dead_cores = 3;
+  ArchConfig cfg = ArchConfig::shared_mesh(16);
+  cfg.fault = plan;
+  Engine sim(cfg);
+  const SimStats st =
+      sim.run(dwarfs::dwarf_by_name("quicksort").make_root(17, kTiny));
+  EXPECT_GT(st.completion_ticks, 0u);
+  EXPECT_EQ(st.fault_dead_cores, 3u);
+
+  // Work was remapped: the dead cores executed nothing.
+  const auto dead = plan.dead_set(16);
+  ASSERT_EQ(dead.size(), 3u);
+  for (const net::CoreId c : dead) {
+    EXPECT_EQ(st.core_busy_ticks[c], 0u) << "dead core " << c << " ran work";
+  }
+}
+
+TEST(FaultDeadCores, ExplicitDeadListIsHonored) {
+  fault::FaultPlan plan;
+  plan.seed = 1;
+  plan.dead_core_list = {5, 10};
+  ArchConfig cfg = ArchConfig::shared_mesh(16);
+  cfg.fault = plan;
+  Engine sim(cfg);
+  const SimStats st =
+      sim.run(dwarfs::dwarf_by_name("spmxv").make_root(17, kTiny));
+  EXPECT_EQ(st.fault_dead_cores, 2u);
+  EXPECT_EQ(st.core_busy_ticks[5], 0u);
+  EXPECT_EQ(st.core_busy_ticks[10], 0u);
+}
+
+TEST(FaultDeadCores, DeadSetIsDeterministicAndExcludesCoreZero) {
+  fault::FaultPlan plan;
+  plan.seed = 77;
+  plan.dead_cores = 6;
+  const auto a = plan.dead_set(16);
+  const auto b = plan.dead_set(16);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 6u);
+  for (const net::CoreId c : a) {
+    EXPECT_NE(c, 0u) << "core 0 (the root's home) must never die";
+    EXPECT_LT(c, 16u);
+  }
+}
+
+TEST(FaultDeadCores, AnalyzerDistinguishesAllDeadPartition) {
+  const net::Topology topo = net::Topology::ring(4);
+
+  EngineInspect state;
+  state.drift_ticks = 100;
+  state.live_tasks = 1;
+  state.cores.resize(4);
+  for (std::uint32_t i = 0; i < 4; ++i) state.cores[i].id = i;
+  state.cores[2].dead = true;
+  state.cores[2].queue_len = 1;  // the only pending work sits on a corpse
+
+  const check::DeadlockReport dead_rep =
+      check::analyze_deadlock(state, topo);
+  EXPECT_TRUE(dead_rep.all_dead_partition);
+  EXPECT_NE(dead_rep.summary.find("all-dead partition"), std::string::npos);
+  EXPECT_NE(dead_rep.summary.find("not a protocol deadlock"),
+            std::string::npos);
+
+  // Control: the same stall with the work on a *live* core is a real
+  // protocol deadlock, not an injected failure mode.
+  state.cores[2].dead = false;
+  const check::DeadlockReport live_rep =
+      check::analyze_deadlock(state, topo);
+  EXPECT_FALSE(live_rep.all_dead_partition);
+  EXPECT_NE(live_rep.summary.find("simulated deadlock"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Invariants hold while faults fire.
+// ---------------------------------------------------------------------
+
+TEST(FaultInvariants, AllSimcheckInvariantsHoldUnderMixedFaults) {
+  ArchConfig cfg = ArchConfig::distributed_mesh(16);
+  cfg.fault = mixed_plan(13);
+  cfg.fault.dead_cores = 2;
+  Engine sim(cfg);
+  check::InvariantChecker checker;
+  checker.attach(sim);
+  const SimStats st =
+      sim.run(dwarfs::dwarf_by_name("quicksort").make_root(17, kTiny));
+  EXPECT_TRUE(checker.violations().empty());
+  EXPECT_GT(checker.checks_performed(), 0u);
+  EXPECT_GT(checker.faults_observed(), 0u)
+      << "checker never saw a fault: invariants were not tested under load";
+  EXPECT_EQ(st.faults_injected, checker.faults_observed());
+}
+
+TEST(FaultInvariants, CheckerHoldsUnderTightDriftWithStalls) {
+  ArchConfig cfg = ArchConfig::shared_mesh(16);
+  cfg.drift_t_cycles = 5;  // maximum spatial-sync pressure
+  cfg.fault.seed = 3;
+  cfg.fault.stall_prob = 0.3;
+  cfg.fault.stall_cycles = 200;
+  Engine sim(cfg);
+  check::InvariantChecker checker;
+  checker.attach(sim);
+  (void)sim.run(dwarfs::dwarf_by_name("spmxv").make_root(17, kTiny));
+  EXPECT_TRUE(checker.violations().empty());
+}
+
+// ---------------------------------------------------------------------
+// Plan validation & injector unit behavior.
+// ---------------------------------------------------------------------
+
+TEST(FaultPlanValidate, RejectsMalformedPlans) {
+  fault::FaultPlan p;
+  p.msg_drop_prob = 1.5;
+  EXPECT_THROW(p.validate(16), std::invalid_argument);
+
+  p = {};
+  p.msg_delay_prob = 0.5;
+  p.msg_delay_cycles = 0;  // armed fault with no magnitude
+  EXPECT_THROW(p.validate(16), std::invalid_argument);
+
+  p = {};
+  p.dead_core_list = {0};  // the root's core must stay alive
+  EXPECT_THROW(p.validate(16), std::invalid_argument);
+
+  p = {};
+  p.dead_cores = 16;  // nobody left to run anything
+  EXPECT_THROW(p.validate(16), std::invalid_argument);
+
+  p = {};
+  p.dead_core_list = {99};
+  EXPECT_THROW(p.validate(16), std::invalid_argument);
+
+  EXPECT_NO_THROW(fault::FaultPlan{}.validate(16));
+  EXPECT_NO_THROW(mixed_plan(1).validate(16));
+}
+
+TEST(FaultInjectorUnit, MessageDrawsAreReproducible) {
+  const net::Topology topo = net::Topology::mesh2d(16);
+  const net::Network net(topo);
+  const fault::FaultPlan plan = mixed_plan(55);
+
+  auto sequence = [&] {
+    fault::FaultInjector inj(plan, 16);
+    inj.bind_shards(1);
+    net::Network::Lane lane = net.make_lane();
+    std::vector<Tick> arrivals;
+    for (int i = 0; i < 200; ++i) {
+      const fault::MsgFaults f = inj.on_message(
+          net, lane, 0, static_cast<net::CoreId>(i % 16),
+          static_cast<net::CoreId>((i * 7 + 1) % 16), 64,
+          static_cast<Tick>(i * 100));
+      arrivals.push_back(f.arrival);
+    }
+    return arrivals;
+  };
+  EXPECT_EQ(sequence(), sequence());
+}
+
+TEST(FaultInjectorUnit, PerCoreStreamsAreIndependent) {
+  fault::FaultPlan plan;
+  plan.seed = 8;
+  plan.stall_prob = 0.5;
+  plan.stall_cycles = 100;
+  fault::FaultInjector a(plan, 16);
+  fault::FaultInjector b(plan, 16);
+  // Interleaving draws across cores must not perturb either stream.
+  std::vector<Tick> seq_a;
+  std::vector<Tick> seq_b;
+  for (int i = 0; i < 50; ++i) {
+    seq_a.push_back(a.draw_task_stall(3));
+    (void)a.draw_task_stall(7);  // traffic on another core's stream
+  }
+  for (int i = 0; i < 50; ++i) {
+    seq_b.push_back(b.draw_task_stall(3));
+  }
+  EXPECT_EQ(seq_a, seq_b);
+}
+
+TEST(FaultInjectorUnit, LocalSendsAreNeverFaulted) {
+  const net::Topology topo = net::Topology::mesh2d(16);
+  const net::Network net(topo);
+  fault::FaultPlan plan;
+  plan.seed = 2;
+  plan.msg_drop_prob = 1.0;  // would kill any networked message
+  fault::FaultInjector inj(plan, 16);
+  inj.bind_shards(1);
+  net::Network::Lane lane = net.make_lane();
+  const fault::MsgFaults f = inj.on_message(net, lane, 0, 4, 4, 64, 1000);
+  EXPECT_EQ(f.retries, 0u);
+  EXPECT_EQ(f.duplicates, 0u);
+  EXPECT_EQ(f.delay, 0u);
+}
+
+}  // namespace
+}  // namespace simany

@@ -1,0 +1,114 @@
+// Golden-trace regression tests.
+//
+// The engine's trace.h event stream for a fixed (dwarf, architecture,
+// seed) is part of the determinism contract: any change to scheduling,
+// timing or protocol order shows up as a diff against a committed
+// golden CSV. When a change is *intentional*, regenerate the goldens:
+//
+//   ./test_golden_trace --update-goldens
+//
+// then review and commit the updated files under tests/goldens/.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "config/arch_config.h"
+#include "core/engine.h"
+#include "dwarfs/dwarfs.h"
+#include "stats/trace_sinks.h"
+
+namespace simany {
+namespace {
+
+bool g_update_goldens = false;
+
+std::string golden_path(const std::string& name) {
+  return std::string(SIMANY_GOLDEN_DIR) + "/" + name + ".csv";
+}
+
+/// Runs `dwarf` on a small shared mesh under a fixed seed and returns
+/// the full CSV event trace.
+std::string capture_trace(const char* dwarf) {
+  ArchConfig cfg = ArchConfig::shared_mesh(8);
+  Engine sim(cfg);
+  std::ostringstream csv_out;
+  stats::CsvTrace csv(csv_out);
+  sim.set_trace(&csv);
+  (void)sim.run(dwarfs::dwarf_by_name(dwarf).make_root(17, 0.05));
+  return csv_out.str();
+}
+
+/// Point at the first differing line so a regression reads as "event N
+/// changed", not as a wall of CSV.
+void expect_matches_golden(const std::string& name,
+                           const std::string& actual) {
+  const std::string path = golden_path(name);
+  if (g_update_goldens) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+    out << actual;
+    GTEST_SKIP() << "updated golden " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << path
+      << " — run test_golden_trace --update-goldens and commit the result";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string expected = buf.str();
+  if (expected == actual) return;
+
+  std::istringstream want(expected);
+  std::istringstream got(actual);
+  std::string want_line;
+  std::string got_line;
+  std::size_t lineno = 0;
+  while (true) {
+    const bool have_want = static_cast<bool>(std::getline(want, want_line));
+    const bool have_got = static_cast<bool>(std::getline(got, got_line));
+    ++lineno;
+    if (!have_want && !have_got) break;
+    if (!have_want || !have_got || want_line != got_line) {
+      FAIL() << "trace for " << name << " diverges from " << path
+             << " at line " << lineno << "\n  golden: "
+             << (have_want ? want_line : "<end of file>")
+             << "\n  actual: " << (have_got ? got_line : "<end of file>")
+             << "\nIf the change is intentional, rerun with "
+                "--update-goldens and commit the new golden.";
+    }
+  }
+  FAIL() << "trace for " << name << " differs from golden " << path
+         << " (same line count, unequal content)";
+}
+
+TEST(GoldenTrace, SpmxvEventStreamIsStable) {
+  expect_matches_golden("spmxv_mesh8_seed17", capture_trace("spmxv"));
+}
+
+TEST(GoldenTrace, QuicksortEventStreamIsStable) {
+  expect_matches_golden("quicksort_mesh8_seed17", capture_trace("quicksort"));
+}
+
+TEST(GoldenTrace, CaptureIsReproducibleInProcess) {
+  EXPECT_EQ(capture_trace("spmxv"), capture_trace("spmxv"));
+}
+
+}  // namespace
+}  // namespace simany
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-goldens") == 0) {
+      simany::g_update_goldens = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -11,6 +11,8 @@
 
 #include <atomic>
 #include <memory>
+#include <string>
+#include <tuple>
 
 #include "config/arch_config.h"
 #include "core/engine.h"
@@ -30,7 +32,10 @@ struct ProgramState {
   std::vector<LockId> locks;
   std::vector<CellId> cells;
   GroupId group = kInvalidGroup;
-  std::uint64_t work_done = 0;  // host-side verification counter
+  /// Host-side verification counter. Atomic because parallel-host
+  /// worker threads run task bodies concurrently; relaxed ordering is
+  /// enough for a sum checked after run() joins the workers.
+  std::atomic<std::uint64_t> work_done{0};
 };
 
 // One node of the random task tree. `tag` uniquely identifies the node
@@ -43,7 +48,7 @@ void random_task(TaskCtx& ctx, const std::shared_ptr<ProgramState>& st,
 
   const auto work = 1 + rng.below(200);
   ctx.compute(static_cast<Cycles>(work));
-  st->work_done += tag;
+  st->work_done.fetch_add(tag, std::memory_order_relaxed);
 
   if (rng.chance(0.4) && !st->locks.empty()) {
     const LockId lk = st->locks[rng.below(st->locks.size())];
@@ -93,7 +98,7 @@ RunOutcome run_random_program(const ProgramShape& shape, ArchConfig cfg) {
     random_task(ctx, st, shape, 1, 0);
     ctx.join(st->group);
   });
-  return RunOutcome{stats.completion_ticks, st->work_done};
+  return RunOutcome{stats.completion_ticks, st->work_done.load()};
 }
 
 class RandomPrograms : public ::testing::TestWithParam<std::uint64_t> {};
@@ -151,11 +156,81 @@ TEST_P(RandomPrograms, CompletesOnCycleLevel) {
     random_task(ctx, st, shape, 1, 0);
     ctx.join(st->group);
   });
-  EXPECT_GT(st->work_done, 0u);
+  EXPECT_GT(st->work_done.load(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------
+// Cross-host property sweep (labeled `chaos` in CMake): for each seed,
+// with and without an armed fault plan, the schedule-independent
+// computation (work_done) agrees across the sequential host and the
+// parallel host at 1/2/4 shards, the 1-shard parallel run matches the
+// sequential virtual time bit-for-bit, and every configuration is
+// reproducible run-to-run.
+// ---------------------------------------------------------------------
+
+ArchConfig cross_host_config(bool faults) {
+  ArchConfig cfg = ArchConfig::distributed_mesh(16);
+  if (faults) {
+    cfg.fault.seed = 101;
+    cfg.fault.msg_delay_prob = 0.1;
+    cfg.fault.msg_dup_prob = 0.05;
+    cfg.fault.msg_drop_prob = 0.05;
+    cfg.fault.stall_prob = 0.1;
+    cfg.fault.spawn_fail_prob = 0.05;
+    cfg.fault.mem_spike_prob = 0.05;
+  }
+  return cfg;
+}
+
+class CrossHost
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool>> {};
+
+TEST_P(CrossHost, WorkAgreesAndTimingIsShardDeterministic) {
+  const auto [seed, faults] = GetParam();
+  ProgramShape shape;
+  shape.seed = seed;
+
+  const RunOutcome seq =
+      run_random_program(shape, cross_host_config(faults));
+  EXPECT_GT(seq.work, 0u);
+
+  for (const std::uint32_t shards : {1u, 2u, 4u}) {
+    ArchConfig cfg = cross_host_config(faults);
+    cfg.host.mode = HostMode::kParallel;
+    cfg.host.threads = 2;
+    cfg.host.shards = shards;
+    const RunOutcome par = run_random_program(shape, cfg);
+
+    // The computation is schedule-independent everywhere...
+    EXPECT_EQ(par.work, seq.work)
+        << "seed " << seed << ", shards " << shards
+        << (faults ? ", faults on" : ", faults off");
+    // ...and the simulated timing is a pure function of the shard
+    // count: 1 shard degenerates to the sequential engine, and every
+    // configuration reproduces itself exactly.
+    if (shards == 1) {
+      EXPECT_EQ(par.vt, seq.vt) << "seed " << seed
+                                << (faults ? ", faults on" : ", faults off");
+    }
+    const RunOutcome again = run_random_program(shape, cfg);
+    EXPECT_EQ(again.vt, par.vt)
+        << "seed " << seed << ", shards " << shards << " not reproducible";
+    EXPECT_EQ(again.work, par.work);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByFaults, CrossHost,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 7),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<std::uint64_t, bool>>&
+           info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_faulty" : "_clean");
+    });
 
 }  // namespace
 }  // namespace simany

@@ -25,9 +25,20 @@ import math
 import sys
 
 
-def load(path):
-    with open(path) as f:
-        return json.load(f)
+def load(path, role):
+    """Parsed JSON, or None (with a warning) when a *baseline* is
+    absent or unreadable — a fresh branch has no baseline yet and must
+    not crash the gate. A missing *current* run means the benchmarks
+    never ran: that is always a hard error."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        if role == "baseline":
+            print(f"warning: baseline {path} unusable ({e}); "
+                  "skipping gate", file=sys.stderr)
+            return None
+        sys.exit(f"current run {path} unusable: {e}")
 
 
 class Gate:
@@ -64,12 +75,18 @@ class Gate:
         return 0
 
 
-def micro_metrics(doc, reference):
+def micro_metrics(doc, reference, role):
     """{name: normalized_time} and {name/counter: value} maps."""
     times = {}
     counters = {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
+            continue
+        # Entries without a name or timing are malformed; a crash here
+        # would hide every healthy metric in the same file.
+        if "name" not in b or "real_time" not in b:
+            print(f"warning: {role} entry missing name/real_time, "
+                  f"skipped: {b}", file=sys.stderr)
             continue
         times[b["name"]] = float(b["real_time"])
         for key, val in b.items():
@@ -77,14 +94,24 @@ def micro_metrics(doc, reference):
                 counters[f"{b['name']}/{key}"] = float(val)
     ref = times.get(reference)
     if ref is None or ref <= 0.0:
+        if role == "baseline":
+            print(f"warning: reference benchmark '{reference}' missing "
+                  "from baseline; skipping gate", file=sys.stderr)
+            return None, None
         sys.exit(f"reference benchmark '{reference}' missing from run")
     normalized = {n: t / ref for n, t in times.items() if n != reference}
     return normalized, counters
 
 
 def gate_micro(args):
-    base_norm, base_ctr = micro_metrics(load(args.baseline), args.reference)
-    cur_norm, cur_ctr = micro_metrics(load(args.current), args.reference)
+    base_doc = load(args.baseline, "baseline")
+    if base_doc is None:
+        return 0
+    base_norm, base_ctr = micro_metrics(base_doc, args.reference, "baseline")
+    if base_norm is None:
+        return 0
+    cur_norm, cur_ctr = micro_metrics(load(args.current, "current"),
+                                      args.reference, "current")
     gate = Gate(args.threshold)
     for name, base in sorted(base_norm.items()):
         if name not in cur_norm:
@@ -98,9 +125,17 @@ def gate_micro(args):
     return gate.report("micro")
 
 
-def fig07_series(doc):
+def fig07_series(doc, role):
     out = {}
-    for s in doc["table"]["series"]:
+    series = doc.get("table", {}).get("series")
+    if not series:
+        print(f"warning: {role} has no table.series data", file=sys.stderr)
+        return out
+    for s in series:
+        if "name" not in s or "y" not in s:
+            print(f"warning: {role} series missing name/y, skipped: {s}",
+                  file=sys.stderr)
+            continue
         ys = [y for y in s["y"] if y > 0.0]
         if ys:
             out[s["name"]] = math.exp(sum(math.log(y) for y in ys) / len(ys))
@@ -108,8 +143,15 @@ def fig07_series(doc):
 
 
 def gate_fig07(args):
-    base = fig07_series(load(args.baseline))
-    cur = fig07_series(load(args.current))
+    base_doc = load(args.baseline, "baseline")
+    if base_doc is None:
+        return 0
+    base = fig07_series(base_doc, "baseline")
+    if not base:
+        print("warning: baseline holds no usable series; skipping gate",
+              file=sys.stderr)
+        return 0
+    cur = fig07_series(load(args.current, "current"), "current")
     gate = Gate(args.threshold)
     for name, b in sorted(base.items()):
         if name not in cur:

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_gate.py: the gate must skip-with-warning on a
+missing or degenerate baseline, survive malformed entries, and still
+catch real regressions."""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_gate  # noqa: E402
+
+
+def micro_doc(times, counters=None):
+    benchmarks = []
+    for name, t in times.items():
+        b = {"name": name, "real_time": t}
+        b.update((counters or {}).get(name, {}))
+        benchmarks.append(b)
+    return {"benchmarks": benchmarks}
+
+
+def fig07_doc(series):
+    return {"table": {"series": [{"name": n, "y": ys}
+                                 for n, ys in series.items()]}}
+
+
+class TempJson:
+    """Writes docs to a temp dir and hands back their paths."""
+
+    def __init__(self):
+        self.dir = tempfile.TemporaryDirectory()
+
+    def write(self, name, doc):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def path(self, name):  # a path that never exists
+        return os.path.join(self.dir.name, name)
+
+
+def micro_args(baseline, current, threshold=0.15):
+    return argparse.Namespace(baseline=baseline, current=current,
+                              threshold=threshold,
+                              reference="BM_CostModelBlock")
+
+
+def fig07_args(baseline, current, threshold=0.15):
+    return argparse.Namespace(baseline=baseline, current=current,
+                              threshold=threshold)
+
+
+class MicroGateTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = TempJson()
+        self.addCleanup(self.tmp.dir.cleanup)
+
+    def test_missing_baseline_file_skips_with_warning(self):
+        cur = self.tmp.write("cur.json", micro_doc(
+            {"BM_CostModelBlock": 1.0, "BM_Spawn": 2.0}))
+        rc = bench_gate.gate_micro(
+            micro_args(self.tmp.path("absent.json"), cur))
+        self.assertEqual(rc, 0)
+
+    def test_corrupt_baseline_file_skips_with_warning(self):
+        bad = self.tmp.path("bad.json")
+        with open(bad, "w") as f:
+            f.write("{not json")
+        cur = self.tmp.write("cur.json", micro_doc(
+            {"BM_CostModelBlock": 1.0}))
+        self.assertEqual(bench_gate.gate_micro(micro_args(bad, cur)), 0)
+
+    def test_empty_baseline_skips_with_warning(self):
+        base = self.tmp.write("base.json", {"benchmarks": []})
+        cur = self.tmp.write("cur.json", micro_doc(
+            {"BM_CostModelBlock": 1.0, "BM_Spawn": 2.0}))
+        self.assertEqual(bench_gate.gate_micro(micro_args(base, cur)), 0)
+
+    def test_malformed_baseline_entry_is_skipped_not_fatal(self):
+        base = micro_doc({"BM_CostModelBlock": 1.0, "BM_Spawn": 2.0})
+        base["benchmarks"].append({"run_type": "iteration"})  # no name/time
+        basep = self.tmp.write("base.json", base)
+        cur = self.tmp.write("cur.json", micro_doc(
+            {"BM_CostModelBlock": 1.0, "BM_Spawn": 2.0}))
+        self.assertEqual(bench_gate.gate_micro(micro_args(basep, cur)), 0)
+
+    def test_missing_current_file_is_fatal(self):
+        base = self.tmp.write("base.json", micro_doc(
+            {"BM_CostModelBlock": 1.0, "BM_Spawn": 2.0}))
+        with self.assertRaises(SystemExit):
+            bench_gate.gate_micro(
+                micro_args(base, self.tmp.path("absent.json")))
+
+    def test_regression_still_detected(self):
+        base = self.tmp.write("base.json", micro_doc(
+            {"BM_CostModelBlock": 1.0, "BM_Spawn": 2.0}))
+        cur = self.tmp.write("cur.json", micro_doc(
+            {"BM_CostModelBlock": 1.0, "BM_Spawn": 3.0}))  # +50%
+        self.assertEqual(bench_gate.gate_micro(micro_args(base, cur)), 1)
+
+    def test_within_threshold_passes(self):
+        base = self.tmp.write("base.json", micro_doc(
+            {"BM_CostModelBlock": 1.0, "BM_Spawn": 2.0}))
+        cur = self.tmp.write("cur.json", micro_doc(
+            {"BM_CostModelBlock": 1.0, "BM_Spawn": 2.1}))  # +5%
+        self.assertEqual(bench_gate.gate_micro(micro_args(base, cur)), 0)
+
+
+class Fig07GateTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = TempJson()
+        self.addCleanup(self.tmp.dir.cleanup)
+
+    def test_missing_baseline_file_skips_with_warning(self):
+        cur = self.tmp.write("cur.json", fig07_doc({"mesh": [1.0, 2.0]}))
+        rc = bench_gate.gate_fig07(
+            fig07_args(self.tmp.path("absent.json"), cur))
+        self.assertEqual(rc, 0)
+
+    def test_baseline_without_series_skips_with_warning(self):
+        base = self.tmp.write("base.json", {"table": {}})
+        cur = self.tmp.write("cur.json", fig07_doc({"mesh": [1.0]}))
+        self.assertEqual(bench_gate.gate_fig07(fig07_args(base, cur)), 0)
+
+    def test_malformed_series_entry_is_skipped_not_fatal(self):
+        doc = fig07_doc({"mesh": [1.0, 2.0]})
+        doc["table"]["series"].append({"y": [3.0]})  # nameless series
+        base = self.tmp.write("base.json", doc)
+        cur = self.tmp.write("cur.json", fig07_doc({"mesh": [1.0, 2.0]}))
+        self.assertEqual(bench_gate.gate_fig07(fig07_args(base, cur)), 0)
+
+    def test_regression_still_detected(self):
+        base = self.tmp.write("base.json", fig07_doc({"mesh": [1.0, 1.0]}))
+        cur = self.tmp.write("cur.json", fig07_doc({"mesh": [2.0, 2.0]}))
+        self.assertEqual(bench_gate.gate_fig07(fig07_args(base, cur)), 1)
+
+    def test_disappeared_series_fails(self):
+        base = self.tmp.write("base.json",
+                              fig07_doc({"mesh": [1.0], "ring": [1.0]}))
+        cur = self.tmp.write("cur.json", fig07_doc({"mesh": [1.0]}))
+        self.assertEqual(bench_gate.gate_fig07(fig07_args(base, cur)), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
