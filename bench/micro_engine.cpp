@@ -14,6 +14,7 @@
 #include "mem/pessimistic_l1.h"
 #include "mem/setassoc_cache.h"
 #include "net/network.h"
+#include "obs/telemetry.h"
 #include "timing/cost_model.h"
 
 using namespace simany;
@@ -140,6 +141,36 @@ void BM_HostRound(benchmark::State& state) {
       static_cast<double>(rounds) / static_cast<double>(state.iterations()));
 }
 BENCHMARK(BM_HostRound)->Arg(0)->Arg(4)->Arg(8);
+
+void BM_Telemetry(benchmark::State& state) {
+  // Cost of the telemetry layer on the probe/spawn/join workload. Arg 0
+  // runs with no Telemetry attached and guards the telemetry-off fast
+  // path: every engine hook is a single `telemetry_ != nullptr` check,
+  // so this must track BM_ProbeSpawnJoin. Arg 1 attaches a Telemetry
+  // (events on, no sampling) and reports how many events one run emits
+  // (`obs_events_per_run`), pricing the instrumented path.
+  const bool attached = state.range(0) != 0;
+  const int tasks = 1000;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    Engine sim(ArchConfig::shared_mesh(16));
+    obs::Telemetry telemetry;
+    if (attached) sim.set_telemetry(&telemetry);
+    (void)sim.run([tasks](TaskCtx& ctx) {
+      const GroupId g = ctx.make_group();
+      for (int i = 0; i < tasks; ++i) {
+        spawn_or_run(ctx, g, [](TaskCtx& c) { c.compute(1); });
+      }
+      ctx.join(g);
+    });
+    events += telemetry.events().size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          tasks);
+  state.counters["obs_events_per_run"] = benchmark::Counter(
+      static_cast<double>(events) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_Telemetry)->Arg(0)->Arg(1);
 
 void BM_NetworkSend(benchmark::State& state) {
   const auto topo = net::Topology::mesh2d(1024);

@@ -17,7 +17,14 @@
 //   --factor <f>          dataset scale (default 0.1)
 //   --seed <s>            dataset seed (default 1)
 //   --cycle-level         run the conservative reference simulator
-//   --trace <file>        write a CSV event trace
+//   --trace <file>        write a CSV event trace (sequential host only;
+//                         see --trace-json for the parallel backend)
+//   --trace-json <file>   write a Perfetto/Chrome trace-event JSON file
+//                         (works under both host backends)
+//   --trace-csv <file>    write the merged telemetry event stream as CSV
+//   --metrics-out <file>  write the metrics registry (.json or .csv)
+//   --metrics-interval <c> virtual-time metric sampling period, cycles
+//   --profile-host        add wall-clock host-round tracks to the trace
 //   --messages            print the message-kind histogram
 //   --lint                lint the configuration and exit (nonzero on
 //                         errors)
@@ -51,6 +58,8 @@
 #include "core/engine.h"
 #include "core/sim_error.h"
 #include "dwarfs/dwarfs.h"
+#include "obs/export.h"
+#include "obs/telemetry.h"
 #include "stats/trace_sinks.h"
 
 using namespace simany;
@@ -60,6 +69,11 @@ int main(int argc, char** argv) {
   std::optional<std::string> config_path;
   std::optional<std::string> save_config_path;
   std::optional<std::string> trace_path;
+  std::optional<std::string> trace_json_path;
+  std::optional<std::string> trace_csv_path;
+  std::optional<std::string> metrics_path;
+  std::uint64_t metrics_interval = 0;
+  bool profile_host = false;
   std::uint32_t cores = 16;
   std::uint32_t clusters = 0;
   bool distributed = false;
@@ -98,6 +112,17 @@ int main(int argc, char** argv) {
       save_config_path = need("--save-config");
     } else if (!std::strcmp(argv[i], "--trace")) {
       trace_path = need("--trace");
+    } else if (!std::strcmp(argv[i], "--trace-json")) {
+      trace_json_path = need("--trace-json");
+    } else if (!std::strcmp(argv[i], "--trace-csv")) {
+      trace_csv_path = need("--trace-csv");
+    } else if (!std::strcmp(argv[i], "--metrics-out")) {
+      metrics_path = need("--metrics-out");
+    } else if (!std::strcmp(argv[i], "--metrics-interval")) {
+      metrics_interval =
+          std::strtoull(need("--metrics-interval"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--profile-host")) {
+      profile_host = true;
     } else if (!std::strcmp(argv[i], "--cores")) {
       cores = static_cast<std::uint32_t>(std::atoi(need("--cores")));
     } else if (!std::strcmp(argv[i], "--clusters")) {
@@ -175,6 +200,26 @@ int main(int argc, char** argv) {
     cfg.host.shards = host_shards;
     cfg.host.mode = HostMode::kParallel;
   }
+  if (metrics_interval > 0) cfg.obs.metrics_interval_cycles = metrics_interval;
+  if (profile_host) cfg.obs.profile_host = true;
+
+  // TraceSink / observer instrumentation pins the engine to the
+  // sequential host. Refuse the contradictory combination loudly
+  // instead of silently dropping the requested parallelism.
+  if ((trace_path || show_messages || checked) &&
+      (host_threads > 1 || host_shards > 1)) {
+    const char* flag = trace_path ? "--trace"
+                      : checked   ? "--checked"
+                                  : "--messages";
+    std::fprintf(
+        stderr,
+        "error: %s attaches a sequential-host observer and cannot run "
+        "with --host-threads/--host-shards > 1.\n"
+        "hint : the shard-aware telemetry works under the parallel "
+        "backend: use --trace-json / --trace-csv / --metrics-out.\n",
+        flag);
+    return 2;
+  }
 
   // Flags layer on top of a loaded config; untouched flags (still at
   // their zero defaults) leave the config's own fault plan alone.
@@ -223,6 +268,16 @@ int main(int argc, char** argv) {
   check::InvariantChecker invariants;
   if (checked) invariants.attach(sim);
 
+  std::optional<obs::Telemetry> telemetry;
+  if (trace_json_path || trace_csv_path || metrics_path ||
+      cfg.obs.profile_host || cfg.obs.metrics_interval_cycles > 0) {
+    obs::TelemetryOptions topt;
+    topt.metrics_interval_cycles = cfg.obs.metrics_interval_cycles;
+    topt.profile_host = cfg.obs.profile_host;
+    telemetry.emplace(topt);
+    sim.set_telemetry(&*telemetry);
+  }
+
   SimStats st;
   try {
     st = sim.run(spec.make_root(seed, factor));
@@ -261,6 +316,8 @@ int main(int argc, char** argv) {
   std::printf("sync stalls     : %llu (avg parallelism %.1f)\n",
               static_cast<unsigned long long>(st.sync_stalls),
               st.avg_parallelism());
+  std::printf("drift high-water: %llu cycles\n",
+              static_cast<unsigned long long>(st.drift_max_cycles()));
   std::printf("host wall time  : %.3f ms (%llu threads, %llu rounds)\n",
               st.wall_seconds * 1e3,
               static_cast<unsigned long long>(st.host_threads_used),
@@ -291,6 +348,37 @@ int main(int argc, char** argv) {
   if (trace_path) {
     std::printf("trace           : %s (%llu rows)\n", trace_path->c_str(),
                 static_cast<unsigned long long>(csv->rows()));
+  }
+  if (telemetry) {
+    if (trace_json_path) {
+      std::ofstream out(*trace_json_path);
+      obs::ChromeTraceOptions copt;
+      copt.host_threads = static_cast<unsigned>(st.host_threads_used);
+      obs::write_chrome_trace(out, *telemetry, copt);
+      std::printf("trace json      : %s (%llu events)\n",
+                  trace_json_path->c_str(),
+                  static_cast<unsigned long long>(telemetry->events().size()));
+    }
+    if (trace_csv_path) {
+      std::ofstream out(*trace_csv_path);
+      obs::write_events_csv(out, *telemetry);
+      std::printf("trace csv       : %s (%llu events)\n",
+                  trace_csv_path->c_str(),
+                  static_cast<unsigned long long>(telemetry->events().size()));
+    }
+    if (metrics_path) {
+      std::ofstream out(*metrics_path);
+      const bool as_csv = metrics_path->size() >= 4 &&
+                          metrics_path->compare(metrics_path->size() - 4, 4,
+                                                ".csv") == 0;
+      if (as_csv) {
+        telemetry->metrics().write_csv(out);
+      } else {
+        telemetry->metrics().write_json(out);
+      }
+      std::printf("metrics         : %s (%s)\n", metrics_path->c_str(),
+                  as_csv ? "csv" : "json");
+    }
   }
   return 0;
 }

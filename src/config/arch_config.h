@@ -77,6 +77,18 @@ struct HostConfig {
   std::uint32_t round_quanta = 512;
 };
 
+/// Telemetry knobs persisted alongside the architecture so a config
+/// file fully reproduces an instrumented run (src/obs,
+/// docs/observability.md). Event collection itself is switched on by
+/// attaching an obs::Telemetry to the engine, not by this struct.
+struct ObsConfig {
+  /// Virtual-time distance between metric samples, in cycles; 0
+  /// disables periodic sampling (counters are still final-valued).
+  std::uint64_t metrics_interval_cycles = 0;
+  /// Record wall-clock spans of the host round phases per worker.
+  bool profile_host = false;
+};
+
 /// Virtual-time synchronization scheme (paper SS II and SS VII).
 enum class SyncScheme : std::uint8_t {
   /// SiMany's spatial synchronization: a core may lead the anchored
@@ -99,6 +111,7 @@ struct ArchConfig {
   timing::BranchModel branch;
   RuntimeCosts runtime;
   HostConfig host;
+  ObsConfig obs;
   /// Deterministic fault-injection plan (disabled by default); see
   /// fault/fault_plan.h and docs/fault_injection.md.
   fault::FaultPlan fault;

@@ -176,6 +176,10 @@ ArchConfig parse_config(std::istream& in) {
       raw.cfg.host.shards = next_u32();
     } else if (key == "host_round_quanta") {
       raw.cfg.host.round_quanta = next_u32();
+    } else if (key == "metrics_interval") {
+      raw.cfg.obs.metrics_interval_cycles = next_u64();
+    } else if (key == "profile_host") {
+      raw.cfg.obs.profile_host = parse_bool(next(), lineno);
     } else if (key == "fault_seed") {
       raw.cfg.fault.seed = next_u64();
     } else if (key == "fault_msg_delay") {
@@ -303,6 +307,14 @@ void save_config(const ArchConfig& cfg, std::ostream& out) {
   out << "host_threads " << cfg.host.threads << "\n";
   out << "host_shards " << cfg.host.shards << "\n";
   out << "host_round_quanta " << cfg.host.round_quanta << "\n";
+  // Telemetry keys are emitted only when set, like the fault block, so
+  // uninstrumented configs round-trip byte-identically with older files.
+  if (cfg.obs.metrics_interval_cycles != 0) {
+    out << "metrics_interval " << cfg.obs.metrics_interval_cycles << "\n";
+  }
+  if (cfg.obs.profile_host) {
+    out << "profile_host on\n";
+  }
   // The fault block is emitted only when something can fire, so
   // fault-free configs round-trip byte-identically with older files.
   if (cfg.fault.enabled()) {

@@ -11,6 +11,7 @@
 #include "fault/fault_injector.h"
 #include "host/parallel_engine.h"
 #include "host/partition.h"
+#include "obs/telemetry.h"
 
 namespace simany {
 
@@ -139,6 +140,12 @@ Engine::Engine(ArchConfig cfg, ExecutionMode mode)
 
 Engine::~Engine() = default;
 
+void Engine::tel(std::uint32_t shard, obs::EventKind k, Tick at, CoreId core,
+                 std::uint8_t sub, std::uint32_t dst, std::uint64_t a,
+                 std::uint64_t b) {
+  telemetry_->record(shard, obs::Event{at, a, b, core, dst, k, sub});
+}
+
 // ---------------------------------------------------------------------
 // Top-level run
 // ---------------------------------------------------------------------
@@ -169,6 +176,7 @@ SimStats Engine::run(TaskFn root) {
   shards_[0]->live_tasks = 1;
   core(0).task_queue.push_back(PendingTask{std::move(root), kInvalidGroup, 0});
   mark_ready(core(0));
+  if (telemetry_ != nullptr) tel(0, obs::EventKind::kTaskEnqueue, 0, 0);
   if (obs_ != nullptr) obs_->on_run_begin(*this);
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -193,6 +201,21 @@ SimStats Engine::run(TaskFn root) {
 
   finalize_stats();
   stats_.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  if (telemetry_ != nullptr) {
+    telemetry_->finalize(cfg_.num_cores());
+    obs::MetricsRegistry& m = telemetry_->metrics();
+    m.counter("tasks_spawned") = stats_.tasks_spawned;
+    m.counter("tasks_migrated") = stats_.tasks_migrated;
+    m.counter("messages") = stats_.messages;
+    m.counter("sync_stalls") = stats_.sync_stalls;
+    m.counter("faults_injected") = stats_.faults_injected;
+    m.counter("host_rounds") = stats_.host_rounds;
+    m.gauge("avg_parallelism") = stats_.avg_parallelism();
+    m.gauge("drift_hwm_cycles") =
+        static_cast<double>(cycles_floor(stats_.drift_max_ticks));
+    m.gauge("completion_cycles") =
+        static_cast<double>(stats_.completion_cycles());
+  }
   return stats_;
 }
 
@@ -214,6 +237,7 @@ void Engine::host_setup(std::uint32_t shards) {
     shards_.push_back(std::move(sh));
   }
   if (fault_ != nullptr) fault_->bind_shards(num_shards_);
+  if (telemetry_ != nullptr) telemetry_->bind(num_shards_, cfg_.num_cores());
   mail_.clear();
   if (num_shards_ > 1) {
     const std::size_t pairs = std::size_t{num_shards_} * num_shards_;
@@ -248,9 +272,24 @@ void Engine::finalize_stats() {
 // ---------------------------------------------------------------------
 
 void Engine::host_round(host::ShardState& sh, std::uint64_t budget) {
+  obs::HostProfiler* prof =
+      telemetry_ != nullptr ? telemetry_->profiler() : nullptr;
+  if (prof == nullptr) {
+    host_drain(sh);
+    host_loop(sh, budget);
+    host_publish(sh);
+    return;
+  }
+  std::uint64_t t0 = prof->now_ns();
   host_drain(sh);
+  std::uint64_t t1 = prof->now_ns();
+  prof->record(sh.id, obs::HostPhase::kDrain, t0, t1);
   host_loop(sh, budget);
+  t0 = prof->now_ns();
+  prof->record(sh.id, obs::HostPhase::kExecute, t1, t0);
   host_publish(sh);
+  t1 = prof->now_ns();
+  prof->record(sh.id, obs::HostPhase::kPublish, t0, t1);
 }
 
 void Engine::host_drain(host::ShardState& sh) {
@@ -285,7 +324,10 @@ void Engine::host_loop(host::ShardState& sh, std::uint64_t budget) {
     sh.progressed = true;
     --budget;
     if (obs_ != nullptr) obs_->on_quantum_end(*this);
-    if (sh.quantum_count % 64 == 0) sample_parallelism(sh);
+    if (sh.quantum_count % 64 == 0) {
+      sample_parallelism(sh);
+      sample_drift(sh);
+    }
     if (sh.quantum_count % 4096 == 0) {
       refresh_gmin(sh);
 #if SIMANY_ASSERT_ACTIVE
@@ -311,6 +353,23 @@ void Engine::host_publish(host::ShardState& sh) {
 
 bool Engine::host_serial_phase() {
   ++host_rounds_;
+  obs::HostProfiler* prof =
+      telemetry_ != nullptr ? telemetry_->profiler() : nullptr;
+  struct SerialSpan {
+    obs::HostProfiler* p;
+    std::uint64_t t0;
+    ~SerialSpan() {
+      if (p != nullptr) {
+        p->record(obs::HostProfiler::kSerial, obs::HostPhase::kSerial, t0,
+                  p->now_ns());
+      }
+    }
+  } span{prof, prof != nullptr ? prof->now_ns() : 0};
+  // Workers are parked at the round barrier for the whole of this
+  // function, so moving the per-shard telemetry buffers into the
+  // central stream here is race-free by the same argument as the
+  // proxy commit below.
+  if (telemetry_ != nullptr) telemetry_->drain_at_barrier();
   if (num_shards_ > 1) {
     // Commit this round's proxy snapshots and make this round's
     // cross-shard messages drainable. Both happen only here, so what a
@@ -780,6 +839,9 @@ bool Engine::start_next_work(CoreSim& c) {
     broadcast_occupancy_update(c);
     if (trace_ != nullptr) trace_->on_task_start(c.id, c.now);
     if (obs_ != nullptr) obs_->on_task_start(*this, c.id, c.now);
+    if (telemetry_ != nullptr) {
+      tel(shard_id_[c.id], obs::EventKind::kTaskStart, c.now, c.id);
+    }
     // Injected transient stall: the core spends `stall` ticks of
     // virtual time making no progress before the task body runs. It
     // goes through advance_execution (inside the fiber), so spatial
@@ -794,6 +856,11 @@ bool Engine::start_next_work(CoreSim& c) {
         if (obs_ != nullptr) {
           obs_->on_fault(*this, fault::FaultKind::kCoreStall, c.id, c.now,
                          stall);
+        }
+        if (telemetry_ != nullptr) {
+          tel(shard_id_[c.id], obs::EventKind::kFault, c.now, c.id,
+              static_cast<std::uint8_t>(fault::FaultKind::kCoreStall), 0,
+              stall);
         }
       }
     }
@@ -817,6 +884,9 @@ void Engine::task_done(CoreSim& c) {
   sh.max_task_end = std::max(sh.max_task_end, c.now);
   if (trace_ != nullptr) trace_->on_task_end(c.id, c.now);
   if (obs_ != nullptr) obs_->on_task_end(*this, c.id, c.now);
+  if (telemetry_ != nullptr) {
+    tel(shard_id_[c.id], obs::EventKind::kTaskEnd, c.now, c.id);
+  }
   sh.pool.recycle(std::move(c.fiber));
   const GroupId g = c.fiber_group;
   c.fiber_group = kInvalidGroup;
@@ -875,6 +945,9 @@ bool Engine::wake_sweep(host::ShardState& sh) {
       c.limit_epoch = sh.limit_epoch;
       if (trace_ != nullptr) trace_->on_wake(c.id, c.now, lim);
       if (obs_ != nullptr) obs_->on_wake(*this, c.id, c.now, lim);
+      if (telemetry_ != nullptr) {
+        tel(shard_id_[c.id], obs::EventKind::kWake, c.now, c.id, 0, 0, lim);
+      }
       mark_ready(c);
       any = true;
     } else {
@@ -968,6 +1041,75 @@ void Engine::sample_parallelism(host::ShardState& sh) {
   ++sh.stats.parallelism_samples;
   sh.stats.parallelism_sum += available;
   sh.stats.parallelism_max = std::max(sh.stats.parallelism_max, available);
+}
+
+void Engine::sample_drift(host::ShardState& sh) {
+  // Drift high-water mark: the largest lead any active core in this
+  // shard holds over an active topological neighbor, as seen through
+  // the same view the drift limiter uses (live state inside the shard,
+  // frozen proxies across the boundary). Sampled on the same cadence
+  // as sample_parallelism, so it is deterministic for a fixed shard
+  // count and bit-identical between the sequential host and a 1-shard
+  // parallel run.
+  const bool live_series =
+      telemetry_ != nullptr &&
+      telemetry_->options().metrics_interval_cycles != 0;
+  // Live samples land at most once per crossed virtual-time boundary,
+  // keyed to the shard's fastest core so idle shards do not spin rows.
+  bool boundary = false;
+  if (live_series) {
+    Tick fastest = 0;
+    for (CoreId i = sh.core_begin; i < sh.core_end; ++i) {
+      fastest = std::max(fastest, cores_[i]->now);
+    }
+    Tick& next = telemetry_->next_sample_at(sh.id);
+    if (fastest >= next) {
+      boundary = true;
+      const Tick step = ticks(telemetry_->options().metrics_interval_cycles);
+      while (next <= fastest) next = sat_add(next, step);
+    }
+  }
+
+  Tick hwm = sh.stats.drift_max_ticks;
+  std::uint64_t avail = 0;
+  for (CoreId i = sh.core_begin; i < sh.core_end; ++i) {
+    const CoreSim& c = *cores_[i];
+    if (actionable(c)) ++avail;
+    if (!is_anchor(c)) continue;
+    Tick max_gap = 0;
+    for (const CoreId nb : cfg_.topology.neighbors(i)) {
+      Tick nb_now;
+      bool nb_active;
+      if (same_shard(i, nb)) {
+        const CoreSim& t = core(nb);
+        nb_now = t.now;
+        nb_active = is_anchor(t);
+      } else {
+        const host::VtProxy& p = proxy_[nb];
+        nb_now = p.now;
+        nb_active = p.anchor;
+      }
+      if (!nb_active || c.now <= nb_now) continue;
+      max_gap = std::max(max_gap, c.now - nb_now);
+    }
+    hwm = std::max(hwm, max_gap);
+    if (boundary && max_gap > 0) {
+      telemetry_->stage_sample(
+          sh.id, obs::LiveSample{cycles_floor(c.now),
+                                 static_cast<std::int32_t>(i), 0,
+                                 cycles_fp(max_gap)});
+    }
+  }
+  sh.stats.drift_max_ticks = hwm;
+  if (boundary) {
+    Tick fastest = 0;
+    for (CoreId i = sh.core_begin; i < sh.core_end; ++i) {
+      fastest = std::max(fastest, cores_[i]->now);
+    }
+    telemetry_->stage_sample(sh.id,
+                             obs::LiveSample{cycles_floor(fastest), -1, 1,
+                                             static_cast<double>(avail)});
+  }
 }
 
 Tick Engine::bounded_slack_limit(const CoreSim& viewer) const {
@@ -1106,6 +1248,9 @@ void Engine::advance_execution(CoreSim& c, Tick cost) {
     sh.stalled.push_back(c.id);
     if (trace_ != nullptr) trace_->on_stall(c.id, c.now);
     if (obs_ != nullptr) obs_->on_stall(*this, c.id, c.now);
+    if (telemetry_ != nullptr) {
+      tel(shard_id_[c.id], obs::EventKind::kStall, c.now, c.id);
+    }
     Fiber::yield();
     // Woken by wake_sweep with a fresh cached_limit; loop re-checks.
   }
@@ -1144,7 +1289,7 @@ void Engine::post_from(MsgKind kind, CoreId from, Tick from_now,
     const fault::MsgFaults f = fault_->on_message(
         network_, ctx.lane, ctx.id, from, to, bytes, from_now);
     m.arrival = f.arrival;
-    record_msg_faults(f, from, from_now, ctx.stats);
+    record_msg_faults(f, from, from_now, ctx);
   }
   m.bytes = bytes;
   m.a = a;
@@ -1158,17 +1303,30 @@ void Engine::post_from(MsgKind kind, CoreId from, Tick from_now,
   ++ctx.stats.messages;
   if (trace_ != nullptr) trace_->on_message(m);
   if (obs_ != nullptr) obs_->on_message_posted(*this, m, /*direct=*/false);
+  // Fiber-carrying messages are host transport for cross-shard parked
+  // fibers, not architectural traffic; they stay off the telemetry
+  // stream so the trace has the same shape under every backend.
+  if (telemetry_ != nullptr && m.fiber == nullptr) {
+    tel(ctx.id, obs::EventKind::kMsgPost, m.sent, m.src,
+        static_cast<std::uint8_t>(m.kind), m.dst, m.arrival, m.bytes);
+  }
   enqueue_message(ctx, std::move(m));
 }
 
 void Engine::record_msg_faults(const fault::MsgFaults& f, CoreId src,
-                               Tick sent, SimStats& st) {
+                               Tick sent, host::ShardState& ctx) {
+  SimStats& st = ctx.stats;
   if (f.retries > 0) {
     ++st.fault_msgs_dropped;
     st.fault_msg_retries += f.retries;
     ++st.faults_injected;
     if (obs_ != nullptr) {
       obs_->on_fault(*this, fault::FaultKind::kMsgDrop, src, sent, f.retries);
+    }
+    if (telemetry_ != nullptr) {
+      tel(ctx.id, obs::EventKind::kFault, sent, src,
+          static_cast<std::uint8_t>(fault::FaultKind::kMsgDrop), 0,
+          f.retries);
     }
   }
   if (f.duplicates > 0) {
@@ -1178,12 +1336,22 @@ void Engine::record_msg_faults(const fault::MsgFaults& f, CoreId src,
       obs_->on_fault(*this, fault::FaultKind::kMsgDuplicate, src, sent,
                      f.duplicates);
     }
+    if (telemetry_ != nullptr) {
+      tel(ctx.id, obs::EventKind::kFault, sent, src,
+          static_cast<std::uint8_t>(fault::FaultKind::kMsgDuplicate), 0,
+          f.duplicates);
+    }
   }
   if (f.delay > 0) {
     ++st.fault_msgs_delayed;
     ++st.faults_injected;
     if (obs_ != nullptr) {
       obs_->on_fault(*this, fault::FaultKind::kMsgDelay, src, sent, f.delay);
+    }
+    if (telemetry_ != nullptr) {
+      tel(ctx.id, obs::EventKind::kFault, sent, src,
+          static_cast<std::uint8_t>(fault::FaultKind::kMsgDelay), 0,
+          f.delay);
     }
   }
   if (f.reordered) ++st.fault_msgs_reordered;
@@ -1202,6 +1370,7 @@ void Engine::deliver_direct(MsgKind kind, CoreId from, CoreId to,
   m.bytes = bytes;
   m.a = a;
   m.b = b;
+  m.direct = true;
   if (obs_ != nullptr) obs_->on_message_posted(*this, m, /*direct=*/true);
   enqueue_message(ctx, std::move(m));
 }
@@ -1231,6 +1400,11 @@ void Engine::process_inbox(CoreSim& c) {
                   " with zero in-flight messages");
     --sh.inflight_messages;
     if (obs_ != nullptr) obs_->on_message_handled(*this, c.id, m);
+    if (telemetry_ != nullptr && m.fiber == nullptr && !m.direct) {
+      tel(sh.id, obs::EventKind::kMsgHandled,
+          m.arrival > c.now ? m.arrival : c.now, c.id,
+          static_cast<std::uint8_t>(m.kind), m.src, m.arrival);
+    }
     handle_message(c, m);
   }
 }
@@ -1289,6 +1463,10 @@ void Engine::on_probe(CoreSim& c, const Message& m) {
     if (obs_ != nullptr) {
       obs_->on_fault(*this, fault::FaultKind::kSpawnDenied, c.id, c.now, 1);
     }
+    if (telemetry_ != nullptr) {
+      tel(shard_of(c).id, obs::EventKind::kFault, c.now, c.id,
+          static_cast<std::uint8_t>(fault::FaultKind::kSpawnDenied), 0, 1);
+    }
   }
   const std::uint32_t occupied =
       static_cast<std::uint32_t>(c.task_queue.size()) + c.reserved;
@@ -1311,6 +1489,9 @@ void Engine::on_task_spawn(CoreSim& c, Message& m) {
   c.task_queue.push_back(PendingTask{std::move(m.task), m.group, c.now});
   broadcast_occupancy_update(c);
   host::ShardState& sh = shard_of(c);
+  if (telemetry_ != nullptr) {
+    tel(sh.id, obs::EventKind::kTaskEnqueue, c.now, c.id, 0, m.src, m.birth);
+  }
   if (!was_anchor) {
     sh.gmin_lb = std::min(sh.gmin_lb, c.now);
     ++sh.limit_epoch;
@@ -1638,6 +1819,10 @@ void Engine::ctx_mem_access(CoreSim& c, std::uint64_t addr,
         obs_->on_fault(*this, fault::FaultKind::kMemSpike, c.id, c.now,
                        spike);
       }
+      if (telemetry_ != nullptr) {
+        tel(shard_id_[c.id], obs::EventKind::kFault, c.now, c.id,
+            static_cast<std::uint8_t>(fault::FaultKind::kMemSpike), 0, spike);
+      }
       cost = sat_add(cost, spike);
     }
   }
@@ -1824,6 +2009,10 @@ void Engine::ctx_lock(CoreSim& c, LockId id) {
     }
     ++c.hold_depth;
     if (obs_ != nullptr) obs_->on_lock_acquired(*this, c.id, id);
+    if (telemetry_ != nullptr) {
+      tel(shard_id_[c.id], obs::EventKind::kLockAcquire, c.now, c.id, 0, 0,
+          id);
+    }
     return;
   }
   // Cross-shard: the home table is not readable here. Recursion is
@@ -1834,6 +2023,10 @@ void Engine::ctx_lock(CoreSim& c, LockId id) {
     sync_to_arrival(r.arrival, c.now);
     ++c.hold_depth;
     if (obs_ != nullptr) obs_->on_lock_acquired(*this, c.id, id);
+    if (telemetry_ != nullptr) {
+      tel(shard_id_[c.id], obs::EventKind::kLockAcquire, c.now, c.id, 0, 0,
+          id);
+    }
     return;
   }
   // Shared memory: charge the atomic access locally (as the seed does
@@ -1850,6 +2043,9 @@ void Engine::ctx_lock(CoreSim& c, LockId id) {
   sync_to_arrival(r.arrival, c.now);
   ++c.hold_depth;
   if (obs_ != nullptr) obs_->on_lock_acquired(*this, c.id, id);
+  if (telemetry_ != nullptr) {
+    tel(shard_id_[c.id], obs::EventKind::kLockAcquire, c.now, c.id, 0, 0, id);
+  }
 }
 
 void Engine::ctx_unlock(CoreSim& c, LockId id) {
@@ -1864,6 +2060,10 @@ void Engine::ctx_unlock(CoreSim& c, LockId id) {
                   " unlocking lock ", id, " with hold_depth 0");
     --c.hold_depth;
     if (obs_ != nullptr) obs_->on_lock_released(*this, c.id, id);
+    if (telemetry_ != nullptr) {
+      tel(shard_id_[c.id], obs::EventKind::kLockRelease, c.now, c.id, 0, 0,
+          id);
+    }
     if (distributed && lk.home != c.id) {
       // The release travels asynchronously; clear the holder now so a
       // subsequent acquisition by this core is not mistaken for
@@ -1887,6 +2087,9 @@ void Engine::ctx_unlock(CoreSim& c, LockId id) {
   }
   --c.hold_depth;
   if (obs_ != nullptr) obs_->on_lock_released(*this, c.id, id);
+  if (telemetry_ != nullptr) {
+    tel(shard_id_[c.id], obs::EventKind::kLockRelease, c.now, c.id, 0, 0, id);
+  }
   if (distributed) {
     post(MsgKind::kLockRelease, c, home, cfg_.runtime.ctrl_msg_bytes, id);
     return;
@@ -1957,6 +2160,10 @@ void Engine::ctx_cell_acquire(CoreSim& c, CellId id, AccessMode mode) {
     sync_to_arrival(r.arrival, c.now);
     ++c.hold_depth;
     if (obs_ != nullptr) obs_->on_cell_acquired(*this, c.id, id);
+    if (telemetry_ != nullptr) {
+      tel(shard_id_[c.id], obs::EventKind::kCellAcquire, c.now, c.id,
+          static_cast<std::uint8_t>(mode), 0, id);
+    }
     if (!same_shard(c.id, home)) {
       c.held_cells[id] = CoreSim::HeldCell{mode, r.bytes, r.b};
     }
@@ -1977,6 +2184,10 @@ void Engine::ctx_cell_acquire(CoreSim& c, CellId id, AccessMode mode) {
     }
     ++c.hold_depth;
     if (obs_ != nullptr) obs_->on_cell_acquired(*this, c.id, id);
+    if (telemetry_ != nullptr) {
+      tel(shard_id_[c.id], obs::EventKind::kCellAcquire, c.now, c.id,
+          static_cast<std::uint8_t>(mode), 0, id);
+    }
     if (distributed) {
       charge(c, ticks(cfg_.mem.l2_latency_cycles));
     } else {
@@ -1999,6 +2210,10 @@ void Engine::ctx_cell_acquire(CoreSim& c, CellId id, AccessMode mode) {
   sync_to_arrival(r.arrival, c.now);
   ++c.hold_depth;
   if (obs_ != nullptr) obs_->on_cell_acquired(*this, c.id, id);
+  if (telemetry_ != nullptr) {
+    tel(shard_id_[c.id], obs::EventKind::kCellAcquire, c.now, c.id,
+        static_cast<std::uint8_t>(mode), 0, id);
+  }
   c.held_cells[id] = CoreSim::HeldCell{mode, r.bytes, r.b};
   ctx_mem_access(c, r.b, r.bytes, /*write=*/false);
 }
@@ -2023,6 +2238,10 @@ void Engine::ctx_cell_release(CoreSim& c, CellId id) {
       post(MsgKind::kCellRelease, c, home, bytes, id, wrote ? 1 : 0);
       --c.hold_depth;
       if (obs_ != nullptr) obs_->on_cell_released(*this, c.id, id);
+      if (telemetry_ != nullptr) {
+        tel(shard_id_[c.id], obs::EventKind::kCellRelease, c.now, c.id, 0, 0,
+            id);
+      }
       return;
     }
     if (wrote) {
@@ -2032,6 +2251,10 @@ void Engine::ctx_cell_release(CoreSim& c, CellId id) {
     }
     --c.hold_depth;
     if (obs_ != nullptr) obs_->on_cell_released(*this, c.id, id);
+    if (telemetry_ != nullptr) {
+      tel(shard_id_[c.id], obs::EventKind::kCellRelease, c.now, c.id, 0, 0,
+          id);
+    }
     Message f;
     f.src = c.id;
     f.dst = home;
@@ -2056,6 +2279,10 @@ void Engine::ctx_cell_release(CoreSim& c, CellId id) {
     post(MsgKind::kCellRelease, c, cell.home, bytes, id, wrote ? 1 : 0);
     --c.hold_depth;
     if (obs_ != nullptr) obs_->on_cell_released(*this, c.id, id);
+    if (telemetry_ != nullptr) {
+      tel(shard_id_[c.id], obs::EventKind::kCellRelease, c.now, c.id, 0, 0,
+          id);
+    }
     return;
   }
   if (!distributed && wrote) {
@@ -2068,6 +2295,9 @@ void Engine::ctx_cell_release(CoreSim& c, CellId id) {
   grant_next_cell_waiter(c.id, c.now, shard_of(c), id);
   --c.hold_depth;
   if (obs_ != nullptr) obs_->on_cell_released(*this, c.id, id);
+  if (telemetry_ != nullptr) {
+    tel(shard_id_[c.id], obs::EventKind::kCellRelease, c.now, c.id, 0, 0, id);
+  }
 }
 
 }  // namespace simany

@@ -71,6 +71,10 @@ namespace fault {
 class FaultInjector;
 struct MsgFaults;
 }
+namespace obs {
+class Telemetry;
+enum class EventKind : std::uint8_t;
+}
 
 enum class ExecutionMode : std::uint8_t {
   kVirtualTime,  // SiMany: spatial synchronization, abstract models
@@ -110,6 +114,14 @@ class Engine {
   /// detached. Attaching an observer pins the run to sequential host
   /// execution (the checkers assume a single global event order).
   void set_observer(EngineObserver* obs) noexcept { obs_ = obs; }
+
+  /// Attaches the shard-aware telemetry layer (or nullptr to detach).
+  /// Unlike set_trace / set_observer, this does NOT pin the run to the
+  /// sequential host: events are buffered per shard and merged into a
+  /// canonical stream at the end of run() (src/obs, the Telemetry
+  /// object must outlive run()). Costs one null-check per emission
+  /// point when detached.
+  void set_telemetry(obs::Telemetry* t) noexcept { telemetry_ = t; }
 
   /// Builds a structured snapshot of the complete simulation state
   /// (core clocks, births, lock/cell/group tables, counters). Slow;
@@ -412,7 +424,20 @@ class Engine {
   /// Accounts one or more injected message faults in shard-local stats
   /// and forwards them to the observer.
   void record_msg_faults(const fault::MsgFaults& f, CoreId src, Tick sent,
-                         SimStats& st);
+                         host::ShardState& ctx);
+
+  // ---- Telemetry (src/obs; null unless set_telemetry was called) --------
+
+  /// Appends one event to `shard`'s telemetry buffer. Call sites guard
+  /// with `telemetry_ != nullptr`, keeping the detached cost to one
+  /// null check (the property bench/micro_engine asserts).
+  void tel(std::uint32_t shard, obs::EventKind k, Tick at, CoreId core,
+           std::uint8_t sub = 0, std::uint32_t dst = 0, std::uint64_t a = 0,
+           std::uint64_t b = 0);
+
+  /// Virtual-time-gridded live metric samples plus the drift
+  /// high-water mark; piggybacks on the sample_parallelism cadence.
+  void sample_drift(host::ShardState& sh);
 
   void charge(CoreSim& c, Tick cost,
               AdvanceKind kind = AdvanceKind::kRuntime) {
@@ -472,6 +497,7 @@ class Engine {
 
   TraceSink* trace_ = nullptr;
   EngineObserver* obs_ = nullptr;
+  obs::Telemetry* telemetry_ = nullptr;
   bool ran_ = false;
 
   SimStats stats_;

@@ -72,6 +72,10 @@ struct Message {
   std::unique_ptr<Fiber> fiber;
   GroupId fiber_group = kInvalidGroup;
   Tick parked_at = 0;
+  /// True for zero-cost direct deliveries (runtime-internal control
+  /// replies that never crossed the network). Telemetry skips them so
+  /// the event stream has the same shape under every host backend.
+  bool direct = false;
 
   /// True when the message carries a live task (a spawned body or a
   /// parked joiner) — conservation accounting must include it.

@@ -49,6 +49,18 @@ struct SimStats {
   std::uint64_t parallelism_samples = 0;
   std::uint64_t parallelism_sum = 0;
   std::uint64_t parallelism_max = 0;
+
+  /// Drift high-water mark (paper SS VI): the largest lead any active
+  /// core held over an active topological neighbor, sampled on the
+  /// parallelism cadence through the same view the drift limiter uses
+  /// (live same-shard state, frozen proxies across shard boundaries).
+  /// Deterministic for a fixed shard count; a host-side observation,
+  /// so the value may differ — deterministically — across shard
+  /// counts, like host_rounds.
+  Tick drift_max_ticks = 0;
+  [[nodiscard]] Cycles drift_max_cycles() const noexcept {
+    return cycles_floor(drift_max_ticks);
+  }
   [[nodiscard]] double avg_parallelism() const noexcept {
     return parallelism_samples == 0
                ? 0.0
@@ -100,6 +112,9 @@ struct SimStats {
     parallelism_max = parallelism_max > o.parallelism_max
                           ? parallelism_max
                           : o.parallelism_max;
+    drift_max_ticks =
+        drift_max_ticks > o.drift_max_ticks ? drift_max_ticks
+                                            : o.drift_max_ticks;
   }
 };
 

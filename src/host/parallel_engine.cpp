@@ -9,6 +9,8 @@
 
 #include "core/engine.h"
 #include "host/shard.h"
+#include "obs/host_profile.h"
+#include "obs/telemetry.h"
 
 namespace simany::host {
 
@@ -43,14 +45,25 @@ void ParallelHost::run() {
   std::uint32_t remaining = 0;  // workers still inside this round
   bool stop = false;
 
+  // When --profile-host is on, each worker stamps the wall-clock time it
+  // spends parked at the epoch barrier (which brackets the serial phase
+  // plus any straggler workers). The span is filed under the worker's
+  // lowest-numbered shard, matching the "shard N / worker W" host track.
+  obs::HostProfiler* const prof =
+      e.telemetry_ != nullptr ? e.telemetry_->profiler() : nullptr;
+
   auto worker = [&](std::uint32_t w) {
     std::uint64_t seen = 0;
     for (;;) {
+      const std::uint64_t bar_t0 = prof != nullptr ? prof->now_ns() : 0;
       {
         std::unique_lock<std::mutex> lk(mu);
         cv.wait(lk, [&] { return stop || round > seen; });
         if (stop) return;
         seen = round;
+      }
+      if (prof != nullptr) {
+        prof->record(w, obs::HostPhase::kBarrier, bar_t0, prof->now_ns());
       }
       for (std::uint32_t s = w; s < num_shards; s += width) {
         ShardState& sh = *e.shards_[s];

@@ -1,0 +1,98 @@
+// Telemetry event model (src/obs).
+//
+// Every event is a plain record of one simulation-state transition,
+// stamped with the *virtual* time at which it happened. Events are
+// appended to per-shard buffers as the engine runs and merged into one
+// canonical stream at the end of the run. The canonical order is
+// lexicographic over the full field tuple, so the merged stream is a
+// pure function of the event *multiset* — it does not depend on which
+// shard recorded an event, in which host round, or on how worker
+// threads interleaved. Two runs whose simulated timelines agree
+// therefore produce bit-identical merged traces regardless of the host
+// backend (see docs/observability.md for the exact guarantee matrix).
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+
+#include "core/vtime.h"
+
+namespace simany::obs {
+
+/// What happened. The enum order doubles as the tie-break rank for
+/// events on the same core at the same virtual time: an end sorts
+/// before the start that follows it, a wake before the work it
+/// enables, so slice builders see well-nested streams.
+enum class EventKind : std::uint8_t {
+  kTaskEnd = 0,      // task finished on `core`
+  kWake,             // sync-stalled core may run again; a = new limit
+  kMsgHandled,       // core consumed a message; dst = src core, a = arrival
+  kTaskEnqueue,      // task landed in core's queue; a = birth tick
+  kTaskStart,        // core began executing a task
+  kStall,            // core hit the spatial-sync drift limit
+  kMsgPost,          // message entered the network; core = src, dst = dst,
+                     // sub = MsgKind, a = arrival tick, b = bytes
+  kLockAcquire,      // a = lock id
+  kLockRelease,      // a = lock id
+  kCellAcquire,      // a = cell id, sub = AccessMode
+  kCellRelease,      // a = cell id
+  kFault,            // sub = fault::FaultKind, a = magnitude
+};
+
+[[nodiscard]] const char* to_string(EventKind k) noexcept;
+
+/// Classification used when fingerprinting. Architectural events are
+/// facts about the simulated machine and are bit-stable whenever the
+/// simulated timeline is. Sync events (stall/wake) record *where* the
+/// host's drift limiter blocked a core; they are zero-width in virtual
+/// time and their count can legitimately differ across shard counts
+/// (the limiter consults frozen cross-shard proxies), though never
+/// across thread counts at a fixed shard count.
+enum class EventClass : std::uint8_t {
+  kArchitectural = 1,
+  kSync = 2,
+  kAll = 3,
+};
+
+[[nodiscard]] constexpr bool is_sync_event(EventKind k) noexcept {
+  return k == EventKind::kStall || k == EventKind::kWake;
+}
+
+[[nodiscard]] constexpr bool in_class(EventKind k, EventClass c) noexcept {
+  const auto bit = is_sync_event(k) ? EventClass::kSync
+                                    : EventClass::kArchitectural;
+  return (static_cast<std::uint8_t>(c) & static_cast<std::uint8_t>(bit)) != 0;
+}
+
+/// One telemetry record. 32 bytes, trivially copyable; buffers of
+/// these are bulk-moved at the epoch barrier.
+struct Event {
+  Tick vtime = 0;             // virtual timestamp (sender time for kMsgPost)
+  std::uint64_t a = 0;        // kind-specific payload (see EventKind)
+  std::uint64_t b = 0;        // kind-specific payload
+  std::uint32_t core = 0;     // acting core (source core for kMsgPost)
+  std::uint32_t dst = 0;      // destination core (messages) or 0
+  EventKind kind = EventKind::kTaskStart;
+  std::uint8_t sub = 0;       // MsgKind / AccessMode / FaultKind
+
+  [[nodiscard]] auto key() const noexcept {
+    return std::tie(vtime, core, kind, sub, dst, a, b);
+  }
+};
+
+/// Canonical total order: lexicographic over every field. Events that
+/// compare equal are indistinguishable records, so the sorted stream
+/// is unique for a given multiset.
+[[nodiscard]] inline bool canonical_less(const Event& x,
+                                         const Event& y) noexcept {
+  return x.key() < y.key();
+}
+
+/// FNV-1a over an event's fields in canonical serialization order
+/// (field-by-field, not raw struct bytes, so padding never leaks in).
+[[nodiscard]] std::uint64_t hash_event(std::uint64_t h,
+                                       const Event& e) noexcept;
+
+inline constexpr std::uint64_t kFingerprintSeed = 0xcbf29ce484222325ull;
+
+}  // namespace simany::obs

@@ -1,0 +1,189 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/message.h"
+#include "core/vtime.h"
+#include "fault/fault_plan.h"
+#include "obs/telemetry.h"
+
+namespace simany::obs {
+
+namespace {
+
+/// Virtual time on the trace axis: one simulated cycle is one
+/// microsecond, so drift windows measured in cycles read directly off
+/// the Perfetto ruler.
+[[nodiscard]] double vt_us(Tick t) noexcept { return cycles_fp(t); }
+
+void emit_slice(std::ostream& os, bool& first, int pid, std::uint64_t tid,
+                const char* cat, const std::string& name, double ts,
+                double dur) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+     << ",\"cat\":\"" << cat << "\",\"name\":\"" << name
+     << "\",\"ts\":" << ts << ",\"dur\":" << dur << '}';
+}
+
+void emit_instant(std::ostream& os, bool& first, int pid, std::uint64_t tid,
+                  const char* cat, const std::string& name, double ts) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "{\"ph\":\"i\",\"pid\":" << pid << ",\"tid\":" << tid
+     << ",\"cat\":\"" << cat << "\",\"name\":\"" << name
+     << "\",\"ts\":" << ts << ",\"s\":\"t\"}";
+}
+
+void emit_thread_name(std::ostream& os, bool& first, int pid,
+                      std::uint64_t tid, const std::string& name) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+     << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << name
+     << "\"}}";
+}
+
+void emit_process_name(std::ostream& os, bool& first, int pid,
+                       const char* name) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "{\"ph\":\"M\",\"pid\":" << pid
+     << ",\"name\":\"process_name\",\"args\":{\"name\":\"" << name
+     << "\"}}";
+}
+
+[[nodiscard]] std::string object_label(const char* what, std::uint64_t id) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s %llx", what,
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Telemetry& t,
+                        const ChromeTraceOptions& opt) {
+  const auto& ev = t.events();
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  emit_process_name(os, first, 1, "simulated cores (virtual time)");
+
+  // Pass 1: which cores appear at all (named tracks only for those).
+  std::map<std::uint32_t, bool> seen;
+  for (const Event& e : ev) seen[e.core] = true;
+  for (const auto& [core, _] : seen) {
+    emit_thread_name(os, first, 1, core, object_label("core", core));
+  }
+
+  // Pass 2: pair events into slices. The stream is vtime-sorted, so a
+  // single forward walk with per-core open markers suffices.
+  std::map<std::uint32_t, Tick> open_task;
+  std::map<std::uint32_t, Tick> open_stall;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, Tick> open_obj;
+  for (const Event& e : ev) {
+    switch (e.kind) {
+      case EventKind::kTaskStart:
+        open_task[e.core] = e.vtime;
+        break;
+      case EventKind::kTaskEnd: {
+        const auto it = open_task.find(e.core);
+        if (it != open_task.end()) {
+          emit_slice(os, first, 1, e.core, "task", "task",
+                     vt_us(it->second), vt_us(e.vtime - it->second));
+          open_task.erase(it);
+        }
+        break;
+      }
+      case EventKind::kStall:
+        open_stall[e.core] = e.vtime;
+        break;
+      case EventKind::kWake: {
+        const auto it = open_stall.find(e.core);
+        if (it != open_stall.end()) {
+          emit_slice(os, first, 1, e.core, "sync", "stall",
+                     vt_us(it->second), vt_us(e.vtime - it->second));
+          open_stall.erase(it);
+        }
+        break;
+      }
+      case EventKind::kLockAcquire:
+      case EventKind::kCellAcquire:
+        open_obj[{e.core, e.a}] = e.vtime;
+        break;
+      case EventKind::kLockRelease:
+      case EventKind::kCellRelease: {
+        const auto it = open_obj.find({e.core, e.a});
+        if (it != open_obj.end()) {
+          const bool lock = e.kind == EventKind::kLockRelease;
+          emit_slice(os, first, 1, e.core, "critical",
+                     object_label(lock ? "lock" : "cell", e.a),
+                     vt_us(it->second), vt_us(e.vtime - it->second));
+          open_obj.erase(it);
+        }
+        break;
+      }
+      case EventKind::kFault:
+        emit_instant(os, first, 1, e.core, "fault",
+                     std::string("fault:") +
+                         fault::to_string(
+                             static_cast<fault::FaultKind>(e.sub)),
+                     vt_us(e.vtime));
+        break;
+      default:
+        break;  // messages stay in the CSV / summary form
+    }
+  }
+
+  // Host-side wall-clock tracks (only present under --profile-host).
+  const HostProfiler& prof = t.host_profiler();
+  bool have_host = !prof.serial_spans().empty();
+  for (std::uint32_t s = 0; !have_host && s < prof.num_shards(); ++s) {
+    have_host = !prof.shard_spans(s).empty();
+  }
+  if (have_host) {
+    emit_process_name(os, first, 2, "host rounds (wall clock)");
+    for (std::uint32_t s = 0; s < prof.num_shards(); ++s) {
+      std::string name = object_label("shard", s);
+      if (opt.host_threads > 1) {
+        name += " / worker " + std::to_string(s % opt.host_threads);
+      }
+      emit_thread_name(os, first, 2, s, name);
+      for (const HostSpan& sp : prof.shard_spans(s)) {
+        emit_slice(os, first, 2, s, "host", to_string(sp.phase),
+                   static_cast<double>(sp.t0_ns) / 1000.0,
+                   static_cast<double>(sp.t1_ns - sp.t0_ns) / 1000.0);
+      }
+    }
+    const std::uint64_t serial_tid = prof.num_shards();
+    emit_thread_name(os, first, 2, serial_tid, "serial phase");
+    for (const HostSpan& sp : prof.serial_spans()) {
+      emit_slice(os, first, 2, serial_tid, "host", to_string(sp.phase),
+                 static_cast<double>(sp.t0_ns) / 1000.0,
+                 static_cast<double>(sp.t1_ns - sp.t0_ns) / 1000.0);
+    }
+  }
+
+  os << "\n]}\n";
+}
+
+void write_events_csv(std::ostream& os, const Telemetry& t) {
+  os << "vtime_ticks,core,event,sub,dst,a,b\n";
+  for (const Event& e : t.events()) {
+    const char* sub = "";
+    if (e.kind == EventKind::kMsgPost || e.kind == EventKind::kMsgHandled) {
+      sub = to_string(static_cast<MsgKind>(e.sub));
+    } else if (e.kind == EventKind::kFault) {
+      sub = fault::to_string(static_cast<fault::FaultKind>(e.sub));
+    }
+    os << e.vtime << ',' << e.core << ',' << to_string(e.kind) << ',' << sub
+       << ',' << e.dst << ',' << e.a << ',' << e.b << '\n';
+  }
+}
+
+}  // namespace simany::obs

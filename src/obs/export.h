@@ -1,0 +1,32 @@
+// Trace / metrics exporters.
+//
+// write_chrome_trace emits the Chrome trace-event JSON flavor that
+// ui.perfetto.dev (and chrome://tracing) load directly:
+//   * pid 1, one tid per simulated core — task slices, nested
+//     critical-section slices, stall marks and fault instants, with
+//     virtual time mapped 1 cycle -> 1 us,
+//   * pid 2, one tid per shard (plus the serial phase) — wall-clock
+//     host-round phases when the run carried --profile-host.
+//
+// write_events_csv is the flat form the tools/trace_summary.py script
+// and spreadsheet users consume: one canonical event per row.
+#pragma once
+
+#include <iosfwd>
+
+namespace simany::obs {
+
+class Telemetry;
+
+struct ChromeTraceOptions {
+  /// Number of worker threads the run used (labels host tracks with
+  /// the worker a shard was pinned to); 0 omits the worker names.
+  unsigned host_threads = 0;
+};
+
+void write_chrome_trace(std::ostream& os, const Telemetry& t,
+                        const ChromeTraceOptions& opt = {});
+
+void write_events_csv(std::ostream& os, const Telemetry& t);
+
+}  // namespace simany::obs

@@ -1,0 +1,85 @@
+// Host-round wall-clock profiler.
+//
+// Records, per shard, how long each phase of the bulk-synchronous host
+// round took in real time: draining inbound mailboxes, executing
+// quanta, publishing proxy snapshots, waiting at the epoch barrier,
+// and the serial commit phase (attributed to the pseudo-shard
+// kSerial). Spans become host-side tracks in the Perfetto export, so
+// shard imbalance is visible next to the simulated timeline.
+//
+// Threading: each shard's span vector is written only by the worker
+// that owns the shard (the same ownership discipline as ShardState);
+// the serial vector only by the thread inside host_serial_phase. All
+// vectors are read after the run ends. Timing calls cost two
+// steady_clock reads per phase and exist only when --profile-host is
+// set; a run without a profiler never touches a clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace simany::obs {
+
+enum class HostPhase : std::uint8_t {
+  kDrain = 0,    // applying inbound cross-shard ops
+  kExecute,      // running simulation quanta
+  kPublish,      // freezing VtProxy snapshots
+  kBarrier,      // waiting for the round barrier
+  kSerial,       // the single-threaded commit / termination phase
+};
+
+[[nodiscard]] const char* to_string(HostPhase p) noexcept;
+
+struct HostSpan {
+  std::uint64_t t0_ns = 0;  // offset from run start
+  std::uint64_t t1_ns = 0;
+  HostPhase phase = HostPhase::kExecute;
+};
+
+class HostProfiler {
+ public:
+  /// Pseudo-shard id for serial-phase spans.
+  static constexpr std::uint32_t kSerial = ~std::uint32_t{0};
+
+  void bind(std::uint32_t num_shards) {
+    spans_.assign(num_shards, {});
+    serial_.clear();
+    t0_ = clock::now();
+  }
+
+  [[nodiscard]] std::uint64_t now_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             t0_)
+            .count());
+  }
+
+  void record(std::uint32_t shard, HostPhase phase, std::uint64_t t0_ns,
+              std::uint64_t t1_ns) {
+    auto& v = shard == kSerial ? serial_ : spans_[shard].spans;
+    v.push_back(HostSpan{t0_ns, t1_ns, phase});
+  }
+
+  [[nodiscard]] std::uint32_t num_shards() const noexcept {
+    return static_cast<std::uint32_t>(spans_.size());
+  }
+  [[nodiscard]] const std::vector<HostSpan>& shard_spans(
+      std::uint32_t shard) const {
+    return spans_[shard].spans;
+  }
+  [[nodiscard]] const std::vector<HostSpan>& serial_spans() const {
+    return serial_;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  struct alignas(64) PerShard {
+    std::vector<HostSpan> spans;
+  };
+  std::vector<PerShard> spans_;
+  std::vector<HostSpan> serial_;
+  clock::time_point t0_{};
+};
+
+}  // namespace simany::obs

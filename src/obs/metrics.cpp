@@ -1,0 +1,201 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+#include <stdexcept>
+#include <tuple>
+
+namespace simany::obs {
+
+namespace {
+
+[[nodiscard]] std::uint64_t fnv1a(std::uint64_t h, const void* data,
+                                  std::size_t n) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Minimal JSON string escaping for metric names (ASCII identifiers in
+/// practice; quotes/backslashes/control bytes handled anyway).
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+template <typename Vec>
+auto* find_named(Vec& v, std::string_view name) {
+  for (auto& n : v) {
+    if (n->name == name) return n.get();
+  }
+  return decltype(v.front().get()){nullptr};
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds(std::move(upper_bounds)), counts(bounds.size() + 1, 0) {
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    if (bounds[i] <= bounds[i - 1]) {
+      throw std::invalid_argument(
+          "Histogram bounds must be strictly increasing");
+    }
+  }
+}
+
+void Histogram::record(double v) noexcept {
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+  ++counts[static_cast<std::size_t>(it - bounds.begin())];
+  ++total;
+  sum += v;
+}
+
+std::uint64_t& MetricsRegistry::counter(std::string_view name) {
+  if (auto* n = find_named(counters_, name)) return n->value;
+  counters_.push_back(std::make_unique<Named<std::uint64_t>>(
+      Named<std::uint64_t>{std::string(name), 0}));
+  return counters_.back()->value;
+}
+
+double& MetricsRegistry::gauge(std::string_view name) {
+  if (auto* n = find_named(gauges_, name)) return n->value;
+  gauges_.push_back(std::make_unique<Named<double>>(
+      Named<double>{std::string(name), 0.0}));
+  return gauges_.back()->value;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  if (auto* n = find_named(histograms_, name)) return n->value;
+  histograms_.push_back(std::make_unique<Named<Histogram>>(
+      Named<Histogram>{std::string(name), Histogram(std::move(bounds))}));
+  return histograms_.back()->value;
+}
+
+void MetricsRegistry::sample(std::string_view series, std::uint64_t t_cycles,
+                             std::int32_t core, double value) {
+  auto* n = find_named(series_, series);
+  if (n == nullptr) {
+    series_.push_back(std::make_unique<Named<std::vector<Sample>>>(
+        Named<std::vector<Sample>>{std::string(series), {}}));
+    n = series_.back().get();
+  }
+  n->value.push_back(Sample{t_cycles, core, value});
+}
+
+void MetricsRegistry::sort_series() {
+  for (auto& s : series_) {
+    std::stable_sort(s->value.begin(), s->value.end(),
+                     [](const Sample& x, const Sample& y) {
+                       return std::tie(x.t_cycles, x.core) <
+                              std::tie(y.t_cycles, y.core);
+                     });
+  }
+  std::stable_sort(series_.begin(), series_.end(),
+                   [](const auto& x, const auto& y) {
+                     return x->name < y->name;
+                   });
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << "{\"counters\":{";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (i != 0) os << ',';
+    write_json_string(os, counters_[i]->name);
+    os << ':' << counters_[i]->value;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    if (i != 0) os << ',';
+    write_json_string(os, gauges_[i]->name);
+    os << ':' << gauges_[i]->value;
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    if (i != 0) os << ',';
+    const Histogram& h = histograms_[i]->value;
+    write_json_string(os, histograms_[i]->name);
+    os << ":{\"bounds\":[";
+    for (std::size_t j = 0; j < h.bounds.size(); ++j) {
+      if (j != 0) os << ',';
+      os << h.bounds[j];
+    }
+    os << "],\"counts\":[";
+    for (std::size_t j = 0; j < h.counts.size(); ++j) {
+      if (j != 0) os << ',';
+      os << h.counts[j];
+    }
+    os << "],\"total\":" << h.total << ",\"sum\":" << h.sum << '}';
+  }
+  os << "},\"series\":{";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (i != 0) os << ',';
+    write_json_string(os, series_[i]->name);
+    os << ":[";
+    const auto& rows = series_[i]->value;
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      if (j != 0) os << ',';
+      os << "{\"t\":" << rows[j].t_cycles << ",\"core\":" << rows[j].core
+         << ",\"value\":" << rows[j].value << '}';
+    }
+    os << ']';
+  }
+  os << "}}\n";
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  os << "series,t_cycles,core,value\n";
+  for (const auto& s : series_) {
+    for (const Sample& r : s->value) {
+      os << s->name << ',' << r.t_cycles << ',' << r.core << ',' << r.value
+         << '\n';
+    }
+  }
+}
+
+std::uint64_t MetricsRegistry::series_fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const auto& s : series_) {
+    h = fnv1a(h, s->name.data(), s->name.size());
+    for (const Sample& r : s->value) {
+      h = fnv1a(h, &r.t_cycles, sizeof r.t_cycles);
+      h = fnv1a(h, &r.core, sizeof r.core);
+      std::uint64_t bits;
+      static_assert(sizeof bits == sizeof r.value);
+      std::memcpy(&bits, &r.value, sizeof bits);
+      h = fnv1a(h, &bits, sizeof bits);
+    }
+  }
+  return h;
+}
+
+const std::vector<Sample>* MetricsRegistry::find_series(
+    std::string_view name) const {
+  for (const auto& s : series_) {
+    if (s->name == name) return &s->value;
+  }
+  return nullptr;
+}
+
+}  // namespace simany::obs

@@ -1,0 +1,91 @@
+// MetricsRegistry: named counters, gauges, fixed-bucket histograms and
+// time series, with JSON / CSV export.
+//
+// The registry itself is a plain single-threaded container. The engine
+// never writes to it concurrently: per-shard samples are staged in the
+// shard-local telemetry buffers and folded into the registry once, at
+// the end of the run (obs::Telemetry::finalize). It is equally usable
+// standalone — see tests/test_telemetry.cpp for the unit surface.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simany::obs {
+
+/// Fixed-bucket histogram: `bounds` are the inclusive upper edges of
+/// each bucket; values above the last bound land in an implicit
+/// overflow bucket. Bounds must be strictly increasing.
+struct Histogram {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 entries
+  std::uint64_t total = 0;
+  double sum = 0.0;
+
+  explicit Histogram(std::vector<double> upper_bounds);
+  void record(double v) noexcept;
+};
+
+/// One time-series sample. `core` is the simulated core the sample
+/// describes, or -1 for a machine-wide quantity.
+struct Sample {
+  std::uint64_t t_cycles = 0;
+  std::int32_t core = -1;
+  double value = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Named scalar accessors create-on-first-use and return a stable
+  /// reference (storage is node-based).
+  std::uint64_t& counter(std::string_view name);
+  double& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Appends one sample to the named series (created on first use).
+  void sample(std::string_view series, std::uint64_t t_cycles,
+              std::int32_t core, double value);
+
+  /// Sorts every series by (t, core); exporters and fingerprints call
+  /// this so output order never depends on append order.
+  void sort_series();
+
+  /// Full registry as a single JSON object:
+  ///   {"counters":{...},"gauges":{...},"histograms":{...},
+  ///    "series":{"name":[{"t":..,"core":..,"value":..},...]}}
+  void write_json(std::ostream& os) const;
+
+  /// Series only, one row per sample: series,t_cycles,core,value
+  void write_csv(std::ostream& os) const;
+
+  /// FNV-1a over the sorted series content (names, timestamps, cores,
+  /// value bit patterns) — the metrics counterpart of the event-stream
+  /// fingerprint.
+  [[nodiscard]] std::uint64_t series_fingerprint() const;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+           series_.empty();
+  }
+  [[nodiscard]] const std::vector<Sample>* find_series(
+      std::string_view name) const;
+
+ private:
+  template <typename T>
+  struct Named {
+    std::string name;
+    T value;
+  };
+  // Small-N linear maps: a run registers a handful of metrics, and
+  // node-based storage keeps references stable across registrations.
+  std::vector<std::unique_ptr<Named<std::uint64_t>>> counters_;
+  std::vector<std::unique_ptr<Named<double>>> gauges_;
+  std::vector<std::unique_ptr<Named<Histogram>>> histograms_;
+  std::vector<std::unique_ptr<Named<std::vector<Sample>>>> series_;
+};
+
+}  // namespace simany::obs

@@ -1,0 +1,207 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+
+namespace simany::obs {
+
+namespace {
+
+[[nodiscard]] std::uint64_t fnv1a_u64(std::uint64_t h,
+                                      std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffu;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kTaskEnd: return "task_end";
+    case EventKind::kWake: return "wake";
+    case EventKind::kMsgHandled: return "msg_handled";
+    case EventKind::kTaskEnqueue: return "task_enqueue";
+    case EventKind::kTaskStart: return "task_start";
+    case EventKind::kStall: return "stall";
+    case EventKind::kMsgPost: return "msg_post";
+    case EventKind::kLockAcquire: return "lock_acquire";
+    case EventKind::kLockRelease: return "lock_release";
+    case EventKind::kCellAcquire: return "cell_acquire";
+    case EventKind::kCellRelease: return "cell_release";
+    case EventKind::kFault: return "fault";
+  }
+  return "?";
+}
+
+const char* to_string(HostPhase p) noexcept {
+  switch (p) {
+    case HostPhase::kDrain: return "drain";
+    case HostPhase::kExecute: return "execute";
+    case HostPhase::kPublish: return "publish";
+    case HostPhase::kBarrier: return "barrier";
+    case HostPhase::kSerial: return "serial";
+  }
+  return "?";
+}
+
+std::uint64_t hash_event(std::uint64_t h, const Event& e) noexcept {
+  h = fnv1a_u64(h, e.vtime);
+  h = fnv1a_u64(h, e.core);
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(e.kind));
+  h = fnv1a_u64(h, e.sub);
+  h = fnv1a_u64(h, e.dst);
+  h = fnv1a_u64(h, e.a);
+  h = fnv1a_u64(h, e.b);
+  return h;
+}
+
+Telemetry::Telemetry(TelemetryOptions opt) : opt_(opt) {}
+Telemetry::~Telemetry() = default;
+
+void Telemetry::bind(std::uint32_t num_shards, std::uint32_t /*num_cores*/) {
+  shards_.clear();
+  shards_.resize(num_shards);
+  if (opt_.metrics_interval_cycles != 0) {
+    const Tick step = ticks(opt_.metrics_interval_cycles);
+    for (auto& sb : shards_) sb.next_sample_at = step;
+  }
+  merged_.clear();
+  sorted_ = false;
+  if (opt_.profile_host) profiler_.bind(num_shards);
+}
+
+void Telemetry::drain_at_barrier() {
+  for (auto& sb : shards_) {
+    if (sb.events.empty()) continue;
+    merged_.insert(merged_.end(), sb.events.begin(), sb.events.end());
+    sb.events.clear();
+  }
+}
+
+void Telemetry::finalize(std::uint32_t num_cores) {
+  drain_at_barrier();
+  std::sort(merged_.begin(), merged_.end(),
+            [](const Event& x, const Event& y) {
+              return canonical_less(x, y);
+            });
+  sorted_ = true;
+  for (auto& sb : shards_) {
+    for (const LiveSample& s : sb.samples) {
+      metrics_.sample(kLiveSeriesNames[s.series], s.t_cycles, s.core,
+                      s.value);
+    }
+    sb.samples.clear();
+  }
+  derive_series(num_cores);
+  metrics_.sort_series();
+}
+
+std::uint64_t Telemetry::fingerprint(EventClass c) const {
+  std::uint64_t h = kFingerprintSeed;
+  for (const Event& e : merged_) {
+    if (in_class(e.kind, c)) h = hash_event(h, e);
+  }
+  return h;
+}
+
+// Series computed from the merged stream on the virtual-time grid.
+// Because the input is canonical, these are exactly as portable across
+// host backends as the event stream itself.
+void Telemetry::derive_series(std::uint32_t num_cores) {
+  if (merged_.empty()) return;
+
+  Histogram& task_h = metrics_.histogram(
+      "task_duration_cycles",
+      {1, 10, 100, 1000, 10000, 100000, 1000000});
+  Histogram& lat_h = metrics_.histogram(
+      "msg_latency_cycles", {1, 2, 5, 10, 20, 50, 100, 1000});
+
+  // (t, core, delta) deltas for inbox depth; +1 at arrival, -1 when
+  // handled. Kept separate because arrivals are not in `sent` order.
+  struct Delta {
+    Tick t;
+    std::uint32_t core;
+    std::int32_t d;
+  };
+  std::vector<Delta> inbox_deltas;
+
+  std::vector<Tick> task_open(num_cores, kTickInfinity);
+  for (const Event& e : merged_) {
+    switch (e.kind) {
+      case EventKind::kTaskStart:
+        task_open[e.core] = e.vtime;
+        break;
+      case EventKind::kTaskEnd:
+        if (task_open[e.core] != kTickInfinity) {
+          task_h.record(
+              static_cast<double>(cycles_fp(e.vtime - task_open[e.core])));
+          task_open[e.core] = kTickInfinity;
+        }
+        break;
+      case EventKind::kMsgPost:
+        if (e.a >= e.vtime) {
+          lat_h.record(static_cast<double>(cycles_fp(e.a - e.vtime)));
+        }
+        inbox_deltas.push_back(Delta{e.a, e.dst, +1});
+        break;
+      case EventKind::kMsgHandled:
+        inbox_deltas.push_back(Delta{e.vtime, e.core, -1});
+        break;
+      default:
+        break;
+    }
+  }
+
+  const std::uint64_t interval = opt_.metrics_interval_cycles;
+  if (interval == 0) return;
+  const Tick step = ticks(interval);
+
+  // -1 deltas first at equal t: a message handled at its own arrival
+  // tick never shows as queued on the grid.
+  std::sort(inbox_deltas.begin(), inbox_deltas.end(),
+            [](const Delta& x, const Delta& y) {
+              return std::tie(x.t, x.d, x.core) < std::tie(y.t, y.d, y.core);
+            });
+
+  const Tick last = merged_.back().vtime;
+  std::vector<std::int64_t> running(num_cores, 0);
+  std::vector<std::int64_t> queued(num_cores, 0);
+  std::vector<std::int64_t> inbox(num_cores, 0);
+
+  std::size_t ei = 0;
+  std::size_t di = 0;
+  for (Tick t = step; t <= last; t = sat_add(t, step)) {
+    for (; ei < merged_.size() && merged_[ei].vtime <= t; ++ei) {
+      const Event& e = merged_[ei];
+      switch (e.kind) {
+        case EventKind::kTaskEnqueue: ++queued[e.core]; break;
+        case EventKind::kTaskStart:
+          if (queued[e.core] > 0) --queued[e.core];
+          running[e.core] = 1;
+          break;
+        case EventKind::kTaskEnd: running[e.core] = 0; break;
+        default: break;
+      }
+    }
+    for (; di < inbox_deltas.size() && inbox_deltas[di].t <= t; ++di) {
+      const Delta& d = inbox_deltas[di];
+      inbox[d.core] = std::max<std::int64_t>(0, inbox[d.core] + d.d);
+    }
+    const std::uint64_t tc = cycles_floor(t);
+    std::int64_t runnable = 0;
+    for (std::uint32_t c = 0; c < num_cores; ++c) {
+      const std::int64_t occ = running[c] + queued[c];
+      if (occ > 0) ++runnable;
+      metrics_.sample("occupancy", tc, static_cast<std::int32_t>(c),
+                      static_cast<double>(occ));
+      metrics_.sample("inbox_depth", tc, static_cast<std::int32_t>(c),
+                      static_cast<double>(inbox[c]));
+    }
+    metrics_.sample("runnable_cores", tc, -1,
+                    static_cast<double>(runnable));
+  }
+}
+
+}  // namespace simany::obs

@@ -1,0 +1,140 @@
+// Telemetry front-end: what the engine talks to.
+//
+// A Telemetry object owns
+//   * one append-only event buffer per shard (written single-threaded
+//     by the shard's owner, drained single-threaded at the epoch
+//     barrier — lock-free by ownership, not by atomics),
+//   * a MetricsRegistry fed from per-shard staged samples plus series
+//     derived from the merged event stream after the run,
+//   * an optional HostProfiler (--profile-host).
+//
+// Unlike TraceSink / EngineObserver, attaching a Telemetry does NOT
+// pin the run to the sequential host: every record() call is local to
+// the executing shard and adds nothing to simulated time. The merged
+// stream is produced by Engine at the end of run() via finalize().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/vtime.h"
+#include "obs/event.h"
+#include "obs/host_profile.h"
+#include "obs/metrics.h"
+
+namespace simany::obs {
+
+struct TelemetryOptions {
+  /// Record the event stream (task/message/lock/fault/...).
+  bool events = true;
+  /// Record sync (stall/wake) events alongside architectural ones.
+  bool sync_events = true;
+  /// Virtual-time sampling period for the live metric series, in
+  /// cycles; 0 disables live sampling.
+  std::uint64_t metrics_interval_cycles = 0;
+  /// Wall-clock host-round profiling (adds host tracks to the trace).
+  bool profile_host = false;
+};
+
+/// One staged live sample (per-shard, folded into the registry at
+/// finalize). `series` indexes kLiveSeriesNames.
+struct LiveSample {
+  std::uint64_t t_cycles = 0;
+  std::int32_t core = -1;
+  std::uint8_t series = 0;
+  double value = 0.0;
+};
+
+inline constexpr const char* kLiveSeriesNames[] = {
+    "drift_gap_cycles",        // per-core lead over slowest neighbor view
+    "available_parallelism",   // actionable cores in the shard (core = -1)
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryOptions opt = {});
+  ~Telemetry();
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  [[nodiscard]] const TelemetryOptions& options() const noexcept {
+    return opt_;
+  }
+
+  // ---- Engine-facing (hot path) -------------------------------------
+
+  /// Sizes the per-shard buffers. Called from Engine::host_setup.
+  void bind(std::uint32_t num_shards, std::uint32_t num_cores);
+
+  /// Appends one event to `shard`'s buffer. Must only be called from
+  /// the context that owns the shard (engine call sites guarantee it).
+  void record(std::uint32_t shard, const Event& e) {
+    if (!opt_.events) return;
+    if (!opt_.sync_events && is_sync_event(e.kind)) return;
+    shards_[shard].events.push_back(e);
+  }
+
+  /// Stages one live metric sample on `shard`.
+  void stage_sample(std::uint32_t shard, const LiveSample& s) {
+    shards_[shard].samples.push_back(s);
+  }
+
+  /// Next virtual-time sampling boundary for `shard` (mutable: the
+  /// engine advances it as it emits samples).
+  [[nodiscard]] Tick& next_sample_at(std::uint32_t shard) noexcept {
+    return shards_[shard].next_sample_at;
+  }
+
+  /// Moves every shard buffer's events into the central stream. Runs
+  /// inside the serial barrier phase, when no worker is in a round, so
+  /// per-round memory stays bounded by round activity.
+  void drain_at_barrier();
+
+  /// Final drain + canonical sort + derived metric series. Called once
+  /// by Engine at the end of run().
+  void finalize(std::uint32_t num_cores);
+
+  [[nodiscard]] HostProfiler* profiler() noexcept {
+    return opt_.profile_host ? &profiler_ : nullptr;
+  }
+
+  // ---- Consumer-facing ----------------------------------------------
+
+  /// The merged, canonically sorted stream (valid after run()).
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return merged_;
+  }
+
+  /// FNV-1a fingerprint of the merged stream, restricted to an event
+  /// class. Architectural-only fingerprints are shard-count-portable
+  /// whenever the simulated timeline is; kAll additionally covers the
+  /// stall/wake records (see event.h).
+  [[nodiscard]] std::uint64_t fingerprint(
+      EventClass c = EventClass::kAll) const;
+
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] const HostProfiler& host_profiler() const noexcept {
+    return profiler_;
+  }
+
+ private:
+  void derive_series(std::uint32_t num_cores);
+
+  struct alignas(64) ShardBuf {
+    std::vector<Event> events;
+    std::vector<LiveSample> samples;
+    Tick next_sample_at = 0;
+  };
+
+  TelemetryOptions opt_;
+  std::vector<ShardBuf> shards_;
+  std::vector<Event> merged_;
+  bool sorted_ = false;
+  MetricsRegistry metrics_;
+  HostProfiler profiler_;
+};
+
+}  // namespace simany::obs

@@ -208,6 +208,29 @@ TEST(ConfigIo, FaultFreeConfigEmitsNoFaultBlock) {
   EXPECT_EQ(ss.str().find("fault_"), std::string::npos);
 }
 
+TEST(ConfigIo, TelemetryKeysRoundTrip) {
+  std::stringstream in(
+      "cores 16\n"
+      "metrics_interval 250\n"
+      "profile_host on\n");
+  const auto cfg = parse_config(in);
+  EXPECT_EQ(cfg.obs.metrics_interval_cycles, 250u);
+  EXPECT_TRUE(cfg.obs.profile_host);
+
+  std::stringstream ss;
+  save_config(cfg, ss);
+  const auto parsed = parse_config(ss);
+  EXPECT_EQ(parsed.obs.metrics_interval_cycles, 250u);
+  EXPECT_TRUE(parsed.obs.profile_host);
+}
+
+TEST(ConfigIo, UninstrumentedConfigEmitsNoTelemetryKeys) {
+  std::stringstream ss;
+  save_config(ArchConfig::shared_mesh(4), ss);
+  EXPECT_EQ(ss.str().find("metrics_interval"), std::string::npos);
+  EXPECT_EQ(ss.str().find("profile_host"), std::string::npos);
+}
+
 TEST(ConfigIo, Errors) {
   std::stringstream no_cores("memory shared\n");
   EXPECT_THROW((void)parse_config(no_cores), std::runtime_error);

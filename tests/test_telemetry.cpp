@@ -1,0 +1,385 @@
+// Shard-aware telemetry (src/obs): determinism contract, metrics, and
+// exporters.
+//
+// The headline guarantees under test:
+//   1. Attaching a Telemetry never perturbs the simulation (identical
+//      SimStats with and without it) and does not pin the run to the
+//      sequential host.
+//   2. The merged event stream is bit-identical between the sequential
+//      backend and a one-shard parallel run, for the full event set,
+//      and thread-count-invariant at any fixed shard count.
+//   3. For workloads whose simulated timeline is shard-invariant (no
+//      placement decisions read frozen cross-shard proxies), the
+//      architectural event stream is bit-identical across sequential
+//      and 1/2/4-shard parallel runs — on more than one topology.
+//   4. Fault events appear on the exported Perfetto timeline, and the
+//      host profiler produces wall-clock tracks under --profile-host.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "config/arch_config.h"
+#include "core/engine.h"
+#include "dwarfs/dwarfs.h"
+#include "net/topology.h"
+#include "obs/event.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace simany {
+namespace {
+
+using obs::Event;
+using obs::EventClass;
+using obs::EventKind;
+
+// ---------------------------------------------------------------------
+// Canonical order and fingerprint: pure functions of the multiset
+// ---------------------------------------------------------------------
+
+std::vector<Event> sample_events() {
+  return {
+      Event{.vtime = 24, .core = 1, .kind = EventKind::kTaskStart},
+      Event{.vtime = 12, .core = 2, .kind = EventKind::kTaskStart},
+      Event{.vtime = 24, .core = 1, .kind = EventKind::kTaskEnd},
+      Event{.vtime = 24, .a = 36, .core = 0, .dst = 1,
+            .kind = EventKind::kMsgPost},
+      Event{.vtime = 24, .core = 1, .kind = EventKind::kStall},
+      Event{.vtime = 12, .a = 7, .core = 2, .kind = EventKind::kLockAcquire},
+  };
+}
+
+TEST(CanonicalOrder, SortIsUniqueForAnyInputPermutation) {
+  std::vector<Event> base = sample_events();
+  std::sort(base.begin(), base.end(), obs::canonical_less);
+  std::vector<Event> shuffled = sample_events();
+  std::mt19937 gen(42);
+  for (int i = 0; i < 20; ++i) {
+    std::shuffle(shuffled.begin(), shuffled.end(), gen);
+    std::vector<Event> sorted = shuffled;
+    std::sort(sorted.begin(), sorted.end(), obs::canonical_less);
+    for (std::size_t j = 0; j < base.size(); ++j) {
+      EXPECT_EQ(base[j].key(), sorted[j].key()) << "position " << j;
+    }
+  }
+}
+
+TEST(CanonicalOrder, EndSortsBeforeStartAtSameInstant) {
+  const Event end{.vtime = 24, .core = 1, .kind = EventKind::kTaskEnd};
+  const Event start{.vtime = 24, .core = 1, .kind = EventKind::kTaskStart};
+  EXPECT_TRUE(obs::canonical_less(end, start));
+  EXPECT_FALSE(obs::canonical_less(start, end));
+}
+
+TEST(CanonicalOrder, FingerprintSeparatesClasses) {
+  std::vector<Event> ev = sample_events();
+  std::sort(ev.begin(), ev.end(), obs::canonical_less);
+  std::uint64_t all = obs::kFingerprintSeed;
+  std::uint64_t arch = obs::kFingerprintSeed;
+  for (const Event& e : ev) {
+    all = obs::hash_event(all, e);
+    if (obs::in_class(e.kind, EventClass::kArchitectural)) {
+      arch = obs::hash_event(arch, e);
+    }
+  }
+  EXPECT_NE(all, arch);  // the stream contains one sync event
+  EXPECT_TRUE(obs::is_sync_event(EventKind::kStall));
+  EXPECT_TRUE(obs::is_sync_event(EventKind::kWake));
+  EXPECT_FALSE(obs::is_sync_event(EventKind::kMsgPost));
+}
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------
+
+TEST(MetricsRegistry, CountersGaugesHistograms) {
+  obs::MetricsRegistry reg;
+  reg.counter("a") += 3;
+  reg.counter("a") += 2;
+  reg.gauge("g") = 1.5;
+  obs::Histogram& h = reg.histogram("h", {10.0, 100.0});
+  h.record(5.0);
+  h.record(50.0);
+  h.record(500.0);
+  EXPECT_EQ(reg.counter("a"), 5u);
+  EXPECT_DOUBLE_EQ(reg.gauge("g"), 1.5);
+  EXPECT_EQ(h.total, 3u);
+  EXPECT_EQ(h.counts[0], 1u);  // < 10
+  EXPECT_EQ(h.counts[1], 1u);  // < 100
+  EXPECT_EQ(h.counts[2], 1u);  // overflow bucket
+  EXPECT_THROW(reg.histogram("bad", {5.0, 5.0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, SeriesFingerprintIsAppendOrderInvariant) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.sample("s", 10, 0, 1.0);
+  a.sample("s", 20, 1, 2.0);
+  b.sample("s", 20, 1, 2.0);
+  b.sample("s", 10, 0, 1.0);
+  a.sort_series();
+  b.sort_series();
+  EXPECT_EQ(a.series_fingerprint(), b.series_fingerprint());
+}
+
+TEST(MetricsRegistry, JsonAndCsvExportSmoke) {
+  obs::MetricsRegistry reg;
+  reg.counter("msgs") = 7;
+  reg.gauge("par") = 3.25;
+  reg.histogram("lat", {1.0, 10.0}).record(4.0);
+  reg.sample("occ", 100, 2, 1.0);
+  reg.sort_series();
+  std::ostringstream js;
+  reg.write_json(js);
+  EXPECT_NE(js.str().find("\"msgs\":7"), std::string::npos);
+  EXPECT_NE(js.str().find("\"occ\""), std::string::npos);
+  std::ostringstream cs;
+  reg.write_csv(cs);
+  EXPECT_NE(cs.str().find("series,t_cycles,core,value"), std::string::npos);
+  EXPECT_NE(cs.str().find("occ,100,2,1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Engine integration
+// ---------------------------------------------------------------------
+
+struct RunResult {
+  SimStats stats;
+  std::uint64_t fp_all = 0;
+  std::uint64_t fp_arch = 0;
+  std::uint64_t fp_metrics = 0;
+  std::size_t events = 0;
+};
+
+ArchConfig parallel(ArchConfig cfg, std::uint32_t shards,
+                    std::uint32_t threads) {
+  cfg.host.mode = HostMode::kParallel;
+  cfg.host.shards = shards;
+  cfg.host.threads = threads;
+  return cfg;
+}
+
+RunResult run_with_telemetry(const ArchConfig& cfg, const TaskFn& root,
+                             std::uint64_t interval = 0) {
+  obs::TelemetryOptions opt;
+  opt.metrics_interval_cycles = interval;
+  obs::Telemetry t(opt);
+  Engine sim(cfg);
+  sim.set_telemetry(&t);
+  RunResult r;
+  r.stats = sim.run(root);
+  r.fp_all = t.fingerprint(EventClass::kAll);
+  r.fp_arch = t.fingerprint(EventClass::kArchitectural);
+  r.fp_metrics = t.metrics().series_fingerprint();
+  r.events = t.events().size();
+  return r;
+}
+
+TaskFn dwarf_root(const std::string& name) {
+  return dwarfs::dwarf_by_name(name).make_root(1, 0.05);
+}
+
+TEST(TelemetryEngine, AttachingDoesNotPerturbTheSimulation) {
+  const ArchConfig cfg = ArchConfig::shared_mesh(16);
+  const TaskFn root = dwarf_root("spmxv");
+  Engine bare(cfg);
+  const SimStats plain = bare.run(root);
+  const RunResult instrumented = run_with_telemetry(cfg, root, 50);
+  EXPECT_EQ(plain.completion_ticks, instrumented.stats.completion_ticks);
+  EXPECT_EQ(plain.messages, instrumented.stats.messages);
+  EXPECT_EQ(plain.sync_stalls, instrumented.stats.sync_stalls);
+  EXPECT_EQ(plain.core_busy_ticks, instrumented.stats.core_busy_ticks);
+  EXPECT_GT(instrumented.events, 0u);
+}
+
+TEST(TelemetryEngine, SequentialEqualsOneShardParallelFullStream) {
+  for (const char* dwarf : {"spmxv", "quicksort"}) {
+    for (const bool distributed : {false, true}) {
+      const ArchConfig cfg = distributed ? ArchConfig::distributed_mesh(16)
+                                         : ArchConfig::shared_mesh(16);
+      const TaskFn root = dwarf_root(dwarf);
+      const RunResult seq = run_with_telemetry(cfg, root, 100);
+      const RunResult par = run_with_telemetry(parallel(cfg, 1, 4), root,
+                                               100);
+      EXPECT_EQ(seq.fp_all, par.fp_all) << dwarf << " distributed="
+                                        << distributed;
+      EXPECT_EQ(seq.events, par.events);
+      EXPECT_EQ(seq.fp_metrics, par.fp_metrics);
+      EXPECT_EQ(seq.stats.completion_ticks, par.stats.completion_ticks);
+    }
+  }
+}
+
+TEST(TelemetryEngine, FixedShardCountIsThreadInvariant) {
+  const ArchConfig cfg = ArchConfig::shared_mesh(16);
+  const TaskFn root = dwarf_root("spmxv");
+  const RunResult t1 = run_with_telemetry(parallel(cfg, 4, 1), root, 100);
+  const RunResult t2 = run_with_telemetry(parallel(cfg, 4, 2), root, 100);
+  const RunResult t4 = run_with_telemetry(parallel(cfg, 4, 4), root, 100);
+  EXPECT_EQ(t1.fp_all, t2.fp_all);
+  EXPECT_EQ(t1.fp_all, t4.fp_all);
+  EXPECT_EQ(t1.fp_metrics, t2.fp_metrics);
+  EXPECT_EQ(t1.fp_metrics, t4.fp_metrics);
+  EXPECT_EQ(t1.events, t4.events);
+}
+
+// A workload whose simulated timeline is shard-count-invariant: one
+// root task on core 0 performs strictly serialized remote cell reads
+// (DATA_REQUEST -> DATA_RESPONSE -> CELL_RELEASE). No probes, spawns,
+// migrations or contended objects, so no decision ever consults a
+// frozen cross-shard proxy, and every handler core is idle when a
+// request arrives (it processes at the network arrival time). The
+// *architectural* trace must therefore be bit-identical at any shard
+// count; stall/wake placement is host cadence and stays out of scope.
+TaskFn traffic_root() {
+  return [](TaskCtx& ctx) {
+    const std::uint32_t n = ctx.num_cores();
+    std::vector<CellId> cells;
+    for (std::uint32_t h = 1; h < n; ++h) {
+      cells.push_back(ctx.make_cell_at(256, h));
+    }
+    for (int round = 0; round < 3; ++round) {
+      for (const CellId cell : cells) {
+        ctx.compute(20);
+        CellGuard guard(ctx, cell, AccessMode::kRead);
+        ctx.compute(5);
+      }
+    }
+  };
+}
+
+TEST(TelemetryEngine, ArchitecturalStreamBitIdenticalAcrossShardCounts) {
+  ArchConfig mesh = ArchConfig::distributed_mesh(16);
+  ArchConfig ring = ArchConfig::distributed_mesh(16);
+  ring.topology = net::Topology::ring(16);
+  int checked = 0;
+  for (const ArchConfig& cfg : {mesh, ring}) {
+    const TaskFn root = traffic_root();
+    const RunResult seq = run_with_telemetry(cfg, root);
+    ASSERT_GT(seq.events, 0u);
+    for (const std::uint32_t shards : {1u, 2u, 4u}) {
+      const RunResult par =
+          run_with_telemetry(parallel(cfg, shards, 2), root);
+      EXPECT_EQ(seq.fp_arch, par.fp_arch)
+          << "shards=" << shards << " topology=" << checked;
+      EXPECT_EQ(seq.stats.completion_ticks, par.stats.completion_ticks)
+          << "shards=" << shards << " topology=" << checked;
+    }
+    ++checked;
+  }
+  EXPECT_EQ(checked, 2);
+}
+
+TEST(TelemetryEngine, DriftHighWaterMarkMatchesSeqVsOneShard) {
+  const ArchConfig cfg = ArchConfig::shared_mesh(16);
+  const TaskFn root = dwarf_root("spmxv");
+  Engine a(cfg);
+  const SimStats seq = a.run(root);
+  Engine b(parallel(cfg, 1, 2));
+  const SimStats par = b.run(root);
+  EXPECT_GT(seq.drift_max_ticks, 0u);
+  EXPECT_EQ(seq.drift_max_ticks, par.drift_max_ticks);
+  // The gap is bounded by the drift window plus one compute block's
+  // overshoot; completion is a safe, if generous, ceiling.
+  EXPECT_LT(seq.drift_max_ticks, seq.completion_ticks);
+}
+
+// ---------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------
+
+TEST(TelemetryExport, FaultEventsAppearOnTheJsonTimeline) {
+  ArchConfig cfg = ArchConfig::shared_mesh(16);
+  cfg.fault.seed = 7;
+  cfg.fault.stall_prob = 0.2;
+  cfg.fault.stall_cycles = 40;
+  obs::Telemetry t;
+  Engine sim(cfg);
+  sim.set_telemetry(&t);
+  const SimStats st = sim.run(dwarf_root("spmxv"));
+  ASSERT_GT(st.fault_core_stalls, 0u);
+  std::size_t fault_events = 0;
+  for (const Event& e : t.events()) {
+    if (e.kind == EventKind::kFault) ++fault_events;
+  }
+  EXPECT_EQ(fault_events, st.faults_injected);
+  std::ostringstream os;
+  obs::write_chrome_trace(os, t);
+  EXPECT_NE(os.str().find("\"fault:core-stall\""), std::string::npos);
+  std::ostringstream cs;
+  obs::write_events_csv(cs, t);
+  EXPECT_NE(cs.str().find("fault,core-stall"), std::string::npos);
+}
+
+TEST(TelemetryExport, ChromeTraceHasCoreTracksAndTaskSlices) {
+  obs::Telemetry t;
+  Engine sim(ArchConfig::shared_mesh(16));
+  sim.set_telemetry(&t);
+  (void)sim.run(dwarf_root("quicksort"));
+  std::ostringstream os;
+  obs::write_chrome_trace(os, t);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("simulated cores"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"task\""), std::string::npos);
+  // No profiler attached: no host-side wall-clock process.
+  EXPECT_EQ(json.find("host rounds"), std::string::npos);
+}
+
+TEST(TelemetryExport, HostProfilerProducesRoundPhaseTracks) {
+  obs::TelemetryOptions opt;
+  opt.profile_host = true;
+  obs::Telemetry t(opt);
+  Engine sim(parallel(ArchConfig::shared_mesh(16), 4, 2));
+  sim.set_telemetry(&t);
+  (void)sim.run(dwarf_root("spmxv"));
+  ASSERT_NE(t.profiler(), nullptr);
+  const obs::HostProfiler& prof = t.host_profiler();
+  EXPECT_EQ(prof.num_shards(), 4u);
+  EXPECT_FALSE(prof.serial_spans().empty());
+  bool any_execute = false;
+  bool any_barrier = false;
+  for (std::uint32_t s = 0; s < prof.num_shards(); ++s) {
+    for (const obs::HostSpan& sp : prof.shard_spans(s)) {
+      EXPECT_LE(sp.t0_ns, sp.t1_ns);
+      any_execute |= sp.phase == obs::HostPhase::kExecute;
+      any_barrier |= sp.phase == obs::HostPhase::kBarrier;
+    }
+  }
+  EXPECT_TRUE(any_execute);
+  EXPECT_TRUE(any_barrier);
+  std::ostringstream os;
+  obs::ChromeTraceOptions copt;
+  copt.host_threads = 2;
+  obs::write_chrome_trace(os, t, copt);
+  EXPECT_NE(os.str().find("host rounds (wall clock)"), std::string::npos);
+  EXPECT_NE(os.str().find("serial phase"), std::string::npos);
+}
+
+TEST(TelemetryExport, MetricsCarrySampledSeriesAndFinalCounters) {
+  const ArchConfig cfg = ArchConfig::shared_mesh(16);
+  const RunResult r = run_with_telemetry(cfg, dwarf_root("spmxv"), 50);
+  obs::TelemetryOptions opt;
+  opt.metrics_interval_cycles = 50;
+  obs::Telemetry t(opt);
+  Engine sim(cfg);
+  sim.set_telemetry(&t);
+  (void)sim.run(dwarf_root("spmxv"));
+  obs::MetricsRegistry& m = t.metrics();
+  EXPECT_EQ(m.counter("messages"), r.stats.messages);
+  EXPECT_EQ(m.counter("sync_stalls"), r.stats.sync_stalls);
+  EXPECT_NE(m.find_series("occupancy"), nullptr);
+  EXPECT_NE(m.find_series("runnable_cores"), nullptr);
+  const auto* occ = m.find_series("occupancy");
+  ASSERT_NE(occ, nullptr);
+  EXPECT_FALSE(occ->empty());
+}
+
+}  // namespace
+}  // namespace simany

@@ -90,7 +90,8 @@ def micro_metrics(doc, reference, role):
             continue
         times[b["name"]] = float(b["real_time"])
         for key, val in b.items():
-            if key in ("inbox_heap_allocs_per_run", "host_rounds_per_run"):
+            if key in ("inbox_heap_allocs_per_run", "host_rounds_per_run",
+                       "obs_events_per_run"):
                 counters[f"{b['name']}/{key}"] = float(val)
     ref = times.get(reference)
     if ref is None or ref <= 0.0:

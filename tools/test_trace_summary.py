@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Unit tests for trace_summary.py: both input formats must produce the
+same summary for equivalent content, and the headline numbers (busiest
+cores, stall counts, longest critical section, fault timeline) must be
+exact on hand-built traces."""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import trace_summary  # noqa: E402
+
+T = trace_summary.TICKS_PER_CYCLE
+
+
+def csv_text(rows):
+    out = ["vtime_ticks,core,event,sub,dst,a,b"]
+    for r in rows:
+        out.append(",".join(str(x) for x in r))
+    return "\n".join(out) + "\n"
+
+
+class CsvSummaryTest(unittest.TestCase):
+    def summarize(self, rows, **kw):
+        events = trace_summary.events_from_csv(
+            io.StringIO(csv_text(rows)))
+        return trace_summary.summarize_events(events, **kw)
+
+    def test_busiest_cores_ranked_by_busy_time(self):
+        rows = [
+            (0 * T, 0, "task_start", "", 0, 0, 0),
+            (100 * T, 0, "task_end", "", 0, 0, 0),
+            (0 * T, 1, "task_start", "", 0, 0, 0),
+            (300 * T, 1, "task_end", "", 0, 0, 0),
+            (0 * T, 2, "task_start", "", 0, 0, 0),
+            (200 * T, 2, "task_end", "", 0, 0, 0),
+        ]
+        s = self.summarize(rows, top=2)
+        self.assertEqual([r["core"] for r in s["top_cores"]], [1, 2])
+        self.assertEqual(s["top_cores"][0]["busy_cycles"], 300.0)
+        self.assertAlmostEqual(s["top_cores"][0]["busy_share"], 0.5)
+        self.assertEqual(s["top_cores"][0]["tasks"], 1)
+
+    def test_unmatched_task_start_ignored(self):
+        rows = [(0, 0, "task_start", "", 0, 0, 0)]
+        s = self.summarize(rows)
+        self.assertEqual(s["top_cores"], [])
+        self.assertEqual(s["events"], 1)
+
+    def test_stall_counts(self):
+        rows = [
+            (10 * T, 3, "stall", "", 0, 0, 0),
+            (20 * T, 3, "stall", "", 0, 0, 0),
+            (20 * T, 4, "stall", "", 0, 0, 0),
+            (1000 * T, 3, "task_start", "", 0, 0, 0),
+            (2000 * T, 3, "task_end", "", 0, 0, 0),
+        ]
+        s = self.summarize(rows)
+        self.assertEqual(s["stalls"]["total"], 3)
+        self.assertEqual(s["stalls"]["cores_affected"], 2)
+        self.assertEqual(s["stalls"]["max_per_core"], 2)
+        self.assertAlmostEqual(s["stalls"]["per_kilocycle"], 1.5)
+
+    def test_longest_critical_section(self):
+        rows = [
+            (0, 0, "lock_acquire", "", 0, 7, 0),
+            (50 * T, 0, "lock_release", "", 0, 7, 0),
+            (0, 1, "cell_acquire", "READ", 0, 9, 0),
+            (90 * T, 1, "cell_release", "", 0, 9, 0),
+        ]
+        s = self.summarize(rows)
+        lc = s["longest_critical"]
+        self.assertEqual(lc["core"], 1)
+        self.assertEqual(lc["object"], "cell 9")
+        self.assertEqual(lc["dur_cycles"], 90.0)
+
+    def test_fault_timeline_ordered_and_capped(self):
+        rows = [(i * T, i % 2, "fault", "CORE_STALL", 0, 40, 0)
+                for i in range(5)]
+        s = self.summarize(rows, faults=3)
+        self.assertEqual(s["faults_total"], 5)
+        self.assertEqual(len(s["faults"]), 3)
+        self.assertEqual(s["faults"][0]["kind"], "CORE_STALL")
+        self.assertEqual(s["faults"][0]["magnitude"], 40)
+
+
+class ChromeEquivalenceTest(unittest.TestCase):
+    def test_chrome_and_csv_agree(self):
+        rows = [
+            (0, 0, "task_start", "", 0, 0, 0),
+            (100 * T, 0, "task_end", "", 0, 0, 0),
+            (5 * T, 0, "lock_acquire", "", 0, 11, 0),
+            (25 * T, 0, "lock_release", "", 0, 11, 0),
+            (30 * T, 1, "stall", "", 0, 0, 0),
+            (60 * T, 1, "fault", "MEM_SPIKE", 0, 500, 0),
+        ]
+        chrome = {"traceEvents": [
+            {"ph": "M", "pid": 1, "name": "process_name",
+             "args": {"name": "simulated cores"}},
+            {"ph": "X", "pid": 1, "tid": 0, "cat": "task", "name": "task",
+             "ts": 0.0, "dur": 100.0},
+            {"ph": "X", "pid": 1, "tid": 0, "cat": "critical",
+             "name": "lock b", "ts": 5.0, "dur": 20.0},
+            {"ph": "X", "pid": 1, "tid": 1, "cat": "sync", "name": "stall",
+             "ts": 30.0, "dur": 0.0},
+            {"ph": "i", "pid": 1, "tid": 1, "cat": "fault",
+             "name": "fault:MEM_SPIKE", "ts": 60.0, "s": "t"},
+            # host track: must be ignored
+            {"ph": "X", "pid": 2, "tid": 0, "cat": "host",
+             "name": "execute", "ts": 0.0, "dur": 9999.0},
+        ]}
+        s_csv = trace_summary.summarize_events(
+            trace_summary.events_from_csv(io.StringIO(csv_text(rows))))
+        s_chrome = trace_summary.summarize_events(
+            trace_summary.events_from_chrome(chrome))
+        for key in ("top_cores", "stalls", "longest_critical",
+                    "faults_total"):
+            self.assertEqual(s_csv[key], s_chrome[key], key)
+        self.assertEqual(s_chrome["faults"][0]["kind"], "MEM_SPIKE")
+
+
+class LoadAndRenderTest(unittest.TestCase):
+    def test_load_detects_format_and_render_mentions_faults(self):
+        rows = [
+            (0, 0, "task_start", "", 0, 0, 0),
+            (100 * T, 0, "task_end", "", 0, 0, 0),
+            (50 * T, 0, "fault", "MSG_DROP", 0, 1, 0),
+        ]
+        with tempfile.TemporaryDirectory() as d:
+            cpath = os.path.join(d, "t.csv")
+            with open(cpath, "w") as f:
+                f.write(csv_text(rows))
+            jpath = os.path.join(d, "t.json")
+            with open(jpath, "w") as f:
+                json.dump({"traceEvents": [
+                    {"ph": "X", "pid": 1, "tid": 0, "cat": "task",
+                     "name": "task", "ts": 0.0, "dur": 100.0},
+                    {"ph": "i", "pid": 1, "tid": 0, "cat": "fault",
+                     "name": "fault:MSG_DROP", "ts": 50.0, "s": "t"},
+                ]}, f)
+            s1 = trace_summary.summarize_events(
+                trace_summary.load_events(cpath))
+            s2 = trace_summary.summarize_events(
+                trace_summary.load_events(jpath))
+        self.assertEqual(s1["top_cores"], s2["top_cores"])
+        text = trace_summary.render(s1)
+        self.assertIn("MSG_DROP", text)
+        self.assertIn("busiest cores", text)
+        self.assertIn("core 0", text)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Summarize a simany telemetry trace.
+
+Consumes either output of the telemetry exporters:
+
+  * the flat event CSV written by `simany_cli --trace-csv`
+    (vtime_ticks,core,event,sub,dst,a,b — see src/obs/export.cpp), or
+  * the Perfetto / Chrome trace-event JSON written by `--trace-json`
+    (pid 1 = simulated cores, 1 cycle = 1 us on the trace axis).
+
+and prints the run's shape at a glance: the top-N busiest cores, the
+sync-stall distribution, the longest critical section, and the fault
+timeline. Sync stalls are zero-width in *virtual* time by construction
+(a stalled core's clock does not advance), so stalls are reported as
+counts, not durations.
+
+Usage:
+  trace_summary.py TRACE [--top N] [--faults N] [--json]
+"""
+
+import argparse
+import csv
+import json
+import sys
+
+TICKS_PER_CYCLE = 12
+
+
+def summarize_events(events, top=5, faults=10):
+    """Summary dict from an iterable of event dicts with keys
+    t_cycles (float), core (int), kind (str), sub (str), a (int)."""
+    busy = {}       # core -> busy cycles (task slices)
+    tasks = {}      # core -> completed task count
+    stalls = {}     # core -> stall count
+    open_task = {}  # core -> start t
+    open_obj = {}   # (core, object) -> (kind, start t)
+    longest = None  # (dur, t0, core, label)
+    fault_rows = []
+    t_max = 0.0
+    total = 0
+
+    for e in events:
+        total += 1
+        t = e["t_cycles"]
+        core = e["core"]
+        kind = e["kind"]
+        t_max = max(t_max, t)
+        if kind == "task_start":
+            open_task[core] = t
+        elif kind == "task_end":
+            t0 = open_task.pop(core, None)
+            if t0 is not None:
+                busy[core] = busy.get(core, 0.0) + (t - t0)
+                tasks[core] = tasks.get(core, 0) + 1
+        elif kind == "stall":
+            stalls[core] = stalls.get(core, 0) + 1
+        elif kind in ("lock_acquire", "cell_acquire"):
+            open_obj[(core, e["a"])] = (kind.split("_")[0], t)
+        elif kind in ("lock_release", "cell_release"):
+            entry = open_obj.pop((core, e["a"]), None)
+            if entry is not None:
+                label = "%s %x" % (entry[0], e["a"])
+                cand = (t - entry[1], entry[1], core, label)
+                if longest is None or cand[0] > longest[0]:
+                    longest = cand
+        elif kind == "fault":
+            fault_rows.append({"t_cycles": t, "core": core,
+                               "kind": e["sub"], "magnitude": e["a"]})
+
+    cores = sorted(busy, key=lambda c: (-busy[c], c))
+    total_busy = sum(busy.values())
+    top_rows = [{
+        "core": c,
+        "busy_cycles": busy[c],
+        "busy_share": busy[c] / total_busy if total_busy else 0.0,
+        "tasks": tasks.get(c, 0),
+        "stalls": stalls.get(c, 0),
+    } for c in cores[:top]]
+
+    total_stalls = sum(stalls.values())
+    summary = {
+        "events": total,
+        "span_cycles": t_max,
+        "top_cores": top_rows,
+        "stalls": {
+            "total": total_stalls,
+            "cores_affected": len(stalls),
+            "max_per_core": max(stalls.values()) if stalls else 0,
+            "per_kilocycle":
+                1000.0 * total_stalls / t_max if t_max else 0.0,
+        },
+        "faults": fault_rows[:faults],
+        "faults_total": len(fault_rows),
+    }
+    if longest is not None:
+        summary["longest_critical"] = {
+            "object": longest[3], "core": longest[2],
+            "start_cycles": longest[1], "dur_cycles": longest[0],
+        }
+    return summary
+
+
+def events_from_csv(lines):
+    reader = csv.DictReader(lines)
+    for row in reader:
+        yield {
+            "t_cycles": int(row["vtime_ticks"]) / TICKS_PER_CYCLE,
+            "core": int(row["core"]),
+            "kind": row["event"],
+            "sub": row["sub"],
+            "a": int(row["a"]),
+        }
+
+
+def events_from_chrome(doc):
+    """Re-derive flat events from the Chrome trace's pid-1 slices, so
+    both exporter formats feed the same summarizer. Host wall-clock
+    tracks (pid 2) are skipped: they measure the simulator, not the
+    simulated machine."""
+    for e in doc.get("traceEvents", []):
+        if e.get("pid") != 1:
+            continue
+        ph, cat = e.get("ph"), e.get("cat", "")
+        core = int(e.get("tid", 0))
+        ts = float(e.get("ts", 0.0))
+        if ph == "X" and cat == "task":
+            yield {"t_cycles": ts, "core": core, "kind": "task_start",
+                   "sub": "", "a": 0}
+            yield {"t_cycles": ts + float(e.get("dur", 0.0)), "core": core,
+                   "kind": "task_end", "sub": "", "a": 0}
+        elif ph == "X" and cat == "sync":
+            yield {"t_cycles": ts, "core": core, "kind": "stall",
+                   "sub": "", "a": 0}
+        elif ph == "X" and cat == "critical":
+            what, _, obj = e.get("name", "").partition(" ")
+            oid = int(obj, 16) if obj else 0
+            yield {"t_cycles": ts, "core": core,
+                   "kind": what + "_acquire", "sub": "", "a": oid}
+            yield {"t_cycles": ts + float(e.get("dur", 0.0)), "core": core,
+                   "kind": what + "_release", "sub": "", "a": oid}
+        elif ph == "i" and cat == "fault":
+            kind = e.get("name", "fault:?").partition(":")[2]
+            yield {"t_cycles": ts, "core": core, "kind": "fault",
+                   "sub": kind, "a": 0}
+
+
+def load_events(path):
+    with open(path) as f:
+        head = f.read(1)
+        f.seek(0)
+        if head == "{":
+            return list(events_from_chrome(json.load(f)))
+        return list(events_from_csv(f))
+
+
+def render(s):
+    lines = []
+    lines.append("events       : %d over %.1f cycles"
+                 % (s["events"], s["span_cycles"]))
+    lines.append("busiest cores:")
+    for r in s["top_cores"]:
+        lines.append("  core %-4d busy %.1f cycles (%.1f%%), "
+                     "%d tasks, %d stalls"
+                     % (r["core"], r["busy_cycles"],
+                        100.0 * r["busy_share"], r["tasks"], r["stalls"]))
+    st = s["stalls"]
+    lines.append("sync stalls  : %d on %d cores (max %d on one core, "
+                 "%.2f per kilocycle)"
+                 % (st["total"], st["cores_affected"], st["max_per_core"],
+                    st["per_kilocycle"]))
+    lc = s.get("longest_critical")
+    if lc:
+        lines.append("longest crit : %s held %.1f cycles by core %d "
+                     "(from %.1f)"
+                     % (lc["object"], lc["dur_cycles"], lc["core"],
+                        lc["start_cycles"]))
+    if s["faults_total"]:
+        lines.append("faults       : %d injected; timeline:"
+                     % s["faults_total"])
+        for fr in s["faults"]:
+            lines.append("  %10.1f  core %-4d %s (magnitude %d)"
+                         % (fr["t_cycles"], fr["core"], fr["kind"],
+                            fr["magnitude"]))
+    else:
+        lines.append("faults       : none")
+    return "\n".join(lines)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="event CSV or Chrome trace JSON")
+    ap.add_argument("--top", type=int, default=5,
+                    help="busiest cores to list (default 5)")
+    ap.add_argument("--faults", type=int, default=10,
+                    help="fault-timeline rows to list (default 10)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the summary as JSON instead of text")
+    args = ap.parse_args()
+    summary = summarize_events(load_events(args.trace),
+                               top=args.top, faults=args.faults)
+    if args.json:
+        json.dump(summary, sys.stdout, indent=2)
+        print()
+    else:
+        print(render(summary))
+
+
+if __name__ == "__main__":
+    main()
