@@ -43,13 +43,31 @@
 //   --fault-spawn-fail <p> spawn-probe denial probability
 //   --fault-mem-spike <p> memory-latency spike probability
 //   --fault-dead <n>      permanently disable n seed-chosen cores
+//   --fault-wedge <c>     wedge core c into a non-charging spin
+//                         (repeatable; tripped by the livelock watchdog)
+//   --deadline-ms <ms>    wall-clock budget; exceeding it aborts the run
+//                         with a structured deadline-exceeded error
+//   --max-vtime <cycles>  virtual-time budget (deterministic abort)
+//   --watchdog-rounds <n> no-progress polls before declaring livelock
+//   --crash-report <file> on failure, write a simany-crash-report-v1
+//                         JSON document (error, progress, diagnosis)
+//   --retries <n>         rerun transient failures up to n times
+//   --retry-backoff-ms <ms> initial backoff, doubled per retry
+//
+// Exit codes: 0 success, 1 permanent failure, 2 usage error,
+// 3 transient failure with retries exhausted, 130 cancelled by signal.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "check/config_lint.h"
 #include "check/invariant_checker.h"
@@ -58,11 +76,29 @@
 #include "core/engine.h"
 #include "core/sim_error.h"
 #include "dwarfs/dwarfs.h"
+#include "guard/crash_report.h"
 #include "obs/export.h"
 #include "obs/telemetry.h"
 #include "stats/trace_sinks.h"
 
 using namespace simany;
+
+namespace {
+
+// Signal handling: the handler may only touch async-signal-safe state.
+// Engine::request_cancel() is a single relaxed atomic CAS, so the
+// handler forwards straight to whichever engine is live; the flag
+// distinguishes "cancelled" from "engine failed on its own" afterwards.
+std::atomic<Engine*> g_engine{nullptr};
+std::atomic<bool> g_signalled{false};
+
+extern "C" void on_cancel_signal(int) {
+  g_signalled.store(true, std::memory_order_relaxed);
+  Engine* e = g_engine.load(std::memory_order_relaxed);
+  if (e != nullptr) e->request_cancel();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string dwarf_name = "spmxv";
@@ -95,6 +131,13 @@ int main(int argc, char** argv) {
   double fault_spawn_fail = 0.0;
   double fault_mem_spike = 0.0;
   std::uint32_t fault_dead = 0;
+  std::vector<std::uint32_t> fault_wedge;
+  std::uint64_t deadline_ms = 0;
+  std::uint64_t max_vtime = 0;
+  std::uint32_t watchdog_rounds = 0;
+  std::optional<std::string> crash_report_path;
+  std::uint32_t retries = 0;
+  std::uint64_t retry_backoff_ms = 100;
 
   for (int i = 1; i < argc; ++i) {
     auto need = [&](const char* flag) -> const char* {
@@ -162,6 +205,23 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--fault-dead")) {
       fault_dead =
           static_cast<std::uint32_t>(std::atoi(need("--fault-dead")));
+    } else if (!std::strcmp(argv[i], "--fault-wedge")) {
+      fault_wedge.push_back(
+          static_cast<std::uint32_t>(std::atoi(need("--fault-wedge"))));
+    } else if (!std::strcmp(argv[i], "--deadline-ms")) {
+      deadline_ms = std::strtoull(need("--deadline-ms"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--max-vtime")) {
+      max_vtime = std::strtoull(need("--max-vtime"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--watchdog-rounds")) {
+      watchdog_rounds =
+          static_cast<std::uint32_t>(std::atoi(need("--watchdog-rounds")));
+    } else if (!std::strcmp(argv[i], "--crash-report")) {
+      crash_report_path = need("--crash-report");
+    } else if (!std::strcmp(argv[i], "--retries")) {
+      retries = static_cast<std::uint32_t>(std::atoi(need("--retries")));
+    } else if (!std::strcmp(argv[i], "--retry-backoff-ms")) {
+      retry_backoff_ms =
+          std::strtoull(need("--retry-backoff-ms"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--t")) {
       drift_t = std::strtoull(need("--t"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--factor")) {
@@ -231,6 +291,12 @@ int main(int argc, char** argv) {
   if (fault_spawn_fail > 0.0) cfg.fault.spawn_fail_prob = fault_spawn_fail;
   if (fault_mem_spike > 0.0) cfg.fault.mem_spike_prob = fault_mem_spike;
   if (fault_dead > 0) cfg.fault.dead_cores = fault_dead;
+  for (const std::uint32_t c : fault_wedge) {
+    cfg.fault.wedge_core_list.push_back(c);
+  }
+  if (deadline_ms > 0) cfg.guard.deadline_ms = deadline_ms;
+  if (max_vtime > 0) cfg.guard.max_vtime_cycles = max_vtime;
+  if (watchdog_rounds > 0) cfg.guard.watchdog_rounds = watchdog_rounds;
 
   if (lint_only) {
     const auto diags = check::lint_config(cfg);
@@ -250,135 +316,199 @@ int main(int argc, char** argv) {
   }
 
   const auto& spec = dwarfs::dwarf_by_name(dwarf_name);
-  Engine sim(cfg, cycle_level ? ExecutionMode::kCycleLevel
-                              : ExecutionMode::kVirtualTime);
 
-  std::ofstream trace_file;
-  std::optional<stats::CsvTrace> csv;
-  stats::MessageHistogram histogram;
-  stats::TeeTrace tee;
-  if (trace_path) {
-    trace_file.open(*trace_path);
-    csv.emplace(trace_file);
-    tee.add(&*csv);
-  }
-  if (show_messages) tee.add(&histogram);
-  if (trace_path || show_messages) sim.set_trace(&tee);
-
-  check::InvariantChecker invariants;
-  if (checked) invariants.attach(sim);
-
-  std::optional<obs::Telemetry> telemetry;
-  if (trace_json_path || trace_csv_path || metrics_path ||
-      cfg.obs.profile_host || cfg.obs.metrics_interval_cycles > 0) {
-    obs::TelemetryOptions topt;
-    topt.metrics_interval_cycles = cfg.obs.metrics_interval_cycles;
-    topt.profile_host = cfg.obs.profile_host;
-    telemetry.emplace(topt);
-    sim.set_telemetry(&*telemetry);
-  }
+  std::signal(SIGINT, on_cancel_signal);
+  std::signal(SIGTERM, on_cancel_signal);
 
   SimStats st;
-  try {
-    st = sim.run(spec.make_root(seed, factor));
-  } catch (const SimError& e) {
-    const SimError::Context& c = e.context();
-    std::fprintf(stderr,
-                 "simulated machine failed: %s\n  cause      : %s\n"
-                 "  cores      : %u -> %u\n  at tick    : %llu\n"
-                 "  fault seed : %llu\n",
-                 e.what(), c.cause.c_str(), c.core, c.peer,
-                 static_cast<unsigned long long>(c.at_tick),
-                 static_cast<unsigned long long>(c.fault_seed));
-    return 1;
-  }
+  std::uint32_t attempt = 0;
+  for (;;) {
+    // Each attempt gets a fresh engine and fresh sinks: a failed run's
+    // partial telemetry must not bleed into its retry.
+    Engine sim(cfg, cycle_level ? ExecutionMode::kCycleLevel
+                                : ExecutionMode::kVirtualTime);
 
-  std::printf("dwarf           : %s (seed %llu, factor %g)\n",
-              dwarf_name.c_str(), static_cast<unsigned long long>(seed),
-              factor);
-  std::printf("architecture    : %u cores, %s, T=%llu%s%s\n",
-              cfg.num_cores(),
-              cfg.mem.model == mem::MemoryModel::kShared ? "shared"
-                                                         : "distributed",
-              static_cast<unsigned long long>(cfg.drift_t_cycles),
-              polymorphic ? ", polymorphic" : "",
-              cycle_level ? ", cycle-level" : "");
-  std::printf("virtual time    : %llu cycles\n",
-              static_cast<unsigned long long>(st.completion_cycles()));
-  std::printf("tasks           : %llu spawned, %llu inline, %llu migrated\n",
-              static_cast<unsigned long long>(st.tasks_spawned),
-              static_cast<unsigned long long>(st.tasks_inlined),
-              static_cast<unsigned long long>(st.tasks_migrated));
-  std::printf("messages        : %llu (%llu bytes over %llu hops)\n",
-              static_cast<unsigned long long>(st.messages),
-              static_cast<unsigned long long>(st.network.bytes),
-              static_cast<unsigned long long>(st.network.hops));
-  std::printf("sync stalls     : %llu (avg parallelism %.1f)\n",
-              static_cast<unsigned long long>(st.sync_stalls),
-              st.avg_parallelism());
-  std::printf("drift high-water: %llu cycles\n",
-              static_cast<unsigned long long>(st.drift_max_cycles()));
-  std::printf("host wall time  : %.3f ms (%llu threads, %llu rounds)\n",
-              st.wall_seconds * 1e3,
-              static_cast<unsigned long long>(st.host_threads_used),
-              static_cast<unsigned long long>(st.host_rounds));
-  if (cfg.fault.enabled()) {
-    std::printf("faults          : %llu injected (seed %llu; %llu msg "
-                "delayed, %llu dup, %llu dropped, %llu stalls, %llu spawn "
-                "denials, %llu mem spikes, %u dead cores)\n",
-                static_cast<unsigned long long>(st.faults_injected),
-                static_cast<unsigned long long>(cfg.fault.seed),
-                static_cast<unsigned long long>(st.fault_msgs_delayed),
-                static_cast<unsigned long long>(st.fault_msgs_duplicated),
-                static_cast<unsigned long long>(st.fault_msgs_dropped),
-                static_cast<unsigned long long>(st.fault_core_stalls),
-                static_cast<unsigned long long>(st.fault_spawn_denials),
-                static_cast<unsigned long long>(st.fault_mem_spikes),
-                st.fault_dead_cores);
-  }
-  if (checked) {
-    std::printf("invariants      : %llu checks, no violations\n",
-                static_cast<unsigned long long>(
-                    invariants.checks_performed()));
-  }
-  if (show_messages) {
-    std::printf("-- message kinds --\n");
-    histogram.print(std::cout);
-  }
-  if (trace_path) {
-    std::printf("trace           : %s (%llu rows)\n", trace_path->c_str(),
-                static_cast<unsigned long long>(csv->rows()));
-  }
-  if (telemetry) {
-    if (trace_json_path) {
-      std::ofstream out(*trace_json_path);
-      obs::ChromeTraceOptions copt;
-      copt.host_threads = static_cast<unsigned>(st.host_threads_used);
-      obs::write_chrome_trace(out, *telemetry, copt);
-      std::printf("trace json      : %s (%llu events)\n",
-                  trace_json_path->c_str(),
-                  static_cast<unsigned long long>(telemetry->events().size()));
+    std::ofstream trace_file;
+    std::optional<stats::CsvTrace> csv;
+    stats::MessageHistogram histogram;
+    stats::TeeTrace tee;
+    if (trace_path) {
+      trace_file.open(*trace_path);
+      csv.emplace(trace_file);
+      tee.add(&*csv);
     }
-    if (trace_csv_path) {
-      std::ofstream out(*trace_csv_path);
-      obs::write_events_csv(out, *telemetry);
-      std::printf("trace csv       : %s (%llu events)\n",
-                  trace_csv_path->c_str(),
-                  static_cast<unsigned long long>(telemetry->events().size()));
+    if (show_messages) tee.add(&histogram);
+    if (trace_path || show_messages) sim.set_trace(&tee);
+
+    check::InvariantChecker invariants;
+    if (checked) invariants.attach(sim);
+
+    std::optional<obs::Telemetry> telemetry;
+    if (trace_json_path || trace_csv_path || metrics_path ||
+        cfg.obs.profile_host || cfg.obs.metrics_interval_cycles > 0) {
+      obs::TelemetryOptions topt;
+      topt.metrics_interval_cycles = cfg.obs.metrics_interval_cycles;
+      topt.profile_host = cfg.obs.profile_host;
+      telemetry.emplace(topt);
+      sim.set_telemetry(&*telemetry);
     }
-    if (metrics_path) {
-      std::ofstream out(*metrics_path);
-      const bool as_csv = metrics_path->size() >= 4 &&
-                          metrics_path->compare(metrics_path->size() - 4, 4,
-                                                ".csv") == 0;
-      if (as_csv) {
-        telemetry->metrics().write_csv(out);
-      } else {
-        telemetry->metrics().write_json(out);
+
+    g_engine.store(&sim, std::memory_order_relaxed);
+    try {
+      st = sim.run(spec.make_root(seed, factor));
+    } catch (const SimError& e) {
+      g_engine.store(nullptr, std::memory_order_relaxed);
+      const SimError::Context& c = e.context();
+      std::fprintf(stderr,
+                   "simulated machine failed: %s\n  error      : %s\n"
+                   "  cause      : %s\n  cores      : %u -> %u\n"
+                   "  shard      : %u\n  at tick    : %llu\n"
+                   "  fault seed : %llu\n",
+                   e.what(), to_string(e.code()), c.cause.c_str(), c.core,
+                   c.peer, c.shard,
+                   static_cast<unsigned long long>(c.at_tick),
+                   static_cast<unsigned long long>(c.fault_seed));
+
+      // The guard flushed partial stats/telemetry before unwinding, so
+      // the requested exports still get whatever the run produced.
+      if (telemetry) {
+        if (trace_json_path) {
+          std::ofstream out(*trace_json_path);
+          obs::ChromeTraceOptions copt;
+          copt.host_threads =
+              static_cast<unsigned>(sim.stats().host_threads_used);
+          obs::write_chrome_trace(out, *telemetry, copt);
+          std::fprintf(stderr, "  partial trace json: %s\n",
+                       trace_json_path->c_str());
+        }
+        if (trace_csv_path) {
+          std::ofstream out(*trace_csv_path);
+          obs::write_events_csv(out, *telemetry);
+        }
+        if (metrics_path) {
+          std::ofstream out(*metrics_path);
+          telemetry->metrics().write_json(out);
+        }
       }
-      std::printf("metrics         : %s (%s)\n", metrics_path->c_str(),
-                  as_csv ? "csv" : "json");
+      if (crash_report_path) {
+        std::ofstream out(*crash_report_path);
+        guard::CrashReportInfo info;
+        info.error = e.context();
+        info.message = e.what();
+        info.stats = sim.stats();
+        info.num_cores = cfg.num_cores();
+        guard::write_crash_report(out, info, sim.inspect(), cfg.topology);
+        std::fprintf(stderr, "  crash report: %s\n",
+                     crash_report_path->c_str());
+      }
+
+      if (e.code() == SimErrorCode::kCancelled ||
+          g_signalled.load(std::memory_order_relaxed)) {
+        return 130;
+      }
+      if (e.transient() && attempt < retries) {
+        ++attempt;
+        const std::uint64_t backoff = retry_backoff_ms << (attempt - 1);
+        std::fprintf(stderr,
+                     "transient failure, retrying (%u/%u) in %llu ms\n",
+                     attempt, retries,
+                     static_cast<unsigned long long>(backoff));
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+        continue;
+      }
+      return e.transient() ? 3 : 1;
     }
+    g_engine.store(nullptr, std::memory_order_relaxed);
+
+    std::printf("dwarf           : %s (seed %llu, factor %g)\n",
+                dwarf_name.c_str(), static_cast<unsigned long long>(seed),
+                factor);
+    std::printf("architecture    : %u cores, %s, T=%llu%s%s\n",
+                cfg.num_cores(),
+                cfg.mem.model == mem::MemoryModel::kShared ? "shared"
+                                                           : "distributed",
+                static_cast<unsigned long long>(cfg.drift_t_cycles),
+                polymorphic ? ", polymorphic" : "",
+                cycle_level ? ", cycle-level" : "");
+    std::printf("virtual time    : %llu cycles\n",
+                static_cast<unsigned long long>(st.completion_cycles()));
+    std::printf("tasks           : %llu spawned, %llu inline, %llu migrated\n",
+                static_cast<unsigned long long>(st.tasks_spawned),
+                static_cast<unsigned long long>(st.tasks_inlined),
+                static_cast<unsigned long long>(st.tasks_migrated));
+    std::printf("messages        : %llu (%llu bytes over %llu hops)\n",
+                static_cast<unsigned long long>(st.messages),
+                static_cast<unsigned long long>(st.network.bytes),
+                static_cast<unsigned long long>(st.network.hops));
+    std::printf("sync stalls     : %llu (avg parallelism %.1f)\n",
+                static_cast<unsigned long long>(st.sync_stalls),
+                st.avg_parallelism());
+    std::printf("drift high-water: %llu cycles\n",
+                static_cast<unsigned long long>(st.drift_max_cycles()));
+    std::printf("host wall time  : %.3f ms (%llu threads, %llu rounds)\n",
+                st.wall_seconds * 1e3,
+                static_cast<unsigned long long>(st.host_threads_used),
+                static_cast<unsigned long long>(st.host_rounds));
+    if (cfg.fault.enabled()) {
+      std::printf("faults          : %llu injected (seed %llu; %llu msg "
+                  "delayed, %llu dup, %llu dropped, %llu stalls, %llu spawn "
+                  "denials, %llu mem spikes, %u dead cores)\n",
+                  static_cast<unsigned long long>(st.faults_injected),
+                  static_cast<unsigned long long>(cfg.fault.seed),
+                  static_cast<unsigned long long>(st.fault_msgs_delayed),
+                  static_cast<unsigned long long>(st.fault_msgs_duplicated),
+                  static_cast<unsigned long long>(st.fault_msgs_dropped),
+                  static_cast<unsigned long long>(st.fault_core_stalls),
+                  static_cast<unsigned long long>(st.fault_spawn_denials),
+                  static_cast<unsigned long long>(st.fault_mem_spikes),
+                  st.fault_dead_cores);
+    }
+    if (checked) {
+      std::printf("invariants      : %llu checks, no violations\n",
+                  static_cast<unsigned long long>(
+                      invariants.checks_performed()));
+    }
+    if (show_messages) {
+      std::printf("-- message kinds --\n");
+      histogram.print(std::cout);
+    }
+    if (trace_path) {
+      std::printf("trace           : %s (%llu rows)\n", trace_path->c_str(),
+                  static_cast<unsigned long long>(csv->rows()));
+    }
+    if (telemetry) {
+      if (trace_json_path) {
+        std::ofstream out(*trace_json_path);
+        obs::ChromeTraceOptions copt;
+        copt.host_threads = static_cast<unsigned>(st.host_threads_used);
+        obs::write_chrome_trace(out, *telemetry, copt);
+        const auto n_events =
+            static_cast<unsigned long long>(telemetry->events().size());
+        std::printf("trace json      : %s (%llu events)\n",
+                    trace_json_path->c_str(), n_events);
+      }
+      if (trace_csv_path) {
+        std::ofstream out(*trace_csv_path);
+        obs::write_events_csv(out, *telemetry);
+        const auto n_events =
+            static_cast<unsigned long long>(telemetry->events().size());
+        std::printf("trace csv       : %s (%llu events)\n",
+                    trace_csv_path->c_str(), n_events);
+      }
+      if (metrics_path) {
+        std::ofstream out(*metrics_path);
+        const bool as_csv = metrics_path->size() >= 4 &&
+                            metrics_path->compare(metrics_path->size() - 4, 4,
+                                                  ".csv") == 0;
+        if (as_csv) {
+          telemetry->metrics().write_csv(out);
+        } else {
+          telemetry->metrics().write_json(out);
+        }
+        std::printf("metrics         : %s (%s)\n", metrics_path->c_str(),
+                    as_csv ? "csv" : "json");
+      }
+    }
+    return 0;
   }
-  return 0;
 }

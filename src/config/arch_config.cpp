@@ -28,6 +28,7 @@ void ArchConfig::validate() const {
     throw std::invalid_argument("ArchConfig: zero cache line size");
   }
   fault.validate(topology.num_cores());
+  guard.validate();
 }
 
 ArchConfig ArchConfig::shared_mesh(std::uint32_t cores) {

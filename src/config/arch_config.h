@@ -12,6 +12,7 @@
 
 #include "core/vtime.h"
 #include "fault/fault_plan.h"
+#include "guard/guard_config.h"
 #include "mem/mem_params.h"
 #include "net/network.h"
 #include "net/topology.h"
@@ -115,6 +116,10 @@ struct ArchConfig {
   /// Deterministic fault-injection plan (disabled by default); see
   /// fault/fault_plan.h and docs/fault_injection.md.
   fault::FaultPlan fault;
+  /// Supervision limits — deadlines, watchdog, resource guards
+  /// (disabled by default); see guard/guard_config.h and
+  /// docs/robustness.md.
+  guard::GuardConfig guard;
 
   /// Maximum local virtual-time drift T between topological neighbors,
   /// in cycles (paper reference value: 100).

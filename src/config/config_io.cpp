@@ -1,5 +1,6 @@
 #include "config/config_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <istream>
 #include <tuple>
@@ -37,17 +38,59 @@ bool parse_bool(const std::string& v, std::size_t lineno) {
   fail(lineno, "expected on/off, got '" + v + "'");
 }
 
+// Checked numeric parsing: arbitrary (possibly hostile) config text
+// must produce a structured parse error, never a crash, a silent
+// wrap-around (std::stoull accepts "-5"), or silently ignored trailing
+// garbage ("12abc").
+std::uint64_t parse_u64(const std::string& v, std::size_t lineno) {
+  if (v.empty() || v[0] == '-' || v[0] == '+') {
+    fail(lineno, "expected an unsigned integer, got '" + v + "'");
+  }
+  std::size_t used = 0;
+  std::uint64_t out = 0;
+  try {
+    out = std::stoull(v, &used);
+  } catch (const std::exception&) {
+    fail(lineno, "expected an unsigned integer, got '" + v + "'");
+  }
+  if (used != v.size()) {
+    fail(lineno, "trailing characters after number: '" + v + "'");
+  }
+  return out;
+}
+
+std::uint32_t parse_u32(const std::string& v, std::size_t lineno) {
+  const std::uint64_t out = parse_u64(v, lineno);
+  if (out > 0xffffffffULL) {
+    fail(lineno, "value out of 32-bit range: '" + v + "'");
+  }
+  return static_cast<std::uint32_t>(out);
+}
+
+double parse_f64(const std::string& v, std::size_t lineno) {
+  std::size_t used = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(v, &used);
+  } catch (const std::exception&) {
+    fail(lineno, "expected a number, got '" + v + "'");
+  }
+  if (used != v.size()) {
+    fail(lineno, "trailing characters after number: '" + v + "'");
+  }
+  if (std::isnan(out)) fail(lineno, "not a number: '" + v + "'");
+  return out;
+}
+
 Speed parse_speed(const std::string& v, std::size_t lineno) {
   const auto slash = v.find('/');
   if (slash == std::string::npos) {
-    const auto num = static_cast<std::uint32_t>(std::stoul(v));
+    const auto num = parse_u32(v, lineno);
     if (num == 0) fail(lineno, "zero speed");
     return Speed{num, 1};
   }
-  const auto num =
-      static_cast<std::uint32_t>(std::stoul(v.substr(0, slash)));
-  const auto den =
-      static_cast<std::uint32_t>(std::stoul(v.substr(slash + 1)));
+  const auto num = parse_u32(v.substr(0, slash), lineno);
+  const auto den = parse_u32(v.substr(slash + 1), lineno);
   if (num == 0 || den == 0) fail(lineno, "zero speed component");
   return Speed{num, den};
 }
@@ -71,12 +114,14 @@ ArchConfig parse_config(std::istream& in) {
       return v;
     };
     auto next_u32 = [&]() -> std::uint32_t {
-      return static_cast<std::uint32_t>(std::stoul(next()));
+      return parse_u32(next(), lineno);
     };
-    auto next_u64 = [&]() -> std::uint64_t { return std::stoull(next()); };
+    auto next_u64 = [&]() -> std::uint64_t {
+      return parse_u64(next(), lineno);
+    };
     auto next_prob = [&]() -> double {
-      const double p = std::stod(next());
-      if (p < 0.0 || p > 1.0) fail(lineno, "probability outside [0, 1]");
+      const double p = parse_f64(next(), lineno);
+      if (!(p >= 0.0 && p <= 1.0)) fail(lineno, "probability outside [0, 1]");
       return p;
     };
 
@@ -122,7 +167,8 @@ ArchConfig parse_config(std::istream& in) {
     } else if (key == "seed") {
       raw.cfg.seed = next_u64();
     } else if (key == "link_latency") {
-      raw.link_latency_cycles = std::stod(next());
+      raw.link_latency_cycles = parse_f64(next(), lineno);
+      if (raw.link_latency_cycles < 0.0) fail(lineno, "negative link latency");
     } else if (key == "link_bandwidth") {
       raw.link_bandwidth = next_u32();
     } else if (key == "speed") {
@@ -204,6 +250,20 @@ ArchConfig parse_config(std::istream& in) {
       raw.cfg.fault.dead_cores = next_u32();
     } else if (key == "fault_dead") {
       raw.cfg.fault.dead_core_list.push_back(next_u32());
+    } else if (key == "fault_wedge") {
+      raw.cfg.fault.wedge_core_list.push_back(next_u32());
+    } else if (key == "guard_deadline_ms") {
+      raw.cfg.guard.deadline_ms = next_u64();
+    } else if (key == "guard_max_vtime") {
+      raw.cfg.guard.max_vtime_cycles = next_u64();
+    } else if (key == "guard_watchdog_rounds") {
+      raw.cfg.guard.watchdog_rounds = next_u32();
+    } else if (key == "guard_poll_quanta") {
+      raw.cfg.guard.poll_quanta = next_u32();
+    } else if (key == "guard_max_inbox") {
+      raw.cfg.guard.max_inbox_depth = next_u32();
+    } else if (key == "guard_max_fibers") {
+      raw.cfg.guard.max_live_fibers = next_u32();
     } else {
       fail(lineno, "unknown keyword '" + key + "'");
     }
@@ -347,6 +407,32 @@ void save_config(const ArchConfig& cfg, std::ostream& out) {
     }
     for (const net::CoreId c : f.dead_core_list) {
       out << "fault_dead " << c << "\n";
+    }
+    for (const net::CoreId c : f.wedge_core_list) {
+      out << "fault_wedge " << c << "\n";
+    }
+  }
+  // Guard keys are emitted only when set, so unguarded configs
+  // round-trip byte-identically with older files.
+  {
+    const guard::GuardConfig& g = cfg.guard;
+    if (g.deadline_ms != 0) {
+      out << "guard_deadline_ms " << g.deadline_ms << "\n";
+    }
+    if (g.max_vtime_cycles != 0) {
+      out << "guard_max_vtime " << g.max_vtime_cycles << "\n";
+    }
+    if (g.watchdog_rounds != 0) {
+      out << "guard_watchdog_rounds " << g.watchdog_rounds << "\n";
+    }
+    if (g.poll_quanta != guard::GuardConfig{}.poll_quanta) {
+      out << "guard_poll_quanta " << g.poll_quanta << "\n";
+    }
+    if (g.max_inbox_depth != 0) {
+      out << "guard_max_inbox " << g.max_inbox_depth << "\n";
+    }
+    if (g.max_live_fibers != 0) {
+      out << "guard_max_fibers " << g.max_live_fibers << "\n";
     }
   }
   for (std::size_t c = 0; c < cfg.core_speeds.size(); ++c) {

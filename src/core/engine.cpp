@@ -172,6 +172,7 @@ SimStats Engine::run(TaskFn root) {
   }
   host_setup(shards);
   stats_.host_threads_used = workers;
+  guard_setup();
 
   shards_[0]->live_tasks = 1;
   core(0).task_queue.push_back(PendingTask{std::move(root), kInvalidGroup, 0});
@@ -180,20 +181,31 @@ SimStats Engine::run(TaskFn root) {
   if (obs_ != nullptr) obs_->on_run_begin(*this);
 
   const auto t0 = std::chrono::steady_clock::now();
-  if (mode_ == ExecutionMode::kCycleLevel) {
-    main_loop_cl();
-  } else if (num_shards_ == 1) {
-    // Sequential host: one shard, unbounded round budget. host_loop
-    // only returns when the shard is blocked, so each serial-phase
-    // visit is a termination / deadlock decision.
-    host::ShardState& sh = *shards_[0];
-    for (;;) {
-      host_loop(sh, ~std::uint64_t{0});
-      if (host_serial_phase()) break;
+  try {
+    if (mode_ == ExecutionMode::kCycleLevel) {
+      main_loop_cl();
+    } else if (num_shards_ == 1) {
+      // Sequential host: one shard, unbounded round budget. host_loop
+      // only returns when the shard is blocked, so each serial-phase
+      // visit is a termination / deadlock decision.
+      host::ShardState& sh = *shards_[0];
+      for (;;) {
+        host_loop(sh, ~std::uint64_t{0});
+        if (host_serial_phase()) break;
+      }
+    } else {
+      host::ParallelHost ph(*this, workers);
+      ph.run();
     }
-  } else {
-    host::ParallelHost ph(*this, workers);
-    ph.run();
+  } catch (...) {
+    // Any abort path — guard trip, simulated deadlock, task exception,
+    // worker failure — leaves suspended fibers behind. Unwind them so
+    // their stacks (and everything those stacks own) are reclaimed,
+    // then flush partial stats/telemetry for post-mortem diagnostics.
+    // Both calls are idempotent; guard_abort already did them.
+    unwind_all_fibers();
+    guard_flush_partial();
+    throw;
   }
   const auto t1 = std::chrono::steady_clock::now();
   audit_counters();
@@ -268,6 +280,256 @@ void Engine::finalize_stats() {
 }
 
 // ---------------------------------------------------------------------
+// Supervision: deadlines, watchdog, cooperative cancellation
+// ---------------------------------------------------------------------
+
+void Engine::guard_setup() {
+  const guard::GuardConfig& g = cfg_.guard;
+  guard_polling_ = g.polling();
+  guard_limits_ = g.max_inbox_depth != 0 || g.max_live_fibers != 0;
+  guard_start_ = std::chrono::steady_clock::now();
+  guard_max_vtime_ticks_ =
+      g.max_vtime_cycles != 0 ? ticks(g.max_vtime_cycles) : 0;
+  for (auto& shp : shards_) {
+    shp->guard_quanta_next = g.poll_quanta;
+  }
+}
+
+void Engine::guard_poll(host::ShardState& sh) {
+  sh.guard_quanta_next = sh.quantum_count + cfg_.guard.poll_quanta;
+  // A cancel requested elsewhere (another shard, a signal handler)
+  // stops this shard's round too; the serial phase owns the abort.
+  if (cancel_code_.load(std::memory_order_relaxed) != 0) {
+    sh.guard_stop = true;
+    return;
+  }
+  if (!guard_polling_) return;
+  const guard::GuardConfig& g = cfg_.guard;
+  const auto trip = [&](SimErrorCode code) {
+    std::uint8_t expected = 0;
+    cancel_code_.compare_exchange_strong(expected,
+                                         static_cast<std::uint8_t>(code),
+                                         std::memory_order_relaxed);
+    sh.guard_stop = true;
+  };
+  if (g.deadline_ms != 0 &&
+      std::chrono::steady_clock::now() - guard_start_ >=
+          std::chrono::milliseconds(g.deadline_ms)) {
+    trip(SimErrorCode::kDeadlineExceeded);
+    return;
+  }
+  if (guard_max_vtime_ticks_ != 0) {
+    for (CoreId i = sh.core_begin; i < sh.core_end; ++i) {
+      if (cores_[i]->now >= guard_max_vtime_ticks_) {
+        trip(SimErrorCode::kVtimeBudgetExceeded);
+        return;
+      }
+    }
+  }
+  if (g.watchdog_rounds != 0) {
+    // Livelock watchdog, shard-local: quanta were consumed since the
+    // last poll (we only poll on quantum crossings) yet no core's clock
+    // moved. A core that executes anything charges at least one tick,
+    // and lock/cell holders charge their whole critical section in one
+    // quantum (hold-depth exemption) — so a frozen clock sum across
+    // whole polls means non-charging spin (wedged fiber, lost wake
+    // storm), not a long critical section.
+    Tick now_sum = 0;
+    for (CoreId i = sh.core_begin; i < sh.core_end; ++i) {
+      now_sum = sat_add(now_sum, cores_[i]->now);
+    }
+    if (sh.guard_baseline && now_sum == sh.guard_now_sum) {
+      if (++sh.guard_stale_polls >= g.watchdog_rounds) {
+        trip(SimErrorCode::kLivelock);
+        return;
+      }
+    } else {
+      sh.guard_stale_polls = 0;
+    }
+    sh.guard_now_sum = now_sum;
+    sh.guard_baseline = true;
+  }
+  sh.guard_quanta_at_poll = sh.quantum_count;
+}
+
+void Engine::guard_serial_check() {
+  const auto pending = static_cast<SimErrorCode>(
+      cancel_code_.load(std::memory_order_relaxed));
+  if (pending != SimErrorCode::kUnknown) guard_abort(pending);
+  if (!guard_polling_) return;
+  const guard::GuardConfig& g = cfg_.guard;
+  // Wall deadline re-checked once per round: shards whose loops exit
+  // without consuming quanta (nothing runnable) never hit the in-round
+  // poll, but the round barrier still turns.
+  if (g.deadline_ms != 0 &&
+      std::chrono::steady_clock::now() - guard_start_ >=
+          std::chrono::milliseconds(g.deadline_ms)) {
+    guard_abort(SimErrorCode::kDeadlineExceeded);
+  }
+  if (g.watchdog_rounds == 0 || num_shards_ == 1) return;
+  // Global cross-round watchdog for the parallel host: rounds consume
+  // quanta (cores are executing) but the global clock sum is frozen.
+  // Backs up the shard-local poll when the spin straddles shards.
+  Tick now_sum = 0;
+  std::uint64_t quanta = 0;
+  for (const auto& shp : shards_) {
+    for (CoreId i = shp->core_begin; i < shp->core_end; ++i) {
+      now_sum = sat_add(now_sum, cores_[i]->now);
+    }
+    quanta += shp->quantum_count;
+  }
+  if (guard_round_baseline_ && now_sum == guard_round_now_sum_ &&
+      quanta > guard_round_quanta_) {
+    if (++guard_stale_rounds_ >= g.watchdog_rounds) {
+      guard_abort(SimErrorCode::kLivelock);
+    }
+  } else {
+    guard_stale_rounds_ = 0;
+  }
+  guard_round_now_sum_ = now_sum;
+  guard_round_quanta_ = quanta;
+  guard_round_baseline_ = true;
+}
+
+void Engine::guard_abort(SimErrorCode code) {
+  // Progress context: the laggard core anchors stall-shaped failures
+  // (its clock is what stopped moving); the leader anchors budget
+  // overruns (its clock is what crossed the limit).
+  Tick min_now = kTickInfinity;
+  Tick max_now = 0;
+  CoreId min_core = net::kInvalidCore;
+  CoreId max_core = net::kInvalidCore;
+  for (const auto& cp : cores_) {
+    if (cp->dead) continue;
+    if (cp->now < min_now) {
+      min_now = cp->now;
+      min_core = cp->id;
+    }
+    if (cp->now >= max_now) {
+      max_now = cp->now;
+      max_core = cp->id;
+    }
+  }
+  const bool stall_shaped =
+      code == SimErrorCode::kLivelock || code == SimErrorCode::kDeadlock;
+  SimError::Context ctx;
+  ctx.code = code;
+  ctx.cause = to_string(code);
+  ctx.core = stall_shaped ? min_core : max_core;
+  ctx.at_tick = max_now;
+  if (fault_ != nullptr) ctx.fault_seed = fault_->plan().seed;
+  std::int64_t live = 0;
+  for (const auto& shp : shards_) live += shp->live_tasks;
+  std::string msg = std::string("simulation aborted: ") + to_string(code) +
+                    " after " + std::to_string(host_rounds_) +
+                    " host rounds (live_tasks=" + std::to_string(live) +
+                    ", min core " + std::to_string(min_core) + " @" +
+                    std::to_string(cycles_floor(min_now)) + "c, max core " +
+                    std::to_string(max_core) + " @" +
+                    std::to_string(cycles_floor(max_now)) + "c)";
+  unwind_all_fibers();
+  guard_flush_partial();
+  throw SimError(std::move(msg), ctx);
+}
+
+void Engine::unwind_all_fibers() {
+  cancelling_ = true;
+  const auto unwind_one = [&](std::unique_ptr<Fiber> f,
+                              host::ShardState& sh) {
+    if (f == nullptr) return;
+    // Resuming with cancelling_ set makes every yield point (and the
+    // task entry itself) throw FiberUnwind, running destructors down
+    // the task stack; the trampoline's catch-all finishes the fiber.
+    if (!f->finished()) f->resume();
+    sh.pool.recycle(std::move(f));
+  };
+  // Fibers in transit between shards ride inside mailbox messages.
+  for (auto& mb : mail_) {
+    mb->seal();
+    host::Routed r;
+    while (mb->pop(r)) {
+      unwind_one(std::move(r.msg.fiber), *shards_[0]);
+    }
+  }
+  for (auto& cp : cores_) {
+    CoreSim& c = *cp;
+    host::ShardState& sh = shard_of(c);
+    unwind_one(std::move(c.fiber), sh);
+    for (auto& p : c.resumables) unwind_one(std::move(p.fiber), sh);
+    c.resumables.clear();
+    for (auto& g : c.groups) {
+      for (auto& j : g.joiners) unwind_one(std::move(j.fiber), sh);
+      g.joiners.clear();
+    }
+    while (!c.inbox.empty()) {
+      Message m = c.inbox.pop_front();
+      unwind_one(std::move(m.fiber), sh);
+    }
+  }
+  cancelling_ = false;
+}
+
+void Engine::guard_flush_partial() {
+  if (guard_flushed_) return;
+  guard_flushed_ = true;
+  finalize_stats();
+  if (telemetry_ != nullptr) {
+    telemetry_->drain_at_barrier();
+    telemetry_->finalize(cfg_.num_cores());
+  }
+}
+
+void Engine::guard_rethrow_worker(std::uint32_t shard,
+                                  std::exception_ptr ep) {
+  unwind_all_fibers();
+  guard_flush_partial();
+  try {
+    std::rethrow_exception(ep);
+  } catch (SimError& e) {
+    if (e.mutable_context().shard == ~0u) e.mutable_context().shard = shard;
+    throw;
+  } catch (const std::logic_error&) {
+    throw;  // engine protocol misuse: not a simulated-machine failure
+  } catch (const std::exception& ex) {
+    SimError::Context ctx;
+    ctx.code = SimErrorCode::kWorkerException;
+    ctx.cause = to_string(SimErrorCode::kWorkerException);
+    ctx.shard = shard;
+    throw SimError(std::string("shard ") + std::to_string(shard) +
+                       " worker failed: " + ex.what(),
+                   ctx);
+  } catch (...) {
+    SimError::Context ctx;
+    ctx.code = SimErrorCode::kWorkerException;
+    ctx.cause = to_string(SimErrorCode::kWorkerException);
+    ctx.shard = shard;
+    throw SimError(std::string("shard ") + std::to_string(shard) +
+                       " worker failed: unknown exception",
+                   ctx);
+  }
+}
+
+void Engine::guard_check_inbox(host::ShardState& sh, const CoreSim& dst) {
+  if (!guard_limits_) return;
+  const std::uint64_t depth = dst.inbox.size() + 1;
+  if (sh.stats.inbox_depth_peak < depth) sh.stats.inbox_depth_peak = depth;
+  const std::uint32_t cap = cfg_.guard.max_inbox_depth;
+  if (cap != 0 && depth > cap) {
+    ++sh.stats.guard_inbox_overflows;
+    SimError::Context ctx;
+    ctx.code = SimErrorCode::kResourceExhausted;
+    ctx.cause = to_string(SimErrorCode::kResourceExhausted);
+    ctx.core = dst.id;
+    ctx.at_tick = dst.now;
+    ctx.detail = depth;
+    throw SimError("inbox depth guard tripped on core " +
+                       std::to_string(dst.id) + ": " + std::to_string(depth) +
+                       " > limit " + std::to_string(cap),
+                   ctx);
+  }
+}
+
+// ---------------------------------------------------------------------
 // Host rounds (the per-shard event loop and the serial barrier phase)
 // ---------------------------------------------------------------------
 
@@ -310,6 +572,7 @@ void Engine::host_drain(host::ShardState& sh) {
 
 void Engine::host_loop(host::ShardState& sh, std::uint64_t budget) {
   while (budget > 0) {
+    if (sh.guard_stop) return;
     if (sh.ready.empty()) {
       if (!wake_sweep(sh)) return;
       continue;
@@ -323,6 +586,7 @@ void Engine::host_loop(host::ShardState& sh, std::uint64_t budget) {
     ++sh.quantum_count;
     sh.progressed = true;
     --budget;
+    if (sh.quantum_count >= sh.guard_quanta_next) guard_poll(sh);
     if (obs_ != nullptr) obs_->on_quantum_end(*this);
     if (sh.quantum_count % 64 == 0) {
       sample_parallelism(sh);
@@ -385,7 +649,7 @@ bool Engine::host_serial_phase() {
   std::size_t stalled = 0;
   bool progressed = false;
   for (const auto& shp : shards_) {
-    if (shp->error) std::rethrow_exception(shp->error);
+    if (shp->error) guard_rethrow_worker(shp->id, shp->error);
     live += shp->live_tasks;
     inflight += shp->inflight_messages;
     mail_out += shp->mail_out;
@@ -398,7 +662,9 @@ bool Engine::host_serial_phase() {
   SIMANY_ASSERT(mail_out >= mail_in, "mailbox accounting underflow: out=",
                 mail_out, " in=", mail_in);
   const std::uint64_t pending = mail_out - mail_in;
+  // A run that completed beats any simultaneous guard trip.
   if (live == 0 && inflight == 0 && pending == 0) return true;
+  guard_serial_check();
   if (pending > 0 || progressed) return false;
   // Nothing ran, nothing is in transit: defensively rebuild the ready
   // queues; if no core is actionable anywhere, the simulation is stuck.
@@ -411,10 +677,14 @@ bool Engine::host_serial_phase() {
   }
   if (any) return false;
   if (obs_ != nullptr) obs_->on_deadlock(*this);
-  throw std::runtime_error(
+  SimError::Context dctx;
+  dctx.code = SimErrorCode::kDeadlock;
+  dctx.cause = to_string(SimErrorCode::kDeadlock);
+  throw SimError(
       "simulation deadlock: live_tasks=" + std::to_string(live) +
-      " inflight=" + std::to_string(inflight) +
-      " stalled=" + std::to_string(stalled));
+          " inflight=" + std::to_string(inflight) +
+          " stalled=" + std::to_string(stalled),
+      dctx);
 }
 
 void Engine::apply_host_op(host::ShardState& sh, host::Routed r) {
@@ -423,6 +693,7 @@ void Engine::apply_host_op(host::ShardState& sh, host::Routed r) {
     case host::HostOp::kDeliver: {
       ++sh.inflight_messages;
       CoreSim& dst = core(m.dst);
+      guard_check_inbox(sh, dst);
       dst.inbox.push_back(std::move(m));
       mark_ready(dst);
       break;
@@ -703,13 +974,19 @@ void Engine::main_loop_cl() {
     const CoreId id = cl_pick();
     if (id == net::kInvalidCore) {
       if (obs_ != nullptr) obs_->on_deadlock(*this);
-      throw std::runtime_error(
-          "simulation deadlock (cycle-level): live_tasks=" +
-          std::to_string(sh.live_tasks));
+      SimError::Context dctx;
+      dctx.code = SimErrorCode::kDeadlock;
+      dctx.cause = to_string(SimErrorCode::kDeadlock);
+      throw SimError("simulation deadlock (cycle-level): live_tasks=" +
+                         std::to_string(sh.live_tasks),
+                     dctx);
     }
     CoreSim& c = core(id);
     run_core_cl(c);
     if (actionable(c)) cl_push(c);
+    ++sh.quantum_count;
+    if (sh.quantum_count >= sh.guard_quanta_next) guard_poll(sh);
+    if (sh.guard_stop) guard_serial_check();  // aborts: cancel code is set
     if (obs_ != nullptr) obs_->on_quantum_end(*this);
   }
 }
@@ -782,8 +1059,35 @@ void Engine::resume_fiber(CoreSim& c) {
   c.fiber->resume();
   if (c.fiber->finished() && c.fiber->exception()) {
     // A simulated task threw (program bug or failed self-verification):
-    // surface it to the caller of run().
-    std::rethrow_exception(c.fiber->exception());
+    // surface it to the caller of run(). The trampoline already
+    // transported it across the stack switch; structured errors and
+    // engine protocol misuse pass through unchanged, anything else is
+    // wrapped with core/task context.
+    try {
+      std::rethrow_exception(c.fiber->exception());
+    } catch (const SimError&) {
+      throw;
+    } catch (const std::logic_error&) {
+      throw;
+    } catch (const std::exception& ex) {
+      SimError::Context ctx;
+      ctx.code = SimErrorCode::kTaskException;
+      ctx.cause = to_string(SimErrorCode::kTaskException);
+      ctx.core = c.id;
+      ctx.at_tick = c.now;
+      throw SimError(std::string("task on core ") + std::to_string(c.id) +
+                         " threw: " + ex.what(),
+                     ctx);
+    } catch (...) {
+      SimError::Context ctx;
+      ctx.code = SimErrorCode::kTaskException;
+      ctx.cause = to_string(SimErrorCode::kTaskException);
+      ctx.core = c.id;
+      ctx.at_tick = c.now;
+      throw SimError(std::string("task on core ") + std::to_string(c.id) +
+                         " threw a non-std exception",
+                     ctx);
+    }
   }
   after_fiber_return(c);
 }
@@ -864,9 +1168,32 @@ bool Engine::start_next_work(CoreSim& c) {
         }
       }
     }
+    host::ShardState& sh = shard_of(c);
+    if (guard_limits_) {
+      const std::uint32_t cap = cfg_.guard.max_live_fibers;
+      const std::uint64_t live = sh.pool.outstanding() + 1;
+      if (sh.stats.live_fibers_peak < live) sh.stats.live_fibers_peak = live;
+      if (cap != 0 && live > cap) {
+        ++sh.stats.guard_fiber_overflows;
+        SimError::Context gctx;
+        gctx.code = SimErrorCode::kResourceExhausted;
+        gctx.cause = to_string(SimErrorCode::kResourceExhausted);
+        gctx.core = c.id;
+        gctx.at_tick = c.now;
+        gctx.detail = live;
+        throw SimError("fiber guard tripped on shard " +
+                           std::to_string(sh.id) + ": " +
+                           std::to_string(live) + " live fibers > limit " +
+                           std::to_string(cap),
+                       gctx);
+      }
+    }
     Ctx* ctx = c.ctx.get();
-    c.fiber = shard_of(c).pool.create([this, &c, fn = std::move(t.fn), ctx,
-                                       stall]() {
+    c.fiber = sh.pool.create([this, &c, fn = std::move(t.fn), ctx, stall]() {
+      // Entry check covers fibers created but never run before an
+      // abort: the unwinding resume must not execute the task body.
+      if (cancelling_) throw FiberUnwind{};
+      if (fault_ != nullptr && fault_->core_wedged(c.id)) wedge_spin(c);
       if (stall > 0) advance_execution(c, stall);
       fn(*ctx);
     });
@@ -1215,13 +1542,19 @@ Tick Engine::drift_limit(const CoreSim& c) {
 }
 
 void Engine::advance_execution(CoreSim& c, Tick cost) {
+  // Cancellation backstop: also catches task code that swallowed a
+  // FiberUnwind with a catch-all and kept computing.
+  if (cancelling_) throw FiberUnwind{};
   if (mode_ == ExecutionMode::kCycleLevel) {
     const Tick quantum = ticks(std::max<Cycles>(1, cfg_.cl_quantum_cycles));
     while (cost > 0) {
       const Tick step = std::min(cost, quantum);
       charge(c, step, AdvanceKind::kCompute);
       cost -= step;
-      if (cost > 0) Fiber::yield();
+      if (cost > 0) {
+        Fiber::yield();
+        if (cancelling_) throw FiberUnwind{};
+      }
     }
     return;
   }
@@ -1252,7 +1585,44 @@ void Engine::advance_execution(CoreSim& c, Tick cost) {
       tel(shard_id_[c.id], obs::EventKind::kStall, c.now, c.id);
     }
     Fiber::yield();
+    if (cancelling_) throw FiberUnwind{};
     // Woken by wake_sweep with a fresh cached_limit; loop re-checks.
+  }
+}
+
+void Engine::wedge_spin(CoreSim& c) {
+  if (!c.wedge_reported) {
+    c.wedge_reported = true;
+    SimStats& st = stats_of(c);
+    ++st.fault_core_wedges;
+    ++st.faults_injected;
+    if (obs_ != nullptr) {
+      obs_->on_fault(*this, fault::FaultKind::kCoreWedge, c.id, c.now, 0);
+    }
+    if (telemetry_ != nullptr) {
+      tel(shard_id_[c.id], obs::EventKind::kFault, c.now, c.id,
+          static_cast<std::uint8_t>(fault::FaultKind::kCoreWedge), 0, 0);
+    }
+  }
+  host::ShardState& sh = shard_of(c);
+  for (;;) {
+    if (mode_ == ExecutionMode::kVirtualTime) {
+      // Present exactly like a spatial-sync stall, except the clock
+      // never charges: wake_sweep keeps re-waking the core, quanta are
+      // consumed, the clock sum freezes — the watchdog's signature.
+      ++sh.stats.sync_stalls;
+      c.sync_stalled = true;
+      sh.stalled.push_back(c.id);
+      if (trace_ != nullptr) trace_->on_stall(c.id, c.now);
+      if (obs_ != nullptr) obs_->on_stall(*this, c.id, c.now);
+      if (telemetry_ != nullptr) {
+        tel(shard_id_[c.id], obs::EventKind::kStall, c.now, c.id);
+      }
+    }
+    // Cycle-level: stay actionable at a frozen clock, so the scheduler
+    // re-picks this core forever and the in-loop poll fires.
+    Fiber::yield();
+    if (cancelling_) throw FiberUnwind{};
   }
 }
 
@@ -1380,6 +1750,7 @@ void Engine::enqueue_message(host::ShardState& ctx, Message m) {
   if (dsh == ctx.id) {
     ++ctx.inflight_messages;
     CoreSim& dst = core(m.dst);
+    guard_check_inbox(ctx, dst);
     dst.inbox.push_back(std::move(m));
     mark_ready(dst);
   } else {
@@ -1413,6 +1784,7 @@ Message Engine::await_reply(CoreSim& c) {
   c.waiting_reply = true;
   c.reply_ready = false;
   Fiber::yield();
+  if (cancelling_) throw FiberUnwind{};
   if (!c.reply_ready) {
     throw std::logic_error("await_reply resumed without a reply");
   }
@@ -1969,6 +2341,7 @@ void Engine::ctx_join(CoreSim& c, GroupId g) {
   c.park_pending = true;
   c.park_group = g;
   Fiber::yield();
+  if (cancelling_) throw FiberUnwind{};
   // Resumed from the core's resumables queue; the join context-switch
   // cost was charged by start_next_work.
 }

@@ -37,6 +37,8 @@
 // bit-identical to the sequential engine by construction.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -50,6 +52,7 @@
 #include "core/inspect.h"
 #include "core/message.h"
 #include "core/rng.h"
+#include "core/sim_error.h"
 #include "core/sim_stats.h"
 #include "core/sim_types.h"
 #include "core/task_ctx.h"
@@ -91,7 +94,12 @@ class Engine {
 
   /// Runs `root` on core 0 at virtual time 0 until every task has
   /// completed and all messages are drained. One-shot: a second call
-  /// throws. Throws std::runtime_error on simulated deadlock.
+  /// throws. Failures surface as SimError (a std::runtime_error):
+  /// kDeadlock on simulated deadlock, kDeadlineExceeded /
+  /// kVtimeBudgetExceeded / kLivelock when a guard budget trips
+  /// (config.guard), kCancelled after request_cancel(). All live
+  /// fibers are unwound (destructors run, stacks recycled) before the
+  /// throw, and partial stats/telemetry are flushed.
   SimStats run(TaskFn root);
 
   [[nodiscard]] const ArchConfig& config() const noexcept { return cfg_; }
@@ -127,6 +135,18 @@ class Engine {
   /// (core clocks, births, lock/cell/group tables, counters). Slow;
   /// meant for validators and deadlock diagnostics.
   [[nodiscard]] EngineInspect inspect() const;
+
+  /// Requests cooperative cancellation of a running simulation.
+  /// Async-signal-safe and callable from any thread: the run aborts at
+  /// the next guard poll / barrier with SimError{kCancelled}, after
+  /// unwinding every live fiber (no leaked stacks). A no-op once the
+  /// run has finished.
+  void request_cancel() noexcept {
+    std::uint8_t expected = 0;
+    cancel_code_.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(SimErrorCode::kCancelled),
+        std::memory_order_relaxed);
+  }
 
  private:
   friend class host::ParallelHost;
@@ -206,6 +226,10 @@ class Engine {
     /// target, never executes tasks; the NoC interface stays alive.
     /// Immutable after construction, so cross-shard reads are safe.
     bool dead = false;
+    /// One-time accounting latch for a fault-plan wedged core (see
+    /// fault::FaultInjector::core_wedged): set when the wedge loop
+    /// first engages and books its fault event.
+    bool wedge_reported = false;
     bool sync_stalled = false;
     bool waiting_reply = false;
     bool park_pending = false;   // fiber asked to be parked on a group
@@ -297,6 +321,45 @@ class Engine {
   void send_op(host::ShardState& ctx, host::HostOp op, std::uint32_t dst_shard,
                Message m);
   void finalize_stats();
+
+  // ---- Supervision / cooperative cancellation (src/guard config) --------
+
+  /// Primes guard state at the top of run(): wall-clock anchor, budget
+  /// conversions, per-shard poll cadence.
+  void guard_setup();
+  /// Cheap in-round check, every guard.poll_quanta quanta inside the
+  /// shard's own loop: wall deadline, virtual-time budget, per-shard
+  /// livelock watchdog. On a trip it only flags — the abort itself is
+  /// funneled to the single-threaded serial phase.
+  void guard_poll(host::ShardState& sh);
+  /// Serial-phase (single-threaded) side: global watchdog across
+  /// rounds, and the abort when any guard flag is up.
+  void guard_serial_check();
+  /// Unwinds every live fiber, flushes partial stats/telemetry and
+  /// throws SimError{code} with progress context. Single-threaded.
+  [[noreturn]] void guard_abort(SimErrorCode code);
+  /// Resumes every suspended fiber with cancelling_ set so each throws
+  /// FiberUnwind through the task stack (destructors run, stacks are
+  /// recycled). Covers installed fibers, resumables, parked joiners and
+  /// fibers riding in mailbox messages / inboxes.
+  void unwind_all_fibers();
+  /// Flushes partial results (stats merge + telemetry finalize) so a
+  /// failed run still yields usable diagnostics.
+  void guard_flush_partial();
+  /// Wraps a shard-worker exception: SimError passes through (shard
+  /// annotated), std::logic_error passes through (protocol misuse),
+  /// anything else becomes SimError{kWorkerException} with shard
+  /// context. Rethrows after unwinding live fibers.
+  [[noreturn]] void guard_rethrow_worker(std::uint32_t shard,
+                                         std::exception_ptr ep);
+  /// Inbox-depth resource guard + peak gauge, at both delivery sites
+  /// (enqueue_message and apply_host_op kDeliver).
+  void guard_check_inbox(host::ShardState& sh, const CoreSim& dst);
+  /// Fault-plan wedged core (FaultKind::kCoreWedge): books the fault
+  /// once, then stalls forever without charging virtual time — the
+  /// deterministic livelock vector the watchdog tests detect. Only
+  /// exits by cooperative unwind.
+  [[noreturn]] void wedge_spin(CoreSim& c);
 
   [[nodiscard]] host::ShardState& shard_of(const CoreSim& c) {
     return *shards_[shard_id_[c.id]];
@@ -499,6 +562,26 @@ class Engine {
   EngineObserver* obs_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
   bool ran_ = false;
+
+  // Guard state (src/guard/guard_config.h; see guard_setup).
+  /// First tripped SimErrorCode, or 0. Written by any shard worker (or
+  /// a signal handler via request_cancel); the serial phase converts it
+  /// into the abort. CAS keeps the first cause.
+  std::atomic<std::uint8_t> cancel_code_{0};
+  /// True only while unwind_all_fibers resumes fibers; post-yield
+  /// checks turn resumption into a FiberUnwind throw. Plain bool: set
+  /// and read single-threaded (serial phase / sequential loop).
+  bool cancelling_ = false;
+  bool guard_flushed_ = false;      // partial stats/telemetry emitted
+  bool guard_polling_ = false;      // any in-round guard check enabled
+  bool guard_limits_ = false;       // inbox/fiber resource caps enabled
+  std::chrono::steady_clock::time_point guard_start_{};
+  Tick guard_max_vtime_ticks_ = 0;  // cfg_.guard.max_vtime_cycles in ticks
+  // Serial-phase global watchdog (parallel host: per-round deltas).
+  Tick guard_round_now_sum_ = 0;
+  std::uint64_t guard_round_quanta_ = 0;
+  bool guard_round_baseline_ = false;
+  std::uint32_t guard_stale_rounds_ = 0;
 
   SimStats stats_;
 };

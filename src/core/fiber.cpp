@@ -50,6 +50,9 @@ void Fiber::trampoline() {
                 "fiber trampoline entered with no current fiber");
   try {
     self->fn_();
+  } catch (const FiberUnwind&) {
+    // Cooperative cancellation unwinding the task stack: expected, not
+    // an error worth transporting back to the scheduler.
   } catch (...) {
     self->exception_ = std::current_exception();
   }
@@ -159,7 +162,9 @@ std::unique_ptr<Fiber> FiberPool::create(Fiber::Fn fn) {
 }
 
 void FiberPool::recycle(std::unique_ptr<Fiber> fiber) {
-  if (fiber && fiber->finished() && fiber->stack_bytes_ == stack_bytes_) {
+  if (!fiber) return;
+  ++returned_;
+  if (fiber->finished() && fiber->stack_bytes_ == stack_bytes_) {
     free_stacks_.push_back(std::move(fiber->stack_));
   }
 }

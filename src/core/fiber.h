@@ -53,6 +53,16 @@ namespace simany {
 
 class FiberPool;
 
+/// Thrown through a suspended fiber by the engine's cooperative
+/// cancellation: every yield point rechecks the cancel flag on resume
+/// and unwinds the task's stack with this, running destructors so the
+/// fiber finishes cleanly and its stack can be recycled leak-free.
+/// Deliberately *not* derived from std::exception — task code catching
+/// `std::exception&` (or anything short of `...` without rethrow) must
+/// not be able to swallow a cancellation. The trampoline's catch-all
+/// still stops it at the fiber boundary.
+struct FiberUnwind {};
+
 /// A single suspendable execution context running `fn` on its own stack.
 class Fiber {
  public:
@@ -125,6 +135,13 @@ class FiberPool {
     return free_stacks_.size();
   }
   [[nodiscard]] std::size_t created() const noexcept { return created_; }
+  /// Fibers created and not yet handed back: each one pins a live
+  /// stack, so this is what the guard's max_live_fibers limit bounds.
+  /// Saturating: a migrated fiber may be recycled into a different
+  /// shard's pool than the one that created it.
+  [[nodiscard]] std::size_t outstanding() const noexcept {
+    return created_ > returned_ ? created_ - returned_ : 0;
+  }
 
   static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
 
@@ -132,6 +149,7 @@ class FiberPool {
   std::size_t stack_bytes_;
   std::vector<std::unique_ptr<std::byte[]>> free_stacks_;
   std::size_t created_ = 0;
+  std::size_t returned_ = 0;
 };
 
 }  // namespace simany

@@ -8,6 +8,58 @@
 
 namespace simany {
 
+/// Failure taxonomy for aborted runs. Retry harnesses branch on this:
+/// a *transient* code depends on host wall-clock conditions and may
+/// succeed on a rerun; everything else is a deterministic property of
+/// (config, workload, shard count) and will fail identically again.
+enum class SimErrorCode : std::uint8_t {
+  kUnknown = 0,
+  /// Injected message loss exhausted the retransmission budget.
+  kMsgRetryExhausted,
+  /// Wall-clock budget (--deadline-ms) expired; run was cancelled.
+  kDeadlineExceeded,
+  /// Virtual-time budget (--max-vtime) exceeded.
+  kVtimeBudgetExceeded,
+  /// Watchdog: cores non-idle but global virtual time frozen.
+  kLivelock,
+  /// No core can make progress (circular wait or lost wake).
+  kDeadlock,
+  /// Exception escaped a shard worker thread; contained and rethrown
+  /// on the serial phase with shard context.
+  kWorkerException,
+  /// A resource guard tripped (inbox depth / fiber pool exhaustion).
+  kResourceExhausted,
+  /// Exception thrown by a task body inside a fiber; transported to
+  /// the host stack and wrapped with core/task context.
+  kTaskException,
+  /// Cooperative cancellation requested externally (SIGINT/SIGTERM or
+  /// Engine::request_cancel).
+  kCancelled,
+};
+
+[[nodiscard]] constexpr const char* to_string(SimErrorCode c) noexcept {
+  switch (c) {
+    case SimErrorCode::kUnknown: return "unknown";
+    case SimErrorCode::kMsgRetryExhausted: return "msg-retry-exhausted";
+    case SimErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case SimErrorCode::kVtimeBudgetExceeded: return "vtime-budget-exceeded";
+    case SimErrorCode::kLivelock: return "livelock";
+    case SimErrorCode::kDeadlock: return "deadlock";
+    case SimErrorCode::kWorkerException: return "worker-exception";
+    case SimErrorCode::kResourceExhausted: return "resource-exhausted";
+    case SimErrorCode::kTaskException: return "task-exception";
+    case SimErrorCode::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+/// Only wall-clock-dependent failures are worth retrying: a rerun on a
+/// less loaded host can beat a deadline it previously missed. Every
+/// other code is a pure function of the run's inputs.
+[[nodiscard]] constexpr bool is_transient(SimErrorCode c) noexcept {
+  return c == SimErrorCode::kDeadlineExceeded;
+}
+
 /// Thrown when the *simulated* machine fails in a way the run-time
 /// cannot mask — e.g. a message whose retransmission budget is
 /// exhausted under an injected-fault plan — as opposed to a host-side
@@ -25,12 +77,25 @@ class SimError : public std::runtime_error {
     std::uint64_t detail = 0;
     /// Seed of the fault plan that produced the condition (0 if none).
     std::uint64_t fault_seed = 0;
+    /// Taxonomy code; `cause` is its human-oriented twin.
+    SimErrorCode code = SimErrorCode::kUnknown;
+    /// Shard on which the failure surfaced (~0u if not shard-scoped).
+    std::uint32_t shard = ~0u;
   };
 
   SimError(const std::string& msg, Context ctx)
       : std::runtime_error(msg), ctx_(std::move(ctx)) {}
 
   [[nodiscard]] const Context& context() const noexcept { return ctx_; }
+  [[nodiscard]] SimErrorCode code() const noexcept { return ctx_.code; }
+  [[nodiscard]] bool transient() const noexcept {
+    return is_transient(ctx_.code);
+  }
+
+  /// Mutable context access for containment layers that annotate an
+  /// in-flight error with where it surfaced (shard, core) without
+  /// rebuilding the exception.
+  [[nodiscard]] Context& mutable_context() noexcept { return ctx_; }
 
  private:
   Context ctx_;

@@ -39,8 +39,20 @@ struct SimStats {
   std::uint64_t fault_core_stalls = 0;
   std::uint64_t fault_spawn_denials = 0;
   std::uint64_t fault_mem_spikes = 0;
+  /// Cores wedged into a permanent no-progress spin by the plan (the
+  /// watchdog's fabricated-livelock test vector).
+  std::uint64_t fault_core_wedges = 0;
   /// Cores permanently disabled by the plan (set at run end, per run).
   std::uint32_t fault_dead_cores = 0;
+
+  // Guard/backpressure accounting (src/guard limits, engine-enforced).
+  /// Deliveries rejected by the max_inbox_depth resource guard.
+  std::uint64_t guard_inbox_overflows = 0;
+  /// Fiber creations rejected by the max_live_fibers resource guard.
+  std::uint64_t guard_fiber_overflows = 0;
+  /// High-water marks feeding guard tuning (max-merged across shards).
+  std::uint64_t inbox_depth_peak = 0;
+  std::uint64_t live_fibers_peak = 0;
 
   /// Available host parallelism, sampled periodically during the run:
   /// the number of simulated cores that could be advanced concurrently
@@ -107,6 +119,15 @@ struct SimStats {
     fault_core_stalls += o.fault_core_stalls;
     fault_spawn_denials += o.fault_spawn_denials;
     fault_mem_spikes += o.fault_mem_spikes;
+    fault_core_wedges += o.fault_core_wedges;
+    guard_inbox_overflows += o.guard_inbox_overflows;
+    guard_fiber_overflows += o.guard_fiber_overflows;
+    inbox_depth_peak = inbox_depth_peak > o.inbox_depth_peak
+                           ? inbox_depth_peak
+                           : o.inbox_depth_peak;
+    live_fibers_peak = live_fibers_peak > o.live_fibers_peak
+                           ? live_fibers_peak
+                           : o.live_fibers_peak;
     parallelism_samples += o.parallelism_samples;
     parallelism_sum += o.parallelism_sum;
     parallelism_max = parallelism_max > o.parallelism_max

@@ -22,10 +22,14 @@ constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
 FaultInjector::FaultInjector(const FaultPlan& plan, std::uint32_t num_cores)
     : plan_(plan),
       dead_flags_(num_cores, 0),
+      wedge_flags_(num_cores, 0),
       dead_(plan.dead_set(num_cores)),
       lanes_(1),
       cores_(num_cores) {
   for (const net::CoreId c : dead_) dead_flags_[c] = 1;
+  for (const net::CoreId c : plan_.wedge_core_list) {
+    if (c < num_cores) wedge_flags_[c] = 1;
+  }
 }
 
 void FaultInjector::bind_shards(std::uint32_t num_shards) {
@@ -79,9 +83,10 @@ MsgFaults FaultInjector::on_message(const net::Network& net,
            << ": retry budget exhausted, all " << (attempt + 1)
            << " transmission attempts lost (fault plan seed " << plan_.seed
            << ", drop probability " << plan_.msg_drop_prob << ")";
-        throw SimError(os.str(),
-                       SimError::Context{"msg-retry-exhausted", src, dst,
-                                         sent, attempt + 1, plan_.seed});
+        SimError::Context ctx{"msg-retry-exhausted", src, dst, sent,
+                              attempt + 1, plan_.seed};
+        ctx.code = SimErrorCode::kMsgRetryExhausted;
+        throw SimError(os.str(), ctx);
       }
       (void)net.send_on(lane, src, dst, bytes, depart);
       const Tick backoff = ticks(plan_.retry_timeout_cycles)

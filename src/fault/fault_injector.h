@@ -52,6 +52,11 @@ class FaultInjector {
   [[nodiscard]] bool core_dead(net::CoreId c) const noexcept {
     return dead_flags_[c] != 0;
   }
+  /// Plan-wedged core: the first task to run on it spins forever
+  /// without advancing virtual time (guard watchdog test vector).
+  [[nodiscard]] bool core_wedged(net::CoreId c) const noexcept {
+    return wedge_flags_[c] != 0;
+  }
   [[nodiscard]] const std::vector<net::CoreId>& dead() const noexcept {
     return dead_;
   }
@@ -88,6 +93,7 @@ class FaultInjector {
 
   FaultPlan plan_;
   std::vector<std::uint8_t> dead_flags_;
+  std::vector<std::uint8_t> wedge_flags_;
   std::vector<net::CoreId> dead_;
 
   /// Per-shard-lane message stream; touched only by the owning host

@@ -17,6 +17,7 @@ const char* to_string(FaultKind k) noexcept {
     case FaultKind::kSpawnDenied: return "spawn-denied";
     case FaultKind::kMemSpike: return "mem-spike";
     case FaultKind::kCoreDead: return "core-dead";
+    case FaultKind::kCoreWedge: return "core-wedge";
   }
   return "?";
 }
@@ -24,7 +25,8 @@ const char* to_string(FaultKind k) noexcept {
 bool FaultPlan::enabled() const noexcept {
   return msg_delay_prob > 0.0 || msg_dup_prob > 0.0 ||
          msg_drop_prob > 0.0 || stall_prob > 0.0 || spawn_fail_prob > 0.0 ||
-         mem_spike_prob > 0.0 || dead_cores > 0 || !dead_core_list.empty();
+         mem_spike_prob > 0.0 || dead_cores > 0 || !dead_core_list.empty() ||
+         !wedge_core_list.empty();
 }
 
 namespace {
@@ -71,6 +73,12 @@ void FaultPlan::validate(std::uint32_t num_cores) const {
   if (dead_cores >= num_cores) {
     throw std::invalid_argument(
         "FaultPlan::dead_cores must leave at least core 0 alive");
+  }
+  for (const net::CoreId c : wedge_core_list) {
+    if (c >= num_cores) {
+      throw std::invalid_argument("FaultPlan::wedge_core_list entry " +
+                                  std::to_string(c) + " is out of range");
+    }
   }
 }
 

@@ -35,6 +35,7 @@ enum class FaultKind : std::uint8_t {
   kSpawnDenied,  // a probe was answered "busy" regardless of load
   kMemSpike,     // one memory access paid an extra latency spike
   kCoreDead,     // a core is permanently disabled for the whole run
+  kCoreWedge,    // a core spins forever without advancing virtual time
 };
 
 [[nodiscard]] const char* to_string(FaultKind k) noexcept;
@@ -100,6 +101,14 @@ struct FaultPlan {
   /// Explicitly disabled cores, unioned with the random picks. Core 0
   /// (which runs the root task) is rejected by validate().
   std::vector<net::CoreId> dead_core_list;
+
+  /// Cores that *wedge*: the first task to start on a listed core
+  /// enters a permanent spin that stays runnable but never advances
+  /// its virtual clock — the fabricated-livelock vector the guard
+  /// watchdog must detect. Unlike dead cores the wedged core looks
+  /// healthy to probes and the NoC; unlike stalls it never recovers.
+  /// Core 0 is allowed (wedging the root is a valid scenario).
+  std::vector<net::CoreId> wedge_core_list;
 
   /// True when any fault can actually fire; a disabled plan costs the
   /// engine nothing (the injector is not even constructed).

@@ -1,0 +1,229 @@
+#include "guard/crash_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+
+namespace simany::guard {
+
+namespace {
+
+/// Minimal JSON string escape (the report carries summaries with
+/// arbitrary core ids and reason text, never binary data).
+std::string esc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::uint64_t u64(std::uint64_t v) { return v; }
+
+/// A core id rendered as JSON: kInvalidCore becomes null.
+void put_core(std::ostream& out, std::uint32_t c) {
+  if (c == net::kInvalidCore || c == ~0u) {
+    out << "null";
+  } else {
+    out << c;
+  }
+}
+
+/// True when `holder` can still run its critical section to the end:
+/// it has an installed fiber and is not itself parked on a reply or a
+/// spatial stall that nothing will release.
+bool holder_runnable(const EngineInspect& state, CoreId holder) {
+  for (const CoreInspect& c : state.cores) {
+    if (c.id != holder) continue;
+    // A sync-stalled holder is woken by normal drift-limit motion; a
+    // reply-waiting holder depends on its peer, which the wait-for
+    // edges already model. Either way a live fiber on a non-dead core
+    // means the section can complete.
+    return c.has_fiber && !c.dead;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* to_string(StallKind k) noexcept {
+  switch (k) {
+    case StallKind::kProtocolDeadlock: return "protocol-deadlock";
+    case StallKind::kDeadPartition: return "dead-partition";
+    case StallKind::kHolderProgress: return "holder-progress";
+    case StallKind::kLivelock: return "livelock";
+    case StallKind::kNoStall: return "no-stall";
+  }
+  return "no-stall";
+}
+
+StallDiagnosis diagnose_stall(const EngineInspect& state,
+                              const net::Topology& topo) {
+  StallDiagnosis d;
+  d.report = check::analyze_deadlock(state, topo);
+  if (d.report.all_dead_partition) {
+    d.kind = StallKind::kDeadPartition;
+    d.summary =
+        "all pending work is on fault-plan-dead cores (injected outage, "
+        "not a protocol failure)";
+    return d;
+  }
+  if (d.report.has_cycle()) {
+    d.kind = StallKind::kProtocolDeadlock;
+    d.summary = "wait-for cycle: " + d.report.summary;
+    return d;
+  }
+  // No cycle. If some lock/cell is held by a core that can still run,
+  // the system is in a (possibly long) critical section, not wedged.
+  for (const LockInspect& l : state.locks) {
+    if (l.held && !l.waiters.empty() && holder_runnable(state, l.holder)) {
+      d.kind = StallKind::kHolderProgress;
+      d.summary = "lock " + std::to_string(l.id) + " held by runnable core " +
+                  std::to_string(l.holder) +
+                  " (long critical section, not livelock)";
+      return d;
+    }
+  }
+  for (const CellInspect& c : state.cells) {
+    if (c.locked && !c.waiters.empty() && holder_runnable(state, c.holder)) {
+      d.kind = StallKind::kHolderProgress;
+      d.summary = "cell " + std::to_string(c.id) + " held by runnable core " +
+                  std::to_string(c.holder) +
+                  " (long critical section, not livelock)";
+      return d;
+    }
+  }
+  if (d.report.edges.empty()) {
+    const bool any_pending = std::any_of(
+        state.cores.begin(), state.cores.end(), [](const CoreInspect& c) {
+          return c.has_fiber || c.queue_len > 0 || c.resumables > 0;
+        });
+    if (!any_pending) {
+      d.kind = StallKind::kNoStall;
+      d.summary = "no core is waiting (run interrupted, not stalled)";
+      return d;
+    }
+  }
+  d.kind = StallKind::kLivelock;
+  d.summary = d.report.edges.empty()
+                  ? "cores hold pending work but no wait edge explains the "
+                    "stall (livelock or lost wake)"
+                  : "acyclic waits with no runnable holder (livelock or "
+                    "lost wake): " +
+                        d.report.summary;
+  return d;
+}
+
+void write_crash_report(std::ostream& out, const CrashReportInfo& info,
+                        const EngineInspect& state,
+                        const net::Topology& topo) {
+  const StallDiagnosis diag = diagnose_stall(state, topo);
+
+  Tick min_now = std::numeric_limits<Tick>::max();
+  Tick max_now = 0;
+  for (const CoreInspect& c : state.cores) {
+    min_now = std::min(min_now, c.now);
+    max_now = std::max(max_now, c.now);
+  }
+  if (state.cores.empty()) min_now = 0;
+
+  out << "{\n";
+  out << "  \"schema\": \"simany-crash-report-v1\",\n";
+
+  const SimError::Context& e = info.error;
+  out << "  \"error\": {\n";
+  out << "    \"code\": \"" << to_string(e.code) << "\",\n";
+  out << "    \"cause\": \"" << esc(e.cause) << "\",\n";
+  out << "    \"message\": \"" << esc(info.message) << "\",\n";
+  out << "    \"transient\": " << (is_transient(e.code) ? "true" : "false")
+      << ",\n";
+  out << "    \"core\": ";
+  put_core(out, e.core);
+  out << ",\n    \"peer\": ";
+  put_core(out, e.peer);
+  out << ",\n    \"shard\": ";
+  put_core(out, e.shard);
+  out << ",\n    \"at_tick\": " << u64(e.at_tick) << ",\n";
+  out << "    \"detail\": " << u64(e.detail) << ",\n";
+  out << "    \"fault_seed\": " << u64(e.fault_seed) << "\n  },\n";
+
+  const SimStats& st = info.stats;
+  out << "  \"run\": {\n";
+  out << "    \"cores\": " << info.num_cores << ",\n";
+  out << "    \"host_rounds\": " << u64(st.host_rounds) << ",\n";
+  out << "    \"host_threads\": " << u64(st.host_threads_used) << ",\n";
+  out << "    \"tasks_spawned\": " << u64(st.tasks_spawned) << ",\n";
+  out << "    \"messages\": " << u64(st.messages) << ",\n";
+  out << "    \"sync_stalls\": " << u64(st.sync_stalls) << ",\n";
+  out << "    \"faults_injected\": " << u64(st.faults_injected) << ",\n";
+  out << "    \"fault_core_wedges\": " << u64(st.fault_core_wedges) << ",\n";
+  out << "    \"guard_inbox_overflows\": " << u64(st.guard_inbox_overflows)
+      << ",\n";
+  out << "    \"guard_fiber_overflows\": " << u64(st.guard_fiber_overflows)
+      << ",\n";
+  out << "    \"inbox_depth_peak\": " << u64(st.inbox_depth_peak) << ",\n";
+  out << "    \"live_fibers_peak\": " << u64(st.live_fibers_peak) << "\n";
+  out << "  },\n";
+
+  out << "  \"progress\": {\n";
+  out << "    \"min_core_cycles\": " << cycles_floor(min_now) << ",\n";
+  out << "    \"max_core_cycles\": " << cycles_floor(max_now) << ",\n";
+  out << "    \"live_tasks\": " << u64(state.live_tasks) << ",\n";
+  out << "    \"inflight_messages\": " << u64(state.inflight_messages)
+      << ",\n";
+  out << "    \"per_core\": [\n";
+  for (std::size_t i = 0; i < state.cores.size(); ++i) {
+    const CoreInspect& c = state.cores[i];
+    const char* st_name = c.dead            ? "dead"
+                          : c.sync_stalled  ? "sync-stalled"
+                          : c.waiting_reply ? "waiting-reply"
+                          : c.has_fiber     ? "running"
+                                            : "idle";
+    out << "      {\"id\": " << c.id << ", \"now_cycles\": "
+        << cycles_floor(c.now) << ", \"state\": \"" << st_name
+        << "\", \"queue\": " << c.queue_len << ", \"inbox\": " << c.inbox_len
+        << ", \"resumables\": " << c.resumables
+        << ", \"hold_depth\": " << c.hold_depth << "}"
+        << (i + 1 < state.cores.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n  },\n";
+
+  out << "  \"diagnosis\": {\n";
+  out << "    \"kind\": \"" << to_string(diag.kind) << "\",\n";
+  out << "    \"summary\": \"" << esc(diag.summary) << "\",\n";
+  out << "    \"wait_edges\": [\n";
+  for (std::size_t i = 0; i < diag.report.edges.size(); ++i) {
+    const check::WaitEdge& w = diag.report.edges[i];
+    out << "      {\"from\": ";
+    put_core(out, w.from);
+    out << ", \"to\": ";
+    put_core(out, w.to);
+    out << ", \"reason\": \"" << esc(w.reason) << "\"}"
+        << (i + 1 < diag.report.edges.size() ? "," : "") << "\n";
+  }
+  out << "    ],\n";
+  out << "    \"cycle\": [";
+  for (std::size_t i = 0; i < diag.report.cycle.size(); ++i) {
+    out << (i ? ", " : "") << diag.report.cycle[i];
+  }
+  out << "]\n  }\n";
+  out << "}\n";
+}
+
+}  // namespace simany::guard

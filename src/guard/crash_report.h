@@ -1,0 +1,75 @@
+// Post-mortem layer of the supervision subsystem: classify why a run
+// stopped making progress and leave a machine-readable artifact.
+//
+// The engine enforces guard limits itself (guard_config.h); this
+// library runs *after* the abort, on a frozen Engine::inspect()
+// snapshot, and is what the CLI and tests consume. It reuses the PR 1
+// wait-for-graph analyzer to tell a protocol deadlock / injected dead
+// partition apart from a livelock or a legitimately long critical
+// section.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "check/deadlock.h"
+#include "core/inspect.h"
+#include "core/sim_error.h"
+#include "core/sim_stats.h"
+#include "net/topology.h"
+
+namespace simany::guard {
+
+/// What the wait-for analysis says about a stopped run.
+enum class StallKind : std::uint8_t {
+  /// Circular wait among cores: a true protocol deadlock.
+  kProtocolDeadlock,
+  /// Every core with pending work is fault-plan dead: injected outage.
+  kDeadPartition,
+  /// A lock/cell holder exists and is runnable — the "stall" is a long
+  /// critical section, not a livelock; the watchdog must not flag it.
+  kHolderProgress,
+  /// Cores are non-idle, no cycle, no runnable holder: livelock or
+  /// lost wake.
+  kLivelock,
+  /// Nothing is waiting at all (e.g. a wall deadline fired mid-run).
+  kNoStall,
+};
+
+[[nodiscard]] const char* to_string(StallKind k) noexcept;
+
+struct StallDiagnosis {
+  StallKind kind = StallKind::kNoStall;
+  /// Underlying wait-for-graph report (edges, cycle, summary).
+  check::DeadlockReport report;
+  /// One-line human classification.
+  std::string summary;
+};
+
+/// Classifies a frozen snapshot. Pure function; usable on fabricated
+/// EngineInspect states in tests.
+[[nodiscard]] StallDiagnosis diagnose_stall(const EngineInspect& state,
+                                            const net::Topology& topo);
+
+/// Everything a crash report needs beyond the snapshot itself.
+struct CrashReportInfo {
+  /// Structured error context (SimError::context() of the abort).
+  SimError::Context error;
+  /// The exception's what() text.
+  std::string message;
+  /// Counters as of the abort (partial — the run did not finish).
+  SimStats stats;
+  std::uint32_t num_cores = 0;
+};
+
+/// Writes the simany-crash-report-v1 JSON document: the structured
+/// error, per-core progress, and the stall diagnosis. The schema is
+/// documented in docs/robustness.md and parsed by
+/// tools/trace_summary.py.
+void write_crash_report(std::ostream& out, const CrashReportInfo& info,
+                        const EngineInspect& state,
+                        const net::Topology& topo);
+
+}  // namespace simany::guard

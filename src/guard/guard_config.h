@@ -1,0 +1,72 @@
+// Supervision limits for one simulation run.
+//
+// GuardConfig is a plain value embedded in ArchConfig; the engine
+// enforces every limit natively (see engine.cpp guard_* methods), and
+// the src/guard library adds only the post-mortem layer on top
+// (diagnosis + crash reports). Keeping the struct header-only breaks
+// what would otherwise be a core -> guard -> check -> core link cycle.
+//
+// All limits default to "off" (0), so an unconfigured run behaves
+// bit-identically to a pre-guard build: the poll sites reduce to one
+// predictable branch per round.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace simany::guard {
+
+struct GuardConfig {
+  /// Wall-clock budget for the whole run, in milliseconds; 0 = none.
+  /// Trips cooperative cancellation (SimErrorCode::kDeadlineExceeded).
+  std::uint64_t deadline_ms = 0;
+
+  /// Virtual-time budget, in cycles; 0 = none. The run aborts with
+  /// kVtimeBudgetExceeded once any core's clock passes it. Unlike the
+  /// wall deadline this is deterministic: a rerun trips identically.
+  std::uint64_t max_vtime_cycles = 0;
+
+  /// Watchdog window: abort with kLivelock when cores are non-idle but
+  /// the sum of core clocks is unchanged across this many consecutive
+  /// host rounds (sequential host: poll intervals). 0 = off. Lock
+  /// holders inside long critical sections are exempt by construction:
+  /// a critical section is charged on the holder's clock in one
+  /// quantum, so a making-progress holder always moves the sum.
+  std::uint32_t watchdog_rounds = 0;
+
+  /// Quanta between in-round guard polls (sequential host and CL
+  /// mode). Smaller = tighter deadline latency, more poll overhead.
+  std::uint32_t poll_quanta = 1024;
+
+  /// Per-core inbox depth limit; exceeding it converts runaway message
+  /// buildup into SimErrorCode::kResourceExhausted with backpressure
+  /// counters instead of unbounded host memory growth. 0 = unlimited.
+  std::uint32_t max_inbox_depth = 0;
+
+  /// Per-shard live-fiber limit (created minus recycled); trips
+  /// kResourceExhausted before fiber stacks exhaust host memory.
+  /// 0 = unlimited.
+  std::uint32_t max_live_fibers = 0;
+
+  /// True when any limit is active (the engine skips all guard state
+  /// otherwise).
+  [[nodiscard]] bool enabled() const noexcept {
+    return deadline_ms != 0 || max_vtime_cycles != 0 ||
+           watchdog_rounds != 0 || max_inbox_depth != 0 ||
+           max_live_fibers != 0;
+  }
+
+  /// True when guard_poll must run inside host rounds (cheap limits
+  /// only; resource guards are checked at their own sites).
+  [[nodiscard]] bool polling() const noexcept {
+    return deadline_ms != 0 || max_vtime_cycles != 0 || watchdog_rounds != 0;
+  }
+
+  void validate() const {
+    if (poll_quanta == 0) {
+      throw std::invalid_argument("guard: poll_quanta must be positive");
+    }
+  }
+};
+
+}  // namespace simany::guard

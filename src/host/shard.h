@@ -110,6 +110,17 @@ struct ShardState {
   /// applied mail this round; cleared by the serial barrier phase.
   bool progressed = false;
   std::exception_ptr error;
+
+  // Guard-poll bookkeeping (engine guard_poll; see guard/guard_config.h).
+  // All shard-local: polls run inside the shard's own round.
+  std::uint64_t guard_quanta_at_poll = 0;  // quantum_count at last poll
+  std::uint64_t guard_quanta_next = 0;     // quantum_count of next poll
+  Tick guard_now_sum = 0;                  // sum of core clocks at last poll
+  bool guard_baseline = false;             // guard_now_sum is valid
+  std::uint32_t guard_stale_polls = 0;     // consecutive no-motion polls
+  /// Set when a guard limit tripped: the shard's loop returns to the
+  /// barrier early so the serial phase can abort the run.
+  bool guard_stop = false;
 };
 
 }  // namespace simany::host

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace simany {
@@ -97,6 +100,105 @@ TEST(FiberPool, RecyclesStacks) {
   EXPECT_EQ(pool.pooled(), 0u);  // stack was reused
   f2->resume();
   EXPECT_TRUE(f2->finished());
+}
+
+TEST(Fiber, ExceptionTransportedAcrossSwitch) {
+  // Exceptions cannot propagate through swapcontext: the trampoline
+  // captures them and the scheduler rethrows from exception().
+  FiberPool pool;
+  auto f = pool.create([] {
+    throw std::runtime_error("boom from fiber");
+  });
+  f->resume();
+  EXPECT_TRUE(f->finished());
+  ASSERT_NE(f->exception(), nullptr);
+  try {
+    std::rethrow_exception(f->exception());
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom from fiber");
+  }
+}
+
+TEST(Fiber, ExceptionAfterYieldStillTransported) {
+  FiberPool pool;
+  auto f = pool.create([] {
+    Fiber::yield();
+    throw std::logic_error("late failure");
+  });
+  f->resume();
+  EXPECT_FALSE(f->finished());
+  EXPECT_EQ(f->exception(), nullptr);
+  f->resume();
+  EXPECT_TRUE(f->finished());
+  EXPECT_NE(f->exception(), nullptr);
+  EXPECT_THROW(std::rethrow_exception(f->exception()), std::logic_error);
+}
+
+TEST(Fiber, UnwindRunsDestructorsAndFrees) {
+  // FiberUnwind thrown inside a suspended fiber must unwind its stack:
+  // destructors run, the fiber finishes, and its stack is recyclable.
+  FiberPool pool(64 * 1024);
+  bool destroyed = false;
+  struct Sentinel {
+    bool* flag;
+    ~Sentinel() { *flag = true; }
+  };
+  bool cancel = false;
+  auto f = pool.create([&] {
+    Sentinel s{&destroyed};
+    Fiber::yield();
+    if (cancel) throw FiberUnwind{};
+    ADD_FAILURE() << "fiber should have been cancelled";
+  });
+  f->resume();
+  EXPECT_FALSE(destroyed);
+  cancel = true;
+  f->resume();
+  EXPECT_TRUE(destroyed);
+  EXPECT_TRUE(f->finished());
+  pool.recycle(std::move(f));
+  EXPECT_EQ(pool.pooled(), 1u);
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(Fiber, UnwindNotCatchableAsStdException) {
+  // Task code catching std::exception must not swallow a cancellation.
+  FiberPool pool(64 * 1024);
+  bool swallowed = false;
+  auto f = pool.create([&] {
+    try {
+      throw FiberUnwind{};
+    } catch (const std::exception&) {
+      swallowed = true;
+    }
+  });
+  f->resume();
+  EXPECT_TRUE(f->finished());
+  EXPECT_FALSE(swallowed);  // catch(std::exception&) did not match
+  EXPECT_EQ(f->exception(), nullptr);  // trampoline's catch-all ate it
+}
+
+TEST(FiberPool, OutstandingTracksLiveFibers) {
+  FiberPool pool(64 * 1024);
+  EXPECT_EQ(pool.outstanding(), 0u);
+  auto a = pool.create([] { Fiber::yield(); });
+  auto b = pool.create([] {});
+  EXPECT_EQ(pool.outstanding(), 2u);
+  b->resume();
+  pool.recycle(std::move(b));
+  EXPECT_EQ(pool.outstanding(), 1u);
+  a->resume();
+  a->resume();
+  pool.recycle(std::move(a));
+  EXPECT_EQ(pool.outstanding(), 0u);
+  // Saturating: recycling a fiber created by another pool (migration)
+  // must not underflow.
+  FiberPool other(64 * 1024);
+  auto m = other.create([] {});
+  m->resume();
+  pool.recycle(std::move(m));
+  EXPECT_EQ(pool.outstanding(), 0u);
 }
 
 TEST(FiberPool, ManySequentialFibers) {

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Retry harness for simany runs.
+
+Runs the command after `--` and reruns it with exponential backoff
+while it exits with a *transient* failure code (simany_cli exits 3
+when a transient SimError survived its own in-process retries, and
+130 when cancelled — only the former is worth rerunning). Writes a
+machine-readable JSON run report so CI and sweep drivers can tell
+"passed first try" from "passed after 2 retries" from "gave up".
+
+  simany_batch.py --retries 3 --report runs.json -- \\
+      ./simany_cli --dwarf spmxv --deadline-ms 2000
+
+Multiple runs of the same command are supported with --runs N; the
+literal token {run} in the command is replaced by the run index, so a
+seed sweep is one invocation:
+
+  simany_batch.py --runs 4 -- ./simany_cli --seed {run}
+
+Exit code: 0 when every run succeeded, otherwise the exit code of the
+first run that failed permanently (or exhausted its retries).
+
+Report schema (simany-batch-report-v1):
+  {"schema": ..., "command": [...], "retries": N, "backoff_ms": B,
+   "runs": [{"run": i, "outcome": "success|failed|transient-exhausted|
+             cancelled", "final_exit_code": rc,
+             "attempts": [{"attempt": k, "exit_code": rc,
+                           "wall_ms": w, "backoff_ms": b}]}],
+   "failed_runs": n}
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+
+SCHEMA = "simany-batch-report-v1"
+TRANSIENT_EXITS = (3,)
+CANCELLED_EXITS = (130, 131)
+
+
+def classify(rc):
+    if rc == 0:
+        return "success"
+    if rc in CANCELLED_EXITS:
+        return "cancelled"
+    if rc in TRANSIENT_EXITS:
+        return "transient"
+    return "failed"
+
+
+def run_with_retries(cmd, retries, backoff_ms, runner=None, sleeper=None):
+    """One command through the retry loop; returns the run record.
+    `runner` and `sleeper` are injection points for tests."""
+    runner = runner or (lambda c: subprocess.call(c))
+    sleeper = sleeper or time.sleep
+    attempts = []
+    attempt = 0
+    while True:
+        t0 = time.monotonic()
+        rc = runner(cmd)
+        wall_ms = (time.monotonic() - t0) * 1000.0
+        outcome = classify(rc)
+        record = {"attempt": attempt, "exit_code": rc,
+                  "wall_ms": round(wall_ms, 3), "backoff_ms": 0}
+        attempts.append(record)
+        if outcome != "transient" or attempt >= retries:
+            if outcome == "transient":
+                outcome = "transient-exhausted"
+            return {"outcome": outcome, "final_exit_code": rc,
+                    "attempts": attempts}
+        backoff = backoff_ms * (1 << attempt)
+        record["backoff_ms"] = backoff
+        sleeper(backoff / 1000.0)
+        attempt += 1
+
+
+def run_batch(cmd, runs, retries, backoff_ms, runner=None, sleeper=None):
+    report = {"schema": SCHEMA, "command": cmd, "retries": retries,
+              "backoff_ms": backoff_ms, "runs": [], "failed_runs": 0}
+    for i in range(runs):
+        concrete = [tok.replace("{run}", str(i)) for tok in cmd]
+        rec = run_with_retries(concrete, retries, backoff_ms,
+                               runner=runner, sleeper=sleeper)
+        rec["run"] = i
+        report["runs"].append(rec)
+        if rec["outcome"] != "success":
+            report["failed_runs"] += 1
+    return report
+
+
+def batch_exit_code(report):
+    for rec in report["runs"]:
+        if rec["outcome"] != "success":
+            return rec["final_exit_code"]
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--retries", type=int, default=2,
+                    help="max reruns per run on transient failure "
+                         "(default 2)")
+    ap.add_argument("--retry-backoff-ms", type=int, default=250,
+                    dest="backoff_ms",
+                    help="initial backoff, doubled per retry "
+                         "(default 250)")
+    ap.add_argument("--runs", type=int, default=1,
+                    help="times to run the command; {run} in the "
+                         "command expands to the run index")
+    ap.add_argument("--report", help="write the JSON run report here")
+    ap.add_argument("cmd", nargs=argparse.REMAINDER,
+                    help="-- followed by the command to run")
+    args = ap.parse_args()
+
+    cmd = args.cmd
+    if cmd and cmd[0] == "--":
+        cmd = cmd[1:]
+    if not cmd:
+        ap.error("no command given (expected: ... -- cmd args)")
+
+    report = run_batch(cmd, args.runs, args.retries, args.backoff_ms)
+    if args.report:
+        with open(args.report, "w") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+    ok = len(report["runs"]) - report["failed_runs"]
+    print("simany_batch: %d/%d runs succeeded" % (ok, len(report["runs"])),
+          file=sys.stderr)
+    return batch_exit_code(report)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Unit tests for simany_batch.py: retry-on-transient semantics,
+exponential backoff, exit-code propagation and the report schema."""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import simany_batch  # noqa: E402
+
+
+class FakeRunner:
+    """Returns scripted exit codes in sequence, recording commands."""
+
+    def __init__(self, codes):
+        self.codes = list(codes)
+        self.calls = []
+
+    def __call__(self, cmd):
+        self.calls.append(list(cmd))
+        return self.codes.pop(0)
+
+
+class RetryTest(unittest.TestCase):
+    def run_one(self, codes, retries=3, backoff_ms=100):
+        runner = FakeRunner(codes)
+        sleeps = []
+        rec = simany_batch.run_with_retries(
+            ["prog"], retries, backoff_ms,
+            runner=runner, sleeper=sleeps.append)
+        return rec, runner, sleeps
+
+    def test_success_first_try_no_sleep(self):
+        rec, runner, sleeps = self.run_one([0])
+        self.assertEqual(rec["outcome"], "success")
+        self.assertEqual(rec["final_exit_code"], 0)
+        self.assertEqual(len(rec["attempts"]), 1)
+        self.assertEqual(sleeps, [])
+
+    def test_transient_then_success_retries_with_backoff(self):
+        rec, runner, sleeps = self.run_one([3, 3, 0], backoff_ms=100)
+        self.assertEqual(rec["outcome"], "success")
+        self.assertEqual(len(rec["attempts"]), 3)
+        # Exponential: 100 ms then 200 ms.
+        self.assertEqual(sleeps, [0.1, 0.2])
+        self.assertEqual(rec["attempts"][0]["backoff_ms"], 100)
+        self.assertEqual(rec["attempts"][1]["backoff_ms"], 200)
+        self.assertEqual(rec["attempts"][2]["backoff_ms"], 0)
+
+    def test_transient_exhausted_keeps_exit_code(self):
+        rec, runner, sleeps = self.run_one([3, 3, 3], retries=2)
+        self.assertEqual(rec["outcome"], "transient-exhausted")
+        self.assertEqual(rec["final_exit_code"], 3)
+        self.assertEqual(len(rec["attempts"]), 3)
+
+    def test_permanent_failure_not_retried(self):
+        rec, runner, sleeps = self.run_one([1, 0])
+        self.assertEqual(rec["outcome"], "failed")
+        self.assertEqual(len(rec["attempts"]), 1)
+        self.assertEqual(sleeps, [])
+
+    def test_cancelled_not_retried(self):
+        rec, runner, sleeps = self.run_one([130, 0])
+        self.assertEqual(rec["outcome"], "cancelled")
+        self.assertEqual(rec["final_exit_code"], 130)
+        self.assertEqual(len(rec["attempts"]), 1)
+
+
+class BatchTest(unittest.TestCase):
+    def test_run_placeholder_substitution(self):
+        runner = FakeRunner([0, 0, 0])
+        report = simany_batch.run_batch(
+            ["prog", "--seed", "{run}"], runs=3, retries=0, backoff_ms=1,
+            runner=runner, sleeper=lambda s: None)
+        self.assertEqual([c[2] for c in runner.calls], ["0", "1", "2"])
+        self.assertEqual(report["failed_runs"], 0)
+        self.assertEqual(simany_batch.batch_exit_code(report), 0)
+
+    def test_report_schema_and_first_failure_exit(self):
+        runner = FakeRunner([0, 1, 0])
+        report = simany_batch.run_batch(
+            ["prog"], runs=3, retries=0, backoff_ms=1,
+            runner=runner, sleeper=lambda s: None)
+        self.assertEqual(report["schema"], "simany-batch-report-v1")
+        self.assertEqual(report["failed_runs"], 1)
+        self.assertEqual(len(report["runs"]), 3)
+        self.assertEqual(report["runs"][1]["outcome"], "failed")
+        self.assertEqual(simany_batch.batch_exit_code(report), 1)
+
+    def test_subprocess_end_to_end(self):
+        # Real subprocess, no fakes: python exits with the given code.
+        report = simany_batch.run_batch(
+            [sys.executable, "-c", "import sys; sys.exit(0)"],
+            runs=1, retries=0, backoff_ms=1)
+        self.assertEqual(report["runs"][0]["outcome"], "success")
+        self.assertGreaterEqual(report["runs"][0]["attempts"][0]["wall_ms"],
+                                0.0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -153,5 +153,80 @@ class LoadAndRenderTest(unittest.TestCase):
         self.assertIn("core 0", text)
 
 
+def crash_doc():
+    return {
+        "schema": "simany-crash-report-v1",
+        "error": {"code": "livelock", "cause": "livelock",
+                  "message": "simulation aborted: livelock after 12 host "
+                             "rounds", "transient": False, "core": 3,
+                  "peer": None, "shard": 1, "at_tick": 4800,
+                  "detail": 0, "fault_seed": 7},
+        "run": {"cores": 16, "host_rounds": 12, "host_threads": 4,
+                "tasks_spawned": 40, "messages": 120, "sync_stalls": 9,
+                "faults_injected": 1, "fault_core_wedges": 1,
+                "guard_inbox_overflows": 0, "guard_fiber_overflows": 0,
+                "inbox_depth_peak": 5, "live_fibers_peak": 6},
+        "progress": {"min_core_cycles": 10, "max_core_cycles": 400,
+                     "live_tasks": 4, "inflight_messages": 2,
+                     "per_core": [
+                         {"id": 0, "now_cycles": 400, "state": "running",
+                          "queue": 1, "inbox": 0, "resumables": 0,
+                          "hold_depth": 0},
+                         {"id": 3, "now_cycles": 10,
+                          "state": "sync-stalled", "queue": 0, "inbox": 2,
+                          "resumables": 0, "hold_depth": 0},
+                     ]},
+        "diagnosis": {"kind": "livelock",
+                      "summary": "cores hold pending work but no wait "
+                                 "edge explains the stall",
+                      "wait_edges": [], "cycle": []},
+    }
+
+
+class CrashReportTest(unittest.TestCase):
+    def test_summary_fields(self):
+        s = trace_summary.summarize_crash_report(crash_doc())
+        self.assertEqual(s["error"]["code"], "livelock")
+        self.assertFalse(s["error"]["transient"])
+        self.assertEqual(s["error"]["shard"], 1)
+        self.assertEqual(s["run"]["host_rounds"], 12)
+        self.assertEqual(s["progress"]["core_states"],
+                         {"running": 1, "sync-stalled": 1})
+        self.assertEqual(s["progress"]["laggard"]["core"], 3)
+        self.assertEqual(s["diagnosis"]["kind"], "livelock")
+        self.assertEqual(s["diagnosis"]["wait_edges"], 0)
+
+    def test_render_mentions_diagnosis_and_laggard(self):
+        text = trace_summary.render_crash_report(
+            trace_summary.summarize_crash_report(crash_doc()))
+        self.assertIn("livelock", text)
+        self.assertIn("laggard", text)
+        self.assertIn("core 3", text)
+        self.assertIn("12 host rounds", text)
+
+    def test_malformed_document_rejected(self):
+        with self.assertRaises((KeyError, ValueError)):
+            trace_summary.summarize_crash_report({"schema": "nope"})
+        doc = crash_doc()
+        del doc["diagnosis"]
+        with self.assertRaises(KeyError):
+            trace_summary.summarize_crash_report(doc)
+
+    def test_load_any_dispatches_on_schema(self):
+        with tempfile.TemporaryDirectory() as d:
+            cpath = os.path.join(d, "crash.json")
+            with open(cpath, "w") as f:
+                json.dump(crash_doc(), f)
+            tpath = os.path.join(d, "trace.json")
+            with open(tpath, "w") as f:
+                json.dump({"traceEvents": []}, f)
+            kind_c, doc = trace_summary.load_any(cpath)
+            kind_t, events = trace_summary.load_any(tpath)
+        self.assertEqual(kind_c, "crash")
+        self.assertEqual(doc["error"]["code"], "livelock")
+        self.assertEqual(kind_t, "events")
+        self.assertEqual(events, [])
+
+
 if __name__ == "__main__":
     unittest.main()

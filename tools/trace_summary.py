@@ -1,18 +1,21 @@
 #!/usr/bin/env python3
-"""Summarize a simany telemetry trace.
+"""Summarize a simany telemetry trace or crash report.
 
-Consumes either output of the telemetry exporters:
+Consumes any of the machine-readable artifacts the simulator writes:
 
   * the flat event CSV written by `simany_cli --trace-csv`
-    (vtime_ticks,core,event,sub,dst,a,b — see src/obs/export.cpp), or
+    (vtime_ticks,core,event,sub,dst,a,b — see src/obs/export.cpp),
   * the Perfetto / Chrome trace-event JSON written by `--trace-json`
-    (pid 1 = simulated cores, 1 cycle = 1 us on the trace axis).
+    (pid 1 = simulated cores, 1 cycle = 1 us on the trace axis), or
+  * the simany-crash-report-v1 JSON written by `--crash-report` on an
+    aborted run (schema in docs/robustness.md).
 
 and prints the run's shape at a glance: the top-N busiest cores, the
 sync-stall distribution, the longest critical section, and the fault
 timeline. Sync stalls are zero-width in *virtual* time by construction
 (a stalled core's clock does not advance), so stalls are reported as
-counts, not durations.
+counts, not durations. Crash reports instead print the structured
+error, progress spread, and the stall diagnosis.
 
 Usage:
   trace_summary.py TRACE [--top N] [--faults N] [--json]
@@ -144,6 +147,9 @@ def events_from_chrome(doc):
                    "sub": kind, "a": 0}
 
 
+CRASH_SCHEMA = "simany-crash-report-v1"
+
+
 def load_events(path):
     with open(path) as f:
         head = f.read(1)
@@ -151,6 +157,109 @@ def load_events(path):
         if head == "{":
             return list(events_from_chrome(json.load(f)))
         return list(events_from_csv(f))
+
+
+def load_any(path):
+    """Returns ("crash", doc) for a crash report, ("events", list)
+    for either trace format."""
+    with open(path) as f:
+        head = f.read(1)
+        f.seek(0)
+        if head == "{":
+            doc = json.load(f)
+            if doc.get("schema") == CRASH_SCHEMA:
+                return "crash", doc
+            return "events", list(events_from_chrome(doc))
+        return "events", list(events_from_csv(f))
+
+
+def summarize_crash_report(doc):
+    """Headline dict from a simany-crash-report-v1 document. Raises
+    KeyError/ValueError on documents that do not match the schema, so
+    CI catches a malformed report instead of printing garbage."""
+    if doc.get("schema") != CRASH_SCHEMA:
+        raise ValueError("not a %s document" % CRASH_SCHEMA)
+    err = doc["error"]
+    run = doc["run"]
+    prog = doc["progress"]
+    diag = doc["diagnosis"]
+    per_core = prog["per_core"]
+    states = {}
+    for c in per_core:
+        states[c["state"]] = states.get(c["state"], 0) + 1
+    laggard = min(per_core, key=lambda c: c["now_cycles"]) if per_core \
+        else None
+    return {
+        "schema": CRASH_SCHEMA,
+        "error": {
+            "code": err["code"],
+            "cause": err["cause"],
+            "message": err["message"],
+            "transient": bool(err["transient"]),
+            "core": err["core"],
+            "shard": err["shard"],
+            "at_tick": err["at_tick"],
+        },
+        "run": {
+            "cores": run["cores"],
+            "host_rounds": run["host_rounds"],
+            "tasks_spawned": run["tasks_spawned"],
+            "faults_injected": run["faults_injected"],
+        },
+        "progress": {
+            "min_core_cycles": prog["min_core_cycles"],
+            "max_core_cycles": prog["max_core_cycles"],
+            "live_tasks": prog["live_tasks"],
+            "core_states": states,
+            "laggard": None if laggard is None else {
+                "core": laggard["id"],
+                "now_cycles": laggard["now_cycles"],
+                "state": laggard["state"],
+            },
+        },
+        "diagnosis": {
+            "kind": diag["kind"],
+            "summary": diag["summary"],
+            "wait_edges": len(diag["wait_edges"]),
+            "cycle": diag["cycle"],
+        },
+    }
+
+
+def render_crash_report(s):
+    e, r, p, d = s["error"], s["run"], s["progress"], s["diagnosis"]
+    lines = []
+    lines.append("crash report : %s%s"
+                 % (e["code"], " (transient)" if e["transient"] else ""))
+    lines.append("message      : %s" % e["message"])
+    where = []
+    if e["core"] is not None:
+        where.append("core %d" % e["core"])
+    if e["shard"] is not None:
+        where.append("shard %d" % e["shard"])
+    if where:
+        lines.append("where        : %s @ tick %d"
+                     % (", ".join(where), e["at_tick"]))
+    lines.append("run          : %d cores, %d host rounds, "
+                 "%d tasks spawned, %d faults injected"
+                 % (r["cores"], r["host_rounds"], r["tasks_spawned"],
+                    r["faults_injected"]))
+    lines.append("progress     : cores at %d..%d cycles, %d live tasks"
+                 % (p["min_core_cycles"], p["max_core_cycles"],
+                    p["live_tasks"]))
+    states = ", ".join("%d %s" % (n, k)
+                       for k, n in sorted(p["core_states"].items()))
+    if states:
+        lines.append("core states  : %s" % states)
+    if p["laggard"] is not None:
+        lines.append("laggard      : core %d (%s) at %d cycles"
+                     % (p["laggard"]["core"], p["laggard"]["state"],
+                        p["laggard"]["now_cycles"]))
+    lines.append("diagnosis    : %s (%d wait edges%s)"
+                 % (d["kind"], d["wait_edges"],
+                    ", cycle %s" % d["cycle"] if d["cycle"] else ""))
+    lines.append("  %s" % d["summary"])
+    return "\n".join(lines)
 
 
 def render(s):
@@ -188,7 +297,8 @@ def render(s):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("trace", help="event CSV or Chrome trace JSON")
+    ap.add_argument("trace",
+                    help="event CSV, Chrome trace JSON, or crash report")
     ap.add_argument("--top", type=int, default=5,
                     help="busiest cores to list (default 5)")
     ap.add_argument("--faults", type=int, default=10,
@@ -196,8 +306,16 @@ def main():
     ap.add_argument("--json", action="store_true",
                     help="emit the summary as JSON instead of text")
     args = ap.parse_args()
-    summary = summarize_events(load_events(args.trace),
-                               top=args.top, faults=args.faults)
+    kind, payload = load_any(args.trace)
+    if kind == "crash":
+        summary = summarize_crash_report(payload)
+        if args.json:
+            json.dump(summary, sys.stdout, indent=2)
+            print()
+        else:
+            print(render_crash_report(summary))
+        return
+    summary = summarize_events(payload, top=args.top, faults=args.faults)
     if args.json:
         json.dump(summary, sys.stdout, indent=2)
         print()
