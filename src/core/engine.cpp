@@ -180,6 +180,7 @@ SimStats Engine::run(TaskFn root) {
   if (telemetry_ != nullptr) tel(0, obs::EventKind::kTaskEnqueue, 0, 0);
   if (obs_ != nullptr) obs_->on_run_begin(*this);
 
+  // simlint: allow(det-wall-clock) host wall-time stat, output-only
   const auto t0 = std::chrono::steady_clock::now();
   try {
     if (mode_ == ExecutionMode::kCycleLevel) {
@@ -207,6 +208,7 @@ SimStats Engine::run(TaskFn root) {
     guard_flush_partial();
     throw;
   }
+  // simlint: allow(det-wall-clock) host wall-time stat, output-only
   const auto t1 = std::chrono::steady_clock::now();
   audit_counters();
   if (obs_ != nullptr) obs_->on_run_end(*this);
@@ -287,6 +289,7 @@ void Engine::guard_setup() {
   const guard::GuardConfig& g = cfg_.guard;
   guard_polling_ = g.polling();
   guard_limits_ = g.max_inbox_depth != 0 || g.max_live_fibers != 0;
+  // simlint: allow(det-wall-clock) guard deadline anchor, by design
   guard_start_ = std::chrono::steady_clock::now();
   guard_max_vtime_ticks_ =
       g.max_vtime_cycles != 0 ? ticks(g.max_vtime_cycles) : 0;
@@ -313,6 +316,7 @@ void Engine::guard_poll(host::ShardState& sh) {
     sh.guard_stop = true;
   };
   if (g.deadline_ms != 0 &&
+      // simlint: allow(det-wall-clock) guard deadline check, by design
       std::chrono::steady_clock::now() - guard_start_ >=
           std::chrono::milliseconds(g.deadline_ms)) {
     trip(SimErrorCode::kDeadlineExceeded);
@@ -362,6 +366,7 @@ void Engine::guard_serial_check() {
   // without consuming quanta (nothing runnable) never hit the in-round
   // poll, but the round barrier still turns.
   if (g.deadline_ms != 0 &&
+      // simlint: allow(det-wall-clock) guard deadline check, by design
       std::chrono::steady_clock::now() - guard_start_ >=
           std::chrono::milliseconds(g.deadline_ms)) {
     guard_abort(SimErrorCode::kDeadlineExceeded);
@@ -595,6 +600,7 @@ void Engine::host_loop(host::ShardState& sh, std::uint64_t budget) {
     if (sh.quantum_count % 4096 == 0) {
       refresh_gmin(sh);
 #if SIMANY_ASSERT_ACTIVE
+      // simlint: allow(phase-serial-escape) single shard: no concurrency
       if (num_shards_ == 1) audit_counters();
 #endif
     }
@@ -849,6 +855,7 @@ EngineInspect Engine::inspect() const {
     }
     std::vector<CellId> cell_ids;
     cell_ids.reserve(h.cells.size());
+    // simlint: allow(det-unordered-iter) keys are sorted before use
     for (const auto& [id, cell] : h.cells) cell_ids.push_back(id);
     std::sort(cell_ids.begin(), cell_ids.end());
     for (CellId id : cell_ids) {
@@ -1508,6 +1515,7 @@ Tick Engine::drift_limit(const CoreSim& c) {
     std::fill(sh.bfs_epoch.begin(), sh.bfs_epoch.end(), 0u);
     sh.bfs_epoch_cur = 1;
   }
+  // simlint: allow(det-thread-local) BFS scratch, cleared per call;
   static thread_local std::vector<std::pair<CoreId, std::uint32_t>> queue;
   queue.clear();
   queue.emplace_back(c.id, 0);
@@ -2154,6 +2162,7 @@ void Engine::ctx_mem_access(CoreSim& c, std::uint64_t addr,
         }
       }
       if (coh && write) {
+        // simlint: allow(det-thread-local) scratch, overwritten per call
         static thread_local std::vector<net::CoreId> invalidated;
         invalidated.clear();
         const auto out = directory_.on_write(c.id, line, &invalidated);

@@ -48,6 +48,7 @@
 #include "config/arch_config.h"
 #include "core/engine_observer.h"
 #include "core/fiber.h"
+#include "core/phase_annotations.h"
 #include "core/inbox.h"
 #include "core/inspect.h"
 #include "core/message.h"
@@ -277,8 +278,8 @@ class Engine {
 
   // ---- Scheduling ------------------------------------------------------
 
-  void main_loop_cl();
-  void run_core_vt(CoreSim& c);
+  SIMANY_SERIAL_ONLY void main_loop_cl();
+  SIMANY_WORKER_PHASE void run_core_vt(CoreSim& c);
   void run_core_cl(CoreSim& c);
   /// Index of the earliest actionable core (CL mode), or kInvalidCore.
   /// Reference O(n) scan, kept as the SIMANY_CHECKED oracle for the
@@ -289,72 +290,78 @@ class Engine {
   [[nodiscard]] Tick cl_key(const CoreSim& c) const;
   [[nodiscard]] bool actionable(const CoreSim& c) const;
   void mark_ready(CoreSim& c);
-  void process_inbox(CoreSim& c);
-  void resume_fiber(CoreSim& c);
+  SIMANY_WORKER_PHASE void process_inbox(CoreSim& c);
+  SIMANY_WORKER_PHASE void resume_fiber(CoreSim& c);
   void after_fiber_return(CoreSim& c);
   bool start_next_work(CoreSim& c);  // resumables / task queue
   void task_done(CoreSim& c);
   /// Group emptied at its home: wake every joiner. `completer`/`at`
   /// identify the finishing task (message timing source).
   void group_complete(Group& grp, GroupId g, CoreId completer, Tick at);
-  bool wake_sweep(host::ShardState& sh);  // true if anything woke
+  SIMANY_WORKER_PHASE bool wake_sweep(host::ShardState& sh);  // woke any?
 
   /// Push-migration (paper SS IV): when this core is overloaded —
   /// running a task with more queued behind it — forward queued tasks
   /// to strictly idle neighbors so work diffuses through the mesh.
-  void try_migrate(CoreSim& c);
+  SIMANY_WORKER_PHASE SIMANY_SHARD_AFFINE void try_migrate(CoreSim& c);
 
   // ---- Host-parallel execution (src/host layer) ------------------------
 
-  void host_setup(std::uint32_t shards);
+  SIMANY_SERIAL_ONLY void host_setup(std::uint32_t shards);
   /// One shard round: drain incoming mailboxes, run the event loop for
   /// up to `budget` quanta (or until the shard has nothing runnable),
   /// publish fresh VtProxy snapshots.
-  void host_round(host::ShardState& sh, std::uint64_t budget);
+  SIMANY_WORKER_PHASE void host_round(host::ShardState& sh,
+                                      std::uint64_t budget);
+  SIMANY_WORKER_PHASE SIMANY_MAILBOX_CONSUMER
   void host_drain(host::ShardState& sh);
-  void host_loop(host::ShardState& sh, std::uint64_t budget);
-  void host_publish(host::ShardState& sh);
+  SIMANY_WORKER_PHASE void host_loop(host::ShardState& sh,
+                                     std::uint64_t budget);
+  SIMANY_WORKER_PHASE void host_publish(host::ShardState& sh);
   /// Serial barrier phase (single-threaded): termination / deadlock
   /// resolution. Returns true when the simulation is finished.
-  bool host_serial_phase();
-  void apply_host_op(host::ShardState& sh, host::Routed r);
+  SIMANY_SERIAL_ONLY bool host_serial_phase();
+  SIMANY_WORKER_PHASE void apply_host_op(host::ShardState& sh,
+                                         host::Routed r);
+  SIMANY_WORKER_PHASE SIMANY_MAILBOX_PRODUCER
   void send_op(host::ShardState& ctx, host::HostOp op, std::uint32_t dst_shard,
                Message m);
-  void finalize_stats();
+  SIMANY_SERIAL_ONLY void finalize_stats();
 
   // ---- Supervision / cooperative cancellation (src/guard config) --------
 
   /// Primes guard state at the top of run(): wall-clock anchor, budget
   /// conversions, per-shard poll cadence.
-  void guard_setup();
+  SIMANY_SERIAL_ONLY void guard_setup();
   /// Cheap in-round check, every guard.poll_quanta quanta inside the
   /// shard's own loop: wall deadline, virtual-time budget, per-shard
   /// livelock watchdog. On a trip it only flags — the abort itself is
   /// funneled to the single-threaded serial phase.
-  void guard_poll(host::ShardState& sh);
+  SIMANY_WORKER_PHASE void guard_poll(host::ShardState& sh);
   /// Serial-phase (single-threaded) side: global watchdog across
   /// rounds, and the abort when any guard flag is up.
-  void guard_serial_check();
+  SIMANY_SERIAL_ONLY void guard_serial_check();
   /// Unwinds every live fiber, flushes partial stats/telemetry and
   /// throws SimError{code} with progress context. Single-threaded.
-  [[noreturn]] void guard_abort(SimErrorCode code);
+  SIMANY_SERIAL_ONLY [[noreturn]] void guard_abort(SimErrorCode code);
   /// Resumes every suspended fiber with cancelling_ set so each throws
   /// FiberUnwind through the task stack (destructors run, stacks are
   /// recycled). Covers installed fibers, resumables, parked joiners and
   /// fibers riding in mailbox messages / inboxes.
-  void unwind_all_fibers();
+  SIMANY_SERIAL_ONLY void unwind_all_fibers();
   /// Flushes partial results (stats merge + telemetry finalize) so a
   /// failed run still yields usable diagnostics.
-  void guard_flush_partial();
+  SIMANY_SERIAL_ONLY void guard_flush_partial();
   /// Wraps a shard-worker exception: SimError passes through (shard
   /// annotated), std::logic_error passes through (protocol misuse),
   /// anything else becomes SimError{kWorkerException} with shard
   /// context. Rethrows after unwinding live fibers.
-  [[noreturn]] void guard_rethrow_worker(std::uint32_t shard,
-                                         std::exception_ptr ep);
+  SIMANY_SERIAL_ONLY [[noreturn]] void guard_rethrow_worker(
+      std::uint32_t shard, std::exception_ptr ep);
   /// Inbox-depth resource guard + peak gauge, at both delivery sites
   /// (enqueue_message and apply_host_op kDeliver).
-  void guard_check_inbox(host::ShardState& sh, const CoreSim& dst);
+  SIMANY_WORKER_PHASE void guard_check_inbox(host::ShardState& sh,
+                                             const CoreSim& dst);
   /// Fault-plan wedged core (FaultKind::kCoreWedge): books the fault
   /// once, then stalls forever without charging virtual time — the
   /// deterministic livelock vector the watchdog tests detect. Only
@@ -403,10 +410,11 @@ class Engine {
   /// Advances `c` by `cost` ticks of execution, stalling as spatial
   /// synchronization requires (VT) or chopping into quanta (CL).
   /// Must be called from `c`'s fiber.
-  void advance_execution(CoreSim& c, Tick cost);
+  SIMANY_WORKER_PHASE void advance_execution(CoreSim& c, Tick cost);
 
   // ---- Messaging --------------------------------------------------------
 
+  SIMANY_WORKER_PHASE
   void post(MsgKind kind, CoreSim& from, CoreId to, std::uint32_t bytes,
             std::uint64_t a = 0, std::uint64_t b = 0, TaskFn task = {},
             GroupId group = kInvalidGroup, Tick birth = 0,
@@ -428,8 +436,9 @@ class Engine {
   /// Hands a finished Message to its destination: a destination inside
   /// `ctx` (the executing shard) goes straight into the inbox, anything
   /// else rides the mailbox.
+  SIMANY_WORKER_PHASE SIMANY_MAILBOX_PRODUCER
   void enqueue_message(host::ShardState& ctx, Message m);
-  void handle_message(CoreSim& c, Message& m);
+  SIMANY_WORKER_PHASE void handle_message(CoreSim& c, Message& m);
 
   /// Blocks the current fiber until a reply message arrives; returns it.
   Message await_reply(CoreSim& c);
@@ -516,7 +525,7 @@ class Engine {
   /// in-flight messages, hold depths). Active only in SIMANY_CHECKED /
   /// Debug builds; called from quiescent points (single-shard loop,
   /// end of run).
-  void audit_counters() const;
+  SIMANY_SERIAL_ONLY void audit_counters() const;
 
   [[nodiscard]] CoreSim& core(CoreId id) { return *cores_[id]; }
   [[nodiscard]] const CoreSim& core(CoreId id) const { return *cores_[id]; }
@@ -575,6 +584,7 @@ class Engine {
   bool guard_flushed_ = false;      // partial stats/telemetry emitted
   bool guard_polling_ = false;      // any in-round guard check enabled
   bool guard_limits_ = false;       // inbox/fiber resource caps enabled
+  // simlint: allow(det-wall-clock) deadline anchor; never feeds sim state
   std::chrono::steady_clock::time_point guard_start_{};
   Tick guard_max_vtime_ticks_ = 0;  // cfg_.guard.max_vtime_cycles in ticks
   // Serial-phase global watchdog (parallel host: per-round deltas).

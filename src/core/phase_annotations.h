@@ -1,0 +1,91 @@
+// Phase-discipline and lock-discipline annotation vocabulary.
+//
+// The engine's correctness rests on two contracts that nothing used to
+// enforce at compile time:
+//
+//  * Phase discipline. The parallel host alternates worker rounds
+//    (every shard's worker thread runs host_round over its own shards)
+//    with a single-threaded serial barrier phase (commit, seal,
+//    termination detection, guard aborts). Functions that touch global
+//    or cross-shard state may only run in the serial phase; functions
+//    reachable from a worker round must stay shard-local.
+//
+//  * Mailbox sides. Each SPSC mailbox (src, dst) has exactly one
+//    producer (src's worker) and one consumer (dst's worker); the
+//    barrier seals. Touching the wrong end from the wrong side is a
+//    race that only shows up as a nondeterministic simulation result.
+//
+// The macros below name those roles in the source. Under clang they
+// expand to [[clang::annotate]] attributes, so an AST-based tool can
+// read them exactly; under any compiler (including GCC, which this
+// repo's default toolchain uses) tools/simlint's internal frontend
+// recognizes the macro tokens themselves. Either way the annotations
+// compile to nothing: annotated and unannotated builds are
+// bit-identical (acceptance-tested by the tier-1 suite).
+//
+// tools/simlint enforces, from compile_commands.json:
+//   rule phase-serial-escape  no SIMANY_SERIAL_ONLY function is
+//                             reachable from a SIMANY_WORKER_PHASE root
+//   rule mailbox-side         push()/pop()/seal() are called only from
+//                             the matching annotated side (serial-only
+//                             code may touch both ends: workers are
+//                             parked at the barrier)
+//   rule det-*                determinism lints (wall clock, libc rand,
+//                             unordered iteration, thread_local,
+//                             unannotated member mutexes)
+//
+// See docs/static_analysis.md for the full vocabulary and policy.
+#pragma once
+
+#if defined(__clang__)
+#define SIMANY_ANNOTATE(x) [[clang::annotate(x)]]
+#else
+#define SIMANY_ANNOTATE(x)
+#endif
+
+/// Only callable from the single-threaded serial barrier phase (or
+/// before/after the run, when no worker exists). Owns all shard state.
+#define SIMANY_SERIAL_ONLY SIMANY_ANNOTATE("simany::serial_only")
+
+/// Runs inside a shard worker's round, concurrently with other shards.
+/// Must stay shard-local; simlint uses these as reachability roots.
+#define SIMANY_WORKER_PHASE SIMANY_ANNOTATE("simany::worker_phase")
+
+/// Touches state owned by exactly one shard (the shard passed in or the
+/// shard owning the core argument). Callable from that shard's round or
+/// from the serial phase.
+#define SIMANY_SHARD_AFFINE SIMANY_ANNOTATE("simany::shard_affine")
+
+/// The producer end of an SPSC mailbox: may push(), must not pop() or
+/// seal(). On SpscMailbox itself this marks the producer-side method.
+#define SIMANY_MAILBOX_PRODUCER SIMANY_ANNOTATE("simany::mailbox_producer")
+
+/// The consumer end of an SPSC mailbox: may pop(), must not push() or
+/// seal(). On SpscMailbox itself this marks the consumer-side method.
+#define SIMANY_MAILBOX_CONSUMER SIMANY_ANNOTATE("simany::mailbox_consumer")
+
+// ---------------------------------------------------------------------
+// Clang -Wthread-safety vocabulary (no-ops elsewhere). The CI
+// static-analysis job builds with clang, where these become the real
+// capability attributes; simlint's det-mutex-unannotated rule requires
+// every member std::mutex to be referenced by at least one of them.
+// ---------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define SIMANY_TS_ATTR(x) __attribute__((x))
+#endif
+#endif
+#ifndef SIMANY_TS_ATTR
+#define SIMANY_TS_ATTR(x)
+#endif
+
+#define SIMANY_CAPABILITY(x) SIMANY_TS_ATTR(capability(x))
+#define SIMANY_GUARDED_BY(x) SIMANY_TS_ATTR(guarded_by(x))
+#define SIMANY_PT_GUARDED_BY(x) SIMANY_TS_ATTR(pt_guarded_by(x))
+#define SIMANY_REQUIRES(...) SIMANY_TS_ATTR(requires_capability(__VA_ARGS__))
+#define SIMANY_ACQUIRE(...) SIMANY_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define SIMANY_RELEASE(...) SIMANY_TS_ATTR(release_capability(__VA_ARGS__))
+#define SIMANY_EXCLUDES(...) SIMANY_TS_ATTR(locks_excluded(__VA_ARGS__))
+#define SIMANY_NO_THREAD_SAFETY_ANALYSIS \
+  SIMANY_TS_ATTR(no_thread_safety_analysis)

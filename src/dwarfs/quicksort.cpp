@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "dwarfs/dwarfs.h"
+#include "core/phase_annotations.h"
 #include "core/task_ctx.h"
 #include "dwarfs/workloads.h"
 #include "runtime/data.h"
@@ -104,7 +105,7 @@ struct QsDist {
   // tasks on different shards finish concurrently under the parallel
   // host, hence the mutex (never touched by the cost model).
   std::mutex mu;
-  std::vector<std::vector<std::int64_t>> runs;
+  std::vector<std::vector<std::int64_t>> runs SIMANY_GUARDED_BY(mu);
 };
 
 void qd_emit_run(const std::shared_ptr<QsDist>& st,

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/phase_annotations.h"
 #include "core/vtime.h"
 #include "fault/fault_plan.h"
 #include "net/network.h"
@@ -46,7 +47,7 @@ class FaultInjector {
 
   /// Sizes per-lane message-draw streams; called once per run from
   /// Engine::host_setup after the shard count is known.
-  void bind_shards(std::uint32_t num_shards);
+  SIMANY_SERIAL_ONLY void bind_shards(std::uint32_t num_shards);
 
   [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
   [[nodiscard]] bool core_dead(net::CoreId c) const noexcept {
@@ -66,6 +67,7 @@ class FaultInjector {
   /// surviving transmission and returns its perturbed arrival. Local
   /// sends (src == dst) are never faulted. Throws SimError with fault
   /// context when retry_limit attempts were all lost.
+  SIMANY_SHARD_AFFINE
   MsgFaults on_message(const net::Network& net, net::Network::Lane& lane,
                        std::uint32_t lane_id, net::CoreId src,
                        net::CoreId dst, std::uint32_t bytes, Tick sent);

@@ -52,6 +52,7 @@ void ParallelHost::run() {
   obs::HostProfiler* const prof =
       e.telemetry_ != nullptr ? e.telemetry_->profiler() : nullptr;
 
+  // simlint: role(worker_phase) — each instance runs one shard stripe
   auto worker = [&](std::uint32_t w) {
     std::uint64_t seen = 0;
     for (;;) {

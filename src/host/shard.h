@@ -9,6 +9,13 @@
 // the end of the run. Cross-shard effects travel as HostOp records
 // through SPSC mailboxes and are applied by the destination shard at
 // the start of its next round, after the epoch barrier.
+//
+// Everything in this header is SIMANY_SHARD_AFFINE territory in the
+// core/phase_annotations.h vocabulary: a ShardState (and the CoreSims
+// it owns) may be touched by its worker during rounds and by the
+// single serial thread at the barrier — never by another shard's
+// worker. tools/simlint enforces the phase/mailbox side of that
+// contract; see docs/static_analysis.md.
 #pragma once
 
 #include <cstdint>

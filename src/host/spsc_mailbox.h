@@ -25,6 +25,8 @@
 #include <cstdint>
 #include <utility>
 
+#include "core/phase_annotations.h"
+
 namespace simany::host {
 
 template <typename T>
@@ -49,7 +51,7 @@ class SpscMailbox {
   }
 
   /// Producer side. Safe concurrently with pop() from one consumer.
-  void push(T&& v) {
+  SIMANY_MAILBOX_PRODUCER void push(T&& v) {
     Segment* s = tail_seg_;
     const std::size_t n = s->count.load(std::memory_order_relaxed);
     if (n == kSegmentCapacity) {
@@ -69,10 +71,12 @@ class SpscMailbox {
   /// Must be called from a point where the producer is quiescent and
   /// ordered before the consumer's next pop (the engine's serial phase
   /// runs under the round mutex, which provides both).
-  void seal() { sealed_ = pushed_.load(std::memory_order_acquire); }
+  SIMANY_SERIAL_ONLY void seal() {
+    sealed_ = pushed_.load(std::memory_order_acquire);
+  }
 
   /// Consumer side. Returns false once the sealed prefix is drained.
-  bool pop(T& out) {
+  SIMANY_MAILBOX_CONSUMER bool pop(T& out) {
     if (popped_ >= sealed_) return false;
     Segment* s = head_seg_;
     if (head_idx_ == kSegmentCapacity) {

@@ -68,6 +68,7 @@ void Directory::evict(net::CoreId core, std::uint64_t line) {
 }
 
 void Directory::drop_core(net::CoreId core) {
+  // simlint: allow(det-unordered-iter) per-entry clear, order-free
   for (auto& [line, st] : lines_) {
     st.sharers[core] = false;
     if (st.writer == core) st.writer = net::kInvalidCore;

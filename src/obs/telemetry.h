@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/phase_annotations.h"
 #include "core/vtime.h"
 #include "obs/event.h"
 #include "obs/host_profile.h"
@@ -64,18 +65,20 @@ class Telemetry {
   // ---- Engine-facing (hot path) -------------------------------------
 
   /// Sizes the per-shard buffers. Called from Engine::host_setup.
-  void bind(std::uint32_t num_shards, std::uint32_t num_cores);
+  SIMANY_SERIAL_ONLY void bind(std::uint32_t num_shards,
+                               std::uint32_t num_cores);
 
   /// Appends one event to `shard`'s buffer. Must only be called from
   /// the context that owns the shard (engine call sites guarantee it).
-  void record(std::uint32_t shard, const Event& e) {
+  SIMANY_SHARD_AFFINE void record(std::uint32_t shard, const Event& e) {
     if (!opt_.events) return;
     if (!opt_.sync_events && is_sync_event(e.kind)) return;
     shards_[shard].events.push_back(e);
   }
 
   /// Stages one live metric sample on `shard`.
-  void stage_sample(std::uint32_t shard, const LiveSample& s) {
+  SIMANY_SHARD_AFFINE void stage_sample(std::uint32_t shard,
+                                        const LiveSample& s) {
     shards_[shard].samples.push_back(s);
   }
 
@@ -88,11 +91,11 @@ class Telemetry {
   /// Moves every shard buffer's events into the central stream. Runs
   /// inside the serial barrier phase, when no worker is in a round, so
   /// per-round memory stays bounded by round activity.
-  void drain_at_barrier();
+  SIMANY_SERIAL_ONLY void drain_at_barrier();
 
   /// Final drain + canonical sort + derived metric series. Called once
   /// by Engine at the end of run().
-  void finalize(std::uint32_t num_cores);
+  SIMANY_SERIAL_ONLY void finalize(std::uint32_t num_cores);
 
   [[nodiscard]] HostProfiler* profiler() noexcept {
     return opt_.profile_host ? &profiler_ : nullptr;

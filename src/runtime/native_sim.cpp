@@ -6,8 +6,10 @@ namespace simany::runtime {
 
 double run_native(const TaskFn& root, std::uint64_t seed) {
   NativeCtx ctx(seed);
+  // simlint: allow(det-wall-clock) native baseline measures wall time
   const auto t0 = std::chrono::steady_clock::now();
   root(ctx);
+  // simlint: allow(det-wall-clock) native baseline measures wall time
   const auto t1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(t1 - t0).count();
 }

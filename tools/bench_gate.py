@@ -14,15 +14,23 @@ Two input formats:
                  the same host, which already cancels machine speed; the
                  gate compares each series' geometric mean.
 
-Exit status 1 when any metric is more than --threshold (default 15%)
-worse than the baseline. New benchmarks (absent from the baseline) pass;
-benchmarks that disappeared fail, so a rename forces a baseline update.
+Exit status (uniform across tools/, see docs/static_analysis.md):
+  0  all metrics within threshold
+  1  findings: a metric regressed more than --threshold (default 15%)
+  2  usage / input error (unreadable current run, missing reference)
+New benchmarks (absent from the baseline) pass; benchmarks that
+disappeared fail, so a rename forces a baseline update.
 """
 
 import argparse
 import json
 import math
 import sys
+
+
+def die_usage(msg):
+    print(f"bench_gate: error: {msg}", file=sys.stderr)
+    sys.exit(2)
 
 
 def load(path, role):
@@ -38,7 +46,7 @@ def load(path, role):
             print(f"warning: baseline {path} unusable ({e}); "
                   "skipping gate", file=sys.stderr)
             return None
-        sys.exit(f"current run {path} unusable: {e}")
+        die_usage(f"current run {path} unusable: {e}")
 
 
 class Gate:
@@ -99,7 +107,7 @@ def micro_metrics(doc, reference, role):
             print(f"warning: reference benchmark '{reference}' missing "
                   "from baseline; skipping gate", file=sys.stderr)
             return None, None
-        sys.exit(f"reference benchmark '{reference}' missing from run")
+        die_usage(f"reference benchmark '{reference}' missing from run")
     normalized = {n: t / ref for n, t in times.items() if n != reference}
     return normalized, counters
 

@@ -18,7 +18,11 @@ seed sweep is one invocation:
   simany_batch.py --runs 4 -- ./simany_cli --seed {run}
 
 Exit code: 0 when every run succeeded, otherwise the exit code of the
-first run that failed permanently (or exhausted its retries).
+first run that failed permanently (or exhausted its retries); usage
+errors exit 2 (the uniform tools/ convention, see
+docs/static_analysis.md — this tool intentionally forwards the wrapped
+command's code instead of collapsing failures to 1, so CI can
+distinguish failure classes).
 
 Report schema (simany-batch-report-v1):
   {"schema": ..., "command": [...], "retries": N, "backoff_ms": B,

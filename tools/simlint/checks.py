@@ -1,0 +1,513 @@
+"""simlint rules over the merged project model.
+
+Every rule errs toward silence: a finding requires either an explicit
+annotation being contradicted or a banned token appearing outright.
+Unresolvable receivers/overloads produce no edges and no findings, so
+the clean-tree zero-false-positive guarantee does not depend on the
+heuristic frontend being a full C++ parser.
+
+Rules (ids are stable: baselines and inline allows key on them):
+  phase-serial-escape   SIMANY_SERIAL_ONLY function reachable from a
+                        SIMANY_WORKER_PHASE root through the call graph
+  mailbox-side          a function annotated as one SPSC mailbox side
+                        touches the other side's methods, or seals
+                        outside the serial phase
+  mailbox-double-side   one (non-serial) function touches both mailbox
+                        ends
+  det-wall-clock        wall-clock source in engine code
+  det-libc-rand         rand()/srand()/std::random_device in engine code
+  det-unordered-iter    range-for over an unordered container
+  det-thread-local      thread_local in engine code
+  det-mutex-unannotated member std::mutex with no SIMANY_GUARDED_BY /
+                        SIMANY_REQUIRES/... referencing it
+"""
+
+import hashlib
+import re
+from dataclasses import dataclass
+
+from cpp_model import _join
+
+WALL_CLOCK_IDENTS = {
+    "system_clock", "steady_clock", "high_resolution_clock",
+    "gettimeofday", "clock_gettime", "timespec_get", "ftime", "utimes",
+}
+
+LIBC_RAND_IDENTS = {"rand", "srand", "random_device", "random_shuffle",
+                    "rand_r", "drand48", "lrand48"}
+
+UNORDERED_MARKERS = ("unordered_map", "unordered_set", "unordered_multimap",
+                     "unordered_multiset")
+
+# Mailbox API surface: only SpscMailbox uses exactly these names in-tree
+# (the deques/inboxes use push_back/pop_front), so a match against a
+# mailbox-typed receiver is unambiguous.
+PRODUCER_METHODS = {"push"}
+CONSUMER_METHODS = {"pop"}
+BARRIER_METHODS = {"seal"}
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str
+    line: int
+    message: str
+    symbol: str = ""  # stable context for baseline fingerprints
+
+    def fingerprint(self):
+        """Line-number-independent identity, so baselines survive
+        unrelated edits above the finding."""
+        h = hashlib.sha1()
+        h.update(f"{self.rule}|{self.path}|{self.symbol}".encode())
+        return h.hexdigest()[:16]
+
+    def render(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class Project:
+    """Merged view over per-file models."""
+
+    def __init__(self, file_models):
+        self.files = file_models
+        self.by_path = {m.path: m for m in file_models}
+        # Class tables merged by short name across files (Engine is
+        # declared in engine.h, defined in engine.cpp).
+        self.classes = {}
+        for m in file_models:
+            for name, cls in m.classes.items():
+                into = self.classes.setdefault(name, [])
+                into.append(cls)
+        # Function index: short name -> [FunctionModel].
+        self.functions = []
+        self.by_short = {}
+        for m in file_models:
+            for f in m.functions:
+                self.functions.append(f)
+                self.by_short.setdefault(f.short, []).append(f)
+
+    # -- class/annotation lookups ------------------------------------
+
+    def class_method_annotations(self, cls_name, method):
+        anns = set()
+        for cls in self.classes.get(cls_name, []):
+            anns |= cls.methods.get(method, set())
+        return anns
+
+    def effective_annotations(self, fn):
+        """A definition inherits annotations from its declaration
+        (engine.h carries the macro, engine.cpp the body)."""
+        anns = set(fn.annotations)
+        if fn.cls:
+            anns |= self.class_method_annotations(fn.cls, fn.short)
+        return anns
+
+    def member_type(self, cls_name, member):
+        for cls in self.classes.get(cls_name, []):
+            t = cls.members.get(member)
+            if t is not None:
+                return t
+        return None
+
+    def method_return(self, cls_name, method):
+        for cls in self.classes.get(cls_name, []):
+            t = cls.method_returns.get(method)
+            if t is not None:
+                return t
+        return None
+
+    def any_member_type(self, member):
+        """Member type when the name resolves identically in every class
+        that declares it; None when absent or conflicting (conservative:
+        a name like `cells` that is unordered in one class and a vector
+        in another must not be resolved by name alone)."""
+        found = []
+        for classes in self.classes.values():
+            for cls in classes:
+                t = cls.members.get(member)
+                if t is not None:
+                    found.append(t)
+        if not found:
+            return None
+        unordered = [any(u in t for u in UNORDERED_MARKERS) for t in found]
+        if all(unordered) or not any(unordered):
+            return found[0]
+        return None
+
+    # -- type resolution ----------------------------------------------
+
+    def _return_type(self, ctx_cls, fname):
+        """Return-type text of a function callable as `fname(...)` from
+        a method of `ctx_cls` (own class first, then any unambiguous
+        project-wide method/function of that name)."""
+        if ctx_cls:
+            r = self.method_return(ctx_cls, fname)
+            if r:
+                return r
+        returns = set()
+        for classes in self.classes.values():
+            for cls in classes:
+                r = cls.method_returns.get(fname)
+                if r:
+                    returns.add(r)
+        if len(returns) == 1:
+            return next(iter(returns))
+        return ""
+
+    def _class_in_type(self, type_text):
+        """First known class named (word-boundary) in a type string."""
+        if not type_text:
+            return ""
+        best = ""
+        best_pos = len(type_text) + 1
+        for name in self.classes:
+            if not name:
+                continue
+            m = re.search(rf"\b{re.escape(name)}\b", type_text)
+            if m and m.start() < best_pos:
+                best = name
+                best_pos = m.start()
+        return best
+
+    def type_of_expr(self, fn, text, depth=0):
+        """Best-effort textual type of an expression: walks the member
+        chain through locals, params, enclosing-class members and
+        function return types. Returns "" when unknown (never guesses).
+        """
+        if depth > 5 or not text:
+            return ""
+        text = text.strip()
+        if "SpscMailbox" in text or any(u in text for u in
+                                        UNORDERED_MARKERS):
+            return text
+        parts = [p.strip() for p in re.split(r"\.|->", text) if p.strip()]
+        if not parts:
+            return ""
+        head = parts[0]
+        if "(" in head:
+            fname = head.split("(")[0].split("::")[-1].strip()
+            cur = self._return_type(fn.cls, fname)
+        else:
+            base = head.split("[")[0].strip().lstrip("*&( ").strip()
+            if not base.isidentifier():
+                return ""
+            declared = ""
+            if base in fn.locals:
+                declared = fn.locals[base]
+            elif base in fn.params:
+                declared = fn.params[base]
+            elif fn.cls:
+                declared = self.member_type(fn.cls, base) or ""
+            if not declared:
+                return ""
+            # `auto` locals store their initializer expression; typed
+            # declarations store a type. A string naming a known class
+            # or container is already a type; otherwise resolve it as
+            # an expression.
+            if self._class_in_type(declared) or \
+                    any(u in declared for u in UNORDERED_MARKERS):
+                cur = declared
+            else:
+                cur = self.type_of_expr(fn, declared, depth + 1)
+        for member in parts[1:]:
+            if not cur:
+                return ""
+            mname = member.split("(")[0].split("[")[0].strip()
+            cls = self._class_in_type(cur)
+            if not cls or not mname.isidentifier():
+                return ""
+            if "(" in member:
+                cur = self.method_return(cls, mname) or ""
+            else:
+                cur = self.member_type(cls, mname) or ""
+        return cur or ""
+
+    def resolve_receiver_class(self, fn, call):
+        """Class short name for a method call's receiver, or ""."""
+        recv = call.receiver
+        if not recv:
+            return fn.cls  # unqualified member call context
+        if recv.endswith("()"):
+            return self._class_in_type(
+                self._return_type(fn.cls, recv[:-2]))
+        return self._class_in_type(self.type_of_expr(fn, recv))
+
+    def is_mailbox_receiver(self, fn, call):
+        """True when the receiver of `call` is an SPSC mailbox."""
+        recv = call.receiver
+        if not recv:
+            return False
+        if recv.endswith("()"):
+            return "SpscMailbox" in self._return_type(fn.cls, recv[:-2])
+        return "SpscMailbox" in self.type_of_expr(fn, recv)
+
+
+def _file_of(project, fn):
+    return project.by_path[fn.path]
+
+
+# ---------------------------------------------------------------------
+# Rule: phase-serial-escape
+# ---------------------------------------------------------------------
+
+def _call_edges(project, fn):
+    """[(callee FunctionModel, CallSite)] resolved conservatively."""
+    edges = []
+    for call in fn.calls:
+        if call.receiver_op in (".", "->"):
+            cls = project.resolve_receiver_class(fn, call)
+            if not cls:
+                continue
+            for cand in project.by_short.get(call.name, []):
+                if cand.cls == cls:
+                    edges.append((cand, call))
+        elif call.receiver_op == "::":
+            qual_cls = call.qualifier.split("::")[-1] if call.qualifier \
+                else ""
+            for cand in project.by_short.get(call.name, []):
+                if qual_cls and cand.cls == qual_cls:
+                    edges.append((cand, call))
+        else:
+            cands = project.by_short.get(call.name, [])
+            same_class = [c for c in cands if fn.cls and c.cls == fn.cls]
+            if same_class:
+                for cand in same_class:
+                    edges.append((cand, call))
+            elif len({(c.qualified, c.cls) for c in cands}) == 1:
+                edges.append((cands[0], call))
+    return edges
+
+
+def check_phase(project):
+    findings = []
+    roots = [f for f in project.functions
+             if "worker_phase" in project.effective_annotations(f)]
+    for root in roots:
+        # BFS over resolved call edges; serial-only nodes are findings,
+        # not traversal states.
+        seen = {id(root)}
+        frontier = [(root, [])]
+        while frontier:
+            fn, chain = frontier.pop()
+            for callee, call in _call_edges(project, fn):
+                anns = project.effective_annotations(callee)
+                if "serial_only" in anns:
+                    fm = _file_of(project, fn)
+                    if fm.allowed("phase-serial-escape", call.line) or \
+                            fm.allowed("phase", call.line):
+                        continue
+                    path_str = " -> ".join(
+                        [root.qualified] + chain + [callee.qualified])
+                    findings.append(Finding(
+                        rule="phase-serial-escape",
+                        path=fn.path, line=call.line,
+                        symbol=f"{root.qualified}->{callee.qualified}",
+                        message=(
+                            f"serial-only '{callee.qualified}' is "
+                            f"reachable from worker-phase root "
+                            f"'{root.qualified}' (call path: {path_str})")))
+                    continue
+                if id(callee) in seen:
+                    continue
+                seen.add(id(callee))
+                frontier.append((callee, chain + [callee.qualified]))
+    return findings
+
+
+# ---------------------------------------------------------------------
+# Rules: mailbox-side / mailbox-double-side
+# ---------------------------------------------------------------------
+
+def check_mailbox(project):
+    findings = []
+    for fn in project.functions:
+        anns = project.effective_annotations(fn)
+        if "serial_only" in anns:
+            continue  # the barrier owns both ends (workers are parked)
+        produced = []
+        consumed = []
+        sealed = []
+        for call in fn.calls:
+            if call.receiver_op not in (".", "->"):
+                continue
+            if call.name in PRODUCER_METHODS | CONSUMER_METHODS | \
+                    BARRIER_METHODS and \
+                    project.is_mailbox_receiver(fn, call):
+                if call.name in PRODUCER_METHODS:
+                    produced.append(call)
+                elif call.name in CONSUMER_METHODS:
+                    consumed.append(call)
+                else:
+                    sealed.append(call)
+        if not (produced or consumed or sealed):
+            continue
+        fm = _file_of(project, fn)
+
+        def emit(rule, call, msg):
+            if fm.allowed(rule, call.line) or fm.allowed("mailbox",
+                                                        call.line):
+                return
+            findings.append(Finding(rule=rule, path=fn.path,
+                                    line=call.line,
+                                    symbol=f"{fn.qualified}:{call.name}",
+                                    message=msg))
+
+        if "mailbox_producer" in anns:
+            for call in consumed:
+                emit("mailbox-side", call,
+                     f"'{fn.qualified}' is annotated "
+                     f"SIMANY_MAILBOX_PRODUCER but pops a mailbox")
+            for call in sealed:
+                emit("mailbox-side", call,
+                     f"'{fn.qualified}' is annotated "
+                     f"SIMANY_MAILBOX_PRODUCER but seals a mailbox "
+                     f"(seal is barrier-only)")
+        elif "mailbox_consumer" in anns:
+            for call in produced:
+                emit("mailbox-side", call,
+                     f"'{fn.qualified}' is annotated "
+                     f"SIMANY_MAILBOX_CONSUMER but pushes to a mailbox")
+            for call in sealed:
+                emit("mailbox-side", call,
+                     f"'{fn.qualified}' is annotated "
+                     f"SIMANY_MAILBOX_CONSUMER but seals a mailbox "
+                     f"(seal is barrier-only)")
+        else:
+            if produced and consumed:
+                emit("mailbox-double-side", consumed[0],
+                     f"'{fn.qualified}' touches both mailbox ends "
+                     f"(push at line {produced[0].line}, pop at line "
+                     f"{consumed[0].line}) without being serial-only")
+            for call in sealed:
+                emit("mailbox-side", call,
+                     f"'{fn.qualified}' seals a mailbox but is not "
+                     f"SIMANY_SERIAL_ONLY (seal is barrier-only)")
+    return findings
+
+
+# ---------------------------------------------------------------------
+# Determinism rules (token level)
+# ---------------------------------------------------------------------
+
+def _det_scope(model, path, config):
+    rel = path
+    for prefix, _reason in config.get("det_exempt_paths", {}).items():
+        if rel.startswith(prefix):
+            return False
+    return True
+
+
+def check_determinism_tokens(model, config):
+    """Token-level bans in one file (already filtered to engine scope)."""
+    findings = []
+    tokens = model.tokens
+    n = len(tokens)
+    for i, t in enumerate(tokens):
+        if t.kind != "id":
+            continue
+        prev = tokens[i - 1] if i > 0 else None
+        if t.text in WALL_CLOCK_IDENTS:
+            if not model.allowed("det-wall-clock", t.line):
+                findings.append(Finding(
+                    rule="det-wall-clock", path=model.path, line=t.line,
+                    symbol=t.text,
+                    message=(f"wall-clock source '{t.text}' in engine "
+                             f"code (results must be a pure function of "
+                             f"config, seed and workload)")))
+        elif t.text in LIBC_RAND_IDENTS:
+            # Method calls named `rand` (obj.rand()) and qualified names
+            # other than std:: are someone else's API, not libc.
+            if prev is not None and prev.text in (".", "->"):
+                continue
+            if prev is not None and prev.text == "::":
+                qual = tokens[i - 2].text if i >= 2 else ""
+                if qual != "std":
+                    continue
+            if i + 1 < n and tokens[i + 1].text != "(" and \
+                    t.text in ("rand", "srand", "rand_r"):
+                continue  # an identifier merely named rand
+            if not model.allowed("det-libc-rand", t.line):
+                findings.append(Finding(
+                    rule="det-libc-rand", path=model.path, line=t.line,
+                    symbol=t.text,
+                    message=(f"unseeded randomness source '{t.text}' in "
+                             f"engine code (use core/rng.h streams "
+                             f"derived from the config seed)")))
+        elif t.text == "thread_local":
+            if not model.allowed("det-thread-local", t.line):
+                findings.append(Finding(
+                    rule="det-thread-local", path=model.path, line=t.line,
+                    symbol=f"thread_local@{_next_ident(tokens, i)}",
+                    message=("thread_local in engine code: fiber-resident "
+                             "state must not depend on which host thread "
+                             "resumes the fiber")))
+    return findings
+
+
+def _next_ident(tokens, i):
+    for t in tokens[i + 1:i + 8]:
+        if t.kind == "id" and t.text not in KEYWORD_TYPEISH:
+            return t.text
+    return "?"
+
+
+KEYWORD_TYPEISH = {"static", "std", "const", "constexpr", "auto", "vector",
+                   "pair", "uint32_t", "uint64_t", "size_t", "int"}
+
+
+def check_unordered_iteration(project, model):
+    findings = []
+    for fn in model.functions:
+        for rf in fn.range_fors:
+            text = _join(rf.range_tokens)
+            flagged = any(u in text for u in UNORDERED_MARKERS)
+            symbol = text
+            if not flagged:
+                t = project.type_of_expr(fn, text)
+                if t and any(u in t for u in UNORDERED_MARKERS):
+                    flagged = True
+            if flagged and not model.allowed("det-unordered-iter",
+                                             rf.line):
+                findings.append(Finding(
+                    rule="det-unordered-iter", path=model.path,
+                    line=rf.line, symbol=f"{fn.qualified}:{symbol}",
+                    message=(f"range-for over unordered container "
+                             f"'{text}' in '{fn.qualified}': iteration "
+                             f"order is pointer/hash dependent; sort "
+                             f"keys first or use an ordered container "
+                             f"(allow with // simlint: "
+                             f"allow(det-unordered-iter) if the loop is "
+                             f"order-independent)")))
+    return findings
+
+
+def check_mutex_annotations(model):
+    findings = []
+    for cls in model.classes.values():
+        for name, line in cls.mutex_members.items():
+            if name in cls.ts_refs:
+                continue
+            if model.allowed("det-mutex-unannotated", line):
+                continue
+            findings.append(Finding(
+                rule="det-mutex-unannotated", path=model.path, line=line,
+                symbol=f"{cls.name}::{name}",
+                message=(f"member mutex '{cls.name}::{name}' has no "
+                         f"SIMANY_GUARDED_BY/SIMANY_REQUIRES annotation "
+                         f"naming it: the lock discipline is invisible "
+                         f"to -Wthread-safety")))
+    return findings
+
+
+def run_all(project, config):
+    findings = []
+    findings += check_phase(project)
+    findings += check_mailbox(project)
+    for model in project.files:
+        findings += check_mutex_annotations(model)
+        if _det_scope(model, model.path, config):
+            findings += check_determinism_tokens(model, config)
+            findings += check_unordered_iteration(project, model)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings

@@ -1,0 +1,777 @@
+"""Heuristic C++ source-model extractor for simlint.
+
+simlint needs far less than a real C++ frontend: which functions exist,
+which SIMANY_* phase annotations they carry, what they call, which class
+members have which (textual) types, and where a handful of banned tokens
+appear. This module builds that model with a hand-rolled lexer and a
+brace-tracking scope scanner — no compiler invocation, so it works on
+the GCC-only container exactly as it does under clang. The extraction
+is deliberately conservative: anything it cannot resolve (an unknown
+receiver type, an ambiguous overload) produces *no* call edge and *no*
+finding, so false positives come only from explicit annotations being
+wrong, never from parser guesswork.
+
+The seam for an exact frontend is FileModel: a clang-AST-JSON backend
+producing the same FileModel objects can be dropped in without touching
+the checks (see docs/static_analysis.md, "Frontends").
+"""
+
+import re
+from dataclasses import dataclass, field
+
+# Phase/discipline annotation macros (see src/core/phase_annotations.h).
+ANNOTATION_MACROS = {
+    "SIMANY_SERIAL_ONLY": "serial_only",
+    "SIMANY_WORKER_PHASE": "worker_phase",
+    "SIMANY_SHARD_AFFINE": "shard_affine",
+    "SIMANY_MAILBOX_PRODUCER": "mailbox_producer",
+    "SIMANY_MAILBOX_CONSUMER": "mailbox_consumer",
+}
+
+# Thread-safety macros whose argument names a mutex member.
+TS_REF_MACROS = {
+    "SIMANY_GUARDED_BY",
+    "SIMANY_PT_GUARDED_BY",
+    "SIMANY_REQUIRES",
+    "SIMANY_ACQUIRE",
+    "SIMANY_RELEASE",
+    "SIMANY_EXCLUDES",
+}
+
+KEYWORDS = {
+    "if", "else", "for", "while", "do", "switch", "case", "default",
+    "return", "break", "continue", "goto", "try", "catch", "throw",
+    "new", "delete", "sizeof", "alignof", "static_cast", "dynamic_cast",
+    "const_cast", "reinterpret_cast", "co_await", "co_return", "co_yield",
+    "static_assert", "decltype", "noexcept", "operator", "template",
+    "typename", "using", "typedef", "friend", "public", "private",
+    "protected", "virtual", "override", "final", "explicit", "inline",
+    "constexpr", "consteval", "constinit", "static", "extern", "mutable",
+    "volatile", "const", "auto", "register", "thread_local", "class",
+    "struct", "union", "enum", "namespace", "concept", "requires",
+}
+
+_DIRECTIVE_RE = re.compile(
+    r"simlint:\s*(allow|role)\(\s*([A-Za-z0-9_,\-\s]+?)\s*\)")
+
+
+@dataclass
+class Token:
+    kind: str  # "id" | "num" | "punct" | "str" | "chr"
+    text: str
+    line: int
+
+
+@dataclass
+class CallSite:
+    name: str          # callee short name
+    line: int
+    receiver: str      # "" for plain calls, else base identifier/call name
+    receiver_op: str   # "", ".", "->", "::"
+    qualifier: str     # "A::B" prefix for qualified plain calls, else ""
+
+
+@dataclass
+class RangeFor:
+    line: int
+    range_tokens: list  # tokens of the range expression
+    decl_tokens: list = field(default_factory=list)  # loop-var declaration
+
+
+@dataclass
+class FunctionModel:
+    short: str
+    qualified: str
+    cls: str            # enclosing class short name, "" for free functions
+    path: str
+    line: int
+    annotations: set = field(default_factory=set)
+    calls: list = field(default_factory=list)      # [CallSite]
+    range_fors: list = field(default_factory=list)  # [RangeFor]
+    locals: dict = field(default_factory=dict)     # name -> type/init text
+    params: dict = field(default_factory=dict)     # name -> type text
+
+
+@dataclass
+class ClassModel:
+    name: str
+    path: str
+    line: int
+    members: dict = field(default_factory=dict)        # name -> type text
+    methods: dict = field(default_factory=dict)        # short -> annotations
+    method_returns: dict = field(default_factory=dict)  # short -> return text
+    mutex_members: dict = field(default_factory=dict)  # name -> line
+    ts_refs: set = field(default_factory=set)  # idents named in TS macros
+
+
+@dataclass
+class FileModel:
+    path: str
+    tokens: list = field(default_factory=list)
+    functions: list = field(default_factory=list)
+    classes: dict = field(default_factory=dict)  # short name -> ClassModel
+    allows: dict = field(default_factory=dict)   # line -> set of rule ids
+    roles: dict = field(default_factory=dict)    # line -> role string
+
+    def allowed(self, rule, line):
+        """True when an inline `// simlint: allow(rule)` covers `line`.
+
+        A directive suppresses findings on its own line and on the line
+        directly below it (the own-line comment idiom)."""
+        for probe in (line, line - 1):
+            rules = self.allows.get(probe)
+            if rules and (rule in rules or "*" in rules):
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------
+
+def lex(text, path=""):
+    """Tokens plus comment directives. Strings/chars are collapsed to
+    placeholder tokens; preprocessor lines are skipped entirely."""
+    tokens = []
+    allows = {}
+    roles = {}
+    i = 0
+    n = len(text)
+    line = 1
+    at_line_start = True
+
+    def record_directives(comment, cline):
+        for m in _DIRECTIVE_RE.finditer(comment):
+            what, arg = m.group(1), m.group(2)
+            if what == "allow":
+                rules = {r.strip() for r in arg.split(",") if r.strip()}
+                allows.setdefault(cline, set()).update(rules)
+            else:
+                roles[cline] = arg.strip()
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "#" and at_line_start:
+            # Preprocessor directive: skip, honoring continuations.
+            while i < n:
+                j = text.find("\n", i)
+                if j == -1:
+                    i = n
+                    break
+                seg = text[i:j]
+                line += 1
+                i = j + 1
+                if not seg.rstrip().endswith("\\"):
+                    break
+            at_line_start = True
+            continue
+        at_line_start = False
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            record_directives(text[i:j], line)
+            i = j
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            if j == -1:
+                j = n - 2
+            comment = text[i:j]
+            record_directives(comment, line)
+            line += comment.count("\n")
+            i = j + 2
+            continue
+        if c == '"':
+            # Possibly a raw string if preceded by R (handled below when
+            # lexing identifiers); here: ordinary string literal.
+            j = i + 1
+            while j < n and text[j] != '"':
+                if text[j] == "\\":
+                    j += 1
+                elif text[j] == "\n":
+                    line += 1
+                j += 1
+            tokens.append(Token("str", '""', line))
+            i = j + 1
+            continue
+        if c == "'":
+            prev = tokens[-1] if tokens else None
+            if prev is not None and prev.kind == "num":
+                # Digit separator inside a number (1'000): glue on.
+                j = i + 1
+                while j < n and (text[j].isalnum() or text[j] in "'."):
+                    j += 1
+                prev.text += text[i:j]
+                i = j
+                continue
+            j = i + 1
+            while j < n and text[j] != "'":
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            tokens.append(Token("chr", "''", line))
+            i = j + 1
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if j < n and text[j] == '"' and word in ("R", "LR", "uR", "UR",
+                                                     "u8R"):
+                # Raw string literal R"delim( ... )delim".
+                k = text.find("(", j)
+                delim = text[j + 1:k]
+                endmark = ")" + delim + '"'
+                e = text.find(endmark, k + 1)
+                if e == -1:
+                    e = n - len(endmark)
+                line += text.count("\n", j, e)
+                tokens.append(Token("str", '""', line))
+                i = e + len(endmark)
+                continue
+            tokens.append(Token("id", word, line))
+            i = j
+            continue
+        if c.isdigit():
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "."):
+                j += 1
+            tokens.append(Token("num", text[i:j], line))
+            i = j
+            continue
+        if c == ":" and i + 1 < n and text[i + 1] == ":":
+            tokens.append(Token("punct", "::", line))
+            i += 2
+            continue
+        if c == "-" and i + 1 < n and text[i + 1] == ">":
+            tokens.append(Token("punct", "->", line))
+            i += 2
+            continue
+        tokens.append(Token("punct", c, line))
+        i += 1
+
+    model = FileModel(path=path, tokens=tokens, allows=allows, roles=roles)
+    return model
+
+
+# ---------------------------------------------------------------------
+# Scope scanner
+# ---------------------------------------------------------------------
+
+_TYPE_PUNCT = {"::", "<", ">", ",", "*", "&", "(", ")", "[", "]"}
+
+
+def _join(tokens):
+    return "".join(
+        t.text if t.kind != "id" else t.text + " " for t in tokens).strip()
+
+
+def _match_paren(tokens, i):
+    """Index of the ')' matching tokens[i] == '(', or len(tokens)."""
+    depth = 0
+    for j in range(i, len(tokens)):
+        t = tokens[j].text
+        if t == "(":
+            depth += 1
+        elif t == ")":
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(tokens)
+
+
+def _function_header(stmt):
+    """(name_tokens, lparen_index) when `stmt` looks like a function
+    definition header, else (None, -1). `stmt` is everything between the
+    previous ';'/'{'/'}' and the '{' that opened this scope."""
+    # Find the parameter-list '(' — the first depth-0 '(' directly
+    # preceded by an identifier (or operator symbol run).
+    depth = 0
+    for i, t in enumerate(stmt):
+        x = t.text
+        if x in "<":
+            continue
+        if x == "(":
+            prev = stmt[i - 1] if i > 0 else None
+            if prev is not None and (prev.kind == "id"
+                                     or prev.text in (">", "]", "=")):
+                if prev.kind == "id" and prev.text in (
+                        "if", "for", "while", "switch", "catch", "return",
+                        "sizeof", "alignof", "decltype", "noexcept",
+                        "static_assert", "requires", "new", "delete",
+                        "throw", "case", "alignas"):
+                    return None, -1
+                # Walk back the qualified-name chain.
+                j = i - 1
+                name = [stmt[j]]
+                j -= 1
+                while j >= 1 and stmt[j].text == "::" and stmt[j - 1].kind \
+                        == "id":
+                    name = [stmt[j - 1], stmt[j]] + name
+                    j -= 2
+                if name[-1].kind != "id":
+                    return None, -1
+                # Reject macro-call statements like MACRO(x) { — require
+                # either a return type / ctor context before the name, or
+                # qualification (Engine::f). A bare `name(...) {` with
+                # nothing before it at class scope is a constructor.
+                return name, i
+        if x == "(":
+            depth += 1
+    return None, -1
+
+
+def _param_names(stmt, lp, rp):
+    """{name: type_text} for the parameter list stmt[lp+1:rp]."""
+    params = {}
+    depth = 0
+    start = lp + 1
+    groups = []
+    for i in range(lp + 1, rp):
+        t = stmt[i].text
+        if t in "(<[":
+            depth += 1
+        elif t in ")>]":
+            depth -= 1
+        elif t == "," and depth == 0:
+            groups.append(stmt[start:i])
+            start = i + 1
+    if start < rp:
+        groups.append(stmt[start:rp])
+    for g in groups:
+        # Drop default arguments.
+        for i, t in enumerate(g):
+            if t.text == "=" and i > 0:
+                g = g[:i]
+                break
+        ids = [t for t in g if t.kind == "id" and t.text not in KEYWORDS]
+        if len(ids) >= 2:
+            params[ids[-1].text] = _join(g[:-1])
+    return params
+
+
+def scan(model):
+    """Populates model.functions / model.classes from model.tokens."""
+    tokens = model.tokens
+    path = model.path
+    # Scope stack entries: dict(kind=ns|class|fn|block|enum, name, obj).
+    stack = []
+    stmt_start = 0
+    i = 0
+    n = len(tokens)
+
+    def cur_kind():
+        return stack[-1]["kind"] if stack else "file"
+
+    def cur_class():
+        for frame in reversed(stack):
+            if frame["kind"] == "class":
+                return frame["obj"]
+            if frame["kind"] == "fn":
+                return None
+        return None
+
+    def cur_fn():
+        for frame in reversed(stack):
+            if frame["kind"] == "fn":
+                return frame["obj"]
+            if frame["kind"] == "class":
+                return None
+        return None
+
+    def ns_prefix():
+        parts = [f["name"] for f in stack
+                 if f["kind"] in ("ns", "class") and f["name"]]
+        return "::".join(parts)
+
+    while i < n:
+        t = tokens[i]
+        x = t.text
+        if x == "{":
+            stmt = tokens[stmt_start:i]
+            frame = {"kind": "block", "name": "", "obj": None}
+            words = [s.text for s in stmt if s.kind == "id"]
+            fn = cur_fn()
+            if fn is not None:
+                # Inside a function body: check for a named lambda
+                # (`auto name = [..](..) {`); everything else is a block.
+                if any(s.text == "[" for s in stmt) and len(words) >= 2 \
+                        and words[0] == "auto" and "=" in \
+                        [s.text for s in stmt]:
+                    sub = FunctionModel(
+                        short=words[1],
+                        qualified=fn.qualified + "::" + words[1],
+                        cls=fn.cls, path=path, line=t.line)
+                    role = _role_for(model, stmt, t.line)
+                    if role:
+                        sub.annotations.add(role)
+                    sub.params = dict(fn.params)
+                    sub.locals = fn.locals  # shared: lambdas capture scope
+                    model.functions.append(sub)
+                    frame = {"kind": "fn", "name": sub.short, "obj": sub}
+            elif "namespace" in words:
+                name = words[words.index("namespace") + 1] if \
+                    words.index("namespace") + 1 < len(words) else ""
+                frame = {"kind": "ns", "name": name, "obj": None}
+            elif words and words[0] == "enum" or \
+                    ("enum" in words[:2] and "class" in words[:3]):
+                frame = {"kind": "enum", "name": "", "obj": None}
+            elif any(w in ("class", "struct", "union") for w in words) \
+                    and "(" not in [s.text for s in stmt]:
+                kw = next(w for w in words if w in ("class", "struct",
+                                                    "union"))
+                after = words[words.index(kw) + 1:]
+                after = [w for w in after
+                         if w not in ("final", "alignas", "public",
+                                      "private", "protected", "virtual")
+                         and w not in ANNOTATION_MACROS]
+                cname = after[0] if after else ""
+                cls = ClassModel(name=cname, path=path, line=t.line)
+                if cname:
+                    model.classes.setdefault(cname, cls)
+                    cls = model.classes[cname]
+                frame = {"kind": "class", "name": cname, "obj": cls}
+            elif cur_kind() in ("file", "ns", "class"):
+                name_toks, lp = _function_header(stmt)
+                if name_toks is not None:
+                    rp = _match_paren(stmt, lp)
+                    short = name_toks[-1].text
+                    qual = _join(name_toks).replace(" ", "")
+                    prefix = ns_prefix()
+                    if prefix and "::" not in qual:
+                        qual = prefix + "::" + qual
+                    owner = cur_class()
+                    cls_name = owner.name if owner is not None else ""
+                    if owner is None and "::" in qual:
+                        # Out-of-class definition Engine::f — attribute
+                        # to the class named right before the last ::.
+                        parts = qual.split("::")
+                        if len(parts) >= 2:
+                            cls_name = parts[-2]
+                    fnm = FunctionModel(short=short, qualified=qual,
+                                        cls=cls_name, path=path,
+                                        line=t.line)
+                    for s in stmt:
+                        if s.kind == "id" and s.text in ANNOTATION_MACROS:
+                            fnm.annotations.add(ANNOTATION_MACROS[s.text])
+                    role = _role_for(model, stmt, t.line)
+                    if role:
+                        fnm.annotations.add(role)
+                    fnm.params = _param_names(stmt, lp, rp)
+                    model.functions.append(fnm)
+                    if owner is not None:
+                        owner.methods[short] = fnm.annotations
+                        owner.method_returns[short] = _join(stmt[:max(
+                            0, lp - len(name_toks))])
+                    frame = {"kind": "fn", "name": short, "obj": fnm}
+            stack.append(frame)
+            stmt_start = i + 1
+        elif x == "}":
+            if stack:
+                stack.pop()
+            stmt_start = i + 1
+        elif x == ";":
+            stmt = tokens[stmt_start:i]
+            owner = cur_class()
+            if owner is not None and cur_fn() is None:
+                _class_member(owner, model, stmt)
+            elif cur_fn() is not None:
+                _fn_statement(cur_fn(), stmt)
+            stmt_start = i + 1
+        i += 1
+
+    # Second pass: call sites and range-fors per function body. Re-walk
+    # with the same scope logic was already done; cheaper: functions
+    # recorded their token spans implicitly — instead, attribute calls by
+    # re-scanning with a lightweight frame tracker.
+    _attach_calls(model)
+    return model
+
+
+def _role_for(model, stmt, brace_line):
+    """Role from a `// simlint: role(x)` directive adjacent to the
+    function header (any line from the header start to the brace)."""
+    first = stmt[0].line if stmt else brace_line
+    for ln in range(first - 1, brace_line + 1):
+        if ln in model.roles:
+            return model.roles[ln]
+    return None
+
+
+def _class_member(cls, model, stmt):
+    """Records a class-scope declaration statement."""
+    words = [s.text for s in stmt if s.kind == "id"]
+    if not words:
+        return
+    for idx, s in enumerate(stmt):
+        if s.kind == "id" and s.text in TS_REF_MACROS:
+            # SIMANY_GUARDED_BY(mu) — record the referenced idents.
+            if idx + 1 < len(stmt) and stmt[idx + 1].text == "(":
+                rp = _match_paren(stmt, idx + 1)
+                for a in stmt[idx + 2:rp]:
+                    if a.kind == "id":
+                        cls.ts_refs.add(a.text)
+    has_paren = any(s.text == "(" for s in stmt)
+    if has_paren and "=" not in [s.text for s in stmt]:
+        # Method declaration (no body) — record annotations + return.
+        name_toks, lp = _function_header(stmt)
+        if name_toks is not None:
+            short = name_toks[-1].text
+            anns = {ANNOTATION_MACROS[w] for w in words
+                    if w in ANNOTATION_MACROS}
+            cls.methods.setdefault(short, set()).update(anns)
+            cls.method_returns.setdefault(short, _join(
+                stmt[:max(0, lp - len(name_toks))]))
+            role = _role_for(model, stmt, stmt[-1].line)
+            if role:
+                cls.methods[short].add(role)
+        return
+    # Data member: TYPE NAME [= init] ;  (possibly TYPE NAME{init}).
+    cut = len(stmt)
+    for i, s in enumerate(stmt):
+        if s.text in ("=", "{"):
+            cut = i
+            break
+    decl = stmt[:cut]
+    ids = [s for s in decl if s.kind == "id" and s.text not in KEYWORDS
+           and s.text not in ANNOTATION_MACROS
+           and s.text not in TS_REF_MACROS]
+    if len(ids) >= 2:
+        name = ids[-1].text
+        type_text = _join(decl[:-1]) if decl and decl[-1].kind == "id" \
+            else _join(decl)
+        cls.members[name] = type_text
+        if re.search(r"\bmutex\b", type_text) and "lock_guard" not in \
+                type_text and "unique_lock" not in type_text:
+            cls.mutex_members[name] = decl[0].line
+
+
+def _fn_statement(fn, stmt):
+    """Records local declarations of interest inside a function body."""
+    # `auto[&] name = expr;` — keep the initializer text for type-ish
+    # resolution (e.g. `auto& mb = mailbox(src, id)`).
+    words = [s.text for s in stmt]
+    if not stmt:
+        return
+    eq = words.index("=") if "=" in words else -1
+    decl = stmt[:eq] if eq != -1 else stmt
+    ids = [s for s in decl if s.kind == "id" and s.text not in KEYWORDS]
+    if len(ids) >= 1 and eq != -1 and stmt[0].text == "auto":
+        name = ids[-1].text
+        fn.locals[name] = _join(stmt[eq + 1:])
+        return
+    if len(ids) >= 2 and all(s.kind in ("id", "punct") for s in decl):
+        # Plausible `Type name;` / `Type name = init;` declaration.
+        bad = any(s.text in ("(", ")", "[", "]", "return", "throw")
+                  for s in decl[:-1] if s is not decl[-1])
+        if not bad and decl[-1].kind == "id":
+            fn.locals[decl[-1].text] = _join(decl[:-1])
+
+
+def _attach_calls(model):
+    """Third pass: walk tokens again tracking which function body we are
+    inside (by brace depth replay) and record call sites + range-fors."""
+    tokens = model.tokens
+    # Rebuild the frame walk exactly as scan() did, but only to know the
+    # active FunctionModel at each token index.
+    stack = []
+    stmt_start = 0
+    active = []  # parallel array: function model at token i (or None)
+    cur = None
+
+    def innermost_fn():
+        for frame in reversed(stack):
+            if frame[0] == "fn":
+                return frame[1]
+            if frame[0] == "class":
+                return None
+        return None
+
+    n = len(tokens)
+    i = 0
+    while i < n:
+        x = tokens[i].text
+        if x == "{":
+            stmt = tokens[stmt_start:i]
+            kind = "block"
+            obj = None
+            words = [s.text for s in stmt if s.kind == "id"]
+            fn = innermost_fn()
+            line = tokens[i].line
+            if fn is not None:
+                if any(s.text == "[" for s in stmt) and len(words) >= 2 \
+                        and words[0] == "auto" and "=" in \
+                        [s.text for s in stmt]:
+                    obj = _find_fn(model, fn.qualified + "::" + words[1],
+                                   line)
+                    kind = "fn" if obj is not None else "block"
+            elif "namespace" in words:
+                kind = "ns"
+            elif words and (words[0] == "enum"
+                            or ("enum" in words[:2])):
+                kind = "enum"
+            elif any(w in ("class", "struct", "union") for w in words) \
+                    and "(" not in [s.text for s in stmt]:
+                kind = "class"
+            else:
+                name_toks, _lp = _function_header(stmt)
+                if name_toks is not None:
+                    obj = _find_fn_by_line(model, line)
+                    kind = "fn" if obj is not None else "block"
+            stack.append((kind, obj))
+            stmt_start = i + 1
+        elif x == "}":
+            if stack:
+                stack.pop()
+            stmt_start = i + 1
+        elif x == ";":
+            stmt_start = i + 1
+        active.append(innermost_fn())
+        i += 1
+    # active[] was appended after push/pop handling; re-walk for calls.
+    for i in range(n):
+        fn = active[i]
+        if fn is None:
+            continue
+        t = tokens[i]
+        if t.kind == "id" and i + 1 < n and tokens[i + 1].text == "(":
+            if t.text in KEYWORDS:
+                if t.text == "for":
+                    rf = _range_for(tokens, i)
+                    if rf is not None:
+                        fn.range_fors.append(rf)
+                        # The loop variable is a local whose "type" is
+                        # the range expression (`for (auto& mb : mail_)`
+                        # gives mb the resolvable pseudo-type `mail_`).
+                        ids = [s for s in rf.decl_tokens
+                               if s.kind == "id" and s.text not in KEYWORDS]
+                        if ids:
+                            fn.locals[ids[-1].text] = _join(rf.range_tokens)
+                continue
+            prev = tokens[i - 1] if i > 0 else None
+            receiver = ""
+            receiver_op = ""
+            qualifier = ""
+            if prev is not None and prev.text in (".", "->"):
+                receiver_op = prev.text
+                receiver = _receiver_base(tokens, i - 2)
+            elif prev is not None and prev.text == "::":
+                receiver_op = "::"
+                j = i - 2
+                quals = []
+                while j >= 0 and tokens[j].kind == "id":
+                    quals.insert(0, tokens[j].text)
+                    j -= 1
+                    if j >= 0 and tokens[j].text == "::":
+                        j -= 1
+                    else:
+                        break
+                qualifier = "::".join(quals)
+            fn.calls.append(CallSite(name=t.text, line=t.line,
+                                     receiver=receiver,
+                                     receiver_op=receiver_op,
+                                     qualifier=qualifier))
+
+
+def _find_fn(model, qualified, line):
+    for f in model.functions:
+        if f.qualified == qualified and abs(f.line - line) <= 1:
+            return f
+    for f in model.functions:
+        if f.qualified == qualified:
+            return f
+    return None
+
+
+def _find_fn_by_line(model, line):
+    for f in model.functions:
+        if f.line == line:
+            return f
+    return None
+
+
+def _receiver_base(tokens, i):
+    """Base identifier of the receiver expression ending at index i
+    (the token before '.'/'->'): `e` for `e.f(`, `mailbox` for
+    `mailbox(a,b).f(`, `sh` for `sh.stats.f(` (outermost base)."""
+    if i < 0:
+        return ""
+    t = tokens[i]
+    if t.text == ")":
+        depth = 0
+        j = i
+        while j >= 0:
+            if tokens[j].text == ")":
+                depth += 1
+            elif tokens[j].text == "(":
+                depth -= 1
+                if depth == 0:
+                    break
+            j -= 1
+        if j > 0 and tokens[j - 1].kind == "id":
+            return tokens[j - 1].text + "()"
+        return ""
+    if t.text == "]":
+        depth = 0
+        j = i
+        while j >= 0:
+            if tokens[j].text == "]":
+                depth += 1
+            elif tokens[j].text == "[":
+                depth -= 1
+                if depth == 0:
+                    break
+            j -= 1
+        if j > 0 and tokens[j - 1].kind == "id":
+            return tokens[j - 1].text
+        return ""
+    if t.kind == "id":
+        # Walk left through a member chain to the outermost base.
+        base = t.text
+        j = i - 1
+        while j >= 1 and tokens[j].text in (".", "->") and \
+                tokens[j - 1].kind == "id":
+            base = tokens[j - 1].text
+            j -= 2
+        return base
+    return ""
+
+
+def _range_for(tokens, i):
+    """RangeFor when tokens[i] == 'for' opens a range-based for."""
+    lp = i + 1
+    rp = _match_paren(tokens, lp)
+    colon = -1
+    depth = 0
+    for j in range(lp + 1, rp):
+        x = tokens[j].text
+        if x in ("(", "<", "["):
+            depth += 1
+        elif x in (")", ">", "]"):
+            depth -= 1
+        elif x == ":" and depth == 0:
+            colon = j
+            break
+    if colon == -1:
+        return None
+    return RangeFor(line=tokens[i].line, range_tokens=tokens[colon + 1:rp],
+                    decl_tokens=tokens[lp + 1:colon])
+
+
+def parse_file(path, text=None):
+    if text is None:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    model = lex(text, path)
+    scan(model)
+    return model

@@ -1,0 +1,250 @@
+#!/usr/bin/env python3
+"""simlint — static enforcement of simany's phase-discipline and
+determinism contracts.
+
+The simulator's two load-bearing contracts (results are a pure function
+of config+seed+workload regardless of shard count; shared state is only
+touched in the right host-round phase) are annotated in the source with
+the SIMANY_* vocabulary from src/core/phase_annotations.h. simlint
+reads the compile database to find the code, extracts a source model
+with its built-in frontend (no compiler needed — works on GCC-only
+hosts; see docs/static_analysis.md), and enforces:
+
+  * serial-only functions are unreachable from worker-phase roots,
+  * each SPSC mailbox end is touched from exactly one annotated side,
+  * no nondeterminism sources in engine code (wall clock, libc rand,
+    unordered-container iteration, thread_local, unannotated mutexes),
+    with a path allowlist (src/guard wall-clock deadlines, src/obs host
+    profiling) plus inline `// simlint: allow(rule) reason` escapes.
+
+Exit status (uniform across tools/, see docs/static_analysis.md):
+  0  clean (or all findings suppressed by --baseline)
+  1  findings
+  2  usage / input error
+
+Usage:
+  simlint.py [--compile-db build/compile_commands.json] [--root DIR]
+             [--paths src ...] [--baseline FILE] [--write-baseline FILE]
+             [--report FILE] [--quiet]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import checks  # noqa: E402
+import cpp_model  # noqa: E402
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+DEFAULT_CONFIG = {
+    # Determinism rules apply under these path prefixes (relative to
+    # --root)...
+    "engine_paths": ["src/"],
+    # ...except these, where the "nondeterminism" is the point. Each
+    # entry documents why (printed by --explain-allowlist).
+    "det_exempt_paths": {
+        "src/guard/": "wall-clock deadlines and crash-report timestamps "
+                      "are wall-clock by design; guard trips funnel to "
+                      "the serial phase and never feed simulated state",
+        "src/obs/": "host-round profiling measures real time on purpose; "
+                    "profiler output is diagnostic, never an input to "
+                    "the simulation",
+    },
+    # Phase/mailbox rules apply to everything that was parsed.
+}
+
+
+def die_usage(msg):
+    print(f"simlint: error: {msg}", file=sys.stderr)
+    sys.exit(EXIT_USAGE)
+
+
+def source_files(args):
+    """Files to lint: TUs from the compile database plus headers under
+    the engine paths (headers never appear in compile_commands.json but
+    carry the annotations and the inline methods)."""
+    root = os.path.abspath(args.root)
+    files = []
+    seen = set()
+
+    def add(path):
+        path = os.path.abspath(path)
+        rel = os.path.relpath(path, root)
+        if rel.startswith(".."):
+            return  # outside the tree (system headers, external TUs)
+        if rel in seen:
+            return
+        seen.add(rel)
+        files.append((path, rel))
+
+    if args.compile_db:
+        try:
+            with open(args.compile_db, encoding="utf-8") as f:
+                db = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            die_usage(f"compile database {args.compile_db} unusable: {e}")
+        if not isinstance(db, list):
+            die_usage(f"compile database {args.compile_db}: expected a "
+                      f"JSON array of entries")
+        for entry in db:
+            src = entry.get("file", "")
+            if not src:
+                continue
+            if not os.path.isabs(src):
+                src = os.path.join(entry.get("directory", root), src)
+            if os.path.exists(src):
+                add(src)
+    scan_paths = args.paths or (["src"] if args.compile_db is None
+                                else [])
+    # Headers always come from the tree walk (the db holds only TUs).
+    header_roots = args.paths or ["src"]
+    for p in scan_paths + header_roots:
+        base = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(base):
+            add(base)
+            continue
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _dirs, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith((".h", ".hpp", ".hh")):
+                    add(os.path.join(dirpath, name))
+                elif p in scan_paths and name.endswith(
+                        (".cpp", ".cc", ".cxx")):
+                    add(os.path.join(dirpath, name))
+    if not files:
+        die_usage("no source files found (bad --root / --paths, or an "
+                  "empty compile database)")
+    return files
+
+
+def load_baseline(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die_usage(f"baseline {path} unusable: {e}")
+    entries = doc.get("suppressions", [])
+    return {e["fingerprint"] for e in entries if "fingerprint" in e}
+
+
+def write_baseline(path, findings):
+    doc = {
+        "simlint_baseline_version": 1,
+        "comment": "Accepted pre-existing findings; new findings still "
+                   "fail. Regenerate with --write-baseline.",
+        "suppressions": [
+            {"fingerprint": f.fingerprint(), "rule": f.rule,
+             "path": f.path, "symbol": f.symbol, "message": f.message}
+            for f in findings
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="simlint.py",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--compile-db",
+                    help="compile_commands.json to derive the TU list "
+                         "from (headers are walked from --paths)")
+    ap.add_argument("--root", default=".",
+                    help="repository root; findings are reported "
+                         "relative to it (default: cwd)")
+    ap.add_argument("--paths", nargs="*",
+                    help="directories/files to lint when no compile db "
+                         "is given, and where headers are discovered "
+                         "(default: src)")
+    ap.add_argument("--baseline",
+                    help="JSON baseline of accepted findings to "
+                         "suppress (see --write-baseline)")
+    ap.add_argument("--write-baseline", metavar="FILE",
+                    help="write the current findings as the accepted "
+                         "baseline and exit 0")
+    ap.add_argument("--report", metavar="FILE",
+                    help="write findings as JSON (CI artifact)")
+    ap.add_argument("--explain-allowlist", action="store_true",
+                    help="print the path allowlist with reasons and "
+                         "exit")
+    ap.add_argument("--quiet", action="store_true",
+                    help="suppress the per-finding lines (summary only)")
+    args = ap.parse_args(argv)
+
+    config = dict(DEFAULT_CONFIG)
+    if args.explain_allowlist:
+        print("simlint path allowlist (determinism rules only):")
+        for prefix, reason in config["det_exempt_paths"].items():
+            print(f"  {prefix}\n      {reason}")
+        return EXIT_CLEAN
+
+    models = []
+    for path, rel in source_files(args):
+        try:
+            model = cpp_model.parse_file(path)
+        except OSError as e:
+            die_usage(f"cannot read {path}: {e}")
+        model.path = rel
+        for f in model.functions:
+            f.path = rel
+        for cls in model.classes.values():
+            cls.path = rel
+        models.append(model)
+
+    project = checks.Project(models)
+    findings = checks.run_all(project, config)
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(f"simlint: wrote baseline with {len(findings)} "
+              f"suppression(s) to {args.write_baseline}")
+        return EXIT_CLEAN
+
+    suppressed = 0
+    if args.baseline:
+        accepted = load_baseline(args.baseline)
+        kept = []
+        for f in findings:
+            if f.fingerprint() in accepted:
+                suppressed += 1
+            else:
+                kept.append(f)
+        findings = kept
+
+    if args.report:
+        doc = {
+            "tool": "simlint",
+            "files_scanned": len(models),
+            "functions_modeled": len(project.functions),
+            "suppressed_by_baseline": suppressed,
+            "findings": [
+                {"rule": f.rule, "path": f.path, "line": f.line,
+                 "symbol": f.symbol, "message": f.message,
+                 "fingerprint": f.fingerprint()}
+                for f in findings
+            ],
+        }
+        with open(args.report, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+
+    if not args.quiet:
+        for f in findings:
+            print(f.render())
+    tail = f", {suppressed} suppressed by baseline" if suppressed else ""
+    print(f"simlint: {len(models)} files, {len(project.functions)} "
+          f"functions modeled, {len(findings)} finding(s){tail}")
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

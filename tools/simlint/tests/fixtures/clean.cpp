@@ -1,0 +1,64 @@
+// Fixture: a clean file exercising the same shapes the rules inspect —
+// annotated phases that respect the discipline, a consumer that only
+// pops, ordered iteration, seeded randomness. simlint must report
+// nothing here (the zero-false-positive guarantee in miniature).
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/phase_annotations.h"
+#include "host/spsc_mailbox.h"
+
+namespace fx {
+
+struct Msg {
+  int payload = 0;
+};
+
+class CleanEngine {
+ public:
+  SIMANY_WORKER_PHASE void round();
+  SIMANY_WORKER_PHASE SIMANY_MAILBOX_CONSUMER void drain();
+  SIMANY_MAILBOX_PRODUCER void send(Msg m);
+  SIMANY_SERIAL_ONLY void barrier();
+  std::uint64_t checksum() const;
+
+ private:
+  void step();  // unannotated helper, worker-reachable, calls nothing serial
+  simany::host::SpscMailbox<Msg> box_;
+  std::map<std::uint64_t, std::uint64_t> cells_;
+  std::uint64_t state_ = 1;
+};
+
+void CleanEngine::round() {
+  drain();
+  step();
+}
+
+void CleanEngine::drain() {
+  Msg m;
+  while (box_.pop(m)) {
+    state_ += static_cast<std::uint64_t>(m.payload);
+  }
+}
+
+void CleanEngine::send(Msg m) { box_.push(std::move(m)); }
+
+void CleanEngine::barrier() { box_.seal(); }
+
+void CleanEngine::step() {
+  // xorshift from the config-seeded state: deterministic by design.
+  state_ ^= state_ << 13;
+  state_ ^= state_ >> 7;
+  state_ ^= state_ << 17;
+}
+
+std::uint64_t CleanEngine::checksum() const {
+  std::uint64_t h = 0;
+  for (const auto& [k, v] : cells_) {  // std::map: ordered, fine
+    h = h * 31 + v;
+  }
+  return h;
+}
+
+}  // namespace fx

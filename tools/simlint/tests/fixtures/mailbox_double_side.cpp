@@ -1,0 +1,48 @@
+// Fixture: mailbox side discipline. One function pushes AND pops the
+// same mailbox type without being serial-only (mailbox-double-side);
+// another is annotated as producer yet pops (mailbox-side); a third
+// seals outside the serial phase (mailbox-side).
+#include "core/phase_annotations.h"
+#include "host/spsc_mailbox.h"
+
+namespace fx {
+
+struct Msg {
+  int payload = 0;
+};
+
+class Router {
+ public:
+  void shuffle();                              // double-side violation
+  SIMANY_MAILBOX_PRODUCER void feed(Msg m);    // wrong-side violation
+  SIMANY_WORKER_PHASE void early_seal();       // seal outside barrier
+  SIMANY_SERIAL_ONLY void barrier();           // fine: barrier owns both
+
+ private:
+  simany::host::SpscMailbox<Msg> box_;
+};
+
+void Router::shuffle() {
+  Msg m;
+  box_.push(Msg{1});
+  box_.pop(m);  // VIOLATION: both ends, not serial-only
+}
+
+void Router::feed(Msg m) {
+  box_.push(std::move(m));
+  Msg back;
+  box_.pop(back);  // VIOLATION: producer side pops
+}
+
+void Router::early_seal() {
+  box_.seal();  // VIOLATION: seal is barrier-only
+}
+
+void Router::barrier() {
+  Msg m;
+  box_.seal();
+  while (box_.pop(m)) {
+  }
+}
+
+}  // namespace fx

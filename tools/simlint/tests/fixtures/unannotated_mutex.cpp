@@ -1,0 +1,21 @@
+// Fixture: lock-discipline lint. One member mutex with no
+// SIMANY_GUARDED_BY reference (violation), one annotated (clean).
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/phase_annotations.h"
+
+namespace fx {
+
+struct Bare {
+  std::mutex mu;  // VIOLATION: det-mutex-unannotated
+  std::vector<std::uint64_t> rows;
+};
+
+struct Disciplined {
+  std::mutex mu;
+  std::vector<std::uint64_t> rows SIMANY_GUARDED_BY(mu);
+};
+
+}  // namespace fx

@@ -1,0 +1,40 @@
+// Fixture: determinism lints — unordered iteration feeding state, an
+// allowed order-independent loop, and a libc randomness source.
+#include <cstdint>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+namespace fx {
+
+class Table {
+ public:
+  std::uint64_t checksum() const;
+  void clear_flags();
+  int jitter() const;
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> cells_;
+  std::unordered_map<std::uint64_t, bool> flags_;
+};
+
+std::uint64_t Table::checksum() const {
+  std::uint64_t h = 0;
+  for (const auto& [k, v] : cells_) {  // VIOLATION: order feeds result
+    h = h * 31 + v;
+  }
+  return h;
+}
+
+void Table::clear_flags() {
+  // simlint: allow(det-unordered-iter) per-entry reset, order-free
+  for (auto& [k, f] : flags_) {
+    f = false;
+  }
+}
+
+int Table::jitter() const {
+  return std::rand();  // VIOLATION: det-libc-rand
+}
+
+}  // namespace fx

@@ -1,0 +1,27 @@
+// Fixture: wall-clock and thread_local determinism violations, plus an
+// inline allow showing the escape hatch works.
+#include <chrono>
+#include <cstdint>
+
+namespace fx {
+
+std::uint64_t stamp() {
+  // VIOLATION: det-wall-clock
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+double budget_left(double limit_s) {
+  // simlint: allow(det-wall-clock) fixture: deadline anchor, by design
+  static const auto t0 = std::chrono::steady_clock::now();
+  // simlint: allow(det-wall-clock) fixture: deadline check, by design
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return limit_s - std::chrono::duration<double>(dt).count();
+}
+
+std::uint64_t bump() {
+  thread_local std::uint64_t counter = 0;  // VIOLATION: det-thread-local
+  return ++counter;
+}
+
+}  // namespace fx

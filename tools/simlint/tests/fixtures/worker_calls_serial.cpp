@@ -1,0 +1,23 @@
+// Fixture: a worker-phase function reaching a serial-only function
+// through an intermediate hop. simlint must report phase-serial-escape
+// at the hop's call site with the full call path.
+#include "core/phase_annotations.h"
+
+namespace fx {
+
+class MiniEngine {
+ public:
+  SIMANY_WORKER_PHASE void round();
+  void hop();  // unannotated middle of the chain
+  SIMANY_SERIAL_ONLY void commit();
+};
+
+void MiniEngine::round() { hop(); }
+
+void MiniEngine::hop() {
+  commit();  // VIOLATION: worker-phase root -> serial-only
+}
+
+void MiniEngine::commit() {}
+
+}  // namespace fx

@@ -92,9 +92,12 @@ class MicroGateTest(unittest.TestCase):
     def test_missing_current_file_is_fatal(self):
         base = self.tmp.write("base.json", micro_doc(
             {"BM_CostModelBlock": 1.0, "BM_Spawn": 2.0}))
-        with self.assertRaises(SystemExit):
+        with self.assertRaises(SystemExit) as ctx:
             bench_gate.gate_micro(
                 micro_args(base, self.tmp.path("absent.json")))
+        # Input errors use the uniform tools/ usage exit code, distinct
+        # from exit 1 (= a metric actually regressed).
+        self.assertEqual(ctx.exception.code, 2)
 
     def test_regression_still_detected(self):
         base = self.tmp.write("base.json", micro_doc(

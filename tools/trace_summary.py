@@ -17,6 +17,10 @@ timeline. Sync stalls are zero-width in *virtual* time by construction
 counts, not durations. Crash reports instead print the structured
 error, progress spread, and the stall diagnosis.
 
+Exit status (uniform across tools/, see docs/static_analysis.md):
+  0  summary printed
+  2  usage / input error (missing or unparseable trace)
+
 Usage:
   trace_summary.py TRACE [--top N] [--faults N] [--json]
 """
@@ -306,7 +310,12 @@ def main():
     ap.add_argument("--json", action="store_true",
                     help="emit the summary as JSON instead of text")
     args = ap.parse_args()
-    kind, payload = load_any(args.trace)
+    try:
+        kind, payload = load_any(args.trace)
+    except (OSError, json.JSONDecodeError, ValueError, csv.Error) as e:
+        print(f"trace_summary: error: {args.trace} unusable: {e}",
+              file=sys.stderr)
+        return 2
     if kind == "crash":
         summary = summarize_crash_report(payload)
         if args.json:
@@ -314,14 +323,15 @@ def main():
             print()
         else:
             print(render_crash_report(summary))
-        return
+        return 0
     summary = summarize_events(payload, top=args.top, faults=args.faults)
     if args.json:
         json.dump(summary, sys.stdout, indent=2)
         print()
     else:
         print(render(summary))
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())
