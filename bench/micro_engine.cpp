@@ -35,6 +35,21 @@ void BM_FiberSwitch(benchmark::State& state) {
 }
 BENCHMARK(BM_FiberSwitch);
 
+void BM_FiberSwitchCold(benchmark::State& state) {
+  // First activation: context/frame setup plus the switch in and the
+  // terminating switch out. Recycling through the pool keeps stack
+  // allocation out of the loop after warm-up, so this prices exactly
+  // what every freshly spawned task pays.
+  FiberPool pool(64 * 1024);
+  for (auto _ : state) {
+    auto fiber = pool.create([] {});
+    fiber->resume();
+    pool.recycle(std::move(fiber));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FiberSwitchCold);
+
 void BM_ComputeBlock(benchmark::State& state) {
   // Cost of one annotated compute block on an otherwise idle engine,
   // including the drift-limit check. Measured in blocks/s by running a
@@ -142,6 +157,35 @@ void BM_HostRound(benchmark::State& state) {
 }
 BENCHMARK(BM_HostRound)->Arg(0)->Arg(4)->Arg(8);
 
+void BM_SerialPhase(benchmark::State& state) {
+  // Serial-phase cost in near-isolation: the BM_HostRound workload with
+  // a tiny round budget, so the run decomposes into many short rounds
+  // and the barrier machinery (proxy flip, mailbox seal, watchdog fold)
+  // dominates. Divide wall time by `host_rounds_per_run` for ns/round;
+  // the spread across shard counts exposes any O(shards^2) term.
+  const auto shards = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    ArchConfig cfg = ArchConfig::shared_mesh(64);
+    cfg.host.mode = HostMode::kParallel;
+    cfg.host.threads = 1;
+    cfg.host.shards = shards;
+    cfg.host.round_quanta = 32;
+    Engine sim(cfg);
+    const SimStats st = sim.run([](TaskCtx& ctx) {
+      const GroupId g = ctx.make_group();
+      for (int i = 0; i < 512; ++i) {
+        spawn_or_run(ctx, g, [](TaskCtx& c) { c.compute(20); });
+      }
+      ctx.join(g);
+    });
+    rounds += st.host_rounds;
+  }
+  state.counters["host_rounds_per_run"] = benchmark::Counter(
+      static_cast<double>(rounds) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_SerialPhase)->Arg(4)->Arg(16);
+
 void BM_Telemetry(benchmark::State& state) {
   // Cost of the telemetry layer on the probe/spawn/join workload. Arg 0
   // runs with no Telemetry attached and guards the telemetry-off fast
@@ -196,6 +240,28 @@ void BM_RoutingTableBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RoutingTableBuild)->Arg(64)->Arg(1024);
+
+void BM_RouteLookup(benchmark::State& state) {
+  // Per-query routing cost on a 1024-core mesh. Arg 1 exercises the
+  // closed-form DOR arithmetic; Arg 0 forces latency weighting onto the
+  // same mesh, taking the lazy per-destination row path (all rows
+  // warmed by the first benchmark pass).
+  const bool closed = state.range(0) != 0;
+  const auto topo = net::Topology::mesh2d(1024);
+  const net::RoutingTable table(topo, closed
+                                          ? net::RouteWeighting::kHops
+                                          : net::RouteWeighting::kLatency);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    const net::CoreId from = i % 1024;
+    const net::CoreId to = (i * 37 + 11) % 1024;
+    benchmark::DoNotOptimize(table.next_hop(from, to));
+    benchmark::DoNotOptimize(table.hops(from, to));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteLookup)->Arg(0)->Arg(1);
 
 void BM_PessimisticL1(benchmark::State& state) {
   mem::PessimisticL1 l1(32);

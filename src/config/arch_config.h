@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/fiber.h"
 #include "core/vtime.h"
 #include "fault/fault_plan.h"
 #include "guard/guard_config.h"
@@ -76,6 +77,10 @@ struct HostConfig {
   /// Scheduling quanta each shard may execute per round before the
   /// epoch barrier exchanges cross-shard messages and proxy snapshots.
   std::uint32_t round_quanta = 512;
+  /// Pin worker threads to host CPUs (round-robin). Keeps a shard's
+  /// cores, fiber stacks and mailbox cache lines on one core's caches
+  /// across rounds; purely host-side, never affects simulated results.
+  bool pin_workers = true;
 };
 
 /// Telemetry knobs persisted alongside the architecture so a config
@@ -138,6 +143,11 @@ struct ArchConfig {
 
   /// Stack size for task fibers.
   std::size_t fiber_stack_bytes = 256 * 1024;
+
+  /// Fiber context-switch backend (core/fiber.h). kAuto resolves to the
+  /// build default: the hand-rolled fast switch where available. Purely
+  /// host-side — both backends produce identical simulated results.
+  FiberBackend fiber_backend = FiberBackend::kAuto;
 
   [[nodiscard]] std::uint32_t num_cores() const noexcept {
     return topology.num_cores();

@@ -222,6 +222,19 @@ ArchConfig parse_config(std::istream& in) {
       raw.cfg.host.shards = next_u32();
     } else if (key == "host_round_quanta") {
       raw.cfg.host.round_quanta = next_u32();
+    } else if (key == "host_pin_workers") {
+      raw.cfg.host.pin_workers = parse_bool(next(), lineno);
+    } else if (key == "fiber_backend") {
+      const auto v = next();
+      if (v == "auto") {
+        raw.cfg.fiber_backend = FiberBackend::kAuto;
+      } else if (v == "fast") {
+        raw.cfg.fiber_backend = FiberBackend::kFast;
+      } else if (v == "ucontext") {
+        raw.cfg.fiber_backend = FiberBackend::kUcontext;
+      } else {
+        fail(lineno, "unknown fiber backend '" + v + "'");
+      }
     } else if (key == "metrics_interval") {
       raw.cfg.obs.metrics_interval_cycles = next_u64();
     } else if (key == "profile_host") {
@@ -367,6 +380,17 @@ void save_config(const ArchConfig& cfg, std::ostream& out) {
   out << "host_threads " << cfg.host.threads << "\n";
   out << "host_shards " << cfg.host.shards << "\n";
   out << "host_round_quanta " << cfg.host.round_quanta << "\n";
+  // Host-tuning keys are emitted only when non-default, like the fault
+  // block, so untuned configs round-trip byte-identically with older
+  // files.
+  if (!cfg.host.pin_workers) {
+    out << "host_pin_workers off\n";
+  }
+  if (cfg.fiber_backend != FiberBackend::kAuto) {
+    out << "fiber_backend "
+        << (cfg.fiber_backend == FiberBackend::kFast ? "fast" : "ucontext")
+        << "\n";
+  }
   // Telemetry keys are emitted only when set, like the fault block, so
   // uninstrumented configs round-trip byte-identically with older files.
   if (cfg.obs.metrics_interval_cycles != 0) {

@@ -245,9 +245,11 @@ void Engine::host_setup(std::uint32_t shards) {
   for (std::uint32_t i = 0; i < num_shards_; ++i) {
     auto sh = std::make_unique<host::ShardState>(
         i, plan.ranges[i].first, plan.ranges[i].second,
-        cfg_.fiber_stack_bytes);
+        cfg_.fiber_stack_bytes, cfg_.fiber_backend);
     sh->lane = network_.make_lane();
     sh->bfs_epoch.assign(cfg_.num_cores(), 0);
+    sh->mail_touched_flag.assign(num_shards_, 0);
+    sh->drain_from_flag.assign(num_shards_, 0);
     shards_.push_back(std::move(sh));
   }
   if (fault_ != nullptr) fault_->bind_shards(num_shards_);
@@ -375,12 +377,12 @@ void Engine::guard_serial_check() {
   // Global cross-round watchdog for the parallel host: rounds consume
   // quanta (cores are executing) but the global clock sum is frozen.
   // Backs up the shard-local poll when the spin straddles shards.
+  // Incremental: folds the per-shard clock sums host_publish computed
+  // at each round tail (O(shards)) instead of rescanning every core.
   Tick now_sum = 0;
   std::uint64_t quanta = 0;
   for (const auto& shp : shards_) {
-    for (CoreId i = shp->core_begin; i < shp->core_end; ++i) {
-      now_sum = sat_add(now_sum, cores_[i]->now);
-    }
+    now_sum = sat_add(now_sum, shp->round_now_sum);
     quanta += shp->quantum_count;
   }
   if (guard_round_baseline_ && now_sum == guard_round_now_sum_ &&
@@ -541,10 +543,28 @@ void Engine::guard_check_inbox(host::ShardState& sh, const CoreSim& dst) {
 void Engine::host_round(host::ShardState& sh, std::uint64_t budget) {
   obs::HostProfiler* prof =
       telemetry_ != nullptr ? telemetry_->profiler() : nullptr;
+  // Idle-streak bookkeeping for the publish skip below: a round that
+  // consumed no quantum and applied no mail cannot have changed any
+  // published field (every mutation flows through host_loop quanta or
+  // host_drain ops). After two such rounds in a row, both proxy
+  // buffers already hold this shard's current tiles — the previous two
+  // publishes wrote identical values — so the rewrite is a no-op and
+  // is skipped. This keeps relay rounds, where most shards only wait
+  // for cross-shard traffic, free of the O(cores/shard) publish walk.
+  const std::uint64_t q0 = sh.quantum_count;
+  const std::uint64_t m0 = sh.mail_in;
+  const auto tick_streak = [&] {
+    if (sh.quantum_count != q0 || sh.mail_in != m0) {
+      sh.publish_streak = 0;
+    } else {
+      ++sh.publish_streak;
+    }
+    return sh.publish_streak < 2;
+  };
   if (prof == nullptr) {
     host_drain(sh);
     host_loop(sh, budget);
-    host_publish(sh);
+    if (tick_streak()) host_publish(sh);
     return;
   }
   std::uint64_t t0 = prof->now_ns();
@@ -554,17 +574,22 @@ void Engine::host_round(host::ShardState& sh, std::uint64_t budget) {
   host_loop(sh, budget);
   t0 = prof->now_ns();
   prof->record(sh.id, obs::HostPhase::kExecute, t1, t0);
-  host_publish(sh);
+  if (tick_streak()) host_publish(sh);
   t1 = prof->now_ns();
   prof->record(sh.id, obs::HostPhase::kPublish, t0, t1);
 }
 
 void Engine::host_drain(host::ShardState& sh) {
   if (num_shards_ == 1) return;
-  // Ascending source order: deterministic for a fixed shard count, and
-  // FIFO within each pair (the mailbox guarantees it).
-  for (std::uint32_t src = 0; src < num_shards_; ++src) {
-    if (src == sh.id) continue;
+  // Only mailboxes the serial phase sealed with fresh traffic carry
+  // anything poppable (drain_from, built at the barrier), so the other
+  // num_shards - 2 probes are skipped. Sorting restores the ascending
+  // source order the full scan used: deterministic for a fixed shard
+  // count, and FIFO within each pair (the mailbox guarantees it).
+  if (sh.drain_from.empty()) return;
+  std::sort(sh.drain_from.begin(), sh.drain_from.end());
+  for (const std::uint32_t src : sh.drain_from) {
+    sh.drain_from_flag[src] = 0;
     auto& mb = mailbox(src, sh.id);
     host::Routed r;
     while (mb.pop(r)) {
@@ -573,6 +598,7 @@ void Engine::host_drain(host::ShardState& sh) {
       apply_host_op(sh, std::move(r));
     }
   }
+  sh.drain_from.clear();
 }
 
 void Engine::host_loop(host::ShardState& sh, std::uint64_t budget) {
@@ -609,6 +635,11 @@ void Engine::host_loop(host::ShardState& sh, std::uint64_t budget) {
 
 void Engine::host_publish(host::ShardState& sh) {
   if (num_shards_ == 1) return;
+  // This loop rewrites every one of the shard's proxy_next_ tiles every
+  // round — the invariant that lets the serial phase commit the whole
+  // snapshot with an O(1) buffer swap instead of an O(cores) copy.
+  Tick now_sum = 0;
+  Tick gmin = kTickInfinity;
   for (CoreId i = sh.core_begin; i < sh.core_end; ++i) {
     const CoreSim& c = *cores_[i];
     host::VtProxy p;
@@ -618,7 +649,19 @@ void Engine::host_publish(host::ShardState& sh) {
     p.occupied = static_cast<std::uint32_t>(c.task_queue.size()) + c.reserved;
     p.busy = (c.fiber != nullptr) || !c.resumables.empty();
     proxy_next_[i] = p;
+    now_sum = sat_add(now_sum, c.now);
+    if (p.anchor) gmin = std::min(gmin, c.now);
+    if (c.births_min != kTickInfinity) {
+      gmin = std::min(gmin, sat_add(c.births_min, drift_ticks_));
+    }
   }
+  // Piggybacked clock-sum for the serial phase's global watchdog: the
+  // cores cannot move between this publish and the barrier, so the
+  // folded sums equal what a serial rescan would have computed. The
+  // drift lower bound rides along the same walk (same terms as
+  // refresh_gmin) for the serial phase's global fold.
+  sh.round_now_sum = now_sum;
+  sh.round_gmin = gmin;
 }
 
 bool Engine::host_serial_phase() {
@@ -645,8 +688,42 @@ bool Engine::host_serial_phase() {
     // cross-shard messages drainable. Both happen only here, so what a
     // shard observes in round k is a pure function of round k-1 state —
     // independent of how rounds interleave across worker threads.
-    proxy_ = proxy_next_;
-    for (auto& mb : mail_) mb->seal();
+    // Workers already wrote every tile of proxy_next_ in host_publish
+    // (their own cores, at their own round tail), so the commit is an
+    // O(1) buffer flip — the stale back buffer is fully rewritten
+    // before the next flip. Likewise only mailboxes actually pushed to
+    // since the last barrier need sealing (send_op tracks them), not
+    // all num_shards^2: seal order across pairs is immaterial, sealing
+    // an untouched mailbox is a no-op.
+    proxy_.swap(proxy_next_);
+    for (const auto& shp : shards_) {
+      for (const std::uint32_t dst : shp->mail_touched) {
+        mailbox(shp->id, dst).seal();
+        shp->mail_touched_flag[dst] = 0;
+        // Tell the destination which mailboxes now carry sealed
+        // traffic, so its next host_drain pops only those.
+        host::ShardState& d = *shards_[dst];
+        if (!d.drain_from_flag[shp->id]) {
+          d.drain_from_flag[shp->id] = 1;
+          d.drain_from.push_back(shp->id);
+        }
+      }
+      shp->mail_touched.clear();
+    }
+    // Fold the per-shard drift lower bounds (computed on the publish
+    // walk) into a fresh global bound for every shard's drift-limit
+    // BFS pruning. Raising gmin_lb here is safe: the fold covers every
+    // anchor clock and in-flight birth as of this barrier, and the
+    // global minimum is monotone, so the value stays a valid lower
+    // bound until the next fold. A tight bound collapses the BFS to a
+    // handful of hops instead of the whole mesh.
+    Tick gfold = kTickInfinity;
+    for (const auto& shp : shards_) {
+      gfold = std::min(gfold, shp->round_gmin);
+    }
+    for (const auto& shp : shards_) {
+      shp->gmin_lb = gfold;
+    }
   }
   std::int64_t live = 0;
   std::uint64_t inflight = 0;
@@ -801,6 +878,12 @@ void Engine::send_op(host::ShardState& ctx, host::HostOp op,
                      std::uint32_t dst_shard, Message m) {
   SIMANY_ASSERT(dst_shard != ctx.id, "send_op to own shard");
   ++ctx.mail_out;
+  // First push to this destination since the barrier: remember the
+  // pair so the serial phase seals only mailboxes that carry traffic.
+  if (ctx.mail_touched_flag[dst_shard] == 0) {
+    ctx.mail_touched_flag[dst_shard] = 1;
+    ctx.mail_touched.push_back(dst_shard);
+  }
   mailbox(ctx.id, dst_shard).push(host::Routed{op, std::move(m)});
 }
 
@@ -1266,6 +1349,12 @@ void Engine::group_complete(Group& grp, GroupId g, CoreId completer,
 }
 
 bool Engine::wake_sweep(host::ShardState& sh) {
+  // Nothing parked: skip the O(cores) gmin refresh. The stale gmin_lb
+  // stays a valid lower bound (global min virtual time is monotonic),
+  // exactly like the every-4096-quanta refresh in host_loop, so BFS
+  // pruning in drift_limit merely gets more conservative. This keeps
+  // message-relay rounds — where most shards are idle — O(1) per shard.
+  if (sh.stalled.empty()) return false;
   refresh_gmin(sh);
   bool any = false;
   std::size_t kept = 0;
@@ -1763,10 +1852,9 @@ void Engine::enqueue_message(host::ShardState& ctx, Message m) {
     mark_ready(dst);
   } else {
     // In-flight accounting transfers to the destination shard when the
-    // kDeliver op is applied there.
-    ++ctx.mail_out;
-    mailbox(ctx.id, dsh).push(
-        host::Routed{host::HostOp::kDeliver, std::move(m)});
+    // kDeliver op is applied there. send_op also records the touched
+    // mailbox pair so the serial phase seals this delivery visible.
+    send_op(ctx, host::HostOp::kDeliver, dsh, std::move(m));
   }
 }
 

@@ -1,6 +1,7 @@
 #include "core/fiber.h"
 
 #include <cstdint>
+#include <cstdlib>
 #include <stdexcept>
 #include <utility>
 
@@ -11,6 +12,16 @@
 #endif
 #if SIMANY_TSAN_FIBERS
 #include <sanitizer/tsan_interface.h>
+#endif
+
+#if SIMANY_FIBER_FAST_AVAILABLE
+extern "C" {
+// Defined in fiber_switch.S: saves the callee-saved register frame on
+// the current stack, publishes the resulting stack pointer through
+// *save_sp, installs load_sp, restores the frame found there and
+// "returns" through its return-address slot. Never fails.
+void simany_fiber_switch(void** save_sp, void* load_sp);
+}
 #endif
 
 namespace simany {
@@ -27,9 +38,25 @@ thread_local Fiber* g_current = nullptr;
 
 Fiber* Fiber::current() noexcept { return g_current; }
 
+FiberBackend Fiber::resolve_backend(FiberBackend backend) {
+  if (backend == FiberBackend::kAuto) {
+#if SIMANY_FIBER_FAST_AVAILABLE && !defined(SIMANY_FIBER_DEFAULT_UCONTEXT)
+    return FiberBackend::kFast;
+#else
+    return FiberBackend::kUcontext;
+#endif
+  }
+  if (backend == FiberBackend::kFast && !SIMANY_FIBER_FAST_AVAILABLE) {
+    throw std::invalid_argument(
+        "FiberBackend::kFast is not available on this architecture");
+  }
+  return backend;
+}
+
 Fiber::Fiber(Fn fn, std::unique_ptr<std::byte[]> stack,
-             std::size_t stack_bytes)
-    : fn_(std::move(fn)), stack_(std::move(stack)), stack_bytes_(stack_bytes) {}
+             std::size_t stack_bytes, FiberBackend backend)
+    : fn_(std::move(fn)), stack_(std::move(stack)), stack_bytes_(stack_bytes),
+      backend_(backend) {}
 
 Fiber::~Fiber() {
   // Destroying a suspended, unfinished fiber leaks whatever its stack
@@ -40,7 +67,10 @@ Fiber::~Fiber() {
 #endif
 }
 
-void Fiber::trampoline() {
+// First code on the fiber stack, shared by both backends: complete the
+// sanitizer hand-off and pick up the fiber pointer parked in g_current
+// by resume().
+Fiber* Fiber::enter_fiber() noexcept {
   Fiber* self = g_current;
 #if SIMANY_ASAN_FIBERS
   // First instruction on this stack: tell ASan the switch completed and
@@ -50,6 +80,12 @@ void Fiber::trampoline() {
 #endif
   SIMANY_ASSERT(self != nullptr,
                 "fiber trampoline entered with no current fiber");
+  return self;
+}
+
+// Runs the task body, absorbing cancellation and transporting any other
+// exception back to the scheduler. Exceptions never cross a switch.
+void Fiber::run_task(Fiber* self) noexcept {
   try {
     self->fn_();
   } catch (const FiberUnwind&) {
@@ -58,13 +94,18 @@ void Fiber::trampoline() {
   } catch (...) {
     self->exception_ = std::current_exception();
   }
+}
+
+// Last shared code before a finished fiber transfers back for good.
+void Fiber::leave_fiber(Fiber* self) noexcept {
   self->finished_ = true;
-  // TSan note: no __tsan_switch_to_fiber here. The compiler-inserted
-  // func-exit of this very function still runs on the fiber stack after
-  // any code written here, so switching TSan's shadow state now would
-  // pop a frame the scheduler's shadow stack never pushed (and corrupt
-  // it — observed as a TSan-internal SEGV). The scheduler side switches
-  // back right after swapcontext returns; see resume().
+  // TSan note: no __tsan_switch_to_fiber here. Instrumented code (the
+  // enclosing entry function's tail, including its compiler-inserted
+  // func-exit under ucontext) still runs on the fiber stack after this
+  // point, so switching TSan's shadow state now would pop a frame the
+  // scheduler's shadow stack never pushed (and corrupt it — observed
+  // as a TSan-internal SEGV). The scheduler side switches back right
+  // after its switch call returns; see resume().
 #if SIMANY_ASAN_FIBERS
   // Null fake-stack pointer = this fiber is terminating; ASan releases
   // its fake frames instead of keeping them for a return that never
@@ -72,9 +113,56 @@ void Fiber::trampoline() {
   __sanitizer_start_switch_fiber(nullptr, self->asan_sched_stack_,
                                  self->asan_sched_size_);
 #endif
+}
+
+void Fiber::trampoline() {
+  Fiber* self = enter_fiber();
+  run_task(self);
+  leave_fiber(self);
   // Fall through: returning from the makecontext entry point resumes
   // uc_link, which we point at return_ctx_ before every resume.
 }
+
+#if SIMANY_FIBER_FAST_AVAILABLE
+
+void Fiber::fast_entry() {
+  Fiber* self = enter_fiber();
+  run_task(self);
+  leave_fiber(self);
+  // A finished fiber is never resumed (the scheduler recycles it), so
+  // this switch is one-way; abort guards the impossible return.
+  simany_fiber_switch(&self->fast_sp_, self->fast_sched_sp_);
+  std::abort();
+}
+
+void Fiber::prepare_fast_frame() {
+  auto top = reinterpret_cast<std::uintptr_t>(stack_.get()) + stack_bytes_;
+  top &= ~std::uintptr_t{15};
+  const auto entry = reinterpret_cast<std::uintptr_t>(&Fiber::fast_entry);
+#if defined(__x86_64__)
+  // Mirror of simany_fiber_switch's save area, low to high:
+  // [fcw|mxcsr][r15][r14][r13][r12][rbx][rbp][return address], with a
+  // zero caller slot above as a backtrace terminator. The return
+  // address sits on a 16-byte boundary, so the restore path's `ret`
+  // enters fast_entry with the ABI's call-entry alignment
+  // (rsp % 16 == 8).
+  auto* frame = reinterpret_cast<std::uintptr_t*>(top - 72);
+  frame[0] = 0x00001F80'0000037F;  // default x87 control word + mxcsr
+  for (int i = 1; i <= 6; ++i) frame[i] = 0;
+  frame[7] = entry;
+  frame[8] = 0;
+#elif defined(__aarch64__)
+  // Mirror of the 160-byte aarch64 save area: x19..x28 at 0, x29 (fp,
+  // zero terminates backtraces) at 80, x30 (lr — the restore path's
+  // `ret` target, i.e. our entry) at 88, d8..d15 at 96.
+  auto* frame = reinterpret_cast<std::uintptr_t*>(top - 160);
+  for (int i = 0; i < 20; ++i) frame[i] = 0;
+  frame[11] = entry;
+#endif
+  fast_sp_ = frame;
+}
+
+#endif  // SIMANY_FIBER_FAST_AVAILABLE
 
 void Fiber::resume() {
   SIMANY_ASSERT(g_current == nullptr,
@@ -82,17 +170,24 @@ void Fiber::resume() {
                 "fiber ", static_cast<const void*>(g_current), ")");
   SIMANY_ASSERT(!finished_, "resume of a finished fiber ",
                 static_cast<const void*>(this));
+  const bool fast = backend_ == FiberBackend::kFast;
   if (!started_) {
     started_ = true;
-    if (getcontext(&ctx_) != 0) {
-      throw std::runtime_error("getcontext failed");
+    if (fast) {
+#if SIMANY_FIBER_FAST_AVAILABLE
+      prepare_fast_frame();
+#endif
+    } else {
+      if (getcontext(&ctx_) != 0) {
+        throw std::runtime_error("getcontext failed");
+      }
+      ctx_.uc_stack.ss_sp = stack_.get();
+      ctx_.uc_stack.ss_size = stack_bytes_;
+      ctx_.uc_link = &return_ctx_;
+      makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
     }
-    ctx_.uc_stack.ss_sp = stack_.get();
-    ctx_.uc_stack.ss_size = stack_bytes_;
-    ctx_.uc_link = &return_ctx_;
-    makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
   }
-  ctx_.uc_link = &return_ctx_;
+  if (!fast) ctx_.uc_link = &return_ctx_;
   g_current = this;
 #if SIMANY_ASAN_FIBERS
   void* sched_fake_stack = nullptr;
@@ -106,11 +201,19 @@ void Fiber::resume() {
   tsan_sched_fiber_ = __tsan_get_current_fiber();
   __tsan_switch_to_fiber(tsan_fiber_, 0);
 #endif
-  const int rc = swapcontext(&return_ctx_, &ctx_);
+  int rc = 0;
+  if (fast) {
+#if SIMANY_FIBER_FAST_AVAILABLE
+    simany_fiber_switch(&fast_sched_sp_, fast_sp_);
+#endif
+  } else {
+    rc = swapcontext(&return_ctx_, &ctx_);
+  }
 #if SIMANY_TSAN_FIBERS
-  // A yield already switched TSan back before its swapcontext; the
-  // uc_link fall-through of a finishing fiber could not (see
-  // trampoline()), so the scheduler restores its own shadow state here.
+  // A yield already switched TSan back before its own switch; the
+  // terminating path of a finishing fiber could not (see
+  // leave_fiber()), so the scheduler restores its own shadow state
+  // here.
   if (finished_) __tsan_switch_to_fiber(tsan_sched_fiber_, 0);
 #endif
 #if SIMANY_ASAN_FIBERS
@@ -135,7 +238,14 @@ void Fiber::yield() {
 #if SIMANY_TSAN_FIBERS
   __tsan_switch_to_fiber(self->tsan_sched_fiber_, 0);
 #endif
-  const int rc = swapcontext(&self->ctx_, &self->return_ctx_);
+  int rc = 0;
+  if (self->backend_ == FiberBackend::kFast) {
+#if SIMANY_FIBER_FAST_AVAILABLE
+    simany_fiber_switch(&self->fast_sp_, self->fast_sched_sp_);
+#endif
+  } else {
+    rc = swapcontext(&self->ctx_, &self->return_ctx_);
+  }
 #if SIMANY_ASAN_FIBERS
   __sanitizer_finish_switch_fiber(self->asan_fiber_fake_stack_,
                                   &self->asan_sched_stack_,
@@ -148,7 +258,8 @@ void Fiber::yield() {
   g_current = self;
 }
 
-FiberPool::FiberPool(std::size_t stack_bytes) : stack_bytes_(stack_bytes) {}
+FiberPool::FiberPool(std::size_t stack_bytes, FiberBackend backend)
+    : stack_bytes_(stack_bytes), backend_(Fiber::resolve_backend(backend)) {}
 
 std::unique_ptr<Fiber> FiberPool::create(Fiber::Fn fn) {
   std::unique_ptr<std::byte[]> stack;
@@ -160,7 +271,7 @@ std::unique_ptr<Fiber> FiberPool::create(Fiber::Fn fn) {
   }
   ++created_;
   return std::unique_ptr<Fiber>(
-      new Fiber(std::move(fn), std::move(stack), stack_bytes_));
+      new Fiber(std::move(fn), std::move(stack), stack_bytes_, backend_));
 }
 
 void FiberPool::recycle(std::unique_ptr<Fiber> fiber) {

@@ -1,4 +1,4 @@
-// Userland cooperative fibers built on POSIX ucontext.
+// Userland cooperative fibers.
 //
 // SiMany executes sequential code blocks natively inside non-preemptive
 // userland threads (paper SS III): a task must be able to suspend at an
@@ -10,15 +10,32 @@
 // fiber with Fiber::resume(), and the fiber returns control with
 // Fiber::yield(). Stacks are recycled through a FiberPool because a
 // 1024-core run creates and destroys tens of thousands of tasks.
+//
+// Two switch backends share this interface (see FiberBackend): the
+// portable POSIX ucontext one, and a hand-rolled callee-saved-register
+// switch (src/core/fiber_switch.S) that skips swapcontext's sigmask
+// syscall — the difference between ~590 ns and well under 100 ns per
+// switch, paid on every task activation. Both are always compiled on
+// supported architectures; the SIMANY_FIBER_BACKEND CMake option only
+// picks the default. docs/internals.md has the full rationale.
 #pragma once
 
 #include <csignal>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
 #include <ucontext.h>
 #include <vector>
+
+// The fast backend needs ~30 lines of per-architecture assembly; on
+// anything else the ucontext fallback is the only choice.
+#if defined(__x86_64__) || defined(__aarch64__)
+#define SIMANY_FIBER_FAST_AVAILABLE 1
+#else
+#define SIMANY_FIBER_FAST_AVAILABLE 0
+#endif
 
 // AddressSanitizer must be told about every stack switch, or its
 // fake-stack bookkeeping (and __asan_handle_no_return, hit whenever an
@@ -63,6 +80,21 @@ class FiberPool;
 /// still stops it at the fiber boundary.
 struct FiberUnwind {};
 
+/// Which context-switch implementation a fiber uses. Behavior is
+/// identical (same trampoline contract, exception transport, sanitizer
+/// annotations); only the switch mechanics differ.
+enum class FiberBackend : std::uint8_t {
+  /// The build-configured default: kFast where available, else
+  /// kUcontext. Resolved at FiberPool construction.
+  kAuto,
+  /// POSIX swapcontext. Portable, but every switch saves and restores
+  /// the signal mask via rt_sigprocmask — a syscall per switch.
+  kUcontext,
+  /// Hand-rolled switch (fiber_switch.S): callee-saved registers and
+  /// the stack pointer only, no syscall. x86-64 and aarch64.
+  kFast,
+};
+
 /// A single suspendable execution context running `fn` on its own stack.
 class Fiber {
  public:
@@ -92,19 +124,41 @@ class Fiber {
   /// The fiber currently executing, or nullptr when in scheduler context.
   [[nodiscard]] static Fiber* current() noexcept;
 
+  /// The switch implementation this fiber was created with (never
+  /// kAuto: resolved by the pool).
+  [[nodiscard]] FiberBackend backend() const noexcept { return backend_; }
+
+  /// Resolves kAuto to the build default and validates availability.
+  /// Throws std::invalid_argument for kFast on an unsupported
+  /// architecture.
+  [[nodiscard]] static FiberBackend resolve_backend(FiberBackend backend);
+
  private:
   friend class FiberPool;
-  Fiber(Fn fn, std::unique_ptr<std::byte[]> stack, std::size_t stack_bytes);
+  Fiber(Fn fn, std::unique_ptr<std::byte[]> stack, std::size_t stack_bytes,
+        FiberBackend backend);
   static void trampoline();
+#if SIMANY_FIBER_FAST_AVAILABLE
+  static void fast_entry();
+  void prepare_fast_frame();
+#endif
+  static Fiber* enter_fiber() noexcept;
+  static void run_task(Fiber* self) noexcept;
+  static void leave_fiber(Fiber* self) noexcept;
 
   Fn fn_;
   ucontext_t ctx_{};
   ucontext_t return_ctx_{};
   std::unique_ptr<std::byte[]> stack_;
   std::size_t stack_bytes_ = 0;
+  FiberBackend backend_ = FiberBackend::kUcontext;
   bool started_ = false;
   bool finished_ = false;
   std::exception_ptr exception_;
+#if SIMANY_FIBER_FAST_AVAILABLE
+  void* fast_sp_ = nullptr;        // fiber's saved sp while parked
+  void* fast_sched_sp_ = nullptr;  // scheduler's saved sp while running
+#endif
 #if SIMANY_ASAN_FIBERS
   void* asan_fiber_fake_stack_ = nullptr;  // fiber's fake stack while parked
   const void* asan_sched_stack_ = nullptr;  // scheduler stack bounds, learned
@@ -120,7 +174,8 @@ class Fiber {
 /// their stack reused by the next allocation of the same size.
 class FiberPool {
  public:
-  explicit FiberPool(std::size_t stack_bytes = kDefaultStackBytes);
+  explicit FiberPool(std::size_t stack_bytes = kDefaultStackBytes,
+                     FiberBackend backend = FiberBackend::kAuto);
 
   /// Creates (or recycles) a fiber that will run `fn` when resumed.
   [[nodiscard]] std::unique_ptr<Fiber> create(Fiber::Fn fn);
@@ -131,6 +186,8 @@ class FiberPool {
   [[nodiscard]] std::size_t stack_bytes() const noexcept {
     return stack_bytes_;
   }
+  /// The resolved backend every fiber from this pool uses (never kAuto).
+  [[nodiscard]] FiberBackend backend() const noexcept { return backend_; }
   [[nodiscard]] std::size_t pooled() const noexcept {
     return free_stacks_.size();
   }
@@ -147,6 +204,7 @@ class FiberPool {
 
  private:
   std::size_t stack_bytes_;
+  FiberBackend backend_;
   std::vector<std::unique_ptr<std::byte[]>> free_stacks_;
   std::size_t created_ = 0;
   std::size_t returned_ = 0;

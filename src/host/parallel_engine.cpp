@@ -7,12 +7,41 @@
 #include <thread>
 #include <vector>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "core/engine.h"
 #include "host/shard.h"
 #include "obs/host_profile.h"
 #include "obs/telemetry.h"
 
 namespace simany::host {
+
+namespace {
+
+// Pin worker `w` to host CPU w (round-robin past the CPU count). A
+// shard worker touches the same fiber stacks, CoreSim blocks and
+// mailbox lines every round; parking it on one CPU keeps those caches
+// warm across the epoch barrier instead of letting the OS migrate the
+// thread between rounds. Host-side only — simulated results are a pure
+// function of the shard count, never of placement. Best-effort: a
+// failed (or unsupported) pin is simply ignored.
+void pin_worker_thread(std::thread& t, std::uint32_t w) {
+#if defined(__linux__)
+  const unsigned ncpu = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(w % ncpu, &set);
+  (void)pthread_setaffinity_np(t.native_handle(), sizeof(set), &set);
+#else
+  (void)t;
+  (void)w;
+#endif
+}
+
+}  // namespace
 
 ParallelHost::ParallelHost(Engine& engine, std::uint32_t workers)
     : engine_(engine), workers_(workers) {}
@@ -84,7 +113,10 @@ void ParallelHost::run() {
 
   std::vector<std::thread> pool;
   pool.reserve(width);
-  for (std::uint32_t w = 0; w < width; ++w) pool.emplace_back(worker, w);
+  for (std::uint32_t w = 0; w < width; ++w) {
+    pool.emplace_back(worker, w);
+    if (e.cfg_.host.pin_workers) pin_worker_thread(pool.back(), w);
+  }
 
   std::exception_ptr err;
   bool done = false;

@@ -76,9 +76,10 @@ struct VtProxy {
 
 struct ShardState {
   explicit ShardState(std::uint32_t shard_id, net::CoreId begin,
-                      net::CoreId end, std::size_t fiber_stack_bytes)
+                      net::CoreId end, std::size_t fiber_stack_bytes,
+                      FiberBackend fiber_backend = FiberBackend::kAuto)
       : id(shard_id), core_begin(begin), core_end(end),
-        pool(fiber_stack_bytes) {}
+        pool(fiber_stack_bytes, fiber_backend) {}
   ShardState(const ShardState&) = delete;
   ShardState& operator=(const ShardState&) = delete;
 
@@ -117,6 +118,40 @@ struct ShardState {
   /// applied mail this round; cleared by the serial barrier phase.
   bool progressed = false;
   std::exception_ptr error;
+
+  /// Sum of this shard's core clocks, refreshed by host_publish at the
+  /// tail of every round (the publish loop already walks those cores).
+  /// The serial phase's global livelock watchdog folds these per-shard
+  /// sums instead of rescanning every core each round.
+  Tick round_now_sum = 0;
+
+  /// This shard's contribution to the global drift lower bound (min
+  /// over anchors' clocks and in-flight births + T), computed by the
+  /// same host_publish walk. The serial phase folds the per-shard
+  /// values and writes the global minimum back into every gmin_lb,
+  /// keeping the drift-limit BFS pruning bound one round fresh without
+  /// any O(cores) rescan.
+  Tick round_gmin = kTickInfinity;
+
+  /// Consecutive rounds in which this shard neither consumed a quantum
+  /// nor applied mail. After two such rounds both proxy buffers already
+  /// hold the shard's current tiles, so host_publish can be skipped
+  /// entirely (host_round maintains the streak).
+  std::uint32_t publish_streak = 0;
+
+  /// Destination shards this shard pushed mail to since the last
+  /// barrier (mail_touched_flag is the dedup bitmap, sized num_shards
+  /// by host_setup). Lets the serial phase seal only mailboxes that
+  /// actually carry traffic instead of all num_shards^2 of them.
+  std::vector<std::uint32_t> mail_touched;
+  std::vector<std::uint8_t> mail_touched_flag;
+
+  /// Source shards whose mailbox into this shard was sealed with fresh
+  /// traffic at the last barrier (drain_from_flag is the dedup bitmap).
+  /// host_drain pops only these instead of probing all num_shards - 1
+  /// incoming mailboxes every round.
+  std::vector<std::uint32_t> drain_from;
+  std::vector<std::uint8_t> drain_from_flag;
 
   // Guard-poll bookkeeping (engine guard_poll; see guard/guard_config.h).
   // All shard-local: polls run inside the shard's own round.

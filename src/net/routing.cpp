@@ -6,75 +6,205 @@
 
 namespace simany::net {
 
+namespace {
+
+/// One dimension-ordered step along a wrapping dimension of `size`
+/// nodes: the shorter way around, ties toward increasing coordinates.
+/// With size == 2 both directions name the same node, which is why
+/// torus2d legitimately omits wrap links in 2-wide dimensions.
+std::uint32_t ring_step(std::uint32_t cur, std::uint32_t dst,
+                        std::uint32_t size) noexcept {
+  const std::uint32_t fwd = (dst + size - cur) % size;
+  const std::uint32_t bwd = size - fwd;
+  return fwd <= bwd ? (cur + 1) % size : (cur + size - 1) % size;
+}
+
+std::uint32_t ring_dist(std::uint32_t cur, std::uint32_t dst,
+                        std::uint32_t size) noexcept {
+  const std::uint32_t fwd = (dst + size - cur) % size;
+  return fwd <= size - fwd ? fwd : size - fwd;
+}
+
+std::uint32_t abs_diff(std::uint32_t a, std::uint32_t b) noexcept {
+  return a > b ? a - b : b - a;
+}
+
+}  // namespace
+
 RoutingTable::RoutingTable(const Topology& topo, RouteWeighting weighting)
     : n_(topo.num_cores()),
       weighting_(weighting),
-      next_(static_cast<std::size_t>(n_) * n_, kInvalidCore),
-      dist_(static_cast<std::size_t>(n_) * n_, ~std::uint32_t{0}) {
+      regular_(topo.regular()) {
   if (!topo.connected()) {
     throw std::invalid_argument("RoutingTable: topology is not connected");
   }
+  // Closed form needs minimal-hop semantics and route choices that
+  // cannot depend on per-link timing.
+  closed_form_ = weighting_ == RouteWeighting::kHops &&
+                 regular_.form != RegularForm::kNone &&
+                 regular_.uniform_links;
+  if (closed_form_) return;
+  // CSR snapshot for lazy row builds. Appending both directions of
+  // each link in id order reproduces Topology's per-node adjacency
+  // insertion order exactly — the tie-break order the former eager
+  // build used.
+  const std::uint32_t m = topo.num_links();
+  adj_offset_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (LinkId l = 0; l < m; ++l) {
+    const Link& lk = topo.link(l);
+    ++adj_offset_[lk.a + 1];
+    ++adj_offset_[lk.b + 1];
+  }
+  for (std::uint32_t c = 0; c < n_; ++c) adj_offset_[c + 1] += adj_offset_[c];
+  adj_.resize(static_cast<std::size_t>(m) * 2);
+  adj_latency_.resize(static_cast<std::size_t>(m) * 2);
+  std::vector<std::uint32_t> fill(adj_offset_.begin(), adj_offset_.end() - 1);
+  for (LinkId l = 0; l < m; ++l) {
+    const Link& lk = topo.link(l);
+    adj_[fill[lk.a]] = lk.b;
+    adj_latency_[fill[lk.a]++] = lk.props.latency;
+    adj_[fill[lk.b]] = lk.a;
+    adj_latency_[fill[lk.b]++] = lk.props.latency;
+  }
+  rows_ = std::vector<std::atomic<Row*>>(n_);
+}
+
+RoutingTable::~RoutingTable() {
+  for (auto& slot : rows_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+}
+
+std::size_t RoutingTable::rows_built() const noexcept {
+  std::size_t built = 0;
+  for (const auto& slot : rows_) {
+    if (slot.load(std::memory_order_acquire) != nullptr) ++built;
+  }
+  return built;
+}
+
+CoreId RoutingTable::dor_next(CoreId from, CoreId to) const noexcept {
+  const std::uint32_t cols = regular_.cols;
+  switch (regular_.form) {
+    case RegularForm::kCrossbar:
+      return to;
+    case RegularForm::kRing:
+      return ring_step(from, to, regular_.cols);
+    case RegularForm::kMesh2D: {
+      const std::uint32_t fr = from / cols, fc = from % cols;
+      const std::uint32_t tr = to / cols, tc = to % cols;
+      if (fc != tc) return fr * cols + (fc < tc ? fc + 1 : fc - 1);
+      return (fr < tr ? fr + 1 : fr - 1) * cols + fc;
+    }
+    case RegularForm::kTorus2D: {
+      const std::uint32_t fr = from / cols, fc = from % cols;
+      const std::uint32_t tr = to / cols, tc = to % cols;
+      if (fc != tc) return fr * cols + ring_step(fc, tc, cols);
+      return ring_step(fr, tr, regular_.rows) * cols + fc;
+    }
+    case RegularForm::kNone: break;
+  }
+  return kInvalidCore;  // unreachable: closed_form_ implies a form
+}
+
+std::uint32_t RoutingTable::dor_hops(CoreId from, CoreId to) const noexcept {
+  const std::uint32_t cols = regular_.cols;
+  switch (regular_.form) {
+    case RegularForm::kCrossbar:
+      return from == to ? 0 : 1;
+    case RegularForm::kRing:
+      return ring_dist(from, to, regular_.cols);
+    case RegularForm::kMesh2D:
+      return abs_diff(from / cols, to / cols) +
+             abs_diff(from % cols, to % cols);
+    case RegularForm::kTorus2D:
+      return ring_dist(from / cols, to / cols, regular_.rows) +
+             ring_dist(from % cols, to % cols, cols);
+    case RegularForm::kNone: break;
+  }
+  return 0;  // unreachable: closed_form_ implies a form
+}
+
+std::unique_ptr<RoutingTable::Row> RoutingTable::build_row(CoreId to) const {
+  auto row = std::make_unique<Row>();
+  row->next.assign(n_, kInvalidCore);
+  row->dist.assign(n_, ~std::uint32_t{0});
   if (weighting_ == RouteWeighting::kHops) {
-    // BFS rooted at each destination `to`: for every core we record
-    // the first hop of a shortest path toward `to`. Scanning neighbors
-    // in insertion order with a FIFO queue makes the choice
+    // BFS rooted at the destination: for every core we record the
+    // first hop of a shortest path toward `to`. Scanning neighbors in
+    // insertion order with a FIFO queue makes the choice
     // deterministic.
-    for (CoreId to = 0; to < n_; ++to) {
-      std::deque<CoreId> queue{to};
-      dist_[idx(to, to)] = 0;
-      next_[idx(to, to)] = to;
-      while (!queue.empty()) {
-        const CoreId c = queue.front();
-        queue.pop_front();
-        for (CoreId nb : topo.neighbors(c)) {
-          if (dist_[idx(nb, to)] == ~std::uint32_t{0}) {
-            dist_[idx(nb, to)] = dist_[idx(c, to)] + 1;
-            next_[idx(nb, to)] = c;  // step from nb toward `to` via c
-            queue.push_back(nb);
-          }
+    std::deque<CoreId> queue{to};
+    row->dist[to] = 0;
+    row->next[to] = to;
+    while (!queue.empty()) {
+      const CoreId c = queue.front();
+      queue.pop_front();
+      for (std::uint32_t e = adj_offset_[c]; e < adj_offset_[c + 1]; ++e) {
+        const CoreId nb = adj_[e];
+        if (row->dist[nb] == ~std::uint32_t{0}) {
+          row->dist[nb] = row->dist[c] + 1;
+          row->next[nb] = c;  // step from nb toward `to` via c
+          queue.push_back(nb);
         }
       }
     }
-    return;
+    return row;
   }
-  // Latency weighting: Dijkstra rooted at each destination, with
-  // deterministic (cost, node-id) ordering. dist_ records the hop
-  // count *of the chosen route*.
-  std::vector<Tick> cost(n_);
-  for (CoreId to = 0; to < n_; ++to) {
-    std::fill(cost.begin(), cost.end(), kTickInfinity);
-    using Item = std::pair<Tick, CoreId>;
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-    cost[to] = 0;
-    dist_[idx(to, to)] = 0;
-    next_[idx(to, to)] = to;
-    pq.emplace(0, to);
-    while (!pq.empty()) {
-      const auto [c_cost, c] = pq.top();
-      pq.pop();
-      if (c_cost != cost[c]) continue;
-      for (CoreId nb : topo.neighbors(c)) {
-        const auto link = topo.link_between(c, nb);
-        const Tick w = topo.link(*link).props.latency;
-        const Tick nc = c_cost + w;
-        // Strict improvement only: ties resolve by the deterministic
-        // (cost, node-id) pop order and neighbor scan order.
-        if (nc < cost[nb]) {
-          cost[nb] = nc;
-          next_[idx(nb, to)] = c;
-          dist_[idx(nb, to)] = dist_[idx(c, to)] + 1;
-          pq.emplace(nc, nb);
-        }
+  // Latency weighting: Dijkstra rooted at the destination, with
+  // deterministic (cost, node-id) ordering. dist records the hop count
+  // *of the chosen route*.
+  std::vector<Tick> cost(n_, kTickInfinity);
+  using Item = std::pair<Tick, CoreId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  cost[to] = 0;
+  row->dist[to] = 0;
+  row->next[to] = to;
+  pq.emplace(0, to);
+  while (!pq.empty()) {
+    const auto [c_cost, c] = pq.top();
+    pq.pop();
+    if (c_cost != cost[c]) continue;
+    for (std::uint32_t e = adj_offset_[c]; e < adj_offset_[c + 1]; ++e) {
+      const CoreId nb = adj_[e];
+      const Tick nc = c_cost + adj_latency_[e];
+      // Strict improvement only: ties resolve by the deterministic
+      // (cost, node-id) pop order and neighbor scan order.
+      if (nc < cost[nb]) {
+        cost[nb] = nc;
+        row->next[nb] = c;
+        row->dist[nb] = row->dist[c] + 1;
+        pq.emplace(nc, nb);
       }
     }
   }
+  return row;
+}
+
+const RoutingTable::Row& RoutingTable::row(CoreId to) const {
+  std::atomic<Row*>& slot = rows_[to];
+  if (Row* existing = slot.load(std::memory_order_acquire)) {
+    return *existing;
+  }
+  std::unique_ptr<Row> built = build_row(to);
+  Row* expected = nullptr;
+  if (slot.compare_exchange_strong(expected, built.get(),
+                                   std::memory_order_release,
+                                   std::memory_order_acquire)) {
+    return *built.release();
+  }
+  // Another worker installed this destination first; both builds are
+  // bit-identical, so ours is simply discarded.
+  return *expected;
 }
 
 CoreId RoutingTable::next_hop(CoreId from, CoreId to) const {
   if (from >= n_ || to >= n_) {
     throw std::out_of_range("RoutingTable::next_hop: core id out of range");
   }
-  return next_[idx(from, to)];
+  if (from == to) return to;
+  if (closed_form_) return dor_next(from, to);
+  return row(to).next[from];
 }
 
 std::vector<CoreId> RoutingTable::path(CoreId from, CoreId to) const {
@@ -91,7 +221,9 @@ std::uint32_t RoutingTable::hops(CoreId from, CoreId to) const {
   if (from >= n_ || to >= n_) {
     throw std::out_of_range("RoutingTable::hops: core id out of range");
   }
-  return dist_[idx(from, to)];
+  if (from == to) return 0;
+  if (closed_form_) return dor_hops(from, to);
+  return row(to).dist[from];
 }
 
 }  // namespace simany::net

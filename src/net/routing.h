@@ -1,10 +1,22 @@
 // Deterministic shortest-path routing over an arbitrary topology.
 //
-// Routes are precomputed as next-hop tables, one search per
-// destination, with ties broken toward the lowest neighbor id so that
-// every run routes identically. This supports the paper's "arbitrary
-// network organizations" requirement while keeping per-message routing
-// O(path length).
+// Regular fabrics (the common case: uniform meshes, tori, rings,
+// crossbars from the Topology presets) are routed in *closed form* —
+// dimension-ordered arithmetic per hop, no table at all — so a
+// 1024-core mesh pays nothing up front instead of ~35 ms of O(n^2) BFS
+// precompute, and a MuchiSim-scale multi-chip target pays nothing
+// instead of minutes. Irregular graphs fall back to next-hop table
+// rows built lazily, one search per *requested destination*, installed
+// with a CAS so concurrent shard workers can share the table without
+// locks (row contents are deterministic, so the install winner is
+// irrelevant).
+//
+// Closed-form routes are dimension-ordered: column (X) first, then row
+// (Y); tori and rings take the shorter way around with ties broken
+// toward increasing ids. Table rows break ties toward the first
+// neighbor in link insertion order. Both are pure functions of the
+// topology, so every run routes identically — the property the engine's
+// determinism contract needs.
 //
 // Two weightings:
 //  * kHops (default) — minimal hop count, like XY/dimension-ordered
@@ -12,10 +24,12 @@
 //    imply);
 //  * kLatency — minimal accumulated link latency, which can prefer a
 //    longer-hop detour around slow links (useful on clustered or
-//    irregular interconnects).
+//    irregular interconnects). Always table-driven.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "net/topology.h"
@@ -31,9 +45,12 @@ class RoutingTable {
  public:
   explicit RoutingTable(const Topology& topo,
                         RouteWeighting weighting = RouteWeighting::kHops);
+  ~RoutingTable();
+  RoutingTable(const RoutingTable&) = delete;
+  RoutingTable& operator=(const RoutingTable&) = delete;
 
   /// Next core on the shortest path from `from` toward `to`.
-  /// Returns `to` when from == to.
+  /// Returns `to` when from == to. Safe to call concurrently.
   [[nodiscard]] CoreId next_hop(CoreId from, CoreId to) const;
 
   /// Full path from `from` to `to`, excluding `from`, including `to`.
@@ -50,14 +67,44 @@ class RoutingTable {
 
   [[nodiscard]] std::uint32_t num_cores() const noexcept { return n_; }
 
+  /// True when routes come from dimension-ordered arithmetic and no
+  /// table row will ever be built.
+  [[nodiscard]] bool closed_form() const noexcept { return closed_form_; }
+
+  /// Table rows materialized so far (always 0 in closed form; grows on
+  /// demand otherwise). Exposed for tests and benchmarks.
+  [[nodiscard]] std::size_t rows_built() const noexcept;
+
  private:
-  [[nodiscard]] std::size_t idx(CoreId from, CoreId to) const noexcept {
-    return static_cast<std::size_t>(from) * n_ + to;
-  }
+  /// One destination's worth of routing data: for every source core,
+  /// the first hop toward `to` and the hop count of the chosen route.
+  struct Row {
+    std::vector<CoreId> next;
+    std::vector<std::uint32_t> dist;
+  };
+
+  [[nodiscard]] const Row& row(CoreId to) const;
+  [[nodiscard]] std::unique_ptr<Row> build_row(CoreId to) const;
+  [[nodiscard]] CoreId dor_next(CoreId from, CoreId to) const noexcept;
+  [[nodiscard]] std::uint32_t dor_hops(CoreId from,
+                                       CoreId to) const noexcept;
+
   std::uint32_t n_ = 0;
   RouteWeighting weighting_ = RouteWeighting::kHops;
-  std::vector<CoreId> next_;           // [from][to] -> neighbor of from
-  std::vector<std::uint32_t> dist_;    // [from][to] -> hop count
+  RegularInfo regular_;
+  bool closed_form_ = false;
+
+  // Compact CSR copy of the graph for lazy row builds (empty in closed
+  // form). Neighbor order per node matches Topology's link insertion
+  // order, so lazily built rows are bit-identical to the former eager
+  // ones. Owning a copy keeps the table independent of the Topology's
+  // lifetime.
+  std::vector<std::uint32_t> adj_offset_;  // [n_+1]
+  std::vector<CoreId> adj_;                // neighbor ids, 2 per link
+  std::vector<Tick> adj_latency_;          // parallel to adj_ (kLatency)
+
+  // Lazily installed rows, one atomic slot per destination.
+  mutable std::vector<std::atomic<Row*>> rows_;
 };
 
 }  // namespace simany::net

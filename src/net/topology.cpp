@@ -24,6 +24,9 @@ LinkId Topology::add_link(CoreId a, CoreId b, LinkProps props) {
   if (props.bandwidth_bytes_per_cycle == 0) {
     throw std::invalid_argument("Topology::add_link: zero bandwidth");
   }
+  // Any externally added link invalidates a preset's regularity claim;
+  // presets stamp regular_ after their own add_link calls.
+  regular_ = RegularInfo{};
   const auto id = static_cast<LinkId>(links_.size());
   links_.push_back(Link{a, b, props});
   adjacent_links_.resize(adjacency_.size());
@@ -108,6 +111,7 @@ Topology Topology::mesh2d(std::uint32_t cores, LinkProps props) {
       if (r + 1 < rows) t.add_link(id(r, c), id(r + 1, c), props);
     }
   }
+  t.regular_ = RegularInfo{RegularForm::kMesh2D, rows, cols, true};
   return t;
 }
 
@@ -141,14 +145,21 @@ Topology Topology::clustered_mesh2d(std::uint32_t cores,
       }
     }
   }
+  // Grid-shaped but non-uniform: latency-aware routing may prefer
+  // detours here, so no closed-form claim (uniform_links = false).
+  t.regular_ = RegularInfo{RegularForm::kMesh2D, rows, cols, false};
   return t;
 }
 
 Topology Topology::ring(std::uint32_t cores, LinkProps props) {
   Topology t(cores);
-  if (cores == 1) return t;
+  if (cores == 1) {
+    t.regular_ = RegularInfo{RegularForm::kRing, 1, cores, true};
+    return t;
+  }
   for (std::uint32_t c = 0; c + 1 < cores; ++c) t.add_link(c, c + 1, props);
   if (cores > 2) t.add_link(cores - 1, 0, props);
+  t.regular_ = RegularInfo{RegularForm::kRing, 1, cores, true};
   return t;
 }
 
@@ -168,6 +179,7 @@ Topology Topology::torus2d(std::uint32_t cores, LinkProps props) {
       t.add_link(id(rows - 1, c), id(0, c), props);
     }
   }
+  t.regular_ = RegularInfo{RegularForm::kTorus2D, rows, cols, true};
   return t;
 }
 
@@ -176,6 +188,7 @@ Topology Topology::crossbar(std::uint32_t cores, LinkProps props) {
   for (std::uint32_t a = 0; a < cores; ++a) {
     for (std::uint32_t b = a + 1; b < cores; ++b) t.add_link(a, b, props);
   }
+  t.regular_ = RegularInfo{RegularForm::kCrossbar, 1, cores, true};
   return t;
 }
 

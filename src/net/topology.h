@@ -43,6 +43,30 @@ struct Link {
   LinkProps props;
 };
 
+/// Recognized regular structure, if any. Preset builders stamp this
+/// after wiring their links; any direct add_link() afterwards resets it
+/// to kNone (the caller has made the graph irregular). RoutingTable
+/// uses it to route regular fabrics in closed form — dimension-ordered
+/// arithmetic instead of an O(cores^2) precomputed table.
+enum class RegularForm : std::uint8_t {
+  kNone,
+  kMesh2D,    // rows x cols grid, row-major ids
+  kTorus2D,   // mesh plus wrap links (only in dimensions of size > 2)
+  kRing,      // cycle of cols nodes (rows == 1)
+  kCrossbar,  // fully connected (rows == 1)
+};
+
+struct RegularInfo {
+  RegularForm form = RegularForm::kNone;
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  /// Every link shares identical props. Closed-form routing requires
+  /// this: with non-uniform links (clustered meshes) the latency-aware
+  /// table may legitimately prefer detours, so those fall back to the
+  /// lazily built table.
+  bool uniform_links = false;
+};
+
 class Topology {
  public:
   Topology() = default;
@@ -77,6 +101,12 @@ class Topology {
 
   /// Hop distances from `src` to every core (BFS).
   [[nodiscard]] std::vector<std::uint32_t> distances_from(CoreId src) const;
+
+  /// Regular structure stamped by the preset that built this topology
+  /// (kNone for manual or parsed graphs, or after any later add_link).
+  [[nodiscard]] const RegularInfo& regular() const noexcept {
+    return regular_;
+  }
 
   // ---- Presets ------------------------------------------------------
 
@@ -119,6 +149,7 @@ class Topology {
   std::vector<std::vector<CoreId>> adjacency_;
   std::vector<std::vector<LinkId>> adjacent_links_;
   std::vector<Link> links_;
+  RegularInfo regular_;
 };
 
 }  // namespace simany::net

@@ -54,6 +54,7 @@ class Gate:
         self.threshold = threshold
         self.failures = []
         self.lines = []
+        self.rows = []  # (name, base, cur, ratio, flag) for --report
 
     def check(self, name, base, cur):
         """Higher is worse; both must be >= 0."""
@@ -68,8 +69,14 @@ class Gate:
         self.lines.append(
             f"  {flag:4s} {name}: baseline {base:.4g}, current {cur:.4g}"
             + delta)
+        self.rows.append((name, base, cur, ratio, flag))
         if worse:
             self.failures.append(name)
+
+    def missing(self, name):
+        self.failures.append(name)
+        self.lines.append(f"  FAIL {name}: missing from current run")
+        self.rows.append((name, None, None, None, "FAIL"))
 
     def report(self, label):
         print(f"bench gate [{label}] (threshold +{self.threshold:.0%}):")
@@ -81,6 +88,38 @@ class Gate:
             return 1
         print("all metrics within threshold")
         return 0
+
+    def write_report(self, path, label):
+        """Markdown comparison table, one row per metric — the artifact
+        CI uploads so before/after numbers survive the job logs."""
+        with open(path, "w") as f:
+            f.write(f"# bench gate report [{label}]\n\n")
+            f.write(f"threshold: +{self.threshold:.0%}\n\n")
+            f.write("| metric | baseline | current | delta | status |\n")
+            f.write("|---|---|---|---|---|\n")
+            for name, base, cur, ratio, flag in self.rows:
+                if base is None:
+                    f.write(f"| {name} | — | missing | — | {flag} |\n")
+                    continue
+                delta = ("n/a" if ratio is None or ratio == math.inf
+                         else f"{ratio - 1.0:+.1%}")
+                f.write(f"| {name} | {base:.4g} | {cur:.4g} "
+                        f"| {delta} | {flag} |\n")
+            if self.failures:
+                f.write(f"\n**REGRESSION**: {len(self.failures)} "
+                        "metric(s) regressed: "
+                        + ", ".join(self.failures) + "\n")
+            else:
+                f.write("\nall metrics within threshold\n")
+
+
+def write_skip_report(args, label, reason):
+    """Even a skipped gate leaves an artifact saying why."""
+    path = getattr(args, "report", None)
+    if path:
+        with open(path, "w") as f:
+            f.write(f"# bench gate report [{label}]\n\n"
+                    f"gate skipped: {reason}\n")
 
 
 def micro_metrics(doc, reference, role):
@@ -115,23 +154,27 @@ def micro_metrics(doc, reference, role):
 def gate_micro(args):
     base_doc = load(args.baseline, "baseline")
     if base_doc is None:
+        write_skip_report(args, "micro", "baseline unusable")
         return 0
     base_norm, base_ctr = micro_metrics(base_doc, args.reference, "baseline")
     if base_norm is None:
+        write_skip_report(args, "micro", "reference missing from baseline")
         return 0
     cur_norm, cur_ctr = micro_metrics(load(args.current, "current"),
                                       args.reference, "current")
     gate = Gate(args.threshold)
     for name, base in sorted(base_norm.items()):
         if name not in cur_norm:
-            gate.failures.append(name)
-            gate.lines.append(f"  FAIL {name}: missing from current run")
+            gate.missing(name)
             continue
         gate.check(name, base, cur_norm[name])
     for name, base in sorted(base_ctr.items()):
         if name in cur_ctr:
             gate.check(name, base, cur_ctr[name])
-    return gate.report("micro")
+    rc = gate.report("micro")
+    if getattr(args, "report", None):
+        gate.write_report(args.report, "micro")
+    return rc
 
 
 def fig07_series(doc, role):
@@ -154,21 +197,25 @@ def fig07_series(doc, role):
 def gate_fig07(args):
     base_doc = load(args.baseline, "baseline")
     if base_doc is None:
+        write_skip_report(args, "fig07", "baseline unusable")
         return 0
     base = fig07_series(base_doc, "baseline")
     if not base:
         print("warning: baseline holds no usable series; skipping gate",
               file=sys.stderr)
+        write_skip_report(args, "fig07", "baseline holds no usable series")
         return 0
     cur = fig07_series(load(args.current, "current"), "current")
     gate = Gate(args.threshold)
     for name, b in sorted(base.items()):
         if name not in cur:
-            gate.failures.append(name)
-            gate.lines.append(f"  FAIL {name}: missing from current run")
+            gate.missing(name)
             continue
         gate.check(name, b, cur[name])
-    return gate.report("fig07")
+    rc = gate.report("fig07")
+    if getattr(args, "report", None):
+        gate.write_report(args.report, "fig07")
+    return rc
 
 
 def main():
@@ -180,6 +227,10 @@ def main():
     ap.add_argument("--reference", default="BM_CostModelBlock",
                     help="micro mode: benchmark used as the machine-speed "
                          "yardstick")
+    ap.add_argument("--report", default=None, metavar="PATH",
+                    help="also write the comparison as a markdown table "
+                         "(written even when the gate is skipped, so CI "
+                         "always has an artifact)")
     args = ap.parse_args()
     if args.mode == "micro":
         sys.exit(gate_micro(args))

@@ -1,0 +1,22 @@
+// Fixture: the round/serial split's proxy-commit contract. Workers
+// publish proxy snapshots into their own tiles of the back buffer; the
+// front/back flip that commits them is serial-only (it retargets every
+// shard's reads at once). A worker flipping directly must surface as
+// phase-serial-escape.
+#include "core/phase_annotations.h"
+
+namespace fx {
+
+class ProxyEngine {
+ public:
+  SIMANY_WORKER_PHASE void publish_round();
+  SIMANY_SERIAL_ONLY void flip_proxies();
+};
+
+void ProxyEngine::publish_round() {
+  flip_proxies();  // VIOLATION: worker flips the shared proxy buffers
+}
+
+void ProxyEngine::flip_proxies() {}
+
+}  // namespace fx

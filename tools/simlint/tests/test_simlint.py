@@ -79,8 +79,12 @@ class FixtureDetection(unittest.TestCase):
     def test_phase_serial_escape(self):
         hits = self.by_rule("phase-serial-escape")
         # worker_calls_serial: round -> hop -> commit; mailbox fixture:
-        # early_seal -> SpscMailbox::seal (seal is serial-only).
-        self.assertEqual(len(hits), 2, hits)
+        # early_seal -> SpscMailbox::seal (seal is serial-only);
+        # worker_commits_proxy: publish_round -> flip_proxies (the
+        # proxy-commit contract behind the engine's double buffer).
+        self.assertEqual(len(hits), 3, hits)
+        proxy = [f for f in hits if "flip_proxies" in f["message"]]
+        self.assertEqual(len(proxy), 1, hits)
         chained = [f for f in hits if "commit" in f["message"]]
         self.assertEqual(len(chained), 1, hits)
         self.assertIn("round", chained[0]["message"])  # full call path
@@ -124,7 +128,7 @@ class FixtureDetection(unittest.TestCase):
     def test_total_matches_expectation(self):
         # Exactly the seeded violations — anything extra is a false
         # positive, anything fewer a regression.
-        self.assertEqual(len(self.findings), 10, self.findings)
+        self.assertEqual(len(self.findings), 11, self.findings)
 
 
 class CliContract(unittest.TestCase):
@@ -152,7 +156,7 @@ class CliContract(unittest.TestCase):
             self.assertEqual(wrote.returncode, 0, wrote.stderr)
             with open(baseline, encoding="utf-8") as f:
                 doc = json.load(f)
-            self.assertEqual(len(doc["suppressions"]), 10)
+            self.assertEqual(len(doc["suppressions"]), 11)
             # All findings suppressed -> clean exit.
             again = run_simlint(args + ["--baseline", baseline])
             self.assertEqual(again.returncode, 0, again.stdout)

@@ -44,15 +44,16 @@ class TempJson:
         return os.path.join(self.dir.name, name)
 
 
-def micro_args(baseline, current, threshold=0.15):
+def micro_args(baseline, current, threshold=0.15, report=None):
     return argparse.Namespace(baseline=baseline, current=current,
                               threshold=threshold,
-                              reference="BM_CostModelBlock")
+                              reference="BM_CostModelBlock",
+                              report=report)
 
 
-def fig07_args(baseline, current, threshold=0.15):
+def fig07_args(baseline, current, threshold=0.15, report=None):
     return argparse.Namespace(baseline=baseline, current=current,
-                              threshold=threshold)
+                              threshold=threshold, report=report)
 
 
 class MicroGateTest(unittest.TestCase):
@@ -112,6 +113,46 @@ class MicroGateTest(unittest.TestCase):
         cur = self.tmp.write("cur.json", micro_doc(
             {"BM_CostModelBlock": 1.0, "BM_Spawn": 2.1}))  # +5%
         self.assertEqual(bench_gate.gate_micro(micro_args(base, cur)), 0)
+
+    def test_report_written_with_comparison_rows(self):
+        base = self.tmp.write("base.json", micro_doc(
+            {"BM_CostModelBlock": 1.0, "BM_Spawn": 2.0, "BM_Gone": 1.0}))
+        cur = self.tmp.write("cur.json", micro_doc(
+            {"BM_CostModelBlock": 1.0, "BM_Spawn": 3.0}))  # +50%, one gone
+        report = self.tmp.path("report.md")
+        rc = bench_gate.gate_micro(
+            micro_args(base, cur, report=report))
+        self.assertEqual(rc, 1)
+        with open(report) as f:
+            text = f.read()
+        self.assertIn("| metric | baseline | current | delta | status |",
+                      text)
+        self.assertIn("| BM_Spawn | 2 | 3 | +50.0% | FAIL |", text)
+        self.assertIn("| BM_Gone | — | missing | — | FAIL |", text)
+        self.assertIn("REGRESSION", text)
+
+    def test_report_written_even_when_gate_skipped(self):
+        cur = self.tmp.write("cur.json", micro_doc(
+            {"BM_CostModelBlock": 1.0}))
+        report = self.tmp.path("report.md")
+        rc = bench_gate.gate_micro(
+            micro_args(self.tmp.path("absent.json"), cur, report=report))
+        self.assertEqual(rc, 0)
+        with open(report) as f:
+            self.assertIn("gate skipped", f.read())
+
+    def test_clean_report_marks_all_ok(self):
+        base = self.tmp.write("base.json", micro_doc(
+            {"BM_CostModelBlock": 1.0, "BM_Spawn": 2.0}))
+        cur = self.tmp.write("cur.json", micro_doc(
+            {"BM_CostModelBlock": 1.0, "BM_Spawn": 1.0}))  # improved
+        report = self.tmp.path("report.md")
+        rc = bench_gate.gate_micro(micro_args(base, cur, report=report))
+        self.assertEqual(rc, 0)
+        with open(report) as f:
+            text = f.read()
+        self.assertIn("| BM_Spawn | 2 | 1 | -50.0% | ok |", text)
+        self.assertIn("all metrics within threshold", text)
 
 
 class Fig07GateTest(unittest.TestCase):
