@@ -53,6 +53,16 @@
 //                         JSON document (error, progress, diagnosis)
 //   --retries <n>         rerun transient failures up to n times
 //   --retry-backoff-ms <ms> initial backoff, doubled per retry
+//   --snapshot-out <file> write a simany-snapshot-v1 checkpoint; with
+//                         no cursor flag, captures the final state
+//   --snapshot-at <q>     one-shot capture at the quiesce barrier where
+//                         total scheduling quanta reach q
+//   --snapshot-every <q>  periodic capture cadence in quanta (the file
+//                         is overwritten in place)
+//   --resume-from <file>  restore a checkpoint of the same (config,
+//                         dwarf, seed, factor) and finish the run;
+//                         refuses mismatched identity with a
+//                         structured error (see docs/snapshot.md)
 //
 // Exit codes: 0 success, 1 permanent failure, 2 usage error,
 // 3 transient failure with retries exhausted, 130 cancelled by signal.
@@ -79,6 +89,8 @@
 #include "guard/crash_report.h"
 #include "obs/export.h"
 #include "obs/telemetry.h"
+#include "snapshot/plan.h"
+#include "snapshot/snapshot.h"
 #include "stats/trace_sinks.h"
 
 using namespace simany;
@@ -138,6 +150,10 @@ int main(int argc, char** argv) {
   std::optional<std::string> crash_report_path;
   std::uint32_t retries = 0;
   std::uint64_t retry_backoff_ms = 100;
+  std::optional<std::string> snapshot_out;
+  std::uint64_t snapshot_at = 0;
+  std::uint64_t snapshot_every = 0;
+  std::optional<std::string> resume_from;
 
   for (int i = 1; i < argc; ++i) {
     auto need = [&](const char* flag) -> const char* {
@@ -222,6 +238,14 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--retry-backoff-ms")) {
       retry_backoff_ms =
           std::strtoull(need("--retry-backoff-ms"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--snapshot-out")) {
+      snapshot_out = need("--snapshot-out");
+    } else if (!std::strcmp(argv[i], "--snapshot-at")) {
+      snapshot_at = std::strtoull(need("--snapshot-at"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--snapshot-every")) {
+      snapshot_every = std::strtoull(need("--snapshot-every"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--resume-from")) {
+      resume_from = need("--resume-from");
     } else if (!std::strcmp(argv[i], "--t")) {
       drift_t = std::strtoull(need("--t"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--factor")) {
@@ -315,6 +339,13 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if ((snapshot_at > 0 || snapshot_every > 0) && !snapshot_out) {
+    std::fprintf(stderr,
+                 "error: --snapshot-at/--snapshot-every need "
+                 "--snapshot-out <file>.\n");
+    return 2;
+  }
+
   const auto& spec = dwarfs::dwarf_by_name(dwarf_name);
 
   std::signal(SIGINT, on_cancel_signal);
@@ -351,6 +382,28 @@ int main(int argc, char** argv) {
       topt.profile_host = cfg.obs.profile_host;
       telemetry.emplace(topt);
       sim.set_telemetry(&*telemetry);
+    }
+
+    // Checkpoint/restore (src/snapshot): the workload fingerprint
+    // binds the file to this exact (dwarf, seed, factor), and restore
+    // additionally checks the config fingerprint from the header.
+    const std::uint64_t workload_fp =
+        snapshot::workload_fingerprint(dwarf_name, seed, factor);
+    if (snapshot_out) {
+      snapshot::SnapshotPlan plan;
+      plan.path = *snapshot_out;
+      plan.at_quanta = snapshot_at;
+      plan.every_quanta = snapshot_every;
+      plan.workload_fp = workload_fp;
+      sim.snapshot_to(plan);
+    }
+    if (resume_from) {
+      try {
+        sim.restore_from(*resume_from, workload_fp);
+      } catch (const SimError& e) {
+        std::fprintf(stderr, "cannot resume: %s\n", e.what());
+        return 1;
+      }
     }
 
     g_engine.store(&sim, std::memory_order_relaxed);
@@ -423,6 +476,13 @@ int main(int argc, char** argv) {
     std::printf("dwarf           : %s (seed %llu, factor %g)\n",
                 dwarf_name.c_str(), static_cast<unsigned long long>(seed),
                 factor);
+    if (snapshot_out) {
+      std::printf("snapshot        : %s\n", snapshot_out->c_str());
+    }
+    if (resume_from) {
+      std::printf("resumed from    : %s (replay-verified)\n",
+                  resume_from->c_str());
+    }
     std::printf("architecture    : %u cores, %s, T=%llu%s%s\n",
                 cfg.num_cores(),
                 cfg.mem.model == mem::MemoryModel::kShared ? "shared"

@@ -12,6 +12,7 @@
 #include "host/parallel_engine.h"
 #include "host/partition.h"
 #include "obs/telemetry.h"
+#include "snapshot/run_hook.h"
 
 namespace simany {
 
@@ -185,13 +186,22 @@ SimStats Engine::run(TaskFn root) {
   try {
     if (mode_ == ExecutionMode::kCycleLevel) {
       main_loop_cl();
+      // The CL loop has no barrier phase; give an armed snapshot hook
+      // its end-of-run quiesce point (final capture / cursor check).
+      if (snap_hook_ != nullptr) snap_hook_->at_barrier(*this, true);
     } else if (num_shards_ == 1) {
-      // Sequential host: one shard, unbounded round budget. host_loop
+      // Sequential host: one shard, unbounded round budget — host_loop
       // only returns when the shard is blocked, so each serial-phase
-      // visit is a termination / deadlock decision.
+      // visit is a termination / deadlock decision. An armed snapshot
+      // hook may cap the budget instead, landing a barrier on an exact
+      // quanta cursor; the extra serial-phase visits are state-neutral
+      // (the par-1 ≡ seq contract: barriers with one shard mutate
+      // nothing but round bookkeeping, which the hook replays too).
       host::ShardState& sh = *shards_[0];
       for (;;) {
-        host_loop(sh, ~std::uint64_t{0});
+        host_loop(sh, snap_hook_ != nullptr
+                          ? snap_hook_->seq_budget(sh.quantum_count)
+                          : ~std::uint64_t{0});
         if (host_serial_phase()) break;
       }
     } else {
@@ -745,8 +755,14 @@ bool Engine::host_serial_phase() {
   SIMANY_ASSERT(mail_out >= mail_in, "mailbox accounting underflow: out=",
                 mail_out, " in=", mail_in);
   const std::uint64_t pending = mail_out - mail_in;
+  const bool finished = live == 0 && inflight == 0 && pending == 0;
+  // Snapshot quiesce point: workers are parked, mailboxes are sealed
+  // and drained-or-pending is accounted, so the architectural state is
+  // a pure function of the timeline here (both host backends funnel
+  // through this serial phase). The hook observes, never mutates.
+  if (snap_hook_ != nullptr) snap_hook_->at_barrier(*this, finished);
   // A run that completed beats any simultaneous guard trip.
-  if (live == 0 && inflight == 0 && pending == 0) return true;
+  if (finished) return true;
   guard_serial_check();
   if (pending > 0 || progressed) return false;
   // Nothing ran, nothing is in transit: defensively rebuild the ready
@@ -1078,6 +1094,8 @@ void Engine::main_loop_cl() {
     if (sh.quantum_count >= sh.guard_quanta_next) guard_poll(sh);
     if (sh.guard_stop) guard_serial_check();  // aborts: cancel code is set
     if (obs_ != nullptr) obs_->on_quantum_end(*this);
+    // Single-threaded loop: every quantum boundary is a quiesce point.
+    if (snap_hook_ != nullptr) snap_hook_->cl_quantum(*this, sh.quantum_count);
   }
 }
 

@@ -75,6 +75,12 @@ namespace fault {
 class FaultInjector;
 struct MsgFaults;
 }
+namespace snapshot {
+class RunHook;
+class EngineCodec;
+class Controller;
+struct SnapshotPlan;
+}
 namespace obs {
 class Telemetry;
 enum class EventKind : std::uint8_t;
@@ -137,6 +143,34 @@ class Engine {
   /// meant for validators and deadlock diagnostics.
   [[nodiscard]] EngineInspect inspect() const;
 
+  // ---- Checkpoint/restore (src/snapshot; see docs/snapshot.md) -------
+  // Declared here, defined in the snapshot library: the core only
+  // drives the snapshot::RunHook virtuals, so programs that never
+  // snapshot carry no snapshot code.
+
+  /// Arms checkpoint capture for the coming run(): at the plan's
+  /// quanta cursor(s), the quiesced engine state is serialized to the
+  /// plan's path in the `simany-snapshot-v1` format. Must be called
+  /// before run(); throws std::logic_error afterwards.
+  void snapshot_to(const snapshot::SnapshotPlan& plan);
+
+  /// Arms a restore for the coming run(): the snapshot at `path` is
+  /// read and identity-checked (config/workload/seed/mode fingerprints
+  /// must match this engine; SimError{kSnapshotCorrupt/kSnapshotMismatch}
+  /// otherwise), its shard geometry is adopted, and run() then replays
+  /// the identical timeline, byte-verifies the reconstructed state
+  /// against the stored image at the snapshot cursor, and continues to
+  /// completion. `workload_fp` is the caller's fingerprint of the root
+  /// task, matched against the writer's. Attach telemetry before
+  /// calling this, exactly as the capture run did.
+  void restore_from(const std::string& path, std::uint64_t workload_fp);
+
+  /// FNV-1a64 digest of the canonical state image (snapshot codec).
+  /// Only meaningful at quiesce points: between runs, inside a serial
+  /// barrier phase, or from an observer callback on the sequential
+  /// host.
+  [[nodiscard]] std::uint64_t state_digest() const;
+
   /// Requests cooperative cancellation of a running simulation.
   /// Async-signal-safe and callable from any thread: the run aborts at
   /// the next guard poll / barrier with SimError{kCancelled}, after
@@ -151,6 +185,10 @@ class Engine {
 
  private:
   friend class host::ParallelHost;
+  // Snapshot subsystem: the codec serializes engine internals, the
+  // controller reads identity fields at capture (src/snapshot).
+  friend class snapshot::EngineCodec;
+  friend class snapshot::Controller;
 
   // ---- Per-core simulation state ------------------------------------
 
@@ -570,6 +608,9 @@ class Engine {
   TraceSink* trace_ = nullptr;
   EngineObserver* obs_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
+  /// Snapshot capture/verify hook, armed by snapshot_to/restore_from
+  /// (null otherwise: every call site is one predictable branch).
+  std::unique_ptr<snapshot::RunHook> snap_hook_;
   bool ran_ = false;
 
   // Guard state (src/guard/guard_config.h; see guard_setup).

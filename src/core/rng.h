@@ -6,6 +6,7 @@
 // The engine is single-threaded (paper SS III), which makes this total.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace simany {
@@ -51,6 +52,16 @@ class Rng {
 
   /// Bernoulli trial with success probability `p`.
   bool chance(double p) noexcept { return uniform() < p; }
+
+  /// The raw 256-bit stream state, for checkpointing (src/snapshot):
+  /// set_state(state()) round-trips, so a restored stream continues
+  /// exactly where the captured one stood.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
+  }
 
   // UniformRandomBitGenerator interface, so <algorithm> shuffles work.
   using result_type = std::uint64_t;

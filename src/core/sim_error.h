@@ -35,6 +35,14 @@ enum class SimErrorCode : std::uint8_t {
   /// Cooperative cancellation requested externally (SIGINT/SIGTERM or
   /// Engine::request_cancel).
   kCancelled,
+  /// Snapshot file is structurally invalid: truncated, bad magic,
+  /// unknown version, digest mismatch, oversized length prefix
+  /// (src/snapshot reader; never UB on arbitrary bytes).
+  kSnapshotCorrupt,
+  /// Snapshot is well-formed but does not belong to this run: config /
+  /// workload / seed fingerprint differs, or the replayed state
+  /// diverged from the stored image at the cursor.
+  kSnapshotMismatch,
 };
 
 [[nodiscard]] constexpr const char* to_string(SimErrorCode c) noexcept {
@@ -49,6 +57,8 @@ enum class SimErrorCode : std::uint8_t {
     case SimErrorCode::kResourceExhausted: return "resource-exhausted";
     case SimErrorCode::kTaskException: return "task-exception";
     case SimErrorCode::kCancelled: return "cancelled";
+    case SimErrorCode::kSnapshotCorrupt: return "snapshot-corrupt";
+    case SimErrorCode::kSnapshotMismatch: return "snapshot-mismatch";
   }
   return "unknown";
 }

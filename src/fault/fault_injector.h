@@ -83,6 +83,30 @@ class FaultInjector {
   /// cost in ticks, or 0.
   [[nodiscard]] Tick draw_mem_spike(net::CoreId c);
 
+  /// Digest of every draw-stream cursor (src/snapshot): two injectors
+  /// agree iff each lane and core stream has consumed the same number
+  /// of draws — the injector's entire mutable state, since decisions
+  /// are stateless hashes over (seed, kind, stream, counter).
+  [[nodiscard]] std::uint64_t state_digest() const noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xffu;
+        h *= 1099511628211ULL;
+      }
+    };
+    for (const LaneState& l : lanes_) {
+      mix(l.msg_seq);
+      mix(l.max_faulted_arrival);
+    }
+    for (const CoreState& c : cores_) {
+      mix(c.task_seq);
+      mix(c.probe_seq);
+      mix(c.mem_seq);
+    }
+    return h;
+  }
+
  private:
   /// Stateless draw: uniform u64 from (seed, kind, stream, counter).
   [[nodiscard]] std::uint64_t draw(FaultKind kind, std::uint64_t stream,

@@ -55,6 +55,28 @@ class Directory {
   [[nodiscard]] std::size_t tracked_lines() const { return lines_.size(); }
   void clear() { lines_.clear(); }
 
+  /// Portable digest of the sharer/writer table (src/snapshot). Line
+  /// keys are host-virtual-address-derived and shift under ASLR, so
+  /// they are excluded; what is hashed is the *multiset* of per-line
+  /// occupancy records (writer core + sharer set) — core ids are
+  /// architectural and stable — combined by addition, which is immune
+  /// to both the unordered_map's iteration order and the uniform key
+  /// shift between two replays of the same timeline.
+  [[nodiscard]] std::uint64_t state_digest() const noexcept {
+    std::uint64_t sum = 0;
+    // simlint: allow(det-unordered-iter) commutative fold, order-free
+    for (const auto& [line, st] : lines_) {
+      std::uint64_t z =
+          static_cast<std::uint64_t>(st.writer) + 0x9e3779b97f4a7c15ULL;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      for (std::size_t i = 0; i < st.sharers.size(); ++i) {
+        if (st.sharers[i]) z = (z ^ (i + 1)) * 0x94d049bb133111ebULL;
+      }
+      sum += (z ^ (z >> 27)) * 0xbf58476d1ce4e5b9ULL;
+    }
+    return sum + lines_.size();
+  }
+
  private:
   struct LineState {
     std::vector<bool> sharers;  // indexed by core

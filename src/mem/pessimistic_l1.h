@@ -45,6 +45,22 @@ class PessimisticL1 {
     return line_bytes_;
   }
 
+  /// Portable digest of the model state (src/snapshot). Resident lines
+  /// are keyed by *host virtual addresses*, which ASLR re-randomizes
+  /// per process; the keys themselves are therefore not reproducible
+  /// across runs. The resident *count* is: heap layout is allocator-
+  /// deterministic relative to its base, and the base moves in units
+  /// far coarser than a cache line, so line occupancy — and with it
+  /// every hit/miss decision — replays identically. The digest covers
+  /// exactly the portable part.
+  [[nodiscard]] std::uint64_t state_digest() const noexcept {
+    std::uint64_t z = resident_.size() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z ^= line_bytes_;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
  private:
   std::uint32_t line_bytes_;
   std::unordered_set<std::uint64_t> resident_;

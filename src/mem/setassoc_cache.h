@@ -39,6 +39,37 @@ class SetAssocCache {
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
 
+  /// Portable digest of the cache state (src/snapshot). Tags — and the
+  /// set a line lands in — derive from host virtual addresses, which
+  /// ASLR re-randomizes per process, so neither is reproducible across
+  /// replays of the same timeline. The access *sequence* is, which
+  /// makes the multiset of per-way (last-use stamp, valid, dirty)
+  /// records portable: it is hashed commutatively (set placement may
+  /// permute), together with the clock and hit/miss totals.
+  [[nodiscard]] std::uint64_t state_digest() const noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xffu;
+        h *= 1099511628211ULL;
+      }
+    };
+    mix(clock_);
+    mix(hits_);
+    mix(misses_);
+    mix(num_sets_);
+    std::uint64_t sum = 0;
+    for (const Way& w : ways_) {
+      std::uint64_t z = w.lru + 0x9e3779b97f4a7c15ULL;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z ^= static_cast<std::uint64_t>(w.valid) |
+           (static_cast<std::uint64_t>(w.dirty) << 1);
+      sum += (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    }
+    mix(sum);
+    return h;
+  }
+
  private:
   struct Way {
     std::uint64_t tag = 0;

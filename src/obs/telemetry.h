@@ -115,6 +115,52 @@ class Telemetry {
   [[nodiscard]] std::uint64_t fingerprint(
       EventClass c = EventClass::kAll) const;
 
+  /// Digest of the event/sample progress so far (src/snapshot): the
+  /// merged stream followed by each shard's pending buffer and next
+  /// sampling boundary. Two runs replaying the same timeline under the
+  /// same barrier schedule agree byte-for-byte; the snapshot replay
+  /// reproduces the capture run's schedule for exactly this reason.
+  /// Serial-phase only.
+  SIMANY_SERIAL_ONLY [[nodiscard]] std::uint64_t state_digest()
+      const noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xffu;
+        h *= 1099511628211ULL;
+      }
+    };
+    const auto mix_event = [&](const Event& e) {
+      mix(e.vtime);
+      mix(e.a);
+      mix(e.b);
+      mix(e.core);
+      mix(e.dst);
+      mix(static_cast<std::uint64_t>(e.kind));
+      mix(e.sub);
+    };
+    const auto mix_sample = [&](const LiveSample& s) {
+      mix(s.t_cycles);
+      mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.core)));
+      mix(s.series);
+      // Samples carry doubles; hash the bit pattern (deterministic:
+      // both sides computed it through the identical expression).
+      std::uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(s.value));
+      __builtin_memcpy(&bits, &s.value, sizeof(bits));
+      mix(bits);
+    };
+    for (const Event& e : merged_) mix_event(e);
+    for (const ShardBuf& sb : shards_) {
+      mix(sb.events.size());
+      for (const Event& e : sb.events) mix_event(e);
+      mix(sb.samples.size());
+      for (const LiveSample& s : sb.samples) mix_sample(s);
+      mix(sb.next_sample_at);
+    }
+    return h;
+  }
+
   [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
   [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
     return metrics_;

@@ -1,0 +1,59 @@
+// The RunHook implementation behind snapshot_to / restore_from.
+//
+// Write mode drives a SnapshotPlan: it steers the sequential host's
+// barrier schedule onto the requested cursors (seq_budget), captures
+// the canonical image at the matching quiesce point and writes the
+// container file. Verify mode drives a restore: the engine re-executes
+// the identical timeline from tick 0 (same config, seed, workload and
+// shard geometry — all enforced by Engine::restore_from before this
+// hook is armed), and at the snapshot's cursor the reconstructed image
+// is byte-compared against the stored one. A single differing byte
+// aborts the run with SimError{kSnapshotMismatch} naming the diverged
+// section; on success the run simply continues to completion, which is
+// what "resume" means under deterministic re-execution (see
+// docs/snapshot.md for why raw fiber stacks are never serialized).
+#pragma once
+
+#include <cstdint>
+
+#include "snapshot/plan.h"
+#include "snapshot/run_hook.h"
+#include "snapshot/snapshot.h"
+
+namespace simany::snapshot {
+
+class Controller final : public RunHook {
+ public:
+  /// Write mode: capture per `plan` during the coming run().
+  explicit Controller(SnapshotPlan plan);
+  /// Verify mode: prove the coming run() passes through `file`'s
+  /// state, byte-exactly, at its cursor.
+  explicit Controller(SnapshotFile file);
+
+  [[nodiscard]] std::uint64_t seq_budget(std::uint64_t done) override;
+  void at_barrier(Engine& engine, bool finished) override;
+  void cl_quantum(Engine& engine, std::uint64_t done) override;
+
+  /// Verify mode: true once the stored image matched (consulted by
+  /// Engine tests; write mode always reports true).
+  [[nodiscard]] bool verified() const noexcept {
+    return mode_ == Mode::kWrite || verified_;
+  }
+
+ private:
+  enum class Mode : std::uint8_t { kWrite, kVerify };
+
+  void capture(Engine& engine, std::uint64_t total);
+  void verify(Engine& engine, std::uint64_t total);
+
+  Mode mode_;
+  SnapshotPlan plan_;  // write mode; verify mode mirrors the writer's
+                       // plan from the header to replay its schedule
+  SnapshotFile file_;  // verify mode only
+  bool oneshot_done_ = false;
+  bool verified_ = false;
+  bool captured_any_ = false;
+  std::uint64_t periodic_next_ = 0;  // next periodic boundary (write)
+};
+
+}  // namespace simany::snapshot

@@ -1,0 +1,286 @@
+#include "snapshot/engine_codec.h"
+
+#include <algorithm>
+#include <array>
+
+#include "core/engine.h"
+#include "fault/fault_injector.h"
+#include "obs/telemetry.h"
+#include "snapshot/wire.h"
+
+namespace simany::snapshot {
+
+namespace {
+
+/// Serializes one SimStats counter block. Integer counters only:
+/// wall_seconds is host wall clock (excluded by design), and the
+/// completion/network/core fields of a *shard* block are covered where
+/// they live (max_task_end, lane stats, per-core busy ticks).
+void put_stats(ByteWriter& w, const SimStats& s) {
+  w.u64(s.completion_ticks);
+  w.u64(s.tasks_spawned);
+  w.u64(s.tasks_inlined);
+  w.u64(s.tasks_migrated);
+  w.u64(s.probes_sent);
+  w.u64(s.probes_denied);
+  w.u64(s.messages);
+  w.u64(s.sync_stalls);
+  w.u64(s.fiber_switches);
+  w.u64(s.joins_suspended);
+  w.u64(s.limit_recomputes);
+  w.u64(s.faults_injected);
+  w.u64(s.fault_msgs_delayed);
+  w.u64(s.fault_msgs_duplicated);
+  w.u64(s.fault_msgs_dropped);
+  w.u64(s.fault_msg_retries);
+  w.u64(s.fault_msgs_reordered);
+  w.u64(s.fault_core_stalls);
+  w.u64(s.fault_spawn_denials);
+  w.u64(s.fault_mem_spikes);
+  w.u64(s.fault_core_wedges);
+  w.u32(s.fault_dead_cores);
+  w.u64(s.guard_inbox_overflows);
+  w.u64(s.guard_fiber_overflows);
+  w.u64(s.inbox_depth_peak);
+  w.u64(s.live_fibers_peak);
+  w.u64(s.parallelism_samples);
+  w.u64(s.parallelism_sum);
+  w.u64(s.parallelism_max);
+  w.u64(s.drift_max_ticks);
+}
+
+void put_message(ByteWriter& w, const Message& m) {
+  w.u8(static_cast<std::uint8_t>(m.kind));
+  w.u32(m.src);
+  w.u32(m.dst);
+  w.u64(m.sent);
+  w.u64(m.arrival);
+  w.u32(m.bytes);
+  w.u64(m.a);
+  w.u64(m.b);
+  // Task bodies and parked fibers cannot be byte-serialized (they are
+  // host closures / stacks); their presence plus the resume metadata is
+  // what the determinism contract needs to match.
+  w.boolean(static_cast<bool>(m.task));
+  w.u64(m.group);
+  w.u64(m.birth);
+  w.boolean(m.fiber != nullptr);
+  w.u64(m.fiber_group);
+  w.u64(m.parked_at);
+  w.boolean(m.direct);
+}
+
+}  // namespace
+
+void EngineCodec::append_state(const Engine& e, std::vector<std::uint8_t>& out,
+                               std::vector<ImageSection>* sections) {
+  ByteWriter w(out);
+  const auto mark = [&](const char* name) {
+    if (sections != nullptr) sections->push_back({name, out.size()});
+  };
+
+  mark("engine");
+  w.u32(static_cast<std::uint32_t>(e.cores_.size()));
+  w.u32(e.num_shards_);
+  w.u8(static_cast<std::uint8_t>(e.mode_));
+  w.u64(e.host_rounds_);
+  w.u64(e.synth_addr_next_);
+  w.u8(e.cancel_code_.load(std::memory_order_relaxed));
+
+  mark("shards");
+  for (const auto& shp : e.shards_) {
+    const host::ShardState& sh = *shp;
+    w.u64(sh.quantum_count);
+    w.i64(sh.live_tasks);
+    w.u64(sh.inflight_messages);
+    w.u64(sh.mail_out);
+    w.u64(sh.mail_in);
+    w.u64(sh.gmin_lb);
+    w.u64(sh.limit_epoch);
+    w.u64(sh.max_task_end);
+    w.u32(static_cast<std::uint32_t>(sh.ready.size()));
+    for (const net::CoreId id : sh.ready) w.u32(id);
+    w.u32(static_cast<std::uint32_t>(sh.stalled.size()));
+    for (const net::CoreId id : sh.stalled) w.u32(id);
+    w.u32(static_cast<std::uint32_t>(sh.lane.occupancy.size()));
+    for (const auto& occ : sh.lane.occupancy) {
+      w.u64(occ.next_free_fwd);
+      w.u64(occ.next_free_rev);
+    }
+    w.u64(sh.lane.stats.messages);
+    w.u64(sh.lane.stats.bytes);
+    w.u64(sh.lane.stats.hops);
+    w.u64(sh.lane.stats.contention_ticks);
+    put_stats(w, sh.stats);
+    w.u64(sh.guard_quanta_at_poll);
+    w.u64(sh.guard_quanta_next);
+    w.u64(sh.guard_now_sum);
+    w.boolean(sh.guard_baseline);
+    w.u32(sh.guard_stale_polls);
+    w.boolean(sh.guard_stop);
+  }
+
+  mark("cores");
+  for (const auto& cptr : e.cores_) {
+    const Engine::CoreSim& c = *cptr;
+    w.u64(c.now);
+    w.u64(c.busy);
+    w.u32(c.reserved);
+    w.u64(c.births_min);
+    w.u32(static_cast<std::uint32_t>(c.births.size()));
+    for (const Tick b : c.births) w.u64(b);
+    w.boolean(c.dead);
+    w.boolean(c.wedge_reported);
+    w.boolean(c.sync_stalled);
+    w.boolean(c.waiting_reply);
+    w.boolean(c.park_pending);
+    w.u64(c.park_group);
+    w.boolean(c.reply_ready);
+    if (c.reply_ready) put_message(w, c.reply);
+    w.u32(c.reserved_target);
+    w.u32(c.probe_rr);
+    w.u32(static_cast<std::uint32_t>(c.occ_proxy.size()));
+    for (const std::uint32_t o : c.occ_proxy) w.u32(o);
+    w.u64(c.cached_limit);
+    w.u64(c.limit_epoch);
+    w.boolean(c.in_ready);
+    w.u64(c.cl_stamp);
+    w.i64(c.hold_depth);
+    const std::array<std::uint64_t, 4> rng = c.rng.state();
+    for (const std::uint64_t word : rng) w.u64(word);
+    w.boolean(c.fiber != nullptr);
+    w.u64(c.fiber_group);
+    w.u32(static_cast<std::uint32_t>(c.resumables.size()));
+    for (const auto& pf : c.resumables) {
+      w.u64(pf.task_group);
+      w.u64(pf.parked_at);
+    }
+    w.u32(static_cast<std::uint32_t>(c.task_queue.size()));
+    for (const auto& pt : c.task_queue) {
+      w.u64(pt.group);
+      w.u64(pt.arrival);
+    }
+    w.u32(static_cast<std::uint32_t>(c.inbox.size()));
+    c.inbox.for_each([&](const Message& m) { put_message(w, m); });
+    w.u32(static_cast<std::uint32_t>(c.groups.size()));
+    for (const auto& grp : c.groups) {
+      w.u32(grp.active);
+      w.u32(static_cast<std::uint32_t>(grp.joiners.size()));
+      for (const auto& j : grp.joiners) {
+        w.u32(j.core);
+        w.u64(j.task_group);
+        w.u64(j.parked_at);
+      }
+    }
+    w.u32(static_cast<std::uint32_t>(c.locks.size()));
+    for (const auto& lk : c.locks) {
+      w.u32(lk.home);
+      w.boolean(lk.held);
+      w.u32(lk.holder);
+      w.u32(static_cast<std::uint32_t>(lk.waiters.size()));
+      for (const net::CoreId wc : lk.waiters) w.u32(wc);
+    }
+    std::vector<CellId> cell_ids;
+    cell_ids.reserve(c.cells.size());
+    // simlint: allow(det-unordered-iter) keys collected then sorted
+    for (const auto& kv : c.cells) cell_ids.push_back(kv.first);
+    std::sort(cell_ids.begin(), cell_ids.end());
+    w.u32(static_cast<std::uint32_t>(cell_ids.size()));
+    for (const CellId id : cell_ids) {
+      const Engine::Cell& cell = c.cells.at(id);
+      w.u64(id);
+      w.u32(cell.home);
+      w.u32(cell.bytes);
+      w.u64(cell.synth_addr);
+      w.boolean(cell.locked);
+      w.u32(cell.holder);
+      w.u8(static_cast<std::uint8_t>(cell.holder_mode));
+      w.u32(static_cast<std::uint32_t>(cell.waiters.size()));
+      for (const auto& wt : cell.waiters) {
+        w.u32(wt.core);
+        w.u8(static_cast<std::uint8_t>(wt.mode));
+      }
+    }
+    w.u32(c.cell_seq);
+    w.u64(c.synth_addr_next);
+    std::vector<CellId> held_ids;
+    held_ids.reserve(c.held_cells.size());
+    // simlint: allow(det-unordered-iter) keys collected then sorted
+    for (const auto& kv : c.held_cells) held_ids.push_back(kv.first);
+    std::sort(held_ids.begin(), held_ids.end());
+    w.u32(static_cast<std::uint32_t>(held_ids.size()));
+    for (const CellId id : held_ids) {
+      const auto& hc = c.held_cells.at(id);
+      w.u64(id);
+      w.u8(static_cast<std::uint8_t>(hc.mode));
+      w.u32(hc.bytes);
+      w.u64(hc.synth_addr);
+    }
+    w.u64(c.l1.state_digest());
+    w.boolean(c.dcache != nullptr);
+    if (c.dcache != nullptr) w.u64(c.dcache->state_digest());
+    w.boolean(c.icache != nullptr);
+    if (c.icache != nullptr) w.u64(c.icache->state_digest());
+  }
+
+  mark("proxies");
+  for (const auto* arr : {&e.proxy_, &e.proxy_next_}) {
+    w.u32(static_cast<std::uint32_t>(arr->size()));
+    for (const host::VtProxy& p : *arr) {
+      w.u64(p.now);
+      w.u64(p.births_min);
+      w.boolean(p.anchor);
+      w.u32(p.occupied);
+      w.boolean(p.busy);
+    }
+  }
+
+  mark("cl-heap");
+  w.u32(static_cast<std::uint32_t>(e.cl_heap_.size()));
+  for (const auto& ent : e.cl_heap_) {
+    w.u64(ent.key);
+    w.u32(ent.id);
+    w.u64(ent.stamp);
+  }
+
+  mark("directory");
+  w.u64(e.directory_.state_digest());
+
+  mark("fault");
+  w.boolean(e.fault_ != nullptr);
+  if (e.fault_ != nullptr) w.u64(e.fault_->state_digest());
+
+  mark("telemetry");
+  w.boolean(e.telemetry_ != nullptr);
+  if (e.telemetry_ != nullptr) w.u64(e.telemetry_->state_digest());
+
+  mark("guard");
+  w.u64(e.guard_round_now_sum_);
+  w.u64(e.guard_round_quanta_);
+  w.boolean(e.guard_round_baseline_);
+  w.u32(e.guard_stale_rounds_);
+}
+
+std::uint64_t EngineCodec::digest(const Engine& e) {
+  std::vector<std::uint8_t> image;
+  append_state(e, image);
+  return fnv1a64(image.data(), image.size());
+}
+
+std::uint64_t EngineCodec::total_quanta(const Engine& e) {
+  std::uint64_t total = 0;
+  for (const auto& shp : e.shards_) total += shp->quantum_count;
+  return total;
+}
+
+const char* EngineCodec::section_at(const std::vector<ImageSection>& sections,
+                                    std::size_t off) {
+  const char* name = "engine";
+  for (const ImageSection& s : sections) {
+    if (s.begin > off) break;
+    name = s.name;
+  }
+  return name;
+}
+
+}  // namespace simany::snapshot

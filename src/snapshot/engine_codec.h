@@ -1,0 +1,56 @@
+// Canonical binary image of a quiesced engine.
+//
+// EngineCodec walks every piece of architectural and host-visible
+// state the determinism contract covers — core clocks, inboxes,
+// run-time tables, shard queues, RNG streams, fault/telemetry/guard
+// progress — and appends it to a byte buffer in one fixed canonical
+// order (unordered containers are emitted sorted or digested
+// order-independently). Two engines at the same quiesce point of the
+// same timeline produce byte-identical images, which is the whole
+// verification story: restore never parses the image back, it rebuilds
+// the state by deterministic re-execution and byte-compares.
+//
+// The codec is a friend of Engine and must only run while the engine
+// is quiesced (serial barrier phase / CL loop — the same contexts the
+// RunHook fires in).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace simany {
+class Engine;
+}
+
+namespace simany::snapshot {
+
+/// One named span of the image, for divergence diagnostics: when a
+/// verify pass finds the first mismatching byte, the section name
+/// turns "offset 10423 differs" into "core state differs".
+struct ImageSection {
+  const char* name;
+  std::size_t begin;  // offset of the section's first byte
+};
+
+class EngineCodec {
+ public:
+  /// Appends the canonical image of `e` to `out`; when `sections` is
+  /// non-null, records where each named section starts.
+  static void append_state(const Engine& e, std::vector<std::uint8_t>& out,
+                           std::vector<ImageSection>* sections = nullptr);
+
+  /// FNV-1a64 of the canonical image (Engine::state_digest forwards
+  /// here; also the per-round probe in tests/test_determinism.cpp).
+  [[nodiscard]] static std::uint64_t digest(const Engine& e);
+
+  /// Total scheduling quanta executed so far (sum over shards) — the
+  /// snapshot cursor coordinate.
+  [[nodiscard]] static std::uint64_t total_quanta(const Engine& e);
+
+  /// Name of the section containing image offset `off`.
+  [[nodiscard]] static const char* section_at(
+      const std::vector<ImageSection>& sections, std::size_t off);
+};
+
+}  // namespace simany::snapshot

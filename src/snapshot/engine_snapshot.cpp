@@ -1,0 +1,242 @@
+// Controller implementation plus the Engine-side snapshot API
+// (snapshot_to / restore_from / state_digest). These are members of
+// Engine but live in the snapshot library: core stays free of any
+// snapshot dependency (it only calls the RunHook virtuals), and only
+// programs that actually use snapshots link this code.
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "snapshot/controller.h"
+#include "snapshot/engine_codec.h"
+#include "snapshot/snapshot.h"
+
+namespace simany::snapshot {
+
+namespace {
+
+[[noreturn]] void mismatch(const std::string& what, std::uint64_t detail = 0,
+                           std::uint64_t at = 0) {
+  SimError::Context ctx;
+  ctx.code = SimErrorCode::kSnapshotMismatch;
+  ctx.cause = to_string(SimErrorCode::kSnapshotMismatch);
+  ctx.detail = detail;
+  ctx.at_tick = at;
+  throw SimError("snapshot: " + what, ctx);
+}
+
+}  // namespace
+
+Controller::Controller(SnapshotPlan plan)
+    : mode_(Mode::kWrite), plan_(std::move(plan)),
+      periodic_next_(plan_.every_quanta) {}
+
+Controller::Controller(SnapshotFile file)
+    : mode_(Mode::kVerify), file_(std::move(file)) {
+  // Mirror the writer's plan so the sequential host replays the exact
+  // barrier schedule of the capture run: serial-phase bookkeeping
+  // (host_rounds, the guard watchdog's round counters) is part of the
+  // verified image, so the replay must visit the same barriers.
+  plan_.at_quanta = file_.header.cursor_requested;
+  plan_.every_quanta = file_.header.every_quanta;
+}
+
+std::uint64_t Controller::seq_budget(std::uint64_t done) {
+  const bool oneshot_open =
+      mode_ == Mode::kWrite ? !oneshot_done_ : !verified_;
+  std::uint64_t target = ~std::uint64_t{0};
+  if (plan_.at_quanta != 0 && oneshot_open && plan_.at_quanta > done) {
+    target = std::min(target, plan_.at_quanta);
+  }
+  if (plan_.every_quanta != 0) {
+    target = std::min(target,
+                      (done / plan_.every_quanta + 1) * plan_.every_quanta);
+  }
+  return target == ~std::uint64_t{0} ? target : target - done;
+}
+
+void Controller::at_barrier(Engine& engine, bool finished) {
+  const std::uint64_t total = EngineCodec::total_quanta(engine);
+  if (mode_ == Mode::kVerify) {
+    if (verified_) return;
+    const std::uint64_t cursor = file_.header.cursor_actual;
+    if (total >= cursor) {
+      if (total != cursor) {
+        mismatch("replay reached a barrier at " + std::to_string(total) +
+                     " quanta, past the snapshot cursor " +
+                     std::to_string(cursor) +
+                     " — the schedule diverged (host geometry changed?)",
+                 total, cursor);
+      }
+      verify(engine, total);
+    } else if (finished) {
+      mismatch("run finished at " + std::to_string(total) +
+                   " quanta, before the snapshot cursor " +
+                   std::to_string(cursor),
+               total, cursor);
+    }
+    return;
+  }
+  if (plan_.every_quanta != 0 && total >= periodic_next_) {
+    capture(engine, total);
+    periodic_next_ = (total / plan_.every_quanta + 1) * plan_.every_quanta;
+  }
+  if (plan_.at_quanta != 0 && !oneshot_done_ &&
+      (total >= plan_.at_quanta || finished)) {
+    capture(engine, total);
+    oneshot_done_ = true;
+  }
+  // A plan that configured no trigger (or whose periodic cadence the
+  // run never reached) still yields its final quiesced state, so the
+  // checkpoint file always exists after a completed run.
+  if (finished && !captured_any_) capture(engine, total);
+}
+
+void Controller::cl_quantum(Engine& engine, std::uint64_t done) {
+  if (mode_ == Mode::kVerify) {
+    if (!verified_ && done >= file_.header.cursor_actual) {
+      // Called after every quantum, so the first crossing is exact.
+      verify(engine, done);
+    }
+    return;
+  }
+  if (plan_.every_quanta != 0 && done >= periodic_next_) {
+    capture(engine, done);
+    periodic_next_ = (done / plan_.every_quanta + 1) * plan_.every_quanta;
+  }
+  if (plan_.at_quanta != 0 && !oneshot_done_ && done >= plan_.at_quanta) {
+    capture(engine, done);
+    oneshot_done_ = true;
+  }
+}
+
+void Controller::capture(Engine& engine, std::uint64_t total) {
+  SnapshotFile f;
+  SnapshotHeader& h = f.header;
+  h.config_fp = config_fingerprint(engine.cfg_, engine.mode_);
+  h.workload_fp = plan_.workload_fp;
+  h.seed = engine.cfg_.seed;
+  h.mode = static_cast<std::uint8_t>(engine.mode_);
+  h.flags = static_cast<std::uint8_t>(
+      (engine.telemetry_ != nullptr ? kFlagTelemetry : 0) |
+      (engine.fault_ != nullptr ? kFlagFaultPlan : 0));
+  h.shards = engine.num_shards_;
+  // Record the *effective* round budget (the parallel host substitutes
+  // 512 for 0), so restore adopts a concrete value.
+  h.round_quanta = engine.num_shards_ > 1 && engine.cfg_.host.round_quanta == 0
+                       ? 512
+                       : engine.cfg_.host.round_quanta;
+  h.num_cores = engine.cfg_.num_cores();
+  h.cursor_requested = plan_.at_quanta;
+  h.every_quanta = plan_.every_quanta;
+  h.cursor_actual = total;
+  h.host_rounds = engine.host_rounds_;
+  EngineCodec::append_state(engine, f.image);
+  write_snapshot_file(plan_.path, f);
+  captured_any_ = true;
+}
+
+void Controller::verify(Engine& engine, std::uint64_t total) {
+  std::vector<std::uint8_t> image;
+  std::vector<ImageSection> sections;
+  EngineCodec::append_state(engine, image, &sections);
+  if (image != file_.image) {
+    const std::size_t lim = std::min(image.size(), file_.image.size());
+    std::size_t off = lim;
+    for (std::size_t i = 0; i < lim; ++i) {
+      if (image[i] != file_.image[i]) {
+        off = i;
+        break;
+      }
+    }
+    mismatch("state verification failed at quanta cursor " +
+                 std::to_string(total) + ": replayed image diverges at byte " +
+                 std::to_string(off) + " of " + std::to_string(lim) +
+                 " (section '" + EngineCodec::section_at(sections, off) +
+                 "', stored " + std::to_string(file_.image.size()) +
+                 " bytes, replayed " + std::to_string(image.size()) + ")",
+             off, total);
+  }
+  verified_ = true;
+}
+
+}  // namespace simany::snapshot
+
+namespace simany {
+
+void Engine::snapshot_to(const snapshot::SnapshotPlan& plan) {
+  if (ran_) throw std::logic_error("Engine::snapshot_to after run()");
+  if (plan.path.empty()) {
+    throw std::invalid_argument("Engine::snapshot_to: plan.path is empty");
+  }
+  snap_hook_ = std::make_unique<snapshot::Controller>(plan);
+}
+
+void Engine::restore_from(const std::string& path,
+                          std::uint64_t workload_fp) {
+  if (ran_) throw std::logic_error("Engine::restore_from after run()");
+  snapshot::SnapshotFile file = snapshot::read_snapshot_file(path);
+  const snapshot::SnapshotHeader& h = file.header;
+  const auto refuse = [&](const std::string& what, std::uint64_t want,
+                          std::uint64_t got) {
+    SimError::Context ctx;
+    ctx.code = SimErrorCode::kSnapshotMismatch;
+    ctx.cause = to_string(SimErrorCode::kSnapshotMismatch);
+    ctx.detail = got;
+    throw SimError("snapshot: refusing '" + path + "': " + what +
+                       " (snapshot " + std::to_string(want) +
+                       ", this engine " + std::to_string(got) + ")",
+                   ctx);
+  };
+  if (h.mode != static_cast<std::uint8_t>(mode_)) {
+    refuse("execution mode differs", h.mode,
+           static_cast<std::uint8_t>(mode_));
+  }
+  const std::uint64_t cfg_fp = snapshot::config_fingerprint(cfg_, mode_);
+  if (h.config_fp != cfg_fp) {
+    refuse("config fingerprint differs", h.config_fp, cfg_fp);
+  }
+  if (h.workload_fp != workload_fp) {
+    refuse("workload fingerprint differs", h.workload_fp, workload_fp);
+  }
+  if (h.seed != cfg_.seed) refuse("seed differs", h.seed, cfg_.seed);
+  if (h.num_cores != cfg_.num_cores()) {
+    refuse("core count differs", h.num_cores, cfg_.num_cores());
+  }
+  const bool tele = (h.flags & snapshot::kFlagTelemetry) != 0;
+  if (tele != (telemetry_ != nullptr)) {
+    refuse("telemetry attachment differs (attach telemetry before "
+           "restore_from, exactly as the capture run did)",
+           tele ? 1 : 0, telemetry_ != nullptr ? 1 : 0);
+  }
+  // Adopt the snapshot's host geometry: shard count and round budget
+  // are inputs of the simulated timeline (determinism contract), so
+  // the replay must run the writer's. Worker threads stay whatever
+  // this engine was configured with — a pure performance knob, which
+  // is how a 4-shard snapshot restores into a single-threaded engine.
+  if (h.shards > 1) {
+    if (obs_ != nullptr || trace_ != nullptr || cfg_.mem.coherence_timing) {
+      refuse("snapshot has " + std::to_string(h.shards) +
+                 " shards but an observer/trace sink/coherence timing "
+                 "pins this engine to the sequential host",
+             h.shards, 1);
+    }
+    cfg_.host.mode = HostMode::kParallel;
+    cfg_.host.shards = h.shards;
+    cfg_.host.round_quanta = h.round_quanta;
+    cfg_.host.threads = std::max<std::uint32_t>(1, cfg_.host.threads);
+  } else {
+    cfg_.host.mode = HostMode::kSequential;
+  }
+  snap_hook_ = std::make_unique<snapshot::Controller>(std::move(file));
+}
+
+std::uint64_t Engine::state_digest() const {
+  return snapshot::EngineCodec::digest(*this);
+}
+
+}  // namespace simany

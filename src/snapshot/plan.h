@@ -1,0 +1,37 @@
+// Snapshot request description, engine-facing.
+//
+// Dependency-free on purpose: core/engine.h includes this header (the
+// snapshot_to API takes a plan by value), and the snapshot library in
+// turn links against simany_core — keeping this header free of any
+// snapshot-internal types breaks the cycle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace simany::snapshot {
+
+/// What Engine::snapshot_to should capture during the coming run().
+///
+/// Cursors are measured in *scheduling quanta* (the sum of every
+/// shard's quantum_count), the engine's deterministic unit of progress:
+/// unlike virtual time, which several cores inhabit at once, the
+/// quantum sequence is totally ordered for a fixed (shard count,
+/// round_quanta) and therefore names a unique quiesce point.
+struct SnapshotPlan {
+  /// Destination file. Periodic captures overwrite it in place, so the
+  /// file always holds the most recent checkpoint.
+  std::string path;
+  /// One-shot capture at the first barrier where total quanta reach
+  /// this cursor (0 = disabled). If the run finishes earlier, the final
+  /// quiesced state is captured instead.
+  std::uint64_t at_quanta = 0;
+  /// Periodic capture cadence in quanta (0 = disabled).
+  std::uint64_t every_quanta = 0;
+  /// Caller-provided fingerprint of the workload (root task + its
+  /// parameters). The engine cannot hash a TaskFn, so restore relies on
+  /// the caller presenting the same value to refuse foreign state.
+  std::uint64_t workload_fp = 0;
+};
+
+}  // namespace simany::snapshot

@@ -1,0 +1,44 @@
+// The engine-side seam of the snapshot subsystem.
+//
+// Engine owns a RunHook (null unless snapshot_to/restore_from armed
+// one) and calls these three virtuals from its scheduling loops; the
+// concrete Controller lives in the snapshot library. Dependency-free
+// (core/engine.h includes this header), so core never links against
+// snapshot code — the virtual dispatch is the entire coupling.
+#pragma once
+
+#include <cstdint>
+
+namespace simany {
+class Engine;
+}
+
+namespace simany::snapshot {
+
+/// Callbacks threaded through the engine's run loops. All three run in
+/// single-threaded contexts: seq_budget from the sequential driver
+/// loop, at_barrier from the serial barrier phase, cl_quantum from the
+/// cycle-level main loop — so implementations may freely walk engine
+/// state (the same phase contract simlint enforces for the engine's
+/// own SIMANY_SERIAL_ONLY members).
+class RunHook {
+ public:
+  virtual ~RunHook() = default;
+
+  /// Sequential host only: quanta the driver loop may execute before
+  /// the next serial-phase visit, given `done` executed so far. Lets a
+  /// hook land a barrier on an exact cursor; return ~0 for "no limit"
+  /// (the shard then runs until blocked, exactly the un-hooked loop).
+  [[nodiscard]] virtual std::uint64_t seq_budget(std::uint64_t done) = 0;
+
+  /// Serial barrier phase, every visit, both host backends. `finished`
+  /// is the termination verdict this barrier computed; the hook
+  /// observes quiesced state but must not mutate simulated state.
+  virtual void at_barrier(Engine& engine, bool finished) = 0;
+
+  /// Cycle-level loop, after each quantum (`done` executed so far).
+  /// The CL loop is serial-only, so this is a quiesce point too.
+  virtual void cl_quantum(Engine& engine, std::uint64_t done) = 0;
+};
+
+}  // namespace simany::snapshot

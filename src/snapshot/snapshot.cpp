@@ -1,0 +1,180 @@
+#include "snapshot/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "config/arch_config.h"
+#include "config/config_io.h"
+#include "core/engine.h"
+#include "snapshot/wire.h"
+
+namespace simany::snapshot {
+
+namespace {
+
+[[noreturn]] void corrupt(const std::string& what, std::uint64_t detail = 0) {
+  SimError::Context ctx;
+  ctx.code = SimErrorCode::kSnapshotCorrupt;
+  ctx.cause = to_string(SimErrorCode::kSnapshotCorrupt);
+  ctx.detail = detail;
+  throw SimError("snapshot: " + what, ctx);
+}
+
+void put_header(ByteWriter& w, const SnapshotHeader& h) {
+  w.u64(h.config_fp);
+  w.u64(h.workload_fp);
+  w.u64(h.seed);
+  w.u8(h.mode);
+  w.u8(h.flags);
+  w.u32(h.shards);
+  w.u32(h.round_quanta);
+  w.u32(h.num_cores);
+  w.u64(h.cursor_requested);
+  w.u64(h.every_quanta);
+  w.u64(h.cursor_actual);
+  w.u64(h.host_rounds);
+}
+
+[[nodiscard]] bool get_header(ByteReader& r, SnapshotHeader& h) {
+  return r.u64(h.config_fp) && r.u64(h.workload_fp) && r.u64(h.seed) &&
+         r.u8(h.mode) && r.u8(h.flags) && r.u32(h.shards) &&
+         r.u32(h.round_quanta) && r.u32(h.num_cores) &&
+         r.u64(h.cursor_requested) && r.u64(h.every_quanta) &&
+         r.u64(h.cursor_actual) && r.u64(h.host_rounds);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_snapshot(const SnapshotFile& file) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.bytes(kMagic, sizeof(kMagic));
+  w.u32(kFormatVersion);
+
+  std::vector<std::uint8_t> header;
+  ByteWriter hw(header);
+  put_header(hw, file.header);
+  w.u32(static_cast<std::uint32_t>(header.size()));
+  w.bytes(header.data(), header.size());
+
+  w.u64(file.image.size());
+  w.u64(fnv1a64(file.image.data(), file.image.size()));
+  w.bytes(file.image.data(), file.image.size());
+
+  w.u64(fnv1a64(out.data(), out.size()));
+  return out;
+}
+
+SnapshotFile decode_snapshot(const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size);
+  const std::uint8_t* magic = nullptr;
+  if (!r.bytes(magic, sizeof(kMagic))) corrupt("file shorter than magic");
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    corrupt("bad magic (not a simany snapshot)");
+  }
+  std::uint32_t version = 0;
+  if (!r.u32(version)) corrupt("truncated before version");
+  if (version != kFormatVersion) {
+    corrupt("unsupported snapshot version " + std::to_string(version) +
+                " (this build reads version " +
+                std::to_string(kFormatVersion) + ")",
+            version);
+  }
+  std::uint32_t header_bytes = 0;
+  if (!r.u32(header_bytes)) corrupt("truncated before header length");
+  if (header_bytes > kMaxHeaderBytes) {
+    corrupt("header length " + std::to_string(header_bytes) +
+                " exceeds cap " + std::to_string(kMaxHeaderBytes),
+            header_bytes);
+  }
+  const std::uint8_t* hdr = nullptr;
+  if (!r.bytes(hdr, header_bytes)) corrupt("truncated inside header");
+  SnapshotFile file;
+  {
+    ByteReader hr(hdr, header_bytes);
+    if (!get_header(hr, file.header)) corrupt("header block too short");
+    // Longer-than-known headers would be how a v1.x adds fields; v1
+    // readers must treat unknown tail bytes as corruption, not skip
+    // them, because the image they frame could mean anything.
+    if (hr.remaining() != 0) {
+      corrupt("header block carries " + std::to_string(hr.remaining()) +
+              " unknown trailing bytes");
+    }
+  }
+  std::uint64_t image_bytes = 0;
+  std::uint64_t image_digest = 0;
+  if (!r.u64(image_bytes)) corrupt("truncated before image length");
+  if (!r.u64(image_digest)) corrupt("truncated before image digest");
+  if (image_bytes > r.remaining()) {
+    corrupt("image length " + std::to_string(image_bytes) +
+                " exceeds file remainder " + std::to_string(r.remaining()),
+            image_bytes);
+  }
+  const std::uint8_t* img = nullptr;
+  if (!r.bytes(img, static_cast<std::size_t>(image_bytes))) {
+    corrupt("truncated inside image");
+  }
+  if (fnv1a64(img, static_cast<std::size_t>(image_bytes)) != image_digest) {
+    corrupt("image digest mismatch");
+  }
+  const std::size_t digest_pos = r.pos();
+  std::uint64_t file_digest = 0;
+  if (!r.u64(file_digest)) corrupt("truncated before file digest");
+  if (fnv1a64(data, digest_pos) != file_digest) {
+    corrupt("file digest mismatch");
+  }
+  if (r.remaining() != 0) {
+    corrupt(std::to_string(r.remaining()) + " trailing bytes after digest");
+  }
+  file.image.assign(img, img + image_bytes);
+  return file;
+}
+
+SnapshotFile read_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) corrupt("cannot open '" + path + "'");
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  if (in.bad()) corrupt("read error on '" + path + "'");
+  return decode_snapshot(bytes.data(), bytes.size());
+}
+
+void write_snapshot_file(const std::string& path, const SnapshotFile& file) {
+  const std::vector<std::uint8_t> bytes = encode_snapshot(file);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) corrupt("cannot create '" + path + "'");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) corrupt("write error on '" + path + "'");
+}
+
+std::uint64_t workload_fingerprint(const std::string& name,
+                                   std::uint64_t seed, double factor) {
+  std::uint64_t h = fnv1a64(name);
+  h = fnv_mix(h, seed);
+  // Hash the decimal rendering, not the raw double bits: callers that
+  // compute the factor differently but print the same value agree.
+  std::ostringstream os;
+  os << factor;
+  return fnv1a64(os.str(), h);
+}
+
+std::uint64_t config_fingerprint(const ArchConfig& cfg, ExecutionMode mode) {
+  ArchConfig norm = cfg;
+  // Host-performance knobs never change the simulated timeline for a
+  // fixed (shards, round_quanta); those two travel in the snapshot
+  // header instead so restore can adopt them explicitly.
+  norm.host = HostConfig{};
+  norm.obs.profile_host = false;
+  // Wall-clock guard limits are host conditions, not identity; the
+  // deterministic budgets (vtime, watchdog) stay in.
+  norm.guard.deadline_ms = 0;
+  std::ostringstream os;
+  save_config(norm, os);
+  std::uint64_t h = fnv1a64(os.str());
+  return fnv_mix(h, static_cast<std::uint64_t>(mode));
+}
+
+}  // namespace simany::snapshot

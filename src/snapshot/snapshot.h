@@ -1,0 +1,102 @@
+// The `simany-snapshot-v1` container format.
+//
+// Layout (all integers little-endian; see docs/snapshot.md for the
+// full specification):
+//
+//   magic            8 bytes  "SIMANYSS"
+//   version          u32      1
+//   header_bytes     u32      length prefix of the header block
+//   header block     header_bytes bytes (fields below, in order)
+//   image_bytes      u64      length prefix of the state image
+//   image_digest     u64      FNV-1a64 of the image bytes
+//   image            image_bytes bytes (engine_codec.h canonical form)
+//   file_digest      u64      FNV-1a64 of everything above
+//
+// The header identifies the run (config/workload fingerprints, seed,
+// execution mode) and locates the capture point (quanta cursor, shard
+// geometry). Restore refuses any identity mismatch with a structured
+// SimError before touching the image.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sim_error.h"
+
+namespace simany::snapshot {
+
+inline constexpr char kMagic[8] = {'S', 'I', 'M', 'A', 'N', 'Y', 'S', 'S'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+/// Sanity cap on the header length prefix: the v1 header is well under
+/// this, and a corrupt prefix must not drive a huge read.
+inline constexpr std::uint32_t kMaxHeaderBytes = 4096;
+
+/// Header flag bits.
+inline constexpr std::uint8_t kFlagTelemetry = 1u << 0;  // telemetry attached
+inline constexpr std::uint8_t kFlagFaultPlan = 1u << 1;  // fault plan enabled
+
+struct SnapshotHeader {
+  std::uint64_t config_fp = 0;    // config_fingerprint() of the run
+  std::uint64_t workload_fp = 0;  // caller-declared workload identity
+  std::uint64_t seed = 0;
+  std::uint8_t mode = 0;  // ExecutionMode as u8
+  std::uint8_t flags = 0;
+  std::uint32_t shards = 1;
+  std::uint32_t round_quanta = 0;  // parallel round budget in effect
+  std::uint32_t num_cores = 0;
+  std::uint64_t cursor_requested = 0;  // plan's at_quanta (0: periodic/final)
+  /// Plan's periodic cadence. Recorded so a restoring engine can
+  /// replay the writer's exact barrier schedule on the sequential
+  /// host (barrier-visit bookkeeping is part of the verified image).
+  std::uint64_t every_quanta = 0;
+  std::uint64_t cursor_actual = 0;  // total quanta at the capture barrier
+  std::uint64_t host_rounds = 0;    // barrier count at capture
+};
+
+struct SnapshotFile {
+  SnapshotHeader header;
+  std::vector<std::uint8_t> image;
+};
+
+/// Serializes `file` into the container bytes (header digests filled
+/// in here, not by the caller).
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot(
+    const SnapshotFile& file);
+
+/// Parses container bytes. Every structural defect — short buffer, bad
+/// magic, oversized length prefix, digest mismatch, trailing garbage —
+/// throws SimError{kSnapshotCorrupt}; an unknown version throws the
+/// same code with the version in Context::detail (forward refusal).
+[[nodiscard]] SnapshotFile decode_snapshot(const std::uint8_t* data,
+                                           std::size_t size);
+
+[[nodiscard]] SnapshotFile read_snapshot_file(const std::string& path);
+void write_snapshot_file(const std::string& path, const SnapshotFile& file);
+
+/// Convenience workload fingerprint for callers (CLI, tests): hashes a
+/// workload name plus its scalar parameters. Any scheme works as long
+/// as writer and restorer agree; this one keeps them consistent.
+[[nodiscard]] std::uint64_t workload_fingerprint(const std::string& name,
+                                                 std::uint64_t seed,
+                                                 double factor);
+
+}  // namespace simany::snapshot
+
+namespace simany {
+struct ArchConfig;
+enum class ExecutionMode : std::uint8_t;
+
+namespace snapshot {
+
+/// Identity fingerprint of (architecture, simulator knobs, execution
+/// mode). Host-performance fields (mode/threads/shard geometry, worker
+/// pinning, profiling) are normalized out: shard count and round_quanta
+/// are architectural *inputs* of a parallel timeline and travel as
+/// explicit header fields instead, so one config fingerprint covers a
+/// run under every host backend.
+[[nodiscard]] std::uint64_t config_fingerprint(const ArchConfig& cfg,
+                                               ExecutionMode mode);
+
+}  // namespace snapshot
+}  // namespace simany

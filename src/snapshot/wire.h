@@ -1,0 +1,128 @@
+// Byte-level primitives of the snapshot wire format.
+//
+// Everything in a `simany-snapshot-v1` file is little-endian and
+// fixed-width, written through ByteWriter and read back through the
+// bounds-checked ByteReader. The reader never trusts a length it read:
+// every get reports failure instead of walking past the buffer, so the
+// adversarial-corpus tests (tests/test_snapshot_hardening.cpp) can
+// throw arbitrary bytes at the parser under ASan/UBSan.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace simany::snapshot {
+
+/// FNV-1a 64-bit, the repo-wide fingerprint primitive (telemetry and
+/// golden traces use the same constants).
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+[[nodiscard]] inline std::uint64_t fnv1a64(const void* data, std::size_t n,
+                                           std::uint64_t h = kFnvOffset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+[[nodiscard]] inline std::uint64_t fnv1a64(std::string_view s,
+                                           std::uint64_t h = kFnvOffset) {
+  return fnv1a64(s.data(), s.size(), h);
+}
+
+/// Folds one 64-bit word into a running FNV state (used by the
+/// state_digest helpers, which hash values rather than buffers).
+[[nodiscard]] inline std::uint64_t fnv_mix(std::uint64_t h,
+                                           std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Append-only little-endian encoder over a std::vector<uint8_t>.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(&out) {}
+
+  void u8(std::uint8_t v) { out_->push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_->push_back(static_cast<std::uint8_t>(v >> (i * 8)));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_->push_back(static_cast<std::uint8_t>(v >> (i * 8)));
+    }
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out_->insert(out_->end(), p, p + n);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return out_->size(); }
+
+ private:
+  std::vector<std::uint8_t>* out_;
+};
+
+/// Bounds-checked little-endian decoder. Every accessor returns false
+/// (leaving the output untouched) instead of reading past the end; the
+/// caller turns that into a structured SimError.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t n)
+      : data_(data), size_(n) {}
+
+  [[nodiscard]] bool u8(std::uint8_t& v) noexcept {
+    if (size_ - pos_ < 1) return false;
+    v = data_[pos_++];
+    return true;
+  }
+  [[nodiscard]] bool u32(std::uint32_t& v) noexcept {
+    if (size_ - pos_ < 4) return false;
+    std::uint32_t r = 0;
+    for (int i = 0; i < 4; ++i) {
+      r |= static_cast<std::uint32_t>(data_[pos_ + i]) << (i * 8);
+    }
+    pos_ += 4;
+    v = r;
+    return true;
+  }
+  [[nodiscard]] bool u64(std::uint64_t& v) noexcept {
+    if (size_ - pos_ < 8) return false;
+    std::uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) {
+      r |= static_cast<std::uint64_t>(data_[pos_ + i]) << (i * 8);
+    }
+    pos_ += 8;
+    v = r;
+    return true;
+  }
+  /// Borrows `n` raw bytes from the buffer (no copy).
+  [[nodiscard]] bool bytes(const std::uint8_t*& p, std::size_t n) noexcept {
+    if (size_ - pos_ < n) return false;
+    p = data_ + pos_;
+    pos_ += n;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace simany::snapshot

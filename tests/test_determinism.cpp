@@ -2,8 +2,11 @@
 // bit-identical statistics, for every dwarf, memory model and mode.
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "config/arch_config.h"
 #include "core/engine.h"
+#include "core/engine_observer.h"
 #include "dwarfs/dwarfs.h"
 
 namespace simany {
@@ -54,6 +57,55 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return n + (std::get<1>(info.param) ? "_dist" : "_shared");
     });
+
+// Intermediate-state determinism: not just the final statistics but
+// the engine's full canonical state image (src/snapshot's codec,
+// exposed as Engine::state_digest) must agree at every scheduling
+// quantum. Catches divergence that cancels out by run end — exactly
+// the class of bug the snapshot replay-verify protocol leans on.
+class StateDigestProbe final : public EngineObserver {
+ public:
+  void on_quantum_end(const Engine& e) override {
+    // Sample sparsely: hashing the full image is O(state), so probe a
+    // rolling cadence rather than every quantum.
+    if (++count_ % 32 != 0) return;
+    h_ ^= e.state_digest() + 0x9e3779b97f4a7c15ULL + (h_ << 6) + (h_ >> 2);
+  }
+
+  [[nodiscard]] std::uint64_t rolling() const noexcept { return h_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t h_ = 0;
+};
+
+TEST(Determinism, IntermediateStateDigestsMatchAcrossRuns) {
+  auto once = [] {
+    Engine sim(ArchConfig::shared_mesh(16));
+    StateDigestProbe probe;
+    sim.set_observer(&probe);
+    const SimStats st =
+        sim.run(dwarfs::dwarf_by_name("quicksort").make_root(17, kTiny));
+    return std::pair<std::uint64_t, Tick>{probe.rolling(),
+                                          st.completion_ticks};
+  };
+  const auto a = once();
+  const auto b = once();
+  EXPECT_EQ(a.first, b.first) << "per-quantum state images diverged";
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_NE(a.first, 0u) << "probe never sampled";
+}
+
+TEST(Determinism, IntermediateStateDigestsDifferAcrossSeeds) {
+  auto once = [](std::uint64_t seed) {
+    Engine sim(ArchConfig::shared_mesh(16));
+    StateDigestProbe probe;
+    sim.set_observer(&probe);
+    (void)sim.run(dwarfs::dwarf_by_name("quicksort").make_root(seed, kTiny));
+    return probe.rolling();
+  };
+  EXPECT_NE(once(17), once(18));
+}
 
 TEST(Determinism, DifferentSeedsDiffer) {
   auto run = [](std::uint64_t seed) {

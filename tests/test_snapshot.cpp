@@ -1,0 +1,430 @@
+// Snapshot/restore equivalence suite (src/snapshot).
+//
+// The contract under test: a run that writes a snapshot, and a run
+// that restores from it and continues, must both be bit-identical —
+// in architectural statistics, telemetry fingerprints and (for the
+// sequential host) the full event trace — to the same run left
+// uninterrupted. The property is swept over seeds, topologies,
+// dwarfs, host backends and fault plans; the cross-product rides the
+// `chaos` ctest label, a handful of fast cases stay tier-1.
+//
+// Host-side fields (host_rounds, wall_seconds, host_threads_used) are
+// excluded from the comparison by design: arming a snapshot caps the
+// sequential host's round budget so a barrier lands exactly on the
+// requested quanta cursor, which adds barrier visits without touching
+// the simulated timeline.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include "config/arch_config.h"
+#include "core/engine.h"
+#include "core/sim_error.h"
+#include "dwarfs/dwarfs.h"
+#include "obs/telemetry.h"
+#include "snapshot/plan.h"
+#include "snapshot/snapshot.h"
+#include "stats/trace_sinks.h"
+
+namespace simany {
+namespace {
+
+constexpr double kTiny = 0.04;
+
+/// FNV-1a over every architectural SimStats field. Deliberately leaves
+/// out host_rounds / wall_seconds / host_threads_used (see file
+/// comment); everything else must match bit-for-bit.
+std::uint64_t arch_fingerprint(const SimStats& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(s.completion_ticks);
+  mix(s.tasks_spawned);
+  mix(s.tasks_inlined);
+  mix(s.tasks_migrated);
+  mix(s.probes_sent);
+  mix(s.probes_denied);
+  mix(s.messages);
+  mix(s.sync_stalls);
+  mix(s.fiber_switches);
+  mix(s.joins_suspended);
+  mix(s.limit_recomputes);
+  mix(s.faults_injected);
+  mix(s.fault_msgs_delayed);
+  mix(s.fault_msgs_duplicated);
+  mix(s.fault_msgs_dropped);
+  mix(s.fault_msg_retries);
+  mix(s.fault_msgs_reordered);
+  mix(s.fault_core_stalls);
+  mix(s.fault_spawn_denials);
+  mix(s.fault_mem_spikes);
+  mix(s.fault_core_wedges);
+  mix(s.fault_dead_cores);
+  mix(s.guard_inbox_overflows);
+  mix(s.guard_fiber_overflows);
+  mix(s.inbox_depth_peak);
+  mix(s.live_fibers_peak);
+  mix(s.parallelism_samples);
+  mix(s.parallelism_sum);
+  mix(s.parallelism_max);
+  mix(s.drift_max_ticks);
+  mix(s.inbox_heap_allocs);
+  mix(s.network.messages);
+  mix(s.network.bytes);
+  mix(s.network.hops);
+  mix(s.network.contention_ticks);
+  for (const Tick t : s.core_busy_ticks) mix(t);
+  return h;
+}
+
+enum class Host { kSeq, kPar1, kPar4 };
+
+void apply_host(ArchConfig& cfg, Host h) {
+  switch (h) {
+    case Host::kSeq:
+      break;
+    case Host::kPar1:
+      cfg.host.mode = HostMode::kParallel;
+      cfg.host.threads = 1;
+      cfg.host.shards = 1;
+      break;
+    case Host::kPar4:
+      cfg.host.mode = HostMode::kParallel;
+      cfg.host.threads = 2;  // 4 shards; 2 workers keeps CI load sane
+      cfg.host.shards = 4;
+      break;
+  }
+}
+
+ArchConfig topology(int i) {
+  switch (i) {
+    case 0:
+      return ArchConfig::shared_mesh(16);
+    case 1:
+      return ArchConfig::distributed_mesh(16);
+    case 2:
+      return ArchConfig::shared_mesh(8);
+    default:
+      return ArchConfig::clustered(ArchConfig::shared_mesh(16), 4);
+  }
+}
+
+fault::FaultPlan chaos_plan() {
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  plan.msg_delay_prob = 0.05;
+  plan.msg_dup_prob = 0.03;
+  plan.msg_drop_prob = 0.03;  // masked by the retry path
+  plan.stall_prob = 0.02;
+  plan.spawn_fail_prob = 0.05;
+  plan.mem_spike_prob = 0.02;
+  return plan;
+}
+
+std::string temp_snapshot_path(std::string tag) {
+  for (auto& ch : tag) {
+    if (ch == '/') ch = '_';  // parameterized test names carry a slash
+  }
+  return ::testing::TempDir() + "simany_" + tag + ".snap";
+}
+
+struct RunResult {
+  std::uint64_t stats_fp = 0;
+  std::uint64_t telemetry_fp = 0;
+
+  friend bool operator==(const RunResult&, const RunResult&) = default;
+};
+
+/// One full run: baseline when both plan and resume are null, writer
+/// when `plan` is set, restored continuation when `resume` is set.
+RunResult run_once(const ArchConfig& cfg, const char* dwarf,
+                   std::uint64_t seed,
+                   const snapshot::SnapshotPlan* plan = nullptr,
+                   const std::string* resume = nullptr,
+                   std::uint64_t workload_fp = 0) {
+  Engine sim(cfg);
+  obs::Telemetry tel;
+  sim.set_telemetry(&tel);
+  if (plan != nullptr) sim.snapshot_to(*plan);
+  if (resume != nullptr) sim.restore_from(*resume, workload_fp);
+  const SimStats st =
+      sim.run(dwarfs::dwarf_by_name(dwarf).make_root(seed, kTiny));
+  return RunResult{arch_fingerprint(st),
+                   tel.fingerprint(obs::EventClass::kAll)};
+}
+
+// ---- The property sweep (chaos label: `ctest -L snapshot -L chaos`) --
+
+using SweepParam = std::tuple<std::uint64_t, int, const char*, Host, bool>;
+
+class SnapshotSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SnapshotSweep, InterruptedEqualsUninterrupted) {
+  const auto [seed, topo_i, dwarf, host, faulty] = GetParam();
+  ArchConfig cfg = topology(topo_i);
+  apply_host(cfg, host);
+  if (faulty) cfg.fault = chaos_plan();
+
+  const std::uint64_t wf = snapshot::workload_fingerprint(dwarf, seed, kTiny);
+  const std::string path = temp_snapshot_path(
+      ::testing::UnitTest::GetInstance()->current_test_info()->name());
+
+  const RunResult base = run_once(cfg, dwarf, seed);
+
+  snapshot::SnapshotPlan plan;
+  plan.path = path;
+  plan.at_quanta = 5;  // early cursor; falls back to final state if the
+                       // run is shorter, which the property tolerates
+  plan.workload_fp = wf;
+  const RunResult writer = run_once(cfg, dwarf, seed, &plan);
+  EXPECT_EQ(base, writer) << "arming a snapshot perturbed the run";
+
+  const RunResult resumed =
+      run_once(cfg, dwarf, seed, nullptr, &path, wf);
+  EXPECT_EQ(base, resumed) << "restored run diverged from baseline";
+
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Equivalence, SnapshotSweep,
+    ::testing::Combine(
+        ::testing::Values(std::uint64_t{17}, std::uint64_t{23}),
+        ::testing::Values(0, 1, 2, 3),
+        ::testing::Values("quicksort", "spmxv"),
+        ::testing::Values(Host::kSeq, Host::kPar1, Host::kPar4),
+        ::testing::Bool()),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      const Host host = std::get<3>(info.param);
+      std::ostringstream n;
+      n << "s" << std::get<0>(info.param) << "_t" << std::get<1>(info.param)
+        << "_" << std::get<2>(info.param) << "_"
+        << (host == Host::kSeq ? "seq"
+                               : (host == Host::kPar1 ? "par1" : "par4"))
+        << (std::get<4>(info.param) ? "_fault" : "_clean");
+      std::string s = n.str();
+      for (auto& ch : s) {
+        if (ch == '-') ch = '_';
+      }
+      return s;
+    });
+
+// ---- Fast tier-1 cases ----------------------------------------------
+
+TEST(Snapshot, SeqOneShotRoundTrip) {
+  ArchConfig cfg = ArchConfig::shared_mesh(16);
+  const std::uint64_t wf =
+      snapshot::workload_fingerprint("quicksort", 17, kTiny);
+  const std::string path = temp_snapshot_path("seq_oneshot");
+
+  const RunResult base = run_once(cfg, "quicksort", 17);
+
+  snapshot::SnapshotPlan plan;
+  plan.path = path;
+  plan.at_quanta = 40;
+  plan.workload_fp = wf;
+  const RunResult writer = run_once(cfg, "quicksort", 17, &plan);
+  EXPECT_EQ(base, writer);
+
+  const snapshot::SnapshotFile f = snapshot::read_snapshot_file(path);
+  EXPECT_EQ(f.header.workload_fp, wf);
+  EXPECT_GE(f.header.cursor_actual, plan.at_quanta);
+
+  const RunResult resumed = run_once(cfg, "quicksort", 17, nullptr, &path, wf);
+  EXPECT_EQ(base, resumed);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, Par4SnapshotRestoresIntoSeqEngine) {
+  // The acceptance-criteria case: a snapshot captured under par-4
+  // restores into an engine constructed sequential. The restore adopts
+  // the snapshot's shard geometry (4 shards, inline on one worker),
+  // which the host-determinism contract makes bit-identical to the
+  // threaded original.
+  ArchConfig par = ArchConfig::distributed_mesh(16);
+  apply_host(par, Host::kPar4);
+  const std::uint64_t wf = snapshot::workload_fingerprint("spmxv", 23, kTiny);
+  const std::string path = temp_snapshot_path("par4_to_seq");
+
+  const RunResult base = run_once(par, "spmxv", 23);
+
+  snapshot::SnapshotPlan plan;
+  plan.path = path;
+  plan.at_quanta = 20;
+  plan.workload_fp = wf;
+  const RunResult writer = run_once(par, "spmxv", 23, &plan);
+  EXPECT_EQ(base, writer);
+
+  ArchConfig seq = ArchConfig::distributed_mesh(16);  // sequential host
+  const RunResult resumed = run_once(seq, "spmxv", 23, nullptr, &path, wf);
+  EXPECT_EQ(base, resumed)
+      << "par-4 snapshot must replay bit-identically on one worker";
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, PeriodicCadenceCapturesAndResumes) {
+  ArchConfig cfg = ArchConfig::shared_mesh(16);
+  const std::uint64_t wf =
+      snapshot::workload_fingerprint("quicksort", 31, kTiny);
+  const std::string path = temp_snapshot_path("periodic");
+
+  const RunResult base = run_once(cfg, "quicksort", 31);
+
+  snapshot::SnapshotPlan plan;
+  plan.path = path;
+  plan.every_quanta = 16;  // periodic-only: overwrites in place
+  plan.workload_fp = wf;
+  const RunResult writer = run_once(cfg, "quicksort", 31, &plan);
+  EXPECT_EQ(base, writer);
+
+  const snapshot::SnapshotFile f = snapshot::read_snapshot_file(path);
+  EXPECT_EQ(f.header.every_quanta, 16u);
+
+  const RunResult resumed = run_once(cfg, "quicksort", 31, nullptr, &path, wf);
+  EXPECT_EQ(base, resumed);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, CursorPastEndCapturesFinalState) {
+  // A one-shot target past the end of the run still leaves a usable
+  // file: the writer captures the final quiesced state, and the
+  // restore replays the whole run under byte-verification.
+  ArchConfig cfg = ArchConfig::shared_mesh(8);
+  const std::uint64_t wf = snapshot::workload_fingerprint("spmxv", 17, kTiny);
+  const std::string path = temp_snapshot_path("past_end");
+
+  const RunResult base = run_once(cfg, "spmxv", 17);
+
+  snapshot::SnapshotPlan plan;
+  plan.path = path;
+  plan.at_quanta = ~std::uint64_t{0} / 2;
+  plan.workload_fp = wf;
+  const RunResult writer = run_once(cfg, "spmxv", 17, &plan);
+  EXPECT_EQ(base, writer);
+
+  const RunResult resumed = run_once(cfg, "spmxv", 17, nullptr, &path, wf);
+  EXPECT_EQ(base, resumed);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, TraceIsByteIdenticalAfterResume) {
+  // Sequential host with a CSV trace attached on both sides: the
+  // restored continuation must emit the exact same event stream.
+  const std::uint64_t wf =
+      snapshot::workload_fingerprint("quicksort", 17, kTiny);
+  const std::string path = temp_snapshot_path("trace_equiv");
+
+  const auto traced_run = [&](bool write,
+                              bool resume) -> std::string {
+    ArchConfig cfg = ArchConfig::shared_mesh(8);
+    Engine sim(cfg);
+    std::ostringstream csv_out;
+    stats::CsvTrace csv(csv_out);
+    sim.set_trace(&csv);
+    snapshot::SnapshotPlan plan;
+    plan.path = path;
+    plan.at_quanta = 24;
+    plan.workload_fp = wf;
+    if (write) sim.snapshot_to(plan);
+    if (resume) sim.restore_from(path, wf);
+    (void)sim.run(dwarfs::dwarf_by_name("quicksort").make_root(17, kTiny));
+    return csv_out.str();
+  };
+
+  const std::string base = traced_run(false, false);
+  const std::string writer = traced_run(true, false);
+  EXPECT_EQ(base, writer);
+  const std::string resumed = traced_run(false, true);
+  EXPECT_EQ(base, resumed);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, RestoreRefusesWrongWorkload) {
+  ArchConfig cfg = ArchConfig::shared_mesh(8);
+  const std::uint64_t wf = snapshot::workload_fingerprint("spmxv", 17, kTiny);
+  const std::string path = temp_snapshot_path("wrong_workload");
+  snapshot::SnapshotPlan plan;
+  plan.path = path;
+  plan.at_quanta = 10;
+  plan.workload_fp = wf;
+  (void)run_once(cfg, "spmxv", 17, &plan);
+
+  Engine sim(cfg);
+  try {
+    sim.restore_from(path,
+                     snapshot::workload_fingerprint("quicksort", 17, kTiny));
+    FAIL() << "mismatched workload fingerprint must refuse";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.context().code, SimErrorCode::kSnapshotMismatch);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, RestoreRefusesWrongConfig) {
+  ArchConfig cfg = ArchConfig::shared_mesh(8);
+  const std::uint64_t wf = snapshot::workload_fingerprint("spmxv", 17, kTiny);
+  const std::string path = temp_snapshot_path("wrong_config");
+  snapshot::SnapshotPlan plan;
+  plan.path = path;
+  plan.at_quanta = 10;
+  plan.workload_fp = wf;
+  (void)run_once(cfg, "spmxv", 17, &plan);
+
+  Engine other(ArchConfig::shared_mesh(16));
+  try {
+    other.restore_from(path, wf);
+    FAIL() << "mismatched config fingerprint must refuse";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.context().code, SimErrorCode::kSnapshotMismatch);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, RestoreRefusesMissingTelemetry) {
+  // The capture run had telemetry attached (its buffers are part of
+  // the verified image), so a restore without it cannot replay.
+  ArchConfig cfg = ArchConfig::shared_mesh(8);
+  const std::uint64_t wf = snapshot::workload_fingerprint("spmxv", 17, kTiny);
+  const std::string path = temp_snapshot_path("missing_telemetry");
+  snapshot::SnapshotPlan plan;
+  plan.path = path;
+  plan.at_quanta = 10;
+  plan.workload_fp = wf;
+  (void)run_once(cfg, "spmxv", 17, &plan);  // writer attaches telemetry
+
+  Engine sim(cfg);  // no telemetry this time
+  try {
+    sim.restore_from(path, wf);
+    FAIL() << "telemetry-flag mismatch must refuse";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.context().code, SimErrorCode::kSnapshotMismatch);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, SnapshotToRejectsEmptyPathAndUsedEngine) {
+  ArchConfig cfg = ArchConfig::shared_mesh(8);
+  snapshot::SnapshotPlan plan;
+  EXPECT_THROW(
+      {
+        Engine sim(cfg);
+        sim.snapshot_to(plan);  // empty path
+      },
+      std::invalid_argument);
+
+  Engine used(cfg);
+  (void)used.run(dwarfs::dwarf_by_name("spmxv").make_root(17, kTiny));
+  plan.path = temp_snapshot_path("used_engine");
+  plan.at_quanta = 1;
+  EXPECT_THROW(used.snapshot_to(plan), std::logic_error);
+}
+
+}  // namespace
+}  // namespace simany

@@ -1,0 +1,173 @@
+// Golden snapshot-format regression (src/snapshot).
+//
+// A committed `simany-snapshot-v1` file pins the container format AND
+// the canonical state image for one fixed (architecture, workload,
+// cursor): any change to the wire layout, the codec's field order, or
+// the engine's scheduling shows up as a byte diff against the golden.
+// When a change is intentional, regenerate and review:
+//
+//   ./test_snapshot_golden --update-goldens
+//
+// then commit the updated file under tests/goldens/.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "config/arch_config.h"
+#include "core/engine.h"
+#include "core/sim_error.h"
+#include "dwarfs/dwarfs.h"
+#include "snapshot/plan.h"
+#include "snapshot/snapshot.h"
+
+namespace simany {
+namespace {
+
+bool g_update_goldens = false;
+
+constexpr char kGoldenName[] = "snapshot_mesh8_spmxv_seed17";
+constexpr std::uint64_t kSeed = 17;
+constexpr double kFactor = 0.04;
+constexpr std::uint64_t kCursor = 32;
+
+std::string golden_path() {
+  return std::string(SIMANY_GOLDEN_DIR) + "/" + kGoldenName + ".snap";
+}
+
+std::uint64_t golden_workload_fp() {
+  return snapshot::workload_fingerprint("spmxv", kSeed, kFactor);
+}
+
+/// Runs the pinned scenario, writing its snapshot to `path`.
+SimStats write_snapshot_to(const std::string& path) {
+  ArchConfig cfg = ArchConfig::shared_mesh(8);
+  Engine sim(cfg);
+  snapshot::SnapshotPlan plan;
+  plan.path = path;
+  plan.at_quanta = kCursor;
+  plan.workload_fp = golden_workload_fp();
+  sim.snapshot_to(plan);
+  return sim.run(dwarfs::dwarf_by_name("spmxv").make_root(kSeed, kFactor));
+}
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::vector<std::uint8_t> data(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return data;
+}
+
+TEST(SnapshotGolden, FormatIsByteStable) {
+  const std::string fresh = ::testing::TempDir() + "simany_golden_fresh.snap";
+  (void)write_snapshot_to(fresh);
+  const std::vector<std::uint8_t> actual = slurp(fresh);
+  std::remove(fresh.c_str());
+
+  if (g_update_goldens) {
+    std::ofstream out(golden_path(), std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write golden " << golden_path();
+    out.write(reinterpret_cast<const char*>(actual.data()),
+              static_cast<std::streamsize>(actual.size()));
+    GTEST_SKIP() << "updated golden " << golden_path();
+  }
+
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << golden_path()
+      << " — run test_snapshot_golden --update-goldens and commit it";
+  const std::vector<std::uint8_t> expected = slurp(golden_path());
+  if (expected == actual) return;
+
+  const std::size_t n = std::min(expected.size(), actual.size());
+  std::size_t off = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (expected[i] != actual[i]) {
+      off = i;
+      break;
+    }
+  }
+  FAIL() << "snapshot bytes diverge from " << golden_path()
+         << " (golden " << expected.size() << " bytes, actual "
+         << actual.size() << ") at offset " << off
+         << "\nIf the format or scheduling change is intentional, rerun "
+            "with --update-goldens and commit the new golden.";
+}
+
+TEST(SnapshotGolden, GoldenParsesWithPinnedIdentity) {
+  const snapshot::SnapshotFile f = snapshot::read_snapshot_file(golden_path());
+  EXPECT_EQ(f.header.workload_fp, golden_workload_fp());
+  // header.seed is the *config* seed; the workload seed is folded into
+  // workload_fp instead.
+  EXPECT_EQ(f.header.seed, ArchConfig::shared_mesh(8).seed);
+  EXPECT_EQ(f.header.num_cores, 8u);
+  EXPECT_EQ(f.header.shards, 1u);
+  EXPECT_EQ(f.header.cursor_requested, kCursor);
+  EXPECT_GE(f.header.cursor_actual, kCursor);
+  EXPECT_FALSE(f.image.empty());
+}
+
+TEST(SnapshotGolden, RestoreFromCommittedGoldenFinishesIdentically) {
+  // The committed artifact is not just stable, it *works*: restoring
+  // from it and finishing matches an uninterrupted run bit-for-bit.
+  ArchConfig cfg = ArchConfig::shared_mesh(8);
+  const auto run_stats = [&](bool resume) {
+    Engine sim(cfg);
+    if (resume) sim.restore_from(golden_path(), golden_workload_fp());
+    return sim.run(dwarfs::dwarf_by_name("spmxv").make_root(kSeed, kFactor));
+  };
+  const SimStats base = run_stats(false);
+  const SimStats resumed = run_stats(true);
+  EXPECT_EQ(base.completion_ticks, resumed.completion_ticks);
+  EXPECT_EQ(base.tasks_spawned, resumed.tasks_spawned);
+  EXPECT_EQ(base.messages, resumed.messages);
+  EXPECT_EQ(base.sync_stalls, resumed.sync_stalls);
+  EXPECT_EQ(base.fiber_switches, resumed.fiber_switches);
+}
+
+TEST(SnapshotGolden, FutureVersionOfGoldenIsRefused) {
+  // Forward refusal on the real artifact: bump the version word and
+  // re-seal the trailing digest; the reader must refuse with the
+  // unknown version in Context::detail.
+  std::vector<std::uint8_t> bad = slurp(golden_path());
+  ASSERT_GT(bad.size(), 16u);
+  bad[8] = static_cast<std::uint8_t>(snapshot::kFormatVersion + 1);
+  const std::size_t body = bad.size() - 8;
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < body; ++i) {
+    h ^= bad[i];
+    h *= 1099511628211ULL;
+  }
+  for (int i = 0; i < 8; ++i) {
+    bad[body + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((h >> (i * 8)) & 0xffu);
+  }
+  try {
+    (void)snapshot::decode_snapshot(bad.data(), bad.size());
+    FAIL() << "future version accepted";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.context().code, SimErrorCode::kSnapshotCorrupt);
+    EXPECT_EQ(e.context().detail, snapshot::kFormatVersion + 1u);
+  }
+}
+
+}  // namespace
+}  // namespace simany
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-goldens") == 0) {
+      simany::g_update_goldens = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,228 @@
+// Adversarial corpus for the snapshot reader (src/snapshot).
+//
+// Same posture as test_config_hardening.cpp: every malformed input —
+// truncations at every prefix length, flipped magic/version bytes,
+// oversized length prefixes, corrupted digests, trailing garbage —
+// must surface as a structured SimError{kSnapshotCorrupt}, never as
+// undefined behavior. The suite runs under ASan/UBSan in the snapshot
+// CI job, so an over-read or wild allocation fails loudly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "config/arch_config.h"
+#include "core/engine.h"
+#include "core/sim_error.h"
+#include "dwarfs/dwarfs.h"
+#include "snapshot/plan.h"
+#include "snapshot/snapshot.h"
+
+namespace simany {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// A small but fully valid container, built without an engine: the
+/// reader's structural checks don't care what the image encodes.
+Bytes valid_container() {
+  snapshot::SnapshotFile f;
+  f.header.config_fp = 0x1111111111111111ULL;
+  f.header.workload_fp = 0x2222222222222222ULL;
+  f.header.seed = 17;
+  f.header.mode = 0;
+  f.header.flags = snapshot::kFlagTelemetry;
+  f.header.shards = 4;
+  f.header.round_quanta = 512;
+  f.header.num_cores = 16;
+  f.header.cursor_requested = 100;
+  f.header.every_quanta = 0;
+  f.header.cursor_actual = 128;
+  f.header.host_rounds = 9;
+  for (int i = 0; i < 200; ++i) {
+    f.image.push_back(static_cast<std::uint8_t>(i * 7 + 3));
+  }
+  return snapshot::encode_snapshot(f);
+}
+
+void expect_corrupt(const Bytes& data, const char* what) {
+  try {
+    (void)snapshot::decode_snapshot(data.data(), data.size());
+    FAIL() << what << ": decode accepted malformed input";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.context().code, SimErrorCode::kSnapshotCorrupt) << what;
+  }
+  // Anything else (std::bad_alloc, std::length_error, a sanitizer
+  // abort) escapes and fails the test, which is the point.
+}
+
+TEST(SnapshotHardening, ValidContainerRoundTrips) {
+  const Bytes data = valid_container();
+  const snapshot::SnapshotFile f =
+      snapshot::decode_snapshot(data.data(), data.size());
+  EXPECT_EQ(f.header.seed, 17u);
+  EXPECT_EQ(f.header.shards, 4u);
+  EXPECT_EQ(f.header.cursor_actual, 128u);
+  EXPECT_EQ(f.image.size(), 200u);
+}
+
+TEST(SnapshotHardening, EveryTruncationIsStructuredError) {
+  const Bytes data = valid_container();
+  // Every prefix of the container, including the empty file, must be
+  // rejected cleanly; no prefix of a valid file is itself valid.
+  for (std::size_t n = 0; n < data.size(); ++n) {
+    Bytes cut(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(n));
+    expect_corrupt(cut, "truncation");
+  }
+}
+
+TEST(SnapshotHardening, EverySingleByteFlipIsRejected) {
+  const Bytes data = valid_container();
+  // The trailing file digest covers every byte, so any single-bit
+  // corruption anywhere must be caught — either by a targeted check
+  // (magic, version, length prefix) or by the digest of last resort.
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    Bytes bad = data;
+    bad[i] ^= 0x40;
+    expect_corrupt(bad, "byte flip");
+  }
+}
+
+TEST(SnapshotHardening, BadMagicIsRejected) {
+  Bytes bad = valid_container();
+  std::memcpy(bad.data(), "NOTASNAP", 8);
+  expect_corrupt(bad, "bad magic");
+}
+
+TEST(SnapshotHardening, FutureVersionIsRefusedWithDetail) {
+  Bytes bad = valid_container();
+  // Bump the version field and re-seal the file digest so the refusal
+  // is provably the version check, not the checksum.
+  bad[8] = static_cast<std::uint8_t>(snapshot::kFormatVersion + 1);
+  const std::size_t body = bad.size() - 8;
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < body; ++i) {
+    h ^= bad[i];
+    h *= 1099511628211ULL;
+  }
+  for (int i = 0; i < 8; ++i) {
+    bad[body + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((h >> (i * 8)) & 0xffu);
+  }
+  try {
+    (void)snapshot::decode_snapshot(bad.data(), bad.size());
+    FAIL() << "future version accepted";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.context().code, SimErrorCode::kSnapshotCorrupt);
+    EXPECT_EQ(e.context().detail, snapshot::kFormatVersion + 1u);
+  }
+}
+
+TEST(SnapshotHardening, OversizedHeaderPrefixIsRejected) {
+  Bytes bad = valid_container();
+  // header_bytes lives right after magic+version; claim 4 GiB.
+  bad[12] = 0xff;
+  bad[13] = 0xff;
+  bad[14] = 0xff;
+  bad[15] = 0xff;
+  expect_corrupt(bad, "oversized header prefix");
+}
+
+TEST(SnapshotHardening, OversizedImagePrefixIsRejected) {
+  Bytes data = valid_container();
+  // image_bytes is the u64 right after the header block.
+  const std::size_t off = 16 + (data[12] | (data[13] << 8) |
+                                (data[14] << 16) |
+                                (static_cast<std::uint32_t>(data[15]) << 24));
+  ASSERT_LT(off + 8, data.size());
+  for (int i = 0; i < 8; ++i) {
+    data[off + static_cast<std::size_t>(i)] = 0xff;
+  }
+  expect_corrupt(data, "oversized image prefix");
+}
+
+TEST(SnapshotHardening, TrailingGarbageIsRejected) {
+  Bytes bad = valid_container();
+  bad.push_back(0x00);
+  expect_corrupt(bad, "trailing garbage");
+}
+
+TEST(SnapshotHardening, UnknownHeaderExtensionIsRefused) {
+  // A header block longer than the v1 field set means a newer writer:
+  // forward refusal, not a silent partial parse.
+  snapshot::SnapshotFile f;
+  f.header.num_cores = 8;
+  f.image = {1, 2, 3};
+  Bytes data = snapshot::encode_snapshot(f);
+  const std::uint32_t header_bytes =
+      data[12] | (data[13] << 8) | (data[14] << 16) |
+      (static_cast<std::uint32_t>(data[15]) << 24);
+  // Splice one extra byte into the header block and re-declare its
+  // length; leave the digests stale — but the length check must fire
+  // first either way, so also re-seal to prove it.
+  Bytes bad(data.begin(), data.begin() + 16);
+  const std::uint32_t grown = header_bytes + 1;
+  bad[12] = static_cast<std::uint8_t>(grown & 0xffu);
+  bad[13] = static_cast<std::uint8_t>((grown >> 8) & 0xffu);
+  bad[14] = static_cast<std::uint8_t>((grown >> 16) & 0xffu);
+  bad[15] = static_cast<std::uint8_t>((grown >> 24) & 0xffu);
+  bad.insert(bad.end(), data.begin() + 16, data.begin() + 16 + header_bytes);
+  bad.push_back(0xEE);  // the "extension" field
+  bad.insert(bad.end(), data.begin() + 16 + header_bytes, data.end() - 8);
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::uint8_t b : bad) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  for (int i = 0; i < 8; ++i) {
+    bad.push_back(static_cast<std::uint8_t>((h >> (i * 8)) & 0xffu));
+  }
+  expect_corrupt(bad, "unknown header extension");
+}
+
+TEST(SnapshotHardening, MissingFileIsStructuredError) {
+  try {
+    (void)snapshot::read_snapshot_file("/nonexistent/simany.snap");
+    FAIL() << "missing file accepted";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.context().code, SimErrorCode::kSnapshotCorrupt);
+  }
+}
+
+TEST(SnapshotHardening, RestoreFromCorruptFileOnDiskIsStructured) {
+  // End to end: a real engine-written snapshot, corrupted on disk,
+  // must refuse at restore_from with the structural error.
+  const std::string path = ::testing::TempDir() + "simany_corrupt.snap";
+  ArchConfig cfg = ArchConfig::shared_mesh(8);
+  const std::uint64_t wf = snapshot::workload_fingerprint("spmxv", 17, 0.04);
+  {
+    Engine sim(cfg);
+    snapshot::SnapshotPlan plan;
+    plan.path = path;
+    plan.at_quanta = 10;
+    plan.workload_fp = wf;
+    sim.snapshot_to(plan);
+    (void)sim.run(dwarfs::dwarf_by_name("spmxv").make_root(17, 0.04));
+  }
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(40);  // somewhere inside the header block
+    const char x = '\x5a';
+    f.write(&x, 1);
+  }
+  Engine sim(cfg);
+  try {
+    sim.restore_from(path, wf);
+    FAIL() << "corrupt on-disk snapshot accepted";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.context().code, SimErrorCode::kSnapshotCorrupt);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace simany
