@@ -14,6 +14,7 @@
 #include "mem/pessimistic_l1.h"
 #include "mem/setassoc_cache.h"
 #include "net/network.h"
+#include "obs/critpath.h"
 #include "obs/telemetry.h"
 #include "timing/cost_model.h"
 
@@ -215,6 +216,40 @@ void BM_Telemetry(benchmark::State& state) {
       static_cast<double>(events) / static_cast<double>(state.iterations()));
 }
 BENCHMARK(BM_Telemetry)->Arg(0)->Arg(1);
+
+void BM_CritPath(benchmark::State& state) {
+  // Post-mortem critical-path analysis over the event stream of the
+  // probe/spawn/join workload. The analyzer is a pure function of the
+  // merged stream, so one instrumented run supplies the input and each
+  // iteration re-analyzes it; items/s is events analyzed per second.
+  // `critpath_segments_per_run` rides along so the regression gate
+  // catches a path-shape blow-up (runaway segment count) even when the
+  // wall time still fits the threshold.
+  obs::Telemetry telemetry;
+  {
+    Engine sim(ArchConfig::shared_mesh(16));
+    sim.set_telemetry(&telemetry);
+    (void)sim.run([](TaskCtx& ctx) {
+      const GroupId g = ctx.make_group();
+      for (int i = 0; i < 1000; ++i) {
+        spawn_or_run(ctx, g, [](TaskCtx& c) { c.compute(1); });
+      }
+      ctx.join(g);
+    });
+  }
+  const std::vector<obs::Event>& events = telemetry.events();
+  std::uint64_t segments = 0;
+  for (auto _ : state) {
+    const obs::CritPathReport report = obs::analyze_critical_path(events);
+    benchmark::DoNotOptimize(report.total_ticks);
+    segments += report.segments.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events.size()));
+  state.counters["critpath_segments_per_run"] = benchmark::Counter(
+      static_cast<double>(segments) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_CritPath);
 
 void BM_NetworkSend(benchmark::State& state) {
   const auto topo = net::Topology::mesh2d(1024);

@@ -25,6 +25,14 @@
 //   --metrics-out <file>  write the metrics registry (.json or .csv)
 //   --metrics-interval <c> virtual-time metric sampling period, cycles
 //   --profile-host        add wall-clock host-round tracks to the trace
+//   --critpath-out <file> write the causal critical-path report
+//                         (simany-critpath-v1 JSON); with --trace-json
+//                         the path is also rendered as its own track
+//   --critpath-top <k>    ranking depth of the critpath report (default 10)
+//   --status-out <file>   maintain a live simany-status-v1 heartbeat
+//                         file (atomically replaced at barriers)
+//   --status-interval-ms <n> heartbeat period in wall-clock ms
+//                         (default 1000; 0 writes at every barrier)
 //   --messages            print the message-kind histogram
 //   --lint                lint the configuration and exit (nonzero on
 //                         errors)
@@ -86,8 +94,11 @@
 #include "core/engine.h"
 #include "core/sim_error.h"
 #include "dwarfs/dwarfs.h"
+#include "check/critpath_check.h"
 #include "guard/crash_report.h"
+#include "obs/critpath.h"
 #include "obs/export.h"
+#include "obs/status.h"
 #include "obs/telemetry.h"
 #include "snapshot/plan.h"
 #include "snapshot/snapshot.h"
@@ -120,6 +131,10 @@ int main(int argc, char** argv) {
   std::optional<std::string> trace_json_path;
   std::optional<std::string> trace_csv_path;
   std::optional<std::string> metrics_path;
+  std::optional<std::string> critpath_path;
+  std::size_t critpath_top = 10;
+  std::optional<std::string> status_path;
+  std::uint64_t status_interval_ms = 1000;
   std::uint64_t metrics_interval = 0;
   bool profile_host = false;
   std::uint32_t cores = 16;
@@ -177,6 +192,15 @@ int main(int argc, char** argv) {
       trace_csv_path = need("--trace-csv");
     } else if (!std::strcmp(argv[i], "--metrics-out")) {
       metrics_path = need("--metrics-out");
+    } else if (!std::strcmp(argv[i], "--critpath-out")) {
+      critpath_path = need("--critpath-out");
+    } else if (!std::strcmp(argv[i], "--critpath-top")) {
+      critpath_top = std::strtoull(need("--critpath-top"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--status-out")) {
+      status_path = need("--status-out");
+    } else if (!std::strcmp(argv[i], "--status-interval-ms")) {
+      status_interval_ms =
+          std::strtoull(need("--status-interval-ms"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--metrics-interval")) {
       metrics_interval =
           std::strtoull(need("--metrics-interval"), nullptr, 10);
@@ -375,13 +399,19 @@ int main(int argc, char** argv) {
     if (checked) invariants.attach(sim);
 
     std::optional<obs::Telemetry> telemetry;
-    if (trace_json_path || trace_csv_path || metrics_path ||
+    if (trace_json_path || trace_csv_path || metrics_path || critpath_path ||
         cfg.obs.profile_host || cfg.obs.metrics_interval_cycles > 0) {
       obs::TelemetryOptions topt;
       topt.metrics_interval_cycles = cfg.obs.metrics_interval_cycles;
       topt.profile_host = cfg.obs.profile_host;
       telemetry.emplace(topt);
       sim.set_telemetry(&*telemetry);
+    }
+
+    std::optional<obs::StatusReporter> status;
+    if (status_path) {
+      status.emplace(*status_path, status_interval_ms);
+      sim.set_status(&*status);
     }
 
     // Checkpoint/restore (src/snapshot): the workload fingerprint
@@ -441,6 +471,17 @@ int main(int argc, char** argv) {
         if (metrics_path) {
           std::ofstream out(*metrics_path);
           telemetry->metrics().write_json(out);
+        }
+        if (critpath_path) {
+          // Partial stream: the report covers whatever timeline the run
+          // produced before the abort (no conservation check — the run
+          // has no completion time to conserve against).
+          const obs::CritPathReport partial =
+              obs::analyze_critical_path(telemetry->events(), critpath_top);
+          std::ofstream out(*critpath_path);
+          obs::write_critpath_json(out, partial);
+          std::fprintf(stderr, "  partial critpath: %s\n",
+                       critpath_path->c_str());
         }
       }
       if (crash_report_path) {
@@ -536,11 +577,31 @@ int main(int argc, char** argv) {
       std::printf("trace           : %s (%llu rows)\n", trace_path->c_str(),
                   static_cast<unsigned long long>(csv->rows()));
     }
+    bool critpath_ok = true;
     if (telemetry) {
+      std::optional<obs::CritPathReport> critpath;
+      if (critpath_path) {
+        critpath = obs::analyze_critical_path(telemetry->events(),
+                                              critpath_top);
+        // Conservation audit (simcheck): every tick of the completion
+        // time must be attributed to exactly one cause segment.
+        const auto violations =
+            check::check_critpath(*critpath, st.completion_ticks);
+        for (const auto& v : violations) {
+          std::fprintf(stderr, "critpath check: %s\n", v.detail.c_str());
+        }
+        std::ofstream out(*critpath_path);
+        obs::write_critpath_json(out, *critpath);
+        std::printf("critical path   : %s (%zu segments, fp %016llx)\n",
+                    critpath_path->c_str(), critpath->segments.size(),
+                    static_cast<unsigned long long>(critpath->fingerprint()));
+        critpath_ok = violations.empty();
+      }
       if (trace_json_path) {
         std::ofstream out(*trace_json_path);
         obs::ChromeTraceOptions copt;
         copt.host_threads = static_cast<unsigned>(st.host_threads_used);
+        if (critpath) copt.critpath = &*critpath;
         obs::write_chrome_trace(out, *telemetry, copt);
         const auto n_events =
             static_cast<unsigned long long>(telemetry->events().size());
@@ -569,6 +630,11 @@ int main(int argc, char** argv) {
                     as_csv ? "csv" : "json");
       }
     }
-    return 0;
+    if (status) {
+      std::printf("status          : %s (%llu heartbeats)\n",
+                  status->path().c_str(),
+                  static_cast<unsigned long long>(status->writes()));
+    }
+    return critpath_ok ? 0 : 1;
   }
 }

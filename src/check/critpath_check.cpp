@@ -1,0 +1,102 @@
+#include "check/critpath_check.h"
+
+#include <array>
+#include <string>
+
+#include "obs/critpath.h"
+
+namespace simany::check {
+
+namespace {
+
+void add(std::vector<Violation>& out, CoreId core, std::string detail) {
+  Violation v;
+  v.invariant = Invariant::kConservation;
+  v.core = core;
+  v.detail = "critpath conservation: " + std::move(detail);
+  out.push_back(std::move(v));
+}
+
+}  // namespace
+
+std::vector<Violation> check_critpath(const obs::CritPathReport& r,
+                                      Tick completion_ticks) {
+  std::vector<Violation> out;
+
+  if (r.total_ticks != completion_ticks) {
+    add(out, r.terminal_core,
+        "report total " + std::to_string(r.total_ticks) +
+            " != run completion " + std::to_string(completion_ticks));
+  }
+
+  if (r.segments.empty()) {
+    if (r.total_ticks != 0) {
+      add(out, r.terminal_core,
+          "empty segment list but total " + std::to_string(r.total_ticks));
+    }
+    return out;
+  }
+
+  if (r.segments.front().t0 != 0) {
+    add(out, r.segments.front().core,
+        "first segment starts at " +
+            std::to_string(r.segments.front().t0) + ", not 0");
+  }
+  if (r.segments.back().t1 != r.total_ticks) {
+    add(out, r.segments.back().core,
+        "last segment ends at " + std::to_string(r.segments.back().t1) +
+            ", total is " + std::to_string(r.total_ticks));
+  }
+
+  Tick seg_sum = 0;
+  std::array<Tick, obs::kNumCritCauses> cause_sum{};
+  for (std::size_t i = 0; i < r.segments.size(); ++i) {
+    const obs::CritSegment& s = r.segments[i];
+    if (s.t1 < s.t0) {
+      add(out, s.core,
+          "segment " + std::to_string(i) + " inverted [" +
+              std::to_string(s.t0) + ", " + std::to_string(s.t1) + ")");
+      continue;
+    }
+    if (i > 0 && s.t0 != r.segments[i - 1].t1) {
+      add(out, s.core,
+          "segment " + std::to_string(i) + " starts at " +
+              std::to_string(s.t0) + " but previous ended at " +
+              std::to_string(r.segments[i - 1].t1));
+    }
+    seg_sum += s.len();
+    const auto c = static_cast<std::size_t>(s.cause);
+    if (c >= obs::kNumCritCauses) {
+      add(out, s.core,
+          "segment " + std::to_string(i) + " has out-of-range cause " +
+              std::to_string(c));
+      continue;
+    }
+    cause_sum[c] += s.len();
+  }
+
+  if (seg_sum != r.total_ticks) {
+    add(out, r.terminal_core,
+        "segment lengths sum to " + std::to_string(seg_sum) +
+            ", total is " + std::to_string(r.total_ticks));
+  }
+  Tick cause_total = 0;
+  for (std::size_t c = 0; c < obs::kNumCritCauses; ++c) {
+    cause_total += r.cause_ticks[c];
+    if (r.cause_ticks[c] != cause_sum[c]) {
+      add(out, r.terminal_core,
+          std::string("cause ") + obs::to_string(
+              static_cast<obs::CritCause>(c)) +
+              " books " + std::to_string(r.cause_ticks[c]) +
+              " ticks, segments carry " + std::to_string(cause_sum[c]));
+    }
+  }
+  if (cause_total != r.total_ticks) {
+    add(out, r.terminal_core,
+        "cause totals sum to " + std::to_string(cause_total) +
+            ", total is " + std::to_string(r.total_ticks));
+  }
+  return out;
+}
+
+}  // namespace simany::check

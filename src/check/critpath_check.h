@@ -1,0 +1,31 @@
+// Conservation re-verification for critical-path reports (simcheck).
+//
+// analyze_critical_path() attributes every tick of a run's completion
+// time to exactly one cause segment — a property the analyzer
+// establishes by construction (backward walk over contiguous
+// intervals). check_critpath() re-derives it independently from the
+// finished report: segments must be sorted, gap-free and overlap-free,
+// start at virtual time zero, end exactly at the run's completion
+// time, and the per-cause tick totals must re-sum to the same value.
+// Any disagreement is reported as an Invariant::kConservation
+// violation, mirroring the engine's own accounting audits.
+#pragma once
+
+#include <vector>
+
+#include "check/invariant_checker.h"
+#include "core/vtime.h"
+
+namespace simany::obs {
+struct CritPathReport;
+}
+
+namespace simany::check {
+
+/// Verifies the report's conservation properties against the run's
+/// completion time (`completion_ticks`, SimStats::completion in
+/// ticks). Returns every violation found (empty = report is sound).
+[[nodiscard]] std::vector<Violation> check_critpath(
+    const obs::CritPathReport& report, Tick completion_ticks);
+
+}  // namespace simany::check

@@ -11,6 +11,7 @@
 #include "fault/fault_injector.h"
 #include "host/parallel_engine.h"
 #include "host/partition.h"
+#include "obs/status.h"
 #include "obs/telemetry.h"
 #include "snapshot/run_hook.h"
 
@@ -494,6 +495,9 @@ void Engine::guard_flush_partial() {
     telemetry_->drain_at_barrier();
     telemetry_->finalize(cfg_.num_cores());
   }
+  // Terminal heartbeat on the abort path: pollers watching the status
+  // file learn the run failed instead of seeing a stale "running".
+  if (status_ != nullptr) status_tick(false, /*failed=*/true);
 }
 
 void Engine::guard_rethrow_worker(std::uint32_t shard,
@@ -761,6 +765,9 @@ bool Engine::host_serial_phase() {
   // a pure function of the timeline here (both host backends funnel
   // through this serial phase). The hook observes, never mutates.
   if (snap_hook_ != nullptr) snap_hook_->at_barrier(*this, finished);
+  // Status heartbeat: same quiesce argument as the snapshot hook —
+  // read-only sampling, output-only effects (see status_tick).
+  if (status_ != nullptr) status_tick(finished);
   // A run that completed beats any simultaneous guard trip.
   if (finished) return true;
   guard_serial_check();
@@ -784,6 +791,51 @@ bool Engine::host_serial_phase() {
           " inflight=" + std::to_string(inflight) +
           " stalled=" + std::to_string(stalled),
       dctx);
+}
+
+void Engine::status_tick(bool finished, bool failed) {
+  // Throttle by wall clock unless the run is ending: the final
+  // heartbeat must always land so pollers see "finished"/"failed".
+  if (!finished && !failed && !status_->due()) return;
+  obs::StatusSample s;
+  s.finished = finished;
+  s.failed = failed;
+  s.rounds = host_rounds_;
+  s.deadline_ms = cfg_.guard.deadline_ms;
+  s.max_vtime_ticks = guard_max_vtime_ticks_;
+  if (telemetry_ != nullptr) s.events = telemetry_->events_recorded();
+  std::uint64_t mail_out = 0;
+  std::uint64_t mail_in = 0;
+  s.shards.reserve(shards_.size());
+  Tick vmin = kTickInfinity;
+  Tick vmax = 0;
+  for (const auto& shp : shards_) {
+    obs::StatusShard ss;
+    ss.id = shp->id;
+    ss.quanta = shp->quantum_count;
+    ss.live_tasks = shp->live_tasks;
+    Tick smin = kTickInfinity;
+    Tick smax = 0;
+    for (CoreId c = shp->core_begin; c < shp->core_end; ++c) {
+      if (core(c).dead) continue;  // a dead core's frozen clock is noise
+      smin = std::min(smin, core(c).now);
+      smax = std::max(smax, core(c).now);
+    }
+    ss.now_min = smin == kTickInfinity ? 0 : smin;
+    ss.now_max = smax;
+    s.shards.push_back(ss);
+    s.quanta += shp->quantum_count;
+    s.live_tasks += shp->live_tasks;
+    s.inflight_messages += shp->inflight_messages;
+    mail_out += shp->mail_out;
+    mail_in += shp->mail_in;
+    vmin = std::min(vmin, ss.now_min);
+    vmax = std::max(vmax, ss.now_max);
+  }
+  s.mail_pending = mail_out >= mail_in ? mail_out - mail_in : 0;
+  s.vtime_min = vmin == kTickInfinity ? 0 : vmin;
+  s.vtime_max = vmax;
+  status_->write(s);
 }
 
 void Engine::apply_host_op(host::ShardState& sh, host::Routed r) {
@@ -1096,7 +1148,9 @@ void Engine::main_loop_cl() {
     if (obs_ != nullptr) obs_->on_quantum_end(*this);
     // Single-threaded loop: every quantum boundary is a quiesce point.
     if (snap_hook_ != nullptr) snap_hook_->cl_quantum(*this, sh.quantum_count);
+    if (status_ != nullptr) status_tick(false);
   }
+  if (status_ != nullptr) status_tick(true);
 }
 
 Tick Engine::cl_key(const CoreSim& c) const {
@@ -1252,7 +1306,11 @@ bool Engine::start_next_work(CoreSim& c) {
     if (trace_ != nullptr) trace_->on_task_start(c.id, c.now);
     if (obs_ != nullptr) obs_->on_task_start(*this, c.id, c.now);
     if (telemetry_ != nullptr) {
-      tel(shard_id_[c.id], obs::EventKind::kTaskStart, c.now, c.id);
+      // `a` carries the enqueue time so the critical-path analyzer can
+      // match this activation to its kTaskEnqueue even when migration
+      // reorders the queue (try_migrate pops from the back).
+      tel(shard_id_[c.id], obs::EventKind::kTaskStart, c.now, c.id, 0, 0,
+          t.arrival);
     }
     // Injected transient stall: the core spends `stall` ticks of
     // virtual time making no progress before the task body runs. It

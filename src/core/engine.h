@@ -83,6 +83,7 @@ struct SnapshotPlan;
 }
 namespace obs {
 class Telemetry;
+class StatusReporter;
 enum class EventKind : std::uint8_t;
 }
 
@@ -137,6 +138,13 @@ class Engine {
   /// object must outlive run()). Costs one null-check per emission
   /// point when detached.
   void set_telemetry(obs::Telemetry* t) noexcept { telemetry_ = t; }
+
+  /// Attaches the live run-status heartbeat (or nullptr to detach).
+  /// Like telemetry, this never pins the host mode and never perturbs
+  /// the simulated timeline: samples are taken read-only inside the
+  /// serial barrier phase and written to the reporter's file. The
+  /// reporter must outlive run().
+  void set_status(obs::StatusReporter* s) noexcept { status_ = s; }
 
   /// Builds a structured snapshot of the complete simulation state
   /// (core clocks, births, lock/cell/group tables, counters). Slow;
@@ -549,6 +557,14 @@ class Engine {
   /// high-water mark; piggybacks on the sample_parallelism cadence.
   void sample_drift(host::ShardState& sh);
 
+  // ---- Status heartbeat (src/obs; null unless set_status was called) ----
+
+  /// Builds a read-only progress sample and hands it to the status
+  /// reporter. Gated on the reporter's wall-clock throttle unless the
+  /// run is ending (`finished`/`failed` force a final heartbeat).
+  /// Serial-phase only: every shard counter and core clock is stable.
+  SIMANY_SERIAL_ONLY void status_tick(bool finished, bool failed = false);
+
   void charge(CoreSim& c, Tick cost,
               AdvanceKind kind = AdvanceKind::kRuntime) {
     const Tick from = c.now;
@@ -608,6 +624,7 @@ class Engine {
   TraceSink* trace_ = nullptr;
   EngineObserver* obs_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
+  obs::StatusReporter* status_ = nullptr;
   /// Snapshot capture/verify hook, armed by snapshot_to/restore_from
   /// (null otherwise: every call site is one predictable branch).
   std::unique_ptr<snapshot::RunHook> snap_hook_;

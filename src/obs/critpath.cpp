@@ -1,0 +1,542 @@
+#include "obs/critpath.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <tuple>
+#include <utility>
+
+#include "core/message.h"
+#include "fault/fault_plan.h"
+
+namespace simany::obs {
+
+namespace {
+
+[[nodiscard]] std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffu;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+[[nodiscard]] bool is_data_msg(std::uint8_t sub) noexcept {
+  switch (static_cast<MsgKind>(sub)) {
+    case MsgKind::kDataRequest:
+    case MsgKind::kDataResponse:
+    case MsgKind::kCellRelease:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// A core-time fault instant with a virtual-time extent: kCoreStall and
+/// kMemSpike charge `a` ticks of delay starting at the event's vtime.
+[[nodiscard]] bool is_span_fault(std::uint8_t sub) noexcept {
+  const auto k = static_cast<fault::FaultKind>(sub);
+  return k == fault::FaultKind::kCoreStall || k == fault::FaultKind::kMemSpike;
+}
+
+/// A message fault recorded on the sender at send time: the flight it
+/// delayed (or retried) is fault-induced rather than plain latency.
+[[nodiscard]] bool is_msg_fault(std::uint8_t sub) noexcept {
+  const auto k = static_cast<fault::FaultKind>(sub);
+  return k == fault::FaultKind::kMsgDelay ||
+         k == fault::FaultKind::kMsgDuplicate ||
+         k == fault::FaultKind::kMsgDrop;
+}
+
+struct FaultSpan {
+  Tick at = 0;
+  Tick len = 0;
+  std::uint8_t sub = 0;
+};
+
+/// All per-event indexes the backward walk consults. Built once, O(n);
+/// every vector is appended in canonical stream order, so lookups that
+/// take "the latest entry before position p" are deterministic binary
+/// searches.
+class StreamIndex {
+ public:
+  explicit StreamIndex(const std::vector<Event>& ev) : ev_(ev) {
+    std::uint32_t max_core = 0;
+    for (const Event& e : ev) {
+      max_core = std::max(max_core, e.core);
+    }
+    by_core_.resize(std::size_t{max_core} + 1);
+    open_depth_.resize(ev.size(), 0);
+    faults_.resize(std::size_t{max_core} + 1);
+    std::vector<int> depth(std::size_t{max_core} + 1, 0);
+    for (std::uint32_t i = 0; i < ev.size(); ++i) {
+      const Event& e = ev[i];
+      if (is_sync_event(e.kind)) continue;  // zero-width, host-cadenced
+      by_core_[e.core].push_back(i);
+      switch (e.kind) {
+        case EventKind::kTaskStart: ++depth[e.core]; break;
+        case EventKind::kTaskEnd: --depth[e.core]; break;
+        case EventKind::kMsgPost:
+          posts_.push_back(i);
+          break;
+        case EventKind::kLockRelease:
+          lock_rel_.push_back(i);
+          break;
+        case EventKind::kCellRelease:
+          cell_rel_.push_back(i);
+          break;
+        case EventKind::kTaskEnqueue:
+          enqueues_[e.core].push_back(i);
+          break;
+        case EventKind::kFault:
+          if (is_span_fault(e.sub) && e.a > 0) {
+            faults_[e.core].push_back(FaultSpan{e.vtime, e.a, e.sub});
+          } else if (is_msg_fault(e.sub)) {
+            msg_faults_.push_back(i);
+          }
+          break;
+        default: break;
+      }
+      open_depth_[i] = depth[e.core] > 0 ? 1 : 0;
+    }
+    // Secondary sort keys for the jump lookups. stable_sort keeps
+    // canonical stream order inside each key group.
+    auto by_post_key = [&](std::uint32_t x, std::uint32_t y) {
+      const Event& a = ev_[x];
+      const Event& b = ev_[y];
+      return std::tie(a.core, a.dst, a.a, a.sub) <
+             std::tie(b.core, b.dst, b.a, b.sub);
+    };
+    std::stable_sort(posts_.begin(), posts_.end(), by_post_key);
+    auto by_obj = [&](std::uint32_t x, std::uint32_t y) {
+      return std::tie(ev_[x].a, x) < std::tie(ev_[y].a, y);
+    };
+    std::stable_sort(lock_rel_.begin(), lock_rel_.end(), by_obj);
+    std::stable_sort(cell_rel_.begin(), cell_rel_.end(), by_obj);
+  }
+
+  /// Index of the latest non-sync event on `core` with stream position
+  /// strictly below `pos`, or -1.
+  [[nodiscard]] std::int64_t prev_on_core(std::uint32_t core,
+                                          std::uint32_t pos) const {
+    const auto& v = by_core_[core];
+    const auto it = std::lower_bound(v.begin(), v.end(), pos);
+    if (it == v.begin()) return -1;
+    return *(it - 1);
+  }
+
+  /// The kMsgPost matching a handled message: same (src, dst, arrival,
+  /// kind), preferring the latest post before the handler's position
+  /// (fault duplicates can produce several matches).
+  [[nodiscard]] std::int64_t matching_post(const Event& handled,
+                                           std::uint32_t pos) const {
+    const auto key = std::make_tuple(handled.dst, handled.core, handled.a,
+                                     handled.sub);
+    auto lo = std::lower_bound(
+        posts_.begin(), posts_.end(), key, [&](std::uint32_t x, auto k) {
+          const Event& e = ev_[x];
+          return std::make_tuple(e.core, e.dst, e.a, e.sub) < k;
+        });
+    std::int64_t best = -1;
+    for (auto it = lo; it != posts_.end(); ++it) {
+      const Event& e = ev_[*it];
+      if (std::make_tuple(e.core, e.dst, e.a, e.sub) != key) break;
+      if (*it < pos && *it > best) best = *it;
+    }
+    if (best >= 0) return best;
+    return lo != posts_.end() &&
+                   std::make_tuple(ev_[*lo].core, ev_[*lo].dst, ev_[*lo].a,
+                                   ev_[*lo].sub) == key
+               ? static_cast<std::int64_t>(*lo)
+               : -1;
+  }
+
+  /// The latest release of lock/cell `id` before stream position `pos`.
+  [[nodiscard]] std::int64_t latest_release(bool cell, std::uint64_t id,
+                                            std::uint32_t pos) const {
+    const auto& v = cell ? cell_rel_ : lock_rel_;
+    const auto key = std::make_tuple(id, pos);
+    const auto it = std::lower_bound(
+        v.begin(), v.end(), key, [&](std::uint32_t x, auto k) {
+          return std::make_tuple(ev_[x].a, x) < k;
+        });
+    if (it == v.begin()) return -1;
+    const std::uint32_t cand = *(it - 1);
+    return ev_[cand].a == id ? static_cast<std::int64_t>(cand) : -1;
+  }
+
+  /// The kTaskEnqueue on `core` whose vtime equals the started task's
+  /// queue-entry time (kTaskStart carries it in `a`); earliest match
+  /// wins on per-core vtime ties.
+  [[nodiscard]] std::int64_t enqueue_at(std::uint32_t core, Tick at) const {
+    const auto eit = enqueues_.find(core);
+    if (eit == enqueues_.end()) return -1;
+    const auto& v = eit->second;
+    const auto it =
+        std::lower_bound(v.begin(), v.end(), at,
+                         [&](std::uint32_t x, Tick t) {
+                           return ev_[x].vtime < t;
+                         });
+    if (it == v.end() || ev_[*it].vtime != at) return -1;
+    return *it;
+  }
+
+  /// Any task_end on `core` strictly inside (lo, hi]? (Distinguishes a
+  /// queued-behind-other-work wait from plain dispatch overhead.)
+  [[nodiscard]] bool task_end_within(std::uint32_t core, Tick lo,
+                                     Tick hi) const {
+    const auto& v = by_core_[core];
+    auto it = std::lower_bound(v.begin(), v.end(), lo,
+                               [&](std::uint32_t x, Tick t) {
+                                 return ev_[x].vtime <= t;
+                               });
+    for (; it != v.end() && ev_[*it].vtime <= hi; ++it) {
+      if (ev_[*it].kind == EventKind::kTaskEnd) return true;
+    }
+    return false;
+  }
+
+  /// True when the sender booked a message fault at exactly (core,
+  /// sent) — the flight's latency is then fault-induced.
+  [[nodiscard]] bool msg_fault_at(std::uint32_t core, Tick sent) const {
+    for (const std::uint32_t i : msg_faults_) {
+      const Event& e = ev_[i];
+      if (e.core == core && e.vtime == sent) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool inside_task(std::uint32_t idx) const {
+    return open_depth_[idx] != 0;
+  }
+  [[nodiscard]] const std::vector<FaultSpan>& faults_on(
+      std::uint32_t core) const {
+    return faults_[core];
+  }
+
+ private:
+  const std::vector<Event>& ev_;
+  std::vector<std::vector<std::uint32_t>> by_core_;
+  std::vector<std::uint32_t> posts_;
+  std::vector<std::uint32_t> lock_rel_;
+  std::vector<std::uint32_t> cell_rel_;
+  // Keyed per spawning-target core; std::map iteration is ordered, and
+  // the walk only ever point-queries it.
+  std::map<std::uint32_t, std::vector<std::uint32_t>> enqueues_;
+  std::vector<std::vector<FaultSpan>> faults_;
+  std::vector<std::uint32_t> msg_faults_;
+  std::vector<std::uint8_t> open_depth_;
+};
+
+/// Appends the on-core interval [lo, hi) to `out`, splitting out the
+/// portions covered by span faults (core stalls / memory spikes) on
+/// that core so injected delay is attributed to kFault, not the base
+/// category.
+void emit_core_span(std::vector<CritSegment>& out, const StreamIndex& ix,
+                    std::uint32_t core, Tick lo, Tick hi, CritCause cause,
+                    std::uint8_t sub = 0, std::uint64_t obj = 0) {
+  if (hi <= lo) return;
+  Tick pos = lo;
+  for (const FaultSpan& f : ix.faults_on(core)) {
+    const Tick fs = std::max(pos, f.at);
+    const Tick fe = std::min(hi, sat_add(f.at, f.len));
+    if (fe <= fs || f.at >= hi) continue;
+    if (fs > pos) {
+      out.push_back(CritSegment{pos, fs, core, core, cause, sub, obj});
+    }
+    out.push_back(
+        CritSegment{fs, fe, core, core, CritCause::kFault, f.sub, 0});
+    pos = fe;
+    if (pos >= hi) break;
+  }
+  if (pos < hi) {
+    out.push_back(CritSegment{pos, hi, core, core, cause, sub, obj});
+  }
+}
+
+template <typename T, typename Key>
+void rank_topk(std::vector<T>& v, std::size_t k, Key key) {
+  std::sort(v.begin(), v.end(), [&](const T& a, const T& b) {
+    return std::make_pair(b.ticks, key(a)) < std::make_pair(a.ticks, key(b));
+  });
+  if (v.size() > k) v.resize(k);
+}
+
+}  // namespace
+
+const char* to_string(CritCause c) noexcept {
+  switch (c) {
+    case CritCause::kCompute: return "compute";
+    case CritCause::kRuntime: return "runtime";
+    case CritCause::kNoc: return "noc";
+    case CritCause::kMemory: return "memory";
+    case CritCause::kLockContention: return "lock_contention";
+    case CritCause::kCellContention: return "cell_contention";
+    case CritCause::kFault: return "fault";
+    case CritCause::kImbalance: return "imbalance";
+  }
+  return "?";
+}
+
+CritPathReport analyze_critical_path(const std::vector<Event>& events,
+                                     std::size_t top_k) {
+  CritPathReport r;
+  // Terminal: the last task to finish (ties resolved by canonical
+  // order — the stream is sorted, so the last matching entry wins).
+  std::int64_t term = -1;
+  for (std::uint32_t i = 0; i < events.size(); ++i) {
+    if (events[i].kind == EventKind::kTaskEnd) term = i;
+  }
+  if (term < 0) {  // partial stream without a finished task: best effort
+    for (std::uint32_t i = 0; i < events.size(); ++i) {
+      if (!is_sync_event(events[i].kind)) term = i;
+    }
+  }
+  if (term < 0) return r;
+
+  const StreamIndex ix(events);
+  r.total_ticks = events[term].vtime;
+  r.terminal_core = events[term].core;
+
+  std::uint32_t cur = static_cast<std::uint32_t>(term);
+  Tick t = events[term].vtime;
+  // Hard step bound: each step either emits a nonzero segment or moves
+  // strictly backwards in the stream, so 2n + slack covers any
+  // well-formed input; a malformed stream degrades to truncation, not
+  // to a hang.
+  std::uint64_t steps_left = 2 * events.size() + 1024;
+
+  const auto same_core_step = [&]() {
+    const Event& e = events[cur];
+    const std::int64_t p = ix.prev_on_core(e.core, cur);
+    if (p < 0) {
+      emit_core_span(r.segments, ix, e.core, 0, t,
+                     ix.inside_task(cur) ? CritCause::kCompute
+                                         : CritCause::kRuntime);
+      t = 0;
+      return;
+    }
+    const CritCause cause = ix.inside_task(static_cast<std::uint32_t>(p))
+                                ? CritCause::kCompute
+                                : CritCause::kRuntime;
+    emit_core_span(r.segments, ix, e.core, events[p].vtime, t, cause);
+    t = events[p].vtime;
+    cur = static_cast<std::uint32_t>(p);
+  };
+
+  while (t > 0) {
+    if (steps_left-- == 0) {
+      r.segments.push_back(CritSegment{0, t, events[cur].core,
+                                       events[cur].core, CritCause::kRuntime,
+                                       0, 0});
+      r.truncated = true;
+      t = 0;
+      break;
+    }
+    const Event& e = events[cur];
+    switch (e.kind) {
+      case EventKind::kMsgHandled: {
+        // a == vtime: the arrival set the clock — the message was the
+        // binding constraint. Chase the flight back to its sender.
+        if (e.a == e.vtime) {
+          const std::int64_t q = ix.matching_post(e, cur);
+          if (q >= 0 && events[q].vtime <= t) {
+            const Event& post = events[q];
+            const CritCause fc =
+                ix.msg_fault_at(post.core, post.vtime)
+                    ? CritCause::kFault
+                    : (is_data_msg(post.sub) ? CritCause::kMemory
+                                             : CritCause::kNoc);
+            if (t > post.vtime) {
+              r.segments.push_back(CritSegment{post.vtime, t, e.core,
+                                               post.core, fc, post.sub, 0});
+            }
+            t = post.vtime;
+            cur = static_cast<std::uint32_t>(q);
+            continue;
+          }
+        }
+        same_core_step();
+        continue;
+      }
+      case EventKind::kTaskStart: {
+        const std::int64_t q = ix.enqueue_at(e.core, e.a);
+        if (q >= 0 && static_cast<std::uint32_t>(q) != cur &&
+            events[q].vtime <= t) {
+          // Queued behind other tasks on this core -> load imbalance;
+          // otherwise the gap is the fixed dispatch cost.
+          const bool queued =
+              ix.task_end_within(e.core, events[q].vtime, t);
+          emit_core_span(r.segments, ix, e.core, events[q].vtime, t,
+                         queued ? CritCause::kImbalance
+                                : CritCause::kRuntime);
+          t = events[q].vtime;
+          cur = static_cast<std::uint32_t>(q);
+          continue;
+        }
+        same_core_step();
+        continue;
+      }
+      case EventKind::kLockAcquire:
+      case EventKind::kCellAcquire: {
+        const bool cell = e.kind == EventKind::kCellAcquire;
+        const std::int64_t rel = ix.latest_release(cell, e.a, cur);
+        const std::int64_t p = ix.prev_on_core(e.core, cur);
+        const Tick own = p >= 0 ? events[p].vtime : 0;
+        // Contended iff the previous holder released after this core
+        // was otherwise ready: the handoff, not our own request path,
+        // determined the grant time.
+        if (rel >= 0 && events[rel].vtime > own && events[rel].vtime <= t) {
+          if (t > events[rel].vtime) {
+            r.segments.push_back(CritSegment{
+                events[rel].vtime, t, e.core, events[rel].core,
+                cell ? CritCause::kCellContention
+                     : CritCause::kLockContention,
+                e.sub, e.a});
+          }
+          t = events[rel].vtime;
+          cur = static_cast<std::uint32_t>(rel);
+          continue;
+        }
+        same_core_step();
+        continue;
+      }
+      default:
+        same_core_step();
+        continue;
+    }
+  }
+
+  std::sort(r.segments.begin(), r.segments.end(),
+            [](const CritSegment& a, const CritSegment& b) {
+              return a.t0 < b.t0;
+            });
+
+  // Fold attributions and rankings.
+  std::map<std::uint32_t, Tick> core_ticks;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, Tick> link_ticks;
+  std::map<std::pair<bool, std::uint64_t>, Tick> obj_ticks;
+  for (const CritSegment& s : r.segments) {
+    r.cause_ticks[static_cast<std::size_t>(s.cause)] += s.len();
+    if (s.src != s.core) {
+      link_ticks[{s.src, s.core}] += s.len();
+    } else {
+      core_ticks[s.core] += s.len();
+    }
+    if (s.cause == CritCause::kLockContention ||
+        s.cause == CritCause::kCellContention) {
+      obj_ticks[{s.cause == CritCause::kCellContention, s.obj}] += s.len();
+    }
+  }
+  for (const auto& [core, ticks] : core_ticks) {
+    r.top_cores.push_back(RankedCore{core, ticks});
+  }
+  for (const auto& [link, ticks] : link_ticks) {
+    r.top_links.push_back(RankedLink{link.first, link.second, ticks});
+  }
+  for (const auto& [obj, ticks] : obj_ticks) {
+    r.top_objects.push_back(RankedObject{obj.second, obj.first, ticks});
+  }
+  rank_topk(r.top_cores, top_k,
+            [](const RankedCore& x) { return std::make_pair(x.core, 0u); });
+  rank_topk(r.top_links, top_k, [](const RankedLink& x) {
+    return std::make_pair(x.src, x.dst);
+  });
+  rank_topk(r.top_objects, top_k, [](const RankedObject& x) {
+    return std::make_pair(x.id, static_cast<std::uint64_t>(x.is_cell));
+  });
+  return r;
+}
+
+std::uint64_t CritPathReport::fingerprint() const noexcept {
+  std::uint64_t h = kFingerprintSeed;
+  h = fnv1a(h, total_ticks);
+  h = fnv1a(h, terminal_core);
+  h = fnv1a(h, truncated ? 1 : 0);
+  for (const CritSegment& s : segments) {
+    h = fnv1a(h, s.t0);
+    h = fnv1a(h, s.t1);
+    h = fnv1a(h, s.core);
+    h = fnv1a(h, s.src);
+    h = fnv1a(h, static_cast<std::uint64_t>(s.cause));
+    h = fnv1a(h, s.sub);
+    h = fnv1a(h, s.obj);
+  }
+  for (const Tick ct : cause_ticks) h = fnv1a(h, ct);
+  for (const RankedCore& c : top_cores) {
+    h = fnv1a(h, c.core);
+    h = fnv1a(h, c.ticks);
+  }
+  for (const RankedLink& l : top_links) {
+    h = fnv1a(h, l.src);
+    h = fnv1a(h, l.dst);
+    h = fnv1a(h, l.ticks);
+  }
+  for (const RankedObject& o : top_objects) {
+    h = fnv1a(h, o.id);
+    h = fnv1a(h, o.is_cell ? 1 : 0);
+    h = fnv1a(h, o.ticks);
+  }
+  return h;
+}
+
+void write_critpath_json(std::ostream& os, const CritPathReport& r) {
+  char buf[64];
+  const auto share = [&](Tick ticks) -> const char* {
+    const double s = r.total_ticks != 0
+                         ? static_cast<double>(ticks) /
+                               static_cast<double>(r.total_ticks)
+                         : 0.0;
+    std::snprintf(buf, sizeof buf, "%.6f", s);
+    return buf;
+  };
+  os << "{\"schema\":\"simany-critpath-v1\"";
+  os << ",\"total_ticks\":" << r.total_ticks;
+  os << ",\"total_cycles\":" << cycles_floor(r.total_ticks);
+  os << ",\"terminal_core\":" << r.terminal_core;
+  os << ",\"truncated\":" << (r.truncated ? "true" : "false");
+  os << ",\"causes\":{";
+  for (std::size_t i = 0; i < kNumCritCauses; ++i) {
+    if (i != 0) os << ',';
+    os << '"' << to_string(static_cast<CritCause>(i))
+       << "\":{\"ticks\":" << r.cause_ticks[i] << ",\"share\":"
+       << share(r.cause_ticks[i]) << '}';
+  }
+  os << "},\"top_cores\":[";
+  for (std::size_t i = 0; i < r.top_cores.size(); ++i) {
+    if (i != 0) os << ',';
+    os << "{\"core\":" << r.top_cores[i].core
+       << ",\"ticks\":" << r.top_cores[i].ticks << ",\"share\":"
+       << share(r.top_cores[i].ticks) << '}';
+  }
+  os << "],\"top_links\":[";
+  for (std::size_t i = 0; i < r.top_links.size(); ++i) {
+    if (i != 0) os << ',';
+    os << "{\"src\":" << r.top_links[i].src
+       << ",\"dst\":" << r.top_links[i].dst
+       << ",\"ticks\":" << r.top_links[i].ticks << '}';
+  }
+  os << "],\"top_objects\":[";
+  for (std::size_t i = 0; i < r.top_objects.size(); ++i) {
+    if (i != 0) os << ',';
+    os << "{\"kind\":\"" << (r.top_objects[i].is_cell ? "cell" : "lock")
+       << "\",\"id\":" << r.top_objects[i].id
+       << ",\"ticks\":" << r.top_objects[i].ticks << '}';
+  }
+  os << "],\"segment_count\":" << r.segments.size();
+  os << ",\"segments\":[";
+  for (std::size_t i = 0; i < r.segments.size(); ++i) {
+    const CritSegment& s = r.segments[i];
+    if (i != 0) os << ',';
+    os << "{\"t0\":" << s.t0 << ",\"t1\":" << s.t1
+       << ",\"core\":" << s.core << ",\"src\":" << s.src << ",\"cause\":\""
+       << to_string(s.cause) << "\",\"sub\":" << unsigned{s.sub}
+       << ",\"obj\":" << s.obj << '}';
+  }
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(r.fingerprint()));
+  os << "],\"fingerprint\":\"" << buf << "\"}\n";
+}
+
+}  // namespace simany::obs

@@ -1,0 +1,116 @@
+// Causal critical-path analysis over the merged telemetry stream.
+//
+// analyze_critical_path() reconstructs the happens-before chain that
+// determined the run's completion time: starting from the last task to
+// finish, it walks backwards through the canonical event stream along
+// causal edges — on-core execution order, message send -> receive,
+// task enqueue -> activation, and lock/cell release -> grant — until it
+// reaches virtual time zero. Every tick of the run's final virtual
+// time is attributed to exactly one contiguous segment with a cause
+// category (compute, NoC flight, memory traffic, lock/cell contention,
+// fault-induced delay, load imbalance, run-time-system overhead), so
+// the attributed segments always sum to the completion time — the
+// conservation property src/check/critpath_check.h re-verifies.
+//
+// Determinism contract: the report is a pure function of the merged
+// event multiset. It consumes only architectural events (stall/wake
+// records are skipped — they are zero-width in virtual time and their
+// cadence is host-specific), every tie-break is the canonical event
+// order, and no container with unordered iteration is used. Runs whose
+// architectural timelines agree across shard counts therefore produce
+// bit-identical reports on the sequential, par-1 and par-N hosts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/vtime.h"
+#include "obs/event.h"
+
+namespace simany::obs {
+
+/// Cause categories for critical-path segments.
+enum class CritCause : std::uint8_t {
+  kCompute = 0,        // task body executing on the critical core
+  kRuntime,            // run-time system work (dispatch, msg handling)
+  kNoc,                // control-message flight over the network
+  kMemory,             // data movement (cell request/response/writeback)
+  kLockContention,     // waiting for a named lock held elsewhere
+  kCellContention,     // waiting for a cell held elsewhere
+  kFault,              // injected stall/delay on the path
+  kImbalance,          // runnable task queued behind other work
+};
+
+inline constexpr std::size_t kNumCritCauses = 8;
+
+[[nodiscard]] const char* to_string(CritCause c) noexcept;
+
+/// One attributed interval of the critical path. On-core segments have
+/// src == core; message-flight segments run src -> core (the receiver
+/// owns the arrival). `sub` carries the MsgKind for flights, the
+/// FaultKind for fault segments and the AccessMode for cell waits;
+/// `obj` is the lock/cell id for contention segments.
+struct CritSegment {
+  Tick t0 = 0;
+  Tick t1 = 0;
+  std::uint32_t core = 0;
+  std::uint32_t src = 0;
+  CritCause cause = CritCause::kCompute;
+  std::uint8_t sub = 0;
+  std::uint64_t obj = 0;
+
+  [[nodiscard]] Tick len() const noexcept { return t1 - t0; }
+};
+
+struct RankedCore {
+  std::uint32_t core = 0;
+  Tick ticks = 0;
+};
+
+struct RankedLink {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  Tick ticks = 0;
+};
+
+struct RankedObject {
+  std::uint64_t id = 0;
+  bool is_cell = false;
+  Tick ticks = 0;
+};
+
+struct CritPathReport {
+  /// Virtual time of the terminal event == sum of all segment lengths.
+  Tick total_ticks = 0;
+  /// Core that executed the last task to finish (the walk's origin).
+  std::uint32_t terminal_core = 0;
+  /// True when the backward walk hit its step bound and folded the
+  /// unexplained prefix into one kRuntime segment (defensive: a
+  /// well-formed stream never trips this).
+  bool truncated = false;
+  /// Segments in ascending, gap-free virtual-time order.
+  std::vector<CritSegment> segments;
+  /// Ticks attributed to each CritCause (indexed by enum value).
+  std::array<Tick, kNumCritCauses> cause_ticks{};
+  /// Top-k rankings (descending ticks, ascending id tie-break).
+  std::vector<RankedCore> top_cores;
+  std::vector<RankedLink> top_links;
+  std::vector<RankedObject> top_objects;
+
+  /// FNV-1a64 over the full report content — the determinism-test
+  /// handle (bit-identical reports <=> equal fingerprints).
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+};
+
+/// Analyzes the canonical merged stream (Telemetry::events(), already
+/// sorted by canonical_less). `top_k` bounds the ranking lists.
+[[nodiscard]] CritPathReport analyze_critical_path(
+    const std::vector<Event>& events, std::size_t top_k = 10);
+
+/// Serializes the report as a single `simany-critpath-v1` JSON object
+/// (consumed by tools/trace_summary.py and tools/run_diff.py).
+void write_critpath_json(std::ostream& os, const CritPathReport& r);
+
+}  // namespace simany::obs

@@ -10,6 +10,7 @@
 #include "core/message.h"
 #include "core/vtime.h"
 #include "fault/fault_plan.h"
+#include "obs/critpath.h"
 #include "obs/telemetry.h"
 
 namespace simany::obs {
@@ -137,6 +138,24 @@ void write_chrome_trace(std::ostream& os, const Telemetry& t,
         break;
       default:
         break;  // messages stay in the CSV / summary form
+    }
+  }
+
+  // Critical-path lane: one slice per attributed segment, named by
+  // cause and labelled with the core (or link) that bound the run.
+  if (opt.critpath != nullptr && !opt.critpath->segments.empty()) {
+    emit_process_name(os, first, 3, "critical path (virtual time)");
+    emit_thread_name(os, first, 3, 0, "binding chain");
+    for (const CritSegment& seg : opt.critpath->segments) {
+      std::string name = to_string(seg.cause);
+      if (seg.src != seg.core) {
+        name += ' ' + std::to_string(seg.src) + "->" +
+                std::to_string(seg.core);
+      } else {
+        name += " @" + std::to_string(seg.core);
+      }
+      emit_slice(os, first, 3, 0, "critpath", name, vt_us(seg.t0),
+                 vt_us(seg.t1 - seg.t0));
     }
   }
 

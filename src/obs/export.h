@@ -6,7 +6,10 @@
 //     critical-section slices, stall marks and fault instants, with
 //     virtual time mapped 1 cycle -> 1 us,
 //   * pid 2, one tid per shard (plus the serial phase) — wall-clock
-//     host-round phases when the run carried --profile-host.
+//     host-round phases when the run carried --profile-host,
+//   * pid 3, a single "critical path" track — one slice per attributed
+//     critical-path segment when the caller supplies a CritPathReport,
+//     so the binding chain reads as a highlighted lane above the cores.
 //
 // write_events_csv is the flat form the tools/trace_summary.py script
 // and spreadsheet users consume: one canonical event per row.
@@ -17,11 +20,15 @@
 namespace simany::obs {
 
 class Telemetry;
+struct CritPathReport;
 
 struct ChromeTraceOptions {
   /// Number of worker threads the run used (labels host tracks with
   /// the worker a shard was pinned to); 0 omits the worker names.
   unsigned host_threads = 0;
+  /// When non-null, the critical path is rendered as its own process
+  /// track (pid 3) with one slice per attributed segment.
+  const CritPathReport* critpath = nullptr;
 };
 
 void write_chrome_trace(std::ostream& os, const Telemetry& t,

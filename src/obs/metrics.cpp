@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <iterator>
 #include <ostream>
 #include <stdexcept>
 #include <tuple>
@@ -64,11 +65,26 @@ Histogram::Histogram(std::vector<double> upper_bounds)
   }
 }
 
-void Histogram::record(double v) noexcept {
+void Histogram::record(double v) {
   const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
   ++counts[static_cast<std::size_t>(it - bounds.begin())];
   ++total;
   sum += v;
+  values.push_back(v);
+}
+
+double Histogram::percentile(double p) const {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values);
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: the smallest value with at least ceil(p/100 * N)
+  // values at or below it. Exact, monotone in p, and p100 == max.
+  const double rank = p / 100.0 * static_cast<double>(sorted.size());
+  std::size_t idx = static_cast<std::size_t>(rank);
+  if (static_cast<double>(idx) < rank) ++idx;  // ceil
+  if (idx > 0) --idx;                          // 1-based rank -> index
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
 }
 
 std::uint64_t& MetricsRegistry::counter(std::string_view name) {
@@ -146,7 +162,12 @@ void MetricsRegistry::write_json(std::ostream& os) const {
       if (j != 0) os << ',';
       os << h.counts[j];
     }
-    os << "],\"total\":" << h.total << ",\"sum\":" << h.sum << '}';
+    os << "],\"total\":" << h.total << ",\"sum\":" << h.sum;
+    for (std::size_t j = 0; j < std::size(kExportPercentiles); ++j) {
+      os << ",\"" << kExportPercentileNames[j]
+         << "\":" << h.percentile(kExportPercentiles[j]);
+    }
+    os << '}';
   }
   os << "},\"series\":{";
   for (std::size_t i = 0; i < series_.size(); ++i) {
@@ -170,6 +191,17 @@ void MetricsRegistry::write_csv(std::ostream& os) const {
     for (const Sample& r : s->value) {
       os << s->name << ',' << r.t_cycles << ',' << r.core << ',' << r.value
          << '\n';
+    }
+  }
+  // Histogram percentiles ride along as synthetic machine-wide rows
+  // (`<name>.p50` etc. at t=0, core=-1) so CSV-only pipelines see the
+  // same exact percentiles as the JSON export.
+  for (const auto& hn : histograms_) {
+    const Histogram& h = hn->value;
+    if (h.total == 0) continue;
+    for (std::size_t j = 0; j < std::size(kExportPercentiles); ++j) {
+      os << hn->name << '.' << kExportPercentileNames[j] << ",0,-1,"
+         << h.percentile(kExportPercentiles[j]) << '\n';
     }
   }
 }

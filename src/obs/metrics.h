@@ -20,15 +20,31 @@ namespace simany::obs {
 /// Fixed-bucket histogram: `bounds` are the inclusive upper edges of
 /// each bucket; values above the last bound land in an implicit
 /// overflow bucket. Bounds must be strictly increasing.
+///
+/// Raw values are retained alongside the bucket counts so percentiles
+/// are *exact* (nearest-rank over the sorted values), not bucket
+/// interpolations — the tail-latency primitive the traffic workloads
+/// and tools/run_diff.py consume. Registry histograms are filled once
+/// at finalize from the merged event stream, so retention costs one
+/// double per recorded value, never hot-path allocation.
 struct Histogram {
   std::vector<double> bounds;
   std::vector<std::uint64_t> counts;  // bounds.size() + 1 entries
+  std::vector<double> values;         // every recorded value, append order
   std::uint64_t total = 0;
   double sum = 0.0;
 
   explicit Histogram(std::vector<double> upper_bounds);
-  void record(double v) noexcept;
+  void record(double v);
+
+  /// Exact nearest-rank percentile (p in [0, 100]); 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
 };
+
+/// The percentile set every exporter emits (p50/p90/p99/p99.9).
+inline constexpr double kExportPercentiles[] = {50.0, 90.0, 99.0, 99.9};
+inline constexpr const char* kExportPercentileNames[] = {"p50", "p90", "p99",
+                                                         "p99.9"};
 
 /// One time-series sample. `core` is the simulated core the sample
 /// describes, or -1 for a machine-wide quantity.

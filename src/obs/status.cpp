@@ -1,0 +1,117 @@
+#include "obs/status.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace simany::obs {
+
+StatusReporter::StatusReporter(std::string path, std::uint64_t interval_ms)
+    : path_(std::move(path)),
+      tmp_(path_ + ".tmp"),
+      interval_ms_(interval_ms),
+      // simlint: allow(det-wall-clock) heartbeat anchor, output-only
+      start_(std::chrono::steady_clock::now()) {}
+
+bool StatusReporter::due() const noexcept {
+  if (!wrote_) return true;
+  // simlint: allow(det-wall-clock) heartbeat throttle, output-only
+  const auto now = std::chrono::steady_clock::now();
+  return now - last_ >= std::chrono::milliseconds(interval_ms_);
+}
+
+void StatusReporter::write(const StatusSample& s) {
+  // simlint: allow(det-wall-clock) heartbeat timestamp, output-only
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(now - start_).count();
+  const double elapsed_s = elapsed_ms / 1000.0;
+
+  const char* state = s.failed ? "failed" : (s.finished ? "finished"
+                                                        : "running");
+  const double qps = elapsed_s > 0.0
+                         ? static_cast<double>(s.quanta) / elapsed_s
+                         : 0.0;
+  const double eps = elapsed_s > 0.0
+                         ? static_cast<double>(s.events) / elapsed_s
+                         : 0.0;
+  // Shard imbalance: max quanta over mean quanta (1.0 = perfectly
+  // balanced; meaningful only with >= 2 shards).
+  double imbalance = 1.0;
+  if (s.shards.size() > 1 && s.quanta > 0) {
+    std::uint64_t mx = 0;
+    for (const StatusShard& sh : s.shards) mx = std::max(mx, sh.quanta);
+    imbalance = static_cast<double>(mx) * static_cast<double>(s.shards.size()) /
+                static_cast<double>(s.quanta);
+  }
+  // Guard budget consumption: the larger of wall-deadline and
+  // vtime-budget fractions, plus a linear ETA-to-budget extrapolation
+  // when any budget is armed and progress is nonzero.
+  double budget_frac = 0.0;
+  if (s.deadline_ms != 0) {
+    budget_frac = std::max(budget_frac,
+                           elapsed_ms / static_cast<double>(s.deadline_ms));
+  }
+  if (s.max_vtime_ticks != 0) {
+    budget_frac = std::max(budget_frac,
+                           static_cast<double>(s.vtime_max) /
+                               static_cast<double>(s.max_vtime_ticks));
+  }
+  const bool have_eta = !s.finished && budget_frac > 0.0;
+  const double eta_ms =
+      have_eta ? elapsed_ms * std::max(0.0, 1.0 - budget_frac) / budget_frac
+               : 0.0;
+
+  {
+    std::ofstream os(tmp_, std::ios::trunc);
+    if (!os) return;  // heartbeat is best-effort; never aborts the run
+    char buf[64];
+    const auto num = [&](double v) -> const char* {
+      std::snprintf(buf, sizeof buf, "%.3f", v);
+      return buf;
+    };
+    os << "{\"schema\":\"simany-status-v1\"";
+    os << ",\"state\":\"" << state << '"';
+    os << ",\"wall_ms\":" << num(elapsed_ms);
+    os << ",\"rounds\":" << s.rounds;
+    os << ",\"quanta\":" << s.quanta;
+    os << ",\"quanta_per_sec\":" << num(qps);
+    os << ",\"events\":" << s.events;
+    os << ",\"events_per_sec\":" << num(eps);
+    os << ",\"vtime_cycles\":{\"min\":" << cycles_floor(s.vtime_min)
+       << ",\"max\":" << cycles_floor(s.vtime_max) << '}';
+    os << ",\"drift_gap_cycles\":"
+       << cycles_floor(s.vtime_max - std::min(s.vtime_min, s.vtime_max));
+    os << ",\"live_tasks\":" << s.live_tasks;
+    os << ",\"inflight_messages\":" << s.inflight_messages;
+    os << ",\"mail_pending\":" << s.mail_pending;
+    os << ",\"imbalance\":" << num(imbalance);
+    os << ",\"shards\":[";
+    for (std::size_t i = 0; i < s.shards.size(); ++i) {
+      const StatusShard& sh = s.shards[i];
+      if (i != 0) os << ',';
+      os << "{\"id\":" << sh.id << ",\"quanta\":" << sh.quanta
+         << ",\"now_min_cycles\":" << cycles_floor(sh.now_min)
+         << ",\"now_max_cycles\":" << cycles_floor(sh.now_max)
+         << ",\"live_tasks\":" << sh.live_tasks << '}';
+    }
+    os << "],\"guard\":{\"deadline_ms\":" << s.deadline_ms
+       << ",\"elapsed_ms\":" << num(elapsed_ms)
+       << ",\"max_vtime_cycles\":" << cycles_floor(s.max_vtime_ticks)
+       << ",\"budget_fraction\":" << num(budget_frac) << '}';
+    if (have_eta) {
+      os << ",\"eta_ms\":" << num(eta_ms);
+    } else {
+      os << ",\"eta_ms\":null";
+    }
+    os << "}\n";
+  }
+  // POSIX rename is atomic within a directory: pollers see either the
+  // previous heartbeat or this one, never a torn file.
+  std::rename(tmp_.c_str(), path_.c_str());
+  last_ = now;
+  wrote_ = true;
+  ++writes_;
+}
+
+}  // namespace simany::obs

@@ -1,0 +1,83 @@
+// Live run-status heartbeat (`--status-out FILE --status-interval-ms N`).
+//
+// The engine samples progress read-only inside the serial barrier
+// phase — workers are parked, so every shard counter and core clock is
+// stable — and the reporter serializes the sample into an atomically
+// replaced `simany-status-v1` JSON file (write to `<path>.tmp`, then
+// rename over `<path>`). External monitors (tools/trace_summary.py,
+// the future simanyd daemon) poll the file; a reader never observes a
+// partial write.
+//
+// Determinism: the reporter only *reads* simulation state and only
+// *writes* to the host filesystem. Wall-clock time decides when to
+// emit (simlint-allowed: output-only) and feeds the rate/ETA fields,
+// but nothing flows back into the simulation — fingerprints are
+// byte-identical with the reporter on or off, which
+// tests/test_status.cpp proves.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/vtime.h"
+
+namespace simany::obs {
+
+/// Per-shard progress as of one barrier.
+struct StatusShard {
+  std::uint32_t id = 0;
+  std::uint64_t quanta = 0;
+  Tick now_min = 0;
+  Tick now_max = 0;
+  std::int64_t live_tasks = 0;
+};
+
+/// One read-only progress sample, filled by the engine at a barrier.
+struct StatusSample {
+  bool finished = false;
+  bool failed = false;
+  std::uint64_t rounds = 0;
+  std::uint64_t quanta = 0;
+  std::uint64_t events = 0;  // telemetry events recorded so far
+  std::int64_t live_tasks = 0;
+  std::uint64_t inflight_messages = 0;
+  std::uint64_t mail_pending = 0;
+  Tick vtime_min = 0;  // slowest core clock
+  Tick vtime_max = 0;  // fastest core clock
+  // Guard budgets (0 = not configured) for consumption / ETA fields.
+  std::uint64_t deadline_ms = 0;
+  Tick max_vtime_ticks = 0;
+  std::vector<StatusShard> shards;
+};
+
+class StatusReporter {
+ public:
+  /// `interval_ms` throttles heartbeats by wall clock; 0 writes at
+  /// every barrier (tests use this for exhaustive coverage).
+  StatusReporter(std::string path, std::uint64_t interval_ms);
+
+  /// Cheap wall-clock throttle check; the engine builds the (O(cores))
+  /// sample only when this returns true or the run is ending.
+  [[nodiscard]] bool due() const noexcept;
+
+  /// Composes and atomically replaces the status file. Unconditional:
+  /// callers gate on due() / finished / failed.
+  void write(const StatusSample& s);
+
+  [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  std::uint64_t interval_ms_;
+  // simlint: allow(det-wall-clock) heartbeat cadence; never feeds sim state
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_{};
+  bool wrote_ = false;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace simany::obs

@@ -108,6 +108,15 @@ class Telemetry {
     return merged_;
   }
 
+  /// Events captured so far: merged stream plus every shard's pending
+  /// buffer. Feeds the status heartbeat's events/sec rate.
+  SIMANY_SERIAL_ONLY [[nodiscard]] std::uint64_t events_recorded()
+      const noexcept {
+    std::uint64_t n = merged_.size();
+    for (const ShardBuf& sb : shards_) n += sb.events.size();
+    return n;
+  }
+
   /// FNV-1a fingerprint of the merged stream, restricted to an event
   /// class. Architectural-only fingerprints are shard-count-portable
   /// whenever the simulated timeline is; kAll additionally covers the

@@ -1,0 +1,347 @@
+// Causal critical-path analyzer (src/obs/critpath): determinism,
+// conservation, cause attribution and the committed golden report.
+//
+// The headline guarantees under test:
+//   1. The report is a pure function of the merged architectural event
+//      multiset: sequential and 1-shard parallel runs produce
+//      bit-identical reports (equal fingerprints) for every dwarf, and
+//      shard-invariant workloads produce bit-identical reports across
+//      1/2/4 shards on more than one topology.
+//   2. Conservation: the attributed segments tile [0, completion] with
+//      no gaps or overlaps and the per-cause totals re-sum to the
+//      completion time — verified independently by
+//      check::check_critpath (simcheck).
+//   3. Attribution is sane: compute dominates compute-bound dwarfs,
+//      message flights appear for distributed runs, contended locks
+//      book lock-contention ticks.
+//   4. The JSON report for a fixed (dwarf, architecture, seed) is
+//      byte-stable against a committed golden. Intentional changes:
+//      ./test_critpath --update-goldens, then review and commit.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/critpath_check.h"
+#include "config/arch_config.h"
+#include "core/engine.h"
+#include "dwarfs/dwarfs.h"
+#include "net/topology.h"
+#include "obs/critpath.h"
+#include "obs/export.h"
+#include "obs/telemetry.h"
+
+namespace simany {
+namespace {
+
+using obs::CritCause;
+using obs::CritPathReport;
+using obs::CritSegment;
+
+bool g_update_goldens = false;
+
+ArchConfig parallel(ArchConfig cfg, std::uint32_t shards,
+                    std::uint32_t threads) {
+  cfg.host.mode = HostMode::kParallel;
+  cfg.host.shards = shards;
+  cfg.host.threads = threads;
+  return cfg;
+}
+
+struct RunReport {
+  SimStats stats;
+  CritPathReport report;
+};
+
+RunReport run_and_analyze(const ArchConfig& cfg, const TaskFn& root,
+                          std::size_t top_k = 10) {
+  obs::Telemetry t;
+  Engine sim(cfg);
+  sim.set_telemetry(&t);
+  RunReport r;
+  r.stats = sim.run(root);
+  r.report = obs::analyze_critical_path(t.events(), top_k);
+  return r;
+}
+
+TaskFn dwarf_root(const std::string& name) {
+  return dwarfs::dwarf_by_name(name).make_root(1, 0.05);
+}
+
+// ---------------------------------------------------------------------
+// Pure-function basics
+// ---------------------------------------------------------------------
+
+TEST(CritPath, EmptyStreamYieldsEmptyReport) {
+  const CritPathReport r = obs::analyze_critical_path({});
+  EXPECT_EQ(r.total_ticks, 0u);
+  EXPECT_TRUE(r.segments.empty());
+  EXPECT_FALSE(r.truncated);
+  EXPECT_TRUE(check::check_critpath(r, 0).empty());
+}
+
+TEST(CritPath, AnalysisIsDeterministicInProcess) {
+  const ArchConfig cfg = ArchConfig::shared_mesh(16);
+  const RunReport a = run_and_analyze(cfg, dwarf_root("spmxv"));
+  const RunReport b = run_and_analyze(cfg, dwarf_root("spmxv"));
+  EXPECT_EQ(a.report.fingerprint(), b.report.fingerprint());
+  EXPECT_GT(a.report.segments.size(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Conservation (simcheck): segments tile [0, completion] exactly
+// ---------------------------------------------------------------------
+
+TEST(CritPath, ConservationHoldsAcrossDwarfsAndArchitectures) {
+  for (const char* dwarf : {"spmxv", "quicksort", "octree"}) {
+    for (const bool distributed : {false, true}) {
+      const ArchConfig cfg = distributed ? ArchConfig::distributed_mesh(16)
+                                         : ArchConfig::shared_mesh(16);
+      const RunReport r = run_and_analyze(cfg, dwarf_root(dwarf));
+      EXPECT_EQ(r.report.total_ticks, r.stats.completion_ticks)
+          << dwarf << " distributed=" << distributed;
+      const auto violations =
+          check::check_critpath(r.report, r.stats.completion_ticks);
+      EXPECT_TRUE(violations.empty())
+          << dwarf << " distributed=" << distributed << ": "
+          << (violations.empty() ? "" : violations.front().detail);
+      EXPECT_FALSE(r.report.truncated);
+    }
+  }
+}
+
+TEST(CritPath, CheckerCatchesSeededViolations) {
+  CritPathReport r;
+  r.total_ticks = 100;
+  r.segments.push_back(
+      CritSegment{.t0 = 0, .t1 = 40, .core = 0, .src = 0,
+                  .cause = CritCause::kCompute});
+  r.segments.push_back(  // gap: 40 -> 50
+      CritSegment{.t0 = 50, .t1 = 100, .core = 1, .src = 1,
+                  .cause = CritCause::kRuntime});
+  r.cause_ticks[static_cast<std::size_t>(CritCause::kCompute)] = 40;
+  r.cause_ticks[static_cast<std::size_t>(CritCause::kRuntime)] = 50;
+  const auto violations = check::check_critpath(r, 100);
+  EXPECT_FALSE(violations.empty());
+  // Also: mismatched completion time.
+  CritPathReport ok;
+  EXPECT_FALSE(check::check_critpath(ok, 12).empty());
+}
+
+// ---------------------------------------------------------------------
+// Determinism across hosts (the seq ≡ par contract)
+// ---------------------------------------------------------------------
+
+TEST(CritPath, SequentialEqualsOneShardParallel) {
+  for (const char* dwarf : {"spmxv", "quicksort"}) {
+    for (const bool distributed : {false, true}) {
+      const ArchConfig cfg = distributed ? ArchConfig::distributed_mesh(16)
+                                         : ArchConfig::shared_mesh(16);
+      const TaskFn root = dwarf_root(dwarf);
+      const RunReport seq = run_and_analyze(cfg, root);
+      const RunReport par = run_and_analyze(parallel(cfg, 1, 4), root);
+      EXPECT_EQ(seq.report.fingerprint(), par.report.fingerprint())
+          << dwarf << " distributed=" << distributed;
+    }
+  }
+}
+
+// Shard-invariant workload (strictly serialized remote cell reads, no
+// probes/migrations — same construction as the telemetry suite): the
+// architectural timeline, and therefore the critical-path report, must
+// be bit-identical at any shard count.
+TaskFn traffic_root() {
+  return [](TaskCtx& ctx) {
+    const std::uint32_t n = ctx.num_cores();
+    std::vector<CellId> cells;
+    for (std::uint32_t h = 1; h < n; ++h) {
+      cells.push_back(ctx.make_cell_at(256, h));
+    }
+    for (int round = 0; round < 3; ++round) {
+      for (const CellId cell : cells) {
+        ctx.compute(20);
+        CellGuard guard(ctx, cell, AccessMode::kRead);
+        ctx.compute(5);
+      }
+    }
+  };
+}
+
+TEST(CritPath, ReportBitIdenticalAcrossShardCounts) {
+  ArchConfig mesh = ArchConfig::distributed_mesh(16);
+  ArchConfig ring = ArchConfig::distributed_mesh(16);
+  ring.topology = net::Topology::ring(16);
+  int checked = 0;
+  for (const ArchConfig& cfg : {mesh, ring}) {
+    const TaskFn root = traffic_root();
+    const RunReport seq = run_and_analyze(cfg, root);
+    ASSERT_GT(seq.report.segments.size(), 0u);
+    for (const std::uint32_t shards : {1u, 2u, 4u}) {
+      const RunReport par = run_and_analyze(parallel(cfg, shards, 2), root);
+      EXPECT_EQ(seq.report.fingerprint(), par.report.fingerprint())
+          << "shards=" << shards << " topology=" << checked;
+      EXPECT_TRUE(
+          check::check_critpath(par.report, par.stats.completion_ticks)
+              .empty())
+          << "shards=" << shards << " topology=" << checked;
+    }
+    ++checked;
+  }
+  EXPECT_EQ(checked, 2);
+}
+
+// ---------------------------------------------------------------------
+// Attribution sanity
+// ---------------------------------------------------------------------
+
+TEST(CritPath, ComputeDominatesAComputeBoundDwarf) {
+  const RunReport r =
+      run_and_analyze(ArchConfig::shared_mesh(16), dwarf_root("spmxv"));
+  const Tick compute =
+      r.report.cause_ticks[static_cast<std::size_t>(CritCause::kCompute)];
+  EXPECT_GT(compute, 0u);
+  EXPECT_GT(compute * 4, r.report.total_ticks);  // > 25% of the path
+  EXPECT_FALSE(r.report.top_cores.empty());
+}
+
+TEST(CritPath, RemoteTrafficPutsFlightsOnThePath) {
+  const RunReport r =
+      run_and_analyze(ArchConfig::distributed_mesh(16), traffic_root());
+  const Tick mem =
+      r.report.cause_ticks[static_cast<std::size_t>(CritCause::kMemory)];
+  const Tick noc =
+      r.report.cause_ticks[static_cast<std::size_t>(CritCause::kNoc)];
+  EXPECT_GT(mem + noc, 0u);
+  // Flight segments carry src != core; the top-links ranking sees them.
+  EXPECT_FALSE(r.report.top_links.empty());
+}
+
+TEST(CritPath, ContendedLockBooksContentionTicks) {
+  // Workers grab the lock with a long hold each; the root then takes
+  // the same lock from behind them. The root finishes last (it joins),
+  // so its contended acquire sits on the critical path and the wait's
+  // hand-off must be attributed to the lock object.
+  const TaskFn root = [](TaskCtx& ctx) {
+    const LockId lk = ctx.make_lock();
+    const GroupId g = ctx.make_group();
+    const auto worker = [lk](TaskCtx& t) {
+      t.lock(lk);
+      t.compute(200);
+      t.unlock(lk);
+    };
+    for (int i = 0; i < 4; ++i) {
+      if (ctx.probe()) ctx.spawn(g, worker);
+    }
+    ctx.compute(5);
+    ctx.lock(lk);  // workers hold ~200 cycles each: this waits
+    ctx.compute(10);
+    ctx.unlock(lk);
+    ctx.join(g);
+  };
+  const RunReport r = run_and_analyze(ArchConfig::shared_mesh(16), root);
+  const Tick lock_ticks = r.report.cause_ticks[static_cast<std::size_t>(
+      CritCause::kLockContention)];
+  EXPECT_GT(lock_ticks, 0u);
+  bool found_obj = false;
+  for (const auto& o : r.report.top_objects) {
+    if (!o.is_cell) found_obj = true;
+  }
+  EXPECT_TRUE(found_obj);
+  EXPECT_TRUE(
+      check::check_critpath(r.report, r.stats.completion_ticks).empty());
+}
+
+// ---------------------------------------------------------------------
+// Exports
+// ---------------------------------------------------------------------
+
+TEST(CritPath, ChromeTraceGainsCriticalPathTrack) {
+  obs::Telemetry t;
+  Engine sim(ArchConfig::shared_mesh(16));
+  sim.set_telemetry(&t);
+  (void)sim.run(dwarf_root("quicksort"));
+  const CritPathReport report = obs::analyze_critical_path(t.events());
+  std::ostringstream with;
+  obs::ChromeTraceOptions copt;
+  copt.critpath = &report;
+  obs::write_chrome_trace(with, t, copt);
+  EXPECT_NE(with.str().find("critical path (virtual time)"),
+            std::string::npos);
+  EXPECT_NE(with.str().find("\"critpath\""), std::string::npos);
+  std::ostringstream without;
+  obs::write_chrome_trace(without, t);
+  EXPECT_EQ(without.str().find("critical path (virtual time)"),
+            std::string::npos);
+}
+
+TEST(CritPath, JsonReportParsesStructurally) {
+  const RunReport r =
+      run_and_analyze(ArchConfig::shared_mesh(16), dwarf_root("spmxv"), 3);
+  std::ostringstream os;
+  obs::write_critpath_json(os, r.report);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema\":\"simany-critpath-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"causes\""), std::string::npos);
+  EXPECT_NE(json.find("\"segments\""), std::string::npos);
+  EXPECT_NE(json.find("\"fingerprint\""), std::string::npos);
+  // top_k = 3 bounds the rankings.
+  EXPECT_LE(r.report.top_cores.size(), 3u);
+  EXPECT_LE(r.report.top_links.size(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Golden report
+// ---------------------------------------------------------------------
+
+void expect_matches_golden(const std::string& name,
+                           const std::string& actual) {
+  const std::string path =
+      std::string(SIMANY_GOLDEN_DIR) + "/" + name + ".json";
+  if (g_update_goldens) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+    out << actual;
+    GTEST_SKIP() << "updated golden " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << path
+      << " — run test_critpath --update-goldens and commit the result";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), actual)
+      << "critpath report for " << name << " diverges from " << path
+      << ". If the change is intentional, rerun with --update-goldens "
+         "and commit the new golden.";
+}
+
+TEST(CritPathGolden, OctreeMesh16ReportIsStable) {
+  obs::Telemetry t;
+  Engine sim(ArchConfig::shared_mesh(16));
+  sim.set_telemetry(&t);
+  (void)sim.run(dwarfs::dwarf_by_name("octree").make_root(1, 0.04));
+  const CritPathReport report = obs::analyze_critical_path(t.events());
+  std::ostringstream os;
+  obs::write_critpath_json(os, report);
+  expect_matches_golden("critpath_octree_mesh16_seed1", os.str());
+}
+
+}  // namespace
+}  // namespace simany
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-goldens") == 0) {
+      simany::g_update_goldens = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,159 @@
+// Live run-status heartbeat (src/obs/status): zero-perturbation
+// contract, file schema, host coverage and the failure-path heartbeat.
+//
+// The headline guarantee: attaching a StatusReporter changes nothing
+// about the simulation — stats and event fingerprints are identical
+// with the heartbeat on or off, on every host backend — while the
+// status file always ends on a terminal "finished"/"failed" sample.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "config/arch_config.h"
+#include "core/engine.h"
+#include "core/sim_error.h"
+#include "dwarfs/dwarfs.h"
+#include "obs/event.h"
+#include "obs/status.h"
+#include "obs/telemetry.h"
+
+namespace simany {
+namespace {
+
+TaskFn dwarf_root(const std::string& name) {
+  return dwarfs::dwarf_by_name(name).make_root(1, 0.05);
+}
+
+ArchConfig parallel(ArchConfig cfg, std::uint32_t shards,
+                    std::uint32_t threads) {
+  cfg.host.mode = HostMode::kParallel;
+  cfg.host.shards = shards;
+  cfg.host.threads = threads;
+  return cfg;
+}
+
+std::string status_path(const char* name) {
+  return testing::TempDir() + "simany_status_" + name + ".json";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+struct RunOutcome {
+  SimStats stats;
+  std::uint64_t fp_all = 0;
+};
+
+RunOutcome run_once(const ArchConfig& cfg, const TaskFn& root,
+                    obs::StatusReporter* status,
+                    ExecutionMode mode = ExecutionMode::kVirtualTime) {
+  obs::Telemetry t;
+  Engine sim(cfg, mode);
+  sim.set_telemetry(&t);
+  if (status != nullptr) sim.set_status(status);
+  RunOutcome r;
+  r.stats = sim.run(root);
+  r.fp_all = t.fingerprint(obs::EventClass::kAll);
+  return r;
+}
+
+TEST(StatusReporter, HeartbeatOnOrOffIsByteIdenticalSimulation) {
+  const ArchConfig cfg = ArchConfig::shared_mesh(16);
+  const TaskFn root = dwarf_root("spmxv");
+  const RunOutcome off = run_once(cfg, root, nullptr);
+  const std::string path = status_path("onoff");
+  obs::StatusReporter rep(path, 0);
+  const RunOutcome on = run_once(cfg, root, &rep);
+  EXPECT_EQ(off.fp_all, on.fp_all);
+  EXPECT_EQ(off.stats.completion_ticks, on.stats.completion_ticks);
+  EXPECT_EQ(off.stats.messages, on.stats.messages);
+  EXPECT_EQ(off.stats.sync_stalls, on.stats.sync_stalls);
+  EXPECT_GE(rep.writes(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(StatusReporter, FinalHeartbeatReportsFinishedSchema) {
+  const std::string path = status_path("schema");
+  obs::StatusReporter rep(path, 0);
+  const RunOutcome r =
+      run_once(ArchConfig::shared_mesh(16), dwarf_root("octree"), &rep);
+  const std::string body = slurp(path);
+  EXPECT_NE(body.find("\"schema\":\"simany-status-v1\""), std::string::npos);
+  EXPECT_NE(body.find("\"state\":\"finished\""), std::string::npos);
+  EXPECT_NE(body.find("\"rounds\":"), std::string::npos);
+  EXPECT_NE(body.find("\"drift_gap_cycles\":"), std::string::npos);
+  EXPECT_NE(body.find("\"imbalance\":"), std::string::npos);
+  EXPECT_NE(body.find("\"guard\":"), std::string::npos);
+  EXPECT_NE(body.find("\"eta_ms\":null"), std::string::npos);
+  // No torn tmp file left behind: the rename consumed it.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  EXPECT_GT(r.stats.completion_ticks, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(StatusReporter, ParallelHostWritesShardRowsAndStaysDeterministic) {
+  const ArchConfig cfg = parallel(ArchConfig::shared_mesh(16), 4, 2);
+  const TaskFn root = dwarf_root("spmxv");
+  const RunOutcome off = run_once(cfg, root, nullptr);
+  const std::string path = status_path("par4");
+  obs::StatusReporter rep(path, 0);
+  const RunOutcome on = run_once(cfg, root, &rep);
+  EXPECT_EQ(off.fp_all, on.fp_all);
+  EXPECT_EQ(off.stats.completion_ticks, on.stats.completion_ticks);
+  const std::string body = slurp(path);
+  EXPECT_NE(body.find("\"shards\":[{\"id\":0"), std::string::npos);
+  EXPECT_NE(body.find("\"id\":3"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(StatusReporter, CycleLevelLoopEmitsHeartbeats) {
+  const std::string path = status_path("cl");
+  obs::StatusReporter rep(path, 0);
+  const RunOutcome r =
+      run_once(ArchConfig::shared_mesh(16), dwarf_root("spmxv"), &rep,
+               ExecutionMode::kCycleLevel);
+  EXPECT_GT(r.stats.completion_ticks, 0u);
+  EXPECT_GE(rep.writes(), 2u);  // per-quantum cadence plus the final one
+  EXPECT_NE(slurp(path).find("\"state\":\"finished\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(StatusReporter, GuardAbortLeavesFailedHeartbeat) {
+  ArchConfig cfg = ArchConfig::shared_mesh(16);
+  cfg.guard.max_vtime_cycles = 50;  // trips long before completion
+  cfg.guard.poll_quanta = 8;        // poll often enough to notice
+  const std::string path = status_path("failed");
+  obs::StatusReporter rep(path, 0);
+  Engine sim(cfg);
+  sim.set_status(&rep);
+  EXPECT_THROW((void)sim.run(dwarf_root("spmxv")), SimError);
+  const std::string body = slurp(path);
+  EXPECT_NE(body.find("\"state\":\"failed\""), std::string::npos);
+  EXPECT_NE(body.find("\"budget_fraction\":"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(StatusReporter, ThrottleSuppressesIntermediateWrites) {
+  // A huge interval admits only the unconditional terminal heartbeat
+  // (plus the first write, which due() always allows).
+  const std::string path = status_path("throttle");
+  obs::StatusReporter rep(path, 3'600'000);
+  const RunOutcome r =
+      run_once(ArchConfig::shared_mesh(16), dwarf_root("spmxv"), &rep,
+               ExecutionMode::kCycleLevel);
+  EXPECT_GT(r.stats.completion_ticks, 0u);
+  EXPECT_LE(rep.writes(), 2u);
+  EXPECT_NE(slurp(path).find("\"state\":\"finished\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace simany

@@ -138,7 +138,7 @@ def micro_metrics(doc, reference, role):
         times[b["name"]] = float(b["real_time"])
         for key, val in b.items():
             if key in ("inbox_heap_allocs_per_run", "host_rounds_per_run",
-                       "obs_events_per_run"):
+                       "obs_events_per_run", "critpath_segments_per_run"):
                 counters[f"{b['name']}/{key}"] = float(val)
     ref = times.get(reference)
     if ref is None or ref <= 0.0:

@@ -1,0 +1,290 @@
+#!/usr/bin/env python3
+"""Diff two simany runs from their metrics exports.
+
+Consumes the machine-readable metrics artifacts the simulator writes —
+either the JSON written by `simany_cli --metrics-out`
+({"counters":…,"gauges":…,"histograms":…,"series":…}, see
+src/obs/metrics.cpp) or the flat CSV written by `--metrics-csv`
+(series,t_cycles,core,value, histogram percentiles riding along as
+`<name>.p50` rows at core -1) — and aligns run B against run A on
+*virtual* time:
+
+  * counters / gauges: per-metric delta and relative change,
+  * histograms: exact percentile shifts (p50/p90/p99/p99.9) and
+    population change,
+  * time series: merged on (t_cycles, core); reports the first virtual
+    time at which the runs diverge per series and the largest
+    point-wise delta,
+  * per-core attribution: the cores whose summed series values
+    regressed the most (largest increase run A -> run B).
+
+Because both exports are deterministic functions of the run, two runs
+of the same binary/config/seed diff clean; any reported divergence is
+a real behavioural difference, not noise.
+
+Exit status (uniform across tools/, see docs/static_analysis.md):
+  0  runs equivalent within --rel-tol
+  1  findings: at least one metric/series diverged beyond --rel-tol
+  2  usage / input error (missing or unparseable export)
+
+Usage:
+  run_diff.py A B [--rel-tol F] [--top N] [--json]
+"""
+
+import argparse
+import csv
+import json
+import sys
+
+PERCENTILE_SUFFIXES = (".p50", ".p90", ".p99", ".p99.9")
+
+
+def _percentile_split(name):
+    """("hist", "p50") if `name` is a synthetic CSV percentile row,
+    else None. Checked longest-suffix-first so `.p99.9` wins."""
+    for suf in sorted(PERCENTILE_SUFFIXES, key=len, reverse=True):
+        if name.endswith(suf):
+            return name[: -len(suf)], suf[1:]
+    return None
+
+
+def load_metrics(path):
+    """Canonical run dict from either export format:
+    {"counters": {name: num}, "gauges": {name: num},
+     "percentiles": {hist: {p50: v, ...}}, "hist_totals": {hist: n},
+     "series": {name: {(t_cycles, core): value}}}"""
+    with open(path) as f:
+        head = f.read(1)
+        f.seek(0)
+        if head == "{":
+            return _from_json(json.load(f))
+        return _from_csv(f)
+
+
+def _from_json(doc):
+    run = {"counters": {}, "gauges": {}, "percentiles": {},
+           "hist_totals": {}, "series": {}}
+    for name, v in doc.get("counters", {}).items():
+        run["counters"][name] = float(v)
+    for name, v in doc.get("gauges", {}).items():
+        run["gauges"][name] = float(v)
+    for name, h in doc.get("histograms", {}).items():
+        run["hist_totals"][name] = int(h.get("total", 0))
+        pcts = {}
+        for suf in PERCENTILE_SUFFIXES:
+            key = suf[1:]
+            if key in h:
+                pcts[key] = float(h[key])
+        if pcts:
+            run["percentiles"][name] = pcts
+    for name, rows in doc.get("series", {}).items():
+        pts = {}
+        for r in rows:
+            pts[(float(r["t"]), int(r["core"]))] = float(r["value"])
+        run["series"][name] = pts
+    return run
+
+
+def _from_csv(lines):
+    run = {"counters": {}, "gauges": {}, "percentiles": {},
+           "hist_totals": {}, "series": {}}
+    for row in csv.DictReader(lines):
+        name = row["series"]
+        split = _percentile_split(name)
+        if split is not None and int(row["core"]) == -1:
+            hist, key = split
+            run["percentiles"].setdefault(hist, {})[key] = \
+                float(row["value"])
+            continue
+        pts = run["series"].setdefault(name, {})
+        pts[(float(row["t_cycles"]), int(row["core"]))] = \
+            float(row["value"])
+    return run
+
+
+def differs(a, b, rel_tol):
+    if a == b:
+        return False
+    denom = max(abs(a), abs(b))
+    return abs(a - b) > rel_tol * denom
+
+
+def rel_change(a, b):
+    if a == 0.0:
+        return float("inf") if b != 0.0 else 0.0
+    return (b - a) / abs(a)
+
+
+def _diff_scalars(da, db, rel_tol):
+    """Rows for every name in either map that differs beyond rel_tol;
+    a name missing from one run always counts as divergent."""
+    rows = []
+    for name in sorted(set(da) | set(db)):
+        if name not in da or name not in db:
+            rows.append({"name": name,
+                         "a": da.get(name), "b": db.get(name),
+                         "rel": None, "missing": True})
+        elif differs(da[name], db[name], rel_tol):
+            rows.append({"name": name, "a": da[name], "b": db[name],
+                         "rel": rel_change(da[name], db[name]),
+                         "missing": False})
+    return rows
+
+
+def _diff_series(sa, sb, rel_tol):
+    """Per-series divergence rows plus per-core summed deltas."""
+    rows = []
+    core_delta = {}  # core -> (sum_a, sum_b) over all series
+    for name in sorted(set(sa) | set(sb)):
+        pa = sa.get(name, {})
+        pb = sb.get(name, {})
+        for (_, core), v in pa.items():
+            s = core_delta.setdefault(core, [0.0, 0.0])
+            s[0] += v
+        for (_, core), v in pb.items():
+            s = core_delta.setdefault(core, [0.0, 0.0])
+            s[1] += v
+        first_t = None
+        max_delta = 0.0
+        mismatches = 0
+        for key in set(pa) | set(pb):
+            va, vb = pa.get(key), pb.get(key)
+            if va is not None and vb is not None \
+                    and not differs(va, vb, rel_tol):
+                continue
+            mismatches += 1
+            t = key[0]
+            if first_t is None or t < first_t:
+                first_t = t
+            delta = abs((vb or 0.0) - (va or 0.0))
+            max_delta = max(max_delta, delta)
+        if mismatches:
+            rows.append({"name": name, "first_divergence_cycles": first_t,
+                         "mismatched_points": mismatches,
+                         "points_a": len(pa), "points_b": len(pb),
+                         "max_abs_delta": max_delta})
+    return rows, core_delta
+
+
+def _top_regressed(core_delta, rel_tol, top):
+    """Cores whose summed series value grew the most A -> B."""
+    rows = []
+    for core, (a, b) in core_delta.items():
+        if b > a and differs(a, b, rel_tol):
+            rows.append({"core": core, "a": a, "b": b,
+                         "delta": b - a, "rel": rel_change(a, b)})
+    rows.sort(key=lambda r: (-r["delta"], r["core"]))
+    return rows[:top]
+
+
+def diff_runs(ra, rb, rel_tol=0.0, top=5):
+    counters = _diff_scalars(ra["counters"], rb["counters"], rel_tol)
+    gauges = _diff_scalars(ra["gauges"], rb["gauges"], rel_tol)
+    pct_rows = []
+    hists = set(ra["percentiles"]) | set(rb["percentiles"])
+    for hist in sorted(hists):
+        pa = ra["percentiles"].get(hist, {})
+        pb = rb["percentiles"].get(hist, {})
+        for key in sorted(set(pa) | set(pb)):
+            va, vb = pa.get(key), pb.get(key)
+            if va is None or vb is None or differs(va, vb, rel_tol):
+                pct_rows.append({
+                    "name": f"{hist}.{key}", "a": va, "b": vb,
+                    "rel": None if va is None or vb is None
+                    else rel_change(va, vb)})
+    pop_rows = _diff_scalars(
+        {k: float(v) for k, v in ra["hist_totals"].items()},
+        {k: float(v) for k, v in rb["hist_totals"].items()}, rel_tol)
+    series_rows, core_delta = _diff_series(
+        ra["series"], rb["series"], rel_tol)
+    diff = {
+        "counters": counters,
+        "gauges": gauges,
+        "percentiles": pct_rows,
+        "hist_populations": pop_rows,
+        "series": series_rows,
+        "top_regressed_cores": _top_regressed(core_delta, rel_tol, top),
+        "series_total": len(set(ra["series"]) | set(rb["series"])),
+    }
+    diff["divergent"] = bool(counters or gauges or pct_rows or pop_rows
+                             or series_rows)
+    return diff
+
+
+def _fmt_rel(rel):
+    if rel is None:
+        return "missing"
+    if rel == float("inf"):
+        return "new"
+    return "%+.1f%%" % (100.0 * rel)
+
+
+def render(d, a_label="A", b_label="B"):
+    lines = ["run diff: %s vs %s" % (a_label, b_label)]
+    if not d["divergent"]:
+        lines.append("runs equivalent within tolerance")
+        return "\n".join(lines)
+    for section, title in (("counters", "counters"),
+                           ("gauges", "gauges"),
+                           ("percentiles", "percentile shifts"),
+                           ("hist_populations", "histogram populations")):
+        rows = d[section]
+        if not rows:
+            continue
+        lines.append("%s:" % title)
+        for r in rows:
+            lines.append("  %-28s %s -> %s (%s)"
+                         % (r["name"],
+                            "-" if r["a"] is None else "%g" % r["a"],
+                            "-" if r["b"] is None else "%g" % r["b"],
+                            _fmt_rel(r["rel"])))
+    if d["series"]:
+        lines.append("series divergence (%d of %d diverge):"
+                     % (len(d["series"]), d["series_total"]))
+        for r in d["series"]:
+            lines.append(
+                "  %-28s first at %.1f cycles, %d/%d points differ, "
+                "max |delta| %g"
+                % (r["name"], r["first_divergence_cycles"],
+                   r["mismatched_points"],
+                   max(r["points_a"], r["points_b"]),
+                   r["max_abs_delta"]))
+    if d["top_regressed_cores"]:
+        lines.append("top regressed cores:")
+        for r in d["top_regressed_cores"]:
+            lines.append("  core %-4d summed value %g -> %g (%s)"
+                         % (r["core"], r["a"], r["b"],
+                            _fmt_rel(r["rel"])))
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("run_a", help="baseline metrics export (JSON or CSV)")
+    ap.add_argument("run_b", help="candidate metrics export (JSON or CSV)")
+    ap.add_argument("--rel-tol", type=float, default=0.0,
+                    help="relative tolerance below which a delta is "
+                         "noise (default 0: exact)")
+    ap.add_argument("--top", type=int, default=5,
+                    help="regressed cores to list (default 5)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit the diff as JSON instead of text")
+    args = ap.parse_args(argv)
+    try:
+        ra = load_metrics(args.run_a)
+        rb = load_metrics(args.run_b)
+    except (OSError, json.JSONDecodeError, ValueError, KeyError,
+            csv.Error) as e:
+        print(f"run_diff: error: unusable input: {e}", file=sys.stderr)
+        return 2
+    d = diff_runs(ra, rb, rel_tol=args.rel_tol, top=args.top)
+    if args.json:
+        json.dump(d, sys.stdout, indent=2)
+        print()
+    else:
+        print(render(d, args.run_a, args.run_b))
+    return 1 if d["divergent"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

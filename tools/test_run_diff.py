@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Unit tests for run_diff.py: both export formats must load to the
+same canonical run, identical runs must diff clean, and every
+divergence class (counter delta, percentile shift, series mismatch,
+per-core regression) must be detected and exactly quantified."""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import run_diff  # noqa: E402
+
+
+def metrics_doc(messages=120, p99=410.0, occ3=10.0):
+    return {
+        "counters": {"messages": messages, "tasks": 40},
+        "gauges": {"imbalance": 1.25},
+        "histograms": {
+            "task_cycles": {"bounds": [100, 1000], "counts": [3, 1, 0],
+                            "total": 4, "sum": 900.0,
+                            "p50": 200.0, "p90": p99, "p99": p99,
+                            "p99.9": p99},
+        },
+        "series": {
+            "occ": [
+                {"t": 100, "core": 2, "value": 1.0},
+                {"t": 480, "core": 3, "value": occ3},
+                {"t": 900, "core": 3, "value": 2.0},
+            ],
+        },
+    }
+
+
+def csv_text(doc):
+    """Flat CSV equivalent of metrics_doc's series + percentile rows,
+    mirroring MetricsRegistry::write_csv."""
+    out = ["series,t_cycles,core,value"]
+    for name, rows in doc["series"].items():
+        for r in rows:
+            out.append("%s,%d,%d,%g"
+                       % (name, r["t"], r["core"], r["value"]))
+    for hist, h in doc["histograms"].items():
+        for key in ("p50", "p90", "p99", "p99.9"):
+            out.append("%s.%s,0,-1,%g" % (hist, key, h[key]))
+    return "\n".join(out) + "\n"
+
+
+def load_doc(doc):
+    return run_diff._from_json(doc)
+
+
+class LoadTest(unittest.TestCase):
+    def test_csv_and_json_series_agree(self):
+        doc = metrics_doc()
+        rj = run_diff._from_json(doc)
+        rc = run_diff._from_csv(io.StringIO(csv_text(doc)))
+        self.assertEqual(rj["series"], rc["series"])
+        self.assertEqual(rj["percentiles"], rc["percentiles"])
+
+    def test_p99_9_suffix_wins_over_p9(self):
+        rc = run_diff._from_csv(io.StringIO(
+            "series,t_cycles,core,value\nlat.p99.9,0,-1,5.5\n"))
+        self.assertEqual(rc["percentiles"], {"lat": {"p99.9": 5.5}})
+        self.assertEqual(rc["series"], {})
+
+
+class DiffTest(unittest.TestCase):
+    def test_identical_runs_diff_clean(self):
+        d = run_diff.diff_runs(load_doc(metrics_doc()),
+                               load_doc(metrics_doc()))
+        self.assertFalse(d["divergent"])
+        self.assertEqual(d["counters"], [])
+        self.assertEqual(d["series"], [])
+        self.assertIn("equivalent", run_diff.render(d))
+
+    def test_counter_delta_detected_and_quantified(self):
+        d = run_diff.diff_runs(load_doc(metrics_doc(messages=120)),
+                               load_doc(metrics_doc(messages=132)))
+        self.assertTrue(d["divergent"])
+        row = next(r for r in d["counters"] if r["name"] == "messages")
+        self.assertEqual((row["a"], row["b"]), (120.0, 132.0))
+        self.assertAlmostEqual(row["rel"], 0.1)
+
+    def test_percentile_shift_detected(self):
+        d = run_diff.diff_runs(load_doc(metrics_doc(p99=410.0)),
+                               load_doc(metrics_doc(p99=520.0)))
+        names = [r["name"] for r in d["percentiles"]]
+        self.assertIn("task_cycles.p99", names)
+        self.assertIn("task_cycles.p99.9", names)
+        self.assertNotIn("task_cycles.p50", names)
+
+    def test_series_first_divergence_at_earliest_cycle(self):
+        d = run_diff.diff_runs(load_doc(metrics_doc(occ3=10.0)),
+                               load_doc(metrics_doc(occ3=14.0)))
+        (row,) = d["series"]
+        self.assertEqual(row["name"], "occ")
+        self.assertEqual(row["first_divergence_cycles"], 480.0)
+        self.assertEqual(row["mismatched_points"], 1)
+        self.assertEqual(row["max_abs_delta"], 4.0)
+
+    def test_top_regressed_cores_ranked_by_delta(self):
+        d = run_diff.diff_runs(load_doc(metrics_doc(occ3=10.0)),
+                               load_doc(metrics_doc(occ3=14.0)))
+        (row,) = d["top_regressed_cores"]
+        self.assertEqual(row["core"], 3)
+        self.assertEqual(row["delta"], 4.0)
+        text = run_diff.render(d)
+        self.assertIn("top regressed cores", text)
+        self.assertIn("core 3", text)
+
+    def test_rel_tol_suppresses_noise(self):
+        a = load_doc(metrics_doc(messages=1000))
+        b = load_doc(metrics_doc(messages=1001))
+        self.assertTrue(run_diff.diff_runs(a, b)["divergent"])
+        self.assertFalse(
+            run_diff.diff_runs(a, b, rel_tol=0.01)["divergent"])
+
+    def test_missing_metric_always_divergent(self):
+        a = load_doc(metrics_doc())
+        b = load_doc(metrics_doc())
+        del b["counters"]["tasks"]
+        d = run_diff.diff_runs(a, b, rel_tol=0.5)
+        row = next(r for r in d["counters"] if r["name"] == "tasks")
+        self.assertTrue(row["missing"])
+        self.assertTrue(d["divergent"])
+
+
+class MainExitCodeTest(unittest.TestCase):
+    def write(self, d, name, doc):
+        path = os.path.join(d, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def test_exit_codes(self):
+        with tempfile.TemporaryDirectory() as d:
+            a = self.write(d, "a.json", metrics_doc())
+            b = self.write(d, "b.json", metrics_doc(messages=999))
+            with open(os.path.join(d, "bad.json"), "w") as f:
+                f.write("{not json")
+            self.assertEqual(run_diff.main([a, a]), 0)
+            self.assertEqual(run_diff.main([a, b]), 1)
+            self.assertEqual(
+                run_diff.main([a, os.path.join(d, "bad.json")]), 2)
+            self.assertEqual(
+                run_diff.main([a, os.path.join(d, "absent.json")]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

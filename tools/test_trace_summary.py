@@ -228,5 +228,141 @@ class CrashReportTest(unittest.TestCase):
         self.assertEqual(events, [])
 
 
+def critpath_doc():
+    zero = {"ticks": 0, "share": 0.0}
+    return {
+        "schema": "simany-critpath-v1",
+        "total_ticks": 20664, "total_cycles": 1722,
+        "terminal_core": 5, "truncated": False,
+        "causes": {
+            "compute": {"ticks": 14280, "share": 0.691},
+            "runtime": {"ticks": 1464, "share": 0.071},
+            "noc": {"ticks": 2124, "share": 0.103},
+            "memory": dict(zero), "lock_contention": dict(zero),
+            "cell_contention": dict(zero), "fault": dict(zero),
+            "imbalance": {"ticks": 2796, "share": 0.135},
+        },
+        "top_cores": [{"core": 5, "ticks": 12000, "share": 0.581},
+                      {"core": 2, "ticks": 5000, "share": 0.242}],
+        "top_links": [{"src": 3, "dst": 7, "ticks": 1200}],
+        "top_objects": [{"kind": "lock", "id": 7, "ticks": 300}],
+        "segment_count": 42,
+        "segments": [],
+        "fingerprint": "00123456789abcde",
+    }
+
+
+class CritPathSummaryTest(unittest.TestCase):
+    def test_causes_ranked_and_zero_causes_dropped(self):
+        s = trace_summary.summarize_critpath(critpath_doc(), top=1)
+        self.assertEqual([c["cause"] for c in s["causes"]],
+                         ["compute", "imbalance", "noc", "runtime"])
+        self.assertEqual(s["total_cycles"], 1722)
+        self.assertEqual(s["terminal_core"], 5)
+        self.assertEqual(s["segments"], 42)
+        self.assertEqual(len(s["top_cores"]), 1)  # top= honoured
+        self.assertFalse(s["truncated"])
+
+    def test_render_mentions_causes_links_and_fingerprint(self):
+        text = trace_summary.render_critpath(
+            trace_summary.summarize_critpath(critpath_doc()))
+        self.assertIn("1722 cycles", text)
+        self.assertIn("compute", text)
+        self.assertIn("3->7", text)
+        self.assertIn("lock 7", text)
+        self.assertIn("00123456789abcde", text)
+        self.assertNotIn("TRUNCATED", text)
+
+    def test_truncated_flag_surfaces(self):
+        doc = critpath_doc()
+        doc["truncated"] = True
+        text = trace_summary.render_critpath(
+            trace_summary.summarize_critpath(doc))
+        self.assertIn("TRUNCATED", text)
+
+    def test_malformed_document_rejected(self):
+        with self.assertRaises(ValueError):
+            trace_summary.summarize_critpath({"schema": "nope"})
+        doc = critpath_doc()
+        del doc["causes"]
+        with self.assertRaises(KeyError):
+            trace_summary.summarize_critpath(doc)
+
+
+def status_doc(state="running"):
+    return {
+        "schema": "simany-status-v1",
+        "state": state, "wall_ms": 1500.0, "rounds": 12, "quanta": 96,
+        "quanta_per_sec": 64.0, "events": 4000,
+        "events_per_sec": 2666.7,
+        "vtime_cycles": {"min": 400, "max": 512},
+        "drift_gap_cycles": 112, "live_tasks": 5,
+        "inflight_messages": 2, "mail_pending": 1, "imbalance": 1.28,
+        "shards": [
+            {"id": 0, "quanta": 48, "now_min_cycles": 500,
+             "now_max_cycles": 512, "live_tasks": 3},
+            {"id": 1, "quanta": 48, "now_min_cycles": 400,
+             "now_max_cycles": 480, "live_tasks": 2},
+        ],
+        "guard": {"deadline_ms": 0, "elapsed_ms": 1500.0,
+                  "max_vtime_cycles": 0, "budget_fraction": 0.0},
+        "eta_ms": None,
+    }
+
+
+class StatusSummaryTest(unittest.TestCase):
+    def test_summary_fields_and_laggard_shard(self):
+        s = trace_summary.summarize_status(status_doc())
+        self.assertEqual(s["state"], "running")
+        self.assertEqual(s["vtime_min_cycles"], 400)
+        self.assertEqual(s["drift_gap_cycles"], 112)
+        self.assertEqual(s["shards"], 2)
+        self.assertEqual(s["laggard_shard"]["id"], 1)
+        self.assertEqual(s["laggard_shard"]["now_min_cycles"], 400)
+        self.assertIsNone(s["eta_ms"])
+
+    def test_render_mentions_state_progress_and_laggard(self):
+        text = trace_summary.render_status(
+            trace_summary.summarize_status(status_doc("finished")))
+        self.assertIn("finished", text)
+        self.assertIn("400..512 cycles", text)
+        self.assertIn("shard 1", text)
+        self.assertNotIn("eta", text)
+
+    def test_eta_rendered_when_budgeted(self):
+        doc = status_doc()
+        doc["eta_ms"] = 2500.0
+        text = trace_summary.render_status(
+            trace_summary.summarize_status(doc))
+        self.assertIn("eta", text)
+        self.assertIn("2500", text)
+
+    def test_malformed_document_rejected(self):
+        with self.assertRaises(ValueError):
+            trace_summary.summarize_status({"schema": "nope"})
+        doc = status_doc()
+        del doc["vtime_cycles"]
+        with self.assertRaises(KeyError):
+            trace_summary.summarize_status(doc)
+
+
+class SchemaDispatchTest(unittest.TestCase):
+    def test_load_any_routes_all_three_schemas(self):
+        with tempfile.TemporaryDirectory() as d:
+            paths = {}
+            for name, doc in (("crash", crash_doc()),
+                              ("critpath", critpath_doc()),
+                              ("status", status_doc())):
+                paths[name] = os.path.join(d, name + ".json")
+                with open(paths[name], "w") as f:
+                    json.dump(doc, f)
+            for name, path in paths.items():
+                kind, doc = trace_summary.load_any(path)
+                self.assertEqual(kind, name)
+                self.assertEqual(doc["schema"], "simany-%s-v1"
+                                 % ("crash-report" if name == "crash"
+                                    else name))
+
+
 if __name__ == "__main__":
     unittest.main()

@@ -6,16 +6,21 @@ Consumes any of the machine-readable artifacts the simulator writes:
   * the flat event CSV written by `simany_cli --trace-csv`
     (vtime_ticks,core,event,sub,dst,a,b — see src/obs/export.cpp),
   * the Perfetto / Chrome trace-event JSON written by `--trace-json`
-    (pid 1 = simulated cores, 1 cycle = 1 us on the trace axis), or
+    (pid 1 = simulated cores, 1 cycle = 1 us on the trace axis),
   * the simany-crash-report-v1 JSON written by `--crash-report` on an
-    aborted run (schema in docs/robustness.md).
+    aborted run (schema in docs/robustness.md),
+  * the simany-critpath-v1 JSON written by `--critpath-out` (ranked
+    causal critical path, schema in docs/observability.md), or
+  * the simany-status-v1 heartbeat written by `--status-out`.
 
 and prints the run's shape at a glance: the top-N busiest cores, the
 sync-stall distribution, the longest critical section, and the fault
 timeline. Sync stalls are zero-width in *virtual* time by construction
 (a stalled core's clock does not advance), so stalls are reported as
 counts, not durations. Crash reports instead print the structured
-error, progress spread, and the stall diagnosis.
+error, progress spread, and the stall diagnosis; critical-path reports
+print the cause breakdown and top cores/links/objects; status
+heartbeats print the run state, progress, and throughput.
 
 Exit status (uniform across tools/, see docs/static_analysis.md):
   0  summary printed
@@ -152,6 +157,8 @@ def events_from_chrome(doc):
 
 
 CRASH_SCHEMA = "simany-crash-report-v1"
+CRITPATH_SCHEMA = "simany-critpath-v1"
+STATUS_SCHEMA = "simany-status-v1"
 
 
 def load_events(path):
@@ -164,15 +171,20 @@ def load_events(path):
 
 
 def load_any(path):
-    """Returns ("crash", doc) for a crash report, ("events", list)
-    for either trace format."""
+    """Returns ("crash" | "critpath" | "status", doc) for the schema'd
+    JSON artifacts, ("events", list) for either trace format."""
     with open(path) as f:
         head = f.read(1)
         f.seek(0)
         if head == "{":
             doc = json.load(f)
-            if doc.get("schema") == CRASH_SCHEMA:
+            schema = doc.get("schema")
+            if schema == CRASH_SCHEMA:
                 return "crash", doc
+            if schema == CRITPATH_SCHEMA:
+                return "critpath", doc
+            if schema == STATUS_SCHEMA:
+                return "status", doc
             return "events", list(events_from_chrome(doc))
         return "events", list(events_from_csv(f))
 
@@ -266,6 +278,118 @@ def render_crash_report(s):
     return "\n".join(lines)
 
 
+def summarize_critpath(doc, top=5):
+    """Headline dict from a simany-critpath-v1 document (the causal
+    critical-path report of src/obs/critpath). Raises
+    KeyError/ValueError on documents that do not match the schema."""
+    if doc.get("schema") != CRITPATH_SCHEMA:
+        raise ValueError("not a %s document" % CRITPATH_SCHEMA)
+    causes = [{"cause": name, "ticks": c["ticks"], "share": c["share"]}
+              for name, c in doc["causes"].items() if c["ticks"] > 0]
+    causes.sort(key=lambda c: (-c["ticks"], c["cause"]))
+    return {
+        "schema": CRITPATH_SCHEMA,
+        "total_cycles": doc["total_cycles"],
+        "terminal_core": doc["terminal_core"],
+        "truncated": bool(doc["truncated"]),
+        "segments": doc["segment_count"],
+        "causes": causes,
+        "top_cores": doc["top_cores"][:top],
+        "top_links": doc["top_links"][:top],
+        "top_objects": doc["top_objects"][:top],
+        "fingerprint": doc["fingerprint"],
+    }
+
+
+def render_critpath(s):
+    lines = []
+    lines.append("critical path : %d cycles, %d segments, ends on "
+                 "core %d%s"
+                 % (s["total_cycles"], s["segments"], s["terminal_core"],
+                    " (TRUNCATED)" if s["truncated"] else ""))
+    lines.append("fingerprint   : %s" % s["fingerprint"])
+    lines.append("causes        :")
+    for c in s["causes"]:
+        lines.append("  %-16s %5.1f%%  (%d ticks)"
+                     % (c["cause"], 100.0 * c["share"], c["ticks"]))
+    if s["top_cores"]:
+        lines.append("top cores     : "
+                     + ", ".join("core %d (%.1f%%)"
+                                 % (c["core"], 100.0 * c["share"])
+                                 for c in s["top_cores"]))
+    if s["top_links"]:
+        lines.append("top links     : "
+                     + ", ".join("%d->%d (%d ticks)"
+                                 % (l["src"], l["dst"], l["ticks"])
+                                 for l in s["top_links"]))
+    if s["top_objects"]:
+        lines.append("top objects   : "
+                     + ", ".join("%s %x (%d ticks)"
+                                 % (o["kind"], o["id"], o["ticks"])
+                                 for o in s["top_objects"]))
+    return "\n".join(lines)
+
+
+def summarize_status(doc):
+    """Headline dict from a simany-status-v1 heartbeat (src/obs/status).
+    Raises KeyError/ValueError on non-conforming documents."""
+    if doc.get("schema") != STATUS_SCHEMA:
+        raise ValueError("not a %s document" % STATUS_SCHEMA)
+    vt = doc["vtime_cycles"]
+    laggard = None
+    shards = doc["shards"]
+    if shards:
+        laggard = min(shards, key=lambda s: (s["now_min_cycles"], s["id"]))
+    return {
+        "schema": STATUS_SCHEMA,
+        "state": doc["state"],
+        "wall_ms": doc["wall_ms"],
+        "rounds": doc["rounds"],
+        "quanta": doc["quanta"],
+        "quanta_per_sec": doc["quanta_per_sec"],
+        "events": doc["events"],
+        "vtime_min_cycles": vt["min"],
+        "vtime_max_cycles": vt["max"],
+        "drift_gap_cycles": doc["drift_gap_cycles"],
+        "live_tasks": doc["live_tasks"],
+        "inflight_messages": doc["inflight_messages"],
+        "mail_pending": doc["mail_pending"],
+        "imbalance": doc["imbalance"],
+        "shards": len(shards),
+        "laggard_shard": None if laggard is None else {
+            "id": laggard["id"],
+            "now_min_cycles": laggard["now_min_cycles"],
+            "live_tasks": laggard["live_tasks"],
+        },
+        "eta_ms": doc["eta_ms"],
+    }
+
+
+def render_status(s):
+    lines = []
+    lines.append("run status   : %s after %.0f ms wall"
+                 % (s["state"], s["wall_ms"]))
+    lines.append("progress     : vtime %d..%d cycles (drift gap %d), "
+                 "%d rounds, %d quanta"
+                 % (s["vtime_min_cycles"], s["vtime_max_cycles"],
+                    s["drift_gap_cycles"], s["rounds"], s["quanta"]))
+    lines.append("work         : %d live tasks, %d inflight messages, "
+                 "%d mail pending, imbalance %.2f"
+                 % (s["live_tasks"], s["inflight_messages"],
+                    s["mail_pending"], s["imbalance"]))
+    lines.append("throughput   : %.3g quanta/s, %d events recorded"
+                 % (s["quanta_per_sec"], s["events"]))
+    if s["laggard_shard"] is not None:
+        lines.append("laggard shard: shard %d at %d cycles "
+                     "(%d live tasks), %d shards total"
+                     % (s["laggard_shard"]["id"],
+                        s["laggard_shard"]["now_min_cycles"],
+                        s["laggard_shard"]["live_tasks"], s["shards"]))
+    if s["eta_ms"] is not None:
+        lines.append("eta          : ~%.0f ms to budget" % s["eta_ms"])
+    return "\n".join(lines)
+
+
 def render(s):
     lines = []
     lines.append("events       : %d over %.1f cycles"
@@ -316,13 +440,26 @@ def main():
         print(f"trace_summary: error: {args.trace} unusable: {e}",
               file=sys.stderr)
         return 2
-    if kind == "crash":
-        summary = summarize_crash_report(payload)
+    if kind in ("crash", "critpath", "status"):
+        try:
+            if kind == "crash":
+                summary = summarize_crash_report(payload)
+                text = render_crash_report(summary)
+            elif kind == "critpath":
+                summary = summarize_critpath(payload, top=args.top)
+                text = render_critpath(summary)
+            else:
+                summary = summarize_status(payload)
+                text = render_status(summary)
+        except (KeyError, ValueError, TypeError) as e:
+            print(f"trace_summary: error: {args.trace} malformed "
+                  f"{kind} document: {e!r}", file=sys.stderr)
+            return 2
         if args.json:
             json.dump(summary, sys.stdout, indent=2)
             print()
         else:
-            print(render_crash_report(summary))
+            print(text)
         return 0
     summary = summarize_events(payload, top=args.top, faults=args.faults)
     if args.json:
