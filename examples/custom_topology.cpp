@@ -72,6 +72,11 @@ int main() {
   {
     std::ofstream out(path);
     make_dumbbell(ticks(8), 16).save(out);
+    out.flush();
+    if (!out.good()) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", path);
+      return 1;
+    }
   }
   const auto loaded = net::Topology::load_file(path);
   std::printf("loaded '%s': %u cores, %u links, diameter %u\n", path,

@@ -71,7 +71,24 @@
 //                         dwarf, seed, factor) and finish the run;
 //                         refuses mismatched identity with a
 //                         structured error (see docs/snapshot.md)
+//   --autosave-dir <dir>  autosave ring directory (run.autosave.N.snap
+//                         generations + manifest; docs/robustness.md)
+//   --autosave-every <q>  autosave cadence in scheduling quanta
+//   --autosave-wall-ms <n> autosave cadence in wall-clock ms (captures
+//                         ride natural barriers; combinable with
+//                         --autosave-every)
+//   --autosave-keep <n>   ring bound: generations kept (default 4)
+//   --auto-resume <dir>   scan the ring at startup, resume from the
+//                         newest valid generation (torn generations
+//                         are skipped with a warning); also sets the
+//                         autosave dir unless --autosave-dir differs.
+//                         An empty ring is a fresh start, so the same
+//                         command line survives any number of crashes
+//   --fingerprint         print the run's arch-stats and telemetry
+//                         fingerprints (the determinism oracle the
+//                         kill-chaos recovery tests compare)
 //
+// All numeric flags use checked parsing: "3x" is a usage error, not 3.
 // Exit codes: 0 success, 1 permanent failure, 2 usage error,
 // 3 transient failure with retries exhausted, 130 cancelled by signal.
 
@@ -97,9 +114,12 @@
 #include "check/critpath_check.h"
 #include "guard/crash_report.h"
 #include "obs/critpath.h"
+#include "obs/event.h"
 #include "obs/export.h"
 #include "obs/status.h"
 #include "obs/telemetry.h"
+#include "recover/artifacts.h"
+#include "recover/supervisor.h"
 #include "snapshot/plan.h"
 #include "snapshot/snapshot.h"
 #include "stats/trace_sinks.h"
@@ -119,6 +139,49 @@ extern "C" void on_cancel_signal(int) {
   g_signalled.store(true, std::memory_order_relaxed);
   Engine* e = g_engine.load(std::memory_order_relaxed);
   if (e != nullptr) e->request_cancel();
+}
+
+// Arch-stats fingerprint for --fingerprint: FNV-1a64 over the purely
+// architectural SimStats counters (plus per-core busy time). Host-side
+// observations (wall time, rounds, parallelism samples) are excluded —
+// they may legitimately differ between an uninterrupted run and its
+// auto-resumed twin, and the recovery tests compare exactly this value.
+std::uint64_t fnv_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t arch_stats_fingerprint(const SimStats& st) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv_u64(h, st.completion_ticks);
+  h = fnv_u64(h, st.tasks_spawned);
+  h = fnv_u64(h, st.tasks_inlined);
+  h = fnv_u64(h, st.tasks_migrated);
+  h = fnv_u64(h, st.probes_sent);
+  h = fnv_u64(h, st.probes_denied);
+  h = fnv_u64(h, st.messages);
+  h = fnv_u64(h, st.sync_stalls);
+  h = fnv_u64(h, st.joins_suspended);
+  h = fnv_u64(h, st.faults_injected);
+  h = fnv_u64(h, st.fault_msgs_delayed);
+  h = fnv_u64(h, st.fault_msgs_duplicated);
+  h = fnv_u64(h, st.fault_msgs_dropped);
+  h = fnv_u64(h, st.fault_msg_retries);
+  h = fnv_u64(h, st.fault_msgs_reordered);
+  h = fnv_u64(h, st.fault_core_stalls);
+  h = fnv_u64(h, st.fault_spawn_denials);
+  h = fnv_u64(h, st.fault_mem_spikes);
+  h = fnv_u64(h, st.fault_core_wedges);
+  h = fnv_u64(h, st.fault_dead_cores);
+  h = fnv_u64(h, st.guard_inbox_overflows);
+  h = fnv_u64(h, st.guard_fiber_overflows);
+  h = fnv_u64(h, st.network.bytes);
+  h = fnv_u64(h, st.network.hops);
+  for (const Tick t : st.core_busy_ticks) h = fnv_u64(h, t);
+  return h;
 }
 
 }  // namespace
@@ -169,6 +232,12 @@ int main(int argc, char** argv) {
   std::uint64_t snapshot_at = 0;
   std::uint64_t snapshot_every = 0;
   std::optional<std::string> resume_from;
+  std::string autosave_dir;
+  std::uint64_t autosave_every = 0;
+  std::uint64_t autosave_wall_ms = 0;
+  std::uint32_t autosave_keep = 4;
+  std::optional<std::string> auto_resume;
+  bool fingerprint = false;
 
   for (int i = 1; i < argc; ++i) {
     auto need = [&](const char* flag) -> const char* {
@@ -177,6 +246,41 @@ int main(int argc, char** argv) {
         std::exit(2);
       }
       return argv[++i];
+    };
+    // Checked numeric parsing (config_io discipline): "--retries 3x"
+    // is a usage error, not a silent 3.
+    auto need_u64 = [&](const char* flag) -> std::uint64_t {
+      const std::string v = need(flag);
+      std::uint64_t out = 0;
+      if (!try_parse_u64(v, out)) {
+        std::fprintf(stderr, "invalid value for %s: '%s' (expected an "
+                             "unsigned integer)\n",
+                     flag, v.c_str());
+        std::exit(2);
+      }
+      return out;
+    };
+    auto need_u32 = [&](const char* flag) -> std::uint32_t {
+      const std::string v = need(flag);
+      std::uint32_t out = 0;
+      if (!try_parse_u32(v, out)) {
+        std::fprintf(stderr, "invalid value for %s: '%s' (expected an "
+                             "unsigned 32-bit integer)\n",
+                     flag, v.c_str());
+        std::exit(2);
+      }
+      return out;
+    };
+    auto need_f64 = [&](const char* flag) -> double {
+      const std::string v = need(flag);
+      double out = 0.0;
+      if (!try_parse_f64(v, out)) {
+        std::fprintf(stderr, "invalid value for %s: '%s' (expected a "
+                             "number)\n",
+                     flag, v.c_str());
+        std::exit(2);
+      }
+      return out;
     };
     if (!std::strcmp(argv[i], "--dwarf")) {
       dwarf_name = need("--dwarf");
@@ -195,21 +299,19 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--critpath-out")) {
       critpath_path = need("--critpath-out");
     } else if (!std::strcmp(argv[i], "--critpath-top")) {
-      critpath_top = std::strtoull(need("--critpath-top"), nullptr, 10);
+      critpath_top = static_cast<std::size_t>(need_u64("--critpath-top"));
     } else if (!std::strcmp(argv[i], "--status-out")) {
       status_path = need("--status-out");
     } else if (!std::strcmp(argv[i], "--status-interval-ms")) {
-      status_interval_ms =
-          std::strtoull(need("--status-interval-ms"), nullptr, 10);
+      status_interval_ms = need_u64("--status-interval-ms");
     } else if (!std::strcmp(argv[i], "--metrics-interval")) {
-      metrics_interval =
-          std::strtoull(need("--metrics-interval"), nullptr, 10);
+      metrics_interval = need_u64("--metrics-interval");
     } else if (!std::strcmp(argv[i], "--profile-host")) {
       profile_host = true;
     } else if (!std::strcmp(argv[i], "--cores")) {
-      cores = static_cast<std::uint32_t>(std::atoi(need("--cores")));
+      cores = need_u32("--cores");
     } else if (!std::strcmp(argv[i], "--clusters")) {
-      clusters = static_cast<std::uint32_t>(std::atoi(need("--clusters")));
+      clusters = need_u32("--clusters");
     } else if (!std::strcmp(argv[i], "--distributed")) {
       distributed = true;
     } else if (!std::strcmp(argv[i], "--polymorphic")) {
@@ -223,59 +325,65 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--checked")) {
       checked = true;
     } else if (!std::strcmp(argv[i], "--host-threads")) {
-      host_threads =
-          static_cast<std::uint32_t>(std::atoi(need("--host-threads")));
+      host_threads = need_u32("--host-threads");
     } else if (!std::strcmp(argv[i], "--host-shards")) {
-      host_shards =
-          static_cast<std::uint32_t>(std::atoi(need("--host-shards")));
+      host_shards = need_u32("--host-shards");
     } else if (!std::strcmp(argv[i], "--fault-seed")) {
-      fault_seed = std::strtoull(need("--fault-seed"), nullptr, 10);
+      fault_seed = need_u64("--fault-seed");
     } else if (!std::strcmp(argv[i], "--fault-drop")) {
-      fault_drop = std::atof(need("--fault-drop"));
+      fault_drop = need_f64("--fault-drop");
     } else if (!std::strcmp(argv[i], "--fault-delay")) {
-      fault_delay = std::atof(need("--fault-delay"));
+      fault_delay = need_f64("--fault-delay");
     } else if (!std::strcmp(argv[i], "--fault-dup")) {
-      fault_dup = std::atof(need("--fault-dup"));
+      fault_dup = need_f64("--fault-dup");
     } else if (!std::strcmp(argv[i], "--fault-stall")) {
-      fault_stall = std::atof(need("--fault-stall"));
+      fault_stall = need_f64("--fault-stall");
     } else if (!std::strcmp(argv[i], "--fault-spawn-fail")) {
-      fault_spawn_fail = std::atof(need("--fault-spawn-fail"));
+      fault_spawn_fail = need_f64("--fault-spawn-fail");
     } else if (!std::strcmp(argv[i], "--fault-mem-spike")) {
-      fault_mem_spike = std::atof(need("--fault-mem-spike"));
+      fault_mem_spike = need_f64("--fault-mem-spike");
     } else if (!std::strcmp(argv[i], "--fault-dead")) {
-      fault_dead =
-          static_cast<std::uint32_t>(std::atoi(need("--fault-dead")));
+      fault_dead = need_u32("--fault-dead");
     } else if (!std::strcmp(argv[i], "--fault-wedge")) {
-      fault_wedge.push_back(
-          static_cast<std::uint32_t>(std::atoi(need("--fault-wedge"))));
+      fault_wedge.push_back(need_u32("--fault-wedge"));
     } else if (!std::strcmp(argv[i], "--deadline-ms")) {
-      deadline_ms = std::strtoull(need("--deadline-ms"), nullptr, 10);
+      deadline_ms = need_u64("--deadline-ms");
     } else if (!std::strcmp(argv[i], "--max-vtime")) {
-      max_vtime = std::strtoull(need("--max-vtime"), nullptr, 10);
+      max_vtime = need_u64("--max-vtime");
     } else if (!std::strcmp(argv[i], "--watchdog-rounds")) {
-      watchdog_rounds =
-          static_cast<std::uint32_t>(std::atoi(need("--watchdog-rounds")));
+      watchdog_rounds = need_u32("--watchdog-rounds");
     } else if (!std::strcmp(argv[i], "--crash-report")) {
       crash_report_path = need("--crash-report");
     } else if (!std::strcmp(argv[i], "--retries")) {
-      retries = static_cast<std::uint32_t>(std::atoi(need("--retries")));
+      retries = need_u32("--retries");
     } else if (!std::strcmp(argv[i], "--retry-backoff-ms")) {
-      retry_backoff_ms =
-          std::strtoull(need("--retry-backoff-ms"), nullptr, 10);
+      retry_backoff_ms = need_u64("--retry-backoff-ms");
     } else if (!std::strcmp(argv[i], "--snapshot-out")) {
       snapshot_out = need("--snapshot-out");
     } else if (!std::strcmp(argv[i], "--snapshot-at")) {
-      snapshot_at = std::strtoull(need("--snapshot-at"), nullptr, 10);
+      snapshot_at = need_u64("--snapshot-at");
     } else if (!std::strcmp(argv[i], "--snapshot-every")) {
-      snapshot_every = std::strtoull(need("--snapshot-every"), nullptr, 10);
+      snapshot_every = need_u64("--snapshot-every");
     } else if (!std::strcmp(argv[i], "--resume-from")) {
       resume_from = need("--resume-from");
+    } else if (!std::strcmp(argv[i], "--autosave-dir")) {
+      autosave_dir = need("--autosave-dir");
+    } else if (!std::strcmp(argv[i], "--autosave-every")) {
+      autosave_every = need_u64("--autosave-every");
+    } else if (!std::strcmp(argv[i], "--autosave-wall-ms")) {
+      autosave_wall_ms = need_u64("--autosave-wall-ms");
+    } else if (!std::strcmp(argv[i], "--autosave-keep")) {
+      autosave_keep = need_u32("--autosave-keep");
+    } else if (!std::strcmp(argv[i], "--auto-resume")) {
+      auto_resume = need("--auto-resume");
+    } else if (!std::strcmp(argv[i], "--fingerprint")) {
+      fingerprint = true;
     } else if (!std::strcmp(argv[i], "--t")) {
-      drift_t = std::strtoull(need("--t"), nullptr, 10);
+      drift_t = need_u64("--t");
     } else if (!std::strcmp(argv[i], "--factor")) {
-      factor = std::atof(need("--factor"));
+      factor = need_f64("--factor");
     } else if (!std::strcmp(argv[i], "--seed")) {
-      seed = std::strtoull(need("--seed"), nullptr, 10);
+      seed = need_u64("--seed");
     } else {
       std::fprintf(stderr, "unknown flag %s (see header comment)\n",
                    argv[i]);
@@ -357,8 +465,10 @@ int main(int argc, char** argv) {
   }
 
   if (save_config_path) {
-    std::ofstream out(*save_config_path);
-    save_config(cfg, out);
+    const bool ok = recover::write_artifact(
+        *save_config_path, "config", recover::FailPolicy::kDegrade,
+        [&](std::ostream& out) { save_config(cfg, out); });
+    if (!ok) return 1;
     std::printf("wrote %s\n", save_config_path->c_str());
     return 0;
   }
@@ -367,6 +477,42 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "error: --snapshot-at/--snapshot-every need "
                  "--snapshot-out <file>.\n");
+    return 2;
+  }
+
+  // Durable-run flag surface (src/recover). --auto-resume names the
+  // ring directory too, so one directory serves scan and capture; an
+  // explicit --autosave-dir wins if both are given.
+  const std::string ring_dir =
+      !autosave_dir.empty() ? autosave_dir
+      : auto_resume         ? *auto_resume
+                            : std::string{};
+  const bool autosave_requested =
+      autosave_every > 0 || autosave_wall_ms > 0;
+  if (autosave_requested && ring_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: --autosave-every/--autosave-wall-ms need a ring "
+                 "directory (--autosave-dir or --auto-resume).\n");
+    return 2;
+  }
+  if (!autosave_dir.empty() && !autosave_requested) {
+    std::fprintf(stderr,
+                 "error: --autosave-dir needs a cadence "
+                 "(--autosave-every <quanta> or --autosave-wall-ms <ms>).\n");
+    return 2;
+  }
+  if (resume_from && auto_resume) {
+    std::fprintf(stderr,
+                 "error: --resume-from and --auto-resume are two answers "
+                 "to the same question; pick one.\n");
+    return 2;
+  }
+  if (snapshot_out && (auto_resume || autosave_requested)) {
+    std::fprintf(stderr,
+                 "error: --snapshot-out cannot be combined with "
+                 "--auto-resume/--autosave-* — the one-shot snapshot "
+                 "plan and the autosave ring would fight over the "
+                 "barrier schedule (chain --resume-from instead).\n");
     return 2;
   }
 
@@ -400,7 +546,8 @@ int main(int argc, char** argv) {
 
     std::optional<obs::Telemetry> telemetry;
     if (trace_json_path || trace_csv_path || metrics_path || critpath_path ||
-        cfg.obs.profile_host || cfg.obs.metrics_interval_cycles > 0) {
+        fingerprint || cfg.obs.profile_host ||
+        cfg.obs.metrics_interval_cycles > 0) {
       obs::TelemetryOptions topt;
       topt.metrics_interval_cycles = cfg.obs.metrics_interval_cycles;
       topt.profile_host = cfg.obs.profile_host;
@@ -436,6 +583,41 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Durable runs (src/recover): scan the autosave ring, restore the
+    // newest valid generation, arm the autosave hook so the
+    // continuation keeps checkpointing. Re-armed per attempt — a
+    // transient failure's emergency capture becomes the next attempt's
+    // resume point, turning --retries incremental.
+    recover::ArmInfo arm_info;
+    if (!ring_dir.empty()) {
+      recover::DurableOptions dopt;
+      dopt.dir = ring_dir;
+      dopt.every_quanta = autosave_every;
+      dopt.wall_ms = autosave_wall_ms;
+      dopt.keep = autosave_keep;
+      dopt.auto_resume = auto_resume.has_value();
+      dopt.workload_fp = workload_fp;
+      recover::RunSupervisor supervisor(dopt);
+      try {
+        arm_info = supervisor.arm(sim);
+      } catch (const SimError& e) {
+        std::fprintf(stderr, "cannot arm durable run: %s\n", e.what());
+        return 1;
+      }
+      for (const auto& w : arm_info.warnings) {
+        std::fprintf(stderr, "simany: warning: %s\n", w.c_str());
+      }
+      if (arm_info.resumed) {
+        // stderr, so even an attempt that later fails leaves the
+        // resumed cursor in the log (the retry test greps for it).
+        std::fprintf(stderr,
+                     "resuming from autosave generation %llu at quanta "
+                     "%llu\n",
+                     static_cast<unsigned long long>(arm_info.generation),
+                     static_cast<unsigned long long>(arm_info.cursor));
+      }
+    }
+
     g_engine.store(&sim, std::memory_order_relaxed);
     try {
       st = sim.run(spec.make_root(seed, factor));
@@ -454,23 +636,36 @@ int main(int argc, char** argv) {
 
       // The guard flushed partial stats/telemetry before unwinding, so
       // the requested exports still get whatever the run produced.
+      // All of them degrade on I/O failure: a full disk must not turn
+      // a diagnosable crash into a second crash.
       if (telemetry) {
         if (trace_json_path) {
-          std::ofstream out(*trace_json_path);
-          obs::ChromeTraceOptions copt;
-          copt.host_threads =
-              static_cast<unsigned>(sim.stats().host_threads_used);
-          obs::write_chrome_trace(out, *telemetry, copt);
-          std::fprintf(stderr, "  partial trace json: %s\n",
-                       trace_json_path->c_str());
+          const bool ok = recover::write_artifact(
+              *trace_json_path, "trace json", recover::FailPolicy::kDegrade,
+              [&](std::ostream& out) {
+                obs::ChromeTraceOptions copt;
+                copt.host_threads =
+                    static_cast<unsigned>(sim.stats().host_threads_used);
+                obs::write_chrome_trace(out, *telemetry, copt);
+              });
+          if (ok) {
+            std::fprintf(stderr, "  partial trace json: %s\n",
+                         trace_json_path->c_str());
+          }
         }
         if (trace_csv_path) {
-          std::ofstream out(*trace_csv_path);
-          obs::write_events_csv(out, *telemetry);
+          recover::write_artifact(
+              *trace_csv_path, "trace csv", recover::FailPolicy::kDegrade,
+              [&](std::ostream& out) {
+                obs::write_events_csv(out, *telemetry);
+              });
         }
         if (metrics_path) {
-          std::ofstream out(*metrics_path);
-          telemetry->metrics().write_json(out);
+          recover::write_artifact(
+              *metrics_path, "metrics", recover::FailPolicy::kDegrade,
+              [&](std::ostream& out) {
+                telemetry->metrics().write_json(out);
+              });
         }
         if (critpath_path) {
           // Partial stream: the report covers whatever timeline the run
@@ -478,22 +673,33 @@ int main(int argc, char** argv) {
           // has no completion time to conserve against).
           const obs::CritPathReport partial =
               obs::analyze_critical_path(telemetry->events(), critpath_top);
-          std::ofstream out(*critpath_path);
-          obs::write_critpath_json(out, partial);
-          std::fprintf(stderr, "  partial critpath: %s\n",
-                       critpath_path->c_str());
+          const bool ok = recover::write_artifact(
+              *critpath_path, "critpath", recover::FailPolicy::kDegrade,
+              [&](std::ostream& out) {
+                obs::write_critpath_json(out, partial);
+              });
+          if (ok) {
+            std::fprintf(stderr, "  partial critpath: %s\n",
+                         critpath_path->c_str());
+          }
         }
       }
       if (crash_report_path) {
-        std::ofstream out(*crash_report_path);
-        guard::CrashReportInfo info;
-        info.error = e.context();
-        info.message = e.what();
-        info.stats = sim.stats();
-        info.num_cores = cfg.num_cores();
-        guard::write_crash_report(out, info, sim.inspect(), cfg.topology);
-        std::fprintf(stderr, "  crash report: %s\n",
-                     crash_report_path->c_str());
+        const bool ok = recover::write_artifact(
+            *crash_report_path, "crash report",
+            recover::FailPolicy::kDegrade, [&](std::ostream& out) {
+              guard::CrashReportInfo info;
+              info.error = e.context();
+              info.message = e.what();
+              info.stats = sim.stats();
+              info.num_cores = cfg.num_cores();
+              guard::write_crash_report(out, info, sim.inspect(),
+                                        cfg.topology);
+            });
+        if (ok) {
+          std::fprintf(stderr, "  crash report: %s\n",
+                       crash_report_path->c_str());
+        }
       }
 
       if (e.code() == SimErrorCode::kCancelled ||
@@ -523,6 +729,12 @@ int main(int argc, char** argv) {
     if (resume_from) {
       std::printf("resumed from    : %s (replay-verified)\n",
                   resume_from->c_str());
+    }
+    if (arm_info.resumed) {
+      std::printf("auto-resumed    : generation %llu at quanta %llu "
+                  "(replay-verified)\n",
+                  static_cast<unsigned long long>(arm_info.generation),
+                  static_cast<unsigned long long>(arm_info.cursor));
     }
     std::printf("architecture    : %u cores, %s, T=%llu%s%s\n",
                 cfg.num_cores(),
@@ -574,8 +786,20 @@ int main(int argc, char** argv) {
       histogram.print(std::cout);
     }
     if (trace_path) {
-      std::printf("trace           : %s (%llu rows)\n", trace_path->c_str(),
-                  static_cast<unsigned long long>(csv->rows()));
+      // The CSV trace streams row-by-row (it cannot be composed in
+      // memory), so failures surface through the stream state instead
+      // of the atomic writer — same degrade policy, checked at the end.
+      trace_file.flush();
+      if (!trace_file.good()) {
+        std::fprintf(stderr,
+                     "simany: warning: trace export to '%s' failed "
+                     "(stream error); continuing without it\n",
+                     trace_path->c_str());
+      } else {
+        std::printf("trace           : %s (%llu rows)\n",
+                    trace_path->c_str(),
+                    static_cast<unsigned long long>(csv->rows()));
+      }
     }
     bool critpath_ok = true;
     if (telemetry) {
@@ -590,44 +814,80 @@ int main(int argc, char** argv) {
         for (const auto& v : violations) {
           std::fprintf(stderr, "critpath check: %s\n", v.detail.c_str());
         }
-        std::ofstream out(*critpath_path);
-        obs::write_critpath_json(out, *critpath);
-        std::printf("critical path   : %s (%zu segments, fp %016llx)\n",
-                    critpath_path->c_str(), critpath->segments.size(),
-                    static_cast<unsigned long long>(critpath->fingerprint()));
+        const bool ok = recover::write_artifact(
+            *critpath_path, "critpath", recover::FailPolicy::kDegrade,
+            [&](std::ostream& out) {
+              obs::write_critpath_json(out, *critpath);
+            });
+        if (ok) {
+          std::printf(
+              "critical path   : %s (%zu segments, fp %016llx)\n",
+              critpath_path->c_str(), critpath->segments.size(),
+              static_cast<unsigned long long>(critpath->fingerprint()));
+        }
         critpath_ok = violations.empty();
       }
       if (trace_json_path) {
-        std::ofstream out(*trace_json_path);
-        obs::ChromeTraceOptions copt;
-        copt.host_threads = static_cast<unsigned>(st.host_threads_used);
-        if (critpath) copt.critpath = &*critpath;
-        obs::write_chrome_trace(out, *telemetry, copt);
-        const auto n_events =
-            static_cast<unsigned long long>(telemetry->events().size());
-        std::printf("trace json      : %s (%llu events)\n",
-                    trace_json_path->c_str(), n_events);
+        const bool ok = recover::write_artifact(
+            *trace_json_path, "trace json", recover::FailPolicy::kDegrade,
+            [&](std::ostream& out) {
+              obs::ChromeTraceOptions copt;
+              copt.host_threads =
+                  static_cast<unsigned>(st.host_threads_used);
+              if (critpath) copt.critpath = &*critpath;
+              obs::write_chrome_trace(out, *telemetry, copt);
+            });
+        if (ok) {
+          std::printf("trace json      : %s (%llu events)\n",
+                      trace_json_path->c_str(),
+                      static_cast<unsigned long long>(
+                          telemetry->events().size()));
+        }
       }
       if (trace_csv_path) {
-        std::ofstream out(*trace_csv_path);
-        obs::write_events_csv(out, *telemetry);
-        const auto n_events =
-            static_cast<unsigned long long>(telemetry->events().size());
-        std::printf("trace csv       : %s (%llu events)\n",
-                    trace_csv_path->c_str(), n_events);
+        const bool ok = recover::write_artifact(
+            *trace_csv_path, "trace csv", recover::FailPolicy::kDegrade,
+            [&](std::ostream& out) {
+              obs::write_events_csv(out, *telemetry);
+            });
+        if (ok) {
+          std::printf("trace csv       : %s (%llu events)\n",
+                      trace_csv_path->c_str(),
+                      static_cast<unsigned long long>(
+                          telemetry->events().size()));
+        }
       }
       if (metrics_path) {
-        std::ofstream out(*metrics_path);
         const bool as_csv = metrics_path->size() >= 4 &&
                             metrics_path->compare(metrics_path->size() - 4, 4,
                                                   ".csv") == 0;
-        if (as_csv) {
-          telemetry->metrics().write_csv(out);
-        } else {
-          telemetry->metrics().write_json(out);
+        const bool ok = recover::write_artifact(
+            *metrics_path, "metrics", recover::FailPolicy::kDegrade,
+            [&](std::ostream& out) {
+              if (as_csv) {
+                telemetry->metrics().write_csv(out);
+              } else {
+                telemetry->metrics().write_json(out);
+              }
+            });
+        if (ok) {
+          std::printf("metrics         : %s (%s)\n", metrics_path->c_str(),
+                      as_csv ? "csv" : "json");
         }
-        std::printf("metrics         : %s (%s)\n", metrics_path->c_str(),
-                    as_csv ? "csv" : "json");
+      }
+    }
+    if (fingerprint) {
+      // The determinism oracle: these three values must be bit-equal
+      // between an uninterrupted run and any kill/resume chain of it.
+      std::printf("fingerprint arch-stats : %016llx\n",
+                  static_cast<unsigned long long>(
+                      arch_stats_fingerprint(st)));
+      if (telemetry) {
+        std::printf("fingerprint telemetry  : arch %016llx all %016llx\n",
+                    static_cast<unsigned long long>(telemetry->fingerprint(
+                        obs::EventClass::kArchitectural)),
+                    static_cast<unsigned long long>(
+                        telemetry->fingerprint()));
       }
     }
     if (status) {

@@ -41,20 +41,12 @@ bool parse_bool(const std::string& v, std::size_t lineno) {
 // Checked numeric parsing: arbitrary (possibly hostile) config text
 // must produce a structured parse error, never a crash, a silent
 // wrap-around (std::stoull accepts "-5"), or silently ignored trailing
-// garbage ("12abc").
+// garbage ("12abc"). The permissive core lives in the public
+// try_parse_* functions so the CLI applies the identical discipline.
 std::uint64_t parse_u64(const std::string& v, std::size_t lineno) {
-  if (v.empty() || v[0] == '-' || v[0] == '+') {
-    fail(lineno, "expected an unsigned integer, got '" + v + "'");
-  }
-  std::size_t used = 0;
   std::uint64_t out = 0;
-  try {
-    out = std::stoull(v, &used);
-  } catch (const std::exception&) {
+  if (!try_parse_u64(v, out)) {
     fail(lineno, "expected an unsigned integer, got '" + v + "'");
-  }
-  if (used != v.size()) {
-    fail(lineno, "trailing characters after number: '" + v + "'");
   }
   return out;
 }
@@ -68,17 +60,10 @@ std::uint32_t parse_u32(const std::string& v, std::size_t lineno) {
 }
 
 double parse_f64(const std::string& v, std::size_t lineno) {
-  std::size_t used = 0;
   double out = 0.0;
-  try {
-    out = std::stod(v, &used);
-  } catch (const std::exception&) {
+  if (!try_parse_f64(v, out)) {
     fail(lineno, "expected a number, got '" + v + "'");
   }
-  if (used != v.size()) {
-    fail(lineno, "trailing characters after number: '" + v + "'");
-  }
-  if (std::isnan(out)) fail(lineno, "not a number: '" + v + "'");
   return out;
 }
 
@@ -471,6 +456,35 @@ void save_config(const ArchConfig& cfg, std::ostream& out) {
     out << "link " << l.a << " " << l.b << " " << l.props.latency << " "
         << l.props.bandwidth_bytes_per_cycle << "\n";
   }
+}
+
+bool try_parse_u64(const std::string& v, std::uint64_t& out) {
+  if (v.empty() || v[0] == '-' || v[0] == '+') return false;
+  std::size_t used = 0;
+  try {
+    out = std::stoull(v, &used);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return used == v.size();
+}
+
+bool try_parse_u32(const std::string& v, std::uint32_t& out) {
+  std::uint64_t wide = 0;
+  if (!try_parse_u64(v, wide) || wide > 0xffffffffULL) return false;
+  out = static_cast<std::uint32_t>(wide);
+  return true;
+}
+
+bool try_parse_f64(const std::string& v, double& out) {
+  if (v.empty()) return false;
+  std::size_t used = 0;
+  try {
+    out = std::stod(v, &used);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return used == v.size() && !std::isnan(out);
 }
 
 }  // namespace simany

@@ -43,4 +43,13 @@ namespace simany {
 /// embedded as explicit link lines).
 void save_config(const ArchConfig& cfg, std::ostream& out);
 
+/// Checked numeric parsing for CLI/config text, the same discipline
+/// the config parser applies internally: reject empty strings, sign
+/// prefixes on unsigned values, silent wrap-around, and trailing junk
+/// ("3x" is not 3). Return false instead of throwing so a CLI can
+/// print its own usage message.
+[[nodiscard]] bool try_parse_u64(const std::string& v, std::uint64_t& out);
+[[nodiscard]] bool try_parse_u32(const std::string& v, std::uint32_t& out);
+[[nodiscard]] bool try_parse_f64(const std::string& v, double& out);
+
 }  // namespace simany

@@ -410,6 +410,12 @@ void Engine::guard_serial_check() {
 }
 
 void Engine::guard_abort(SimErrorCode code) {
+  // Abort notification while the fibers are still intact: the autosave
+  // ring's emergency capture (src/recover) runs here, before the
+  // unwind below tears the architectural state down. Hooks contain
+  // their own failures — a snapshot that cannot be written must not
+  // mask the abort being reported.
+  if (snap_hook_ != nullptr) snap_hook_->at_abort(*this, code);
   // Progress context: the laggard core anchors stall-shaped failures
   // (its clock is what stopped moving); the leader anchors budget
   // overruns (its clock is what crossed the limit).

@@ -171,7 +171,16 @@ class Engine {
   /// completion. `workload_fp` is the caller's fingerprint of the root
   /// task, matched against the writer's. Attach telemetry before
   /// calling this, exactly as the capture run did.
-  void restore_from(const std::string& path, std::uint64_t workload_fp);
+  void restore_from(const std::string& path, std::uint64_t workload_fp,
+                    const std::vector<std::uint64_t>& forced_cursors = {});
+
+  /// Append a RunHook alongside whatever snapshot_to/restore_from
+  /// armed (wrapping coexisting hooks in a snapshot::HookChain).
+  /// Budgets combine by minimum; notifications fan out in arming
+  /// order. The autosave ring (src/recover) registers through this so
+  /// a resume's verify hook and the ongoing capture hook coexist.
+  /// Must be called before run(); throws std::logic_error afterwards.
+  void add_run_hook(std::unique_ptr<snapshot::RunHook> hook);
 
   /// FNV-1a64 digest of the canonical state image (snapshot codec).
   /// Only meaningful at quiesce points: between runs, inside a serial

@@ -43,6 +43,16 @@ enum class SimErrorCode : std::uint8_t {
   /// workload / seed fingerprint differs, or the replayed state
   /// diverged from the stored image at the cursor.
   kSnapshotMismatch,
+  /// Host filesystem rejected an artifact write for lack of space
+  /// (ENOSPC / EDQUOT). Freeing space and rerunning can succeed, but
+  /// the code is kept non-transient: a blind rerun on the same full
+  /// disk fails identically, so the operator must act first.
+  kIoNoSpace,
+  /// Artifact destination is not writable (EROFS / EACCES / EPERM).
+  kIoReadOnly,
+  /// Any other host I/O failure on an artifact write (EIO, short
+  /// write, stream failure without a telling errno).
+  kIoError,
 };
 
 [[nodiscard]] constexpr const char* to_string(SimErrorCode c) noexcept {
@@ -59,6 +69,9 @@ enum class SimErrorCode : std::uint8_t {
     case SimErrorCode::kCancelled: return "cancelled";
     case SimErrorCode::kSnapshotCorrupt: return "snapshot-corrupt";
     case SimErrorCode::kSnapshotMismatch: return "snapshot-mismatch";
+    case SimErrorCode::kIoNoSpace: return "io-no-space";
+    case SimErrorCode::kIoReadOnly: return "io-read-only";
+    case SimErrorCode::kIoError: return "io-error";
   }
   return "unknown";
 }

@@ -1,0 +1,197 @@
+#include "io/atomic_write.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace simany::io {
+
+namespace {
+
+// Test-only write-fault shim state (see set_write_fault).
+bool g_fault_armed = false;
+std::uint64_t g_fault_countdown = 0;
+int g_fault_errno = 0;
+
+// Returns the errno a faulted write should fail with, or 0 to proceed.
+int consume_write_fault() {
+  if (!g_fault_armed) return 0;
+  if (g_fault_countdown > 0) {
+    --g_fault_countdown;
+    return 0;
+  }
+  g_fault_armed = false;
+  return g_fault_errno;
+}
+
+const char* errno_name(int err) {
+  switch (err) {
+    case ENOSPC: return "ENOSPC";
+    case EDQUOT: return "EDQUOT";
+    case EROFS: return "EROFS";
+    case EACCES: return "EACCES";
+    case EPERM: return "EPERM";
+    case EIO: return "EIO";
+    case ENOENT: return "ENOENT";
+    case EISDIR: return "EISDIR";
+    default: return nullptr;
+  }
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+std::uint64_t fnv1a64_bytes(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// RAII fd + tmp-file cleanup: on any failure path the temp file must
+// not linger next to the destination (ring scanners ignore *.tmp, but
+// a retry would otherwise trip over a stale one on open(O_EXCL)).
+struct TmpFile {
+  std::string path;
+  int fd = -1;
+  bool keep = false;
+  ~TmpFile() {
+    if (fd >= 0) ::close(fd);
+    if (!keep && !path.empty()) ::unlink(path.c_str());
+  }
+};
+
+}  // namespace
+
+SimErrorCode io_error_code(int err) noexcept {
+  switch (err) {
+    case ENOSPC:
+    case EDQUOT:
+      return SimErrorCode::kIoNoSpace;
+    case EROFS:
+    case EACCES:
+    case EPERM:
+      return SimErrorCode::kIoReadOnly;
+    default:
+      return SimErrorCode::kIoError;
+  }
+}
+
+void throw_io_error(const std::string& what, const std::string& path,
+                    int err) {
+  const SimErrorCode code = io_error_code(err);
+  SimError::Context ctx;
+  ctx.code = code;
+  ctx.cause = to_string(code);
+  ctx.detail = static_cast<std::uint64_t>(err);
+  std::string msg = "artifact write failed: " + what + " '" + path + "'";
+  if (err != 0) {
+    msg += ": ";
+    if (const char* name = errno_name(err)) {
+      msg += name;
+      msg += " (";
+      msg += std::strerror(err);
+      msg += ")";
+    } else {
+      msg += std::strerror(err);
+    }
+  }
+  throw SimError(std::move(msg), ctx);
+}
+
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t size, const AtomicWriteOptions& opts) {
+  if (path.empty()) throw_io_error("open", path, ENOENT);
+  TmpFile tmp;
+  tmp.path = path + ".tmp";
+  // O_TRUNC rather than O_EXCL: a stale temp from a killed process
+  // must not wedge every later write to the same artifact.
+  tmp.fd = ::open(tmp.path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tmp.fd < 0) throw_io_error("open", tmp.path, errno);
+
+  // Bounded chunks: a short write mid-stream (ENOSPC on a filling
+  // disk) must be observable between chunks, and the fault shim gets a
+  // realistic multi-write surface for large artifacts.
+  constexpr std::size_t kChunk = 256u << 10;
+  const auto* p = static_cast<const char*>(data);
+  std::size_t off = 0;
+  while (off < size) {
+    if (const int err = consume_write_fault()) {
+      throw_io_error("write", tmp.path, err);
+    }
+    const ssize_t n = ::write(tmp.fd, p + off, std::min(size - off, kChunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_io_error("write", tmp.path, errno);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (opts.fsync && ::fsync(tmp.fd) != 0) {
+    throw_io_error("fsync", tmp.path, errno);
+  }
+  if (::close(tmp.fd) != 0) {
+    tmp.fd = -1;
+    throw_io_error("close", tmp.path, errno);
+  }
+  tmp.fd = -1;
+
+  if (::rename(tmp.path.c_str(), path.c_str()) != 0) {
+    throw_io_error("rename", path, errno);
+  }
+  tmp.keep = true;  // renamed away; nothing to unlink
+
+  if (opts.fsync) {
+    // Persist the rename itself: without the directory fsync a crash
+    // can roll the directory entry back to the old file.
+    const std::string dir = parent_dir(path);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd < 0) throw_io_error("open-dir", dir, errno);
+    const int rc = ::fsync(dfd);
+    const int err = errno;
+    ::close(dfd);
+    if (rc != 0) throw_io_error("fsync-dir", dir, err);
+  }
+
+  if (opts.verify_readback) {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> back{std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>()};
+    if (!in.good() && !in.eof()) throw_io_error("readback", path, EIO);
+    if (back.size() != size ||
+        fnv1a64_bytes(back.data(), back.size()) != fnv1a64_bytes(data, size)) {
+      throw_io_error("readback-digest", path, EIO);
+    }
+  }
+}
+
+void atomic_write_file(const std::string& path, const std::string& body,
+                       const AtomicWriteOptions& opts) {
+  atomic_write_file(path, body.data(), body.size(), opts);
+}
+
+void set_write_fault(std::uint64_t fail_after, int err) {
+  g_fault_armed = true;
+  g_fault_countdown = fail_after;
+  g_fault_errno = err;
+}
+
+void clear_write_fault() {
+  g_fault_armed = false;
+  g_fault_countdown = 0;
+  g_fault_errno = 0;
+}
+
+}  // namespace simany::io

@@ -1,0 +1,64 @@
+// Crash-safe artifact writes: tmp + fsync + rename + directory fsync.
+//
+// Every schema'd artifact the simulator emits (snapshots, autosave
+// generations, status heartbeats, traces, metrics, reports) goes
+// through this one writer so a reader can never observe a torn file
+// at the destination path: either the old bytes are intact or the new
+// bytes are complete. Failures surface as SimError with the I/O
+// taxonomy codes (kIoNoSpace / kIoReadOnly / kIoError), never as a
+// silently truncated file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/sim_error.h"
+
+namespace simany::io {
+
+/// Durability/verification knobs for one atomic replace.
+struct AtomicWriteOptions {
+  /// fsync the temp file before rename and the directory after. On for
+  /// artifacts that must survive power loss (snapshots); off for the
+  /// status heartbeat, whose freshness matters more than durability
+  /// and whose cadence makes per-write fsyncs a perturbation risk.
+  bool fsync = true;
+  /// Re-open the renamed file and FNV-compare against the buffer that
+  /// was written. Catches short writes the kernel accepted but a lower
+  /// layer corrupted; only worth the extra read for checkpoints.
+  bool verify_readback = false;
+};
+
+/// Atomically replace `path` with `size` bytes from `data`: write to
+/// `path + ".tmp"`, optionally fsync, rename over `path`, optionally
+/// fsync the parent directory. The temp file is unlinked on any
+/// failure. Throws SimError (kIoNoSpace / kIoReadOnly / kIoError) with
+/// the failing stage and errno name in the message.
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t size,
+                       const AtomicWriteOptions& opts = {});
+
+/// Convenience overload for composed text artifacts.
+void atomic_write_file(const std::string& path, const std::string& body,
+                       const AtomicWriteOptions& opts = {});
+
+/// Map an errno from a failed artifact write onto the SimErrorCode I/O
+/// taxonomy: ENOSPC/EDQUOT -> kIoNoSpace, EROFS/EACCES/EPERM ->
+/// kIoReadOnly, everything else (EIO, 0, ...) -> kIoError.
+[[nodiscard]] SimErrorCode io_error_code(int err) noexcept;
+
+/// Throw a SimError carrying the taxonomy code for `err`. `what` names
+/// the failing operation (e.g. "write", "rename"), `path` the artifact.
+[[noreturn]] void throw_io_error(const std::string& what,
+                                 const std::string& path, int err);
+
+/// Write-fault injection shim for tests: arms a countdown so that the
+/// Nth subsequent low-level write issued by atomic_write_file fails
+/// with `err` (e.g. ENOSPC, EIO). `fail_after == 0` fails the next
+/// write. Process-global and not thread-safe by design — test-only.
+void set_write_fault(std::uint64_t fail_after, int err);
+
+/// Disarm the injection shim (the default state).
+void clear_write_fault();
+
+}  // namespace simany::io

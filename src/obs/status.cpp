@@ -2,13 +2,15 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "io/atomic_write.h"
 
 namespace simany::obs {
 
 StatusReporter::StatusReporter(std::string path, std::uint64_t interval_ms)
     : path_(std::move(path)),
-      tmp_(path_ + ".tmp"),
       interval_ms_(interval_ms),
       // simlint: allow(det-wall-clock) heartbeat anchor, output-only
       start_(std::chrono::steady_clock::now()) {}
@@ -21,6 +23,7 @@ bool StatusReporter::due() const noexcept {
 }
 
 void StatusReporter::write(const StatusSample& s) {
+  if (disabled_) return;
   // simlint: allow(det-wall-clock) heartbeat timestamp, output-only
   const auto now = std::chrono::steady_clock::now();
   const double elapsed_ms =
@@ -62,9 +65,8 @@ void StatusReporter::write(const StatusSample& s) {
       have_eta ? elapsed_ms * std::max(0.0, 1.0 - budget_frac) / budget_frac
                : 0.0;
 
+  std::ostringstream os;
   {
-    std::ofstream os(tmp_, std::ios::trunc);
-    if (!os) return;  // heartbeat is best-effort; never aborts the run
     char buf[64];
     const auto num = [&](double v) -> const char* {
       std::snprintf(buf, sizeof buf, "%.3f", v);
@@ -106,9 +108,24 @@ void StatusReporter::write(const StatusSample& s) {
     }
     os << "}\n";
   }
-  // POSIX rename is atomic within a directory: pollers see either the
-  // previous heartbeat or this one, never a torn file.
-  std::rename(tmp_.c_str(), path_.c_str());
+  // Shared crash-safe writer (tmp + rename): pollers see either the
+  // previous heartbeat or this one, never a torn file. fsync stays off
+  // — heartbeat freshness matters more than power-loss durability, and
+  // a per-barrier fsync would perturb host timing.
+  try {
+    io::AtomicWriteOptions opts;
+    opts.fsync = false;
+    io::atomic_write_file(path_, os.str(), opts);
+  } catch (const SimError& e) {
+    // Degrade, don't abort: the heartbeat is telemetry. Warn once with
+    // the structured cause, then disable further writes.
+    if (!disabled_) {
+      disabled_ = true;
+      std::cerr << "simany: warning: status heartbeat disabled ("
+                << e.what() << ")\n";
+    }
+    return;
+  }
   last_ = now;
   wrote_ = true;
   ++writes_;

@@ -69,14 +69,19 @@ class StatusReporter {
   [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
+  /// True once a write failed (disk full, read-only destination) and
+  /// the reporter degraded to a no-op. The run keeps simulating; the
+  /// failure was warned once on stderr with its structured cause.
+  [[nodiscard]] bool disabled() const noexcept { return disabled_; }
+
  private:
   std::string path_;
-  std::string tmp_;
   std::uint64_t interval_ms_;
   // simlint: allow(det-wall-clock) heartbeat cadence; never feeds sim state
   std::chrono::steady_clock::time_point start_;
   std::chrono::steady_clock::time_point last_{};
   bool wrote_ = false;
+  bool disabled_ = false;
   std::uint64_t writes_ = 0;
 };
 

@@ -68,6 +68,7 @@ void Telemetry::bind(std::uint32_t num_shards, std::uint32_t /*num_cores*/) {
     for (auto& sb : shards_) sb.next_sample_at = step;
   }
   merged_.clear();
+  merged_digest_ = kDigestSeed;
   sorted_ = false;
   if (opt_.profile_host) profiler_.bind(num_shards);
 }
@@ -75,6 +76,9 @@ void Telemetry::bind(std::uint32_t num_shards, std::uint32_t /*num_cores*/) {
 void Telemetry::drain_at_barrier() {
   for (auto& sb : shards_) {
     if (sb.events.empty()) continue;
+    for (const Event& e : sb.events) {
+      merged_digest_ = mix_event(merged_digest_, e);
+    }
     merged_.insert(merged_.end(), sb.events.begin(), sb.events.end());
     sb.events.clear();
   }

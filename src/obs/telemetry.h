@@ -79,7 +79,12 @@ class Telemetry {
   /// Stages one live metric sample on `shard`.
   SIMANY_SHARD_AFFINE void stage_sample(std::uint32_t shard,
                                         const LiveSample& s) {
-    shards_[shard].samples.push_back(s);
+    ShardBuf& sb = shards_[shard];
+    sb.samples.push_back(s);
+    // Folded into the running digest now: state_digest() must not
+    // rescan a whole run's samples at every autosave capture.
+    sb.sample_digest = mix_sample(sb.sample_digest, s);
+    ++sb.sample_count;
   }
 
   /// Next virtual-time sampling boundary for `shard` (mutable: the
@@ -125,47 +130,23 @@ class Telemetry {
       EventClass c = EventClass::kAll) const;
 
   /// Digest of the event/sample progress so far (src/snapshot): the
-  /// merged stream followed by each shard's pending buffer and next
-  /// sampling boundary. Two runs replaying the same timeline under the
-  /// same barrier schedule agree byte-for-byte; the snapshot replay
-  /// reproduces the capture run's schedule for exactly this reason.
-  /// Serial-phase only.
+  /// drained (merged) stream, then each shard's pending events, sample
+  /// accumulator and next sampling boundary. Two runs replaying the
+  /// same timeline under the same barrier schedule agree; the snapshot
+  /// replay reproduces the capture run's schedule for exactly this
+  /// reason. Incremental on purpose: the drained stream and the staged
+  /// samples are folded into running accumulators as they arrive, so
+  /// the cost here is O(current round), not O(run so far) — an
+  /// autosave cadence calls this at every capture. Serial-phase only.
   SIMANY_SERIAL_ONLY [[nodiscard]] std::uint64_t state_digest()
       const noexcept {
-    std::uint64_t h = 1469598103934665603ULL;
-    const auto mix = [&h](std::uint64_t v) {
-      for (int i = 0; i < 8; ++i) {
-        h ^= (v >> (i * 8)) & 0xffu;
-        h *= 1099511628211ULL;
-      }
-    };
-    const auto mix_event = [&](const Event& e) {
-      mix(e.vtime);
-      mix(e.a);
-      mix(e.b);
-      mix(e.core);
-      mix(e.dst);
-      mix(static_cast<std::uint64_t>(e.kind));
-      mix(e.sub);
-    };
-    const auto mix_sample = [&](const LiveSample& s) {
-      mix(s.t_cycles);
-      mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(s.core)));
-      mix(s.series);
-      // Samples carry doubles; hash the bit pattern (deterministic:
-      // both sides computed it through the identical expression).
-      std::uint64_t bits = 0;
-      static_assert(sizeof(bits) == sizeof(s.value));
-      __builtin_memcpy(&bits, &s.value, sizeof(bits));
-      mix(bits);
-    };
-    for (const Event& e : merged_) mix_event(e);
+    std::uint64_t h = merged_digest_;
     for (const ShardBuf& sb : shards_) {
-      mix(sb.events.size());
-      for (const Event& e : sb.events) mix_event(e);
-      mix(sb.samples.size());
-      for (const LiveSample& s : sb.samples) mix_sample(s);
-      mix(sb.next_sample_at);
+      h = mix_u64(h, sb.events.size());
+      for (const Event& e : sb.events) h = mix_event(h, e);
+      h = mix_u64(h, sb.sample_count);
+      h = mix_u64(h, sb.sample_digest);
+      h = mix_u64(h, sb.next_sample_at);
     }
     return h;
   }
@@ -179,17 +160,60 @@ class Telemetry {
   }
 
  private:
+  static constexpr std::uint64_t kDigestSeed = 1469598103934665603ULL;
+
+  static std::uint64_t mix_u64(std::uint64_t h, std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+
+  static std::uint64_t mix_event(std::uint64_t h, const Event& e) noexcept {
+    h = mix_u64(h, e.vtime);
+    h = mix_u64(h, e.a);
+    h = mix_u64(h, e.b);
+    h = mix_u64(h, e.core);
+    h = mix_u64(h, e.dst);
+    h = mix_u64(h, static_cast<std::uint64_t>(e.kind));
+    h = mix_u64(h, e.sub);
+    return h;
+  }
+
+  static std::uint64_t mix_sample(std::uint64_t h,
+                                  const LiveSample& s) noexcept {
+    h = mix_u64(h, s.t_cycles);
+    h = mix_u64(h,
+                static_cast<std::uint64_t>(static_cast<std::int64_t>(s.core)));
+    h = mix_u64(h, s.series);
+    // Samples carry doubles; hash the bit pattern (deterministic: both
+    // sides computed it through the identical expression).
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(s.value));
+    __builtin_memcpy(&bits, &s.value, sizeof(bits));
+    h = mix_u64(h, bits);
+    return h;
+  }
+
   void derive_series(std::uint32_t num_cores);
 
   struct alignas(64) ShardBuf {
     std::vector<Event> events;
     std::vector<LiveSample> samples;
     Tick next_sample_at = 0;
+    /// Running FNV over this shard's staged samples (owner-written,
+    /// like the buffers themselves).
+    std::uint64_t sample_digest = kDigestSeed;
+    std::uint64_t sample_count = 0;
   };
 
   TelemetryOptions opt_;
   std::vector<ShardBuf> shards_;
   std::vector<Event> merged_;
+  /// Running FNV over merged_ in drain (arrival) order; maintained by
+  /// drain_at_barrier so state_digest never rescans history.
+  std::uint64_t merged_digest_ = kDigestSeed;
   bool sorted_ = false;
   MetricsRegistry metrics_;
   HostProfiler profiler_;

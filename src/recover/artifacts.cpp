@@ -1,0 +1,30 @@
+#include "recover/artifacts.h"
+
+#include <iostream>
+#include <sstream>
+
+#include "io/atomic_write.h"
+
+namespace simany::recover {
+
+bool write_artifact(const std::string& path, const std::string& what,
+                    FailPolicy policy,
+                    const std::function<void(std::ostream&)>& fill) {
+  std::ostringstream os;
+  fill(os);
+  try {
+    // No fsync: these are reporting artifacts, not recovery state; the
+    // atomic rename alone guarantees a reader never sees a torn file.
+    io::AtomicWriteOptions opts;
+    opts.fsync = false;
+    io::atomic_write_file(path, os.str(), opts);
+  } catch (const SimError& e) {
+    if (policy == FailPolicy::kAbort) throw;
+    std::cerr << "simany: warning: " << what << " export to '" << path
+              << "' failed (" << e.what() << "); continuing without it\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace simany::recover

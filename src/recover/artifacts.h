@@ -1,0 +1,35 @@
+// Degrade-vs-abort policy for artifact exports.
+//
+// Every exporter in the tree (trace, metrics, critpath, crash report,
+// config echo) is a pure `std::ostream` serializer; this shim is where
+// their output meets the filesystem. The artifact is composed in
+// memory and handed to the shared atomic writer, so a failure can
+// never leave a truncated file at the destination — and the policy
+// decides what a failure means:
+//
+//   kDegrade  telemetry-grade outputs: warn once on stderr with the
+//             structured SimError cause, return false, keep going.
+//             A full disk must not kill a simulation that can still
+//             finish and report its numbers on stdout.
+//   kAbort    durability-grade outputs (snapshots, autosave ring):
+//             rethrow — a checkpoint that silently failed to persist
+//             is worse than a loud stop.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace simany::recover {
+
+enum class FailPolicy : std::uint8_t { kDegrade, kAbort };
+
+/// Composes `fill(os)` into memory and atomically writes it to `path`.
+/// Returns true on success; under kDegrade a failure warns on stderr
+/// (naming `what`, the path and the SimErrorCode) and returns false;
+/// under kAbort the SimError propagates.
+bool write_artifact(const std::string& path, const std::string& what,
+                    FailPolicy policy,
+                    const std::function<void(std::ostream&)>& fill);
+
+}  // namespace simany::recover

@@ -1,0 +1,131 @@
+#include "recover/autosave.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <iostream>
+
+#include "snapshot/controller.h"
+#include "snapshot/engine_codec.h"
+#include "snapshot/snapshot.h"
+
+namespace simany::recover {
+
+AutosaveHook::AutosaveHook(Options opts)
+    : opts_(std::move(opts)),
+      // simlint: allow(det-wall-clock) wall cadence anchor, output-only
+      last_wall_(std::chrono::steady_clock::now()),
+      entries_(opts_.existing) {
+  std::sort(opts_.forced_cursors.begin(), opts_.forced_cursors.end());
+  opts_.forced_cursors.erase(std::unique(opts_.forced_cursors.begin(),
+                                         opts_.forced_cursors.end()),
+                             opts_.forced_cursors.end());
+  if (opts_.every_quanta != 0) {
+    // First cadence boundary past the resume cursor: the replay phase
+    // re-visits old boundaries without capturing.
+    periodic_next_ =
+        (opts_.resume_cursor / opts_.every_quanta + 1) * opts_.every_quanta;
+  }
+}
+
+std::uint64_t AutosaveHook::seq_budget(std::uint64_t done) {
+  // Only the quanta cadence steers the barrier schedule; wall-clock
+  // captures ride natural barriers so the timeline stays a pure
+  // function of the run's inputs.
+  if (opts_.every_quanta == 0) return ~std::uint64_t{0};
+  return (done / opts_.every_quanta + 1) * opts_.every_quanta - done;
+}
+
+bool AutosaveHook::due(std::uint64_t total) {
+  if (total <= opts_.resume_cursor) return false;  // replay phase
+  if (total == last_capture_cursor_) return false;
+  if (opts_.every_quanta != 0 && total >= periodic_next_) return true;
+  if (opts_.wall_ms != 0) {
+    // simlint: allow(det-wall-clock) wall cadence check, output-only
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_wall_ >= std::chrono::milliseconds(opts_.wall_ms)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AutosaveHook::at_barrier(Engine& engine, bool finished) {
+  (void)finished;  // a completed run needs no further resume point
+  const std::uint64_t total = snapshot::EngineCodec::total_quanta(engine);
+  if (due(total)) capture(engine, total, /*emergency=*/false);
+}
+
+void AutosaveHook::cl_quantum(Engine& engine, std::uint64_t done) {
+  if (due(done)) capture(engine, done, /*emergency=*/false);
+}
+
+void AutosaveHook::at_abort(Engine& engine, SimErrorCode code) {
+  const std::uint64_t total = snapshot::EngineCodec::total_quanta(engine);
+  if (total <= opts_.resume_cursor) return;  // no new ground covered
+  if (total == last_capture_cursor_) return;  // cadence capture landed here
+  // A guard trip mid-round on the parallel host leaves shards at
+  // wall-clock-dependent quanta inside the round — not a replayable
+  // point (the barrier cursor is not a pure function of the run's
+  // inputs per-shard). Fall back to the newest cadence generation.
+  const std::uint32_t shards =
+      snapshot::EngineCodec::shard_count(engine);
+  if (shards > 1) {
+    std::cerr << "simany: warning: skipping emergency autosave at abort ("
+              << to_string(code)
+              << "): parallel-host round was interrupted mid-flight; "
+                 "retries resume from the last cadence generation\n";
+    return;
+  }
+  // An emergency capture must never mask the abort being reported:
+  // contain write failures to a warning.
+  try {
+    capture(engine, total, /*emergency=*/true);
+  } catch (const SimError& e) {
+    std::cerr << "simany: warning: emergency autosave failed (" << e.what()
+              << "); retries resume from the last complete generation\n";
+  }
+}
+
+void AutosaveHook::capture(Engine& engine, std::uint64_t total,
+                           bool emergency) {
+  RingGeneration rg;
+  rg.gen = opts_.next_gen;
+  rg.path = generation_path(opts_.dir, rg.gen);
+  rg.cursor = total;
+  rg.emergency = emergency;
+  rg.forced_cursors = opts_.forced_cursors;
+
+  // Manifest first, then the container, then pruning: a crash between
+  // the steps leaves either a manifest entry whose file the next scan
+  // skips with a warning, or an unpruned (still valid) old generation
+  // — never a valid generation whose forced-cursor set is lost.
+  entries_.push_back(rg);
+  std::vector<std::string> doomed;
+  while (entries_.size() > opts_.keep) {
+    doomed.push_back(entries_.front().path);
+    entries_.erase(entries_.begin());
+  }
+  write_manifest(opts_.dir, entries_);
+
+  // Header: requested cursor = this capture's own cursor, cadence =
+  // ours, so a future replay mirrors this exact schedule.
+  const snapshot::SnapshotFile f = snapshot::Controller::build(
+      engine, opts_.workload_fp, /*at_quanta=*/total, opts_.every_quanta,
+      total);
+  snapshot::write_snapshot_file(rg.path, f);
+
+  for (const std::string& p : doomed) ::unlink(p.c_str());
+
+  ++opts_.next_gen;
+  ++captures_;
+  last_capture_cursor_ = total;
+  if (opts_.every_quanta != 0 && total >= periodic_next_) {
+    periodic_next_ =
+        (total / opts_.every_quanta + 1) * opts_.every_quanta;
+  }
+  // simlint: allow(det-wall-clock) wall cadence re-anchor, output-only
+  last_wall_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace simany::recover

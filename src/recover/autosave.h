@@ -1,0 +1,74 @@
+// Crash-safe autosave: a RunHook that captures generation-numbered
+// snapshots into the bounded ring (see ring.h) on a quanta cadence, a
+// wall-clock cadence, or both — plus an emergency capture when the
+// guard aborts the run, so `--retries` resumes from the last good
+// state instead of tick zero.
+//
+// Determinism: cadence captures steer the sequential host's barrier
+// schedule exactly like snapshot::Controller does (seq_budget on
+// quanta multiples); wall-triggered and emergency captures piggyback
+// on barriers that exist anyway, and every capture records its own
+// cursor as the header's requested cursor, so a future replay can
+// force that exact barrier. With the hook absent the engine behaves
+// bit-identically to an un-hooked run (zero-perturbation contract).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "recover/ring.h"
+#include "snapshot/run_hook.h"
+
+namespace simany::recover {
+
+class AutosaveHook final : public snapshot::RunHook {
+ public:
+  struct Options {
+    std::string dir;
+    /// Capture every N quanta (0 = disabled).
+    std::uint64_t every_quanta = 0;
+    /// Capture when N wall milliseconds elapsed since the last capture
+    /// (0 = disabled). Lands on natural barriers; no schedule steering.
+    std::uint64_t wall_ms = 0;
+    /// Ring bound: oldest generations beyond this are pruned.
+    std::uint32_t keep = 4;
+    std::uint64_t workload_fp = 0;
+    /// First generation number to write (past everything in the ring).
+    std::uint64_t next_gen = 0;
+    /// Resume cursor: captures are suppressed until total quanta
+    /// exceed this (the replay phase re-visits old barriers).
+    std::uint64_t resume_cursor = 0;
+    /// Forced-cursor set new generations inherit: every ancestor
+    /// generation's capture cursor plus the resumed one.
+    std::vector<std::uint64_t> forced_cursors;
+    /// Ring entries already on disk (from the resume scan), so the
+    /// manifest rewrite preserves their metadata.
+    std::vector<RingGeneration> existing;
+  };
+
+  explicit AutosaveHook(Options opts);
+
+  [[nodiscard]] std::uint64_t seq_budget(std::uint64_t done) override;
+  void at_barrier(Engine& engine, bool finished) override;
+  void cl_quantum(Engine& engine, std::uint64_t done) override;
+  void at_abort(Engine& engine, SimErrorCode code) override;
+
+  [[nodiscard]] std::uint64_t captures() const noexcept { return captures_; }
+
+ private:
+  /// True when a capture is due at quanta cursor `total`.
+  [[nodiscard]] bool due(std::uint64_t total);
+  void capture(Engine& engine, std::uint64_t total, bool emergency);
+
+  Options opts_;
+  std::uint64_t periodic_next_ = 0;
+  std::uint64_t last_capture_cursor_ = ~std::uint64_t{0};
+  std::uint64_t captures_ = 0;
+  // simlint: allow(det-wall-clock) wall cadence; output-only, never sim state
+  std::chrono::steady_clock::time_point last_wall_;
+  std::vector<RingGeneration> entries_;
+};
+
+}  // namespace simany::recover

@@ -1,0 +1,232 @@
+#include "recover/ring.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "io/atomic_write.h"
+#include "snapshot/snapshot.h"
+
+namespace simany::recover {
+
+namespace {
+
+constexpr char kPrefix[] = "run.autosave.";
+constexpr char kSuffix[] = ".snap";
+
+/// Parses the `<N>` out of `run.autosave.<N>.snap`; false otherwise.
+bool parse_generation_name(const std::string& name, std::uint64_t& gen) {
+  const std::size_t plen = sizeof(kPrefix) - 1;
+  const std::size_t slen = sizeof(kSuffix) - 1;
+  if (name.size() <= plen + slen) return false;
+  if (name.compare(0, plen, kPrefix) != 0) return false;
+  if (name.compare(name.size() - slen, slen, kSuffix) != 0) return false;
+  const std::string digits = name.substr(plen, name.size() - plen - slen);
+  if (digits.empty()) return false;
+  gen = 0;
+  for (const char c : digits) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    const std::uint64_t next = gen * 10 + static_cast<std::uint64_t>(c - '0');
+    if (next < gen) return false;  // overflow
+    gen = next;
+  }
+  return true;
+}
+
+struct ManifestEntry {
+  std::uint64_t cursor = 0;
+  bool emergency = false;
+  std::vector<std::uint64_t> forced;
+};
+
+/// Parses the manifest into gen -> entry. Any malformed line poisons
+/// only itself (warning), not the whole manifest; a bad magic line
+/// poisons the whole file.
+void parse_manifest(const std::string& path,
+                    std::vector<std::pair<std::uint64_t, ManifestEntry>>& out,
+                    std::uint64_t& next_gen,
+                    std::vector<std::string>& warnings) {
+  std::ifstream in(path);
+  if (!in) return;  // absent manifest: advisory, not an error
+  std::string line;
+  if (!std::getline(in, line) || line != kManifestMagic) {
+    warnings.push_back("autosave manifest '" + path +
+                       "' has a bad magic line; ignoring it "
+                       "(forced-cursor sets unavailable)");
+    return;
+  }
+  std::size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kw, forced_field;
+    std::uint64_t gen = 0;
+    ManifestEntry e;
+    std::string cursor_kw, emergency_kw, forced_kw;
+    int emergency_val = -1;
+    if (!(ls >> kw >> gen >> cursor_kw >> e.cursor >> emergency_kw >>
+          emergency_val >> forced_kw >> forced_field) ||
+        kw != "gen" || cursor_kw != "cursor" || emergency_kw != "emergency" ||
+        forced_kw != "forced" || (emergency_val != 0 && emergency_val != 1)) {
+      warnings.push_back("autosave manifest '" + path + "' line " +
+                         std::to_string(lineno) + " is malformed; skipped");
+      continue;
+    }
+    e.emergency = emergency_val == 1;
+    if (forced_field != "-") {
+      std::istringstream fs(forced_field);
+      std::string tok;
+      bool ok = true;
+      while (std::getline(fs, tok, ',')) {
+        try {
+          std::size_t used = 0;
+          const std::uint64_t v = std::stoull(tok, &used);
+          if (used != tok.size()) throw std::invalid_argument(tok);
+          e.forced.push_back(v);
+        } catch (const std::exception&) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) {
+        warnings.push_back("autosave manifest '" + path + "' line " +
+                           std::to_string(lineno) +
+                           " has a malformed forced-cursor list; skipped");
+        continue;
+      }
+    }
+    std::sort(e.forced.begin(), e.forced.end());
+    out.emplace_back(gen, std::move(e));
+    next_gen = std::max(next_gen, gen + 1);
+  }
+}
+
+}  // namespace
+
+std::string generation_path(const std::string& dir, std::uint64_t gen) {
+  return dir + "/" + kPrefix + std::to_string(gen) + kSuffix;
+}
+
+std::string manifest_path(const std::string& dir) {
+  return dir + "/run.autosave.manifest";
+}
+
+RingScan scan_ring(const std::string& dir) {
+  RingScan scan;
+  std::vector<std::pair<std::uint64_t, ManifestEntry>> manifest;
+  parse_manifest(manifest_path(dir), manifest, scan.next_gen, scan.warnings);
+
+  // Glob the directory for generation files: the manifest is advisory,
+  // so a generation it failed to record (crash between file write and
+  // manifest rewrite ordering changes) is still discovered here.
+  std::vector<std::pair<std::uint64_t, std::string>> candidates;
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (const dirent* ent = ::readdir(d)) {
+      std::uint64_t gen = 0;
+      const std::string name = ent->d_name;
+      if (!parse_generation_name(name, gen)) continue;
+      candidates.emplace_back(gen, dir + "/" + name);
+      scan.next_gen = std::max(scan.next_gen, gen + 1);
+    }
+    ::closedir(d);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  // Duplicate generation numbers cannot happen from one writer but an
+  // adversarial/restored directory can hold them; keep the first path
+  // (sorted order is deterministic) and warn about the rest.
+  std::vector<std::pair<std::uint64_t, std::string>> unique_candidates;
+  for (auto& c : candidates) {
+    if (!unique_candidates.empty() &&
+        unique_candidates.back().first == c.first) {
+      scan.warnings.push_back("duplicate autosave generation " +
+                              std::to_string(c.first) + " at '" + c.second +
+                              "'; ignored");
+      continue;
+    }
+    unique_candidates.push_back(std::move(c));
+  }
+  candidates = std::move(unique_candidates);
+
+  for (const auto& [gen, path] : candidates) {
+    snapshot::SnapshotFile file;
+    try {
+      file = snapshot::read_snapshot_file(path);
+    } catch (const SimError& e) {
+      // Torn or corrupt generation: skip with the reader's structured
+      // cause (names the failing digest/section), keep scanning — an
+      // interrupted capture must cost one generation, not the ring.
+      scan.warnings.push_back("skipping autosave generation " +
+                              std::to_string(gen) + " ('" + path +
+                              "'): " + e.what());
+      continue;
+    }
+    RingGeneration rg;
+    rg.gen = gen;
+    rg.path = path;
+    rg.cursor = file.header.cursor_actual;
+    rg.every_quanta = file.header.every_quanta;
+    bool in_manifest = false;
+    for (const auto& [mgen, me] : manifest) {
+      if (mgen != gen) continue;
+      rg.emergency = me.emergency;
+      rg.forced_cursors = me.forced;
+      in_manifest = true;
+      break;
+    }
+    if (!in_manifest) {
+      scan.warnings.push_back(
+          "autosave generation " + std::to_string(gen) +
+          " has no manifest entry; its forced-cursor set is lost "
+          "(resume stays sound, emergency-chain replays lose slack)");
+    }
+    // Generations must be stale-monotone: a later generation captured
+    // at an *earlier* cursor than a predecessor means the directory
+    // mixes runs (or clocks ran backwards); prefer the newer file but
+    // say so.
+    if (!scan.valid.empty() && rg.cursor < scan.valid.back().cursor) {
+      scan.warnings.push_back(
+          "autosave generation " + std::to_string(gen) + " cursor " +
+          std::to_string(rg.cursor) + " is older than generation " +
+          std::to_string(scan.valid.back().gen) + " cursor " +
+          std::to_string(scan.valid.back().cursor) +
+          " — ring mixes runs? resuming from the newest generation");
+    }
+    scan.valid.push_back(std::move(rg));
+  }
+  if (scan.valid.empty() && !candidates.empty()) {
+    scan.warnings.push_back("autosave ring '" + dir + "' holds " +
+                            std::to_string(candidates.size()) +
+                            " generation file(s) but none decoded cleanly; "
+                            "starting from scratch");
+  }
+  return scan;
+}
+
+void write_manifest(const std::string& dir,
+                    const std::vector<RingGeneration>& entries) {
+  std::ostringstream os;
+  os << kManifestMagic << "\n";
+  for (const RingGeneration& e : entries) {
+    os << "gen " << e.gen << " cursor " << e.cursor << " emergency "
+       << (e.emergency ? 1 : 0) << " forced ";
+    if (e.forced_cursors.empty()) {
+      os << "-";
+    } else {
+      for (std::size_t i = 0; i < e.forced_cursors.size(); ++i) {
+        if (i != 0) os << ',';
+        os << e.forced_cursors[i];
+      }
+    }
+    os << "\n";
+  }
+  io::AtomicWriteOptions opts;
+  opts.fsync = true;
+  io::atomic_write_file(manifest_path(dir), os.str(), opts);
+}
+
+}  // namespace simany::recover

@@ -1,0 +1,78 @@
+// Autosave ring: bounded, generation-numbered snapshot files plus a
+// line-oriented manifest, scanned at startup for auto-resume.
+//
+// Layout inside the ring directory:
+//   run.autosave.<N>.snap      one simany-snapshot-v1 container per
+//                              generation N (monotonically increasing)
+//   run.autosave.manifest      text manifest: per-generation cursor,
+//                              emergency flag and forced-cursor set
+//
+// The manifest is *advisory*: generations are discovered by globbing
+// the directory and validated by fully decoding each container
+// (digest-checked), so a missing, stale or corrupt manifest degrades
+// to warnings, never to a wrong resume. What only the manifest knows
+// is each generation's forced-cursor set — the barrier cursors its
+// replay must land exactly (see SnapshotPlan::forced_cursors); losing
+// it costs replay robustness for emergency-capture chains, which the
+// scan reports as a warning.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simany::recover {
+
+inline constexpr char kManifestMagic[] = "simany-autosave-ring-v1";
+
+/// One validated (or manifest-declared) generation.
+struct RingGeneration {
+  std::uint64_t gen = 0;
+  std::string path;
+  /// Quanta cursor the snapshot was captured at (header.cursor_actual).
+  std::uint64_t cursor = 0;
+  /// Capture cadence recorded in the header — the continuation must
+  /// adopt it (a changed cadence would change the barrier schedule the
+  /// next generation's replay has to mirror).
+  std::uint64_t every_quanta = 0;
+  /// Captured by the guard-abort emergency path rather than cadence.
+  bool emergency = false;
+  /// Ancestor capture cursors a replay of this generation must force
+  /// (sorted ascending; excludes this generation's own cursor).
+  std::vector<std::uint64_t> forced_cursors;
+};
+
+/// Result of scanning a ring directory.
+struct RingScan {
+  /// Fully validated generations, sorted by gen ascending. Resume
+  /// picks the back(); retries walk backwards on mismatch.
+  std::vector<RingGeneration> valid;
+  /// Human-readable structured warnings: torn/corrupt generations
+  /// skipped (naming the failing digest/section), manifest anomalies.
+  std::vector<std::string> warnings;
+  /// One past the largest generation number seen in any candidate
+  /// file or manifest line (valid or not), so new captures never
+  /// overwrite evidence of a torn generation.
+  std::uint64_t next_gen = 0;
+};
+
+/// `dir + "/run.autosave.<gen>.snap"`.
+[[nodiscard]] std::string generation_path(const std::string& dir,
+                                          std::uint64_t gen);
+
+/// `dir + "/run.autosave.manifest"`.
+[[nodiscard]] std::string manifest_path(const std::string& dir);
+
+/// Scan `dir` for autosave generations: parse the manifest if present
+/// (tolerating its absence or corruption with warnings), glob for
+/// generation files, and fully decode each candidate — a torn or
+/// corrupt file is skipped with a warning naming the structured cause,
+/// exactly as the `simany-snapshot-v1` reader reports it. A directory
+/// that does not exist scans as empty (fresh start).
+[[nodiscard]] RingScan scan_ring(const std::string& dir);
+
+/// Atomically rewrite the manifest to describe `entries`.
+void write_manifest(const std::string& dir,
+                    const std::vector<RingGeneration>& entries);
+
+}  // namespace simany::recover

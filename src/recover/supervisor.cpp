@@ -1,0 +1,89 @@
+#include "recover/supervisor.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <memory>
+#include <utility>
+
+#include "core/engine.h"
+#include "io/atomic_write.h"
+#include "recover/autosave.h"
+#include "recover/ring.h"
+
+namespace simany::recover {
+
+namespace {
+
+void ensure_dir(const std::string& dir) {
+  struct stat st{};
+  if (::stat(dir.c_str(), &st) == 0) {
+    if (S_ISDIR(st.st_mode)) return;
+    io::throw_io_error("mkdir", dir, ENOTDIR);
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    io::throw_io_error("mkdir", dir, errno);
+  }
+}
+
+}  // namespace
+
+RunSupervisor::RunSupervisor(DurableOptions opts) : opts_(std::move(opts)) {}
+
+ArmInfo RunSupervisor::arm(Engine& engine) {
+  ArmInfo info;
+  RingScan scan;
+  if (!opts_.dir.empty()) {
+    if (opts_.autosave_enabled()) ensure_dir(opts_.dir);
+    scan = scan_ring(opts_.dir);
+    info.warnings = scan.warnings;
+  }
+
+  // Forced-cursor inheritance for the continuation: ancestors' capture
+  // cursors plus the one we resume at (see SnapshotPlan's rationale).
+  std::vector<std::uint64_t> forced_next;
+  std::uint64_t resume_cursor = 0;
+
+  if (opts_.auto_resume && !scan.valid.empty()) {
+    const RingGeneration& newest = scan.valid.back();
+    // Adopt the writer's quanta cadence: the cadence is part of the
+    // barrier schedule every later generation's replay must mirror, so
+    // a command-line cadence change mid-chain would poison the ring.
+    if (opts_.every_quanta != newest.every_quanta) {
+      info.warnings.push_back(
+          "adopting autosave cadence " + std::to_string(newest.every_quanta) +
+          " quanta from generation " + std::to_string(newest.gen) +
+          " (command line asked for " + std::to_string(opts_.every_quanta) +
+          "; the resumed chain's schedule wins)");
+      opts_.every_quanta = newest.every_quanta;
+    }
+    // Identity mismatch (foreign config/seed/workload in the ring)
+    // propagates: resuming a *different* run's state silently would be
+    // worse than failing loudly.
+    engine.restore_from(newest.path, opts_.workload_fp,
+                        newest.forced_cursors);
+    info.resumed = true;
+    info.generation = newest.gen;
+    info.cursor = newest.cursor;
+    resume_cursor = newest.cursor;
+    forced_next = newest.forced_cursors;
+    forced_next.push_back(newest.cursor);
+  }
+
+  if (opts_.autosave_enabled()) {
+    AutosaveHook::Options ho;
+    ho.dir = opts_.dir;
+    ho.every_quanta = opts_.every_quanta;
+    ho.wall_ms = opts_.wall_ms;
+    ho.keep = opts_.keep;
+    ho.workload_fp = opts_.workload_fp;
+    ho.next_gen = scan.next_gen;
+    ho.resume_cursor = resume_cursor;
+    ho.forced_cursors = std::move(forced_next);
+    ho.existing = scan.valid;
+    engine.add_run_hook(std::make_unique<AutosaveHook>(std::move(ho)));
+  }
+  return info;
+}
+
+}  // namespace simany::recover

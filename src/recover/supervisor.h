@@ -1,0 +1,73 @@
+// RunSupervisor: the one place that makes a run durable.
+//
+// Per attempt (the CLI's retry loop constructs a fresh Engine each
+// time), arm() rescans the autosave ring — picking up generations an
+// earlier attempt's emergency capture just wrote — restores the newest
+// valid generation into the engine (deterministic replay + byte
+// verification, the `simany-snapshot-v1` contract) and arms the
+// AutosaveHook so the continuation keeps checkpointing. An empty or
+// absent ring is a fresh start: the same command line serves the first
+// launch and every relaunch after a crash, which is what lets an
+// external watchdog just re-exec the process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simany {
+class Engine;
+}
+
+namespace simany::recover {
+
+/// What `--autosave-*` / `--auto-resume` configured.
+struct DurableOptions {
+  /// Ring directory (created if missing when autosave is on).
+  std::string dir;
+  /// Quanta cadence for autosave captures (0 = disabled).
+  std::uint64_t every_quanta = 0;
+  /// Wall-clock cadence in ms (0 = disabled).
+  std::uint64_t wall_ms = 0;
+  /// Ring bound (generations kept on disk).
+  std::uint32_t keep = 4;
+  /// Scan the ring and resume from the newest valid generation.
+  bool auto_resume = false;
+  /// Workload fingerprint (snapshot::workload_fingerprint) — identity
+  /// check against each generation's header.
+  std::uint64_t workload_fp = 0;
+
+  [[nodiscard]] bool autosave_enabled() const noexcept {
+    return !dir.empty() && (every_quanta != 0 || wall_ms != 0);
+  }
+};
+
+/// What arm() did, for the caller's log line and for tests.
+struct ArmInfo {
+  bool resumed = false;
+  std::uint64_t generation = 0;  // valid when resumed
+  std::uint64_t cursor = 0;      // quanta cursor resumed at
+  /// Structured scan warnings (torn generations skipped, manifest
+  /// anomalies) — print them, they name what was lost.
+  std::vector<std::string> warnings;
+};
+
+class RunSupervisor {
+ public:
+  explicit RunSupervisor(DurableOptions opts);
+
+  /// Arm durability on a fresh engine (before run()): scan + restore +
+  /// autosave hook. Throws SimError{kSnapshotMismatch} if the newest
+  /// valid generation belongs to a different run identity, and
+  /// SimError{kIo*} if the ring directory cannot be created.
+  ArmInfo arm(Engine& engine);
+
+  [[nodiscard]] const DurableOptions& options() const noexcept {
+    return opts_;
+  }
+
+ private:
+  DurableOptions opts_;
+};
+
+}  // namespace simany::recover

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "snapshot/plan.h"
 #include "snapshot/run_hook.h"
@@ -27,8 +28,11 @@ class Controller final : public RunHook {
   /// Write mode: capture per `plan` during the coming run().
   explicit Controller(SnapshotPlan plan);
   /// Verify mode: prove the coming run() passes through `file`'s
-  /// state, byte-exactly, at its cursor.
-  explicit Controller(SnapshotFile file);
+  /// state, byte-exactly, at its cursor. `forced_cursors` are ancestor
+  /// capture cursors (resume chains) whose barriers the replay must
+  /// also land exactly; sorted/deduplicated here.
+  explicit Controller(SnapshotFile file,
+                      std::vector<std::uint64_t> forced_cursors = {});
 
   [[nodiscard]] std::uint64_t seq_budget(std::uint64_t done) override;
   void at_barrier(Engine& engine, bool finished) override;
@@ -39,6 +43,20 @@ class Controller final : public RunHook {
   [[nodiscard]] bool verified() const noexcept {
     return mode_ == Mode::kWrite || verified_;
   }
+
+  /// Build a container file from the engine's quiesced state — the one
+  /// header-assembly path shared by the plan-driven capture above and
+  /// the autosave ring (src/recover), so every generation records the
+  /// identical identity/geometry fields. `total` is the quanta cursor
+  /// of the current quiesce point; `at_quanta`/`every_quanta` land in
+  /// the header as the schedule a future replay must mirror. Friend
+  /// access to Engine makes this the only sanctioned way to snapshot
+  /// outside the Controller itself.
+  [[nodiscard]] static SnapshotFile build(Engine& engine,
+                                          std::uint64_t workload_fp,
+                                          std::uint64_t at_quanta,
+                                          std::uint64_t every_quanta,
+                                          std::uint64_t total);
 
  private:
   enum class Mode : std::uint8_t { kWrite, kVerify };

@@ -85,7 +85,11 @@ void EngineCodec::append_state(const Engine& e, std::vector<std::uint8_t>& out,
   w.u8(static_cast<std::uint8_t>(e.mode_));
   w.u64(e.host_rounds_);
   w.u64(e.synth_addr_next_);
-  w.u8(e.cancel_code_.load(std::memory_order_relaxed));
+  // Normalized to zero: a pending cancellation is the host's reason for
+  // stopping, not architectural state. An emergency capture taken on
+  // the abort path would otherwise bake the abort code into the image
+  // and never verify against the (cancel-free) resume replay.
+  w.u8(0);
 
   mark("shards");
   for (const auto& shp : e.shards_) {
@@ -112,12 +116,12 @@ void EngineCodec::append_state(const Engine& e, std::vector<std::uint8_t>& out,
     w.u64(sh.lane.stats.hops);
     w.u64(sh.lane.stats.contention_ticks);
     put_stats(w, sh.stats);
-    w.u64(sh.guard_quanta_at_poll);
-    w.u64(sh.guard_quanta_next);
-    w.u64(sh.guard_now_sum);
-    w.boolean(sh.guard_baseline);
-    w.u32(sh.guard_stale_polls);
-    w.boolean(sh.guard_stop);
+    // The shard's guard_* poll bookkeeping is deliberately absent: a
+    // tripped deadline returns out of guard_poll before the watchdog
+    // updates, so those fields record "state at the last wall-clean
+    // poll" — which an emergency capture can never replay-match. Like
+    // cancel_code above, they are host supervision state, not
+    // architectural state.
   }
 
   mark("cores");
@@ -271,6 +275,10 @@ std::uint64_t EngineCodec::total_quanta(const Engine& e) {
   std::uint64_t total = 0;
   for (const auto& shp : e.shards_) total += shp->quantum_count;
   return total;
+}
+
+std::uint32_t EngineCodec::shard_count(const Engine& e) {
+  return e.num_shards_;
 }
 
 const char* EngineCodec::section_at(const std::vector<ImageSection>& sections,

@@ -48,6 +48,11 @@ class EngineCodec {
   /// snapshot cursor coordinate.
   [[nodiscard]] static std::uint64_t total_quanta(const Engine& e);
 
+  /// Active shard count (the autosave hook refuses emergency captures
+  /// on the parallel host, where an interrupted round is not a
+  /// replayable cursor).
+  [[nodiscard]] static std::uint32_t shard_count(const Engine& e);
+
   /// Name of the section containing image offset `off`.
   [[nodiscard]] static const char* section_at(
       const std::vector<ImageSection>& sections, std::size_t off);

@@ -13,6 +13,7 @@
 #include "core/engine.h"
 #include "snapshot/controller.h"
 #include "snapshot/engine_codec.h"
+#include "snapshot/hook_chain.h"
 #include "snapshot/snapshot.h"
 
 namespace simany::snapshot {
@@ -35,7 +36,8 @@ Controller::Controller(SnapshotPlan plan)
     : mode_(Mode::kWrite), plan_(std::move(plan)),
       periodic_next_(plan_.every_quanta) {}
 
-Controller::Controller(SnapshotFile file)
+Controller::Controller(SnapshotFile file,
+                       std::vector<std::uint64_t> forced_cursors)
     : mode_(Mode::kVerify), file_(std::move(file)) {
   // Mirror the writer's plan so the sequential host replays the exact
   // barrier schedule of the capture run: serial-phase bookkeeping
@@ -43,6 +45,11 @@ Controller::Controller(SnapshotFile file)
   // verified image, so the replay must visit the same barriers.
   plan_.at_quanta = file_.header.cursor_requested;
   plan_.every_quanta = file_.header.every_quanta;
+  plan_.forced_cursors = std::move(forced_cursors);
+  std::sort(plan_.forced_cursors.begin(), plan_.forced_cursors.end());
+  plan_.forced_cursors.erase(std::unique(plan_.forced_cursors.begin(),
+                                         plan_.forced_cursors.end()),
+                             plan_.forced_cursors.end());
 }
 
 std::uint64_t Controller::seq_budget(std::uint64_t done) {
@@ -55,6 +62,15 @@ std::uint64_t Controller::seq_budget(std::uint64_t done) {
   if (plan_.every_quanta != 0) {
     target = std::min(target,
                       (done / plan_.every_quanta + 1) * plan_.every_quanta);
+  }
+  // Forced ancestor cursors (resume chains): land a barrier on every
+  // cursor an earlier generation's capture once forced, so the replay
+  // turns the serial phase exactly as often as the original run did.
+  for (const std::uint64_t f : plan_.forced_cursors) {  // sorted ascending
+    if (f > done) {
+      target = std::min(target, f);
+      break;
+    }
   }
   return target == ~std::uint64_t{0} ? target : target - done;
 }
@@ -114,11 +130,14 @@ void Controller::cl_quantum(Engine& engine, std::uint64_t done) {
   }
 }
 
-void Controller::capture(Engine& engine, std::uint64_t total) {
+SnapshotFile Controller::build(Engine& engine, std::uint64_t workload_fp,
+                               std::uint64_t at_quanta,
+                               std::uint64_t every_quanta,
+                               std::uint64_t total) {
   SnapshotFile f;
   SnapshotHeader& h = f.header;
   h.config_fp = config_fingerprint(engine.cfg_, engine.mode_);
-  h.workload_fp = plan_.workload_fp;
+  h.workload_fp = workload_fp;
   h.seed = engine.cfg_.seed;
   h.mode = static_cast<std::uint8_t>(engine.mode_);
   h.flags = static_cast<std::uint8_t>(
@@ -131,11 +150,18 @@ void Controller::capture(Engine& engine, std::uint64_t total) {
                        ? 512
                        : engine.cfg_.host.round_quanta;
   h.num_cores = engine.cfg_.num_cores();
-  h.cursor_requested = plan_.at_quanta;
-  h.every_quanta = plan_.every_quanta;
+  h.cursor_requested = at_quanta;
+  h.every_quanta = every_quanta;
   h.cursor_actual = total;
   h.host_rounds = engine.host_rounds_;
   EngineCodec::append_state(engine, f.image);
+  return f;
+}
+
+void Controller::capture(Engine& engine, std::uint64_t total) {
+  const SnapshotFile f =
+      build(engine, plan_.workload_fp, plan_.at_quanta, plan_.every_quanta,
+            total);
   write_snapshot_file(plan_.path, f);
   captured_any_ = true;
 }
@@ -168,16 +194,35 @@ void Controller::verify(Engine& engine, std::uint64_t total) {
 
 namespace simany {
 
+void Engine::add_run_hook(std::unique_ptr<snapshot::RunHook> hook) {
+  if (ran_) throw std::logic_error("Engine::add_run_hook after run()");
+  if (hook == nullptr) return;
+  if (snap_hook_ == nullptr) {
+    snap_hook_ = std::move(hook);
+    return;
+  }
+  // Wrap the existing hook in a chain (or append to one): arming a
+  // second hook must never silently drop the first.
+  auto* chain = dynamic_cast<snapshot::HookChain*>(snap_hook_.get());
+  if (chain == nullptr) {
+    auto fresh = std::make_unique<snapshot::HookChain>();
+    fresh->add(std::move(snap_hook_));
+    chain = fresh.get();
+    snap_hook_ = std::move(fresh);
+  }
+  chain->add(std::move(hook));
+}
+
 void Engine::snapshot_to(const snapshot::SnapshotPlan& plan) {
   if (ran_) throw std::logic_error("Engine::snapshot_to after run()");
   if (plan.path.empty()) {
     throw std::invalid_argument("Engine::snapshot_to: plan.path is empty");
   }
-  snap_hook_ = std::make_unique<snapshot::Controller>(plan);
+  add_run_hook(std::make_unique<snapshot::Controller>(plan));
 }
 
-void Engine::restore_from(const std::string& path,
-                          std::uint64_t workload_fp) {
+void Engine::restore_from(const std::string& path, std::uint64_t workload_fp,
+                          const std::vector<std::uint64_t>& forced_cursors) {
   if (ran_) throw std::logic_error("Engine::restore_from after run()");
   snapshot::SnapshotFile file = snapshot::read_snapshot_file(path);
   const snapshot::SnapshotHeader& h = file.header;
@@ -232,7 +277,8 @@ void Engine::restore_from(const std::string& path,
   } else {
     cfg_.host.mode = HostMode::kSequential;
   }
-  snap_hook_ = std::make_unique<snapshot::Controller>(std::move(file));
+  add_run_hook(std::make_unique<snapshot::Controller>(std::move(file),
+                                                      forced_cursors));
 }
 
 std::uint64_t Engine::state_digest() const {

@@ -1,0 +1,50 @@
+// Fan-out RunHook: lets several hooks share the engine's single seam.
+//
+// Engine::add_run_hook wraps coexisting hooks in one of these — e.g. a
+// verify-mode Controller (replaying a resume) plus the autosave ring's
+// capture hook. Budgets combine by minimum (every hook's target cursor
+// still lands on an exact barrier); notifications fan out in arming
+// order, which callers rely on: the verify hook must observe a barrier
+// before the autosave hook decides whether to capture at it.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "snapshot/run_hook.h"
+
+namespace simany::snapshot {
+
+class HookChain final : public RunHook {
+ public:
+  void add(std::unique_ptr<RunHook> hook) {
+    hooks_.push_back(std::move(hook));
+  }
+
+  [[nodiscard]] std::uint64_t seq_budget(std::uint64_t done) override {
+    std::uint64_t budget = ~std::uint64_t{0};
+    for (auto& h : hooks_) budget = std::min(budget, h->seq_budget(done));
+    return budget;
+  }
+
+  void at_barrier(Engine& engine, bool finished) override {
+    for (auto& h : hooks_) h->at_barrier(engine, finished);
+  }
+
+  void cl_quantum(Engine& engine, std::uint64_t done) override {
+    for (auto& h : hooks_) h->cl_quantum(engine, done);
+  }
+
+  void at_abort(Engine& engine, SimErrorCode code) override {
+    for (auto& h : hooks_) h->at_abort(engine, code);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return hooks_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<RunHook>> hooks_;
+};
+
+}  // namespace simany::snapshot

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace simany::snapshot {
 
@@ -32,6 +33,13 @@ struct SnapshotPlan {
   /// parameters). The engine cannot hash a TaskFn, so restore relies on
   /// the caller presenting the same value to refuse foreign state.
   std::uint64_t workload_fp = 0;
+  /// Extra sequential-host barrier cursors this run must land exactly,
+  /// beyond at/every (sorted, deduplicated by the supervisor). An
+  /// autosave resume chain records here every ancestor generation's
+  /// capture cursor: the serial-phase bookkeeping those barriers
+  /// mutated (host_rounds, watchdog counters) is part of the verified
+  /// image, so a replay that skipped them would diverge byte-wise.
+  std::vector<std::uint64_t> forced_cursors;
 };
 
 }  // namespace simany::snapshot

@@ -9,6 +9,8 @@
 
 #include <cstdint>
 
+#include "core/sim_error.h"
+
 namespace simany {
 class Engine;
 }
@@ -39,6 +41,15 @@ class RunHook {
   /// Cycle-level loop, after each quantum (`done` executed so far).
   /// The CL loop is serial-only, so this is a quiesce point too.
   virtual void cl_quantum(Engine& engine, std::uint64_t done) = 0;
+
+  /// Guard abort notification, called at the top of guard_abort while
+  /// the fibers are still intact — *before* unwind_all_fibers tears
+  /// the architectural state down. The serial-phase context makes this
+  /// a quiesce point on the sequential and cycle-level hosts; on the
+  /// parallel host the round a worker flagged may be partially
+  /// executed, so hooks that capture state must check the shard count.
+  /// Default no-op: existing hooks ignore aborts.
+  virtual void at_abort(Engine& /*engine*/, SimErrorCode /*code*/) {}
 };
 
 }  // namespace simany::snapshot

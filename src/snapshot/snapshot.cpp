@@ -7,6 +7,7 @@
 #include "config/arch_config.h"
 #include "config/config_io.h"
 #include "core/engine.h"
+#include "io/atomic_write.h"
 #include "snapshot/wire.h"
 
 namespace simany::snapshot {
@@ -142,12 +143,13 @@ SnapshotFile read_snapshot_file(const std::string& path) {
 
 void write_snapshot_file(const std::string& path, const SnapshotFile& file) {
   const std::vector<std::uint8_t> bytes = encode_snapshot(file);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) corrupt("cannot create '" + path + "'");
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out) corrupt("write error on '" + path + "'");
+  // Atomic replace with fsync + readback: a crash mid-checkpoint must
+  // never leave a torn file at the destination — a reader sees either
+  // the previous generation intact or this one complete.
+  io::AtomicWriteOptions opts;
+  opts.fsync = true;
+  opts.verify_readback = true;
+  io::atomic_write_file(path, bytes.data(), bytes.size(), opts);
 }
 
 std::uint64_t workload_fingerprint(const std::string& name,

@@ -1,0 +1,225 @@
+// I/O fault hardening suite (src/io + src/recover/artifacts).
+//
+// Every failure a full disk, a dying device or a read-only mount can
+// inject into an artifact write must surface as a structured SimError
+// from the I/O taxonomy — and the destination file must be left with
+// either its old bytes or the new bytes, never a truncation. On top of
+// the writer sits the degrade-vs-abort policy: telemetry-grade exports
+// warn and keep going, durability-grade exports (snapshots) abort
+// loudly. Fault injection uses the test-only write shim in
+// io/atomic_write.h (fails the Nth low-level write with a chosen
+// errno).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "config/arch_config.h"
+#include "core/engine.h"
+#include "core/sim_error.h"
+#include "dwarfs/dwarfs.h"
+#include "io/atomic_write.h"
+#include "obs/status.h"
+#include "recover/artifacts.h"
+#include "snapshot/controller.h"
+#include "snapshot/snapshot.h"
+
+namespace simany {
+namespace {
+
+class WriteFault : public ::testing::Test {
+ protected:
+  void TearDown() override { io::clear_write_fault(); }
+
+  static std::string temp_path(const std::string& name) {
+    // Pid-qualified: concurrent suite invocations must not share files.
+    return ::testing::TempDir() + "simany_io_" +
+           std::to_string(::getpid()) + "_" + name;
+  }
+
+  static std::string read_all(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  }
+
+  static bool exists(const std::string& path) {
+    std::ifstream in(path);
+    return in.good();
+  }
+};
+
+// ---- errno -> taxonomy mapping -------------------------------------
+
+TEST_F(WriteFault, ErrnoTaxonomy) {
+  EXPECT_EQ(SimErrorCode::kIoNoSpace, io::io_error_code(ENOSPC));
+  EXPECT_EQ(SimErrorCode::kIoNoSpace, io::io_error_code(EDQUOT));
+  EXPECT_EQ(SimErrorCode::kIoReadOnly, io::io_error_code(EROFS));
+  EXPECT_EQ(SimErrorCode::kIoReadOnly, io::io_error_code(EACCES));
+  EXPECT_EQ(SimErrorCode::kIoReadOnly, io::io_error_code(EPERM));
+  EXPECT_EQ(SimErrorCode::kIoError, io::io_error_code(EIO));
+  EXPECT_EQ(SimErrorCode::kIoError, io::io_error_code(0));
+  // None of the I/O codes is transient: a full disk does not heal by
+  // rerunning, so the CLI retry loop must not spin on them.
+  EXPECT_FALSE(is_transient(SimErrorCode::kIoNoSpace));
+  EXPECT_FALSE(is_transient(SimErrorCode::kIoReadOnly));
+  EXPECT_FALSE(is_transient(SimErrorCode::kIoError));
+}
+
+// ---- atomic_write_file ---------------------------------------------
+
+TEST_F(WriteFault, SuccessfulWriteRoundTrips) {
+  const std::string path = temp_path("roundtrip");
+  io::AtomicWriteOptions opts;
+  opts.verify_readback = true;
+  io::atomic_write_file(path, "payload-bytes", opts);
+  EXPECT_EQ("payload-bytes", read_all(path));
+  EXPECT_FALSE(exists(path + ".tmp")) << "temp file left behind";
+  std::remove(path.c_str());
+}
+
+TEST_F(WriteFault, EnospcSurfacesAsStructuredError) {
+  const std::string path = temp_path("enospc");
+  std::remove(path.c_str());  // stale state from earlier suite runs
+  io::set_write_fault(0, ENOSPC);
+  try {
+    io::atomic_write_file(path, "doomed");
+    FAIL() << "injected ENOSPC did not throw";
+  } catch (const SimError& e) {
+    EXPECT_EQ(SimErrorCode::kIoNoSpace, e.code());
+    EXPECT_NE(std::string::npos, std::string(e.what()).find("ENOSPC"));
+  }
+  EXPECT_FALSE(exists(path)) << "destination materialized despite failure";
+  EXPECT_FALSE(exists(path + ".tmp")) << "temp file leaked on failure";
+}
+
+TEST_F(WriteFault, EioSurfacesAsIoError) {
+  const std::string path = temp_path("eio");
+  io::set_write_fault(0, EIO);
+  try {
+    io::atomic_write_file(path, "doomed");
+    FAIL() << "injected EIO did not throw";
+  } catch (const SimError& e) {
+    EXPECT_EQ(SimErrorCode::kIoError, e.code());
+  }
+}
+
+TEST_F(WriteFault, FailedReplacePreservesOldBytes) {
+  const std::string path = temp_path("preserve");
+  io::atomic_write_file(path, "old-contents");
+  io::set_write_fault(0, ENOSPC);
+  EXPECT_THROW(io::atomic_write_file(path, "new-contents"), SimError);
+  io::clear_write_fault();
+  EXPECT_EQ("old-contents", read_all(path))
+      << "failed replace tore the destination";
+  std::remove(path.c_str());
+}
+
+TEST_F(WriteFault, MidStreamFaultStillCleansUp) {
+  const std::string path = temp_path("midstream");
+  std::remove(path.c_str());  // stale state from earlier suite runs
+  // Large body takes several bounded-chunk write() calls; fail the
+  // second so the temp file holds a partial prefix at fault time.
+  const std::string big(1u << 20, 'x');
+  io::set_write_fault(1, ENOSPC);
+  EXPECT_THROW(io::atomic_write_file(path, big), SimError);
+  io::clear_write_fault();
+  EXPECT_FALSE(exists(path));
+  EXPECT_FALSE(exists(path + ".tmp"));
+}
+
+// ---- degrade-vs-abort policy ---------------------------------------
+
+TEST_F(WriteFault, DegradePolicySwallowsAndReportsFalse) {
+  const std::string path = temp_path("degrade");
+  io::set_write_fault(0, ENOSPC);
+  bool filled = false;
+  const bool ok = recover::write_artifact(
+      path, "test artifact", recover::FailPolicy::kDegrade,
+      [&](std::ostream& os) {
+        filled = true;
+        os << "body";
+      });
+  EXPECT_TRUE(filled);
+  EXPECT_FALSE(ok);
+  EXPECT_FALSE(exists(path));
+}
+
+TEST_F(WriteFault, AbortPolicyRethrows) {
+  const std::string path = temp_path("abort");
+  io::set_write_fault(0, EROFS);
+  try {
+    (void)recover::write_artifact(path, "test artifact",
+                                  recover::FailPolicy::kAbort,
+                                  [](std::ostream& os) { os << "body"; });
+    FAIL() << "kAbort swallowed the failure";
+  } catch (const SimError& e) {
+    EXPECT_EQ(SimErrorCode::kIoReadOnly, e.code());
+  }
+}
+
+TEST_F(WriteFault, HealthyArtifactWrites) {
+  const std::string path = temp_path("artifact_ok");
+  const bool ok = recover::write_artifact(
+      path, "test artifact", recover::FailPolicy::kDegrade,
+      [](std::ostream& os) { os << "line1\nline2\n"; });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ("line1\nline2\n", read_all(path));
+  std::remove(path.c_str());
+}
+
+// ---- consumers of the policy ---------------------------------------
+
+TEST_F(WriteFault, StatusHeartbeatDegradesInsteadOfAborting) {
+  const std::string path = temp_path("status");
+  obs::StatusReporter status(path, /*interval_ms=*/0);
+  EXPECT_FALSE(status.disabled());
+
+  io::set_write_fault(0, EIO);
+  // The engine calls write() at every barrier; a heartbeat that cannot
+  // persist must disable itself, not take the simulation down.
+  status.write(obs::StatusSample{});
+  EXPECT_TRUE(status.disabled());
+  io::clear_write_fault();
+  status.write(obs::StatusSample{});  // stays disabled, stays silent
+  EXPECT_TRUE(status.disabled());
+  EXPECT_EQ(0u, status.writes());
+}
+
+TEST_F(WriteFault, SnapshotWriteFailureAbortsLoudly) {
+  ArchConfig cfg = ArchConfig::shared_mesh(8);
+  Engine sim(cfg);
+  const std::uint64_t wf = snapshot::workload_fingerprint("spmxv", 1, 0.02);
+  (void)sim.run(dwarfs::dwarf_by_name("spmxv").make_root(1, 0.02));
+  const snapshot::SnapshotFile file =
+      snapshot::Controller::build(sim, wf, 0, 0, 0);
+
+  const std::string path = temp_path("snapshot");
+  io::set_write_fault(0, ENOSPC);
+  // Durability-grade artifact: a checkpoint that silently failed to
+  // persist is worse than a loud stop.
+  try {
+    snapshot::write_snapshot_file(path, file);
+    FAIL() << "snapshot writer swallowed ENOSPC";
+  } catch (const SimError& e) {
+    EXPECT_EQ(SimErrorCode::kIoNoSpace, e.code());
+  }
+  io::clear_write_fault();
+  EXPECT_FALSE(exists(path));
+
+  // And the same write succeeds once space returns — with readback
+  // verification, so the bytes on disk are the bytes in memory.
+  snapshot::write_snapshot_file(path, file);
+  const snapshot::SnapshotFile back = snapshot::read_snapshot_file(path);
+  EXPECT_EQ(file.header.config_fp, back.header.config_fp);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace simany

@@ -1,0 +1,349 @@
+// Kill-chaos recovery proof (the durable-runs acceptance test).
+//
+// A child `simany_cli` is SIGKILLed at cycling wall-clock offsets —
+// mid-round, mid-capture, wherever the timer lands — and relaunched
+// with the *same* command line until it completes. The relaunches
+// auto-resume from the autosave ring; the completed run's arch-stats
+// and telemetry fingerprints must be bit-identical to an uninterrupted
+// baseline. The property is swept over host backends and fault plans
+// (`chaos` label); one sequential case plus the CLI usage/retry
+// contracts stay tier-1.
+//
+// SIMANY_CLI_PATH is injected by CMake as $<TARGET_FILE:simany_cli>.
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+namespace {
+
+struct CliResult {
+  bool exited = false;    // normal exit (vs signal death)
+  int exit_code = -1;     // valid when exited
+  bool signalled = false; // killed by a signal (ours or its own)
+  std::string out;
+  std::string err;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Launches simany_cli with `args`; when `kill_after_ms >= 0`, sends
+/// SIGKILL once that much wall time has passed (if the child is still
+/// alive — a fast child may legitimately win the race).
+CliResult run_cli(const std::vector<std::string>& args,
+                  int kill_after_ms = -1) {
+  // ctest runs the discovered cases of this binary concurrently: the
+  // capture files must be unique per process and per launch.
+  static int serial = 0;
+  const std::string stem = ::testing::TempDir() + "simany_cli_" +
+                           std::to_string(::getpid()) + "_" +
+                           std::to_string(serial++);
+  const std::string out_path = stem + ".out";
+  const std::string err_path = stem + ".err";
+
+  std::vector<std::string> argv_s;
+  argv_s.push_back(SIMANY_CLI_PATH);
+  argv_s.insert(argv_s.end(), args.begin(), args.end());
+  std::vector<char*> argv;
+  argv.reserve(argv_s.size() + 1);
+  for (auto& a : argv_s) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::freopen(out_path.c_str(), "w", stdout);
+    ::freopen(err_path.c_str(), "w", stderr);
+    ::execv(argv[0], argv.data());
+    std::perror("execv");
+    ::_exit(127);
+  }
+
+  CliResult r;
+  int status = 0;
+  if (kill_after_ms >= 0) {
+    // simlint: allow(det-wall-clock) host-side kill timer for the chaos harness
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(kill_after_ms);
+    for (;;) {
+      const pid_t done = ::waitpid(pid, &status, WNOHANG);
+      if (done == pid) break;
+      // simlint: allow(det-wall-clock) host-side kill timer for the chaos harness
+      if (std::chrono::steady_clock::now() >= deadline) {
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, &status, 0);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  } else {
+    ::waitpid(pid, &status, 0);
+  }
+
+  r.exited = WIFEXITED(status);
+  if (r.exited) r.exit_code = WEXITSTATUS(status);
+  r.signalled = WIFSIGNALED(status);
+  r.out = slurp(out_path);
+  r.err = slurp(err_path);
+  return r;
+}
+
+/// All `fingerprint ...` lines from a CLI stdout, in order.
+std::vector<std::string> fingerprint_lines(const std::string& out) {
+  std::vector<std::string> lines;
+  std::istringstream is(out);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("fingerprint", 0) == 0) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string fresh_ring_dir(const std::string& tag) {
+  // Pid-qualified so concurrent suite invocations (two ctest trees,
+  // a developer run racing CI) cannot delete each other's rings.
+  const std::string dir = ::testing::TempDir() + "simany_kill_" +
+                          std::to_string(::getpid()) + "_" + tag;
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (dirent* ent = ::readdir(d)) {
+      const std::string name = ent->d_name;
+      if (name == "." || name == "..") continue;
+      std::remove((dir + "/" + name).c_str());
+    }
+    ::closedir(d);
+    ::rmdir(dir.c_str());
+  }
+  return dir;
+}
+
+std::vector<std::string> base_args() {
+  // Factor 10 runs ~200ms here: long enough that the first several
+  // kill offsets land mid-run, short enough that the growing offsets
+  // outrun a full resume (replay + remainder + capture overhead) well
+  // inside the 60-attempt budget.
+  return {"--dwarf", "spmxv", "--cores", "16", "--factor", "10",
+          "--seed", "11", "--fingerprint"};
+}
+
+void append(std::vector<std::string>& to,
+            const std::vector<std::string>& extra) {
+  to.insert(to.end(), extra.begin(), extra.end());
+}
+
+/// The recovery property: baseline fingerprints == fingerprints of a
+/// run completed across any number of SIGKILL interruptions.
+void kill_recovery_property(const std::vector<std::string>& host_flags,
+                            const std::vector<std::string>& fault_flags,
+                            const std::string& tag) {
+  std::vector<std::string> base = base_args();
+  append(base, host_flags);
+  append(base, fault_flags);
+
+  // Time the uninterrupted baseline so the kill schedule adapts to the
+  // build: under ASan/UBSan the same workload runs ~10-20x slower, and
+  // a hard-coded schedule would never let the child win the race.
+  // simlint: allow(det-wall-clock) host-side harness calibration
+  const auto t0 = std::chrono::steady_clock::now();
+  const CliResult baseline = run_cli(base);
+  const int baseline_ms = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          // simlint: allow(det-wall-clock) host-side harness calibration
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  ASSERT_TRUE(baseline.exited) << baseline.err;
+  ASSERT_EQ(0, baseline.exit_code) << baseline.err;
+  const auto want = fingerprint_lines(baseline.out);
+  ASSERT_FALSE(want.empty()) << "--fingerprint printed nothing";
+
+  const std::string ring = fresh_ring_dir(tag);
+  std::vector<std::string> durable = base;
+  // ~170 captures per uninterrupted run: dense enough that kills land
+  // mid-capture and mid-prune, cheap enough (two fsyncs per capture)
+  // that the autosave tax stays a fraction of the runtime.
+  append(durable, {"--auto-resume", ring, "--autosave-every", "1000"});
+
+  int kills = 0;
+  int resumes = 0;
+  CliResult finished;
+  bool done = false;
+  for (int attempt = 0; attempt < 60 && !done; ++attempt) {
+    // Growing, co-prime-ish kill offsets: early attempts die in
+    // different rounds / captures / replays; later offsets outgrow
+    // the full runtime (a resume replays its whole prefix, so the
+    // child only finishes once the timer loses the race outright).
+    // The step scales with the measured baseline so the schedule
+    // reaches ~3x the durable runtime (replay + remainder + autosave
+    // tax) well inside the attempt budget on any build.
+    const int step = std::max(37, baseline_ms / 10);
+    const int delay_ms = 15 + attempt * step;
+    const CliResult r = run_cli(durable, delay_ms);
+    if (r.err.find("resuming from autosave generation") != std::string::npos) {
+      ++resumes;
+    }
+    if (r.exited && r.exit_code == 0) {
+      finished = r;
+      done = true;
+    } else {
+      ASSERT_TRUE(r.signalled || r.exited)
+          << "child neither exited nor died";
+      ASSERT_FALSE(r.exited && r.exit_code != 0)
+          << "interrupted chain failed instead of dying/finishing:\n"
+          << r.err;
+      ++kills;
+    }
+  }
+  ASSERT_TRUE(done) << "run never completed across 60 kill/relaunches";
+  EXPECT_GT(kills, 0) << "workload too fast: no launch was ever killed, "
+                         "the property was not exercised";
+  EXPECT_GT(resumes, 0) << "no relaunch ever auto-resumed";
+  EXPECT_EQ(want, fingerprint_lines(finished.out))
+      << "recovered run diverged from the uninterrupted baseline\n"
+      << finished.err;
+}
+
+const std::vector<std::string> kNoFlags;
+const std::vector<std::string> kPar1 = {"--host-shards", "1"};
+const std::vector<std::string> kPar4 = {"--host-threads", "2",
+                                        "--host-shards", "4"};
+const std::vector<std::string> kFaulty = {
+    "--fault-seed", "7",    "--fault-delay",      "0.05",
+    "--fault-dup",  "0.03", "--fault-stall",      "0.02",
+    "--fault-mem-spike", "0.02"};
+
+// ---- Tier-1: one full kill-recovery proof on the sequential host ----
+
+TEST(RecoverKill, KillMidRunRecoversBitIdentical) {
+  kill_recovery_property(kNoFlags, kNoFlags, "seq_clean");
+}
+
+// ---- Chaos sweep: hosts x fault plans ------------------------------
+
+using KillParam = std::tuple<const char*, int, bool>;
+
+class KillSweep : public ::testing::TestWithParam<KillParam> {};
+
+TEST_P(KillSweep, RecoversBitIdentical) {
+  const auto [tag, host_i, faulty] = GetParam();
+  const std::vector<std::string>& host =
+      host_i == 0 ? kNoFlags : host_i == 1 ? kPar1 : kPar4;
+  kill_recovery_property(host, faulty ? kFaulty : kNoFlags, tag);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Hosts, KillSweep,
+    ::testing::Values(KillParam{"seq_faulty", 0, true},
+                      KillParam{"par1_clean", 1, false},
+                      KillParam{"par1_faulty", 1, true},
+                      KillParam{"par4_clean", 2, false},
+                      KillParam{"par4_faulty", 2, true}),
+    [](const ::testing::TestParamInfo<KillParam>& info) {
+      return std::get<0>(info.param);
+    });
+
+// Wall-clock cadence rides natural barriers instead of forcing its
+// own; the recovery property must hold for it too.
+TEST(RecoverKill, WallClockCadenceSweepRecovers) {
+  std::vector<std::string> base = base_args();
+  const CliResult baseline = run_cli(base);
+  ASSERT_TRUE(baseline.exited && baseline.exit_code == 0) << baseline.err;
+  const auto want = fingerprint_lines(baseline.out);
+
+  const std::string ring = fresh_ring_dir("wallms");
+  std::vector<std::string> durable = base;
+  append(durable, {"--auto-resume", ring, "--autosave-wall-ms", "5"});
+
+  bool done = false;
+  CliResult finished;
+  for (int attempt = 0; attempt < 60 && !done; ++attempt) {
+    const CliResult r = run_cli(durable, 15 + attempt * 37);
+    if (r.exited && r.exit_code == 0) {
+      finished = r;
+      done = true;
+    }
+  }
+  ASSERT_TRUE(done);
+  EXPECT_EQ(want, fingerprint_lines(finished.out)) << finished.err;
+}
+
+// ---- Incremental retries through the emergency snapshot ------------
+
+TEST(RecoverKill, DeadlineRetriesResumeFromEmergencySnapshot) {
+  // Oversized workload + tiny wall deadline: every attempt trips the
+  // (transient) deadline guard, whose abort path writes an emergency
+  // generation; each retry must then demonstrably resume from it.
+  const std::string ring = fresh_ring_dir("retry");
+  std::vector<std::string> args = {
+      "--dwarf", "spmxv", "--cores", "16", "--factor", "40",
+      "--seed", "3", "--deadline-ms", "120", "--retries", "2",
+      "--retry-backoff-ms", "1", "--auto-resume", ring,
+      "--autosave-every", "1000000"};
+  const CliResult r = run_cli(args);
+  ASSERT_TRUE(r.exited);
+  EXPECT_EQ(3, r.exit_code)
+      << "oversized run under a 120ms deadline should exhaust retries "
+         "(a resume replays its whole prefix, so each attempt trips "
+         "the same wall budget)\n"
+      << r.err;
+  // The resume line is the acceptance check: quanta > 0 means the
+  // retry continued from the emergency snapshot, not from scratch.
+  const auto pos = r.err.find("resuming from autosave generation");
+  ASSERT_NE(std::string::npos, pos) << r.err;
+  const auto qpos = r.err.find("at quanta ", pos);
+  ASSERT_NE(std::string::npos, qpos);
+  const long quanta = std::strtol(r.err.c_str() + qpos + 10, nullptr, 10);
+  EXPECT_GT(quanta, 0) << r.err;
+}
+
+// ---- CLI contract: checked parsing and conflicting flags -----------
+
+TEST(RecoverKill, MalformedNumbersAreUsageErrors) {
+  // Pre-PR, "--retries 3x" silently parsed as 3.
+  for (const auto& bad :
+       std::vector<std::vector<std::string>>{{"--retries", "3x"},
+                                             {"--cores", "16cores"},
+                                             {"--factor", "fast"},
+                                             {"--seed", "-1"},
+                                             {"--autosave-every", ""},
+                                             {"--deadline-ms", "1e3"}}) {
+    const CliResult r = run_cli(bad);
+    EXPECT_TRUE(r.exited && r.exit_code == 2)
+        << bad[0] << "=" << bad[1] << " was not refused: " << r.err;
+    EXPECT_NE(std::string::npos, r.err.find("invalid value"))
+        << bad[0] << ": " << r.err;
+  }
+}
+
+TEST(RecoverKill, ConflictingFlagCombinationsRefused) {
+  const std::string ring = fresh_ring_dir("conflicts");
+  const std::vector<std::vector<std::string>> bad = {
+      {"--autosave-every", "100"},                       // cadence, no dir
+      {"--autosave-dir", ring},                          // dir, no cadence
+      {"--resume-from", "x.snap", "--auto-resume", ring},
+      {"--snapshot-out", "x.snap", "--auto-resume", ring},
+      {"--snapshot-out", "x.snap", "--autosave-dir", ring,
+       "--autosave-every", "10"}};
+  for (const auto& args : bad) {
+    const CliResult r = run_cli(args);
+    EXPECT_TRUE(r.exited && r.exit_code == 2)
+        << args[0] << " combination was not refused: " << r.err;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,476 @@
+// Durable-run suite (src/recover): autosave ring + auto-resume.
+//
+// The contract under test extends the snapshot equivalence property to
+// crash recovery: a run that autosaves, a run that resumes from any
+// ring generation, and a chain interrupted by a guard abort must all
+// be bit-identical — architectural statistics and telemetry
+// fingerprints — to the same run left alone. On top of that sits an
+// adversarial corpus for the ring scanner: torn, corrupt, duplicated
+// and stale generations, missing or garbage manifests, stray files —
+// every one must degrade to a structured warning and a sound resume
+// (or a fresh start), never to UB or a wrong answer.
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "config/arch_config.h"
+#include "core/engine.h"
+#include "core/sim_error.h"
+#include "dwarfs/dwarfs.h"
+#include "obs/telemetry.h"
+#include "recover/ring.h"
+#include "recover/supervisor.h"
+#include "snapshot/snapshot.h"
+
+namespace simany {
+namespace {
+
+constexpr double kTiny = 0.04;
+constexpr const char* kDwarf = "spmxv";
+constexpr std::uint64_t kSeed = 17;
+
+/// FNV-1a over every architectural SimStats field (same exclusions as
+/// the snapshot suite: host_rounds / wall_seconds / host_threads_used
+/// are host-side observations that barrier scheduling may move).
+std::uint64_t arch_fingerprint(const SimStats& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(s.completion_ticks);
+  mix(s.tasks_spawned);
+  mix(s.tasks_inlined);
+  mix(s.tasks_migrated);
+  mix(s.probes_sent);
+  mix(s.probes_denied);
+  mix(s.messages);
+  mix(s.sync_stalls);
+  mix(s.fiber_switches);
+  mix(s.joins_suspended);
+  mix(s.limit_recomputes);
+  mix(s.faults_injected);
+  mix(s.fault_core_stalls);
+  mix(s.fault_spawn_denials);
+  mix(s.guard_inbox_overflows);
+  mix(s.guard_fiber_overflows);
+  mix(s.inbox_depth_peak);
+  mix(s.live_fibers_peak);
+  mix(s.parallelism_samples);
+  mix(s.parallelism_sum);
+  mix(s.parallelism_max);
+  mix(s.drift_max_ticks);
+  mix(s.network.messages);
+  mix(s.network.bytes);
+  mix(s.network.hops);
+  mix(s.network.contention_ticks);
+  for (const Tick t : s.core_busy_ticks) mix(t);
+  return h;
+}
+
+struct RunResult {
+  std::uint64_t stats_fp = 0;
+  std::uint64_t telemetry_fp = 0;
+
+  friend bool operator==(const RunResult&, const RunResult&) = default;
+};
+
+std::uint64_t workload_fp(double factor = kTiny) {
+  return snapshot::workload_fingerprint(kDwarf, kSeed, factor);
+}
+
+RunResult run_plain(const ArchConfig& cfg, double factor = kTiny) {
+  Engine sim(cfg);
+  obs::Telemetry tel;
+  sim.set_telemetry(&tel);
+  const SimStats st =
+      sim.run(dwarfs::dwarf_by_name(kDwarf).make_root(kSeed, factor));
+  return RunResult{arch_fingerprint(st),
+                   tel.fingerprint(obs::EventClass::kAll)};
+}
+
+struct DurableRun {
+  RunResult result;
+  recover::ArmInfo arm;
+};
+
+/// One supervised run: arm the ring (resuming if it holds state), run
+/// to completion.
+DurableRun run_durable(const ArchConfig& cfg,
+                       const recover::DurableOptions& dopt,
+                       double factor = kTiny) {
+  Engine sim(cfg);
+  obs::Telemetry tel;
+  sim.set_telemetry(&tel);
+  recover::RunSupervisor sup(dopt);
+  DurableRun out;
+  out.arm = sup.arm(sim);
+  const SimStats st =
+      sim.run(dwarfs::dwarf_by_name(kDwarf).make_root(kSeed, factor));
+  out.result = RunResult{arch_fingerprint(st),
+                         tel.fingerprint(obs::EventClass::kAll)};
+  return out;
+}
+
+recover::DurableOptions ring_options(const std::string& dir,
+                                     std::uint64_t every = 50,
+                                     double factor = kTiny) {
+  recover::DurableOptions d;
+  d.dir = dir;
+  d.every_quanta = every;
+  d.auto_resume = true;
+  d.workload_fp = workload_fp(factor);
+  return d;
+}
+
+/// Fresh (emptied) ring directory under the test temp root,
+/// pid-qualified so concurrent suite invocations cannot collide.
+std::string fresh_ring_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "simany_ring_" +
+                          std::to_string(::getpid()) + "_" + tag;
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (dirent* ent = ::readdir(d)) {
+      const std::string name = ent->d_name;
+      if (name == "." || name == "..") continue;
+      std::remove((dir + "/" + name).c_str());
+    }
+    ::closedir(d);
+    ::rmdir(dir.c_str());
+  }
+  return dir;
+}
+
+void corrupt_truncate(const std::string& path, long keep) {
+  ASSERT_EQ(0, ::truncate(path.c_str(), keep)) << path;
+}
+
+void corrupt_flip_byte(const std::string& path, long offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  f.seekg(offset);
+  char b = 0;
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x5a);
+  f.seekp(offset);
+  f.write(&b, 1);
+}
+
+void write_text(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::trunc);
+  out << body;
+}
+
+// ---- Ring basics ----------------------------------------------------
+
+TEST(RecoverRing, PathNaming) {
+  EXPECT_EQ("d/run.autosave.7.snap", recover::generation_path("d", 7));
+  EXPECT_EQ("d/run.autosave.manifest", recover::manifest_path("d"));
+}
+
+TEST(RecoverRing, MissingDirectoryScansAsFreshStart) {
+  const auto scan =
+      recover::scan_ring(::testing::TempDir() + "simany_no_such_ring");
+  EXPECT_TRUE(scan.valid.empty());
+  EXPECT_TRUE(scan.warnings.empty());
+  EXPECT_EQ(0u, scan.next_gen);
+}
+
+// ---- Equivalence properties ----------------------------------------
+
+TEST(RecoverRing, AutosaveDoesNotPerturbResults) {
+  const std::string dir = fresh_ring_dir("perturb");
+  const ArchConfig cfg = ArchConfig::shared_mesh(16);
+  const RunResult base = run_plain(cfg);
+  const DurableRun saved = run_durable(cfg, ring_options(dir));
+  EXPECT_FALSE(saved.arm.resumed);
+  EXPECT_EQ(base, saved.result) << "arming autosave perturbed the run";
+
+  const auto scan = recover::scan_ring(dir);
+  EXPECT_TRUE(scan.warnings.empty());
+  ASSERT_FALSE(scan.valid.empty()) << "cadence produced no generations";
+  EXPECT_LE(scan.valid.size(), 4u) << "ring bound not enforced";
+  for (const auto& g : scan.valid) {
+    EXPECT_EQ(50u, g.every_quanta);
+    EXPECT_FALSE(g.emergency);
+  }
+}
+
+TEST(RecoverRing, ResumeFromRingMatchesBaseline) {
+  const std::string dir = fresh_ring_dir("resume");
+  const ArchConfig cfg = ArchConfig::shared_mesh(16);
+  const RunResult base = run_plain(cfg);
+  (void)run_durable(cfg, ring_options(dir));
+
+  // Resume from the newest generation (close to the finish line).
+  const auto before = recover::scan_ring(dir);
+  ASSERT_FALSE(before.valid.empty());
+  const std::uint64_t newest_cursor = before.valid.back().cursor;
+  const DurableRun resumed = run_durable(cfg, ring_options(dir));
+  EXPECT_TRUE(resumed.arm.resumed);
+  EXPECT_EQ(newest_cursor, resumed.arm.cursor);
+  EXPECT_EQ(base, resumed.result) << "auto-resumed run diverged";
+
+  // Now resume from the *earliest* surviving generation (simulating a
+  // ring whose newer generations were lost): delete everything after
+  // it, leaving plenty of run for the continuation to re-capture.
+  auto scan = recover::scan_ring(dir);
+  ASSERT_GE(scan.valid.size(), 2u);
+  const recover::RingGeneration oldest = scan.valid.front();
+  for (std::size_t i = 1; i < scan.valid.size(); ++i) {
+    std::remove(scan.valid[i].path.c_str());
+  }
+  const DurableRun replayed = run_durable(cfg, ring_options(dir));
+  EXPECT_TRUE(replayed.arm.resumed);
+  EXPECT_EQ(oldest.cursor, replayed.arm.cursor);
+  EXPECT_EQ(base, replayed.result) << "early-generation resume diverged";
+
+  // Forced-cursor inheritance: generations captured after the resume
+  // must force the resumed-from cursor in their own replays.
+  const auto after = recover::scan_ring(dir);
+  ASSERT_FALSE(after.valid.empty());
+  ASSERT_GT(after.valid.back().gen, oldest.gen)
+      << "continuation captured no new generations";
+  bool inherited = false;
+  for (const std::uint64_t f : after.valid.back().forced_cursors) {
+    if (f == oldest.cursor) inherited = true;
+  }
+  EXPECT_TRUE(inherited)
+      << "newest generation lost its ancestor's capture cursor";
+}
+
+TEST(RecoverRing, ResumeAdoptsTheRingsCadence) {
+  const std::string dir = fresh_ring_dir("cadence");
+  const ArchConfig cfg = ArchConfig::shared_mesh(16);
+  (void)run_durable(cfg, ring_options(dir, 50));
+
+  // A different CLI cadence mid-chain must be overridden (with a
+  // warning), or later replays would mirror the wrong schedule.
+  const DurableRun resumed = run_durable(cfg, ring_options(dir, 70));
+  EXPECT_TRUE(resumed.arm.resumed);
+  bool warned = false;
+  for (const auto& w : resumed.arm.warnings) {
+    if (w.find("cadence") != std::string::npos) warned = true;
+  }
+  EXPECT_TRUE(warned) << "cadence adoption was silent";
+  const auto scan = recover::scan_ring(dir);
+  ASSERT_FALSE(scan.valid.empty());
+  EXPECT_EQ(50u, scan.valid.back().every_quanta);
+}
+
+TEST(RecoverRing, WrongWorkloadIdentityRefused) {
+  const std::string dir = fresh_ring_dir("identity");
+  const ArchConfig cfg = ArchConfig::shared_mesh(16);
+  (void)run_durable(cfg, ring_options(dir));
+
+  recover::DurableOptions other = ring_options(dir);
+  other.workload_fp =
+      snapshot::workload_fingerprint("octree", kSeed, kTiny);
+  Engine sim(cfg);
+  recover::RunSupervisor sup(other);
+  try {
+    (void)sup.arm(sim);
+    FAIL() << "resume accepted a generation from a different workload";
+  } catch (const SimError& e) {
+    EXPECT_EQ(SimErrorCode::kSnapshotMismatch, e.code());
+  }
+}
+
+// ---- Emergency capture: incremental retries ------------------------
+
+TEST(RecoverRing, GuardAbortLeavesAResumableEmergencyGeneration) {
+  const std::string dir = fresh_ring_dir("emergency");
+  // A factor big enough that a 30ms wall deadline trips mid-run with
+  // real progress behind it (the tiny factor finishes in ~3ms).
+  const double factor = 5.0;
+  ArchConfig cfg = ArchConfig::shared_mesh(16);
+  const RunResult base = run_plain(cfg, factor);
+
+  // Wall deadline: guard_poll trips mid-round and forces a barrier at
+  // a wall-clock-dependent cursor — exactly the case the emergency
+  // capture (and its forced-cursor bookkeeping) exists for. The
+  // cadence sits far beyond the workload so the only generation the
+  // ring can hold is the emergency capture from the abort path.
+  ArchConfig capped = cfg;
+  capped.guard.deadline_ms = 30;
+  const recover::DurableOptions dopt =
+      ring_options(dir, 1u << 20, factor);
+  {
+    Engine sim(capped);
+    // Telemetry attachment is part of the snapshot identity: the
+    // aborted attempt and the retry must agree on it.
+    obs::Telemetry tel;
+    sim.set_telemetry(&tel);
+    recover::RunSupervisor sup(dopt);
+    (void)sup.arm(sim);
+    EXPECT_THROW(
+        (void)sim.run(
+            dwarfs::dwarf_by_name(kDwarf).make_root(kSeed, factor)),
+        SimError);
+  }
+
+  const auto scan = recover::scan_ring(dir);
+  ASSERT_EQ(1u, scan.valid.size())
+      << "guard abort did not leave exactly the emergency generation";
+  EXPECT_TRUE(scan.valid.back().emergency);
+  EXPECT_GT(scan.valid.back().cursor, 0u);
+
+  // The "retry": a fresh attempt without the cap resumes from the
+  // emergency snapshot (cursor > 0 — incremental, not from scratch)
+  // and completes bit-identical to the undisturbed baseline.
+  const DurableRun retried = run_durable(cfg, dopt, factor);
+  EXPECT_TRUE(retried.arm.resumed);
+  EXPECT_GT(retried.arm.cursor, 0u);
+  EXPECT_EQ(base, retried.result) << "emergency-resumed run diverged";
+}
+
+// ---- Adversarial ring corpus ---------------------------------------
+
+class RingCorpus : public ::testing::Test {
+ protected:
+  /// Build a healthy ring and remember the baseline.
+  void build(const std::string& tag) {
+    dir_ = fresh_ring_dir(tag);
+    cfg_ = ArchConfig::shared_mesh(16);
+    base_ = run_plain(cfg_);
+    (void)run_durable(cfg_, ring_options(dir_));
+    scan_ = recover::scan_ring(dir_);
+    ASSERT_GE(scan_.valid.size(), 2u)
+        << "corpus needs at least two generations to damage";
+  }
+
+  /// Resume after damage and require baseline-equal completion.
+  void expect_recovers(std::uint64_t expected_cursor) {
+    const DurableRun r = run_durable(cfg_, ring_options(dir_));
+    EXPECT_TRUE(r.arm.resumed);
+    EXPECT_EQ(expected_cursor, r.arm.cursor);
+    EXPECT_EQ(base_, r.result);
+  }
+
+  std::string dir_;
+  ArchConfig cfg_;
+  RunResult base_;
+  recover::RingScan scan_;
+};
+
+TEST_F(RingCorpus, TornNewestGenerationFallsBackOneStep) {
+  build("torn");
+  corrupt_truncate(scan_.valid.back().path, 40);
+  const auto rescan = recover::scan_ring(dir_);
+  ASSERT_EQ(scan_.valid.size() - 1, rescan.valid.size());
+  ASSERT_FALSE(rescan.warnings.empty());
+  EXPECT_NE(std::string::npos, rescan.warnings.front().find("skipping"));
+  expect_recovers(scan_.valid[scan_.valid.size() - 2].cursor);
+}
+
+TEST_F(RingCorpus, BitFlippedGenerationIsSkippedByDigest) {
+  build("flip");
+  // Flip a byte well inside the payload: the section digests must
+  // catch it even though the container frame still parses.
+  corrupt_flip_byte(scan_.valid.back().path, 200);
+  const auto rescan = recover::scan_ring(dir_);
+  ASSERT_EQ(scan_.valid.size() - 1, rescan.valid.size());
+  expect_recovers(scan_.valid[scan_.valid.size() - 2].cursor);
+}
+
+TEST_F(RingCorpus, MissingManifestDegradesToWarning) {
+  build("nomanifest");
+  std::remove(recover::manifest_path(dir_).c_str());
+  const auto rescan = recover::scan_ring(dir_);
+  // Generations are discovered by glob + decode; only the (advisory)
+  // forced-cursor metadata is lost, and the scan says so.
+  EXPECT_EQ(scan_.valid.size(), rescan.valid.size());
+  bool warned = false;
+  for (const auto& w : rescan.warnings) {
+    if (w.find("no manifest entry") != std::string::npos) warned = true;
+  }
+  EXPECT_TRUE(warned);
+  expect_recovers(scan_.valid.back().cursor);
+}
+
+TEST_F(RingCorpus, GarbageManifestIsPoisonedNotFatal) {
+  build("badmanifest");
+  write_text(recover::manifest_path(dir_),
+             "not-the-manifest-magic\ngen what\n");
+  const auto rescan = recover::scan_ring(dir_);
+  EXPECT_EQ(scan_.valid.size(), rescan.valid.size());
+  EXPECT_FALSE(rescan.warnings.empty());
+  expect_recovers(scan_.valid.back().cursor);
+}
+
+TEST_F(RingCorpus, DuplicateGenerationNumbersAreDeduplicated) {
+  build("dup");
+  // "07" and "7" both parse to generation 7: an adversarial directory
+  // can hold both spellings. One must win deterministically.
+  const auto& newest = scan_.valid.back();
+  std::ifstream in(newest.path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  write_text(dir_ + "/run.autosave.0" + std::to_string(newest.gen) + ".snap",
+             bytes);
+  const auto rescan = recover::scan_ring(dir_);
+  EXPECT_EQ(scan_.valid.size(), rescan.valid.size());
+  bool warned = false;
+  for (const auto& w : rescan.warnings) {
+    if (w.find("duplicate") != std::string::npos) warned = true;
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST_F(RingCorpus, StrayFilesAreIgnored) {
+  build("stray");
+  write_text(dir_ + "/README.txt", "not a snapshot\n");
+  write_text(dir_ + "/run.autosave.x.snap", "bad generation number\n");
+  write_text(dir_ + "/run.autosave.3.snap.tmp", "leftover temp\n");
+  const auto rescan = recover::scan_ring(dir_);
+  EXPECT_EQ(scan_.valid.size(), rescan.valid.size());
+  expect_recovers(scan_.valid.back().cursor);
+}
+
+TEST_F(RingCorpus, StaleCursorRegressionIsCalledOut) {
+  build("stale");
+  // Copy the *oldest* generation's bytes over a fresh higher
+  // generation number: decodes cleanly but its cursor runs backwards,
+  // which means the directory mixes runs.
+  std::ifstream in(scan_.valid.front().path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  write_text(recover::generation_path(dir_, scan_.next_gen), bytes);
+  const auto rescan = recover::scan_ring(dir_);
+  bool warned = false;
+  for (const auto& w : rescan.warnings) {
+    if (w.find("older than") != std::string::npos) warned = true;
+  }
+  EXPECT_TRUE(warned) << "cursor regression scanned silently";
+}
+
+TEST_F(RingCorpus, FullyCorruptRingStartsFromScratch) {
+  build("scorched");
+  for (const auto& g : scan_.valid) corrupt_truncate(g.path, 10);
+  const auto rescan = recover::scan_ring(dir_);
+  EXPECT_TRUE(rescan.valid.empty());
+  bool warned = false;
+  for (const auto& w : rescan.warnings) {
+    if (w.find("starting from scratch") != std::string::npos) warned = true;
+  }
+  EXPECT_TRUE(warned);
+  // next_gen still advances past the wreckage: new captures must not
+  // overwrite the evidence.
+  EXPECT_EQ(scan_.next_gen, rescan.next_gen);
+
+  const DurableRun fresh = run_durable(cfg_, ring_options(dir_));
+  EXPECT_FALSE(fresh.arm.resumed);
+  EXPECT_EQ(base_, fresh.result);
+}
+
+}  // namespace
+}  // namespace simany

@@ -20,6 +20,10 @@ Rules (ids are stable: baselines and inline allows key on them):
   det-thread-local      thread_local in engine code
   det-mutex-unannotated member std::mutex with no SIMANY_GUARDED_BY /
                         SIMANY_REQUIRES/... referencing it
+  io-unchecked-write    a function-local ofstream is written but its
+                        failure state is never consulted (route artifact
+                        writes through io/atomic_write.h or
+                        recover::write_artifact, or check the stream)
 """
 
 import hashlib
@@ -38,6 +42,16 @@ LIBC_RAND_IDENTS = {"rand", "srand", "random_device", "random_shuffle",
 
 UNORDERED_MARKERS = ("unordered_map", "unordered_set", "unordered_multimap",
                      "unordered_multiset")
+
+# Stream-state accessors that count as consulting an ofstream's failure
+# state. flush() deliberately does not: flushing without looking at the
+# result is exactly the silent-loss pattern the rule exists to catch.
+IO_CHECK_METHODS = {"good", "fail", "bad", "is_open", "rdstate",
+                    "exceptions"}
+
+# Method spellings of a stream write (operator<< is caught at the token
+# level).
+IO_WRITE_METHODS = {"write", "put"}
 
 # Mailbox API surface: only SpscMailbox uses exactly these names in-tree
 # (the deques/inboxes use push_back/pop_front), so a match against a
@@ -500,6 +514,91 @@ def check_mutex_annotations(model):
     return findings
 
 
+# ---------------------------------------------------------------------
+# Rule: io-unchecked-write
+# ---------------------------------------------------------------------
+
+def _io_scope(model, config):
+    rel = model.path
+    for inc in config.get("io_include_paths", []):
+        if rel.startswith(inc):
+            return True
+    for prefix in config.get("io_exempt_paths", {}):
+        if rel.startswith(prefix):
+            return False
+    return True
+
+
+def check_io_unchecked_write(model):
+    """A function-local ofstream written with << (or .write/.put) whose
+    failure state is never consulted in the same function. A stream
+    passed by name into another call escapes the function's ownership
+    and is skipped (err toward silence): the callee may own the failure
+    handling. Declarations are found at the token level (`ofstream NAME`)
+    because constructor-style locals never reach fn.locals; a reference
+    parameter (`ofstream& sink`) does not match — the caller owns it."""
+    findings = []
+    fns = sorted(model.functions, key=lambda f: f.line)
+    for idx, fn in enumerate(fns):
+        end = fns[idx + 1].line if idx + 1 < len(fns) else float("inf")
+        toks = [t for t in model.tokens if fn.line <= t.line < end]
+        streams = []
+        for i, t in enumerate(toks):
+            if t.kind == "id" and t.text == "ofstream" and \
+                    i + 1 < len(toks) and toks[i + 1].kind == "id":
+                streams.append(toks[i + 1].text)
+        for name in sorted(set(streams)):
+            first_write = None
+            checked = False
+            escaped = False
+            for i, t in enumerate(toks):
+                if t.kind != "id" or t.text != name:
+                    continue
+                prv = toks[i - 1] if i > 0 else None
+                nxt = toks[i + 1] if i + 1 < len(toks) else None
+                if prv is not None and prv.text in (".", "->", "::"):
+                    continue  # someone else's member sharing the name
+                # The lexer splits "<<" into two "<" tokens.
+                if nxt is not None and nxt.text in ("<<", "<") and \
+                        (nxt.text == "<<" or
+                         (i + 2 < len(toks) and toks[i + 2].text == "<")):
+                    if first_write is None:
+                        first_write = t
+                    continue
+                if nxt is not None and nxt.text in (".", "->"):
+                    mname = toks[i + 2].text if i + 2 < len(toks) else ""
+                    if mname in IO_CHECK_METHODS:
+                        checked = True
+                    elif mname in IO_WRITE_METHODS and first_write is None:
+                        first_write = t
+                    continue
+                if prv is not None and prv.text == "!":
+                    checked = True  # if (!out) ...
+                    continue
+                if prv is not None and prv.text == "(" and i >= 2 and \
+                        toks[i - 2].text in ("if", "while"):
+                    checked = True  # bool conversion as a condition
+                    continue
+                if (prv is not None and prv.text in ("(", ",")) or \
+                        (nxt is not None and nxt.text in (",", ")")):
+                    escaped = True
+            if first_write is None or checked or escaped:
+                continue
+            if model.allowed("io-unchecked-write", first_write.line) or \
+                    model.allowed("io-unchecked-write", fn.line):
+                continue
+            findings.append(Finding(
+                rule="io-unchecked-write", path=model.path,
+                line=first_write.line, symbol=f"{fn.qualified}:{name}",
+                message=(
+                    f"'{fn.qualified}' writes to ofstream '{name}' but "
+                    f"never consults its failure state: a full disk "
+                    f"becomes silent data loss (route artifact writes "
+                    f"through io/atomic_write.h or "
+                    f"recover::write_artifact, or check the stream)")))
+    return findings
+
+
 def run_all(project, config):
     findings = []
     findings += check_phase(project)
@@ -509,5 +608,7 @@ def run_all(project, config):
         if _det_scope(model, model.path, config):
             findings += check_determinism_tokens(model, config)
             findings += check_unordered_iteration(project, model)
+        if _io_scope(model, config):
+            findings += check_io_unchecked_write(model)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings

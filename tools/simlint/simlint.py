@@ -15,7 +15,10 @@ hosts; see docs/static_analysis.md), and enforces:
   * no nondeterminism sources in engine code (wall clock, libc rand,
     unordered-container iteration, thread_local, unannotated mutexes),
     with a path allowlist (src/guard wall-clock deadlines, src/obs host
-    profiling) plus inline `// simlint: allow(rule) reason` escapes.
+    profiling) plus inline `// simlint: allow(rule) reason` escapes,
+  * no unchecked artifact writes (an ofstream written and dropped
+    without ever consulting its failure state — io-unchecked-write;
+    artifact writers belong on io/atomic_write.h).
 
 Exit status (uniform across tools/, see docs/static_analysis.md):
   0  clean (or all findings suppressed by --baseline)
@@ -56,6 +59,17 @@ DEFAULT_CONFIG = {
                     "profiler output is diagnostic, never an input to "
                     "the simulation",
     },
+    # The artifact-I/O rule (io-unchecked-write) skips these: their
+    # writes are throwaway scaffolding, not run artifacts.
+    "io_exempt_paths": {
+        "tests/": "test scaffolding writes temp files whose loss the "
+                  "assertions themselves would catch",
+        "bench/": "benchmark output is advisory, not a run artifact",
+        "tools/": "host-side python/tooling trees, not artifact I/O",
+    },
+    # ...except simlint's own fixtures, which seed the violation on
+    # purpose.
+    "io_include_paths": ["tools/simlint/tests/fixtures/"],
     # Phase/mailbox rules apply to everything that was parsed.
 }
 

@@ -1,0 +1,56 @@
+// Seeded violations for the io-unchecked-write rule, plus the shapes
+// that must stay silent: a checked stream, a stream handed to another
+// function (ownership escapes), and an inline allow.
+#include <fstream>
+#include <string>
+
+namespace fixture {
+
+// VIOLATION: written with <<, failure state never consulted — a full
+// disk becomes silent data loss.
+void dump_report(const std::string& path) {
+  std::ofstream out(path);
+  out << "report line\n";
+  out << "another line\n";
+}
+
+// VIOLATION: method-spelled write, same silent loss.
+void dump_blob(const std::string& path, const char* data) {
+  std::ofstream blob(path, std::ios::binary);
+  blob.write(data, 16);
+}
+
+// Clean: the failure state is consulted after the writes.
+bool dump_checked(const std::string& path) {
+  std::ofstream out(path);
+  out << "checked line\n";
+  out.flush();
+  return out.good();
+}
+
+// Clean: the !stream idiom is a check too.
+int dump_bang_checked(const std::string& path) {
+  std::ofstream out(path);
+  out << "checked line\n";
+  if (!out) return 1;
+  return 0;
+}
+
+void fill(std::ofstream& sink) { sink << "elsewhere\n"; }
+
+// Clean: the stream escapes into fill(), which owns the handling —
+// the rule errs toward silence on shared ownership.
+void dump_delegated(const std::string& path) {
+  std::ofstream out(path);
+  fill(out);
+  out << "trailer\n";
+}
+
+// Clean: explicitly allowed (scratch output, loss is acceptable).
+void dump_scratch(const std::string& path) {
+  std::ofstream out(path);
+  // simlint: allow(io-unchecked-write) throwaway debug dump
+  out << "scratch\n";
+}
+
+}  // namespace fixture

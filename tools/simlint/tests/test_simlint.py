@@ -125,10 +125,25 @@ class FixtureDetection(unittest.TestCase):
         self.assertEqual(len(wall), 2, wall)
         self.assertNotIn("budget_left", str(wall))
 
+    def test_io_unchecked_write(self):
+        hits = self.by_rule("io-unchecked-write")
+        self.assertEqual(len(hits), 2, hits)
+        symbols = {f["symbol"] for f in hits}
+        self.assertIn("fixture::dump_report:out", symbols)
+        self.assertIn("fixture::dump_blob:blob", symbols)
+        # The checked, delegated (stream escapes into fill()) and
+        # allow-annotated shapes stay silent.
+        io_file = self.in_file("io_unchecked_write.cpp")
+        self.assertEqual(len(io_file), 2, io_file)
+        self.assertNotIn("dump_checked", str(io_file))
+        self.assertNotIn("dump_bang_checked", str(io_file))
+        self.assertNotIn("dump_delegated", str(io_file))
+        self.assertNotIn("dump_scratch", str(io_file))
+
     def test_total_matches_expectation(self):
         # Exactly the seeded violations — anything extra is a false
         # positive, anything fewer a regression.
-        self.assertEqual(len(self.findings), 11, self.findings)
+        self.assertEqual(len(self.findings), 13, self.findings)
 
 
 class CliContract(unittest.TestCase):
@@ -156,7 +171,7 @@ class CliContract(unittest.TestCase):
             self.assertEqual(wrote.returncode, 0, wrote.stderr)
             with open(baseline, encoding="utf-8") as f:
                 doc = json.load(f)
-            self.assertEqual(len(doc["suppressions"]), 11)
+            self.assertEqual(len(doc["suppressions"]), 13)
             # All findings suppressed -> clean exit.
             again = run_simlint(args + ["--baseline", baseline])
             self.assertEqual(again.returncode, 0, again.stdout)
